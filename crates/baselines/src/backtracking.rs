@@ -1,0 +1,270 @@
+//! A CFL-style backtracking subgraph matcher (the Appendix C baseline).
+//!
+//! CFL (Bi et al., SIGMOD 2016) decomposes a labelled query into a dense *core* and a *forest*,
+//! matches the core first to keep intermediate results small, and enumerates matches by
+//! backtracking over per-query-vertex candidate sets. This module implements the same
+//! algorithmic shape — label/degree candidate filtering, dense-core-first matching order,
+//! recursive backtracking with neighbourhood filtering and an output limit — without the CPI
+//! index (a simplification recorded in `DESIGN.md`). Like the paper's comparison, it evaluates
+//! the same labelled queries the operator-based engine runs, with the same homomorphic match
+//! semantics, so the two systems' outputs are directly comparable.
+
+use graphflow_graph::{Direction, Graph, VertexId};
+use graphflow_query::QueryGraph;
+use std::time::{Duration, Instant};
+
+/// Options for the backtracking matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct BacktrackOptions {
+    /// Stop after this many matches (the CFL evaluation limits output to 10^5 / 10^8 matches).
+    pub output_limit: Option<u64>,
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for BacktrackOptions {
+    fn default() -> Self {
+        BacktrackOptions {
+            output_limit: None,
+            time_limit: None,
+        }
+    }
+}
+
+/// Matching order: densest-first (core before forest). Query vertices are ordered by descending
+/// degree within the already-chosen prefix, falling back to global degree — a compact version of
+/// CFL's core-forest decomposition ordering.
+fn matching_order(q: &QueryGraph) -> Vec<usize> {
+    let m = q.num_vertices();
+    let mut order = Vec::with_capacity(m);
+    let mut chosen = vec![false; m];
+    // Start from the highest-degree vertex (densest part of the core).
+    let first = (0..m).max_by_key(|&v| q.degree(v)).unwrap_or(0);
+    order.push(first);
+    chosen[first] = true;
+    while order.len() < m {
+        let next = (0..m)
+            .filter(|&v| !chosen[v])
+            .max_by_key(|&v| {
+                let backward = q
+                    .neighbours(v)
+                    .iter()
+                    .filter(|&&n| chosen[n])
+                    .count();
+                (backward, q.degree(v))
+            })
+            .unwrap();
+        order.push(next);
+        chosen[next] = true;
+    }
+    order
+}
+
+/// Candidate set of a query vertex: data vertices with the right label that have at least one
+/// outgoing/incoming edge whenever the query vertex requires one. (CFL additionally prunes by
+/// full degree, which is only sound under isomorphism semantics; under the homomorphism
+/// semantics used throughout this workspace distinct query edges may map to the same data edge,
+/// so only the existence checks are applied.)
+fn candidates(graph: &Graph, q: &QueryGraph, qv: usize) -> Vec<VertexId> {
+    let label = q.vertex(qv).label;
+    let needs_out = q.edges().iter().any(|e| e.src == qv);
+    let needs_in = q.edges().iter().any(|e| e.dst == qv);
+    graph
+        .vertices_with_label(label)
+        .filter(|&v| {
+            (!needs_out || graph.out_degree(v) >= 1) && (!needs_in || graph.in_degree(v) >= 1)
+        })
+        .collect()
+}
+
+/// Count matches of `q` in `graph` by backtracking. Uses the same homomorphism semantics as the
+/// rest of the workspace so counts can be compared directly against the WCO engine.
+pub fn backtracking_count(graph: &Graph, q: &QueryGraph, options: BacktrackOptions) -> u64 {
+    let m = q.num_vertices();
+    if m == 0 {
+        return 0;
+    }
+    let start = Instant::now();
+    let order = matching_order(q);
+    let root_candidates = candidates(graph, q, order[0]);
+
+    let mut assignment: Vec<Option<VertexId>> = vec![None; m];
+    let mut count = 0u64;
+
+    // For each position in the order, the query edges connecting that vertex to earlier ones.
+    let constraints: Vec<Vec<(usize, Direction, graphflow_graph::EdgeLabel)>> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &qv)| {
+            let mut cs = Vec::new();
+            for e in q.edges() {
+                if e.src == qv {
+                    if let Some(_p) = order[..pos].iter().position(|&o| o == e.dst) {
+                        cs.push((e.dst, Direction::Fwd, e.label));
+                    }
+                } else if e.dst == qv {
+                    if let Some(_p) = order[..pos].iter().position(|&o| o == e.src) {
+                        cs.push((e.src, Direction::Bwd, e.label));
+                    }
+                }
+            }
+            cs
+        })
+        .collect();
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        graph: &Graph,
+        q: &QueryGraph,
+        order: &[usize],
+        constraints: &[Vec<(usize, Direction, graphflow_graph::EdgeLabel)>],
+        pos: usize,
+        assignment: &mut Vec<Option<VertexId>>,
+        count: &mut u64,
+        options: &BacktrackOptions,
+        start: &Instant,
+    ) -> bool {
+        if pos == order.len() {
+            *count += 1;
+            if let Some(limit) = options.output_limit {
+                if *count >= limit {
+                    return false;
+                }
+            }
+            return true;
+        }
+        if let Some(limit) = options.time_limit {
+            if start.elapsed() > limit {
+                return false;
+            }
+        }
+        let qv = order[pos];
+        let label = q.vertex(qv).label;
+        // Candidate generation: intersect the relevant adjacency lists of already-bound
+        // neighbours (or fall back to the label-filtered vertex set at the root).
+        let cands: Vec<VertexId> = if constraints[pos].is_empty() {
+            candidates(graph, q, qv)
+        } else {
+            // Seed with the first constraint's neighbour list, then filter by the rest.
+            let (anchor, dir, el) = constraints[pos][0];
+            let anchor_v = assignment[anchor].expect("anchor already bound");
+            // The query edge qv->anchor means we need vertices whose edge points *to* anchor,
+            // i.e. anchor's backward neighbours when dir is Fwd (edge qv->anchor).
+            let seed = match dir {
+                Direction::Fwd => graph.in_neighbours(anchor_v, el, label),
+                Direction::Bwd => graph.out_neighbours(anchor_v, el, label),
+            };
+            seed.iter()
+                .copied()
+                .filter(|&cand| {
+                    constraints[pos][1..].iter().all(|&(other, dir, el)| {
+                        let other_v = assignment[other].expect("bound");
+                        match dir {
+                            Direction::Fwd => graph.has_edge(cand, other_v, el),
+                            Direction::Bwd => graph.has_edge(other_v, cand, el),
+                        }
+                    })
+                })
+                .collect()
+        };
+        for cand in cands {
+            assignment[order[pos]] = Some(cand);
+            let keep_going = recurse(
+                graph,
+                q,
+                order,
+                constraints,
+                pos + 1,
+                assignment,
+                count,
+                options,
+                start,
+            );
+            assignment[order[pos]] = None;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    for root in root_candidates {
+        assignment[order[0]] = Some(root);
+        let keep_going = recurse(
+            graph,
+            q,
+            &order,
+            &constraints,
+            1,
+            &mut assignment,
+            &mut count,
+            &options,
+            &start,
+        );
+        assignment[order[0]] = None;
+        if !keep_going {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_catalog::count_matches;
+    use graphflow_graph::GraphBuilder;
+    use graphflow_query::patterns;
+
+    fn random_graph() -> Graph {
+        let edges = graphflow_graph::generator::powerlaw_cluster(250, 4, 0.6, 23);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        b.build()
+    }
+
+    #[test]
+    fn counts_agree_with_reference_matcher() {
+        let g = random_graph();
+        for j in [1usize, 2, 3, 4, 8] {
+            let q = patterns::benchmark_query(j);
+            let expected = count_matches(&g, &q);
+            let got = backtracking_count(&g, &q, BacktrackOptions::default());
+            assert_eq!(got, expected, "Q{j}");
+        }
+    }
+
+    #[test]
+    fn labelled_counts_agree() {
+        let g = random_graph();
+        let labelled = graphflow_graph::loader::assign_random_edge_labels(&g, 3, 3);
+        let q = patterns::label_query_edges_randomly(&patterns::diamond_x(), 3, 5);
+        assert_eq!(
+            backtracking_count(&labelled, &q, BacktrackOptions::default()),
+            count_matches(&labelled, &q)
+        );
+    }
+
+    #[test]
+    fn output_limit_is_respected() {
+        let g = random_graph();
+        let q = patterns::asymmetric_triangle();
+        let limited = backtracking_count(
+            &g,
+            &q,
+            BacktrackOptions {
+                output_limit: Some(10),
+                time_limit: None,
+            },
+        );
+        assert_eq!(limited, 10);
+    }
+
+    #[test]
+    fn matching_order_starts_dense() {
+        let q = patterns::benchmark_query(3); // tailed triangle: the tail vertex comes last
+        let order = matching_order(&q);
+        assert_eq!(order.len(), 4);
+        assert_eq!(*order.last().unwrap(), 3, "the degree-1 tail is matched last");
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the hot kernels of the system: sorted-set intersections, the
+//! E/I extension step, full query execution of the running-example queries, catalogue
+//! cardinality estimation and optimizer latency (the paper reports a 331 ms worst-case
+//! optimization time; `optimizer latency` tracks ours).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphflow_catalog::Catalogue;
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_datasets::Dataset;
+use graphflow_graph::{intersect_sorted_into, multiway_intersect};
+use graphflow_plan::dp::DpOptimizer;
+use graphflow_query::patterns;
+
+fn bench_intersections(c: &mut Criterion) {
+    let a: Vec<u32> = (0..4096).map(|x| x * 3).collect();
+    let b: Vec<u32> = (0..4096).map(|x| x * 5).collect();
+    let d: Vec<u32> = (0..512).map(|x| x * 7).collect();
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    c.bench_function("intersect/two_way_4k", |bench| {
+        bench.iter(|| {
+            intersect_sorted_into(black_box(&a), black_box(&b), &mut out);
+            black_box(out.len())
+        })
+    });
+    c.bench_function("intersect/three_way_skewed", |bench| {
+        bench.iter(|| {
+            multiway_intersect(black_box(&[&a, &b, &d]), &mut out, &mut scratch);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = GraphflowDB::with_config(Dataset::Epinions.generate(0.3), Default::default());
+    for (name, q) in [
+        ("triangle_q1", patterns::benchmark_query(1)),
+        ("diamond_x_q4", patterns::benchmark_query(4)),
+        ("two_triangles_q8", patterns::benchmark_query(8)),
+    ] {
+        let plan = db.plan(&q).unwrap();
+        c.bench_function(&format!("execute/{name}"), |bench| {
+            bench.iter(|| black_box(db.run_plan(&plan, QueryOptions::default()).count))
+        });
+    }
+    let q4 = patterns::benchmark_query(4);
+    let plan4 = db.plan(&q4).unwrap();
+    c.bench_function("execute/diamond_x_q4_adaptive", |bench| {
+        bench.iter(|| {
+            black_box(
+                db.run_plan(&plan4, QueryOptions { adaptive: true, ..Default::default() })
+                    .count,
+            )
+        })
+    });
+}
+
+fn bench_catalogue_and_optimizer(c: &mut Criterion) {
+    let graph = Dataset::Epinions.generate(0.3);
+    let catalogue = Catalogue::with_defaults(graph);
+    // Warm the catalogue so the benchmark measures lookup + DP, not first-time sampling.
+    let queries: Vec<_> = [1usize, 4, 8, 12].iter().map(|&j| patterns::benchmark_query(j)).collect();
+    catalogue.prepopulate(&queries);
+    c.bench_function("catalogue/cardinality_diamond_x", |bench| {
+        let q = patterns::benchmark_query(4);
+        bench.iter(|| black_box(catalogue.estimate_cardinality(&q, q.full_set())))
+    });
+    for (name, j) in [("diamond_x_q4", 4usize), ("six_cycle_q12", 12), ("seven_clique_q14", 14)] {
+        let q = patterns::benchmark_query(j);
+        c.bench_function(&format!("optimizer/{name}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    DpOptimizer::new(&catalogue)
+                        .optimize(&q)
+                        .map(|p| p.estimated_cost),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_intersections, bench_queries, bench_catalogue_and_optimizer
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 7 (and the Section 8.2 summary): plan spectra — the runtime of every plan in the plan
+//! space of each benchmark query, with the plan our optimizer picks marked. Also prints the
+//! "within 1.4x / 2x of optimal" summary across all spectra.
+
+use graphflow_bench::*;
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_datasets::Dataset;
+use graphflow_plan::spectrum::{enumerate_spectrum, SpectrumLimits};
+use graphflow_query::patterns;
+
+fn main() {
+    // Amazon unlabelled, Epinions with 3 labels, Google with 5 labels (as in the paper), over
+    // the smaller queries so the default run finishes quickly; raise GF_SCALE for bigger runs.
+    let configs = [
+        (Dataset::Amazon, 1u16),
+        (Dataset::Epinions, 3u16),
+        (Dataset::Google, 5u16),
+    ];
+    let queries = [1usize, 2, 3, 4, 5, 6, 8, 11];
+    let mut summary: Vec<f64> = Vec::new();
+    for (ds, labels) in configs {
+        let graph = if labels > 1 {
+            graphflow_datasets::with_random_edge_labels(&dataset(ds), labels, 5)
+        } else {
+            dataset(ds)
+        };
+        let db = GraphflowDB::with_config(graph, Default::default());
+        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        for &j in &queries {
+            let mut q = patterns::benchmark_query(j);
+            if labels > 1 {
+                q = patterns::label_query_edges_randomly(&q, labels, j as u64);
+            }
+            let spectrum = enumerate_spectrum(&q, db.catalogue(), &model, SpectrumLimits {
+                max_plans_per_subset: 24,
+                max_plans_per_class: 24,
+            });
+            let chosen = db.plan(&q).unwrap();
+            let chosen_fp = chosen.root.fingerprint();
+            let mut rows = Vec::new();
+            let mut best = f64::INFINITY;
+            let mut worst: f64 = 0.0;
+            let mut chosen_time = None;
+            for sp in &spectrum {
+                let (_, _, t) = run_plan(&db, &sp.plan, QueryOptions::default());
+                let t = t.as_secs_f64();
+                best = best.min(t);
+                worst = worst.max(t);
+                let marker = if sp.plan.root.fingerprint() == chosen_fp { "  <== optimizer pick" } else { "" };
+                if sp.plan.root.fingerprint() == chosen_fp {
+                    chosen_time = Some(t);
+                }
+                rows.push(vec![format!("{}", sp.class), format!("{t:.3}{marker}")]);
+            }
+            // The optimizer's plan may use an operator order not present in the capped spectrum;
+            // measure it directly in that case.
+            let chosen_time = chosen_time.unwrap_or_else(|| {
+                run_plan(&db, &chosen, QueryOptions::default()).2.as_secs_f64()
+            });
+            rows.sort();
+            print_table(
+                &format!(
+                    "Figure 7: Q{j}{} on {} — {} plans, best {:.3}s, worst {:.3}s, picked {:.3}s",
+                    if labels > 1 { format!("^{labels}") } else { String::new() },
+                    ds.name(),
+                    spectrum.len(),
+                    best,
+                    worst,
+                    chosen_time
+                ),
+                &["class", "time (s)"],
+                &rows,
+            );
+            summary.push(chosen_time / best.max(1e-9));
+        }
+    }
+    let within = |x: f64| summary.iter().filter(|&&r| r <= x).count();
+    println!("\n=== Section 8.2 summary over {} spectra ===", summary.len());
+    println!("optimizer pick optimal        : {}", within(1.001));
+    println!("within 1.4x of optimal        : {}", within(1.4));
+    println!("within 2x of optimal          : {}", within(2.0));
+    println!("paper shape: optimal in 15/31 spectra, within 1.4x in 21, within 2x in 28.");
+}

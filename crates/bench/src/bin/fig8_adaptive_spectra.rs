@@ -1,0 +1,53 @@
+//! Figure 8: adaptive vs fixed plan spectra — every WCO plan of Q2-Q6 (and the hybrid plans of
+//! Q10) run with fixed orderings and with adaptive per-tuple ordering selection.
+
+use graphflow_bench::*;
+use graphflow_core::QueryOptions;
+use graphflow_datasets::Dataset;
+use graphflow_plan::wco::wco_plan_for_ordering;
+use graphflow_query::patterns;
+
+fn main() {
+    let datasets = [Dataset::Amazon, Dataset::Epinions, Dataset::Google];
+    let queries = [2usize, 3, 4, 5, 6];
+    for ds in datasets {
+        let db = db_for(ds);
+        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        for &j in &queries {
+            let q = patterns::benchmark_query(j);
+            let mut rows = Vec::new();
+            let (mut fixed_best, mut fixed_worst) = (f64::INFINITY, 0.0f64);
+            let (mut adapt_best, mut adapt_worst) = (f64::INFINITY, 0.0f64);
+            for sigma in executable_orderings(&q) {
+                let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else { continue };
+                let (_, _, t_fixed) = run_plan(&db, &plan, QueryOptions::default());
+                let (_, _, t_adapt) =
+                    run_plan(&db, &plan, QueryOptions { adaptive: true, ..Default::default() });
+                let (tf, ta) = (t_fixed.as_secs_f64(), t_adapt.as_secs_f64());
+                fixed_best = fixed_best.min(tf);
+                fixed_worst = fixed_worst.max(tf);
+                adapt_best = adapt_best.min(ta);
+                adapt_worst = adapt_worst.max(ta);
+                rows.push(vec![
+                    ordering_name(&q, &sigma),
+                    format!("{tf:.3}"),
+                    format!("{ta:.3}"),
+                    format!("{:.2}x", tf / ta.max(1e-9)),
+                ]);
+            }
+            print_table(
+                &format!(
+                    "Figure 8: Q{j} on {} — fixed spread {:.1}x, adaptive spread {:.1}x",
+                    j,
+                    fixed_worst / fixed_best.max(1e-9),
+                    adapt_worst / adapt_best.max(1e-9)
+                ),
+                &["QVO", "fixed (s)", "adaptive (s)", "improvement"],
+                &rows,
+            );
+        }
+    }
+    println!("\npaper shape: adapting improves most fixed plans (up to 4.3x for one Q5 plan) and");
+    println!("shrinks the gap between the best and worst orderings; on cliques (Q6) the");
+    println!("re-costing overhead can make some plans slightly slower.");
+}

@@ -1,0 +1,75 @@
+//! Table 11 (Appendix B): catalogue size and q-error as a function of `h` (z fixed at 1000),
+//! compared against an independence-assumption estimator (the PostgreSQL stand-in).
+
+use graphflow_bench::*;
+use graphflow_catalog::{independence_estimate, q_error, Catalogue, CatalogueConfig};
+use graphflow_datasets::Dataset;
+use graphflow_query::patterns;
+
+fn main() {
+    for (ds, labels) in [(Dataset::Amazon, 1u16), (Dataset::Google, 3u16)] {
+        let graph = if labels > 1 {
+            graphflow_datasets::with_random_edge_labels(&dataset(ds), labels, 3)
+        } else {
+            dataset(ds)
+        };
+        let qs: Vec<graphflow_query::QueryGraph> = [2usize, 3, 4, 5, 6, 8, 11]
+            .iter()
+            .map(|&j| patterns::benchmark_query(j))
+            .chain([patterns::directed_path(5), patterns::directed_cycle(5)])
+            .enumerate()
+            .map(|(i, q)| {
+                if labels > 1 {
+                    patterns::label_query_edges_randomly(&q, labels, i as u64)
+                } else {
+                    q
+                }
+            })
+            .collect();
+        let truths: Vec<f64> = qs
+            .iter()
+            .map(|q| graphflow_catalog::count_matches(&graph, q) as f64)
+            .collect();
+        let mut rows = Vec::new();
+        for h in [2usize, 3, 4] {
+            let cat = Catalogue::new(graph.clone(), CatalogueConfig { h, z: 1000, ..Default::default() });
+            cat.prepopulate(&qs);
+            let errors: Vec<f64> = qs
+                .iter()
+                .zip(&truths)
+                .map(|(q, &t)| q_error(cat.estimate_cardinality(q, q.full_set()), t))
+                .collect();
+            let within = |tau: f64| errors.iter().filter(|&&e| e <= tau).count();
+            rows.push(vec![
+                format!("GF h={h}"),
+                cat.num_entries().to_string(),
+                format!("{:.1}KB", cat.memory_footprint_bytes() as f64 / 1024.0),
+                within(2.0).to_string(),
+                within(5.0).to_string(),
+                within(10.0).to_string(),
+            ]);
+        }
+        // Independence-assumption baseline.
+        let errors: Vec<f64> = qs
+            .iter()
+            .zip(&truths)
+            .map(|(q, &t)| q_error(independence_estimate(&graph, q), t))
+            .collect();
+        let within = |tau: f64| errors.iter().filter(|&&e| e <= tau).count();
+        rows.push(vec![
+            "PG (indep.)".into(),
+            "-".into(),
+            "-".into(),
+            within(2.0).to_string(),
+            within(5.0).to_string(),
+            within(10.0).to_string(),
+        ]);
+        print_table(
+            &format!("Table 11: q-error vs h on {} ({} label(s)), {} queries", ds.name(), labels, qs.len()),
+            &["estimator", "entries", "size", "<=2", "<=5", "<=10"],
+            &rows,
+        );
+    }
+    println!("\npaper shape: larger h grows the catalogue but tightens estimates; the");
+    println!("independence estimator (PostgreSQL) is wildly inaccurate on cyclic patterns.");
+}

@@ -1,0 +1,37 @@
+//! Table 4: QVOs of the asymmetric triangle on web-like graphs (BerkStan, LiveJournal):
+//! runtime, intermediate partial matches and actual i-cost of each ordering. The three
+//! orderings intersect different adjacency-list directions, which is the whole effect.
+
+use graphflow_bench::*;
+use graphflow_core::QueryOptions;
+use graphflow_datasets::Dataset;
+use graphflow_plan::wco::wco_plan_for_ordering;
+use graphflow_query::patterns;
+
+fn main() {
+    let q = patterns::asymmetric_triangle();
+    for ds in [Dataset::BerkStan, Dataset::LiveJournal] {
+        let db = db_for(ds);
+        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let mut rows = Vec::new();
+        for sigma in [vec![0, 1, 2], vec![1, 2, 0], vec![0, 2, 1]] {
+            let plan = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma).unwrap();
+            let (count, stats, t) = run_plan(&db, &plan, QueryOptions::default());
+            rows.push(vec![
+                ordering_name(&q, &sigma),
+                secs(t),
+                stats.intermediate_tuples.to_string(),
+                stats.icost.to_string(),
+                count.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Table 4: asymmetric-triangle QVOs on {}", ds.name()),
+            &["QVO", "time (s)", "part. matches", "i-cost", "output"],
+            &rows,
+        );
+    }
+    println!("\npaper shape: all QVOs produce the same partial matches; the ordering that");
+    println!("intersects forward lists (a1a2a3) has far lower i-cost and runtime on skewed web");
+    println!("graphs; i-cost ranks the plans in the same order as runtime.");
+}

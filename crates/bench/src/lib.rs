@@ -1,0 +1,133 @@
+//! # graphflow-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the paper's evaluation
+//! (Section 8 and the appendices) on the synthetic dataset profiles.
+//!
+//! Each table/figure has its own binary under `src/bin/` (`cargo run --release -p
+//! graphflow-bench --bin table4_triangle_qvos`, etc.); `cargo bench` additionally runs the
+//! Criterion micro-benchmarks in `benches/`. The harnesses print the same row/series structure
+//! as the paper; absolute numbers differ (the datasets are synthetic and scaled down) but the
+//! *shape* — which plan wins, by roughly what factor, where the crossovers are — is the
+//! reproduction target, and `EXPERIMENTS.md` records both sides.
+//!
+//! The `GF_SCALE` environment variable scales every dataset (default 1.0 ≈ thousands of
+//! vertices); `GF_THREADS` caps the thread sweep of the scalability figure.
+
+use graphflow_catalog::Catalogue;
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_datasets::Dataset;
+use graphflow_exec::RuntimeStats;
+use graphflow_graph::Graph;
+use graphflow_plan::Plan;
+use graphflow_query::QueryGraph;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A dataset generated at the scale configured through `GF_SCALE`.
+pub fn dataset(d: Dataset) -> Arc<Graph> {
+    d.generate(graphflow_datasets::scale_from_env())
+}
+
+/// A database (graph + catalogue + optimizer) over a generated dataset.
+pub fn db_for(d: Dataset) -> GraphflowDB {
+    GraphflowDB::with_config(dataset(d), Default::default())
+}
+
+/// A catalogue over an arbitrary graph with default settings.
+pub fn catalogue_for(graph: Arc<Graph>) -> Catalogue {
+    Catalogue::with_defaults(graph)
+}
+
+/// Time a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Run one plan on a database and report `(count, stats, wall time)`.
+pub fn run_plan(db: &GraphflowDB, plan: &Plan, options: QueryOptions) -> (u64, RuntimeStats, Duration) {
+    let (result, elapsed) = time(|| db.run_plan(plan, options));
+    (result.count, result.stats, elapsed)
+}
+
+/// Format a duration in seconds with three decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Human-readable ordering like `a2a3a1a4` from query-vertex indices.
+pub fn ordering_name(q: &QueryGraph, sigma: &[usize]) -> String {
+    sigma.iter().map(|&v| q.vertex(v).name.clone()).collect::<Vec<_>>().join("")
+}
+
+/// Print a fixed-width table: a header row followed by data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The executable WCO orderings of a query (distinct up to automorphisms), as the spectra use.
+pub fn executable_orderings(q: &QueryGraph) -> Vec<Vec<usize>> {
+    graphflow_query::qvo::distinct_orderings(q)
+        .into_iter()
+        .filter(|s| graphflow_query::extension::extension_chain(q, s).is_some())
+        .collect()
+}
+
+/// Thread counts for the scalability sweep: 1, 2, 4, ... up to the machine (or `GF_THREADS`).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::env::var("GF_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        });
+    let mut out = Vec::new();
+    let mut t = 1;
+    while t <= max {
+        out.push(t);
+        t *= 2;
+    }
+    if out.last() != Some(&max) {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_work() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep[0], 1);
+        let (_x, d) = time(|| 40 + 2);
+        assert!(d < Duration::from_secs(1));
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        let q = graphflow_query::patterns::diamond_x();
+        assert_eq!(ordering_name(&q, &[1, 2, 0, 3]), "a2a3a1a4");
+        print_table("test", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,716 @@
+//! The subgraph catalogue: construction, lookup and the estimation services used by the
+//! cost-based optimizer.
+
+use crate::entry::{CanonDescriptor, CatalogueEntry};
+use crate::key::{extension_key, ExtensionKey};
+use crate::matcher::{count_matches, sample_extension_stats};
+use graphflow_graph::{Direction, EdgeLabel, Graph, VertexLabel};
+use graphflow_query::canonical::{canonical_code, CanonicalCode};
+use graphflow_query::extension::descriptors_for_extension;
+use graphflow_query::querygraph::{set_iter, set_len, singleton, VertexSet};
+use graphflow_query::QueryGraph;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+/// Configuration of catalogue construction (paper Section 5.1 and Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogueConfig {
+    /// Maximum number of vertices of the sub-queries `Q_{k-1}` for which entries are stored
+    /// (`h` in the paper; default 3).
+    pub h: usize,
+    /// Number of edges sampled in the SCAN operator while measuring an entry (`z`; default 1000).
+    pub z: usize,
+    /// Upper bound on the number of `Q_{k-1}` matches measured per entry, so one skewed sample
+    /// cannot dominate construction time.
+    pub sample_cap: usize,
+    /// RNG seed, making construction fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for CatalogueConfig {
+    fn default() -> Self {
+        CatalogueConfig {
+            h: 3,
+            z: 1000,
+            sample_cap: 100_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The estimate the optimizer receives for one E/I extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtensionEstimate {
+    /// Estimated average size of each intersected adjacency list, aligned with the descriptor
+    /// order returned by [`descriptors_for_extension`] for the same `(prefix, target)` pair.
+    pub avg_list_sizes: Vec<f64>,
+    /// Estimated number of extensions per prefix match (`µ`).
+    pub mu: f64,
+    /// Whether the estimate came from a directly stored entry (false when the fallback rule for
+    /// sub-queries larger than `h` was applied).
+    pub exact_entry: bool,
+}
+
+#[derive(Default)]
+struct Caches {
+    entries: FxHashMap<ExtensionKey, CatalogueEntry>,
+    cardinalities: FxHashMap<CanonicalCode, f64>,
+}
+
+/// The subgraph catalogue for one data graph.
+pub struct Catalogue {
+    graph: Arc<Graph>,
+    config: CatalogueConfig,
+    caches: Mutex<Caches>,
+    /// `edge_counts[(el, src label, dst label)]` — exact edge counts per label triple.
+    edge_counts: FxHashMap<(EdgeLabel, VertexLabel, VertexLabel), u64>,
+    /// Number of vertices per vertex label.
+    vertex_counts: FxHashMap<VertexLabel, u64>,
+}
+
+impl Catalogue {
+    /// Create a catalogue for `graph` (entries are sampled on demand and memoised).
+    pub fn new(graph: Arc<Graph>, config: CatalogueConfig) -> Self {
+        let mut edge_counts: FxHashMap<(EdgeLabel, VertexLabel, VertexLabel), u64> =
+            FxHashMap::default();
+        for &(s, d, l) in graph.edges() {
+            *edge_counts
+                .entry((l, graph.vertex_label(s), graph.vertex_label(d)))
+                .or_insert(0) += 1;
+        }
+        let mut vertex_counts: FxHashMap<VertexLabel, u64> = FxHashMap::default();
+        for v in 0..graph.num_vertices() as u32 {
+            *vertex_counts.entry(graph.vertex_label(v)).or_insert(0) += 1;
+        }
+        Catalogue {
+            graph,
+            config,
+            caches: Mutex::new(Caches::default()),
+            edge_counts,
+            vertex_counts,
+        }
+    }
+
+    /// Build a catalogue with the default configuration.
+    pub fn with_defaults(graph: Arc<Graph>) -> Self {
+        Self::new(graph, CatalogueConfig::default())
+    }
+
+    /// The data graph this catalogue describes.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> CatalogueConfig {
+        self.config
+    }
+
+    /// Number of materialised (memoised) entries.
+    pub fn num_entries(&self) -> usize {
+        self.caches.lock().entries.len()
+    }
+
+    /// Approximate in-memory size of the materialised entries, in bytes.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        let caches = self.caches.lock();
+        caches
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                k.0.len() * 8 + e.avg_list_sizes.len() * (std::mem::size_of::<CanonDescriptor>() + 8) + 32
+            })
+            .sum()
+    }
+
+    /// Exact number of data edges consistent with `(edge label, source label, destination
+    /// label)` — the selectivity `µ(l_e)` used to seed 2-vertex sub-queries in Algorithm 1.
+    pub fn edge_count(&self, el: EdgeLabel, src: VertexLabel, dst: VertexLabel) -> u64 {
+        self.edge_counts.get(&(el, src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Number of data vertices with the given label.
+    pub fn vertex_count(&self, vl: VertexLabel) -> u64 {
+        self.vertex_counts.get(&vl).copied().unwrap_or(0)
+    }
+
+    /// Average adjacency-list size for a `(direction, edge label, neighbour label)` partition
+    /// over all vertices — the coarse fallback used when a descriptor's source vertex was
+    /// removed by the larger-than-`h` fallback rule.
+    pub fn avg_list_size(&self, dir: Direction, el: EdgeLabel, nbr_label: VertexLabel) -> f64 {
+        let n = self.graph.num_vertices().max(1) as f64;
+        let count: u64 = match dir {
+            // Forward lists point at `nbr_label` destinations.
+            Direction::Fwd => self
+                .edge_counts
+                .iter()
+                .filter(|((l, _, d), _)| *l == el && *d == nbr_label)
+                .map(|(_, c)| *c)
+                .sum(),
+            // Backward lists point at `nbr_label` sources.
+            Direction::Bwd => self
+                .edge_counts
+                .iter()
+                .filter(|((l, s, _), _)| *l == el && *s == nbr_label)
+                .map(|(_, c)| *c)
+                .sum(),
+        };
+        count as f64 / n
+    }
+
+    /// Eagerly materialise every entry needed to estimate the given queries (all of their
+    /// connected sub-query extensions up to `h + 1` vertices). Returns the number of entries
+    /// that were computed. This mirrors the paper's eager construction for the purposes of the
+    /// construction-time experiments (Tables 10 and 11).
+    pub fn prepopulate(&self, queries: &[QueryGraph]) -> usize {
+        let before = self.num_entries();
+        for q in queries {
+            let m = q.num_vertices();
+            let full = q.full_set();
+            // Enumerate connected subsets of size 2..=min(h, m-1)+1 and their extensions.
+            for subset in 1u32..=full {
+                if subset & full != subset {
+                    continue;
+                }
+                let k = set_len(subset);
+                if k < 2 || k > self.config.h.min(m - 1) {
+                    continue;
+                }
+                if !q.is_connected_subset(subset) {
+                    continue;
+                }
+                let prefix: Vec<usize> = set_iter(subset).collect();
+                for target in 0..m {
+                    if subset & singleton(target) != 0 {
+                        continue;
+                    }
+                    if descriptors_for_extension(q, &prefix, target).is_some() {
+                        let _ = self.extension_estimate(q, &prefix, target);
+                    }
+                }
+            }
+        }
+        self.num_entries() - before
+    }
+
+    /// Estimate the statistics of extending the sub-query induced by `prefix` (query-vertex
+    /// indices of `q`, in match order) by `target`.
+    ///
+    /// Returns `None` when the extension has no descriptors (a Cartesian extension, which no
+    /// plan in the paper's plan space performs).
+    pub fn extension_estimate(
+        &self,
+        q: &QueryGraph,
+        prefix: &[usize],
+        target: usize,
+    ) -> Option<ExtensionEstimate> {
+        let spec = descriptors_for_extension(q, prefix, target)?;
+        if prefix.len() <= self.config.h {
+            Some(self.direct_estimate(q, prefix, target, &spec.descriptors.len()))
+        } else {
+            Some(self.fallback_estimate(q, prefix, target))
+        }
+    }
+
+    /// Direct (possibly memoised) entry lookup for prefixes of at most `h` vertices.
+    fn direct_estimate(
+        &self,
+        q: &QueryGraph,
+        prefix: &[usize],
+        target: usize,
+        _num_desc: &usize,
+    ) -> ExtensionEstimate {
+        // Project q onto prefix ∪ {target}.
+        let mut set: VertexSet = singleton(target);
+        for &v in prefix {
+            set |= singleton(v);
+        }
+        let (proj, mapping) = q.project(set);
+        let proj_target = mapping.iter().position(|&o| o == target).expect("target in mapping");
+        let (key, perm) = extension_key(&proj, proj_target);
+
+        // Compute or fetch the entry.
+        let cached = self.caches.lock().entries.get(&key).cloned();
+        let entry = match cached {
+            Some(e) => e,
+            None => {
+                let entry = self.compute_entry(&proj, proj_target, &perm);
+                self.caches.lock().entries.insert(key, entry.clone());
+                entry
+            }
+        };
+
+        // Align the entry's canonical descriptors with the caller's descriptor order.
+        let spec = descriptors_for_extension(q, prefix, target).expect("descriptors exist");
+        let sizes = spec
+            .descriptors
+            .iter()
+            .map(|d| {
+                let orig_vertex = prefix[d.tuple_idx];
+                let proj_vertex = mapping
+                    .iter()
+                    .position(|&o| o == orig_vertex)
+                    .expect("prefix vertex in mapping");
+                let canon = CanonDescriptor {
+                    canon_pos: perm[proj_vertex] as u8,
+                    dir: d.dir,
+                    edge_label: d.edge_label,
+                };
+                entry
+                    .size_for(&canon)
+                    .unwrap_or_else(|| self.avg_list_size(d.dir, d.edge_label, spec.target_label))
+            })
+            .collect();
+        ExtensionEstimate {
+            avg_list_sizes: sizes,
+            mu: entry.mu,
+            exact_entry: true,
+        }
+    }
+
+    /// Sample a new entry for the projected extension (the new vertex is `proj_target`).
+    fn compute_entry(&self, proj: &QueryGraph, proj_target: usize, perm: &[usize]) -> CatalogueEntry {
+        // Any connected ordering of the prefix works for sampling; prefer one starting from a
+        // query edge (guaranteed because the prefix is connected and has >= 2 vertices).
+        let prefix_set: VertexSet = (0..proj.num_vertices())
+            .filter(|&v| v != proj_target)
+            .fold(0, |acc, v| acc | singleton(v));
+        let orderings = graphflow_query::qvo::orderings_extending(proj, 0, prefix_set);
+        let ordering = orderings
+            .into_iter()
+            .find(|sigma| {
+                sigma.len() < 2
+                    || proj.edges().iter().any(|e| {
+                        (e.src == sigma[0] && e.dst == sigma[1])
+                            || (e.src == sigma[1] && e.dst == sigma[0])
+                    })
+            })
+            .unwrap_or_else(|| (0..proj.num_vertices()).filter(|&v| v != proj_target).collect());
+
+        let stats = sample_extension_stats(
+            &self.graph,
+            proj,
+            &ordering,
+            proj_target,
+            self.config.z,
+            self.config.sample_cap,
+            self.config.seed,
+        );
+        let spec = descriptors_for_extension(proj, &ordering, proj_target);
+        match (stats, spec) {
+            (Some(stats), Some(spec)) => {
+                let mut avg_list_sizes: Vec<(CanonDescriptor, f64)> = spec
+                    .descriptors
+                    .iter()
+                    .zip(stats.avg_list_sizes.iter())
+                    .map(|(d, &s)| {
+                        (
+                            CanonDescriptor {
+                                canon_pos: perm[ordering[d.tuple_idx]] as u8,
+                                dir: d.dir,
+                                edge_label: d.edge_label,
+                            },
+                            s,
+                        )
+                    })
+                    .collect();
+                avg_list_sizes.sort_by(|a, b| a.0.cmp(&b.0));
+                CatalogueEntry {
+                    avg_list_sizes,
+                    mu: stats.mu,
+                    samples: stats.samples,
+                }
+            }
+            _ => CatalogueEntry {
+                avg_list_sizes: Vec::new(),
+                mu: 0.0,
+                samples: 0,
+            },
+        }
+    }
+
+    /// The paper's fallback rule for prefixes larger than `h`: drop every `(|prefix| - h)`-sized
+    /// subset of prefix vertices (together with the descriptors referring to them), estimate the
+    /// reduced extension, and keep the minimum `µ` (Section 5.2, case 1).
+    fn fallback_estimate(&self, q: &QueryGraph, prefix: &[usize], target: usize) -> ExtensionEstimate {
+        let spec = descriptors_for_extension(q, prefix, target).expect("checked by caller");
+        let excess = prefix.len() - self.config.h;
+        let mut best: Option<ExtensionEstimate> = None;
+
+        // Enumerate subsets of prefix positions of size `excess` to remove.
+        let positions: Vec<usize> = (0..prefix.len()).collect();
+        let subsets = k_subsets(&positions, excess);
+        for removed in subsets {
+            let reduced: Vec<usize> = prefix
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, &v)| v)
+                .collect();
+            // The reduced prefix must stay connected and keep at least one descriptor to target.
+            let reduced_set: VertexSet = reduced.iter().fold(0, |acc, &v| acc | singleton(v));
+            if !q.is_connected_subset(reduced_set) {
+                continue;
+            }
+            let est = match self.extension_estimate(q, &reduced, target) {
+                Some(e) => e,
+                None => continue,
+            };
+            if best.as_ref().map_or(true, |b| est.mu < b.mu) {
+                best = Some(est);
+            }
+        }
+
+        // Sizes must be reported for every original descriptor: take sizes from the best
+        // reduced estimate where the descriptor survived, and the coarse per-label average
+        // elsewhere.
+        let coarse: Vec<f64> = spec
+            .descriptors
+            .iter()
+            .map(|d| self.avg_list_size(d.dir, d.edge_label, spec.target_label))
+            .collect();
+        match best {
+            Some(b) => ExtensionEstimate {
+                avg_list_sizes: coarse, // conservative sizes for all descriptors
+                mu: b.mu,
+                exact_entry: false,
+            },
+            None => ExtensionEstimate {
+                // No valid reduction: fall back to the smallest coarse list size as `µ` proxy.
+                mu: coarse.iter().copied().fold(f64::INFINITY, f64::min).max(0.0),
+                avg_list_sizes: coarse,
+                exact_entry: false,
+            },
+        }
+    }
+
+    /// Estimated cardinality of the sub-query of `q` induced by `set` (paper Section 5.2,
+    /// "Cardinality of Q_k"): pick a WCO ordering of the sub-query and multiply the `µ` of its
+    /// extension entries, seeded by the exact count of the first matched query edge.
+    pub fn estimate_cardinality(&self, q: &QueryGraph, set: VertexSet) -> f64 {
+        let k = set_len(set);
+        if k == 0 {
+            return 0.0;
+        }
+        let (proj, _mapping) = q.project(set);
+        if k == 1 {
+            let v = set_iter(set).next().unwrap();
+            return self.vertex_count(q.vertex(v).label) as f64;
+        }
+        // Canonicalisation is brute force and only worthwhile for small sub-queries; larger
+        // projections (possible in the pruned large-query mode) are estimated uncached.
+        if proj.num_vertices() > 8 {
+            return self.estimate_cardinality_uncached(q, set, &proj);
+        }
+        let code = canonical_code(&proj);
+        if let Some(&c) = self.caches.lock().cardinalities.get(&code) {
+            return c;
+        }
+        let card = self.estimate_cardinality_uncached(q, set, &proj);
+        self.caches.lock().cardinalities.insert(code, card);
+        card
+    }
+
+    fn estimate_cardinality_uncached(&self, q: &QueryGraph, set: VertexSet, proj: &QueryGraph) -> f64 {
+        if !q.is_connected_subset(set) {
+            // Disconnected sub-queries are Cartesian products of their components.
+            return self.cartesian_cardinality(q, set);
+        }
+        let vertices: Vec<usize> = set_iter(set).collect();
+        if vertices.len() == 2 {
+            return self.two_vertex_cardinality(proj);
+        }
+        // Pick a connected ordering whose first two vertices share a query edge. For larger
+        // sub-queries (pruned large-query mode) a single greedy ordering avoids enumerating the
+        // full ordering space.
+        let sigma = if proj.num_vertices() > 8 {
+            greedy_ordering(proj)
+        } else {
+            graphflow_query::qvo::connected_orderings(proj)
+                .into_iter()
+                .find(|s| {
+                    proj.edges()
+                        .iter()
+                        .any(|e| (e.src == s[0] && e.dst == s[1]) || (e.src == s[1] && e.dst == s[0]))
+                })
+                .unwrap_or_else(|| (0..proj.num_vertices()).collect())
+        };
+
+        // Seed with the exact count of the first edge, then multiply the µ of each extension.
+        let first_set = singleton(sigma[0]) | singleton(sigma[1]);
+        let (first_proj, _) = proj.project(first_set);
+        let mut card = self.two_vertex_cardinality(&first_proj);
+        for kk in 2..sigma.len() {
+            let est = self
+                .extension_estimate(proj, &sigma[..kk], sigma[kk])
+                .map(|e| e.mu)
+                .unwrap_or(0.0);
+            card *= est;
+            if card == 0.0 {
+                break;
+            }
+        }
+        card
+    }
+
+    /// Exact cardinality of a 2-vertex sub-query from the label-triple edge counts (including
+    /// the antiparallel-pair case, estimated with an independence correction).
+    fn two_vertex_cardinality(&self, proj: &QueryGraph) -> f64 {
+        debug_assert_eq!(proj.num_vertices(), 2);
+        if proj.num_edges() == 0 {
+            let a = self.vertex_count(proj.vertex(0).label) as f64;
+            let b = self.vertex_count(proj.vertex(1).label) as f64;
+            return a * b;
+        }
+        let counts: Vec<f64> = proj
+            .edges()
+            .iter()
+            .map(|e| {
+                self.edge_count(
+                    e.label,
+                    proj.vertex(e.src).label,
+                    proj.vertex(e.dst).label,
+                ) as f64
+            })
+            .collect();
+        if counts.len() == 1 {
+            counts[0]
+        } else {
+            // Multiple (antiparallel / multi-labelled) edges between the same pair: assume
+            // independence across the possible vertex pairs.
+            let a = self.vertex_count(proj.vertex(0).label).max(1) as f64;
+            let b = self.vertex_count(proj.vertex(1).label).max(1) as f64;
+            let pairs = a * b;
+            pairs * counts.iter().map(|c| c / pairs).product::<f64>()
+        }
+    }
+
+    fn cartesian_cardinality(&self, q: &QueryGraph, set: VertexSet) -> f64 {
+        // Split into connected components and multiply.
+        let mut remaining: Vec<usize> = set_iter(set).collect();
+        let mut product = 1.0;
+        while let Some(&start) = remaining.first() {
+            let mut comp = singleton(start);
+            let mut frontier = vec![start];
+            while let Some(v) = frontier.pop() {
+                for e in q.edges() {
+                    let other = if e.src == v {
+                        e.dst
+                    } else if e.dst == v {
+                        e.src
+                    } else {
+                        continue;
+                    };
+                    if set & singleton(other) != 0 && comp & singleton(other) == 0 {
+                        comp |= singleton(other);
+                        frontier.push(other);
+                    }
+                }
+            }
+            product *= self.estimate_cardinality(q, comp);
+            remaining.retain(|&v| comp & singleton(v) == 0);
+        }
+        product
+    }
+
+    /// Exact cardinality of the sub-query induced by `set`, by running the reference matcher —
+    /// used by the estimation-quality experiments as ground truth.
+    pub fn exact_cardinality(&self, q: &QueryGraph, set: VertexSet) -> u64 {
+        let (proj, _) = q.project(set);
+        count_matches(&self.graph, &proj)
+    }
+}
+
+/// A single connected ordering of a query graph built greedily: start from the first query
+/// edge, then repeatedly append any vertex adjacent to the covered prefix.
+fn greedy_ordering(q: &QueryGraph) -> Vec<usize> {
+    let m = q.num_vertices();
+    let mut order = Vec::with_capacity(m);
+    let mut covered: VertexSet = 0;
+    if let Some(e) = q.edges().first() {
+        order.push(e.src);
+        order.push(e.dst);
+        covered = singleton(e.src) | singleton(e.dst);
+    } else if m > 0 {
+        order.push(0);
+        covered = singleton(0);
+    }
+    while order.len() < m {
+        let next = (0..m).find(|&v| {
+            covered & singleton(v) == 0
+                && q.edges().iter().any(|e| {
+                    (e.src == v && covered & singleton(e.dst) != 0)
+                        || (e.dst == v && covered & singleton(e.src) != 0)
+                })
+        });
+        match next {
+            Some(v) => {
+                order.push(v);
+                covered |= singleton(v);
+            }
+            None => {
+                // Disconnected remainder: append arbitrarily.
+                for v in 0..m {
+                    if covered & singleton(v) == 0 {
+                        order.push(v);
+                        covered |= singleton(v);
+                    }
+                }
+            }
+        }
+    }
+    order
+}
+
+/// All `k`-element subsets of `items` (by value).
+fn k_subsets(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    fn rec(items: &[usize], k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut current, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_graph::GraphBuilder;
+    use graphflow_query::patterns;
+
+    fn complete_graph(n: usize) -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn edge_and_vertex_counts() {
+        let g = complete_graph(5);
+        let cat = Catalogue::with_defaults(g);
+        assert_eq!(cat.edge_count(EdgeLabel(0), VertexLabel(0), VertexLabel(0)), 20);
+        assert_eq!(cat.vertex_count(VertexLabel(0)), 5);
+        assert_eq!(cat.vertex_count(VertexLabel(3)), 0);
+        assert!((cat.avg_list_size(Direction::Fwd, EdgeLabel(0), VertexLabel(0)) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_extension_estimate_on_complete_graph() {
+        let g = complete_graph(6);
+        let cat = Catalogue::with_defaults(g);
+        let q = patterns::asymmetric_triangle();
+        let est = cat.extension_estimate(&q, &[0, 1], 2).unwrap();
+        assert!(est.exact_entry);
+        assert_eq!(est.avg_list_sizes.len(), 2);
+        assert!((est.avg_list_sizes[0] - 5.0).abs() < 1e-9);
+        assert!((est.mu - 4.0).abs() < 1e-9);
+        // Entry is memoised.
+        assert_eq!(cat.num_entries(), 1);
+        let _ = cat.extension_estimate(&q, &[0, 1], 2).unwrap();
+        assert_eq!(cat.num_entries(), 1);
+    }
+
+    #[test]
+    fn cardinality_estimates_are_close_on_complete_graph() {
+        let n = 7usize;
+        let g = complete_graph(n);
+        let cat = Catalogue::with_defaults(g);
+        let q = patterns::asymmetric_triangle();
+        let est = cat.estimate_cardinality(&q, q.full_set());
+        let exact = cat.exact_cardinality(&q, q.full_set()) as f64;
+        // On a vertex-transitive graph sampling is exact.
+        assert!((est - exact).abs() / exact < 0.05, "est {est} exact {exact}");
+
+        let dx = patterns::diamond_x();
+        let est = cat.estimate_cardinality(&dx, dx.full_set());
+        let exact = cat.exact_cardinality(&dx, dx.full_set()) as f64;
+        assert!((est - exact).abs() / exact < 0.05, "est {est} exact {exact}");
+    }
+
+    #[test]
+    fn two_vertex_and_single_vertex_cardinalities() {
+        let g = complete_graph(4);
+        let cat = Catalogue::with_defaults(g);
+        let q = patterns::asymmetric_triangle();
+        assert_eq!(cat.estimate_cardinality(&q, 0b001), 4.0);
+        assert_eq!(cat.estimate_cardinality(&q, 0b011), 12.0);
+    }
+
+    #[test]
+    fn cartesian_subsets_multiply() {
+        let g = complete_graph(4);
+        let cat = Catalogue::with_defaults(g);
+        let dx = patterns::diamond_x();
+        // {a1, a4} has no query edge: cardinality is the product of the single-vertex counts.
+        let c = cat.estimate_cardinality(&dx, 0b1001);
+        assert_eq!(c, 16.0);
+    }
+
+    #[test]
+    fn fallback_rule_applies_beyond_h() {
+        let g = complete_graph(8);
+        let cat = Catalogue::new(
+            g,
+            CatalogueConfig {
+                h: 2,
+                z: 200,
+                sample_cap: 10_000,
+                seed: 1,
+            },
+        );
+        // 5-clique: extending a 4-vertex prefix exceeds h = 2, so the fallback rule kicks in.
+        let q = patterns::directed_clique(5);
+        let est = cat.extension_estimate(&q, &[0, 1, 2, 3], 4).unwrap();
+        assert!(!est.exact_entry);
+        assert_eq!(est.avg_list_sizes.len(), 4);
+        assert!(est.mu >= 0.0);
+    }
+
+    #[test]
+    fn prepopulate_materialises_entries() {
+        let g = complete_graph(5);
+        let cat = Catalogue::with_defaults(g);
+        let added = cat.prepopulate(&[patterns::diamond_x()]);
+        assert!(added > 0);
+        assert_eq!(cat.num_entries(), added);
+        assert!(cat.memory_footprint_bytes() > 0);
+        // Prepopulating again adds nothing new.
+        assert_eq!(cat.prepopulate(&[patterns::diamond_x()]), 0);
+    }
+
+    #[test]
+    fn zero_matches_shape_estimates_zero() {
+        // A DAG-ish graph with no symmetric edges: the symmetric diamond-X has no matches and
+        // the catalogue should estimate (close to) zero.
+        let mut b = GraphBuilder::new();
+        for i in 0..20u32 {
+            for j in (i + 1)..20u32 {
+                if (i + j) % 3 == 0 {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        let g = Arc::new(b.build());
+        let cat = Catalogue::with_defaults(g);
+        let q = patterns::symmetric_diamond_x();
+        let est = cat.estimate_cardinality(&q, q.full_set());
+        assert_eq!(est, 0.0);
+        assert_eq!(cat.exact_cardinality(&q, q.full_set()), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Catalogue entry representation.
+
+use graphflow_graph::{Direction, EdgeLabel};
+
+/// Identity of one adjacency-list descriptor *inside a canonicalised extension*: the canonical
+/// position of the query vertex whose list is accessed, the direction and the edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonDescriptor {
+    pub canon_pos: u8,
+    pub dir: Direction,
+    pub edge_label: EdgeLabel,
+}
+
+/// One catalogue entry: the measured statistics of a canonicalised extension
+/// `(Q_{k-1}, A, a_k^{l_k})` (one row of the paper's Table 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogueEntry {
+    /// Average size of each intersected adjacency list (`|A|` column), keyed by the canonical
+    /// descriptor identity and sorted by it.
+    pub avg_list_sizes: Vec<(CanonDescriptor, f64)>,
+    /// Average number of extensions per `Q_{k-1}` match (`µ(Q_k)` column).
+    pub mu: f64,
+    /// How many `Q_{k-1}` matches were measured while sampling; 0 means the sampler found no
+    /// matches of `Q_{k-1}` (the entry then pessimistically reports `µ = 0`).
+    pub samples: usize,
+}
+
+impl CatalogueEntry {
+    /// Look up the average size recorded for a canonical descriptor, if present.
+    pub fn size_for(&self, d: &CanonDescriptor) -> Option<f64> {
+        self.avg_list_sizes
+            .iter()
+            .find(|(cd, _)| cd == d)
+            .map(|(_, s)| *s)
+    }
+
+    /// Sum of all recorded average list sizes (the cache-oblivious per-tuple i-cost of the
+    /// extension, Equation 2 of the paper divided by the `Q_{k-1}` cardinality).
+    pub fn total_avg_size(&self) -> f64 {
+        self.avg_list_sizes.iter().map(|(_, s)| s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> CatalogueEntry {
+        CatalogueEntry {
+            avg_list_sizes: vec![
+                (
+                    CanonDescriptor {
+                        canon_pos: 0,
+                        dir: Direction::Fwd,
+                        edge_label: EdgeLabel(0),
+                    },
+                    4.5,
+                ),
+                (
+                    CanonDescriptor {
+                        canon_pos: 1,
+                        dir: Direction::Bwd,
+                        edge_label: EdgeLabel(0),
+                    },
+                    8.0,
+                ),
+            ],
+            mu: 1.5,
+            samples: 1000,
+        }
+    }
+
+    #[test]
+    fn lookups_and_totals() {
+        let e = entry();
+        assert_eq!(
+            e.size_for(&CanonDescriptor {
+                canon_pos: 1,
+                dir: Direction::Bwd,
+                edge_label: EdgeLabel(0)
+            }),
+            Some(8.0)
+        );
+        assert_eq!(
+            e.size_for(&CanonDescriptor {
+                canon_pos: 2,
+                dir: Direction::Fwd,
+                edge_label: EdgeLabel(0)
+            }),
+            None
+        );
+        assert!((e.total_avg_size() - 12.5).abs() < 1e-9);
+    }
+}

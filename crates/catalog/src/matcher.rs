@@ -1,0 +1,441 @@
+//! A small, self-contained worst-case-optimal matcher.
+//!
+//! The catalogue needs to *execute* tiny WCO plans while it is being built (Section 5.1 samples
+//! `z` edges in a SCAN and runs the extension chain on them), and the estimation-quality
+//! experiments need exact cardinalities as ground truth. Both are served by this module, which
+//! matches a query against a graph by extending one query vertex at a time along a connected
+//! query-vertex ordering, intersecting label-partitioned adjacency lists — i.e. Generic Join,
+//! without the operator machinery of `graphflow-exec`.
+//!
+//! Matching uses **homomorphism semantics** (two query vertices may map to the same data
+//! vertex), which is exactly the semantics of the multiway self-join formulation of subgraph
+//! queries used by the paper; the full execution engine uses the same semantics, so counts agree
+//! across every component of the workspace.
+
+use graphflow_graph::{multiway_intersect, Graph, VertexId};
+use graphflow_query::extension::{descriptors_for_extension, ExtensionSpec};
+use graphflow_query::qvo::connected_orderings;
+use graphflow_query::QueryGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Pick one connected ordering for a query; prefers orderings that start on a query edge whose
+/// endpoints have high degree in the query (denser prefixes shrink intermediate results).
+fn default_ordering(q: &QueryGraph) -> Option<Vec<usize>> {
+    let mut orderings = connected_orderings(q);
+    if orderings.is_empty() {
+        return None;
+    }
+    orderings.sort_by_key(|sigma| {
+        let mut score = 0isize;
+        for k in 2..sigma.len() {
+            if let Some(spec) = descriptors_for_extension(q, &sigma[..k], sigma[k]) {
+                score -= spec.descriptors.len() as isize; // more intersections earlier = better
+            }
+        }
+        score
+    });
+    orderings.into_iter().next()
+}
+
+/// The candidate data edges matching the query edge between the first two vertices of `sigma`,
+/// returned as matches `(t0, t1)` of `(sigma[0], sigma[1])`.
+fn scan_candidates(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> Vec<(VertexId, VertexId)> {
+    let (a, b) = (sigma[0], sigma[1]);
+    // Find a primary query edge between a and b.
+    let primary = q
+        .edges()
+        .iter()
+        .find(|e| (e.src == a && e.dst == b) || (e.src == b && e.dst == a))
+        .copied();
+    let primary = match primary {
+        Some(e) => e,
+        None => return Vec::new(),
+    };
+    let la = q.vertex(a).label;
+    let lb = q.vertex(b).label;
+    let mut out = Vec::new();
+    for &(u, v, l) in graph.edges_with_label(primary.label) {
+        if l != primary.label {
+            continue;
+        }
+        // Map the data edge onto (a, b) respecting the primary edge's direction.
+        let (ta, tb) = if primary.src == a { (u, v) } else { (v, u) };
+        if graph.vertex_label(ta) != la || graph.vertex_label(tb) != lb {
+            continue;
+        }
+        // Any further query edges between a and b (e.g. an antiparallel pair) act as filters.
+        let ok = q.edges().iter().all(|e| {
+            if (e.src == a && e.dst == b) || (e.src == b && e.dst == a) {
+                let (s, d) = if e.src == a { (ta, tb) } else { (tb, ta) };
+                graph.has_edge(s, d, e.label)
+            } else {
+                true
+            }
+        });
+        if ok {
+            out.push((ta, tb));
+        }
+    }
+    out
+}
+
+/// Extend the partial match `tuple` (aligned with `sigma[..k]`) by the extension `spec`,
+/// appending the extension set to `out`.
+fn extension_set(graph: &Graph, tuple: &[VertexId], spec: &ExtensionSpec, out: &mut Vec<VertexId>, scratch: &mut Vec<VertexId>) {
+    let lists: Vec<&[VertexId]> = spec
+        .descriptors
+        .iter()
+        .map(|d| graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label))
+        .collect();
+    multiway_intersect(&lists, out, scratch);
+}
+
+/// Count all matches of `q` in `graph` (homomorphism semantics). Exact; intended for small to
+/// medium inputs (tests, ground truth for estimator experiments, baseline comparisons).
+pub fn count_matches(graph: &Graph, q: &QueryGraph) -> u64 {
+    match default_ordering(q) {
+        Some(sigma) => count_matches_with_ordering(graph, q, &sigma),
+        None => 0,
+    }
+}
+
+/// Count matches following a specific query-vertex ordering.
+pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> u64 {
+    if sigma.len() != q.num_vertices() || sigma.len() < 2 {
+        return if q.num_vertices() == 1 {
+            graph
+                .vertices_with_label(q.vertex(0).label)
+                .count() as u64
+        } else {
+            0
+        };
+    }
+    let specs: Vec<ExtensionSpec> = match (2..sigma.len())
+        .map(|k| descriptors_for_extension(q, &sigma[..k], sigma[k]))
+        .collect::<Option<Vec<_>>>()
+    {
+        Some(s) => s,
+        None => return 0,
+    };
+    let mut count = 0u64;
+    let mut tuple: Vec<VertexId> = Vec::with_capacity(sigma.len());
+    let mut buffers: Vec<Vec<VertexId>> = vec![Vec::new(); specs.len()];
+    let mut scratch = Vec::new();
+
+    fn recurse(
+        graph: &Graph,
+        specs: &[ExtensionSpec],
+        depth: usize,
+        tuple: &mut Vec<VertexId>,
+        buffers: &mut [Vec<VertexId>],
+        scratch: &mut Vec<VertexId>,
+        count: &mut u64,
+    ) {
+        if depth == specs.len() {
+            *count += 1;
+            return;
+        }
+        let (head, tail) = buffers.split_at_mut(1);
+        let buf = &mut head[0];
+        extension_set(graph, tuple, &specs[depth], buf, scratch);
+        let exts = std::mem::take(buf);
+        for &v in &exts {
+            tuple.push(v);
+            recurse(graph, specs, depth + 1, tuple, tail, scratch, count);
+            tuple.pop();
+        }
+        buffers[0] = exts;
+    }
+
+    for (t0, t1) in scan_candidates(graph, q, sigma) {
+        tuple.clear();
+        tuple.push(t0);
+        tuple.push(t1);
+        recurse(graph, &specs, 0, &mut tuple, &mut buffers, &mut scratch, &mut count);
+    }
+    count
+}
+
+/// Enumerate all matches (as tuples aligned with query-vertex indices `0..m`). Intended for
+/// small result sets in tests.
+pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
+    let sigma = match default_ordering(q) {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    let specs: Vec<ExtensionSpec> = match (2..sigma.len())
+        .map(|k| descriptors_for_extension(q, &sigma[..k], sigma[k]))
+        .collect::<Option<Vec<_>>>()
+    {
+        Some(s) => s,
+        None => return Vec::new(),
+    };
+    let mut results = Vec::new();
+    let mut scratch = Vec::new();
+
+    fn recurse(
+        graph: &Graph,
+        specs: &[ExtensionSpec],
+        depth: usize,
+        tuple: &mut Vec<VertexId>,
+        scratch: &mut Vec<VertexId>,
+        results: &mut Vec<Vec<VertexId>>,
+        sigma: &[usize],
+        m: usize,
+    ) {
+        if depth == specs.len() {
+            // Re-order the tuple from sigma order to query-vertex-index order.
+            let mut ordered = vec![0 as VertexId; m];
+            for (pos, &qv) in sigma.iter().enumerate() {
+                ordered[qv] = tuple[pos];
+            }
+            results.push(ordered);
+            return;
+        }
+        let mut buf = Vec::new();
+        extension_set(graph, tuple, &specs[depth], &mut buf, scratch);
+        for &v in &buf {
+            tuple.push(v);
+            recurse(graph, specs, depth + 1, tuple, scratch, results, sigma, m);
+            tuple.pop();
+        }
+    }
+
+    let m = q.num_vertices();
+    if m == 1 {
+        return graph
+            .vertices_with_label(q.vertex(0).label)
+            .map(|v| vec![v])
+            .collect();
+    }
+    for (t0, t1) in scan_candidates(graph, q, &sigma) {
+        let mut tuple = vec![t0, t1];
+        recurse(graph, &specs, 0, &mut tuple, &mut scratch, &mut results, &sigma, m);
+    }
+    results
+}
+
+/// Statistics gathered by sampling the final extension of a small WCO plan (Section 5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledExtensionStats {
+    /// Average size of each intersected adjacency list, aligned with the descriptor order of
+    /// the [`ExtensionSpec`] computed for the `(prefix, target)` extension.
+    pub avg_list_sizes: Vec<f64>,
+    /// Average number of extensions per prefix match (`µ` of the catalogue entry).
+    pub mu: f64,
+    /// Number of prefix matches that were measured.
+    pub samples: usize,
+}
+
+/// Sample statistics for extending the sub-query induced by `prefix` (query-vertex indices in
+/// match order) to additionally cover `target`.
+///
+/// `z` edges of the SCAN are sampled uniformly at random; intermediate extensions are computed
+/// exactly; the final extension is measured. `cap` bounds the number of measured prefix matches
+/// so that a single skewed sample cannot blow up construction time.
+pub fn sample_extension_stats(
+    graph: &Graph,
+    q: &QueryGraph,
+    prefix: &[usize],
+    target: usize,
+    z: usize,
+    cap: usize,
+    seed: u64,
+) -> Option<SampledExtensionStats> {
+    let spec = descriptors_for_extension(q, prefix, target)?;
+    let num_desc = spec.descriptors.len();
+    // Build the chain of intermediate extensions for the prefix itself.
+    let specs: Vec<ExtensionSpec> = (2..prefix.len())
+        .map(|k| descriptors_for_extension(q, &prefix[..k], prefix[k]))
+        .collect::<Option<Vec<_>>>()?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut candidates = scan_candidates(graph, q, prefix);
+    if candidates.is_empty() {
+        return Some(SampledExtensionStats {
+            avg_list_sizes: vec![0.0; num_desc],
+            mu: 0.0,
+            samples: 0,
+        });
+    }
+    if candidates.len() > z {
+        candidates.shuffle(&mut rng);
+        candidates.truncate(z);
+    }
+
+    let mut sum_sizes = vec![0.0f64; num_desc];
+    let mut sum_ext = 0.0f64;
+    let mut measured = 0usize;
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+
+    // Depth-first expansion of the intermediate extensions with an explicit stack of frames.
+    let mut stack: Vec<Vec<VertexId>> = Vec::new();
+    for (t0, t1) in candidates {
+        stack.push(vec![t0, t1]);
+        while let Some(tuple) = stack.pop() {
+            if measured >= cap {
+                break;
+            }
+            let depth = tuple.len() - 2;
+            if depth == specs.len() {
+                // Measure the final extension.
+                for (i, d) in spec.descriptors.iter().enumerate() {
+                    sum_sizes[i] += graph
+                        .neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label)
+                        .len() as f64;
+                }
+                extension_set(graph, &tuple, &spec, &mut out, &mut scratch);
+                sum_ext += out.len() as f64;
+                measured += 1;
+            } else {
+                extension_set(graph, &tuple, &specs[depth], &mut out, &mut scratch);
+                for &v in &out {
+                    let mut next = tuple.clone();
+                    next.push(v);
+                    stack.push(next);
+                }
+            }
+        }
+        if measured >= cap {
+            break;
+        }
+    }
+
+    if measured == 0 {
+        return Some(SampledExtensionStats {
+            avg_list_sizes: vec![0.0; num_desc],
+            mu: 0.0,
+            samples: 0,
+        });
+    }
+    Some(SampledExtensionStats {
+        avg_list_sizes: sum_sizes.iter().map(|s| s / measured as f64).collect(),
+        mu: sum_ext / measured as f64,
+        samples: measured,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_graph::GraphBuilder;
+    use graphflow_query::patterns;
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as VertexId {
+            for j in 0..n as VertexId {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_counts_on_complete_graphs() {
+        // In K_n (directed, all ordered pairs), the asymmetric triangle a1->a2->a3, a1->a3 has
+        // n*(n-1)*(n-2) homomorphic matches (all ordered triples of distinct vertices).
+        for n in [3usize, 4, 5, 6] {
+            let g = complete_graph(n);
+            let q = patterns::asymmetric_triangle();
+            let expected = (n * (n - 1) * (n - 2)) as u64;
+            assert_eq!(count_matches(&g, &q), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn counts_agree_across_orderings() {
+        let g = complete_graph(5);
+        let q = patterns::diamond_x();
+        let reference = count_matches(&g, &q);
+        for sigma in graphflow_query::qvo::connected_orderings(&q) {
+            // Only orderings whose first two vertices share a query edge are executable.
+            if graphflow_query::extension::extension_chain(&q, &sigma).is_some() {
+                assert_eq!(count_matches_with_ordering(&g, &q, &sigma), reference);
+            }
+        }
+    }
+
+    #[test]
+    fn path_and_star_counts() {
+        let g = complete_graph(4);
+        // Directed 2-path a->b->c in K4: 4*3*3 = 36 homomorphisms.
+        assert_eq!(count_matches(&g, &patterns::directed_path(3)), 36);
+        // Out-star with 2 leaves: centre 4 choices, leaves 3*3.
+        assert_eq!(count_matches(&g, &patterns::out_star(3)), 36);
+    }
+
+    #[test]
+    fn labelled_matching_filters() {
+        use graphflow_graph::{EdgeLabel, VertexLabel};
+        let mut b = GraphBuilder::new();
+        b.set_vertex_label(0, VertexLabel(0));
+        b.set_vertex_label(1, VertexLabel(1));
+        b.set_vertex_label(2, VertexLabel(1));
+        b.add_labelled_edge(0, 1, EdgeLabel(0));
+        b.add_labelled_edge(0, 2, EdgeLabel(1));
+        let g = b.build();
+
+        // (a)-[0]->(b:1) matches only 0->1.
+        let q = graphflow_query::parse_query("(a)-[0]->(b:1)").unwrap();
+        assert_eq!(count_matches(&g, &q), 1);
+        // (a)-[1]->(b) requires destination label 0 (the default), but the only label-1 edge
+        // points at a vertex labelled 1, so nothing matches: labels are exact filters.
+        let q2 = graphflow_query::parse_query("(a)-[1]->(b)").unwrap();
+        assert_eq!(count_matches(&g, &q2), 0);
+        // Adding the right destination label makes it match.
+        let q3 = graphflow_query::parse_query("(a)-[1]->(b:1)").unwrap();
+        assert_eq!(count_matches(&g, &q3), 1);
+    }
+
+    #[test]
+    fn enumerate_returns_tuples_in_query_vertex_order() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let q = patterns::asymmetric_triangle();
+        let matches = enumerate_matches(&g, &q);
+        assert_eq!(matches, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn antiparallel_query_edges_filter_scans() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build();
+        // Query a<->b: only the reciprocated pair matches (in both orders).
+        let q = graphflow_query::parse_query("(a)->(b), (b)->(a)").unwrap();
+        assert_eq!(count_matches(&g, &q), 2);
+    }
+
+    #[test]
+    fn sampled_stats_match_exact_on_small_graph() {
+        let g = complete_graph(6);
+        let q = patterns::asymmetric_triangle();
+        // Extending the edge (a1, a2) by a3 intersects out(a1) and out(a2): each list has size 5,
+        // intersection (minus the two endpoints themselves) has size 4.
+        let stats = sample_extension_stats(&g, &q, &[0, 1], 2, 1000, 100_000, 1).unwrap();
+        assert!(stats.samples > 0);
+        assert!((stats.avg_list_sizes[0] - 5.0).abs() < 1e-9);
+        assert!((stats.avg_list_sizes[1] - 5.0).abs() < 1e-9);
+        assert!((stats.mu - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_caps_work() {
+        let g = complete_graph(10);
+        let q = patterns::diamond_x();
+        let stats = sample_extension_stats(&g, &q, &[0, 1, 2], 3, 5, 50, 7).unwrap();
+        assert!(stats.samples <= 50);
+        assert!(stats.mu > 0.0);
+    }
+}

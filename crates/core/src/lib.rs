@@ -1,0 +1,325 @@
+//! # graphflow-core
+//!
+//! The public facade of Graphflow-RS — the Rust reproduction of *"Optimizing Subgraph Queries by
+//! Combining Binary and Worst-Case Optimal Joins"* (Mhedhbi & Salihoglu, VLDB 2019).
+//!
+//! [`GraphflowDB`] bundles a data graph, its subgraph catalogue and the cost-based
+//! dynamic-programming optimizer behind a small API:
+//!
+//! ```
+//! use graphflow_core::GraphflowDB;
+//! use graphflow_graph::GraphBuilder;
+//!
+//! // Build a tiny graph: a directed triangle plus one extra edge.
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(0, 2);
+//! b.add_edge(2, 3);
+//! let db = GraphflowDB::from_graph(b.build());
+//!
+//! // Count the matches of a pattern written in the query syntax.
+//! let triangles = db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+//! assert_eq!(triangles, 1);
+//! ```
+//!
+//! The facade exposes every execution mode studied in the paper — fixed plans, adaptive
+//! query-vertex-ordering evaluation, multi-threaded execution — plus plan inspection
+//! (`EXPLAIN`-style output) and the runtime statistics (actual i-cost, intermediate match
+//! counts, cache hits) the paper's experiments report.
+
+use graphflow_catalog::{Catalogue, CatalogueConfig};
+use graphflow_exec::{
+    execute_adaptive, execute_parallel, execute_with_options, ExecOptions, RuntimeStats,
+};
+use graphflow_graph::{Graph, VertexId};
+use graphflow_plan::cost::CostModel;
+use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
+use graphflow_plan::{Plan, PlanClass};
+use graphflow_query::{parse_query, QueryGraph};
+use std::sync::Arc;
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum Error {
+    /// The query pattern could not be parsed.
+    Parse(graphflow_query::ParseError),
+    /// No plan exists for the query in the configured plan space.
+    NoPlan,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::NoPlan => write!(f, "no plan found for the query"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<graphflow_query::ParseError> for Error {
+    fn from(e: graphflow_query::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+/// Per-query execution settings.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Use the adaptive executor (per-tuple query-vertex-ordering selection, Section 6).
+    pub adaptive: bool,
+    /// Number of worker threads (1 = serial execution).
+    pub threads: usize,
+    /// Enable the E/I intersection cache.
+    pub intersection_cache: bool,
+    /// Stop after this many results.
+    pub output_limit: Option<u64>,
+    /// Collect result tuples (bounded by `collect_limit`).
+    pub collect_tuples: bool,
+    /// Maximum number of tuples to collect.
+    pub collect_limit: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            adaptive: false,
+            threads: 1,
+            intersection_cache: true,
+            output_limit: None,
+            collect_tuples: false,
+            collect_limit: 1_000_000,
+        }
+    }
+}
+
+/// The result of running a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Number of matches.
+    pub count: u64,
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// Runtime statistics (actual i-cost, intermediate matches, cache hits, elapsed time).
+    pub stats: RuntimeStats,
+    /// Collected matches in query-vertex order (empty unless requested).
+    pub tuples: Vec<Vec<VertexId>>,
+}
+
+/// An in-memory graph database instance: graph + catalogue + optimizer + executor.
+pub struct GraphflowDB {
+    graph: Arc<Graph>,
+    catalogue: Catalogue,
+    cost_model: CostModel,
+    plan_space: PlanSpaceOptions,
+}
+
+impl GraphflowDB {
+    /// Create a database over an already-built graph, constructing a catalogue with the default
+    /// configuration (`h = 3`, `z = 1000`).
+    pub fn from_graph(graph: Graph) -> Self {
+        Self::with_config(Arc::new(graph), CatalogueConfig::default())
+    }
+
+    /// Create a database over a shared graph with an explicit catalogue configuration.
+    pub fn with_config(graph: Arc<Graph>, config: CatalogueConfig) -> Self {
+        let catalogue = Catalogue::new(graph.clone(), config);
+        GraphflowDB {
+            graph,
+            catalogue,
+            cost_model: CostModel::default(),
+            plan_space: PlanSpaceOptions::default(),
+        }
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The subgraph catalogue.
+    pub fn catalogue(&self) -> &Catalogue {
+        &self.catalogue
+    }
+
+    /// Override the cost model used by the optimizer.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = model;
+    }
+
+    /// Restrict the optimizer's plan space (WCO-only, BJ-only, or the default hybrid space).
+    pub fn set_plan_space(&mut self, options: PlanSpaceOptions) {
+        self.plan_space = options;
+    }
+
+    /// Parse a pattern written in the query syntax.
+    pub fn parse(&self, pattern: &str) -> Result<QueryGraph, Error> {
+        Ok(parse_query(pattern)?)
+    }
+
+    /// Pick the best plan for a parsed query.
+    pub fn plan(&self, query: &QueryGraph) -> Result<Plan, Error> {
+        DpOptimizer::new(&self.catalogue)
+            .with_cost_model(self.cost_model)
+            .with_options(self.plan_space)
+            .optimize(query)
+            .ok_or(Error::NoPlan)
+    }
+
+    /// `EXPLAIN`: return the chosen plan's operator tree as text, plus its class and estimated
+    /// cost.
+    pub fn explain(&self, pattern: &str) -> Result<String, Error> {
+        let query = self.parse(pattern)?;
+        let plan = self.plan(&query)?;
+        Ok(format!(
+            "plan class: {}\nestimated cost: {:.1}\n{}",
+            plan.class(),
+            plan.estimated_cost,
+            plan.explain()
+        ))
+    }
+
+    /// Count the matches of a pattern with default options.
+    pub fn count(&self, pattern: &str) -> Result<u64, Error> {
+        Ok(self.run(pattern, QueryOptions::default())?.count)
+    }
+
+    /// Run a pattern with explicit options.
+    pub fn run(&self, pattern: &str, options: QueryOptions) -> Result<QueryResult, Error> {
+        let query = self.parse(pattern)?;
+        self.run_query(&query, options)
+    }
+
+    /// Run an already-parsed query with explicit options.
+    pub fn run_query(&self, query: &QueryGraph, options: QueryOptions) -> Result<QueryResult, Error> {
+        let plan = self.plan(query)?;
+        Ok(self.run_plan(&plan, options))
+    }
+
+    /// Execute a specific plan (useful for plan-spectrum style experimentation).
+    pub fn run_plan(&self, plan: &Plan, options: QueryOptions) -> QueryResult {
+        let exec_options = ExecOptions {
+            use_intersection_cache: options.intersection_cache,
+            output_limit: options.output_limit,
+            collect_tuples: options.collect_tuples,
+            collect_limit: options.collect_limit,
+        };
+        let output = if options.threads > 1 {
+            execute_parallel(&self.graph, plan, exec_options, options.threads)
+        } else if options.adaptive {
+            execute_adaptive(&self.graph, &self.catalogue, plan, exec_options)
+        } else {
+            execute_with_options(&self.graph, plan, exec_options)
+        };
+        QueryResult {
+            count: output.count,
+            plan: plan.clone(),
+            stats: output.stats,
+            tuples: output.tuples,
+        }
+    }
+
+    /// Convenience: the class (WCO / BJ / hybrid) of the plan chosen for a pattern.
+    pub fn plan_class(&self, pattern: &str) -> Result<PlanClass, Error> {
+        let query = self.parse(pattern)?;
+        Ok(self.plan(&query)?.class())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_graph::GraphBuilder;
+    use graphflow_query::patterns;
+
+    fn db() -> GraphflowDB {
+        let edges = graphflow_graph::generator::powerlaw_cluster(400, 4, 0.5, 77);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        GraphflowDB::from_graph(b.build())
+    }
+
+    #[test]
+    fn count_matches_reference() {
+        let db = db();
+        let q = patterns::asymmetric_triangle();
+        let expected = graphflow_catalog::count_matches(db.graph(), &q);
+        assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), expected);
+    }
+
+    #[test]
+    fn execution_modes_agree() {
+        let db = db();
+        let q = patterns::diamond_x();
+        let expected = graphflow_catalog::count_matches(db.graph(), &q);
+        let fixed = db.run_query(&q, QueryOptions::default()).unwrap();
+        let adaptive = db
+            .run_query(
+                &q,
+                QueryOptions {
+                    adaptive: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let parallel = db
+            .run_query(
+                &q,
+                QueryOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(fixed.count, expected);
+        assert_eq!(adaptive.count, expected);
+        assert_eq!(parallel.count, expected);
+        assert!(fixed.stats.icost > 0);
+    }
+
+    #[test]
+    fn explain_mentions_operators() {
+        let db = db();
+        let text = db.explain("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert!(text.contains("SCAN"));
+        assert!(text.contains("EXTEND/INTERSECT"));
+        assert!(text.contains("plan class: WCO"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let db = db();
+        assert!(matches!(db.count("(a)->"), Err(Error::Parse(_))));
+        let err = db.count("(a)->").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn plan_space_restrictions_apply() {
+        let mut db = db();
+        db.set_plan_space(PlanSpaceOptions::wco_only());
+        let class = db
+            .plan_class("(a)->(b), (b)->(c), (a)->(c), (c)->(d), (b)->(d)")
+            .unwrap();
+        assert_eq!(class, PlanClass::Wco);
+    }
+
+    #[test]
+    fn collected_tuples_respect_limit() {
+        let db = db();
+        let result = db
+            .run(
+                "(a)->(b), (b)->(c), (a)->(c)",
+                QueryOptions {
+                    collect_tuples: true,
+                    collect_limit: 7,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(result.tuples.len() <= 7);
+        assert!(result.count >= result.tuples.len() as u64);
+    }
+}

@@ -1,0 +1,472 @@
+//! Adaptive WCO plan evaluation (Section 6 of the paper).
+//!
+//! A fixed plan picks one query-vertex ordering for each chain of E/I operators based on
+//! *average* statistics. The adaptive executor replaces every chain of two or more consecutive
+//! E/I operators with an [`AdaptiveStage`]: for each incoming partial match it re-estimates the
+//! i-cost of every ordering of the remaining query vertices using the *actual* adjacency-list
+//! sizes of the vertices bound by that match (the scaling rule of Example 6.2), and routes the
+//! match to the cheapest ordering. In WCO plans this means the first two query vertices are
+//! fixed (they come from the SCAN) and the rest are picked adaptively per scanned edge.
+
+use crate::pipeline::{
+    compile, run_pipeline, run_stages, CompiledPipeline, ExecOptions, ExecOutput, ExtendStage,
+    Stage,
+};
+use crate::stats::RuntimeStats;
+use graphflow_catalog::Catalogue;
+use graphflow_graph::{Graph, VertexId};
+use graphflow_plan::plan::{Plan, PlanNode};
+use graphflow_query::extension::descriptors_for_extension;
+use graphflow_query::querygraph::singleton;
+use graphflow_query::QueryGraph;
+use std::time::Instant;
+
+/// Catalogue estimates for one extension step of a candidate ordering.
+#[derive(Debug, Clone)]
+pub(crate) struct StepEstimate {
+    /// Estimated average size of each intersected list (aligned with the step's descriptors).
+    pub sizes: Vec<f64>,
+    /// Estimated selectivity of the step.
+    pub mu: f64,
+}
+
+/// One candidate ordering of an adaptive chain.
+#[derive(Debug, Clone)]
+pub(crate) struct AdaptiveCandidate {
+    /// The executable extension steps, in candidate order.
+    pub steps: Vec<ExtendStage>,
+    /// Per-step catalogue estimates used for per-tuple re-costing.
+    pub estimates: Vec<StepEstimate>,
+    /// `canonical_to_candidate[i]` = position, within this candidate's appended values, of the
+    /// query vertex that the *fixed* plan would have appended at position `i`. Used to restore
+    /// the canonical tuple layout expected by later stages and by result collection.
+    pub canonical_to_candidate: Vec<usize>,
+}
+
+/// A pipeline stage that picks a query-vertex ordering per tuple.
+#[derive(Debug, Clone)]
+pub struct AdaptiveStage {
+    pub(crate) candidates: Vec<AdaptiveCandidate>,
+}
+
+impl AdaptiveStage {
+    /// Number of candidate orderings.
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Re-estimate the cost of a candidate for a specific tuple: the first step uses the actual
+/// adjacency-list sizes of the tuple's bound vertices; later steps scale the catalogue estimates
+/// by the observed ratio (Example 6.2 of the paper).
+fn recost_candidate(
+    candidate: &AdaptiveCandidate,
+    graph: &Graph,
+    tuple: &[VertexId],
+) -> f64 {
+    let first = &candidate.steps[0];
+    let first_est = &candidate.estimates[0];
+    let mut actual_sum = 0.0;
+    let mut ratio = 1.0;
+    for (d, est_size) in first.descriptors.iter().zip(first_est.sizes.iter()) {
+        let actual =
+            graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, first.target_label).len()
+                as f64;
+        actual_sum += actual;
+        if *est_size > 0.0 {
+            ratio *= actual / est_size;
+        }
+    }
+    let mut cost = actual_sum;
+    let mut card = (first_est.mu * ratio).max(0.0);
+    for (step_est, _step) in candidate.estimates.iter().zip(candidate.steps.iter()).skip(1) {
+        let sum_sizes: f64 = step_est.sizes.iter().sum();
+        cost += card * sum_sizes;
+        card *= step_est.mu;
+    }
+    cost
+}
+
+/// Execute one adaptive stage for `tuple`, forwarding complete extensions (restored to the
+/// canonical layout) into the remaining stages `rest`. Returns `false` to stop execution.
+pub(crate) fn run_adaptive_stage(
+    stage: &mut AdaptiveStage,
+    rest: &mut [Stage],
+    graph: &Graph,
+    tuple: &mut Vec<VertexId>,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    // Pick the cheapest candidate for this tuple.
+    let mut best = 0usize;
+    let mut best_cost = f64::INFINITY;
+    for (i, cand) in stage.candidates.iter().enumerate() {
+        let c = recost_candidate(cand, graph, tuple);
+        if c < best_cost {
+            best_cost = c;
+            best = i;
+        }
+    }
+    let base_len = tuple.len();
+    let candidate = &mut stage.candidates[best];
+    run_candidate_steps(
+        &mut candidate.steps,
+        &candidate.canonical_to_candidate,
+        base_len,
+        rest,
+        graph,
+        tuple,
+        options,
+        stats,
+        on_result,
+    )
+}
+
+/// Depth-first evaluation of a candidate's extension steps; once all steps have fired, the
+/// appended values are re-ordered into the canonical layout and passed on.
+#[allow(clippy::too_many_arguments)]
+fn run_candidate_steps(
+    steps: &mut [ExtendStage],
+    canonical_to_candidate: &[usize],
+    base_len: usize,
+    rest: &mut [Stage],
+    graph: &Graph,
+    tuple: &mut Vec<VertexId>,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    if steps.is_empty() {
+        // Restore the canonical layout of the appended values.
+        let mut canonical = Vec::with_capacity(tuple.len());
+        canonical.extend_from_slice(&tuple[..base_len]);
+        for &cand_pos in canonical_to_candidate {
+            canonical.push(tuple[base_len + cand_pos]);
+        }
+        return if rest.is_empty() {
+            stats.output_count += 1;
+            let mut cont = on_result(&canonical);
+            if let Some(limit) = options.output_limit {
+                if stats.output_count >= limit {
+                    cont = false;
+                }
+            }
+            cont
+        } else {
+            stats.intermediate_tuples += 1;
+            let mut canonical_vec = canonical;
+            run_stages(rest, graph, &mut canonical_vec, options, stats, on_result)
+        };
+    }
+    let (first, remaining) = steps.split_at_mut(1);
+    let stage = &mut first[0];
+    let set_len = {
+        stage
+            .extension_set(graph, tuple, options.use_intersection_cache, stats)
+            .len()
+    };
+    for i in 0..set_len {
+        let v = stage.cache_set_value(i);
+        tuple.push(v);
+        if !remaining.is_empty() || !rest.is_empty() {
+            stats.intermediate_tuples += 1;
+        }
+        let keep_going = run_candidate_steps(
+            remaining,
+            canonical_to_candidate,
+            base_len,
+            rest,
+            graph,
+            tuple,
+            options,
+            stats,
+            on_result,
+        );
+        tuple.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Compile a plan into a pipeline in which every chain of two or more consecutive E/I operators
+/// is replaced by an adaptive stage.
+pub(crate) fn compile_adaptive(
+    graph: &Graph,
+    q: &QueryGraph,
+    node: &PlanNode,
+    catalogue: &Catalogue,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+) -> CompiledPipeline {
+    // First compile normally to materialise hash tables and get the fixed pipeline.
+    let fixed = compile(graph, q, node, options, stats);
+
+    // Track the tuple layout below each stage to build adaptive candidates.
+    let mut layouts: Vec<Vec<usize>> = Vec::with_capacity(fixed.stages.len() + 1);
+    let mut layout = vec![fixed.scan.edge.src, fixed.scan.edge.dst];
+    layouts.push(layout.clone());
+    // Recover per-stage target vertices by replaying the plan's layout.
+    let full_layout = fixed.out_layout.clone();
+    for stage in &fixed.stages {
+        match stage {
+            Stage::Extend(_) => {
+                let next = full_layout[layout.len()];
+                layout.push(next);
+            }
+            Stage::Probe(p) => {
+                let added = p.table.payload_width;
+                for i in 0..added {
+                    layout.push(full_layout[layout.len() + i - i]); // placeholder, fixed below
+                }
+                // The probe appends exactly the next `added` canonical layout entries.
+                let len = layout.len();
+                for (offset, slot) in layout[len - added..].iter_mut().enumerate() {
+                    *slot = full_layout[len - added + offset];
+                }
+            }
+            Stage::Adaptive(_) => unreachable!("input pipeline is non-adaptive"),
+        }
+        layouts.push(layout.clone());
+    }
+
+    // Rebuild the stage list, replacing runs of >= 2 consecutive Extend stages.
+    let mut new_stages: Vec<Stage> = Vec::with_capacity(fixed.stages.len());
+    let mut i = 0;
+    while i < fixed.stages.len() {
+        let is_extend = matches!(fixed.stages[i], Stage::Extend(_));
+        if !is_extend {
+            new_stages.push(fixed.stages[i].clone());
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < fixed.stages.len() && matches!(fixed.stages[j], Stage::Extend(_)) {
+            j += 1;
+        }
+        if j - i < 2 {
+            new_stages.push(fixed.stages[i].clone());
+            i += 1;
+            continue;
+        }
+        // Build an adaptive stage for the run [i, j).
+        let base_layout = layouts[i].clone();
+        let canonical_targets: Vec<usize> = (i..j).map(|k| layouts[k + 1][layouts[k].len()]).collect();
+        let base_set = base_layout.iter().fold(0u32, |acc, &v| acc | singleton(v));
+        let target_set = canonical_targets
+            .iter()
+            .fold(base_set, |acc, &v| acc | singleton(v));
+        let orderings = graphflow_query::qvo::orderings_extending(q, base_set, target_set);
+        let mut candidates = Vec::new();
+        for ordering in orderings {
+            let mut steps = Vec::new();
+            let mut estimates = Vec::new();
+            let mut prefix = base_layout.clone();
+            let mut ok = true;
+            for &target in &ordering {
+                match (
+                    descriptors_for_extension(q, &prefix, target),
+                    catalogue.extension_estimate(q, &prefix, target),
+                ) {
+                    (Some(spec), Some(est)) => {
+                        steps.push(ExtendStage::new(spec.descriptors, spec.target_label));
+                        estimates.push(StepEstimate {
+                            sizes: est.avg_list_sizes,
+                            mu: est.mu,
+                        });
+                        prefix.push(target);
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let canonical_to_candidate: Vec<usize> = canonical_targets
+                .iter()
+                .map(|ct| ordering.iter().position(|t| t == ct).expect("same target set"))
+                .collect();
+            candidates.push(AdaptiveCandidate {
+                steps,
+                estimates,
+                canonical_to_candidate,
+            });
+        }
+        if candidates.is_empty() {
+            // Fall back to the fixed stages if no ordering is executable (should not happen).
+            for k in i..j {
+                new_stages.push(fixed.stages[k].clone());
+            }
+        } else {
+            new_stages.push(Stage::Adaptive(AdaptiveStage { candidates }));
+        }
+        i = j;
+    }
+
+    CompiledPipeline {
+        scan: fixed.scan,
+        stages: new_stages,
+        out_layout: fixed.out_layout,
+    }
+}
+
+/// Execute a plan with adaptive query-vertex-ordering selection for every chain of two or more
+/// E/I operators (hash-join build sides are executed with their fixed orderings).
+pub fn execute_adaptive(
+    graph: &Graph,
+    catalogue: &Catalogue,
+    plan: &Plan,
+    options: ExecOptions,
+) -> ExecOutput {
+    let start = Instant::now();
+    let mut stats = RuntimeStats::default();
+    let q = &plan.query;
+    let mut pipeline = compile_adaptive(graph, q, &plan.root, catalogue, &options, &mut stats);
+    let mut tuples: Vec<Vec<VertexId>> = Vec::new();
+    let out_layout = pipeline.out_layout.clone();
+    let m = q.num_vertices();
+    {
+        let mut on_result = |tuple: &[VertexId]| -> bool {
+            if options.collect_tuples && tuples.len() < options.collect_limit {
+                let mut ordered = vec![0 as VertexId; m];
+                for (pos, &qv) in out_layout.iter().enumerate() {
+                    ordered[qv] = tuple[pos];
+                }
+                tuples.push(ordered);
+            }
+            true
+        };
+        run_pipeline(&mut pipeline, graph, &options, &mut stats, &mut on_result);
+    }
+    stats.elapsed = start.elapsed();
+    ExecOutput {
+        count: stats.output_count,
+        stats,
+        tuples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::execute;
+    use graphflow_catalog::{count_matches, Catalogue};
+    use graphflow_graph::GraphBuilder;
+    use graphflow_plan::cost::CostModel;
+    use graphflow_plan::dp::DpOptimizer;
+    use graphflow_plan::wco::wco_plan_for_ordering;
+    use graphflow_query::patterns;
+    use std::sync::Arc;
+
+    fn random_graph() -> Arc<Graph> {
+        let edges = graphflow_graph::generator::powerlaw_cluster(300, 4, 0.6, 13);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn adaptive_counts_match_fixed_counts() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        for j in [2usize, 3, 4, 5, 6] {
+            let q = patterns::benchmark_query(j);
+            let expected = count_matches(&g, &q);
+            for sigma in graphflow_query::qvo::distinct_orderings(&q).into_iter().take(4) {
+                let Some(plan) = wco_plan_for_ordering(&q, &cat, &model, &sigma) else {
+                    continue;
+                };
+                let fixed = execute(&g, &plan);
+                let adaptive = execute_adaptive(&g, &cat, &plan, ExecOptions::default());
+                assert_eq!(fixed.count, expected, "Q{j} fixed {sigma:?}");
+                assert_eq!(adaptive.count, expected, "Q{j} adaptive {sigma:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_hybrid_plans_count_correctly() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::benchmark_query(10);
+        let expected = count_matches(&g, &q);
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let adaptive = execute_adaptive(&g, &cat, &plan, ExecOptions::default());
+        assert_eq!(adaptive.count, expected);
+    }
+
+    #[test]
+    fn adaptive_stage_exists_for_long_chains() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        let q = patterns::diamond_x();
+        let plan = wco_plan_for_ordering(&q, &cat, &model, &[0, 1, 2, 3]).unwrap();
+        let mut stats = RuntimeStats::default();
+        let pipeline = compile_adaptive(
+            &g,
+            &q,
+            &plan.root,
+            &cat,
+            &ExecOptions::default(),
+            &mut stats,
+        );
+        assert_eq!(pipeline.stages.len(), 1);
+        match &pipeline.stages[0] {
+            Stage::Adaptive(a) => assert_eq!(a.num_candidates(), 2),
+            _ => panic!("expected an adaptive stage"),
+        }
+    }
+
+    #[test]
+    fn no_adaptive_stage_for_single_extension() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        let q = patterns::asymmetric_triangle();
+        let plan = wco_plan_for_ordering(&q, &cat, &model, &[0, 1, 2]).unwrap();
+        let mut stats = RuntimeStats::default();
+        let pipeline = compile_adaptive(
+            &g,
+            &q,
+            &plan.root,
+            &cat,
+            &ExecOptions::default(),
+            &mut stats,
+        );
+        assert!(matches!(pipeline.stages[0], Stage::Extend(_)));
+    }
+
+    #[test]
+    fn adaptive_collects_tuples_in_canonical_order() {
+        let mut b = GraphBuilder::new();
+        // One diamond-X instance: 0->1, 0->2, 1->2, 1->3, 2->3.
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = Arc::new(b.build());
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        let q = patterns::diamond_x();
+        let plan = wco_plan_for_ordering(&q, &cat, &model, &[0, 1, 2, 3]).unwrap();
+        let out = execute_adaptive(
+            &g,
+            &cat,
+            &plan,
+            ExecOptions {
+                collect_tuples: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.count, 1);
+        assert_eq!(out.tuples, vec![vec![0, 1, 2, 3]]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # graphflow-exec
+//!
+//! The execution engine of Graphflow-RS: it runs the plan trees produced by `graphflow-plan`
+//! against a `graphflow-graph` data graph.
+//!
+//! The engine mirrors the paper's runtime (Sections 3.1, 6 and 7):
+//!
+//! * **SCAN** streams the data edges matching a query edge (sorted by source, which is what
+//!   makes the intersection cache effective one operator up);
+//! * **EXTEND/INTERSECT** extends each partial match by one query vertex by intersecting
+//!   label-partitioned, sorted adjacency lists, with a *last-extension cache* that reuses the
+//!   previous extension set when consecutive tuples access the same lists;
+//! * **HASH-JOIN** materialises its build side into a hash table keyed on the shared query
+//!   vertices and probes it with the other side;
+//! * the **adaptive executor** (Section 6) replaces chains of two or more E/I operators with a
+//!   per-tuple choice among all remaining query-vertex orderings, re-costing each ordering from
+//!   the actual adjacency-list sizes of the tuple at hand;
+//! * the **parallel executor** (Section 7) partitions the driver SCAN into chunks consumed by a
+//!   pool of worker threads under work stealing; hash-join build sides are materialised once and
+//!   shared read-only.
+//!
+//! Every run returns [`RuntimeStats`] with the *actual* i-cost (Equation 1), the number of
+//! intermediate partial matches, and intersection-cache hit counts — the quantities reported in
+//! Tables 3–6 of the paper.
+
+pub mod adaptive;
+pub mod parallel;
+pub mod pipeline;
+pub mod stats;
+
+pub use adaptive::execute_adaptive;
+pub use parallel::execute_parallel;
+pub use pipeline::{execute, execute_with_options, ExecOptions, ExecOutput};
+pub use stats::RuntimeStats;

@@ -1,0 +1,649 @@
+//! Plan compilation and serial execution.
+//!
+//! After hash-join build sides are materialised, every plan tree degenerates into a linear
+//! pipeline: one driver SCAN at the bottom followed by a sequence of stages, each of which is
+//! either an EXTEND/INTERSECT or a hash-table probe. The compiler walks the plan, materialises
+//! build sides bottom-up, and produces that pipeline; the executor then streams scan tuples
+//! through it depth-first, so no intermediate result is ever materialised outside of hash
+//! tables — the same discipline as the paper's Volcano-style engine.
+
+use crate::stats::RuntimeStats;
+use graphflow_graph::{multiway_intersect, Graph, VertexId, VertexLabel};
+use graphflow_plan::plan::{Plan, PlanNode};
+use graphflow_query::extension::AdjListDescriptor;
+use graphflow_query::querygraph::singleton;
+use graphflow_query::{QueryEdge, QueryGraph};
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOptions {
+    /// Enable the E/I last-extension cache (Section 3.1). Table 3 of the paper toggles this.
+    pub use_intersection_cache: bool,
+    /// Stop after producing this many results (used by the output-limited CFL comparison).
+    pub output_limit: Option<u64>,
+    /// Collect result tuples (up to `collect_limit`) instead of only counting them.
+    pub collect_tuples: bool,
+    /// Maximum number of tuples to collect when `collect_tuples` is set.
+    pub collect_limit: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            use_intersection_cache: true,
+            output_limit: None,
+            collect_tuples: false,
+            collect_limit: 1_000_000,
+        }
+    }
+}
+
+/// The result of executing a plan.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOutput {
+    /// Number of query results.
+    pub count: u64,
+    /// Runtime counters (actual i-cost, intermediate matches, cache hits, ...).
+    pub stats: RuntimeStats,
+    /// Collected result tuples in query-vertex-index order (empty unless requested).
+    pub tuples: Vec<Vec<VertexId>>,
+}
+
+/// A materialised hash-join build side: key columns -> flattened payload columns.
+#[derive(Debug, Clone, Default)]
+pub struct JoinTable {
+    pub map: FxHashMap<Vec<VertexId>, Vec<VertexId>>,
+    pub payload_width: usize,
+}
+
+/// The driver scan of a pipeline.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanStage {
+    pub edge: QueryEdge,
+    /// Source and destination vertex labels required by the query.
+    pub src_label: VertexLabel,
+    pub dst_label: VertexLabel,
+    /// Additional query edges between the same two query vertices (antiparallel pairs or
+    /// multi-labelled edges) that act as scan filters.
+    pub extra_filters: Vec<QueryEdge>,
+}
+
+/// An EXTEND/INTERSECT stage.
+#[derive(Debug, Clone)]
+pub(crate) struct ExtendStage {
+    pub descriptors: Vec<AdjListDescriptor>,
+    pub target_label: VertexLabel,
+    // Last-extension cache state.
+    cache_key: Vec<VertexId>,
+    cache_set: Vec<VertexId>,
+    cache_valid: bool,
+    scratch: Vec<VertexId>,
+}
+
+impl ExtendStage {
+    pub(crate) fn new(descriptors: Vec<AdjListDescriptor>, target_label: VertexLabel) -> Self {
+        ExtendStage {
+            descriptors,
+            target_label,
+            cache_key: Vec::new(),
+            cache_set: Vec::new(),
+            cache_valid: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Compute (or reuse) the extension set for `tuple`, updating statistics.
+    pub(crate) fn extension_set(
+        &mut self,
+        graph: &Graph,
+        tuple: &[VertexId],
+        use_cache: bool,
+        stats: &mut RuntimeStats,
+    ) -> &[VertexId] {
+        let key_matches = use_cache
+            && self.cache_valid
+            && self.cache_key.len() == self.descriptors.len()
+            && self
+                .descriptors
+                .iter()
+                .zip(self.cache_key.iter())
+                .all(|(d, &k)| tuple[d.tuple_idx] == k);
+        if key_matches {
+            stats.cache_hits += 1;
+            return &self.cache_set;
+        }
+        stats.cache_misses += 1;
+        self.cache_key.clear();
+        self.cache_key
+            .extend(self.descriptors.iter().map(|d| tuple[d.tuple_idx]));
+        let lists: Vec<&[VertexId]> = self
+            .descriptors
+            .iter()
+            .map(|d| graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, self.target_label))
+            .collect();
+        stats.icost += lists.iter().map(|l| l.len() as u64).sum::<u64>();
+        multiway_intersect(&lists, &mut self.cache_set, &mut self.scratch);
+        self.cache_valid = true;
+        &self.cache_set
+    }
+}
+
+/// A hash-table probe stage (the probe half of a HASH-JOIN).
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeStage {
+    pub table: Arc<JoinTable>,
+    /// Positions of the join-key query vertices within the incoming tuple.
+    pub key_positions: Vec<usize>,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone)]
+pub(crate) enum Stage {
+    Extend(ExtendStage),
+    Probe(ProbeStage),
+    Adaptive(crate::adaptive::AdaptiveStage),
+}
+
+/// A compiled, executable pipeline.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledPipeline {
+    pub scan: ScanStage,
+    pub stages: Vec<Stage>,
+    /// Query vertex carried by each final tuple position.
+    pub out_layout: Vec<usize>,
+}
+
+/// Compile a plan into a pipeline, materialising every hash-join build side along the way
+/// (their execution cost is accumulated into `stats`).
+pub(crate) fn compile(
+    graph: &Graph,
+    q: &QueryGraph,
+    node: &PlanNode,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+) -> CompiledPipeline {
+    let mut stages_top_down: Vec<Stage> = Vec::new();
+    let mut current = node;
+    loop {
+        match current {
+            PlanNode::Extend(n) => {
+                stages_top_down.push(Stage::Extend(ExtendStage::new(
+                    n.descriptors.clone(),
+                    n.target_label,
+                )));
+                current = &n.child;
+            }
+            PlanNode::HashJoin(n) => {
+                let table = materialize(graph, q, &n.build, &n.probe, options, stats);
+                let key_positions: Vec<usize> = n
+                    .key_vertices
+                    .iter()
+                    .map(|kv| {
+                        n.probe
+                            .out()
+                            .iter()
+                            .position(|v| v == kv)
+                            .expect("join key appears in probe layout")
+                    })
+                    .collect();
+                stages_top_down.push(Stage::Probe(ProbeStage {
+                    table: Arc::new(table),
+                    key_positions,
+                }));
+                current = &n.probe;
+            }
+            PlanNode::Scan(n) => {
+                let extra_filters: Vec<QueryEdge> = q
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|e| {
+                        !(e.src == n.edge.src && e.dst == n.edge.dst && e.label == n.edge.label)
+                            && ((e.src == n.edge.src && e.dst == n.edge.dst)
+                                || (e.src == n.edge.dst && e.dst == n.edge.src))
+                    })
+                    .collect();
+                let scan = ScanStage {
+                    edge: n.edge,
+                    src_label: q.vertex(n.edge.src).label,
+                    dst_label: q.vertex(n.edge.dst).label,
+                    extra_filters,
+                };
+                stages_top_down.reverse();
+                return CompiledPipeline {
+                    scan,
+                    stages: stages_top_down,
+                    out_layout: node.out().to_vec(),
+                };
+            }
+        }
+    }
+}
+
+/// Execute the build side of a hash join and materialise it into a [`JoinTable`].
+fn materialize(
+    graph: &Graph,
+    q: &QueryGraph,
+    build: &PlanNode,
+    probe: &PlanNode,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+) -> JoinTable {
+    let probe_set = probe.vertex_set();
+    let build_out = build.out().to_vec();
+    // Key = vertices shared with the probe side (in probe layout order is not required for the
+    // table itself; the probe stage builds its key in `key_vertices` order, so mirror that).
+    let key_vertices: Vec<usize> = probe
+        .out()
+        .iter()
+        .copied()
+        .filter(|&v| build.vertex_set() & singleton(v) != 0)
+        .collect();
+    let key_positions: Vec<usize> = key_vertices
+        .iter()
+        .map(|kv| build_out.iter().position(|v| v == kv).expect("key in build layout"))
+        .collect();
+    let payload_positions: Vec<usize> = build_out
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| probe_set & singleton(v) == 0)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut inner_options = *options;
+    inner_options.output_limit = None;
+    inner_options.collect_tuples = false;
+
+    // The build side runs with its own counters: its result tuples are hash-table entries, not
+    // query results, so they must not inflate `output_count`.
+    let mut build_stats = RuntimeStats::default();
+    let mut pipeline = compile(graph, q, build, &inner_options, &mut build_stats);
+    let mut table = JoinTable {
+        map: FxHashMap::default(),
+        payload_width: payload_positions.len(),
+    };
+    run_pipeline(&mut pipeline, graph, &inner_options, &mut build_stats, &mut |tuple| {
+        let key: Vec<VertexId> = key_positions.iter().map(|&i| tuple[i]).collect();
+        let entry = table.map.entry(key).or_default();
+        for &i in &payload_positions {
+            entry.push(tuple[i]);
+        }
+        true
+    });
+    stats.icost += build_stats.icost;
+    stats.intermediate_tuples += build_stats.intermediate_tuples + build_stats.output_count;
+    stats.cache_hits += build_stats.cache_hits;
+    stats.cache_misses += build_stats.cache_misses;
+    stats.hash_build_tuples += build_stats.output_count + build_stats.hash_build_tuples;
+    stats.hash_probe_tuples += build_stats.hash_probe_tuples;
+    table
+}
+
+/// Stream every result tuple of a compiled pipeline into `on_result`; the callback returns
+/// `false` to stop execution early.
+pub(crate) fn run_pipeline(
+    pipeline: &mut CompiledPipeline,
+    graph: &Graph,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) {
+    let edges = graph.edges_with_label(pipeline.scan.edge.label);
+    run_pipeline_on_range(pipeline, graph, edges, options, stats, on_result);
+}
+
+/// Same as [`run_pipeline`] but over an explicit slice of candidate scan edges (used by the
+/// parallel executor to partition the scan).
+pub(crate) fn run_pipeline_on_range(
+    pipeline: &mut CompiledPipeline,
+    graph: &Graph,
+    scan_edges: &[(VertexId, VertexId, graphflow_graph::EdgeLabel)],
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) {
+    let scan = pipeline.scan.clone();
+    let mut tuple: Vec<VertexId> = Vec::with_capacity(pipeline.out_layout.len());
+    'scan: for &(u, v, l) in scan_edges {
+        if l != scan.edge.label {
+            continue;
+        }
+        if graph.vertex_label(u) != scan.src_label || graph.vertex_label(v) != scan.dst_label {
+            continue;
+        }
+        // Apply antiparallel / multi-label filters between the two scanned query vertices.
+        let ok = scan.extra_filters.iter().all(|e| {
+            let (s, d) = if e.src == scan.edge.src { (u, v) } else { (v, u) };
+            graph.has_edge(s, d, e.label)
+        });
+        if !ok {
+            continue;
+        }
+        tuple.clear();
+        tuple.push(u);
+        tuple.push(v);
+        if pipeline.stages.is_empty() {
+            stats.output_count += 1;
+            if !on_result(&tuple) {
+                break 'scan;
+            }
+            if let Some(limit) = options.output_limit {
+                if stats.output_count >= limit {
+                    break 'scan;
+                }
+            }
+        } else {
+            stats.intermediate_tuples += 1;
+            if !run_stages(
+                &mut pipeline.stages,
+                graph,
+                &mut tuple,
+                options,
+                stats,
+                on_result,
+            ) {
+                break 'scan;
+            }
+        }
+    }
+}
+
+/// Recursive depth-first evaluation of the stage pipeline. Returns `false` to stop.
+pub(crate) fn run_stages(
+    stages: &mut [Stage],
+    graph: &Graph,
+    tuple: &mut Vec<VertexId>,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    let (first, rest) = stages.split_at_mut(1);
+    let is_last = rest.is_empty();
+    match &mut first[0] {
+        Stage::Extend(stage) => {
+            let set_len = {
+                let set = stage.extension_set(graph, tuple, options.use_intersection_cache, stats);
+                set.len()
+            };
+            for i in 0..set_len {
+                let v = stage.cache_set_value(i);
+                tuple.push(v);
+                let keep_going = if is_last {
+                    stats.output_count += 1;
+                    let mut cont = on_result(tuple);
+                    if let Some(limit) = options.output_limit {
+                        if stats.output_count >= limit {
+                            cont = false;
+                        }
+                    }
+                    cont
+                } else {
+                    stats.intermediate_tuples += 1;
+                    run_stages(rest, graph, tuple, options, stats, on_result)
+                };
+                tuple.pop();
+                if !keep_going {
+                    return false;
+                }
+            }
+            true
+        }
+        Stage::Probe(stage) => {
+            stats.hash_probe_tuples += 1;
+            let key: Vec<VertexId> = stage.key_positions.iter().map(|&i| tuple[i]).collect();
+            let Some(payloads) = stage.table.map.get(&key) else {
+                return true;
+            };
+            let width = stage.table.payload_width;
+            let groups = if width == 0 { 1 } else { payloads.len() / width };
+            for g in 0..groups {
+                for j in 0..width {
+                    tuple.push(payloads[g * width + j]);
+                }
+                let keep_going = if is_last {
+                    stats.output_count += 1;
+                    let mut cont = on_result(tuple);
+                    if let Some(limit) = options.output_limit {
+                        if stats.output_count >= limit {
+                            cont = false;
+                        }
+                    }
+                    cont
+                } else {
+                    stats.intermediate_tuples += 1;
+                    run_stages(rest, graph, tuple, options, stats, on_result)
+                };
+                for _ in 0..width {
+                    tuple.pop();
+                }
+                if !keep_going {
+                    return false;
+                }
+            }
+            true
+        }
+        Stage::Adaptive(stage) => {
+            crate::adaptive::run_adaptive_stage(stage, rest, graph, tuple, options, stats, on_result)
+        }
+    }
+}
+
+impl ExtendStage {
+    /// Read a value from the cached extension set by index (kept separate from
+    /// [`ExtendStage::extension_set`] so the borrow of the set does not outlive the recursion
+    /// into later stages).
+    #[inline]
+    pub(crate) fn cache_set_value(&self, i: usize) -> VertexId {
+        self.cache_set[i]
+    }
+}
+
+/// Execute a plan serially with default options.
+pub fn execute(graph: &Graph, plan: &Plan) -> ExecOutput {
+    execute_with_options(graph, plan, ExecOptions::default())
+}
+
+/// Execute a plan serially.
+pub fn execute_with_options(graph: &Graph, plan: &Plan, options: ExecOptions) -> ExecOutput {
+    let start = Instant::now();
+    let mut stats = RuntimeStats::default();
+    let q = &plan.query;
+    let mut pipeline = compile(graph, q, &plan.root, &options, &mut stats);
+    let mut tuples: Vec<Vec<VertexId>> = Vec::new();
+    let out_layout = pipeline.out_layout.clone();
+    let m = q.num_vertices();
+    {
+        let mut on_result = |tuple: &[VertexId]| -> bool {
+            if options.collect_tuples && tuples.len() < options.collect_limit {
+                let mut ordered = vec![0 as VertexId; m];
+                for (pos, &qv) in out_layout.iter().enumerate() {
+                    ordered[qv] = tuple[pos];
+                }
+                tuples.push(ordered);
+            }
+            true
+        };
+        run_pipeline(&mut pipeline, graph, &options, &mut stats, &mut on_result);
+    }
+    stats.elapsed = start.elapsed();
+    ExecOutput {
+        count: stats.output_count,
+        stats,
+        tuples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_catalog::{count_matches, Catalogue};
+    use graphflow_graph::GraphBuilder;
+    use graphflow_plan::cost::CostModel;
+    use graphflow_plan::dp::DpOptimizer;
+    use graphflow_plan::wco::wco_plan_for_ordering;
+    use graphflow_query::patterns;
+    use std::sync::Arc;
+
+    fn complete_graph(n: usize) -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        Arc::new(b.build())
+    }
+
+    fn random_graph() -> Arc<Graph> {
+        let edges = graphflow_graph::generator::powerlaw_cluster(300, 4, 0.6, 11);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn wco_plan_counts_match_reference_matcher() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        for j in [1usize, 2, 3, 4, 6, 8] {
+            let q = patterns::benchmark_query(j);
+            let expected = count_matches(&g, &q);
+            for sigma in graphflow_query::qvo::distinct_orderings(&q).into_iter().take(6) {
+                let Some(plan) = wco_plan_for_ordering(&q, &cat, &model, &sigma) else {
+                    continue;
+                };
+                let out = execute(&g, &plan);
+                assert_eq!(out.count, expected, "Q{j} ordering {sigma:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_and_bj_plans_count_the_same() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::benchmark_query(8);
+        let expected = count_matches(&g, &q);
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, expected);
+
+        // An explicitly hybrid plan: join the two triangles of Q8 on the shared vertex.
+        let left = graphflow_plan::wco::wco_node_for_ordering(&q, &[0, 1, 2]).unwrap();
+        let right = graphflow_plan::wco::wco_node_for_ordering(&q, &[2, 3, 4]).unwrap();
+        let join = graphflow_plan::plan::PlanNode::hash_join(&q, left, right).unwrap();
+        let hybrid = Plan::new(q.clone(), join, 0.0);
+        let out2 = execute(&g, &hybrid);
+        assert_eq!(out2.count, expected);
+        assert!(out2.stats.hash_build_tuples > 0);
+        assert!(out2.stats.hash_probe_tuples > 0);
+    }
+
+    #[test]
+    fn labelled_queries_filter_correctly() {
+        let g = random_graph();
+        let labelled = Arc::new(graphflow_graph::loader::assign_random_edge_labels(&g, 3, 5));
+        let cat = Catalogue::with_defaults(labelled.clone());
+        let q = patterns::label_query_edges_randomly(&patterns::diamond_x(), 3, 9);
+        let expected = count_matches(&labelled, &q);
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let out = execute(&labelled, &plan);
+        assert_eq!(out.count, expected);
+    }
+
+    #[test]
+    fn intersection_cache_reduces_icost_without_changing_counts() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        let q = patterns::symmetric_diamond_x();
+        // Ordering a2 a3 a1 a4: the final extension accesses only a2 and a3, so consecutive
+        // triangles sharing the (a2, a3) edge hit the cache.
+        let plan = wco_plan_for_ordering(&q, &cat, &model, &[1, 2, 0, 3]).unwrap();
+        let with_cache = execute_with_options(&g, &plan, ExecOptions::default());
+        let without_cache = execute_with_options(
+            &g,
+            &plan,
+            ExecOptions {
+                use_intersection_cache: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with_cache.count, without_cache.count);
+        assert!(with_cache.stats.cache_hits > 0);
+        assert_eq!(without_cache.stats.cache_hits, 0);
+        assert!(with_cache.stats.icost <= without_cache.stats.icost);
+    }
+
+    #[test]
+    fn output_limit_stops_early() {
+        let g = complete_graph(20);
+        let cat = Catalogue::with_defaults(g.clone());
+        let model = CostModel::default();
+        let q = patterns::asymmetric_triangle();
+        let plan = wco_plan_for_ordering(&q, &cat, &model, &[0, 1, 2]).unwrap();
+        let out = execute_with_options(
+            &g,
+            &plan,
+            ExecOptions {
+                output_limit: Some(100),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.count, 100);
+    }
+
+    #[test]
+    fn collected_tuples_are_valid_matches() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let out = execute_with_options(
+            &g,
+            &plan,
+            ExecOptions {
+                collect_tuples: true,
+                collect_limit: 50,
+                ..Default::default()
+            },
+        );
+        assert!(!out.tuples.is_empty());
+        for t in &out.tuples {
+            // a1->a2, a2->a3, a1->a3 must all exist.
+            assert!(g.has_edge(t[0], t[1], graphflow_graph::EdgeLabel(0)));
+            assert!(g.has_edge(t[1], t[2], graphflow_graph::EdgeLabel(0)));
+            assert!(g.has_edge(t[0], t[2], graphflow_graph::EdgeLabel(0)));
+        }
+    }
+
+    #[test]
+    fn scan_only_plan_counts_edges() {
+        let g = complete_graph(5);
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::directed_path(2);
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, 20);
+    }
+
+    #[test]
+    fn antiparallel_scan_filter_applies() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = Arc::new(b.build());
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = graphflow_query::parse_query("(a)->(b), (b)->(a)").unwrap();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Construction of [`Graph`] instances from edge lists with optional labels.
+
+use crate::graph::{Adjacency, Graph, Partition};
+use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+
+/// A mutable builder that accumulates labelled vertices and edges and freezes them into an
+/// immutable [`Graph`] with sorted, label-partitioned adjacency lists.
+///
+/// Duplicate edges (same source, destination and edge label) are de-duplicated at build time,
+/// and self-loops are kept (the paper's queries never match them because query vertices are
+/// distinct, but the storage layer does not forbid them).
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    vertex_labels: Vec<VertexLabel>,
+    edges: Vec<(VertexId, VertexId, EdgeLabel)>,
+    max_vertex: Option<VertexId>,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder pre-sized for `vertices` unlabelled vertices.
+    pub fn with_vertices(vertices: usize) -> Self {
+        GraphBuilder {
+            vertex_labels: vec![VertexLabel(0); vertices],
+            edges: Vec::new(),
+            max_vertex: if vertices == 0 {
+                None
+            } else {
+                Some(vertices as VertexId - 1)
+            },
+        }
+    }
+
+    /// Ensure vertex `v` exists (with the default label if it was unseen).
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if self.vertex_labels.len() <= v as usize {
+            self.vertex_labels.resize(v as usize + 1, VertexLabel(0));
+        }
+        self.max_vertex = Some(self.max_vertex.map_or(v, |m| m.max(v)));
+    }
+
+    /// Set the label of vertex `v`, creating it if needed.
+    pub fn set_vertex_label(&mut self, v: VertexId, label: VertexLabel) {
+        self.ensure_vertex(v);
+        self.vertex_labels[v as usize] = label;
+    }
+
+    /// Add an unlabelled directed edge `src -> dst`.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        self.add_labelled_edge(src, dst, EdgeLabel(0));
+    }
+
+    /// Add a directed edge `src -> dst` carrying `label`.
+    pub fn add_labelled_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) {
+        self.ensure_vertex(src);
+        self.ensure_vertex(dst);
+        self.edges.push((src, dst, label));
+    }
+
+    /// Add every edge of an iterator of `(src, dst)` pairs with the default edge label.
+    pub fn add_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (s, d) in iter {
+            self.add_edge(s, d);
+        }
+    }
+
+    /// Number of edges added so far (before de-duplication).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices known so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// Freeze the builder into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.vertex_labels.len();
+        // De-duplicate edges on (label, src, dst); this is also the SCAN order.
+        self.edges
+            .sort_unstable_by_key(|&(s, d, l)| (l, s, d));
+        self.edges.dedup();
+        let num_edges = self.edges.len();
+
+        let num_vertex_labels = self
+            .vertex_labels
+            .iter()
+            .map(|l| l.0)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let num_edge_labels = self.edges.iter().map(|e| e.2 .0).max().unwrap_or(0) + 1;
+
+        // Edge label ranges over the sorted edge array.
+        let mut edge_label_ranges = vec![(0u32, 0u32); num_edge_labels as usize];
+        {
+            let mut i = 0usize;
+            while i < self.edges.len() {
+                let l = self.edges[i].2 .0 as usize;
+                let start = i;
+                while i < self.edges.len() && self.edges[i].2 .0 as usize == l {
+                    i += 1;
+                }
+                edge_label_ranges[l] = (start as u32, i as u32);
+            }
+        }
+
+        let fwd = build_adjacency(n, &self.vertex_labels, self.edges.iter().copied(), false);
+        let bwd = build_adjacency(n, &self.vertex_labels, self.edges.iter().copied(), true);
+
+        Graph {
+            vertex_labels: self.vertex_labels,
+            fwd,
+            bwd,
+            num_edges,
+            num_vertex_labels,
+            num_edge_labels,
+            edges: self.edges,
+            edge_label_ranges,
+        }
+    }
+}
+
+/// Build one direction's adjacency index.
+fn build_adjacency(
+    n: usize,
+    vertex_labels: &[VertexLabel],
+    edges: impl Iterator<Item = (VertexId, VertexId, EdgeLabel)>,
+    reverse: bool,
+) -> Adjacency {
+    // Per-source tuples (edge_label, nbr_label, nbr), then sorted and partitioned.
+    let mut per_vertex: Vec<Vec<(EdgeLabel, VertexLabel, VertexId)>> = vec![Vec::new(); n];
+    for (s, d, l) in edges {
+        let (src, dst) = if reverse { (d, s) } else { (s, d) };
+        per_vertex[src as usize].push((l, vertex_labels[dst as usize], dst));
+    }
+
+    let mut part_offsets = Vec::with_capacity(n + 1);
+    let mut vertex_offsets = Vec::with_capacity(n + 1);
+    let mut parts = Vec::new();
+    let mut nbrs = Vec::new();
+    part_offsets.push(0u32);
+    vertex_offsets.push(0u32);
+
+    for list in per_vertex.iter_mut() {
+        list.sort_unstable();
+        let mut i = 0usize;
+        while i < list.len() {
+            let (el, nl, _) = list[i];
+            let start = nbrs.len() as u32;
+            while i < list.len() && list[i].0 == el && list[i].1 == nl {
+                nbrs.push(list[i].2);
+                i += 1;
+            }
+            parts.push(Partition {
+                edge_label: el,
+                nbr_label: nl,
+                start,
+                len: nbrs.len() as u32 - start,
+            });
+        }
+        part_offsets.push(parts.len() as u32);
+        vertex_offsets.push(nbrs.len() as u32);
+    }
+
+    Adjacency {
+        part_offsets,
+        parts,
+        nbrs,
+        vertex_offsets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_labelled_graph_with_partitions() {
+        let mut b = GraphBuilder::new();
+        b.set_vertex_label(0, VertexLabel(0));
+        b.set_vertex_label(1, VertexLabel(1));
+        b.set_vertex_label(2, VertexLabel(1));
+        b.set_vertex_label(3, VertexLabel(0));
+        b.add_labelled_edge(0, 1, EdgeLabel(0));
+        b.add_labelled_edge(0, 2, EdgeLabel(1));
+        b.add_labelled_edge(0, 3, EdgeLabel(0));
+        b.add_labelled_edge(1, 3, EdgeLabel(0));
+        let g = b.build();
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_vertex_labels(), 2);
+        assert_eq!(g.num_edge_labels(), 2);
+
+        // Partitioned lookups: label (el=0, vl=1) of vertex 0 contains only 1.
+        assert_eq!(g.out_neighbours(0, EdgeLabel(0), VertexLabel(1)), &[1]);
+        assert_eq!(g.out_neighbours(0, EdgeLabel(0), VertexLabel(0)), &[3]);
+        assert_eq!(g.out_neighbours(0, EdgeLabel(1), VertexLabel(1)), &[2]);
+        assert_eq!(
+            g.out_neighbours(0, EdgeLabel(1), VertexLabel(0)),
+            &[] as &[u32]
+        );
+        assert_eq!(g.in_neighbours(3, EdgeLabel(0), VertexLabel(0)), &[0]);
+        assert_eq!(g.in_neighbours(3, EdgeLabel(0), VertexLabel(1)), &[1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_kept() {
+        let mut b = GraphBuilder::with_vertices(10);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(5), 0);
+        assert_eq!(g.in_degree(5), 0);
+    }
+
+    #[test]
+    fn edges_sorted_by_label_then_src() {
+        let mut b = GraphBuilder::new();
+        b.add_labelled_edge(2, 3, EdgeLabel(1));
+        b.add_labelled_edge(0, 1, EdgeLabel(1));
+        b.add_labelled_edge(5, 6, EdgeLabel(0));
+        let g = b.build();
+        let edges = g.edges();
+        assert_eq!(edges[0], (5, 6, EdgeLabel(0)));
+        assert_eq!(edges[1], (0, 1, EdgeLabel(1)));
+        assert_eq!(edges[2], (2, 3, EdgeLabel(1)));
+        assert_eq!(g.edges_with_label(EdgeLabel(1)).len(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on six SNAP graphs chosen to differ in (i) size, (ii) skew of the forward
+//! and backward adjacency-list (degree) distributions and (iii) average clustering coefficient
+//! (Section 8.1.2). Those graphs are not redistributable inside this repository, so the dataset
+//! profiles in `graphflow-datasets` instead synthesise scaled-down graphs with the same
+//! qualitative contrasts using the generators in this module:
+//!
+//! * [`erdos_renyi`] — low skew, low clustering (a neutral control);
+//! * [`preferential_attachment`] — heavy-tailed in-degrees, directional asymmetry (web-like /
+//!   social-follower-like graphs);
+//! * [`powerlaw_cluster`] — preferential attachment plus triad formation, producing both skew
+//!   and a high clustering coefficient (community-rich social graphs);
+//! * [`watts_strogatz`] — high clustering with near-uniform degrees (product co-purchase-like
+//!   graphs).
+//!
+//! All generators are fully deterministic given a seed (they use `ChaCha8Rng`), return plain
+//! edge lists and never produce duplicate directed edges or self loops.
+
+use crate::ids::VertexId;
+use crate::EdgeList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// G(n, m): `m` distinct directed edges chosen uniformly at random among `n` vertices.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n >= 2, "need at least two vertices");
+    let max_edges = n * (n - 1);
+    let m = m.min(max_edges);
+    let mut rng = rng_from_seed(seed);
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let s = rng.gen_range(0..n) as VertexId;
+        let d = rng.gen_range(0..n) as VertexId;
+        if s != d && seen.insert((s, d)) {
+            edges.push((s, d));
+        }
+    }
+    edges
+}
+
+/// Directed preferential attachment (Barabási–Albert flavoured).
+///
+/// Vertices arrive one at a time; each new vertex emits `m_per_node` edges whose destinations
+/// are chosen proportionally to current in-degree + 1 (so early vertices become heavy-tailed
+/// in-degree hubs while out-degrees stay near `m_per_node`). This reproduces the strong
+/// forward/backward asymmetry of web graphs that drives the paper's Table 4 experiment.
+pub fn preferential_attachment(n: usize, m_per_node: usize, seed: u64) -> EdgeList {
+    assert!(n > m_per_node + 1, "n must exceed m_per_node + 1");
+    let mut rng = rng_from_seed(seed);
+    let mut edges: EdgeList = Vec::with_capacity(n * m_per_node);
+    // Repeated-targets list implements proportional-to-degree sampling in O(1).
+    let mut targets: Vec<VertexId> = (0..=m_per_node as VertexId).collect();
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+
+    // Seed clique-ish core so early sampling has mass.
+    for i in 0..=m_per_node as VertexId {
+        for j in 0..=m_per_node as VertexId {
+            if i != j && seen.insert((i, j)) {
+                edges.push((i, j));
+            }
+        }
+    }
+
+    for v in (m_per_node + 1)..n {
+        let v = v as VertexId;
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < m_per_node && attempts < m_per_node * 20 {
+            attempts += 1;
+            let idx = rng.gen_range(0..targets.len());
+            let dst = targets[idx];
+            if dst != v && seen.insert((v, dst)) {
+                edges.push((v, dst));
+                targets.push(dst);
+                added += 1;
+            }
+        }
+        targets.push(v);
+    }
+    edges
+}
+
+/// Powerlaw-cluster (Holme–Kim style): preferential attachment where each attachment step is
+/// followed, with probability `triangle_prob`, by a "triad formation" edge to a neighbour of the
+/// previously chosen target. Produces heavy-tailed degrees *and* a high clustering coefficient,
+/// i.e. many triangles and near-cliques — the regime where WCO plans shine in the paper.
+pub fn powerlaw_cluster(n: usize, m_per_node: usize, triangle_prob: f64, seed: u64) -> EdgeList {
+    assert!(n > m_per_node + 1, "n must exceed m_per_node + 1");
+    assert!((0.0..=1.0).contains(&triangle_prob));
+    let mut rng = rng_from_seed(seed);
+    let mut out_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut edges: EdgeList = Vec::with_capacity(n * m_per_node * 2);
+    let mut targets: Vec<VertexId> = (0..=m_per_node as VertexId).collect();
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+
+    let push_edge = |edges: &mut EdgeList,
+                         out_adj: &mut Vec<Vec<VertexId>>,
+                         seen: &mut FxHashSet<(VertexId, VertexId)>,
+                         s: VertexId,
+                         d: VertexId|
+     -> bool {
+        if s != d && seen.insert((s, d)) {
+            edges.push((s, d));
+            out_adj[s as usize].push(d);
+            true
+        } else {
+            false
+        }
+    };
+
+    for i in 0..=m_per_node as VertexId {
+        for j in 0..=m_per_node as VertexId {
+            push_edge(&mut edges, &mut out_adj, &mut seen, i, j);
+        }
+    }
+
+    for v in (m_per_node + 1)..n {
+        let v = v as VertexId;
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < m_per_node && attempts < m_per_node * 20 {
+            attempts += 1;
+            let dst = targets[rng.gen_range(0..targets.len())];
+            if push_edge(&mut edges, &mut out_adj, &mut seen, v, dst) {
+                targets.push(dst);
+                added += 1;
+                // Triad formation: immediately close a triangle through the chosen target's
+                // neighbourhood with probability `triangle_prob` (extra edge on top of the
+                // preferential-attachment budget, as in the Holme–Kim model).
+                if rng.gen_bool(triangle_prob) && !out_adj[dst as usize].is_empty() {
+                    let nbrs = &out_adj[dst as usize];
+                    let w = nbrs[rng.gen_range(0..nbrs.len())];
+                    if push_edge(&mut edges, &mut out_adj, &mut seen, v, w) {
+                        targets.push(w);
+                    }
+                }
+            }
+        }
+        targets.push(v);
+    }
+    edges
+}
+
+/// Directed Watts–Strogatz-like ring lattice with rewiring.
+///
+/// Every vertex connects to its `k` clockwise neighbours on a ring; each edge is rewired to a
+/// uniform random destination with probability `rewire_prob`. Low skew, tunable clustering —
+/// a reasonable stand-in for the Amazon co-purchase graph's regular structure.
+pub fn watts_strogatz(n: usize, k: usize, rewire_prob: f64, seed: u64) -> EdgeList {
+    assert!(n > k + 1, "n must exceed k + 1");
+    assert!((0.0..=1.0).contains(&rewire_prob));
+    let mut rng = rng_from_seed(seed);
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut edges = Vec::with_capacity(n * k);
+    for v in 0..n {
+        for offset in 1..=k {
+            let mut dst = ((v + offset) % n) as VertexId;
+            if rng.gen_bool(rewire_prob) {
+                dst = rng.gen_range(0..n) as VertexId;
+            }
+            let src = v as VertexId;
+            if src != dst && seen.insert((src, dst)) {
+                edges.push((src, dst));
+            }
+        }
+    }
+    edges
+}
+
+/// Add, for a fraction `prob` of existing edges `u -> v`, the reciprocal edge `v -> u`.
+/// Social networks have high reciprocity; web graphs have low reciprocity. The paper's QVO
+/// direction effects (Table 4) hinge on this asymmetry.
+pub fn add_reciprocal_edges(edges: &EdgeList, prob: f64, seed: u64) -> EdgeList {
+    let mut rng = rng_from_seed(seed);
+    let mut seen: FxHashSet<(VertexId, VertexId)> = edges.iter().copied().collect();
+    let mut out = edges.clone();
+    for &(s, d) in edges {
+        if rng.gen_bool(prob) && seen.insert((d, s)) {
+            out.push((d, s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn no_dups_or_loops(edges: &EdgeList) {
+        let set: FxHashSet<_> = edges.iter().copied().collect();
+        assert_eq!(set.len(), edges.len(), "duplicate edges produced");
+        assert!(edges.iter().all(|&(s, d)| s != d), "self loop produced");
+    }
+
+    #[test]
+    fn erdos_renyi_respects_count_and_determinism() {
+        let e1 = erdos_renyi(100, 500, 42);
+        let e2 = erdos_renyi(100, 500, 42);
+        let e3 = erdos_renyi(100, 500, 43);
+        assert_eq!(e1.len(), 500);
+        assert_eq!(e1, e2);
+        assert_ne!(e1, e3);
+        no_dups_or_loops(&e1);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_max_edges() {
+        let e = erdos_renyi(5, 1000, 1);
+        assert_eq!(e.len(), 20); // 5 * 4 directed pairs
+        no_dups_or_loops(&e);
+    }
+
+    #[test]
+    fn preferential_attachment_is_skewed() {
+        let edges = preferential_attachment(2000, 4, 7);
+        no_dups_or_loops(&edges);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges.iter().copied());
+        let g = b.build();
+        let max_in = (0..g.num_vertices() as u32).map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Hubs should have far more than the average in-degree.
+        assert!(
+            (max_in as f64) > 10.0 * avg_in,
+            "expected skew, max={max_in} avg={avg_in}"
+        );
+    }
+
+    #[test]
+    fn powerlaw_cluster_has_more_triangles_than_er() {
+        use crate::stats;
+        let n = 1500;
+        let pc = powerlaw_cluster(n, 4, 0.7, 11);
+        let er = erdos_renyi(n, pc.len(), 11);
+        let build = |e: &EdgeList| {
+            let mut b = GraphBuilder::new();
+            b.add_edges(e.iter().copied());
+            b.build()
+        };
+        let g_pc = build(&pc);
+        let g_er = build(&er);
+        let c_pc = stats::global_clustering_coefficient(&g_pc);
+        let c_er = stats::global_clustering_coefficient(&g_er);
+        assert!(
+            c_pc > 2.0 * c_er,
+            "clustered generator should have higher clustering: {c_pc} vs {c_er}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_degree_regularity() {
+        let edges = watts_strogatz(500, 5, 0.05, 3);
+        no_dups_or_loops(&edges);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges.iter().copied());
+        let g = b.build();
+        // Out-degrees are close to k for nearly every vertex.
+        let low = (0..g.num_vertices() as u32)
+            .filter(|&v| g.out_degree(v) < 4)
+            .count();
+        assert!(low < 50, "too many low-degree vertices: {low}");
+    }
+
+    #[test]
+    fn reciprocal_edges_added() {
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        let all = add_reciprocal_edges(&edges, 1.0, 1);
+        assert_eq!(all.len(), 6);
+        let none = add_reciprocal_edges(&edges, 0.0, 1);
+        assert_eq!(none.len(), 3);
+    }
+
+    #[test]
+    fn generators_are_deterministic_across_calls() {
+        assert_eq!(
+            preferential_attachment(300, 3, 5),
+            preferential_attachment(300, 3, 5)
+        );
+        assert_eq!(
+            powerlaw_cluster(300, 3, 0.5, 5),
+            powerlaw_cluster(300, 3, 0.5, 5)
+        );
+        assert_eq!(watts_strogatz(300, 3, 0.1, 5), watts_strogatz(300, 3, 0.1, 5));
+    }
+}

@@ -1,0 +1,105 @@
+//! Identifier and label newtypes shared across the whole workspace.
+//!
+//! The paper assumes labelled, directed graphs; unlabelled graphs are treated as graphs with a
+//! single vertex label and a single edge label (its Section 2). We follow the same convention:
+//! label `0` is the "unlabelled" label and every graph has at least that one label.
+
+use std::fmt;
+
+/// A data-graph vertex identifier. Vertices are dense integers `0..num_vertices`.
+pub type VertexId = u32;
+
+/// A vertex label. Label `0` denotes the default/unlabelled label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexLabel(pub u16);
+
+/// An edge label (a relationship "type" in Cypher jargon). Label `0` is the default label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeLabel(pub u16);
+
+impl fmt::Display for VertexLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vl{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "el{}", self.0)
+    }
+}
+
+impl From<u16> for VertexLabel {
+    fn from(v: u16) -> Self {
+        VertexLabel(v)
+    }
+}
+
+impl From<u16> for EdgeLabel {
+    fn from(v: u16) -> Self {
+        EdgeLabel(v)
+    }
+}
+
+/// Direction of an adjacency list access.
+///
+/// `Fwd` accesses the out-neighbours of a vertex (edges `v -> w`), `Bwd` accesses the
+/// in-neighbours (edges `w -> v`). Query-vertex-ordering choices in the paper differ purely in
+/// which directions they intersect (its Section 3.2.1), so this enum shows up throughout the
+/// planner and the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Forward adjacency list: out-neighbours.
+    Fwd,
+    /// Backward adjacency list: in-neighbours.
+    Bwd,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Fwd => Direction::Bwd,
+            Direction::Bwd => Direction::Fwd,
+        }
+    }
+
+    /// Both directions, useful for iteration.
+    pub const BOTH: [Direction; 2] = [Direction::Fwd, Direction::Bwd];
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Fwd => write!(f, "fwd"),
+            Direction::Bwd => write!(f, "bwd"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_reverse_round_trips() {
+        assert_eq!(Direction::Fwd.reverse(), Direction::Bwd);
+        assert_eq!(Direction::Bwd.reverse(), Direction::Fwd);
+        assert_eq!(Direction::Fwd.reverse().reverse(), Direction::Fwd);
+    }
+
+    #[test]
+    fn labels_display_and_convert() {
+        assert_eq!(VertexLabel::from(3).to_string(), "vl3");
+        assert_eq!(EdgeLabel::from(7).to_string(), "el7");
+        assert_eq!(VertexLabel::default(), VertexLabel(0));
+        assert_eq!(EdgeLabel::default(), EdgeLabel(0));
+    }
+
+    #[test]
+    fn labels_order_by_inner_value() {
+        assert!(VertexLabel(1) < VertexLabel(2));
+        assert!(EdgeLabel(0) < EdgeLabel(5));
+    }
+}

@@ -1,0 +1,221 @@
+//! Sorted-set intersection kernels.
+//!
+//! Worst-case optimal join processing spends nearly all of its time intersecting sorted
+//! adjacency lists (the paper's EXTEND/INTERSECT operator, Section 3.1). The kernels here are
+//! pure functions over sorted `&[u32]` slices:
+//!
+//! * [`intersect_sorted_into`] — two-way intersection, merge-based with galloping (exponential
+//!   search) when the inputs are very different in size;
+//! * [`multiway_intersect`] — k-way intersection performed as iterative two-way in-tandem
+//!   intersections, smallest lists first, exactly as described in the paper.
+//!
+//! The kernels do not track cost themselves; the executor accounts *i-cost* (the total size of
+//! the accessed lists, Equation 1 of the paper) at the operator level so that cached
+//! intersections are correctly excluded.
+
+use crate::ids::VertexId;
+
+/// When `|larger| / |smaller|` exceeds this factor the two-way kernel switches from a linear
+/// merge to galloping (binary) search probes of the larger list.
+const GALLOP_RATIO: usize = 32;
+
+/// Intersect two sorted slices into a freshly allocated vector.
+pub fn intersect_sorted(a: &[VertexId], b: &[VertexId], out_hint: usize) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(out_hint.min(a.len().min(b.len())));
+    intersect_sorted_into(a, b, &mut out);
+    out
+}
+
+/// Intersect two sorted slices, appending the result (also sorted) to `out`.
+///
+/// `out` is cleared first so it can be reused as a workhorse buffer across calls.
+pub fn intersect_sorted_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    out.clear();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if large.len() / small.len().max(1) >= GALLOP_RATIO {
+        gallop_intersect(small, large, out);
+    } else {
+        merge_intersect(a, b, out);
+    }
+}
+
+/// Classic linear merge intersection.
+fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push(x);
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// For each element of the (much smaller) `small` list, gallop within `large` for a match.
+fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential search from `lo` for the first position with value >= x.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(large.len());
+        let idx = lo + large[lo..hi].partition_point(|&v| v < x);
+        if idx < large.len() && large[idx] == x {
+            out.push(x);
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Intersect `k >= 1` sorted lists with iterative two-way intersections, smallest first.
+///
+/// Returns the intersection in `out` (sorted). `scratch` is a reusable buffer to avoid
+/// per-call allocations in the hot path of the E/I operator.
+pub fn multiway_intersect(
+    lists: &[&[VertexId]],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
+    out.clear();
+    match lists.len() {
+        0 => {}
+        1 => out.extend_from_slice(lists[0]),
+        2 => intersect_sorted_into(lists[0], lists[1], out),
+        _ => {
+            // Order by length so the running intersection shrinks as fast as possible.
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_unstable_by_key(|&i| lists[i].len());
+            intersect_sorted_into(lists[order[0]], lists[order[1]], out);
+            for &i in &order[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                std::mem::swap(out, scratch);
+                intersect_sorted_into(scratch, lists[i], out);
+            }
+        }
+    }
+}
+
+/// Naive reference intersection used by tests and property checks.
+pub fn naive_intersect(lists: &[&[VertexId]]) -> Vec<VertexId> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    let mut result: Vec<VertexId> = lists[0].to_vec();
+    for l in &lists[1..] {
+        let set: std::collections::BTreeSet<_> = l.iter().copied().collect();
+        result.retain(|v| set.contains(v));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_way_basic() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], 8), vec![3, 7]);
+        assert_eq!(intersect_sorted(&[], &[1, 2], 2), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[], 2), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[5], &[5], 1), vec![5]);
+    }
+
+    #[test]
+    fn gallop_path_matches_merge_path() {
+        let small: Vec<u32> = vec![10, 500, 900, 1500];
+        let large: Vec<u32> = (0..2000).collect();
+        let mut out = Vec::new();
+        gallop_intersect(&small, &large, &mut out);
+        assert_eq!(out, small);
+
+        let small2: Vec<u32> = vec![2001, 3000];
+        let mut out2 = Vec::new();
+        gallop_intersect(&small2, &large, &mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn multiway_matches_naive() {
+        let a: Vec<u32> = vec![1, 2, 3, 4, 5, 6, 10];
+        let b: Vec<u32> = vec![2, 4, 6, 8, 10];
+        let c: Vec<u32> = vec![2, 3, 4, 10, 12];
+        let lists = [&a[..], &b[..], &c[..]];
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        multiway_intersect(&lists, &mut out, &mut scratch);
+        assert_eq!(out, naive_intersect(&lists));
+        assert_eq!(out, vec![2, 4, 10]);
+    }
+
+    #[test]
+    fn single_list_copies() {
+        let a: Vec<u32> = vec![3, 9, 27];
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        multiway_intersect(&[&a[..]], &mut out, &mut scratch);
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn empty_input_list_set() {
+        let mut out = vec![1, 2, 3];
+        let mut scratch = Vec::new();
+        multiway_intersect(&[], &mut out, &mut scratch);
+        assert!(out.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_two_way_equals_naive(mut a in proptest::collection::vec(0u32..500, 0..200),
+                                     mut b in proptest::collection::vec(0u32..500, 0..200)) {
+            a.sort_unstable(); a.dedup();
+            b.sort_unstable(); b.dedup();
+            let mut out = Vec::new();
+            intersect_sorted_into(&a, &b, &mut out);
+            prop_assert_eq!(out, naive_intersect(&[&a, &b]));
+        }
+
+        #[test]
+        fn prop_multiway_equals_naive(raw in proptest::collection::vec(
+            proptest::collection::vec(0u32..300, 0..120), 1..5)) {
+            let lists: Vec<Vec<u32>> = raw.into_iter().map(|mut l| { l.sort_unstable(); l.dedup(); l }).collect();
+            let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            multiway_intersect(&refs, &mut out, &mut scratch);
+            prop_assert_eq!(out, naive_intersect(&refs));
+        }
+
+        #[test]
+        fn prop_gallop_skewed_sizes(small in proptest::collection::vec(0u32..10_000, 0..8),
+                                    large_len in 1000usize..4000) {
+            let mut s = small.clone();
+            s.sort_unstable(); s.dedup();
+            let large: Vec<u32> = (0..large_len as u32).map(|x| x * 3).collect();
+            let mut out = Vec::new();
+            intersect_sorted_into(&s, &large, &mut out);
+            prop_assert_eq!(out, naive_intersect(&[&s, &large]));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Loading graphs from edge-list text (SNAP format) and assigning random labels.
+//!
+//! The paper evaluates on SNAP graphs stored as whitespace-separated `src dst` lines with `#`
+//! comments. [`parse_edge_list`] accepts that format (plus an optional third column carrying an
+//! edge label). The labelled workloads `Q^J_i` of the paper assign one of `i` labels uniformly
+//! at random to every data edge and query edge (Section 8.1.3); [`assign_random_edge_labels`]
+//! and [`assign_random_vertex_labels`] implement the data-graph half of that protocol.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Errors produced while parsing edge-list input.
+#[derive(Debug)]
+pub enum LoadError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parse an edge list from a reader. Lines are `src dst [edge_label]`, `#`-prefixed lines and
+/// blank lines are skipped. Vertex ids need not be contiguous; they are used verbatim.
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId, EdgeLabel)>, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut edges = Vec::new();
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_err = || LoadError::Parse {
+            line: i + 1,
+            content: trimmed.to_string(),
+        };
+        let src: VertexId = it.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let dst: VertexId = it.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let label: u16 = match it.next() {
+            Some(tok) => tok.parse().map_err(|_| parse_err())?,
+            None => 0,
+        };
+        edges.push((src, dst, EdgeLabel(label)));
+    }
+    Ok(edges)
+}
+
+/// Load a graph from an edge-list file on disk (SNAP format).
+pub fn load_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
+    let file = std::fs::File::open(path)?;
+    let edges = parse_edge_list(file)?;
+    Ok(graph_from_labelled_edges(&edges))
+}
+
+/// Build a graph from `(src, dst, edge label)` triples (vertices are unlabelled).
+pub fn graph_from_labelled_edges(edges: &[(VertexId, VertexId, EdgeLabel)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    for &(s, d, l) in edges {
+        b.add_labelled_edge(s, d, l);
+    }
+    b.build()
+}
+
+/// Build a graph from unlabelled `(src, dst)` pairs.
+pub fn graph_from_edges(edges: &[(VertexId, VertexId)]) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges.iter().copied());
+    b.build()
+}
+
+/// Re-label every edge of `g` with one of `num_labels` labels chosen uniformly at random
+/// (deterministic given `seed`). This is the `Q^J_i` data-side protocol of the paper.
+pub fn assign_random_edge_labels(g: &Graph, num_labels: u16, seed: u64) -> Graph {
+    assert!(num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(g.num_vertices());
+    for v in 0..g.num_vertices() as VertexId {
+        b.set_vertex_label(v, g.vertex_label(v));
+    }
+    for &(s, d, _) in g.edges() {
+        let l = EdgeLabel(rng.gen_range(0..num_labels));
+        b.add_labelled_edge(s, d, l);
+    }
+    b.build()
+}
+
+/// Re-label every vertex of `g` with one of `num_labels` labels chosen uniformly at random.
+pub fn assign_random_vertex_labels(g: &Graph, num_labels: u16, seed: u64) -> Graph {
+    assert!(num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_vertices(g.num_vertices());
+    for v in 0..g.num_vertices() as VertexId {
+        b.set_vertex_label(v, VertexLabel(rng.gen_range(0..num_labels)));
+    }
+    for &(s, d, l) in g.edges() {
+        b.add_labelled_edge(s, d, l);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_style_input() {
+        let input = "# comment line\n0 1\n1 2\n\n2 0\n";
+        let edges = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0], (0, 1, EdgeLabel(0)));
+        let g = graph_from_labelled_edges(&edges);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn parses_labelled_input() {
+        let input = "0 1 2\n1 2 0\n";
+        let edges = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(edges[0].2, EdgeLabel(2));
+        let g = graph_from_labelled_edges(&edges);
+        assert_eq!(g.num_edge_labels(), 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let input = "0 x\n";
+        assert!(parse_edge_list(input.as_bytes()).is_err());
+        let input2 = "0\n";
+        assert!(parse_edge_list(input2.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn random_edge_labels_cover_range_and_preserve_structure() {
+        let edges: Vec<(VertexId, VertexId)> = (0..200).map(|i| (i, (i + 1) % 200)).collect();
+        let g = graph_from_edges(&edges);
+        let labelled = assign_random_edge_labels(&g, 3, 7);
+        assert_eq!(labelled.num_edges(), g.num_edges());
+        assert_eq!(labelled.num_vertices(), g.num_vertices());
+        assert_eq!(labelled.num_edge_labels(), 3);
+        // determinism
+        let labelled2 = assign_random_edge_labels(&g, 3, 7);
+        assert_eq!(labelled.edges(), labelled2.edges());
+        labelled.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn random_vertex_labels_preserve_edges() {
+        let edges: Vec<(VertexId, VertexId)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let g = graph_from_edges(&edges);
+        let labelled = assign_random_vertex_labels(&g, 2, 9);
+        assert_eq!(labelled.num_edges(), 4);
+        assert_eq!(labelled.num_vertex_labels(), 2);
+        labelled.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,211 @@
+//! Structural statistics of data graphs.
+//!
+//! The paper characterises its datasets along degree-distribution skew and average clustering
+//! coefficient (Section 8.1.2); the dataset profiles and several tests use these measures to
+//! check that the synthetic stand-ins land in the intended structural regime.
+
+use crate::graph::Graph;
+use crate::ids::{Direction, VertexId};
+use crate::intersect::intersect_sorted_into;
+
+/// Summary statistics of a graph's degree distributions and cyclicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    pub avg_degree: f64,
+    /// Ratio max/avg for out-degrees — a cheap skew indicator.
+    pub out_degree_skew: f64,
+    /// Ratio max/avg for in-degrees.
+    pub in_degree_skew: f64,
+    /// Global clustering coefficient of the undirected projection.
+    pub clustering_coefficient: f64,
+    /// Fraction of directed edges whose reverse edge also exists.
+    pub reciprocity: f64,
+}
+
+/// Compute summary statistics (exact; intended for the small graphs used in tests and reports).
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let max_out = (0..n as VertexId).map(|v| g.out_degree(v)).max().unwrap_or(0);
+    let max_in = (0..n as VertexId).map(|v| g.in_degree(v)).max().unwrap_or(0);
+    let avg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        avg_degree: avg,
+        out_degree_skew: if avg > 0.0 { max_out as f64 / avg } else { 0.0 },
+        in_degree_skew: if avg > 0.0 { max_in as f64 / avg } else { 0.0 },
+        clustering_coefficient: global_clustering_coefficient(g),
+        reciprocity: reciprocity(g),
+    }
+}
+
+/// Undirected neighbour set of `v` (out ∪ in across all labels), sorted and de-duplicated.
+fn undirected_neighbours(g: &Graph, v: VertexId) -> Vec<VertexId> {
+    let mut nbrs: Vec<VertexId> = g
+        .adj(Direction::Fwd)
+        .all(v)
+        .iter()
+        .chain(g.adj(Direction::Bwd).all(v).iter())
+        .copied()
+        .filter(|&w| w != v)
+        .collect();
+    nbrs.sort_unstable();
+    nbrs.dedup();
+    nbrs
+}
+
+/// Global clustering coefficient (transitivity) of the undirected projection:
+/// `3 * #triangles / #wedges`.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    let nbr_sets: Vec<Vec<VertexId>> = (0..n as VertexId)
+        .map(|v| undirected_neighbours(g, v))
+        .collect();
+    let mut wedges: u64 = 0;
+    let mut closed: u64 = 0; // counts each triangle once per wedge centre, i.e. 3x triangles
+    let mut buf = Vec::new();
+    for v in 0..n {
+        let nbrs = &nbr_sets[v];
+        let d = nbrs.len() as u64;
+        if d < 2 {
+            continue;
+        }
+        wedges += d * (d - 1) / 2;
+        // For each pair (a, b) of neighbours, is a-b an (undirected) edge? Count via
+        // intersections: sum over a in nbrs of |nbrs(v) ∩ nbrs(a) restricted to > a| .
+        for &a in nbrs {
+            intersect_sorted_into(nbrs, &nbr_sets[a as usize], &mut buf);
+            closed += buf.iter().filter(|&&b| b > a).count() as u64;
+        }
+    }
+    // `closed` counted each closed wedge centred at v once per (a < b) pair => exactly the number
+    // of closed wedges at v; transitivity = closed wedges / all wedges.
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+/// Fraction of directed edges `u -> v` for which `v -> u` also exists (any label).
+pub fn reciprocity(g: &Graph) -> f64 {
+    if g.num_edges() == 0 {
+        return 0.0;
+    }
+    let mut recip = 0usize;
+    for &(s, d, _) in g.edges() {
+        let nl = g.vertex_label(s);
+        // reverse edge with any edge label
+        let found = (0..g.num_edge_labels())
+            .any(|el| g.out_neighbours(d, crate::ids::EdgeLabel(el), nl).binary_search(&s).is_ok());
+        if found {
+            recip += 1;
+        }
+    }
+    recip as f64 / g.num_edges() as f64
+}
+
+/// Exact directed-triangle count for the pattern `a -> b, b -> c, a -> c` (asymmetric triangle).
+/// Used by tests as a ground truth for the Q1 query.
+pub fn count_asymmetric_triangles(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    let mut buf = Vec::new();
+    for &(u, v, _) in g.edges() {
+        // extension a3 with a1->a3 and a2->a3: intersect out(u) with out(v)
+        for el in 0..g.num_edge_labels() {
+            let el = crate::ids::EdgeLabel(el);
+            for vl in 0..g.num_vertex_labels() {
+                let vl = crate::ids::VertexLabel(vl);
+                intersect_sorted_into(
+                    g.out_neighbours(u, el, vl),
+                    g.out_neighbours(v, el, vl),
+                    &mut buf,
+                );
+                count += buf.len() as u64;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn complete_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as VertexId {
+            for j in 0..n as VertexId {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let g = complete_graph(5);
+        let c = global_clustering_coefficient(&g);
+        assert!((c - 1.0).abs() < 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=6 {
+            b.add_edge(0, leaf);
+        }
+        let g = b.build();
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+    }
+
+    #[test]
+    fn reciprocity_bounds() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let r = reciprocity(&g);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_triangle_count_on_known_graphs() {
+        // Complete directed graph on n vertices: each unordered triple {a,b,c} contributes
+        // exactly... every ordered pair (u,v) with an edge, plus common out-neighbour w.
+        // For K3 (all 6 edges): count = for each of 6 edges, |out(u) ∩ out(v)| = 1 => 6.
+        let g = complete_graph(3);
+        assert_eq!(count_asymmetric_triangles(&g), 6);
+
+        // Single asymmetric triangle 0->1,1->2,0->2: only edge (0,1) has a common out-nbr (2).
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(count_asymmetric_triangles(&g), 1);
+    }
+
+    #[test]
+    fn stats_summary_sanity() {
+        let g = complete_graph(4);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 12);
+        assert_eq!(s.max_out_degree, 3);
+        assert_eq!(s.max_in_degree, 3);
+        assert!((s.avg_degree - 3.0).abs() < 1e-9);
+        assert!((s.reciprocity - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,490 @@
+//! The dynamic-programming optimizer (Algorithm 1 of the paper).
+//!
+//! For every connected `k`-vertex sub-query `Q_k` (k = 3..m) the optimizer keeps the cheapest of
+//!
+//! 1. the best fully-enumerated WCO chain for `Q_k`,
+//! 2. the best plan for some `Q_{k-1}` extended by one E/I operator, and
+//! 3. a HASH-JOIN of the best plans of two smaller sub-queries whose union is `Q_k`
+//!    (both satisfying the projection constraint).
+//!
+//! Joins that could be expressed as a single E/I extension (the probe or build side adds only
+//! one query vertex) are omitted, as in Section 4.3. For queries with more than
+//! [`PlanSpaceOptions::full_enumeration_limit`] query vertices the optimizer switches to the
+//! pruned mode of Section 4.4: WCO plans are grown only inside the DP and only the
+//! `subqueries_kept_per_level` cheapest sub-queries per level are retained.
+
+use crate::cost::{estimate_cost, CostModel};
+use crate::plan::{Plan, PlanNode};
+use crate::wco::{best_wco_subplans, SubPlan};
+use graphflow_catalog::Catalogue;
+use graphflow_query::querygraph::{set_iter, set_len, singleton, VertexSet};
+use graphflow_query::QueryGraph;
+use rustc_hash::FxHashMap;
+
+/// Which parts of the plan space the optimizer may use. The experiment harnesses use the
+/// restricted modes to produce the paper's "WCO plans", "BJ plans" and "hybrid plans" series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSpaceOptions {
+    /// Allow E/I operators with two or more descriptors (multiway intersections).
+    pub allow_multiway_extend: bool,
+    /// Allow HASH-JOIN operators.
+    pub allow_hash_join: bool,
+    /// Omit hash joins that could be converted to an E/I extension (one side adds only a single
+    /// query vertex). Disabled when enumerating pure binary-join plans, which *must* join a new
+    /// edge at a time.
+    pub prune_ei_convertible_joins: bool,
+    /// Queries with more than this many vertices use the pruned enumeration of Section 4.4.
+    pub full_enumeration_limit: usize,
+    /// In pruned mode, how many sub-queries are kept per level (default 5, as in the paper).
+    pub subqueries_kept_per_level: usize,
+}
+
+impl Default for PlanSpaceOptions {
+    fn default() -> Self {
+        PlanSpaceOptions {
+            allow_multiway_extend: true,
+            allow_hash_join: true,
+            prune_ei_convertible_joins: true,
+            full_enumeration_limit: 10,
+            subqueries_kept_per_level: 5,
+        }
+    }
+}
+
+impl PlanSpaceOptions {
+    /// Only WCO plans (query-vertex orderings).
+    pub fn wco_only() -> Self {
+        PlanSpaceOptions {
+            allow_hash_join: false,
+            ..Default::default()
+        }
+    }
+
+    /// Only binary-join plans: no multiway intersections, joins may add one edge at a time.
+    pub fn binary_only() -> Self {
+        PlanSpaceOptions {
+            allow_multiway_extend: false,
+            allow_hash_join: true,
+            prune_ei_convertible_joins: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// The cost-based dynamic-programming optimizer.
+pub struct DpOptimizer<'a> {
+    catalogue: &'a Catalogue,
+    model: CostModel,
+    options: PlanSpaceOptions,
+}
+
+impl<'a> DpOptimizer<'a> {
+    /// Create an optimizer over a catalogue with the default cost model and full plan space.
+    pub fn new(catalogue: &'a Catalogue) -> Self {
+        DpOptimizer {
+            catalogue,
+            model: CostModel::default(),
+            options: PlanSpaceOptions::default(),
+        }
+    }
+
+    /// Override the cost model.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Restrict or extend the plan space.
+    pub fn with_options(mut self, options: PlanSpaceOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Find the cheapest plan for `q` in the configured plan space.
+    ///
+    /// Returns `None` for queries with fewer than two vertices or that cannot be covered by the
+    /// restricted plan space (which does not happen for connected queries with the default
+    /// options).
+    pub fn optimize(&self, q: &QueryGraph) -> Option<Plan> {
+        let m = q.num_vertices();
+        if m < 2 || !q.is_connected() {
+            return None;
+        }
+        if m == 2 {
+            let edge = q.edges().first().copied()?;
+            let node = PlanNode::scan(edge);
+            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+            return Some(Plan::new(q.clone(), node, cost.total()));
+        }
+        let table = if m <= self.options.full_enumeration_limit {
+            self.optimize_exhaustive(q)
+        } else {
+            self.optimize_pruned(q)
+        };
+        table.get(&q.full_set()).map(|sp| {
+            Plan::new(q.clone(), sp.node.clone(), sp.total_cost())
+        })
+    }
+
+    /// Exhaustive DP over every connected vertex subset (Algorithm 1).
+    fn optimize_exhaustive(&self, q: &QueryGraph) -> FxHashMap<VertexSet, SubPlan> {
+        let m = q.num_vertices();
+        // Line 1: enumerate all WCO plans (cheapest chain per connected subset).
+        let wco_best: FxHashMap<VertexSet, SubPlan> = if self.options.allow_multiway_extend {
+            best_wco_subplans(q, self.catalogue, &self.model)
+        } else {
+            FxHashMap::default()
+        };
+
+        // Line 2: initialise 2-vertex sub-queries (single query edges) with SCAN plans.
+        let mut table: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
+        for &e in q.edges() {
+            let set = singleton(e.src) | singleton(e.dst);
+            let node = PlanNode::scan(e);
+            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+            let better = table.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+            if better {
+                table.insert(set, SubPlan { node, cost });
+            }
+        }
+
+        // Lines 3-16: grow sub-queries one level at a time.
+        let full = q.full_set();
+        for k in 3..=m {
+            let subsets: Vec<VertexSet> = (1u32..=full)
+                .filter(|&s| s & full == s && set_len(s) == k && q.is_connected_subset(s))
+                .collect();
+            for set in subsets {
+                let mut best: Option<SubPlan> = None;
+                let consider = |cand: Option<SubPlan>, best: &mut Option<SubPlan>| {
+                    if let Some(c) = cand {
+                        if best.as_ref().map_or(true, |b| c.total_cost() < b.total_cost()) {
+                            *best = Some(c);
+                        }
+                    }
+                };
+
+                // (i) cheapest fully-enumerated WCO chain.
+                consider(wco_best.get(&set).cloned(), &mut best);
+
+                // (ii) extend the best plan of a (k-1)-vertex sub-query by one E/I.
+                for target in set_iter(set) {
+                    let sub = set & !singleton(target);
+                    if !q.is_connected_subset(sub) {
+                        continue;
+                    }
+                    let Some(child) = table.get(&sub) else { continue };
+                    let Some(node) = PlanNode::extend(q, child.node.clone(), target) else {
+                        continue;
+                    };
+                    if !self.options.allow_multiway_extend {
+                        if let PlanNode::Extend(e) = &node {
+                            if e.descriptors.len() >= 2 {
+                                continue;
+                            }
+                        }
+                    }
+                    let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+                    consider(Some(SubPlan { node, cost }), &mut best);
+                }
+
+                // (iii) binary join of two smaller best plans.
+                if self.options.allow_hash_join {
+                    for (c1, c2) in cover_pairs(q, set) {
+                        let (Some(p1), Some(p2)) = (table.get(&c1), table.get(&c2)) else {
+                            continue;
+                        };
+                        if self.options.prune_ei_convertible_joins
+                            && (set_len(c1 & !c2) <= 1 || set_len(c2 & !c1) <= 1)
+                        {
+                            continue;
+                        }
+                        // Try both build/probe assignments and keep the cheaper.
+                        for (build, probe) in [(p1, p2), (p2, p1)] {
+                            let Some(node) =
+                                PlanNode::hash_join(q, build.node.clone(), probe.node.clone())
+                            else {
+                                continue;
+                            };
+                            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+                            consider(Some(SubPlan { node, cost }), &mut best);
+                        }
+                    }
+                }
+
+                if let Some(b) = best {
+                    table.insert(set, b);
+                }
+            }
+        }
+        table
+    }
+
+    /// Pruned DP for very large queries (Section 4.4): no up-front WCO enumeration, and only the
+    /// cheapest few sub-queries are kept per level.
+    fn optimize_pruned(&self, q: &QueryGraph) -> FxHashMap<VertexSet, SubPlan> {
+        let m = q.num_vertices();
+        let mut table: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
+        for &e in q.edges() {
+            let set = singleton(e.src) | singleton(e.dst);
+            let node = PlanNode::scan(e);
+            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+            let better = table.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+            if better {
+                table.insert(set, SubPlan { node, cost });
+            }
+        }
+        let mut frontier: Vec<VertexSet> = table.keys().copied().collect();
+
+        for k in 3..=m {
+            let mut level: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
+            for &sub in &frontier {
+                if set_len(sub) != k - 1 {
+                    continue;
+                }
+                let Some(child) = table.get(&sub).cloned() else { continue };
+                for target in 0..m {
+                    if sub & singleton(target) != 0 {
+                        continue;
+                    }
+                    let Some(node) = PlanNode::extend(q, child.node.clone(), target) else {
+                        continue;
+                    };
+                    let set = node.vertex_set();
+                    let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+                    let better = level.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+                    if better {
+                        level.insert(set, SubPlan { node, cost });
+                    }
+                }
+            }
+            // Also try joins between retained sub-queries (both already in the table).
+            if self.options.allow_hash_join {
+                let keys: Vec<VertexSet> = table.keys().copied().collect();
+                for &a in &keys {
+                    for &b in &keys {
+                        if set_len(a | b) != k || a | b == a || a | b == b {
+                            continue;
+                        }
+                        let (p1, p2) = (table[&a].clone(), table[&b].clone());
+                        if self.options.prune_ei_convertible_joins
+                            && (set_len(a & !b) <= 1 || set_len(b & !a) <= 1)
+                        {
+                            continue;
+                        }
+                        if let Some(node) = PlanNode::hash_join(q, p1.node.clone(), p2.node.clone())
+                        {
+                            let set = node.vertex_set();
+                            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
+                            let better =
+                                level.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+                            if better {
+                                level.insert(set, SubPlan { node, cost });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Keep only the cheapest few sub-queries at this level (always keep the full query).
+            let mut entries: Vec<(VertexSet, SubPlan)> = level.into_iter().collect();
+            entries.sort_by(|a, b| a.1.total_cost().partial_cmp(&b.1.total_cost()).unwrap());
+            let keep = if k == m {
+                entries.len()
+            } else {
+                self.options.subqueries_kept_per_level.max(1)
+            };
+            frontier.clear();
+            for (set, sp) in entries.into_iter().take(keep.max(1)) {
+                frontier.push(set);
+                table.insert(set, sp);
+            }
+        }
+        table
+    }
+}
+
+/// All unordered pairs of connected, proper subsets `(C1, C2)` of `set` with `C1 ∪ C2 = set`,
+/// sharing at least one vertex (the HASH-JOIN candidates of Algorithm 1, line 12).
+fn cover_pairs(q: &QueryGraph, set: VertexSet) -> Vec<(VertexSet, VertexSet)> {
+    let members: Vec<usize> = set_iter(set).collect();
+    let k = members.len();
+    let mut out = Vec::new();
+    // Enumerate subsets of `set` by bitmask over member positions.
+    let total = 1u32 << k;
+    for mask1 in 1..total - 1 {
+        let c1: VertexSet = members
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask1 & (1 << i) != 0)
+            .fold(0, |acc, (_, &v)| acc | singleton(v));
+        if !q.is_connected_subset(c1) {
+            continue;
+        }
+        for mask2 in (mask1 + 1)..total {
+            if mask1 | mask2 != total - 1 {
+                continue;
+            }
+            let c2: VertexSet = members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask2 & (1 << i) != 0)
+                .fold(0, |acc, (_, &v)| acc | singleton(v));
+            if c2 == set || c1 == set {
+                continue;
+            }
+            if c1 & c2 == 0 {
+                continue;
+            }
+            if !q.is_connected_subset(c2) {
+                continue;
+            }
+            out.push((c1, c2));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanClass;
+    use graphflow_graph::{Graph, GraphBuilder};
+    use graphflow_query::patterns;
+    use std::sync::Arc;
+
+    fn complete_graph(n: usize) -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    b.add_edge(i, j);
+                }
+            }
+        }
+        Arc::new(b.build())
+    }
+
+    fn powerlaw_graph() -> Arc<Graph> {
+        let edges = graphflow_graph::generator::powerlaw_cluster(800, 4, 0.5, 7);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn optimizes_every_benchmark_query() {
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        for (j, q) in patterns::all_benchmark_queries() {
+            let plan = opt.optimize(&q).unwrap_or_else(|| panic!("no plan for Q{j}"));
+            assert_eq!(plan.root.vertex_set(), q.full_set(), "Q{j} covers all vertices");
+            assert!(plan.estimated_cost.is_finite(), "Q{j} has a finite cost");
+        }
+    }
+
+    #[test]
+    fn cliques_get_wco_plans() {
+        // Cliques admit no projection-constrained binary join (two proper projections never
+        // cover all edges), so the chosen plan must be WCO.
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        for k in [4usize, 5] {
+            let q = patterns::directed_clique(k);
+            let plan = opt.optimize(&q).unwrap();
+            assert_eq!(plan.class(), PlanClass::Wco, "{k}-clique");
+        }
+    }
+
+    #[test]
+    fn dp_plan_is_at_least_as_cheap_as_every_wco_plan() {
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let model = CostModel::default();
+        let opt = DpOptimizer::new(&cat);
+        for j in [1usize, 3, 4, 8] {
+            let q = patterns::benchmark_query(j);
+            let chosen = opt.optimize(&q).unwrap();
+            for wco in crate::wco::all_wco_plans(&q, &cat, &model) {
+                assert!(
+                    chosen.estimated_cost <= wco.estimated_cost + 1e-6,
+                    "Q{j}: chosen {} > wco {}",
+                    chosen.estimated_cost,
+                    wco.estimated_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_plan_spaces() {
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let q = patterns::benchmark_query(8); // two triangles sharing a vertex
+
+        let wco_only = DpOptimizer::new(&cat)
+            .with_options(PlanSpaceOptions::wco_only())
+            .optimize(&q)
+            .unwrap();
+        assert_eq!(wco_only.class(), PlanClass::Wco);
+
+        // Pure binary-join plans cannot compute triangles under the projection constraint
+        // (Section 4.1: "our plan space does not contain BJ plans that first compute open
+        // triangles and then close them"), so the BJ-only optimizer finds no plan for Q8 ...
+        assert!(DpOptimizer::new(&cat)
+            .with_options(PlanSpaceOptions::binary_only())
+            .optimize(&q)
+            .is_none());
+        // ... but it does for acyclic queries such as Q11.
+        let acyclic = patterns::benchmark_query(11);
+        let bj_only = DpOptimizer::new(&cat)
+            .with_options(PlanSpaceOptions::binary_only())
+            .optimize(&acyclic)
+            .unwrap();
+        assert!(!bj_only.root.has_multiway_intersection());
+
+        let hybrid = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        assert!(hybrid.estimated_cost <= wco_only.estimated_cost + 1e-6);
+    }
+
+    #[test]
+    fn two_vertex_query_gets_a_scan() {
+        let g = complete_graph(4);
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        let q = patterns::directed_path(2);
+        let plan = opt.optimize(&q).unwrap();
+        assert!(matches!(plan.root, PlanNode::Scan(_)));
+    }
+
+    #[test]
+    fn pruned_mode_handles_larger_queries() {
+        // A 12-vertex path exceeds the full-enumeration limit and exercises the pruned mode.
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        let q = patterns::directed_path(12);
+        let plan = opt.optimize(&q).expect("pruned optimizer finds a plan");
+        assert_eq!(plan.root.vertex_set(), q.full_set());
+    }
+
+    #[test]
+    fn cover_pairs_respect_connectivity_and_overlap() {
+        let q = patterns::diamond_x();
+        let pairs = cover_pairs(&q, q.full_set());
+        assert!(!pairs.is_empty());
+        for (c1, c2) in pairs {
+            assert_eq!(c1 | c2, q.full_set());
+            assert!(c1 & c2 != 0);
+            assert!(q.is_connected_subset(c1));
+            assert!(q.is_connected_subset(c2));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # graphflow-plan
+//!
+//! The query-plan layer of Graphflow-RS: plan trees over the paper's three operators (SCAN,
+//! EXTEND/INTERSECT and HASH-JOIN), the i-cost based cost model, and the planners.
+//!
+//! * [`plan`] — plan-tree data structures satisfying the paper's *projection constraint*
+//!   (every node is labelled with a projection of the query onto a vertex subset) and plan
+//!   classification (WCO / binary-join / hybrid);
+//! * [`cost`] — the cost model of Sections 3.3–4.2: i-cost for E/I operators (cache-conscious
+//!   by default) combined with `w1·n1 + w2·n2` for hash joins, all estimated through the
+//!   subgraph catalogue;
+//! * [`wco`] — enumeration of WCO plans (one per query-vertex ordering) and of the best WCO
+//!   sub-plan per connected sub-query, the first phase of Algorithm 1;
+//! * [`dp`] — the dynamic-programming optimizer of Section 4.3 (Algorithm 1), with the
+//!   plan-space restriction switches used by the experiments (WCO-only, BJ-only, hybrid) and
+//!   the subset-pruning mode for very large queries (Section 4.4);
+//! * [`spectrum`] — enumeration of *every* plan in the plan space, used by the plan-spectrum
+//!   experiments of Figures 7–9;
+//! * [`ghd`] — an EmptyHeaded-style planner: minimum-width generalized hypertree decompositions
+//!   ranked by fractional edge cover (AGM bound), with lexicographic ("bad") or
+//!   Graphflow-chosen ("good") orderings for each decomposition bag (Section 8.4).
+
+pub mod cost;
+pub mod dp;
+pub mod ghd;
+pub mod plan;
+pub mod spectrum;
+pub mod wco;
+
+pub use cost::{CostModel, PlanCost};
+pub use dp::{DpOptimizer, PlanSpaceOptions};
+pub use ghd::{GhdPlanner, OrderingPolicy};
+pub use plan::{Plan, PlanClass, PlanNode};
+pub use spectrum::{enumerate_spectrum, SpectrumLimits, SpectrumPlan};
+pub use wco::{all_wco_plans, best_wco_subplans};

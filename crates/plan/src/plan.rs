@@ -1,0 +1,465 @@
+//! Plan trees over the SCAN, EXTEND/INTERSECT and HASH-JOIN operators.
+//!
+//! A plan is a rooted tree (paper Section 4.1):
+//!
+//! * leaves are SCAN nodes labelled with a single query edge;
+//! * an internal node with one child is an E/I node that extends its child's sub-query by one
+//!   query vertex through a multiway intersection;
+//! * an internal node with two children is a HASH-JOIN whose sub-query is the union of its
+//!   children's sub-queries.
+//!
+//! Every node is labelled with the *projection* of the query onto its vertex set (the paper's
+//! projection constraint); this module stores the vertex set and the tuple layout (`out`), and
+//! offers classification (WCO / BJ / hybrid), traversal and pretty-printing.
+
+use graphflow_graph::VertexLabel;
+use graphflow_query::extension::AdjListDescriptor;
+use graphflow_query::querygraph::{singleton, VertexSet};
+use graphflow_query::{QueryEdge, QueryGraph};
+use std::fmt;
+
+/// A SCAN leaf: matches one query edge, producing 2-tuples `[src match, dst match]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    /// The query edge being scanned.
+    pub edge: QueryEdge,
+    /// Query-vertex indices carried by the output tuple positions: `[edge.src, edge.dst]`.
+    pub out: Vec<usize>,
+}
+
+/// An EXTEND/INTERSECT node: extends each child tuple by one query vertex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtendNode {
+    pub child: Box<PlanNode>,
+    /// Adjacency-list descriptors; `tuple_idx` indexes into the child's `out` layout.
+    pub descriptors: Vec<AdjListDescriptor>,
+    /// The query vertex matched by this extension.
+    pub target_vertex: usize,
+    /// Required label of the destination data vertex.
+    pub target_label: VertexLabel,
+    /// Output tuple layout: the child's layout followed by `target_vertex`.
+    pub out: Vec<usize>,
+}
+
+/// A HASH-JOIN node: builds a hash table on the `build` child keyed by the common query
+/// vertices, probes it with the `probe` child.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashJoinNode {
+    pub build: Box<PlanNode>,
+    pub probe: Box<PlanNode>,
+    /// The common query vertices (join key), in the order they appear in the probe layout.
+    pub key_vertices: Vec<usize>,
+    /// Output layout: the probe layout followed by the build-only query vertices.
+    pub out: Vec<usize>,
+}
+
+/// A node of a query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    Scan(ScanNode),
+    Extend(ExtendNode),
+    HashJoin(HashJoinNode),
+}
+
+impl PlanNode {
+    /// Build a SCAN node for a query edge.
+    pub fn scan(edge: QueryEdge) -> PlanNode {
+        PlanNode::Scan(ScanNode {
+            out: vec![edge.src, edge.dst],
+            edge,
+        })
+    }
+
+    /// Build an E/I node extending `child` by `target_vertex` of query `q`.
+    ///
+    /// Returns `None` when the extension has no descriptors (Cartesian extension) or the target
+    /// is already covered by the child.
+    pub fn extend(q: &QueryGraph, child: PlanNode, target_vertex: usize) -> Option<PlanNode> {
+        if child.vertex_set() & singleton(target_vertex) != 0 {
+            return None;
+        }
+        let prefix = child.out().to_vec();
+        let spec = graphflow_query::extension::descriptors_for_extension(q, &prefix, target_vertex)?;
+        let mut out = prefix;
+        out.push(target_vertex);
+        Some(PlanNode::Extend(ExtendNode {
+            child: Box::new(child),
+            descriptors: spec.descriptors,
+            target_vertex,
+            target_label: spec.target_label,
+            out,
+        }))
+    }
+
+    /// Build a HASH-JOIN of `build` and `probe`.
+    ///
+    /// Returns `None` when the children do not share at least one query vertex or when their
+    /// union would not equal the projection of the query onto the union of their vertex sets
+    /// (i.e. some query edge between the two sides is covered by neither child — such a join
+    /// would silently drop a predicate).
+    pub fn hash_join(q: &QueryGraph, build: PlanNode, probe: PlanNode) -> Option<PlanNode> {
+        let bs = build.vertex_set();
+        let ps = probe.vertex_set();
+        if bs & ps == 0 || bs | ps == bs || bs | ps == ps {
+            return None;
+        }
+        let union = bs | ps;
+        // Projection-constraint check on the union: every edge of Q within the union must lie
+        // entirely within the build side or entirely within the probe side.
+        for e in q.edges_within(union) {
+            let e_set = singleton(e.src) | singleton(e.dst);
+            if e_set & !bs != 0 && e_set & !ps != 0 {
+                return None;
+            }
+        }
+        let key_vertices: Vec<usize> = probe
+            .out()
+            .iter()
+            .copied()
+            .filter(|&v| bs & singleton(v) != 0)
+            .collect();
+        let mut out = probe.out().to_vec();
+        out.extend(build.out().iter().copied().filter(|&v| ps & singleton(v) == 0));
+        Some(PlanNode::HashJoin(HashJoinNode {
+            build: Box::new(build),
+            probe: Box::new(probe),
+            key_vertices,
+            out,
+        }))
+    }
+
+    /// The query-vertex layout of the tuples this node produces.
+    pub fn out(&self) -> &[usize] {
+        match self {
+            PlanNode::Scan(n) => &n.out,
+            PlanNode::Extend(n) => &n.out,
+            PlanNode::HashJoin(n) => &n.out,
+        }
+    }
+
+    /// The set of query vertices covered by this node's sub-query.
+    pub fn vertex_set(&self) -> VertexSet {
+        self.out().iter().fold(0, |acc, &v| acc | singleton(v))
+    }
+
+    /// Number of operators in the subtree.
+    pub fn num_operators(&self) -> usize {
+        match self {
+            PlanNode::Scan(_) => 1,
+            PlanNode::Extend(n) => 1 + n.child.num_operators(),
+            PlanNode::HashJoin(n) => 1 + n.build.num_operators() + n.probe.num_operators(),
+        }
+    }
+
+    /// Whether the subtree contains a HASH-JOIN.
+    pub fn has_hash_join(&self) -> bool {
+        match self {
+            PlanNode::Scan(_) => false,
+            PlanNode::Extend(n) => n.child.has_hash_join(),
+            PlanNode::HashJoin(_) => true,
+        }
+    }
+
+    /// Whether the subtree contains an E/I operator with two or more descriptors (a genuine
+    /// multiway intersection, as opposed to a single-list extension).
+    pub fn has_multiway_intersection(&self) -> bool {
+        match self {
+            PlanNode::Scan(_) => false,
+            PlanNode::Extend(n) => {
+                n.descriptors.len() >= 2 || n.child.has_multiway_intersection()
+            }
+            PlanNode::HashJoin(n) => {
+                n.build.has_multiway_intersection() || n.probe.has_multiway_intersection()
+            }
+        }
+    }
+
+    /// Whether the subtree contains any E/I operator at all.
+    pub fn has_extend(&self) -> bool {
+        match self {
+            PlanNode::Scan(_) => false,
+            PlanNode::Extend(_) => true,
+            PlanNode::HashJoin(n) => n.build.has_extend() || n.probe.has_extend(),
+        }
+    }
+
+    /// Length of the chain of consecutive E/I operators ending at this node (0 for non-E/I).
+    pub fn ei_chain_len(&self) -> usize {
+        match self {
+            PlanNode::Extend(n) => 1 + n.child.ei_chain_len(),
+            _ => 0,
+        }
+    }
+
+    /// The longest chain of consecutive E/I operators anywhere in the subtree.
+    pub fn longest_ei_chain(&self) -> usize {
+        match self {
+            PlanNode::Scan(_) => 0,
+            PlanNode::Extend(_) => {
+                let here = self.ei_chain_len();
+                here.max(match self {
+                    PlanNode::Extend(n) => n.child.longest_ei_chain(),
+                    _ => 0,
+                })
+            }
+            PlanNode::HashJoin(n) => n.build.longest_ei_chain().max(n.probe.longest_ei_chain()),
+        }
+    }
+
+    /// A structural fingerprint used to de-duplicate plans during spectrum enumeration.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            PlanNode::Scan(n) => format!("S({}->{}:{})", n.edge.src, n.edge.dst, n.edge.label.0),
+            PlanNode::Extend(n) => {
+                let descs: Vec<String> = n
+                    .descriptors
+                    .iter()
+                    .map(|d| format!("{}{}{}", n.child.out()[d.tuple_idx], d.dir, d.edge_label.0))
+                    .collect();
+                format!("E({};{}<-[{}])", n.child.fingerprint(), n.target_vertex, descs.join(","))
+            }
+            PlanNode::HashJoin(n) => format!(
+                "J({}|{})",
+                n.build.fingerprint(),
+                n.probe.fingerprint()
+            ),
+        }
+    }
+}
+
+/// Classification of a plan by the operators it uses (paper Section 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanClass {
+    /// Only SCAN and E/I operators (a single chain): a worst-case optimal plan.
+    Wco,
+    /// Only SCAN and HASH-JOIN operators (plus single-list E/I extensions used as index
+    /// nested-loop style extensions are *not* allowed in this class): a binary-join plan.
+    BinaryJoin,
+    /// Both multiway intersections and hash joins.
+    Hybrid,
+}
+
+impl fmt::Display for PlanClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanClass::Wco => write!(f, "WCO"),
+            PlanClass::BinaryJoin => write!(f, "BJ"),
+            PlanClass::Hybrid => write!(f, "Hybrid"),
+        }
+    }
+}
+
+/// A complete plan for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub query: QueryGraph,
+    pub root: PlanNode,
+    /// Estimated cost in i-cost units (filled in by the planner that produced the plan).
+    pub estimated_cost: f64,
+}
+
+impl Plan {
+    /// Create a plan, asserting that it covers the whole query.
+    pub fn new(query: QueryGraph, root: PlanNode, estimated_cost: f64) -> Plan {
+        debug_assert_eq!(root.vertex_set(), query.full_set(), "plan must cover the query");
+        Plan {
+            query,
+            root,
+            estimated_cost,
+        }
+    }
+
+    /// Classify the plan as WCO, BJ or hybrid.
+    pub fn class(&self) -> PlanClass {
+        let has_join = self.root.has_hash_join();
+        let has_multi = self.root.has_multiway_intersection();
+        match (has_join, has_multi) {
+            (false, _) => PlanClass::Wco,
+            (true, false) => PlanClass::BinaryJoin,
+            (true, true) => PlanClass::Hybrid,
+        }
+    }
+
+    /// The query-vertex ordering of a WCO plan (None for plans containing hash joins).
+    pub fn wco_ordering(&self) -> Option<Vec<usize>> {
+        if self.root.has_hash_join() {
+            return None;
+        }
+        Some(self.root.out().to_vec())
+    }
+
+    /// Pretty multi-line representation of the operator tree.
+    pub fn explain(&self) -> String {
+        fn rec(node: &PlanNode, q: &QueryGraph, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match node {
+                PlanNode::Scan(n) => {
+                    out.push_str(&format!(
+                        "{pad}SCAN ({})->({}) [label {}]\n",
+                        q.vertex(n.edge.src).name,
+                        q.vertex(n.edge.dst).name,
+                        n.edge.label.0
+                    ));
+                }
+                PlanNode::Extend(n) => {
+                    let descs: Vec<String> = n
+                        .descriptors
+                        .iter()
+                        .map(|d| {
+                            format!(
+                                "{}.{}[{}]",
+                                q.vertex(n.child.out()[d.tuple_idx]).name,
+                                d.dir,
+                                d.edge_label.0
+                            )
+                        })
+                        .collect();
+                    out.push_str(&format!(
+                        "{pad}EXTEND/INTERSECT -> {} using {{{}}}\n",
+                        q.vertex(n.target_vertex).name,
+                        descs.join(", ")
+                    ));
+                    rec(&n.child, q, indent + 1, out);
+                }
+                PlanNode::HashJoin(n) => {
+                    let keys: Vec<&str> =
+                        n.key_vertices.iter().map(|&v| q.vertex(v).name.as_str()).collect();
+                    out.push_str(&format!("{pad}HASH-JOIN on [{}]\n", keys.join(", ")));
+                    out.push_str(&format!("{pad}  build:\n"));
+                    rec(&n.build, q, indent + 2, out);
+                    out.push_str(&format!("{pad}  probe:\n"));
+                    rec(&n.probe, q, indent + 2, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        rec(&self.root, &self.query, 0, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_query::patterns;
+
+    fn wco_plan_for(q: &QueryGraph, sigma: &[usize]) -> PlanNode {
+        let edge = q
+            .edges()
+            .iter()
+            .find(|e| {
+                (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0])
+            })
+            .copied()
+            .unwrap();
+        let mut node = PlanNode::scan(edge);
+        for &t in &sigma[2..] {
+            node = PlanNode::extend(q, node, t).unwrap();
+        }
+        node
+    }
+
+    #[test]
+    fn wco_plan_structure() {
+        let q = patterns::diamond_x();
+        let root = wco_plan_for(&q, &[0, 1, 2, 3]);
+        assert_eq!(root.vertex_set(), q.full_set());
+        assert_eq!(root.num_operators(), 3);
+        assert!(!root.has_hash_join());
+        assert!(root.has_multiway_intersection());
+        assert_eq!(root.longest_ei_chain(), 2);
+        let plan = Plan::new(q.clone(), root, 0.0);
+        assert_eq!(plan.class(), PlanClass::Wco);
+        assert_eq!(plan.wco_ordering(), Some(vec![0, 1, 2, 3]));
+        assert!(plan.explain().contains("EXTEND/INTERSECT"));
+    }
+
+    #[test]
+    fn hybrid_plan_for_diamond_x() {
+        // The Figure 1c hybrid plan: two triangles joined on (a2, a3).
+        let q = patterns::diamond_x();
+        let left = wco_plan_for(&q, &[0, 1, 2]); // triangle a1 a2 a3
+        let right = wco_plan_for(&q, &[1, 2, 3]); // triangle a2 a3 a4
+        let join = PlanNode::hash_join(&q, left, right).unwrap();
+        assert_eq!(join.vertex_set(), q.full_set());
+        let plan = Plan::new(q.clone(), join, 0.0);
+        assert_eq!(plan.class(), PlanClass::Hybrid);
+        assert!(plan.explain().contains("HASH-JOIN"));
+        assert_eq!(plan.wco_ordering(), None);
+    }
+
+    #[test]
+    fn join_requires_shared_vertices_and_projection_constraint() {
+        let q = patterns::diamond_x();
+        // Disjoint pieces (edge a1->a2 and edge a3->a4) share nothing: rejected.
+        let e1 = PlanNode::scan(q.edges()[0]); // a1->a2
+        let e2 = PlanNode::scan(q.edges()[4]); // a3->a4
+        assert!(PlanNode::hash_join(&q, e1.clone(), e2.clone()).is_none());
+
+        // Joining edge a1->a2 with edge a2->a4 covers {a1,a2,a4}, which induces only those two
+        // edges in Q, so the join is accepted.
+        let e3 = PlanNode::scan(q.edges()[3]); // a2->a4
+        assert!(PlanNode::hash_join(&q, e1.clone(), e3).is_some());
+
+        // Joining triangle {a1,a2,a3} with edge a2->a4 covers all four vertices but misses the
+        // query edge a3->a4: rejected by the projection/union constraint.
+        let tri = wco_plan_for(&q, &[0, 1, 2]);
+        let e4 = PlanNode::scan(q.edges()[3]);
+        assert!(PlanNode::hash_join(&q, tri, e4).is_none());
+    }
+
+    #[test]
+    fn extend_rejects_cartesian_and_duplicate_targets() {
+        let q = patterns::diamond_x();
+        let scan = PlanNode::scan(q.edges()[0]); // a1->a2
+        // a4 is not adjacent to {a1, a2}? It is adjacent to a2 (a2->a4), so that works;
+        // but extending by a1 (already covered) must fail.
+        assert!(PlanNode::extend(&q, scan.clone(), 0).is_none());
+        // Extending the single edge a1->a3 (covers {a1,a3}) by a4: a4 is adjacent to a3 only.
+        let scan13 = PlanNode::scan(q.edges()[1]);
+        let ext = PlanNode::extend(&q, scan13, 3).unwrap();
+        match &ext {
+            PlanNode::Extend(n) => assert_eq!(n.descriptors.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bj_class_plans_have_no_multiway_intersections() {
+        // Q11 (acyclic): a pure binary-join plan via two scans joined on the shared vertex.
+        let q = patterns::directed_path(3);
+        let s1 = PlanNode::scan(q.edges()[0]);
+        let s2 = PlanNode::scan(q.edges()[1]);
+        let join = PlanNode::hash_join(&q, s1, s2).unwrap();
+        let plan = Plan::new(q, join, 0.0);
+        assert_eq!(plan.class(), PlanClass::BinaryJoin);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_plans() {
+        let q = patterns::diamond_x();
+        let p1 = wco_plan_for(&q, &[0, 1, 2, 3]);
+        let p2 = wco_plan_for(&q, &[1, 2, 0, 3]);
+        assert_ne!(p1.fingerprint(), p2.fingerprint());
+        assert_eq!(p1.fingerprint(), wco_plan_for(&q, &[0, 1, 2, 3]).fingerprint());
+    }
+
+    #[test]
+    fn hash_join_key_and_layout() {
+        let q = patterns::diamond_x();
+        let left = wco_plan_for(&q, &[0, 1, 2]);
+        let right = wco_plan_for(&q, &[1, 2, 3]);
+        if let PlanNode::HashJoin(j) = PlanNode::hash_join(&q, left, right).unwrap() {
+            assert_eq!(j.key_vertices, vec![1, 2]);
+            assert_eq!(j.out, vec![1, 2, 3, 0]);
+        } else {
+            unreachable!()
+        }
+    }
+}

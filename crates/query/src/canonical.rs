@@ -1,0 +1,215 @@
+//! Canonical codes and automorphism groups of small query graphs.
+//!
+//! The subgraph catalogue (paper Section 5) keys its entries on *canonicalised* subgraphs —
+//! Table 7 shows query vertices renamed to canonical integers — and the planner de-duplicates
+//! query-vertex orderings that are equivalent under an automorphism of the query (the paper's
+//! Section 3.2.3 observes that symmetric orderings "will perform exactly the same operations").
+//!
+//! Query graphs are tiny (≤ 8 vertices in every experiment), so a brute-force minimisation over
+//! all vertex permutations is both exact and fast.
+
+use crate::querygraph::QueryGraph;
+
+/// A canonical, permutation-invariant encoding of a query graph.
+///
+/// Two query graphs have the same code iff they are isomorphic respecting vertex labels, edge
+/// labels and edge directions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalCode(pub Vec<u64>);
+
+fn encode_under_permutation(q: &QueryGraph, perm: &[usize]) -> Vec<u64> {
+    // perm[original_index] = canonical position
+    let mut code = Vec::with_capacity(q.num_vertices() + q.num_edges() + 1);
+    code.push(q.num_vertices() as u64);
+    // Vertex labels in canonical order.
+    let mut vlabels = vec![0u64; q.num_vertices()];
+    for (orig, v) in q.vertices().iter().enumerate() {
+        vlabels[perm[orig]] = v.label.0 as u64;
+    }
+    code.extend_from_slice(&vlabels);
+    // Edges as (canonical src, canonical dst, label), sorted.
+    let mut edges: Vec<u64> = q
+        .edges()
+        .iter()
+        .map(|e| {
+            let s = perm[e.src] as u64;
+            let d = perm[e.dst] as u64;
+            (s << 32) | (d << 16) | e.label.0 as u64
+        })
+        .collect();
+    edges.sort_unstable();
+    code.extend_from_slice(&edges);
+    code
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(n: usize, cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(n, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, &mut Vec::new(), &mut vec![false; n], &mut out);
+    out
+}
+
+/// Compute the canonical code of a query graph by minimising over all vertex permutations.
+///
+/// Intended for graphs with at most ~8 vertices (catalogue entries have at most `h + 1 ≤ 5`).
+pub fn canonical_code(q: &QueryGraph) -> CanonicalCode {
+    let n = q.num_vertices();
+    if n == 0 {
+        return CanonicalCode(vec![0]);
+    }
+    assert!(n <= 9, "canonical_code is brute force; query too large ({n} vertices)");
+    let mut best: Option<Vec<u64>> = None;
+    for perm in permutations(n) {
+        let code = encode_under_permutation(q, &perm);
+        if best.as_ref().map_or(true, |b| code < *b) {
+            best = Some(code);
+        }
+    }
+    CanonicalCode(best.unwrap())
+}
+
+/// All automorphisms of the query graph: permutations `p` (as `p[original] = image`) that map
+/// the query onto itself preserving directions and labels. Always contains the identity.
+pub fn automorphisms(q: &QueryGraph) -> Vec<Vec<usize>> {
+    let n = q.num_vertices();
+    if n == 0 {
+        return vec![vec![]];
+    }
+    assert!(n <= 9, "automorphisms is brute force; query too large ({n} vertices)");
+    let reference = encode_under_permutation(q, &(0..n).collect::<Vec<_>>());
+    let mut reference_sorted = reference;
+    // encode_under_permutation already sorts edges, so direct comparison works.
+    let mut autos = Vec::new();
+    for perm in permutations(n) {
+        let code = encode_under_permutation(q, &perm);
+        if code == reference_sorted {
+            autos.push(perm);
+        }
+    }
+    // keep reference_sorted binding to clarify intent
+    reference_sorted = Vec::new();
+    let _ = reference_sorted;
+    autos
+}
+
+/// Whether two query graphs are isomorphic (respecting labels and directions).
+pub fn are_isomorphic(a: &QueryGraph, b: &QueryGraph) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    canonical_code(a) == canonical_code(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use graphflow_graph::{EdgeLabel, VertexLabel};
+
+    #[test]
+    fn isomorphic_triangles_share_code() {
+        // Same asymmetric triangle written with two different vertex orders.
+        let mut q1 = QueryGraph::new();
+        for _ in 0..3 {
+            q1.add_default_vertex();
+        }
+        q1.add_edge(0, 1, EdgeLabel(0));
+        q1.add_edge(1, 2, EdgeLabel(0));
+        q1.add_edge(0, 2, EdgeLabel(0));
+
+        let mut q2 = QueryGraph::new();
+        for _ in 0..3 {
+            q2.add_default_vertex();
+        }
+        q2.add_edge(2, 0, EdgeLabel(0));
+        q2.add_edge(0, 1, EdgeLabel(0));
+        q2.add_edge(2, 1, EdgeLabel(0));
+
+        assert!(are_isomorphic(&q1, &q2));
+        assert_eq!(canonical_code(&q1), canonical_code(&q2));
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Directed path a->b->c vs a->b<-c are not isomorphic.
+        let mut p1 = QueryGraph::new();
+        for _ in 0..3 {
+            p1.add_default_vertex();
+        }
+        p1.add_edge(0, 1, EdgeLabel(0));
+        p1.add_edge(1, 2, EdgeLabel(0));
+
+        let mut p2 = QueryGraph::new();
+        for _ in 0..3 {
+            p2.add_default_vertex();
+        }
+        p2.add_edge(0, 1, EdgeLabel(0));
+        p2.add_edge(2, 1, EdgeLabel(0));
+
+        assert!(!are_isomorphic(&p1, &p2));
+    }
+
+    #[test]
+    fn labels_matter() {
+        let mut a = QueryGraph::new();
+        a.add_vertex("x", VertexLabel(1));
+        a.add_vertex("y", VertexLabel(0));
+        a.add_edge(0, 1, EdgeLabel(0));
+        let mut b = QueryGraph::new();
+        b.add_vertex("x", VertexLabel(0));
+        b.add_vertex("y", VertexLabel(0));
+        b.add_edge(0, 1, EdgeLabel(0));
+        assert!(!are_isomorphic(&a, &b));
+
+        let c = a.relabel_edges(|_| EdgeLabel(3));
+        assert!(!are_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn automorphism_counts_of_known_shapes() {
+        // Asymmetric triangle a1->a2->a3, a1->a3: trivial automorphism group.
+        let tri = patterns::asymmetric_triangle();
+        assert_eq!(automorphisms(&tri).len(), 1);
+
+        // Diamond-X: swapping a2<->a3 is NOT an automorphism (a2->a3 edge breaks), but the
+        // identity always is.
+        let dx = patterns::diamond_x();
+        let autos = automorphisms(&dx);
+        assert!(autos.contains(&vec![0, 1, 2, 3]));
+
+        // Directed 4-clique with acyclic orientation has only the identity.
+        let k4 = patterns::directed_clique(4);
+        assert_eq!(automorphisms(&k4).len(), 1);
+
+        // A symmetric 2-cycle a<->b has the swap automorphism.
+        let mut two = QueryGraph::new();
+        two.add_default_vertex();
+        two.add_default_vertex();
+        two.add_edge(0, 1, EdgeLabel(0));
+        two.add_edge(1, 0, EdgeLabel(0));
+        assert_eq!(automorphisms(&two).len(), 2);
+    }
+
+    #[test]
+    fn projections_of_same_shape_are_isomorphic() {
+        let dx = patterns::diamond_x();
+        // Both triangles of the diamond-X are isomorphic to each other.
+        let (t1, _) = dx.project(0b0111);
+        let (t2, _) = dx.project(0b1110);
+        assert!(are_isomorphic(&t1, &t2));
+    }
+}

@@ -1,0 +1,163 @@
+//! Adjacency-list descriptors for EXTEND/INTERSECT steps.
+//!
+//! The paper's E/I operator is configured with one or more *adjacency list descriptors*
+//! `(i, dir, le)` — "i is the index of a vertex in t, dir is forward or backward, and le is the
+//! label on the query edge the descriptor represents" (Section 3.1) — plus the label of the
+//! destination query vertex. Given a query, a prefix of matched query vertices and the query
+//! vertex to extend to, [`descriptors_for_extension`] derives exactly those descriptors.
+
+use crate::querygraph::QueryGraph;
+use graphflow_graph::{Direction, EdgeLabel, VertexLabel};
+
+/// A single adjacency-list descriptor `(tuple index, direction, edge label)` of an E/I operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdjListDescriptor {
+    /// Index into the partial-match tuple (i.e. position within the query-vertex ordering
+    /// prefix) whose data vertex's adjacency list is accessed.
+    pub tuple_idx: usize,
+    /// Which adjacency list of that vertex is accessed.
+    pub dir: Direction,
+    /// The label required on the traversed data edge.
+    pub edge_label: EdgeLabel,
+}
+
+/// The full configuration of one E/I extension: the descriptors to intersect and the label
+/// required on the destination vertex.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExtensionSpec {
+    pub descriptors: Vec<AdjListDescriptor>,
+    pub target_label: VertexLabel,
+    /// The query-vertex index being matched by this extension.
+    pub target_vertex: usize,
+}
+
+/// Compute the descriptors for extending the partial matches of the prefix `prefix` (a list of
+/// query-vertex indices, in match order) to additionally cover query vertex `target`.
+///
+/// For every query edge `prefix[i] -> target` the descriptor is `(i, Fwd, label)`; for every
+/// query edge `target -> prefix[i]` it is `(i, Bwd, label)` (the extension walks the data edge
+/// backwards from the already-matched endpoint). Returns `None` if `target` has no query edge to
+/// the prefix (the extension would be a Cartesian product, which WCO plans never do).
+pub fn descriptors_for_extension(
+    q: &QueryGraph,
+    prefix: &[usize],
+    target: usize,
+) -> Option<ExtensionSpec> {
+    let mut descriptors = Vec::new();
+    for e in q.edges() {
+        if e.src == target {
+            if let Some(i) = prefix.iter().position(|&v| v == e.dst) {
+                // target -> prefix[i]: from the matched endpoint, walk its backward list.
+                descriptors.push(AdjListDescriptor {
+                    tuple_idx: i,
+                    dir: Direction::Bwd,
+                    edge_label: e.label,
+                });
+            }
+        } else if e.dst == target {
+            if let Some(i) = prefix.iter().position(|&v| v == e.src) {
+                descriptors.push(AdjListDescriptor {
+                    tuple_idx: i,
+                    dir: Direction::Fwd,
+                    edge_label: e.label,
+                });
+            }
+        }
+    }
+    if descriptors.is_empty() {
+        return None;
+    }
+    descriptors.sort_by_key(|d| (d.tuple_idx, d.dir, d.edge_label));
+    Some(ExtensionSpec {
+        descriptors,
+        target_label: q.vertex(target).label,
+        target_vertex: target,
+    })
+}
+
+/// The descriptor sequence of a full WCO plan given by the ordering `sigma`: one
+/// [`ExtensionSpec`] per extension step (step `k` extends the first `k` vertices to `k + 1`,
+/// for `k = 2 .. m-1`). Returns `None` if some prefix is disconnected from the next vertex.
+pub fn extension_chain(q: &QueryGraph, sigma: &[usize]) -> Option<Vec<ExtensionSpec>> {
+    if sigma.len() < 2 {
+        return None;
+    }
+    // The first two query vertices are matched by a SCAN, so they must share a query edge.
+    let scan_connected = q
+        .edges()
+        .iter()
+        .any(|e| (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0]));
+    if !scan_connected {
+        return None;
+    }
+    let mut chain = Vec::with_capacity(sigma.len().saturating_sub(2));
+    for k in 2..sigma.len() {
+        let spec = descriptors_for_extension(q, &sigma[..k], sigma[k])?;
+        chain.push(spec);
+    }
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn asymmetric_triangle_descriptor_directions() {
+        // a1->a2, a2->a3, a1->a3 with sigma = a1 a2 a3: both descriptors forward.
+        let tri = patterns::asymmetric_triangle();
+        let spec = descriptors_for_extension(&tri, &[0, 1], 2).unwrap();
+        assert_eq!(spec.descriptors.len(), 2);
+        assert!(spec.descriptors.iter().all(|d| d.dir == Direction::Fwd));
+
+        // sigma = a2 a3 a1: extending to a1 means both edges point *from* a1, so both Bwd.
+        let spec = descriptors_for_extension(&tri, &[1, 2], 0).unwrap();
+        assert!(spec.descriptors.iter().all(|d| d.dir == Direction::Bwd));
+
+        // sigma = a1 a3 a2: a1->a2 (Fwd from a1) and a2->a3 (Bwd from a3).
+        let spec = descriptors_for_extension(&tri, &[0, 2], 1).unwrap();
+        let dirs: Vec<Direction> = spec.descriptors.iter().map(|d| d.dir).collect();
+        assert!(dirs.contains(&Direction::Fwd) && dirs.contains(&Direction::Bwd));
+    }
+
+    #[test]
+    fn cartesian_extension_is_rejected() {
+        // Diamond-X: a4 has no edge to a1, so extending {a1} by a4 is a Cartesian product.
+        let dx = patterns::diamond_x();
+        assert!(descriptors_for_extension(&dx, &[0], 3).is_none());
+        assert!(descriptors_for_extension(&dx, &[0, 1], 3).is_some());
+    }
+
+    #[test]
+    fn full_chain_of_diamond_x() {
+        let dx = patterns::diamond_x();
+        let chain = extension_chain(&dx, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(chain.len(), 2);
+        // Step 1 extends {a1,a2} by a3 intersecting two lists; step 2 extends by a4 with two.
+        assert_eq!(chain[0].descriptors.len(), 2);
+        assert_eq!(chain[1].descriptors.len(), 2);
+        assert_eq!(chain[1].target_vertex, 3);
+
+        // The 2-path ordering a1 a2 a4 a3 first extends a4 with one descriptor then closes with 3.
+        let chain2 = extension_chain(&dx, &[0, 1, 3, 2]).unwrap();
+        assert_eq!(chain2[0].descriptors.len(), 1);
+        assert_eq!(chain2[1].descriptors.len(), 3);
+    }
+
+    #[test]
+    fn labelled_descriptors_carry_labels() {
+        use graphflow_graph::EdgeLabel;
+        let dx = patterns::diamond_x().relabel_edges(|i| EdgeLabel(i as u16));
+        let spec = descriptors_for_extension(&dx, &[0, 1], 2).unwrap();
+        let labels: Vec<u16> = spec.descriptors.iter().map(|d| d.edge_label.0).collect();
+        // Edges a1->a3 (label 1) and a2->a3 (label 2).
+        assert_eq!(labels, vec![1, 2]);
+    }
+
+    #[test]
+    fn chain_fails_on_disconnected_prefix() {
+        let dx = patterns::diamond_x();
+        assert!(extension_chain(&dx, &[0, 3, 1, 2]).is_none());
+    }
+}

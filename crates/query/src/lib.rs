@@ -1,0 +1,30 @@
+//! # graphflow-query
+//!
+//! Query-graph model for Graphflow-RS.
+//!
+//! A subgraph query `Q(V_Q, E_Q)` is a small directed, connected, labelled graph whose matches
+//! are looked for in a data graph (paper Section 2). This crate provides:
+//!
+//! * [`QueryGraph`] — the query representation with labelled query vertices and edges,
+//!   projections onto vertex subsets, and connectivity utilities used by the planner;
+//! * [`parser`] — a compact textual pattern syntax (`(a)-[1]->(b:2), (b)->(c)`);
+//! * [`patterns`] — constructors for the standard shapes used throughout the paper (triangle,
+//!   diamond-X, tailed triangle, cliques, cycles) and the benchmark queries Q1–Q14 of Figure 6;
+//! * [`qvo`] — enumeration of query-vertex orderings (QVOs), i.e. connected orders of `V_Q`,
+//!   with automorphism-based de-duplication;
+//! * [`canonical`] — canonical codes and automorphism groups of small query graphs, used for
+//!   catalogue keys and for recognising symmetric sub-plans.
+
+pub mod canonical;
+pub mod extension;
+pub mod parser;
+pub mod patterns;
+pub mod querygraph;
+pub mod qvo;
+
+pub use canonical::{automorphisms, canonical_code};
+pub use extension::{descriptors_for_extension, extension_chain, AdjListDescriptor, ExtensionSpec};
+pub use parser::{parse_query, ParseError};
+pub use patterns::benchmark_query;
+pub use querygraph::{QueryEdge, QueryGraph, QueryVertex, VertexSet};
+pub use qvo::{connected_orderings, distinct_orderings};

@@ -1,0 +1,295 @@
+//! A compact textual pattern syntax for subgraph queries.
+//!
+//! Graphflow supports a subset of Cypher; for this reproduction a smaller pattern language is
+//! enough to express every query in the paper:
+//!
+//! ```text
+//! pattern   := edge ("," edge)*
+//! edge      := vertex arrow vertex
+//! vertex    := "(" name (":" label)? ")"
+//! arrow     := "->" | "-[" label "]->" | "<-" | "<-[" label "]-"
+//! name      := identifier (e.g. a1, person)
+//! label     := unsigned integer (maps directly onto data-graph label ids)
+//! ```
+//!
+//! Examples:
+//!
+//! ```
+//! use graphflow_query::parse_query;
+//! // Unlabelled asymmetric triangle.
+//! let q = parse_query("(a1)->(a2), (a2)->(a3), (a1)->(a3)").unwrap();
+//! assert_eq!(q.num_vertices(), 3);
+//! // Labelled query: edge label 2 between vertices labelled 1 and 0.
+//! let q = parse_query("(x:1)-[2]->(y)").unwrap();
+//! assert_eq!(q.num_edges(), 1);
+//! ```
+
+use crate::querygraph::QueryGraph;
+use graphflow_graph::{EdgeLabel, VertexLabel};
+use std::fmt;
+
+/// An error produced while parsing a query pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input near which the error occurred.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    query: QueryGraph,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            query: QueryGraph::new(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &str {
+        &self.input[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.input.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}")))
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String, ParseError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected identifier"));
+        }
+        let ident = rest[..end].to_string();
+        self.pos += end;
+        Ok(ident)
+    }
+
+    fn parse_number(&mut self) -> Result<u16, ParseError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a numeric label"));
+        }
+        let value: u32 = rest[..end].parse().map_err(|_| self.err("invalid number"))?;
+        if value > u16::MAX as u32 {
+            return Err(self.err("label out of range"));
+        }
+        self.pos += end;
+        Ok(value as u16)
+    }
+
+    /// `(name)` or `(name:label)`; returns the vertex index, creating the vertex if unseen.
+    fn parse_vertex(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        self.expect("(")?;
+        self.skip_ws();
+        let name = self.parse_identifier()?;
+        self.skip_ws();
+        let label = if self.eat(":") {
+            self.skip_ws();
+            VertexLabel(self.parse_number()?)
+        } else {
+            VertexLabel(0)
+        };
+        self.skip_ws();
+        self.expect(")")?;
+        match self.query.vertex_index(&name) {
+            Some(idx) => {
+                let existing = self.query.vertex(idx).label;
+                if label != VertexLabel(0) && existing != VertexLabel(0) && existing != label {
+                    return Err(self.err(format!(
+                        "vertex {name} declared with conflicting labels {} and {}",
+                        existing.0, label.0
+                    )));
+                }
+                if label != VertexLabel(0) && existing == VertexLabel(0) {
+                    // Upgrade the label in place via relabelling.
+                    let q = std::mem::take(&mut self.query);
+                    self.query =
+                        q.relabel_vertices(|i| if i == idx { label } else { q.vertex(i).label });
+                }
+                Ok(idx)
+            }
+            None => Ok(self.query.add_vertex(name, label)),
+        }
+    }
+
+    /// `->`, `-[label]->`, `<-` or `<-[label]-`; returns `(reversed, label)`.
+    fn parse_arrow(&mut self) -> Result<(bool, EdgeLabel), ParseError> {
+        self.skip_ws();
+        if self.eat("->") {
+            return Ok((false, EdgeLabel(0)));
+        }
+        if self.eat("-[") {
+            self.skip_ws();
+            self.eat(":"); // tolerate Cypher-ish "-[:3]->"
+            let label = EdgeLabel(self.parse_number()?);
+            self.skip_ws();
+            self.expect("]->")?;
+            return Ok((false, label));
+        }
+        if self.eat("<-[") {
+            self.skip_ws();
+            self.eat(":");
+            let label = EdgeLabel(self.parse_number()?);
+            self.skip_ws();
+            self.expect("]-")?;
+            return Ok((true, label));
+        }
+        if self.eat("<-") {
+            return Ok((true, EdgeLabel(0)));
+        }
+        Err(self.err("expected an arrow: ->, -[l]->, <- or <-[l]-"))
+    }
+
+    fn parse_pattern(mut self) -> Result<QueryGraph, ParseError> {
+        loop {
+            let a = self.parse_vertex()?;
+            let (reversed, label) = self.parse_arrow()?;
+            let b = self.parse_vertex()?;
+            let (src, dst) = if reversed { (b, a) } else { (a, b) };
+            if src == dst {
+                return Err(self.err("self loops are not allowed in query patterns"));
+            }
+            self.query.add_edge(src, dst, label);
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            break;
+        }
+        self.skip_ws();
+        if !self.rest().is_empty() {
+            return Err(self.err("trailing input after pattern"));
+        }
+        if !self.query.is_connected() {
+            return Err(self.err("query pattern must be connected"));
+        }
+        Ok(self.query)
+    }
+}
+
+/// Parse a query pattern string into a [`QueryGraph`].
+pub fn parse_query(input: &str) -> Result<QueryGraph, ParseError> {
+    Parser::new(input).parse_pattern()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::are_isomorphic;
+    use crate::patterns;
+
+    #[test]
+    fn parses_triangle() {
+        let q = parse_query("(a1)->(a2), (a2)->(a3), (a1)->(a3)").unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert!(are_isomorphic(&q, &patterns::asymmetric_triangle()));
+    }
+
+    #[test]
+    fn parses_labels_and_reverse_arrows() {
+        let q = parse_query("(x:1)-[2]->(y), (y)<-(z:3)").unwrap();
+        assert_eq!(q.num_vertices(), 3);
+        assert_eq!(q.num_edges(), 2);
+        let x = q.vertex_index("x").unwrap();
+        let z = q.vertex_index("z").unwrap();
+        assert_eq!(q.vertex(x).label.0, 1);
+        assert_eq!(q.vertex(z).label.0, 3);
+        assert!(q.edges().iter().any(|e| e.label.0 == 2));
+        // (y)<-(z) means z -> y
+        let y = q.vertex_index("y").unwrap();
+        assert!(q.edges().iter().any(|e| e.src == z && e.dst == y));
+    }
+
+    #[test]
+    fn parses_cypher_style_edge_label() {
+        let q = parse_query("(a)-[:5]->(b)").unwrap();
+        assert_eq!(q.edges()[0].label.0, 5);
+        let q2 = parse_query("(a)<-[:5]-(b)").unwrap();
+        assert_eq!(q2.edges()[0].src, q2.vertex_index("b").unwrap());
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let q = parse_query("  ( a1 ) -> ( a2 ) ,\n (a2) -> (a3), (a1)->(a3)  ").unwrap();
+        assert_eq!(q.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_disconnected_and_malformed_patterns() {
+        assert!(parse_query("(a)->(b), (c)->(d)").is_err());
+        assert!(parse_query("(a)->(a)").is_err());
+        assert!(parse_query("(a)->(b) junk").is_err());
+        assert!(parse_query("(a)-(b)").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("(a:b)->(c)").is_err(), "labels must be numeric");
+    }
+
+    #[test]
+    fn conflicting_vertex_labels_rejected() {
+        assert!(parse_query("(a:1)->(b), (a:2)->(c)").is_err());
+        // Re-stating the same label or adding it later is fine.
+        let q = parse_query("(a)->(b), (a:2)->(c)").unwrap();
+        let a = q.vertex_index("a").unwrap();
+        assert_eq!(q.vertex(a).label.0, 2);
+    }
+
+    #[test]
+    fn round_trips_benchmark_queries_through_display() {
+        for (j, q) in patterns::all_benchmark_queries() {
+            let text = q.to_string();
+            let reparsed = parse_query(&text).unwrap_or_else(|e| panic!("Q{j}: {e}"));
+            assert!(are_isomorphic(&q, &reparsed), "Q{j} display/parse round trip");
+        }
+    }
+}

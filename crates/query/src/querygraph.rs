@@ -1,0 +1,417 @@
+//! The [`QueryGraph`] type and vertex-subset utilities.
+
+use graphflow_graph::{EdgeLabel, VertexLabel};
+use std::fmt;
+
+/// A set of query vertices, encoded as a bitmask over query-vertex indices.
+///
+/// Queries in the paper have at most a handful of vertices (Q14, the largest benchmark query,
+/// has 7), so a 32-bit mask is plenty. The planner keys its dynamic-programming table on these
+/// sets because every plan node is labelled with a *projection* of the query onto a vertex
+/// subset (the projection constraint of Section 4.1).
+pub type VertexSet = u32;
+
+/// Iterate the indices contained in a [`VertexSet`], in increasing order.
+pub fn set_iter(set: VertexSet) -> impl Iterator<Item = usize> {
+    (0..32usize).filter(move |i| set & (1 << i) != 0)
+}
+
+/// Number of vertices in the set.
+#[inline]
+pub fn set_len(set: VertexSet) -> usize {
+    set.count_ones() as usize
+}
+
+/// The set containing the single vertex `i`.
+#[inline]
+pub fn singleton(i: usize) -> VertexSet {
+    1 << i
+}
+
+/// A query vertex: a variable name plus a required vertex label (label 0 = unlabelled).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryVertex {
+    pub name: String,
+    pub label: VertexLabel,
+}
+
+/// A directed query edge between query-vertex indices, carrying an edge label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryEdge {
+    pub src: usize,
+    pub dst: usize,
+    pub label: EdgeLabel,
+}
+
+/// A directed, labelled query graph.
+///
+/// Query vertices are referred to by dense indices `0..num_vertices()`; the conventional names
+/// `a1, a2, ...` of the paper map to indices `0, 1, ...`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QueryGraph {
+    vertices: Vec<QueryVertex>,
+    edges: Vec<QueryEdge>,
+}
+
+impl QueryGraph {
+    /// An empty query graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a query vertex and return its index.
+    pub fn add_vertex(&mut self, name: impl Into<String>, label: VertexLabel) -> usize {
+        self.vertices.push(QueryVertex {
+            name: name.into(),
+            label,
+        });
+        self.vertices.len() - 1
+    }
+
+    /// Add an unlabelled query vertex named `a{index+1}` and return its index.
+    pub fn add_default_vertex(&mut self) -> usize {
+        let idx = self.vertices.len();
+        self.add_vertex(format!("a{}", idx + 1), VertexLabel(0))
+    }
+
+    /// Add a directed query edge `src -> dst` with the given label.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or if the edge is a self loop.
+    pub fn add_edge(&mut self, src: usize, dst: usize, label: EdgeLabel) {
+        assert!(src < self.vertices.len() && dst < self.vertices.len());
+        assert_ne!(src, dst, "query graphs have no self loops");
+        if !self.edges.iter().any(|e| e.src == src && e.dst == dst && e.label == label) {
+            self.edges.push(QueryEdge { src, dst, label });
+        }
+    }
+
+    /// Number of query vertices `m`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of query edges `n`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The query vertices.
+    #[inline]
+    pub fn vertices(&self) -> &[QueryVertex] {
+        &self.vertices
+    }
+
+    /// The query edges.
+    #[inline]
+    pub fn edges(&self) -> &[QueryEdge] {
+        &self.edges
+    }
+
+    /// The vertex with index `i`.
+    #[inline]
+    pub fn vertex(&self, i: usize) -> &QueryVertex {
+        &self.vertices[i]
+    }
+
+    /// Index of the vertex with the given name, if any.
+    pub fn vertex_index(&self, name: &str) -> Option<usize> {
+        self.vertices.iter().position(|v| v.name == name)
+    }
+
+    /// The set of all query vertices as a bitmask.
+    #[inline]
+    pub fn full_set(&self) -> VertexSet {
+        if self.vertices.is_empty() {
+            0
+        } else {
+            (1u32 << self.vertices.len()) - 1
+        }
+    }
+
+    /// Edges with both endpoints inside `set`.
+    pub fn edges_within(&self, set: VertexSet) -> Vec<QueryEdge> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| set & singleton(e.src) != 0 && set & singleton(e.dst) != 0)
+            .collect()
+    }
+
+    /// Edges connecting a vertex inside `set` to `target` (in either direction).
+    pub fn edges_between_set_and(&self, set: VertexSet, target: usize) -> Vec<QueryEdge> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| {
+                (e.src == target && set & singleton(e.dst) != 0)
+                    || (e.dst == target && set & singleton(e.src) != 0)
+            })
+            .collect()
+    }
+
+    /// Undirected degree of query vertex `i` (number of incident query edges).
+    pub fn degree(&self, i: usize) -> usize {
+        self.edges.iter().filter(|e| e.src == i || e.dst == i).count()
+    }
+
+    /// Undirected neighbours of query vertex `i`.
+    pub fn neighbours(&self, i: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.src == i {
+                    Some(e.dst)
+                } else if e.dst == i {
+                    Some(e.src)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether the sub-query induced by `set` is (weakly) connected.
+    pub fn is_connected_subset(&self, set: VertexSet) -> bool {
+        let verts: Vec<usize> = set_iter(set).filter(|&i| i < self.vertices.len()).collect();
+        if verts.is_empty() {
+            return false;
+        }
+        if verts.len() == 1 {
+            return true;
+        }
+        let mut visited: VertexSet = singleton(verts[0]);
+        let mut frontier = vec![verts[0]];
+        while let Some(v) = frontier.pop() {
+            for e in &self.edges {
+                let other = if e.src == v {
+                    e.dst
+                } else if e.dst == v {
+                    e.src
+                } else {
+                    continue;
+                };
+                let bit = singleton(other);
+                if set & bit != 0 && visited & bit == 0 {
+                    visited |= bit;
+                    frontier.push(other);
+                }
+            }
+        }
+        visited == set
+    }
+
+    /// Whether the whole query is (weakly) connected.
+    pub fn is_connected(&self) -> bool {
+        self.num_vertices() > 0 && self.is_connected_subset(self.full_set())
+    }
+
+    /// Whether the sub-query induced by `set` contains an (undirected) cycle.
+    pub fn subset_has_cycle(&self, set: VertexSet) -> bool {
+        let verts: Vec<usize> = set_iter(set).collect();
+        let edges = self.edges_within(set);
+        // An undirected graph has a cycle iff |E| >= |V| for some connected component; simple
+        // union-find over the induced edges.
+        let mut parent: Vec<usize> = (0..self.num_vertices()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        // Antiparallel pairs (a<->b) and parallel labelled edges count as cycles: any second
+        // edge between two already-connected vertices closes one in the undirected multigraph.
+        for e in &edges {
+            let (a, b) = (find(&mut parent, e.src), find(&mut parent, e.dst));
+            if a == b {
+                return true;
+            }
+            parent[a] = b;
+        }
+        let _ = verts;
+        false
+    }
+
+    /// Whether the whole query contains an undirected cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.subset_has_cycle(self.full_set())
+    }
+
+    /// The *projection* of the query onto `set`: the induced sub-query plus a mapping from new
+    /// indices to original indices (sorted ascending).
+    pub fn project(&self, set: VertexSet) -> (QueryGraph, Vec<usize>) {
+        let mapping: Vec<usize> = set_iter(set).filter(|&i| i < self.vertices.len()).collect();
+        let mut q = QueryGraph::new();
+        for &orig in &mapping {
+            q.add_vertex(self.vertices[orig].name.clone(), self.vertices[orig].label);
+        }
+        let rev: std::collections::BTreeMap<usize, usize> =
+            mapping.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        for e in self.edges_within(set) {
+            q.add_edge(rev[&e.src], rev[&e.dst], e.label);
+        }
+        (q, mapping)
+    }
+
+    /// Returns a copy of this query with every edge label replaced by `f(edge index)`.
+    pub fn relabel_edges(&self, mut f: impl FnMut(usize) -> EdgeLabel) -> QueryGraph {
+        let mut q = self.clone();
+        for (i, e) in q.edges.iter_mut().enumerate() {
+            e.label = f(i);
+        }
+        q
+    }
+
+    /// Returns a copy of this query with every vertex label replaced by `f(vertex index)`.
+    pub fn relabel_vertices(&self, mut f: impl FnMut(usize) -> VertexLabel) -> QueryGraph {
+        let mut q = self.clone();
+        for (i, v) in q.vertices.iter_mut().enumerate() {
+            v.label = f(i);
+        }
+        q
+    }
+}
+
+impl fmt::Display for QueryGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for e in &self.edges {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            let sv = &self.vertices[e.src];
+            let dv = &self.vertices[e.dst];
+            let fmt_v = |v: &QueryVertex| {
+                if v.label.0 == 0 {
+                    format!("({})", v.name)
+                } else {
+                    format!("({}:{})", v.name, v.label.0)
+                }
+            };
+            if e.label.0 == 0 {
+                write!(f, "{}->{}", fmt_v(sv), fmt_v(dv))?;
+            } else {
+                write!(f, "{}-[{}]->{}", fmt_v(sv), e.label.0, fmt_v(dv))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> QueryGraph {
+        // a1->a2, a1->a3, a2->a3, a2->a4, a3->a4 (diamond-X)
+        let mut q = QueryGraph::new();
+        for _ in 0..4 {
+            q.add_default_vertex();
+        }
+        q.add_edge(0, 1, EdgeLabel(0));
+        q.add_edge(0, 2, EdgeLabel(0));
+        q.add_edge(1, 2, EdgeLabel(0));
+        q.add_edge(1, 3, EdgeLabel(0));
+        q.add_edge(2, 3, EdgeLabel(0));
+        q
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = diamond();
+        assert_eq!(q.num_vertices(), 4);
+        assert_eq!(q.num_edges(), 5);
+        assert_eq!(q.vertex(0).name, "a1");
+        assert_eq!(q.vertex_index("a3"), Some(2));
+        assert_eq!(q.vertex_index("zzz"), None);
+        assert_eq!(q.degree(1), 3);
+        assert_eq!(q.neighbours(1), vec![0, 2, 3]);
+        assert_eq!(q.full_set(), 0b1111);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut q = diamond();
+        q.add_edge(0, 1, EdgeLabel(0));
+        assert_eq!(q.num_edges(), 5);
+    }
+
+    #[test]
+    fn connectivity_and_cycles() {
+        let q = diamond();
+        assert!(q.is_connected());
+        assert!(q.has_cycle());
+        assert!(q.is_connected_subset(0b0111));
+        // {a1, a4} is disconnected (no edge a1-a4).
+        assert!(!q.is_connected_subset(0b1001));
+        // {a1, a2} is acyclic.
+        assert!(!q.subset_has_cycle(0b0011));
+        // {a1, a2, a3} is the triangle.
+        assert!(q.subset_has_cycle(0b0111));
+    }
+
+    #[test]
+    fn antiparallel_pair_is_a_cycle() {
+        let mut q = QueryGraph::new();
+        q.add_default_vertex();
+        q.add_default_vertex();
+        q.add_edge(0, 1, EdgeLabel(0));
+        assert!(!q.has_cycle());
+        q.add_edge(1, 0, EdgeLabel(0));
+        assert!(q.has_cycle());
+    }
+
+    #[test]
+    fn projection_keeps_induced_edges() {
+        let q = diamond();
+        let (sub, mapping) = q.project(0b0111);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3); // the triangle
+        let (sub2, mapping2) = q.project(0b1010);
+        assert_eq!(mapping2, vec![1, 3]);
+        assert_eq!(sub2.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_between_set_and_target() {
+        let q = diamond();
+        let edges = q.edges_between_set_and(0b0110, 3); // {a2,a3} -> a4
+        assert_eq!(edges.len(), 2);
+        let edges = q.edges_between_set_and(0b0001, 3); // {a1} -> a4 : none
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn display_round_trip_simple() {
+        let q = diamond();
+        let s = q.to_string();
+        assert!(s.contains("(a1)->(a2)"));
+        assert!(s.contains("(a3)->(a4)"));
+    }
+
+    #[test]
+    fn set_utils() {
+        assert_eq!(set_len(0b1011), 3);
+        assert_eq!(set_iter(0b1010).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(singleton(4), 16);
+    }
+
+    #[test]
+    fn relabelling() {
+        let q = diamond();
+        let q2 = q.relabel_edges(|i| EdgeLabel((i % 2) as u16));
+        assert_eq!(q2.edges()[0].label, EdgeLabel(0));
+        assert_eq!(q2.edges()[1].label, EdgeLabel(1));
+        let q3 = q.relabel_vertices(|i| VertexLabel(i as u16));
+        assert_eq!(q3.vertex(3).label, VertexLabel(3));
+    }
+}

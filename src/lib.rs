@@ -1,0 +1,28 @@
+//! # graphflow-rs
+//!
+//! Umbrella crate for **Graphflow-RS**, a from-scratch Rust reproduction of
+//! *"Optimizing Subgraph Queries by Combining Binary and Worst-Case Optimal Joins"*
+//! (Mhedhbi & Salihoglu, VLDB 2019).
+//!
+//! This crate simply re-exports the workspace's components under one roof; most users only need
+//! [`GraphflowDB`](graphflow_core::GraphflowDB). See the individual crates for the substrate
+//! layers:
+//!
+//! * [`graph`] — storage (label-partitioned sorted adjacency lists), generators, loaders;
+//! * [`query`] — query graphs, the pattern parser, the benchmark queries of the paper;
+//! * [`catalog`] — the sampling-based subgraph catalogue (cardinality / i-cost estimation);
+//! * [`plan`] — plan trees, the i-cost cost model, the DP optimizer, the GHD baseline planner;
+//! * [`exec`] — the execution engine (intersection cache, adaptive QVO selection, parallelism);
+//! * [`baselines`] — the naive binary-join engine and the CFL-style backtracking matcher;
+//! * [`datasets`] — synthetic stand-ins for the paper's datasets;
+//! * [`core`] — the [`GraphflowDB`](graphflow_core::GraphflowDB) facade.
+
+pub use graphflow_baselines as baselines;
+pub use graphflow_catalog as catalog;
+pub use graphflow_core as core;
+pub use graphflow_core::{GraphflowDB, QueryOptions, QueryResult};
+pub use graphflow_datasets as datasets;
+pub use graphflow_exec as exec;
+pub use graphflow_graph as graph;
+pub use graphflow_plan as plan;
+pub use graphflow_query as query;

@@ -1,0 +1,112 @@
+//! Property-based integration tests: on random graphs and random queries, every component of
+//! the workspace must agree with the reference matcher and with each other.
+
+use graphflow_baselines::{backtracking_count, BacktrackOptions};
+use graphflow_catalog::{count_matches, Catalogue};
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_graph::{Graph, GraphBuilder};
+use graphflow_plan::cost::CostModel;
+use graphflow_plan::spectrum::{enumerate_spectrum, SpectrumLimits};
+use graphflow_query::patterns;
+use graphflow_query::QueryGraph;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random small directed graph described by an edge list over `n` vertices.
+fn arb_graph() -> impl Strategy<Value = Arc<Graph>> {
+    (8usize..40, proptest::collection::vec((0u32..40, 0u32..40), 10..200)).prop_map(|(n, edges)| {
+        let n = n as u32;
+        let mut b = GraphBuilder::with_vertices(n as usize);
+        for (s, d) in edges {
+            let (s, d) = (s % n, d % n);
+            if s != d {
+                b.add_edge(s, d);
+            }
+        }
+        Arc::new(b.build())
+    })
+}
+
+/// One of the small benchmark queries (kept to 5 vertices so spectra stay tiny).
+fn arb_query() -> impl Strategy<Value = QueryGraph> {
+    prop_oneof![
+        Just(patterns::benchmark_query(1)),
+        Just(patterns::benchmark_query(2)),
+        Just(patterns::benchmark_query(3)),
+        Just(patterns::benchmark_query(4)),
+        Just(patterns::benchmark_query(5)),
+        Just(patterns::benchmark_query(8)),
+        Just(patterns::benchmark_query(11)),
+        Just(patterns::directed_path(4)),
+        Just(patterns::out_star(4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer's plan, the adaptive executor and the parallel executor agree with the
+    /// reference matcher on random graphs.
+    #[test]
+    fn optimizer_and_executors_agree_with_reference(graph in arb_graph(), q in arb_query()) {
+        let expected = count_matches(&graph, &q);
+        let db = GraphflowDB::with_config(graph.clone(), Default::default());
+        let fixed = db.run_query(&q, QueryOptions::default()).unwrap();
+        prop_assert_eq!(fixed.count, expected);
+        let adaptive = db.run_query(&q, QueryOptions { adaptive: true, ..Default::default() }).unwrap();
+        prop_assert_eq!(adaptive.count, expected);
+        let parallel = db.run_query(&q, QueryOptions { threads: 3, ..Default::default() }).unwrap();
+        prop_assert_eq!(parallel.count, expected);
+    }
+
+    /// Every plan of the (capped) spectrum produces the same count.
+    #[test]
+    fn spectrum_plans_agree(graph in arb_graph(), q in arb_query()) {
+        let expected = count_matches(&graph, &q);
+        let cat = Catalogue::with_defaults(graph.clone());
+        let spectrum = enumerate_spectrum(&q, &cat, &CostModel::default(), SpectrumLimits {
+            max_plans_per_subset: 8,
+            max_plans_per_class: 6,
+        });
+        for sp in spectrum {
+            let out = graphflow_exec::execute(&graph, &sp.plan);
+            prop_assert_eq!(out.count, expected);
+        }
+    }
+
+    /// The backtracking baseline agrees with the reference matcher.
+    #[test]
+    fn backtracking_agrees(graph in arb_graph(), q in arb_query()) {
+        let expected = count_matches(&graph, &q);
+        prop_assert_eq!(backtracking_count(&graph, &q, BacktrackOptions::default()), expected);
+    }
+
+    /// Catalogue estimates are always finite and non-negative, and exact for single edges.
+    #[test]
+    fn catalogue_estimates_are_sane(graph in arb_graph(), q in arb_query()) {
+        let cat = Catalogue::with_defaults(graph.clone());
+        let card = cat.estimate_cardinality(&q, q.full_set());
+        prop_assert!(card.is_finite());
+        prop_assert!(card >= 0.0);
+        // Single query edge estimates are exact counts.
+        let edge = &q.edges()[0];
+        let set = graphflow_query::querygraph::singleton(edge.src)
+            | graphflow_query::querygraph::singleton(edge.dst);
+        let est = cat.estimate_cardinality(&q, set);
+        let exact = cat.exact_cardinality(&q, set) as f64;
+        prop_assert!((est - exact).abs() < 1e-6 || q.edges_within(set).len() > 1);
+    }
+
+    /// Execution with the intersection cache disabled never changes the answer and never
+    /// reports cache hits.
+    #[test]
+    fn cache_toggle_preserves_counts(graph in arb_graph()) {
+        let q = patterns::diamond_x();
+        let db = GraphflowDB::with_config(graph.clone(), Default::default());
+        let with_cache = db.run_query(&q, QueryOptions::default()).unwrap();
+        let without = db.run_query(&q, QueryOptions { intersection_cache: false, ..Default::default() }).unwrap();
+        prop_assert_eq!(with_cache.count, without.count);
+        prop_assert_eq!(without.stats.cache_hits, 0);
+        prop_assert!(with_cache.stats.icost <= without.stats.icost);
+    }
+}
