@@ -14,21 +14,12 @@ use graphflow_query::QueryGraph;
 use std::time::{Duration, Instant};
 
 /// Options for the backtracking matcher.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct BacktrackOptions {
     /// Stop after this many matches (the CFL evaluation limits output to 10^5 / 10^8 matches).
     pub output_limit: Option<u64>,
     /// Wall-clock budget.
     pub time_limit: Option<Duration>,
-}
-
-impl Default for BacktrackOptions {
-    fn default() -> Self {
-        BacktrackOptions {
-            output_limit: None,
-            time_limit: None,
-        }
-    }
 }
 
 /// Matching order: densest-first (core before forest). Query vertices are ordered by descending
@@ -46,11 +37,7 @@ fn matching_order(q: &QueryGraph) -> Vec<usize> {
         let next = (0..m)
             .filter(|&v| !chosen[v])
             .max_by_key(|&v| {
-                let backward = q
-                    .neighbours(v)
-                    .iter()
-                    .filter(|&&n| chosen[n])
-                    .count();
+                let backward = q.neighbours(v).iter().filter(|&&n| chosen[n]).count();
                 (backward, q.degree(v))
             })
             .unwrap();
@@ -265,6 +252,10 @@ mod tests {
         let q = patterns::benchmark_query(3); // tailed triangle: the tail vertex comes last
         let order = matching_order(&q);
         assert_eq!(order.len(), 4);
-        assert_eq!(*order.last().unwrap(), 3, "the degree-1 tail is matched last");
+        assert_eq!(
+            *order.last().unwrap(),
+            3,
+            "the degree-1 tail is matched last"
+        );
     }
 }

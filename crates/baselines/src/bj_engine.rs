@@ -118,9 +118,7 @@ pub fn bj_engine_count(graph: &Graph, q: &QueryGraph, options: BjEngineOptions) 
                 (Some(sc), Some(dc)) => {
                     // Both endpoints bound: the edge is a closing filter over the materialised
                     // intermediate result (the "open triangle then close it" pattern).
-                    tuples.retain(|t| {
-                        graph.has_edge(t[sc], t[dc], e.label)
-                    });
+                    tuples.retain(|t| graph.has_edge(t[sc], t[dc], e.label));
                 }
                 (Some(sc), None) => {
                     // Hash join on the source endpoint; appends the destination column.

@@ -1,37 +1,63 @@
-//! Criterion micro-benchmarks for the hot kernels of the system: sorted-set intersections, the
-//! E/I extension step, full query execution of the running-example queries, catalogue
-//! cardinality estimation and optimizer latency (the paper reports a 331 ms worst-case
-//! optimization time; `optimizer latency` tracks ours).
+//! Micro-benchmarks for the hot kernels of the system: sorted-set intersections, full query
+//! execution of the running-example queries, catalogue cardinality estimation and optimizer
+//! latency (the paper reports a 331 ms worst-case optimization time; `optimizer latency`
+//! tracks ours).
+//!
+//! Uses a self-contained harness (`harness = false`) so the workspace builds offline without
+//! Criterion: each benchmark is run for a fixed number of timed iterations after a warm-up,
+//! and the per-iteration mean and minimum are printed.
+//!
+//! ```bash
+//! cargo bench -p graphflow-bench
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use graphflow_catalog::Catalogue;
 use graphflow_core::{GraphflowDB, QueryOptions};
 use graphflow_datasets::Dataset;
 use graphflow_graph::{intersect_sorted_into, multiway_intersect};
 use graphflow_plan::dp::DpOptimizer;
 use graphflow_query::patterns;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_intersections(c: &mut Criterion) {
+const SAMPLES: u32 = 10;
+
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up, then timed samples.
+    black_box(f());
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        black_box(f());
+        let d = start.elapsed();
+        total += d;
+        best = best.min(d);
+    }
+    println!(
+        "{name:<40} mean {:>12.3?}  min {:>12.3?}",
+        total / SAMPLES,
+        best
+    );
+}
+
+fn bench_intersections() {
     let a: Vec<u32> = (0..4096).map(|x| x * 3).collect();
     let b: Vec<u32> = (0..4096).map(|x| x * 5).collect();
     let d: Vec<u32> = (0..512).map(|x| x * 7).collect();
     let mut out = Vec::new();
     let mut scratch = Vec::new();
-    c.bench_function("intersect/two_way_4k", |bench| {
-        bench.iter(|| {
-            intersect_sorted_into(black_box(&a), black_box(&b), &mut out);
-            black_box(out.len())
-        })
+    bench("intersect/two_way_4k", || {
+        intersect_sorted_into(black_box(&a), black_box(&b), &mut out);
+        out.len()
     });
-    c.bench_function("intersect/three_way_skewed", |bench| {
-        bench.iter(|| {
-            multiway_intersect(black_box(&[&a, &b, &d]), &mut out, &mut scratch);
-            black_box(out.len())
-        })
+    bench("intersect/three_way_skewed", || {
+        multiway_intersect(black_box(&[&a, &b, &d]), &mut out, &mut scratch);
+        out.len()
     });
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries() {
     let db = GraphflowDB::with_config(Dataset::Epinions.generate(0.3), Default::default());
     for (name, q) in [
         ("triangle_q1", patterns::benchmark_query(1)),
@@ -39,49 +65,55 @@ fn bench_queries(c: &mut Criterion) {
         ("two_triangles_q8", patterns::benchmark_query(8)),
     ] {
         let plan = db.plan(&q).unwrap();
-        c.bench_function(&format!("execute/{name}"), |bench| {
-            bench.iter(|| black_box(db.run_plan(&plan, QueryOptions::default()).count))
+        bench(&format!("execute/{name}"), || {
+            db.run_plan(&plan, QueryOptions::default()).unwrap().count
         });
     }
     let q4 = patterns::benchmark_query(4);
     let plan4 = db.plan(&q4).unwrap();
-    c.bench_function("execute/diamond_x_q4_adaptive", |bench| {
-        bench.iter(|| {
-            black_box(
-                db.run_plan(&plan4, QueryOptions { adaptive: true, ..Default::default() })
-                    .count,
-            )
-        })
+    bench("execute/diamond_x_q4_adaptive", || {
+        db.run_plan(&plan4, QueryOptions::new().adaptive(true))
+            .unwrap()
+            .count
+    });
+    // The prepared-query fast path: parse + plan-cache lookup + execution, no optimizer run.
+    bench("execute/diamond_x_q4_prepared", || {
+        let prepared = db
+            .prepare("(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)")
+            .unwrap();
+        prepared.count().unwrap()
     });
 }
 
-fn bench_catalogue_and_optimizer(c: &mut Criterion) {
+fn bench_catalogue_and_optimizer() {
     let graph = Dataset::Epinions.generate(0.3);
     let catalogue = Catalogue::with_defaults(graph);
     // Warm the catalogue so the benchmark measures lookup + DP, not first-time sampling.
-    let queries: Vec<_> = [1usize, 4, 8, 12].iter().map(|&j| patterns::benchmark_query(j)).collect();
+    let queries: Vec<_> = [1usize, 4, 8, 12]
+        .iter()
+        .map(|&j| patterns::benchmark_query(j))
+        .collect();
     catalogue.prepopulate(&queries);
-    c.bench_function("catalogue/cardinality_diamond_x", |bench| {
+    bench("catalogue/cardinality_diamond_x", || {
         let q = patterns::benchmark_query(4);
-        bench.iter(|| black_box(catalogue.estimate_cardinality(&q, q.full_set())))
+        catalogue.estimate_cardinality(&q, q.full_set())
     });
-    for (name, j) in [("diamond_x_q4", 4usize), ("six_cycle_q12", 12), ("seven_clique_q14", 14)] {
+    for (name, j) in [
+        ("diamond_x_q4", 4usize),
+        ("six_cycle_q12", 12),
+        ("seven_clique_q14", 14),
+    ] {
         let q = patterns::benchmark_query(j);
-        c.bench_function(&format!("optimizer/{name}"), |bench| {
-            bench.iter(|| {
-                black_box(
-                    DpOptimizer::new(&catalogue)
-                        .optimize(&q)
-                        .map(|p| p.estimated_cost),
-                )
-            })
+        bench(&format!("optimizer/{name}"), || {
+            DpOptimizer::new(&catalogue)
+                .optimize(&q)
+                .map(|p| p.estimated_cost)
         });
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_intersections, bench_queries, bench_catalogue_and_optimizer
+fn main() {
+    bench_intersections();
+    bench_queries();
+    bench_catalogue_and_optimizer();
 }
-criterion_main!(benches);

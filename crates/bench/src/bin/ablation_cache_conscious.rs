@@ -36,7 +36,15 @@ fn main() {
     }
     print_table(
         "Ablation: cache-conscious vs cache-oblivious cost estimation (Amazon)",
-        &["query", "conscious (s)", "oblivious (s)", "i-cost c", "i-cost o", "hit rate c", "hit rate o"],
+        &[
+            "query",
+            "conscious (s)",
+            "oblivious (s)",
+            "i-cost c",
+            "i-cost o",
+            "hit rate c",
+            "hit rate o",
+        ],
         &rows,
     );
     println!("\nexpected shape: the cache-conscious optimizer's plans have equal or lower actual");

@@ -20,7 +20,7 @@ fn main() {
         let mut rows = Vec::new();
         let mut base = None;
         for threads in thread_sweep() {
-            let (count, _, t) = run_plan(&db, &plan, QueryOptions { threads, ..Default::default() });
+            let (count, _, t) = run_plan(&db, &plan, QueryOptions::new().threads(threads));
             let speedup = base.get_or_insert(t.as_secs_f64()).max(1e-9) / t.as_secs_f64().max(1e-9);
             rows.push(vec![
                 threads.to_string(),

@@ -31,10 +31,15 @@ fn main() {
             if labels > 1 {
                 q = patterns::label_query_edges_randomly(&q, labels, j as u64);
             }
-            let spectrum = enumerate_spectrum(&q, db.catalogue(), &model, SpectrumLimits {
-                max_plans_per_subset: 24,
-                max_plans_per_class: 24,
-            });
+            let spectrum = enumerate_spectrum(
+                &q,
+                db.catalogue(),
+                &model,
+                SpectrumLimits {
+                    max_plans_per_subset: 24,
+                    max_plans_per_class: 24,
+                },
+            );
             let chosen = db.plan(&q).unwrap();
             let chosen_fp = chosen.root.fingerprint();
             let mut rows = Vec::new();
@@ -46,7 +51,11 @@ fn main() {
                 let t = t.as_secs_f64();
                 best = best.min(t);
                 worst = worst.max(t);
-                let marker = if sp.plan.root.fingerprint() == chosen_fp { "  <== optimizer pick" } else { "" };
+                let marker = if sp.plan.root.fingerprint() == chosen_fp {
+                    "  <== optimizer pick"
+                } else {
+                    ""
+                };
                 if sp.plan.root.fingerprint() == chosen_fp {
                     chosen_time = Some(t);
                 }
@@ -55,13 +64,19 @@ fn main() {
             // The optimizer's plan may use an operator order not present in the capped spectrum;
             // measure it directly in that case.
             let chosen_time = chosen_time.unwrap_or_else(|| {
-                run_plan(&db, &chosen, QueryOptions::default()).2.as_secs_f64()
+                run_plan(&db, &chosen, QueryOptions::default())
+                    .2
+                    .as_secs_f64()
             });
             rows.sort();
             print_table(
                 &format!(
                     "Figure 7: Q{j}{} on {} — {} plans, best {:.3}s, worst {:.3}s, picked {:.3}s",
-                    if labels > 1 { format!("^{labels}") } else { String::new() },
+                    if labels > 1 {
+                        format!("^{labels}")
+                    } else {
+                        String::new()
+                    },
                     ds.name(),
                     spectrum.len(),
                     best,
@@ -75,7 +90,10 @@ fn main() {
         }
     }
     let within = |x: f64| summary.iter().filter(|&&r| r <= x).count();
-    println!("\n=== Section 8.2 summary over {} spectra ===", summary.len());
+    println!(
+        "\n=== Section 8.2 summary over {} spectra ===",
+        summary.len()
+    );
     println!("optimizer pick optimal        : {}", within(1.001));
     println!("within 1.4x of optimal        : {}", within(1.4));
     println!("within 2x of optimal          : {}", within(2.0));

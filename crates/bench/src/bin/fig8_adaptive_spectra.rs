@@ -19,10 +19,11 @@ fn main() {
             let (mut fixed_best, mut fixed_worst) = (f64::INFINITY, 0.0f64);
             let (mut adapt_best, mut adapt_worst) = (f64::INFINITY, 0.0f64);
             for sigma in executable_orderings(&q) {
-                let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else { continue };
+                let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else {
+                    continue;
+                };
                 let (_, _, t_fixed) = run_plan(&db, &plan, QueryOptions::default());
-                let (_, _, t_adapt) =
-                    run_plan(&db, &plan, QueryOptions { adaptive: true, ..Default::default() });
+                let (_, _, t_adapt) = run_plan(&db, &plan, QueryOptions::new().adaptive(true));
                 let (tf, ta) = (t_fixed.as_secs_f64(), t_adapt.as_secs_f64());
                 fixed_best = fixed_best.min(tf);
                 fixed_worst = fixed_worst.max(tf);

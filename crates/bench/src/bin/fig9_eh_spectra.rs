@@ -19,13 +19,22 @@ fn main() {
         let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
         let q = patterns::benchmark_query(j);
 
-        let gf_spectrum = enumerate_spectrum(&q, db.catalogue(), &model, SpectrumLimits {
-            max_plans_per_subset: 16,
-            max_plans_per_class: 16,
-        });
+        let gf_spectrum = enumerate_spectrum(
+            &q,
+            db.catalogue(),
+            &model,
+            SpectrumLimits {
+                max_plans_per_subset: 16,
+                max_plans_per_class: 16,
+            },
+        );
         let gf_times: Vec<f64> = gf_spectrum
             .iter()
-            .map(|sp| run_plan(&db, &sp.plan, QueryOptions::default()).2.as_secs_f64())
+            .map(|sp| {
+                run_plan(&db, &sp.plan, QueryOptions::default())
+                    .2
+                    .as_secs_f64()
+            })
             .collect();
 
         let eh_planner = GhdPlanner::new(db.catalogue());
@@ -49,8 +58,18 @@ fn main() {
             &format!("Figure 9: Q{j} on {}", ds.name()),
             &["system", "plans", "best (s)", "worst (s)"],
             &[
-                vec!["Graphflow".into(), gf_times.len().to_string(), gf_best, gf_worst],
-                vec!["EmptyHeaded".into(), eh_times.len().to_string(), eh_best, eh_worst],
+                vec![
+                    "Graphflow".into(),
+                    gf_times.len().to_string(),
+                    gf_best,
+                    gf_worst,
+                ],
+                vec![
+                    "EmptyHeaded".into(),
+                    eh_times.len().to_string(),
+                    eh_best,
+                    eh_worst,
+                ],
             ],
         );
     }

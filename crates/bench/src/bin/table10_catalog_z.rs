@@ -44,7 +44,14 @@ fn main() {
             .collect();
         let mut rows = Vec::new();
         for z in [100usize, 500, 1000, 5000] {
-            let cat = Catalogue::new(graph.clone(), CatalogueConfig { z, h: 3, ..Default::default() });
+            let cat = Catalogue::new(
+                graph.clone(),
+                CatalogueConfig {
+                    z,
+                    h: 3,
+                    ..Default::default()
+                },
+            );
             let (_, build_time) = time(|| cat.prepopulate(&qs));
             let errors: Vec<f64> = qs
                 .iter()
@@ -62,7 +69,11 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Table 10: q-error vs sample size z on {} ({} label(s))", ds.name(), labels),
+            &format!(
+                "Table 10: q-error vs sample size z on {} ({} label(s))",
+                ds.name(),
+                labels
+            ),
             &["z", "build (s)", "<=2", "<=5", "<=10", "queries"],
             &rows,
         );

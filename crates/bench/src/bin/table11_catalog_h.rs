@@ -32,7 +32,14 @@ fn main() {
             .collect();
         let mut rows = Vec::new();
         for h in [2usize, 3, 4] {
-            let cat = Catalogue::new(graph.clone(), CatalogueConfig { h, z: 1000, ..Default::default() });
+            let cat = Catalogue::new(
+                graph.clone(),
+                CatalogueConfig {
+                    h,
+                    z: 1000,
+                    ..Default::default()
+                },
+            );
             cat.prepopulate(&qs);
             let errors: Vec<f64> = qs
                 .iter()
@@ -65,7 +72,12 @@ fn main() {
             within(10.0).to_string(),
         ]);
         print_table(
-            &format!("Table 11: q-error vs h on {} ({} label(s)), {} queries", ds.name(), labels, qs.len()),
+            &format!(
+                "Table 11: q-error vs h on {} ({} label(s)), {} queries",
+                ds.name(),
+                labels,
+                qs.len()
+            ),
             &["estimator", "entries", "size", "<=2", "<=5", "<=10"],
             &rows,
         );

@@ -21,18 +21,22 @@ fn main() {
             let mut cfl_total = Duration::ZERO;
             let mut solved = 0usize;
             for i in 0..queries_per_set {
-                let q = graphflow_baselines::random_connected_query(&graph, n, kind, i as u64 * 31 + n as u64);
-                let Ok(plan) = db.plan(&q) else { continue };
-                let (_, _, gf_t) = run_plan(
-                    &db,
-                    &plan,
-                    QueryOptions { output_limit: Some(output_limit), ..Default::default() },
+                let q = graphflow_baselines::random_connected_query(
+                    &graph,
+                    n,
+                    kind,
+                    i as u64 * 31 + n as u64,
                 );
+                let Ok(plan) = db.plan(&q) else { continue };
+                let (_, _, gf_t) = run_plan(&db, &plan, QueryOptions::new().limit(output_limit));
                 let (_, cfl_t) = time(|| {
                     backtracking_count(
                         &graph,
                         &q,
-                        BacktrackOptions { output_limit: Some(output_limit), time_limit: Some(Duration::from_secs(60)) },
+                        BacktrackOptions {
+                            output_limit: Some(output_limit),
+                            time_limit: Some(Duration::from_secs(60)),
+                        },
                     )
                 });
                 gf_total += gf_t;
@@ -41,7 +45,14 @@ fn main() {
             }
             let avg = |d: Duration| d.as_secs_f64() / solved.max(1) as f64;
             rows.push(vec![
-                format!("Q{n}{}", if kind == QuerySetKind::Sparse { "s" } else { "d" }),
+                format!(
+                    "Q{n}{}",
+                    if kind == QuerySetKind::Sparse {
+                        "s"
+                    } else {
+                        "d"
+                    }
+                ),
                 format!("{:.3}", avg(gf_total)),
                 format!("{:.3}", avg(cfl_total)),
                 format!("{:.1}x", avg(cfl_total) / avg(gf_total).max(1e-9)),
@@ -50,8 +61,16 @@ fn main() {
         }
     }
     print_table(
-        &format!("Table 12: Graphflow vs CFL-style backtracking (limit {output_limit} matches/query)"),
-        &["query set", "GF avg (s)", "CFL avg (s)", "CFL/GF", "queries"],
+        &format!(
+            "Table 12: Graphflow vs CFL-style backtracking (limit {output_limit} matches/query)"
+        ),
+        &[
+            "query set",
+            "GF avg (s)",
+            "CFL avg (s)",
+            "CFL/GF",
+            "queries",
+        ],
         &rows,
     );
     println!("\npaper shape: Graphflow's operator plans are faster on average (1.2x-12x in the");

@@ -20,17 +20,29 @@ fn main() {
                 bj_engine_count(
                     db.graph(),
                     &q,
-                    BjEngineOptions { time_limit: Some(Duration::from_secs(120)), ..Default::default() },
+                    BjEngineOptions {
+                        time_limit: Some(Duration::from_secs(120)),
+                        ..Default::default()
+                    },
                 )
             });
             let bj_cell = match bj.count() {
                 Some(c) => {
                     assert_eq!(c, count, "engines disagree on Q{j}");
-                    format!("{} ({}x)", secs(bj_time), (bj_time.as_secs_f64() / gf_time.as_secs_f64().max(1e-9)).round())
+                    format!(
+                        "{} ({}x)",
+                        secs(bj_time),
+                        (bj_time.as_secs_f64() / gf_time.as_secs_f64().max(1e-9)).round()
+                    )
                 }
                 None => "TL/Mm".to_string(),
             };
-            rows.push(vec![format!("Q{j}"), secs(gf_time), bj_cell, count.to_string()]);
+            rows.push(vec![
+                format!("Q{j}"),
+                secs(gf_time),
+                bj_cell,
+                count.to_string(),
+            ]);
         }
         print_table(
             &format!("Table 13: Graphflow vs binary-join engine on {}", ds.name()),

@@ -15,11 +15,7 @@ fn main() {
     for sigma in executable_orderings(&q) {
         let plan = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma).unwrap();
         let (_, s_on, t_on) = run_plan(&db, &plan, QueryOptions::default());
-        let (_, s_off, t_off) = run_plan(
-            &db,
-            &plan,
-            QueryOptions { intersection_cache: false, ..Default::default() },
-        );
+        let (_, s_off, t_off) = run_plan(&db, &plan, QueryOptions::new().intersection_cache(false));
         rows.push(vec![
             ordering_name(&q, &sigma),
             secs(t_on),
@@ -32,7 +28,14 @@ fn main() {
     rows.sort_by(|a, b| a[1].partial_cmp(&b[1]).unwrap());
     print_table(
         "Table 3: diamond-X WCO plans on Amazon, intersection cache on vs off",
-        &["QVO", "cache on (s)", "cache off (s)", "hit rate", "i-cost on", "i-cost off"],
+        &[
+            "QVO",
+            "cache on (s)",
+            "cache off (s)",
+            "hit rate",
+            "i-cost on",
+            "i-cost off",
+        ],
         &rows,
     );
     println!("\npaper shape: 4 of the 8 plans improve with the cache, the best by ~1.9x.");

@@ -22,13 +22,16 @@ fn main() {
         let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
         let mut rows = Vec::new();
         for sigma in &orderings {
-            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, sigma) else { continue };
-            let (count, stats, t) = run_plan(
-                &db,
-                &plan,
-                QueryOptions { intersection_cache: false, ..Default::default() },
-            );
-            let kind = if sigma[2] == 2 || (sigma[2] != 3 && sigma[3] == 3) { "EDGE-TRIANGLE" } else { "EDGE-2PATH" };
+            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, sigma) else {
+                continue;
+            };
+            let (count, stats, t) =
+                run_plan(&db, &plan, QueryOptions::new().intersection_cache(false));
+            let kind = if sigma[2] == 2 || (sigma[2] != 3 && sigma[3] == 3) {
+                "EDGE-TRIANGLE"
+            } else {
+                "EDGE-2PATH"
+            };
             rows.push(vec![
                 ordering_name(&q, sigma),
                 kind.to_string(),
@@ -40,7 +43,14 @@ fn main() {
         }
         print_table(
             &format!("Table 5: tailed-triangle QVOs on {} (cache off)", ds.name()),
-            &["QVO", "class", "time (s)", "part. matches", "i-cost", "output"],
+            &[
+                "QVO",
+                "class",
+                "time (s)",
+                "part. matches",
+                "i-cost",
+                "output",
+            ],
             &rows,
         );
     }

@@ -14,7 +14,9 @@ fn main() {
         let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
         let mut rows = Vec::new();
         for sigma in [vec![1, 2, 0, 3], vec![0, 1, 2, 3]] {
-            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else { continue };
+            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else {
+                continue;
+            };
             let (count, stats, t) = run_plan(&db, &plan, QueryOptions::default());
             rows.push(vec![
                 ordering_name(&q, &sigma),
@@ -27,7 +29,14 @@ fn main() {
         }
         print_table(
             &format!("Table 6: symmetric diamond-X QVO groups on {}", ds.name()),
-            &["QVO", "time (s)", "part. matches", "i-cost", "hit rate", "output"],
+            &[
+                "QVO",
+                "time (s)",
+                "part. matches",
+                "i-cost",
+                "hit rate",
+                "output",
+            ],
             &rows,
         );
     }

@@ -9,9 +9,15 @@ use graphflow_query::patterns;
 
 fn run_cell(db: &GraphflowDB, q: &graphflow_query::QueryGraph) -> (String, String, String) {
     let planner = GhdPlanner::new(db.catalogue());
-    let gf = db.plan(q).map(|p| run_plan(db, &p, QueryOptions::default()).2);
-    let ehg = planner.plan(q, OrderingPolicy::BestCost).map(|p| run_plan(db, &p, QueryOptions::default()).2);
-    let ehb = planner.plan(q, OrderingPolicy::WorstCost).map(|p| run_plan(db, &p, QueryOptions::default()).2);
+    let gf = db
+        .plan(q)
+        .map(|p| run_plan(db, &p, QueryOptions::default()).2);
+    let ehg = planner
+        .plan(q, OrderingPolicy::BestCost)
+        .map(|p| run_plan(db, &p, QueryOptions::default()).2);
+    let ehb = planner
+        .plan(q, OrderingPolicy::WorstCost)
+        .map(|p| run_plan(db, &p, QueryOptions::default()).2);
     let fmt = |x: Option<std::time::Duration>| x.map(secs).unwrap_or_else(|| "-".into());
     (fmt(ehb), fmt(ehg), fmt(gf.ok()))
 }
@@ -35,7 +41,10 @@ fn main() {
             rows.push(vec![format!("Q{j}^2"), b2, g2, gf2]);
         }
         print_table(
-            &format!("Table 9: EH-b / EH-g / Graphflow runtimes (s) on {}", ds.name()),
+            &format!(
+                "Table 9: EH-b / EH-g / Graphflow runtimes (s) on {}",
+                ds.name()
+            ),
             &["query", "EH-b", "EH-g", "GF"],
             &rows,
         );

@@ -46,8 +46,14 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 }
 
 /// Run one plan on a database and report `(count, stats, wall time)`.
-pub fn run_plan(db: &GraphflowDB, plan: &Plan, options: QueryOptions) -> (u64, RuntimeStats, Duration) {
-    let (result, elapsed) = time(|| db.run_plan(plan, options));
+///
+/// Panics on invalid option combinations — bench harnesses construct their options statically.
+pub fn run_plan(
+    db: &GraphflowDB,
+    plan: &Plan,
+    options: QueryOptions,
+) -> (u64, RuntimeStats, Duration) {
+    let (result, elapsed) = time(|| db.run_plan(plan, options).expect("bench options are valid"));
     (result.count, result.stats, elapsed)
 }
 
@@ -58,7 +64,11 @@ pub fn secs(d: Duration) -> String {
 
 /// Human-readable ordering like `a2a3a1a4` from query-vertex indices.
 pub fn ordering_name(q: &QueryGraph, sigma: &[usize]) -> String {
-    sigma.iter().map(|&v| q.vertex(v).name.clone()).collect::<Vec<_>>().join("")
+    sigma
+        .iter()
+        .map(|&v| q.vertex(v).name.clone())
+        .collect::<Vec<_>>()
+        .join("")
 }
 
 /// Print a fixed-width table: a header row followed by data rows.
@@ -80,7 +90,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -100,7 +113,9 @@ pub fn thread_sweep() -> Vec<usize> {
         .ok()
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         });
     let mut out = Vec::new();
     let mut t = 1;

@@ -104,6 +104,10 @@ mod tests {
         let truth = count_matches(&g, &q) as f64;
         assert_eq!(truth, t as f64);
         let est = independence_estimate(&g, &q);
-        assert!(q_error(est, truth) > 10.0, "q-error {}", q_error(est, truth));
+        assert!(
+            q_error(est, truth) > 10.0,
+            "q-error {}",
+            q_error(est, truth)
+        );
     }
 }

@@ -119,7 +119,9 @@ impl Catalogue {
             .entries
             .iter()
             .map(|(k, e)| {
-                k.0.len() * 8 + e.avg_list_sizes.len() * (std::mem::size_of::<CanonDescriptor>() + 8) + 32
+                k.0.len() * 8
+                    + e.avg_list_sizes.len() * (std::mem::size_of::<CanonDescriptor>() + 8)
+                    + 32
             })
             .sum()
     }
@@ -227,7 +229,10 @@ impl Catalogue {
             set |= singleton(v);
         }
         let (proj, mapping) = q.project(set);
-        let proj_target = mapping.iter().position(|&o| o == target).expect("target in mapping");
+        let proj_target = mapping
+            .iter()
+            .position(|&o| o == target)
+            .expect("target in mapping");
         let (key, perm) = extension_key(&proj, proj_target);
 
         // Compute or fetch the entry.
@@ -270,7 +275,12 @@ impl Catalogue {
     }
 
     /// Sample a new entry for the projected extension (the new vertex is `proj_target`).
-    fn compute_entry(&self, proj: &QueryGraph, proj_target: usize, perm: &[usize]) -> CatalogueEntry {
+    fn compute_entry(
+        &self,
+        proj: &QueryGraph,
+        proj_target: usize,
+        perm: &[usize],
+    ) -> CatalogueEntry {
         // Any connected ordering of the prefix works for sampling; prefer one starting from a
         // query edge (guaranteed because the prefix is connected and has >= 2 vertices).
         let prefix_set: VertexSet = (0..proj.num_vertices())
@@ -286,7 +296,11 @@ impl Catalogue {
                             || (e.src == sigma[1] && e.dst == sigma[0])
                     })
             })
-            .unwrap_or_else(|| (0..proj.num_vertices()).filter(|&v| v != proj_target).collect());
+            .unwrap_or_else(|| {
+                (0..proj.num_vertices())
+                    .filter(|&v| v != proj_target)
+                    .collect()
+            });
 
         let stats = sample_extension_stats(
             &self.graph,
@@ -315,7 +329,7 @@ impl Catalogue {
                         )
                     })
                     .collect();
-                avg_list_sizes.sort_by(|a, b| a.0.cmp(&b.0));
+                avg_list_sizes.sort_by_key(|a| a.0);
                 CatalogueEntry {
                     avg_list_sizes,
                     mu: stats.mu,
@@ -333,7 +347,12 @@ impl Catalogue {
     /// The paper's fallback rule for prefixes larger than `h`: drop every `(|prefix| - h)`-sized
     /// subset of prefix vertices (together with the descriptors referring to them), estimate the
     /// reduced extension, and keep the minimum `µ` (Section 5.2, case 1).
-    fn fallback_estimate(&self, q: &QueryGraph, prefix: &[usize], target: usize) -> ExtensionEstimate {
+    fn fallback_estimate(
+        &self,
+        q: &QueryGraph,
+        prefix: &[usize],
+        target: usize,
+    ) -> ExtensionEstimate {
         let spec = descriptors_for_extension(q, prefix, target).expect("checked by caller");
         let excess = prefix.len() - self.config.h;
         let mut best: Option<ExtensionEstimate> = None;
@@ -357,7 +376,7 @@ impl Catalogue {
                 Some(e) => e,
                 None => continue,
             };
-            if best.as_ref().map_or(true, |b| est.mu < b.mu) {
+            if best.as_ref().is_none_or(|b| est.mu < b.mu) {
                 best = Some(est);
             }
         }
@@ -378,7 +397,11 @@ impl Catalogue {
             },
             None => ExtensionEstimate {
                 // No valid reduction: fall back to the smallest coarse list size as `µ` proxy.
-                mu: coarse.iter().copied().fold(f64::INFINITY, f64::min).max(0.0),
+                mu: coarse
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min)
+                    .max(0.0),
                 avg_list_sizes: coarse,
                 exact_entry: false,
             },
@@ -412,7 +435,12 @@ impl Catalogue {
         card
     }
 
-    fn estimate_cardinality_uncached(&self, q: &QueryGraph, set: VertexSet, proj: &QueryGraph) -> f64 {
+    fn estimate_cardinality_uncached(
+        &self,
+        q: &QueryGraph,
+        set: VertexSet,
+        proj: &QueryGraph,
+    ) -> f64 {
         if !q.is_connected_subset(set) {
             // Disconnected sub-queries are Cartesian products of their components.
             return self.cartesian_cardinality(q, set);
@@ -430,9 +458,9 @@ impl Catalogue {
             graphflow_query::qvo::connected_orderings(proj)
                 .into_iter()
                 .find(|s| {
-                    proj.edges()
-                        .iter()
-                        .any(|e| (e.src == s[0] && e.dst == s[1]) || (e.src == s[1] && e.dst == s[0]))
+                    proj.edges().iter().any(|e| {
+                        (e.src == s[0] && e.dst == s[1]) || (e.src == s[1] && e.dst == s[0])
+                    })
                 })
                 .unwrap_or_else(|| (0..proj.num_vertices()).collect())
         };
@@ -467,11 +495,7 @@ impl Catalogue {
             .edges()
             .iter()
             .map(|e| {
-                self.edge_count(
-                    e.label,
-                    proj.vertex(e.src).label,
-                    proj.vertex(e.dst).label,
-                ) as f64
+                self.edge_count(e.label, proj.vertex(e.src).label, proj.vertex(e.dst).label) as f64
             })
             .collect();
         if counts.len() == 1 {
@@ -567,7 +591,13 @@ fn greedy_ordering(q: &QueryGraph) -> Vec<usize> {
 fn k_subsets(items: &[usize], k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::new();
-    fn rec(items: &[usize], k: usize, start: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -604,10 +634,15 @@ mod tests {
     fn edge_and_vertex_counts() {
         let g = complete_graph(5);
         let cat = Catalogue::with_defaults(g);
-        assert_eq!(cat.edge_count(EdgeLabel(0), VertexLabel(0), VertexLabel(0)), 20);
+        assert_eq!(
+            cat.edge_count(EdgeLabel(0), VertexLabel(0), VertexLabel(0)),
+            20
+        );
         assert_eq!(cat.vertex_count(VertexLabel(0)), 5);
         assert_eq!(cat.vertex_count(VertexLabel(3)), 0);
-        assert!((cat.avg_list_size(Direction::Fwd, EdgeLabel(0), VertexLabel(0)) - 4.0).abs() < 1e-9);
+        assert!(
+            (cat.avg_list_size(Direction::Fwd, EdgeLabel(0), VertexLabel(0)) - 4.0).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -635,12 +670,18 @@ mod tests {
         let est = cat.estimate_cardinality(&q, q.full_set());
         let exact = cat.exact_cardinality(&q, q.full_set()) as f64;
         // On a vertex-transitive graph sampling is exact.
-        assert!((est - exact).abs() / exact < 0.05, "est {est} exact {exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "est {est} exact {exact}"
+        );
 
         let dx = patterns::diamond_x();
         let est = cat.estimate_cardinality(&dx, dx.full_set());
         let exact = cat.exact_cardinality(&dx, dx.full_set()) as f64;
-        assert!((est - exact).abs() / exact < 0.05, "est {est} exact {exact}");
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "est {est} exact {exact}"
+        );
     }
 
     #[test]

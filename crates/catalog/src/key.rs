@@ -39,7 +39,10 @@ fn encode_pinned(q: &QueryGraph, perm: &[usize]) -> Vec<u64> {
 /// *different* vertices get different keys.
 pub fn extension_key(q: &QueryGraph, new_vertex: usize) -> (ExtensionKey, Vec<usize>) {
     let n = q.num_vertices();
-    assert!(n >= 2 && n <= 9, "extension_key expects small sub-queries, got {n} vertices");
+    assert!(
+        (2..=9).contains(&n),
+        "extension_key expects small sub-queries, got {n} vertices"
+    );
     assert!(new_vertex < n);
     let others: Vec<usize> = (0..n).filter(|&v| v != new_vertex).collect();
 
@@ -53,7 +56,7 @@ pub fn extension_key(q: &QueryGraph, new_vertex: usize) -> (ExtensionKey, Vec<us
         }
         perm[new_vertex] = n - 1;
         let code = encode_pinned(q, &perm);
-        if best.as_ref().map_or(true, |(b, _)| code < *b) {
+        if best.as_ref().is_none_or(|(b, _)| code < *b) {
             best = Some((code, perm));
         }
     });

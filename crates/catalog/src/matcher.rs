@@ -83,7 +83,13 @@ fn scan_candidates(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> Vec<(Verte
 
 /// Extend the partial match `tuple` (aligned with `sigma[..k]`) by the extension `spec`,
 /// appending the extension set to `out`.
-fn extension_set(graph: &Graph, tuple: &[VertexId], spec: &ExtensionSpec, out: &mut Vec<VertexId>, scratch: &mut Vec<VertexId>) {
+fn extension_set(
+    graph: &Graph,
+    tuple: &[VertexId],
+    spec: &ExtensionSpec,
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) {
     let lists: Vec<&[VertexId]> = spec
         .descriptors
         .iter()
@@ -105,9 +111,7 @@ pub fn count_matches(graph: &Graph, q: &QueryGraph) -> u64 {
 pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> u64 {
     if sigma.len() != q.num_vertices() || sigma.len() < 2 {
         return if q.num_vertices() == 1 {
-            graph
-                .vertices_with_label(q.vertex(0).label)
-                .count() as u64
+            graph.vertices_with_label(q.vertex(0).label).count() as u64
         } else {
             0
         };
@@ -153,7 +157,15 @@ pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize
         tuple.clear();
         tuple.push(t0);
         tuple.push(t1);
-        recurse(graph, &specs, 0, &mut tuple, &mut buffers, &mut scratch, &mut count);
+        recurse(
+            graph,
+            &specs,
+            0,
+            &mut tuple,
+            &mut buffers,
+            &mut scratch,
+            &mut count,
+        );
     }
     count
 }
@@ -175,6 +187,7 @@ pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
     let mut results = Vec::new();
     let mut scratch = Vec::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         graph: &Graph,
         specs: &[ExtensionSpec],
@@ -212,7 +225,16 @@ pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
     }
     for (t0, t1) in scan_candidates(graph, q, &sigma) {
         let mut tuple = vec![t0, t1];
-        recurse(graph, &specs, 0, &mut tuple, &mut scratch, &mut results, &sigma, m);
+        recurse(
+            graph,
+            &specs,
+            0,
+            &mut tuple,
+            &mut scratch,
+            &mut results,
+            &sigma,
+            m,
+        );
     }
     results
 }

@@ -4,13 +4,24 @@
 //! Combining Binary and Worst-Case Optimal Joins"* (Mhedhbi & Salihoglu, VLDB 2019).
 //!
 //! [`GraphflowDB`] bundles a data graph, its subgraph catalogue and the cost-based
-//! dynamic-programming optimizer behind a small API:
+//! dynamic-programming optimizer behind an API built for *serving*: the expensive front half of
+//! a query (parse → canonicalize → optimize) runs **once per distinct query shape** and is
+//! amortized across every later execution, and results can be **streamed** instead of
+//! materialised, so a query with a hundred million matches runs in constant memory.
+//!
+//! ## Prepared queries and the plan cache
+//!
+//! [`GraphflowDB::prepare`] parses, canonicalizes and plans a pattern once, returning a
+//! [`PreparedQuery`] that can be rerun with different options. Plans live in an internal LRU
+//! cache keyed on the *canonical* form of the query graph, so preparing (or just
+//! [`run`](GraphflowDB::run)ning) an isomorphic rewriting of an earlier pattern — same shape,
+//! different vertex names or clause order — skips the optimizer entirely:
 //!
 //! ```
 //! use graphflow_core::GraphflowDB;
 //! use graphflow_graph::GraphBuilder;
 //!
-//! // Build a tiny graph: a directed triangle plus one extra edge.
+//! // A tiny graph: a directed triangle plus one extra edge.
 //! let mut b = GraphBuilder::new();
 //! b.add_edge(0, 1);
 //! b.add_edge(1, 2);
@@ -18,80 +29,134 @@
 //! b.add_edge(2, 3);
 //! let db = GraphflowDB::from_graph(b.build());
 //!
-//! // Count the matches of a pattern written in the query syntax.
-//! let triangles = db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap();
-//! assert_eq!(triangles, 1);
+//! // Prepare once (optimizer runs), execute many times (optimizer skipped).
+//! let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+//! assert_eq!(triangles.count().unwrap(), 1);
+//! assert_eq!(triangles.count().unwrap(), 1);
+//!
+//! // An isomorphic rewriting is a plan-cache hit: no second optimizer run.
+//! let rewritten = db.prepare("(x)->(z), (y)->(z), (x)->(y)").unwrap();
+//! assert!(rewritten.was_cached());
+//! assert_eq!(db.plan_cache_stats().misses, 1);
 //! ```
 //!
-//! The facade exposes every execution mode studied in the paper — fixed plans, adaptive
-//! query-vertex-ordering evaluation, multi-threaded execution — plus plan inspection
-//! (`EXPLAIN`-style output) and the runtime statistics (actual i-cost, intermediate match
-//! counts, cache hits) the paper's experiments report.
+//! ## Streaming results
+//!
+//! Executors deliver matches through a [`MatchSink`] instead of buffering them:
+//! [`CountingSink`] counts, [`CollectingSink`] keeps up to a cap (this is what backs
+//! [`QueryResult::tuples`]), [`LimitSink`] stops execution after N matches, and
+//! [`CallbackSink`] forwards each match to a closure:
+//!
+//! ```
+//! # use graphflow_core::{CallbackSink, GraphflowDB, QueryOptions};
+//! # use graphflow_graph::GraphBuilder;
+//! # let mut b = GraphBuilder::new();
+//! # b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2); b.add_edge(2, 3);
+//! # let db = GraphflowDB::from_graph(b.build());
+//! let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+//! let mut hubs = Vec::new();
+//! let mut sink = CallbackSink::new(|t: &[u32]| {
+//!     hubs.push(t[0]); // vertex matched to (a)
+//!     true             // keep streaming
+//! });
+//! triangles.run_with_sink(QueryOptions::new(), &mut sink).unwrap();
+//! drop(sink);
+//! assert_eq!(hubs, vec![0]);
+//! ```
+//!
+//! ## Execution options
+//!
+//! [`QueryOptions`] is a fluent builder covering every execution mode studied in the paper —
+//! fixed plans, adaptive query-vertex-ordering evaluation
+//! ([`adaptive`](QueryOptions::adaptive)), multi-threaded execution
+//! ([`threads`](QueryOptions::threads)) — plus the intersection cache toggle, output limits and
+//! tuple collection. Plan inspection (`EXPLAIN`-style output) and the runtime statistics the
+//! paper's experiments report (actual i-cost, intermediate match counts, cache hits) are
+//! available through [`GraphflowDB::explain`] / [`PreparedQuery::explain`] and
+//! [`QueryResult::stats`].
 
 use graphflow_catalog::{Catalogue, CatalogueConfig};
 use graphflow_exec::{
-    execute_adaptive, execute_parallel, execute_with_options, ExecOptions, RuntimeStats,
+    execute_adaptive_with_sink, execute_parallel_with_sink, execute_with_sink, ExecOptions,
 };
 use graphflow_graph::{Graph, VertexId};
 use graphflow_plan::cost::CostModel;
 use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
-use graphflow_plan::{Plan, PlanClass};
-use graphflow_query::{parse_query, QueryGraph};
+use graphflow_plan::{Plan, PlanClass, PlanHandle};
+use graphflow_query::{canonical_form, parse_query, QueryGraph};
 use std::sync::Arc;
 
-/// Errors surfaced by the facade.
+mod options;
+mod plan_cache;
+mod prepared;
+
+pub use graphflow_exec::{
+    CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, RuntimeStats,
+};
+pub use options::QueryOptions;
+pub use plan_cache::PlanCacheStats;
+pub use prepared::PreparedQuery;
+
+use plan_cache::PlanCache;
+use prepared::RemapSink;
+
+/// Default number of plans kept in the facade's LRU plan cache.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+/// The unified error type of the facade, covering parsing, planning and execution.
+///
+/// Underlying causes are reachable through [`std::error::Error::source`]:
+///
+/// ```
+/// use std::error::Error as _;
+/// use graphflow_core::{Error, GraphflowDB};
+/// use graphflow_graph::GraphBuilder;
+/// let db = GraphflowDB::from_graph(GraphBuilder::new().build());
+/// let err = db.count("(a)->").unwrap_err();
+/// assert!(matches!(err, Error::Parse(_)));
+/// assert!(err.source().is_some()); // the underlying ParseError, with byte position
+/// ```
 #[derive(Debug)]
 pub enum Error {
-    /// The query pattern could not be parsed.
+    /// The query pattern could not be parsed; the underlying
+    /// [`ParseError`](graphflow_query::ParseError) (with its byte position) is the
+    /// [`source`](std::error::Error::source).
     Parse(graphflow_query::ParseError),
     /// No plan exists for the query in the configured plan space.
     NoPlan,
+    /// The requested combination of [`QueryOptions`] is not executable (for example
+    /// `adaptive(true)` together with `threads(4)`).
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Error::Parse(e) => write!(f, "{e}"),
-            Error::NoPlan => write!(f, "no plan found for the query"),
+            // The underlying ParseError (with position and reason) is exposed through
+            // `source()`, so chain-aware reporters print it exactly once; Display keeps to
+            // the high-level fact per the API guidelines.
+            Error::Parse(_) => write!(f, "failed to parse query pattern"),
+            Error::NoPlan => write!(
+                f,
+                "no plan found for the query in the configured plan space"
+            ),
+            Error::InvalidOptions(msg) => write!(f, "invalid query options: {msg}"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<graphflow_query::ParseError> for Error {
     fn from(e: graphflow_query::ParseError) -> Self {
         Error::Parse(e)
-    }
-}
-
-/// Per-query execution settings.
-#[derive(Debug, Clone, Copy)]
-pub struct QueryOptions {
-    /// Use the adaptive executor (per-tuple query-vertex-ordering selection, Section 6).
-    pub adaptive: bool,
-    /// Number of worker threads (1 = serial execution).
-    pub threads: usize,
-    /// Enable the E/I intersection cache.
-    pub intersection_cache: bool,
-    /// Stop after this many results.
-    pub output_limit: Option<u64>,
-    /// Collect result tuples (bounded by `collect_limit`).
-    pub collect_tuples: bool,
-    /// Maximum number of tuples to collect.
-    pub collect_limit: usize,
-}
-
-impl Default for QueryOptions {
-    fn default() -> Self {
-        QueryOptions {
-            adaptive: false,
-            threads: 1,
-            intersection_cache: true,
-            output_limit: None,
-            collect_tuples: false,
-            collect_limit: 1_000_000,
-        }
     }
 }
 
@@ -100,38 +165,108 @@ impl Default for QueryOptions {
 pub struct QueryResult {
     /// Number of matches.
     pub count: u64,
-    /// The plan that was executed.
-    pub plan: Plan,
-    /// Runtime statistics (actual i-cost, intermediate matches, cache hits, elapsed time).
+    /// The plan that was executed (shared with the plan cache — cloning is a pointer copy).
+    pub plan: PlanHandle,
+    /// Runtime statistics (actual i-cost, intermediate matches, cache hits, plan-cache
+    /// hit/miss, elapsed time).
     pub stats: RuntimeStats,
-    /// Collected matches in query-vertex order (empty unless requested).
+    /// Collected matches in query-vertex order (empty unless
+    /// [`QueryOptions::collect_tuples`] was requested). Backed by a [`CollectingSink`]; for
+    /// unbounded result sets stream through [`GraphflowDB::run_with_sink`] instead.
     pub tuples: Vec<Vec<VertexId>>,
 }
 
-/// An in-memory graph database instance: graph + catalogue + optimizer + executor.
+/// Configures and builds a [`GraphflowDB`].
+///
+/// ```
+/// use graphflow_core::GraphflowDB;
+/// use graphflow_catalog::CatalogueConfig;
+/// use graphflow_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// let db = GraphflowDB::builder(b.build())
+///     .catalogue_config(CatalogueConfig { h: 2, ..Default::default() })
+///     .plan_cache_capacity(16)
+///     .build();
+/// assert_eq!(db.plan_cache_stats().capacity, 16);
+/// ```
+pub struct GraphflowDBBuilder {
+    graph: Arc<Graph>,
+    catalogue_config: CatalogueConfig,
+    cost_model: CostModel,
+    plan_space: PlanSpaceOptions,
+    plan_cache_capacity: usize,
+}
+
+impl GraphflowDBBuilder {
+    /// Catalogue construction parameters (`h`, `z`, sampling caps; paper Section 5).
+    pub fn catalogue_config(mut self, config: CatalogueConfig) -> Self {
+        self.catalogue_config = config;
+        self
+    }
+
+    /// The cost model used by the optimizer (paper Sections 3.3–4.2).
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Restrict the optimizer's plan space (WCO-only, BJ-only, or the default hybrid space).
+    pub fn plan_space(mut self, options: PlanSpaceOptions) -> Self {
+        self.plan_space = options;
+        self
+    }
+
+    /// Number of plans kept in the LRU plan cache (0 disables caching; default
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`]).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Build the database (constructs the catalogue; entries are sampled lazily).
+    pub fn build(self) -> GraphflowDB {
+        let catalogue = Catalogue::new(self.graph.clone(), self.catalogue_config);
+        GraphflowDB {
+            graph: self.graph,
+            catalogue,
+            cost_model: self.cost_model,
+            plan_space: self.plan_space,
+            plan_cache: PlanCache::new(self.plan_cache_capacity),
+        }
+    }
+}
+
+/// An in-memory graph database instance: graph + catalogue + optimizer + plan cache + executor.
 pub struct GraphflowDB {
     graph: Arc<Graph>,
     catalogue: Catalogue,
     cost_model: CostModel,
     plan_space: PlanSpaceOptions,
+    plan_cache: PlanCache,
 }
 
 impl GraphflowDB {
-    /// Create a database over an already-built graph, constructing a catalogue with the default
-    /// configuration (`h = 3`, `z = 1000`).
+    /// Start configuring a database over a graph (see [`GraphflowDBBuilder`]).
+    pub fn builder(graph: impl Into<Arc<Graph>>) -> GraphflowDBBuilder {
+        GraphflowDBBuilder {
+            graph: graph.into(),
+            catalogue_config: CatalogueConfig::default(),
+            cost_model: CostModel::default(),
+            plan_space: PlanSpaceOptions::default(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
+
+    /// Create a database over an already-built graph with all-default configuration
+    /// (catalogue `h = 3`, `z = 1000`; plan cache of [`DEFAULT_PLAN_CACHE_CAPACITY`]).
     pub fn from_graph(graph: Graph) -> Self {
-        Self::with_config(Arc::new(graph), CatalogueConfig::default())
+        Self::builder(graph).build()
     }
 
     /// Create a database over a shared graph with an explicit catalogue configuration.
     pub fn with_config(graph: Arc<Graph>, config: CatalogueConfig) -> Self {
-        let catalogue = Catalogue::new(graph.clone(), config);
-        GraphflowDB {
-            graph,
-            catalogue,
-            cost_model: CostModel::default(),
-            plan_space: PlanSpaceOptions::default(),
-        }
+        Self::builder(graph).catalogue_config(config).build()
     }
 
     /// The underlying data graph.
@@ -145,13 +280,19 @@ impl GraphflowDB {
     }
 
     /// Override the cost model used by the optimizer.
+    ///
+    /// Clears the plan cache: cached plans were chosen under the old model.
     pub fn set_cost_model(&mut self, model: CostModel) {
         self.cost_model = model;
+        self.plan_cache.clear();
     }
 
     /// Restrict the optimizer's plan space (WCO-only, BJ-only, or the default hybrid space).
+    ///
+    /// Clears the plan cache: cached plans may fall outside the new space.
     pub fn set_plan_space(&mut self, options: PlanSpaceOptions) {
         self.plan_space = options;
+        self.plan_cache.clear();
     }
 
     /// Parse a pattern written in the query syntax.
@@ -159,7 +300,11 @@ impl GraphflowDB {
         Ok(parse_query(pattern)?)
     }
 
-    /// Pick the best plan for a parsed query.
+    /// Run the optimizer directly for a parsed query, bypassing the plan cache.
+    ///
+    /// Plan-spectrum style experimentation wants a fresh optimizer run per call; serving paths
+    /// should use [`prepare`](GraphflowDB::prepare) / [`run`](GraphflowDB::run), which
+    /// amortize planning through the cache.
     pub fn plan(&self, query: &QueryGraph) -> Result<Plan, Error> {
         DpOptimizer::new(&self.catalogue)
             .with_cost_model(self.cost_model)
@@ -168,63 +313,226 @@ impl GraphflowDB {
             .ok_or(Error::NoPlan)
     }
 
-    /// `EXPLAIN`: return the chosen plan's operator tree as text, plus its class and estimated
-    /// cost.
-    pub fn explain(&self, pattern: &str) -> Result<String, Error> {
+    /// Parse, canonicalize and plan a pattern once, returning a rerunnable [`PreparedQuery`].
+    ///
+    /// Planning goes through the LRU plan cache: preparing a pattern isomorphic to an earlier
+    /// one (same shape, any vertex names / clause order) skips the optimizer.
+    pub fn prepare(&self, pattern: &str) -> Result<PreparedQuery<'_>, Error> {
         let query = self.parse(pattern)?;
-        let plan = self.plan(&query)?;
-        Ok(format!(
-            "plan class: {}\nestimated cost: {:.1}\n{}",
-            plan.class(),
-            plan.estimated_cost,
-            plan.explain()
-        ))
+        self.prepare_query(query)
     }
 
-    /// Count the matches of a pattern with default options.
+    /// [`prepare`](GraphflowDB::prepare) for an already-parsed query graph.
+    pub fn prepare_query(&self, query: QueryGraph) -> Result<PreparedQuery<'_>, Error> {
+        let (plan, remap, cache_hit) = self.plan_cached(&query)?;
+        Ok(PreparedQuery {
+            db: self,
+            query,
+            plan,
+            remap,
+            cache_hit,
+        })
+    }
+
+    /// Cumulative plan-cache counters (hits, misses = optimizer invocations, evictions, size).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// `EXPLAIN`: return the chosen plan's operator tree as text, plus its class and estimated
+    /// cost. Served through the plan cache.
+    pub fn explain(&self, pattern: &str) -> Result<String, Error> {
+        Ok(self.prepare(pattern)?.explain())
+    }
+
+    /// Count the matches of a pattern with default options (served through the plan cache).
     pub fn count(&self, pattern: &str) -> Result<u64, Error> {
         Ok(self.run(pattern, QueryOptions::default())?.count)
     }
 
-    /// Run a pattern with explicit options.
+    /// Run a pattern with explicit options (served through the plan cache).
     pub fn run(&self, pattern: &str, options: QueryOptions) -> Result<QueryResult, Error> {
-        let query = self.parse(pattern)?;
-        self.run_query(&query, options)
+        self.prepare(pattern)?.run(options)
     }
 
-    /// Run an already-parsed query with explicit options.
-    pub fn run_query(&self, query: &QueryGraph, options: QueryOptions) -> Result<QueryResult, Error> {
-        let plan = self.plan(query)?;
-        Ok(self.run_plan(&plan, options))
+    /// Run an already-parsed query with explicit options (served through the plan cache).
+    pub fn run_query(
+        &self,
+        query: &QueryGraph,
+        options: QueryOptions,
+    ) -> Result<QueryResult, Error> {
+        self.prepare_query(query.clone())?.run(options)
     }
 
-    /// Execute a specific plan (useful for plan-spectrum style experimentation).
-    pub fn run_plan(&self, plan: &Plan, options: QueryOptions) -> QueryResult {
-        let exec_options = ExecOptions {
-            use_intersection_cache: options.intersection_cache,
-            output_limit: options.output_limit,
-            collect_tuples: options.collect_tuples,
-            collect_limit: options.collect_limit,
-        };
-        let output = if options.threads > 1 {
-            execute_parallel(&self.graph, plan, exec_options, options.threads)
-        } else if options.adaptive {
-            execute_adaptive(&self.graph, &self.catalogue, plan, exec_options)
-        } else {
-            execute_with_options(&self.graph, plan, exec_options)
-        };
-        QueryResult {
-            count: output.count,
-            plan: plan.clone(),
-            stats: output.stats,
-            tuples: output.tuples,
-        }
+    /// Run a pattern, streaming every match (in query-vertex order) into `sink` instead of
+    /// materialising results.
+    pub fn run_with_sink(
+        &self,
+        pattern: &str,
+        options: QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> Result<RuntimeStats, Error> {
+        self.prepare(pattern)?.run_with_sink(options, sink)
+    }
+
+    /// Execute a specific plan (useful for plan-spectrum style experimentation; bypasses the
+    /// plan cache).
+    pub fn run_plan(&self, plan: &Plan, options: QueryOptions) -> Result<QueryResult, Error> {
+        self.execute_plan(plan, None, None, options)
+    }
+
+    /// Execute a specific plan, streaming matches into `sink`.
+    pub fn run_plan_with_sink(
+        &self,
+        plan: &Plan,
+        options: QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> Result<RuntimeStats, Error> {
+        self.execute_plan_with_sink(plan, None, None, options, sink)
     }
 
     /// Convenience: the class (WCO / BJ / hybrid) of the plan chosen for a pattern.
     pub fn plan_class(&self, pattern: &str) -> Result<PlanClass, Error> {
-        let query = self.parse(pattern)?;
-        Ok(self.plan(&query)?.class())
+        Ok(self.prepare(pattern)?.plan_class())
+    }
+
+    // --- internals -------------------------------------------------------------------------
+
+    /// Plan through the LRU cache. Returns the (shared) plan, an optional vertex remap
+    /// (`map[plan query vertex] = query vertex`, present when the cached plan was optimized
+    /// for an isomorphic twin with different vertex numbering), and whether this was a hit.
+    ///
+    /// Canonicalisation is brute force over vertex permutations, so queries larger than
+    /// [`graphflow_query::MAX_CANONICAL_VERTICES`] bypass the cache and are optimized
+    /// directly — correct, just not amortized. A cheap exact-form index in front of the
+    /// canonical search makes repeated *identical* patterns skip the `O(n!)` search too.
+    fn plan_cached(
+        &self,
+        query: &QueryGraph,
+    ) -> Result<(PlanHandle, Option<Vec<usize>>, bool), Error> {
+        if query.num_vertices() > graphflow_query::MAX_CANONICAL_VERTICES {
+            return Ok((Arc::new(self.plan(query)?), None, false));
+        }
+        let exact = graphflow_query::exact_code(query);
+        let (code, perm) = match self.plan_cache.canonical_for_exact(&exact) {
+            Some(known) => known,
+            None => {
+                let (code, perm) = canonical_form(query);
+                self.plan_cache
+                    .remember_exact(exact, code.clone(), perm.clone());
+                (code, perm)
+            }
+        };
+        if let Some((plan, cached_perm)) = self.plan_cache.get(&code) {
+            // Compose the two canonicalising permutations into plan-query -> our-query.
+            let mut inverse = vec![0usize; perm.len()];
+            for (vertex, &pos) in perm.iter().enumerate() {
+                inverse[pos] = vertex;
+            }
+            let remap: Vec<usize> = cached_perm.iter().map(|&pos| inverse[pos]).collect();
+            let identity = remap.iter().enumerate().all(|(i, &v)| i == v);
+            return Ok((plan, (!identity).then_some(remap), true));
+        }
+        let plan: PlanHandle = Arc::new(self.plan(query)?);
+        self.plan_cache.insert(code, plan.clone(), perm);
+        Ok((plan, None, false))
+    }
+
+    pub(crate) fn execute_prepared(
+        &self,
+        plan: &PlanHandle,
+        remap: Option<&[usize]>,
+        cache_hit: bool,
+        options: QueryOptions,
+    ) -> Result<QueryResult, Error> {
+        self.execute_plan(plan, Some(plan.clone()), Some((remap, cache_hit)), options)
+    }
+
+    pub(crate) fn execute_prepared_with_sink(
+        &self,
+        plan: &Plan,
+        remap: Option<&[usize]>,
+        cache_hit: bool,
+        options: QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> Result<RuntimeStats, Error> {
+        self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, sink)
+    }
+
+    /// Shared QueryResult-materialising path: runs with a counting or collecting sink
+    /// depending on the options.
+    fn execute_plan(
+        &self,
+        plan: &Plan,
+        handle: Option<PlanHandle>,
+        prepared: Option<(Option<&[usize]>, bool)>,
+        options: QueryOptions,
+    ) -> Result<QueryResult, Error> {
+        let (remap, cache_info) = match prepared {
+            Some((remap, hit)) => (remap, Some(hit)),
+            None => (None, None),
+        };
+        let (stats, tuples) = if options.collect_tuples {
+            let mut sink = CollectingSink::new(options.collect_limit);
+            let stats = self.execute_plan_with_sink(plan, remap, cache_info, options, &mut sink)?;
+            (stats, sink.into_tuples())
+        } else {
+            let mut sink = CountingSink::new();
+            let stats = self.execute_plan_with_sink(plan, remap, cache_info, options, &mut sink)?;
+            (stats, Vec::new())
+        };
+        Ok(QueryResult {
+            count: stats.output_count,
+            plan: handle.unwrap_or_else(|| Arc::new(plan.clone())),
+            stats,
+            tuples,
+        })
+    }
+
+    /// The one true execution path: validate options, pick the executor, wrap the sink with a
+    /// vertex remap when the plan belongs to an isomorphic twin, and stamp plan-cache counters
+    /// into the returned stats.
+    fn execute_plan_with_sink(
+        &self,
+        plan: &Plan,
+        remap: Option<&[usize]>,
+        cache_info: Option<bool>,
+        options: QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> Result<RuntimeStats, Error> {
+        options.validate()?;
+        let mut stats = match remap {
+            Some(map) => {
+                let mut remapping = RemapSink::new(sink, map);
+                self.dispatch(plan, &options, &mut remapping)
+            }
+            None => self.dispatch(plan, &options, sink),
+        };
+        match cache_info {
+            Some(true) => stats.plan_cache_hits += 1,
+            Some(false) => stats.plan_cache_misses += 1,
+            None => {}
+        }
+        Ok(stats)
+    }
+
+    fn dispatch(
+        &self,
+        plan: &Plan,
+        options: &QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> RuntimeStats {
+        let exec_options = ExecOptions {
+            use_intersection_cache: options.intersection_cache,
+            output_limit: options.output_limit,
+        };
+        if options.threads > 1 {
+            execute_parallel_with_sink(&self.graph, plan, exec_options, options.threads, sink)
+        } else if options.adaptive {
+            execute_adaptive_with_sink(&self.graph, &self.catalogue, plan, exec_options, sink)
+        } else {
+            execute_with_sink(&self.graph, plan, exec_options, sink)
+        }
     }
 }
 
@@ -256,27 +564,38 @@ mod tests {
         let expected = graphflow_catalog::count_matches(db.graph(), &q);
         let fixed = db.run_query(&q, QueryOptions::default()).unwrap();
         let adaptive = db
-            .run_query(
-                &q,
-                QueryOptions {
-                    adaptive: true,
-                    ..Default::default()
-                },
-            )
+            .run_query(&q, QueryOptions::new().adaptive(true))
             .unwrap();
-        let parallel = db
-            .run_query(
-                &q,
-                QueryOptions {
-                    threads: 4,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+        let parallel = db.run_query(&q, QueryOptions::new().threads(4)).unwrap();
         assert_eq!(fixed.count, expected);
         assert_eq!(adaptive.count, expected);
         assert_eq!(parallel.count, expected);
         assert!(fixed.stats.icost > 0);
+    }
+
+    #[test]
+    fn adaptive_and_threads_together_are_rejected() {
+        let db = db();
+        let result = db.run(
+            "(a)->(b), (b)->(c), (a)->(c)",
+            QueryOptions::new().adaptive(true).threads(4),
+        );
+        assert!(matches!(result, Err(Error::InvalidOptions(_))));
+        let message = result.unwrap_err().to_string();
+        assert!(message.contains("adaptive"), "{message}");
+        // Each mode alone stays valid.
+        assert!(db
+            .run(
+                "(a)->(b), (b)->(c), (a)->(c)",
+                QueryOptions::new().adaptive(true)
+            )
+            .is_ok());
+        assert!(db
+            .run(
+                "(a)->(b), (b)->(c), (a)->(c)",
+                QueryOptions::new().threads(4)
+            )
+            .is_ok());
     }
 
     #[test]
@@ -289,11 +608,13 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported() {
+    fn errors_are_reported_with_sources() {
+        use std::error::Error as _;
         let db = db();
         assert!(matches!(db.count("(a)->"), Err(Error::Parse(_))));
         let err = db.count("(a)->").unwrap_err();
         assert!(!err.to_string().is_empty());
+        assert!(err.source().is_some(), "parse errors chain their source");
     }
 
     #[test]
@@ -307,19 +628,118 @@ mod tests {
     }
 
     #[test]
+    fn set_plan_space_clears_the_plan_cache() {
+        let mut db = db();
+        let pattern = "(a)->(b), (b)->(c), (a)->(c), (c)->(d), (b)->(d)";
+        db.count(pattern).unwrap();
+        assert_eq!(db.plan_cache_stats().entries, 1);
+        db.set_plan_space(PlanSpaceOptions::wco_only());
+        assert_eq!(
+            db.plan_cache_stats().entries,
+            0,
+            "stale plans must not survive a plan-space change"
+        );
+        assert_eq!(db.plan_class(pattern).unwrap(), PlanClass::Wco);
+    }
+
+    #[test]
     fn collected_tuples_respect_limit() {
         let db = db();
         let result = db
             .run(
                 "(a)->(b), (b)->(c), (a)->(c)",
-                QueryOptions {
-                    collect_tuples: true,
-                    collect_limit: 7,
-                    ..Default::default()
-                },
+                QueryOptions::new().collect_tuples(true).collect_limit(7),
             )
             .unwrap();
         assert!(result.tuples.len() <= 7);
         assert!(result.count >= result.tuples.len() as u64);
+    }
+
+    #[test]
+    fn prepared_queries_amortize_planning() {
+        let db = db();
+        let first = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert!(!first.was_cached());
+        let second = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert!(second.was_cached());
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "exactly one optimizer invocation");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(first.count().unwrap(), second.count().unwrap());
+        // The per-run stats carry the cache outcome.
+        let run = second.run(QueryOptions::default()).unwrap();
+        assert_eq!(run.stats.plan_cache_hits, 1);
+        assert_eq!(run.stats.plan_cache_misses, 0);
+    }
+
+    #[test]
+    fn isomorphic_rewritings_share_a_plan_and_remap_tuples() {
+        let db = db();
+        let original = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        // Same triangle, renamed vertices and shuffled clauses: (x)->(y) plays the (b)->(c)
+        // role, so tuple positions must be remapped on the way out.
+        let rewritten = db.prepare("(y)->(z), (x)->(y), (x)->(z)").unwrap();
+        assert!(rewritten.was_cached());
+        let a = original
+            .run(QueryOptions::new().collect_tuples(true))
+            .unwrap();
+        let b = rewritten
+            .run(QueryOptions::new().collect_tuples(true))
+            .unwrap();
+        assert_eq!(a.count, b.count);
+        // Tuple positions follow each query's own vertex numbering (order of first
+        // appearance), so compare through the role names: (x, y, z) plays (a, b, c).
+        let xi = rewritten.query().vertex_index("x").unwrap();
+        let yi = rewritten.query().vertex_index("y").unwrap();
+        let zi = rewritten.query().vertex_index("z").unwrap();
+        let mut ta = a.tuples.clone();
+        let mut tb: Vec<Vec<u32>> = b.tuples.iter().map(|t| vec![t[xi], t[yi], t[zi]]).collect();
+        ta.sort_unstable();
+        tb.sort_unstable();
+        assert_eq!(ta, tb, "remapped tuples must be the same matches");
+        // Every rewritten tuple respects its own query's edges: x->y, y->z, x->z.
+        for t in &b.tuples {
+            let (x, y, z) = (t[xi], t[yi], t[zi]);
+            assert!(db.graph().has_edge(x, y, graphflow_graph::EdgeLabel(0)));
+            assert!(db.graph().has_edge(y, z, graphflow_graph::EdgeLabel(0)));
+            assert!(db.graph().has_edge(x, z, graphflow_graph::EdgeLabel(0)));
+        }
+    }
+
+    #[test]
+    fn streaming_sink_agrees_with_count() {
+        let db = db();
+        let pattern = "(a)->(b), (b)->(c), (a)->(c)";
+        let expected = db.count(pattern).unwrap();
+        let mut streamed = 0u64;
+        let stats = {
+            let mut sink = CallbackSink::new(|_t: &[u32]| {
+                streamed += 1;
+                true
+            });
+            db.run_with_sink(pattern, QueryOptions::default(), &mut sink)
+                .unwrap()
+        };
+        assert_eq!(streamed, expected);
+        assert_eq!(stats.output_count, expected);
+    }
+
+    #[test]
+    fn builder_configures_everything() {
+        let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.4, 5);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        let db = GraphflowDB::builder(b.build())
+            .plan_space(PlanSpaceOptions::wco_only())
+            .cost_model(CostModel::default())
+            .catalogue_config(CatalogueConfig::default())
+            .plan_cache_capacity(2)
+            .build();
+        assert_eq!(db.plan_cache_stats().capacity, 2);
+        // Three distinct shapes through a 2-entry cache force an eviction.
+        db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        db.count("(a)->(b), (b)->(c)").unwrap();
+        db.count("(a)->(b), (b)->(c), (c)->(d)").unwrap();
+        assert_eq!(db.plan_cache_stats().evictions, 1);
     }
 }

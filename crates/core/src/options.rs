@@ -1,0 +1,188 @@
+//! Per-query execution options as a fluent builder.
+
+/// Per-query execution settings, built fluently:
+///
+/// ```
+/// use graphflow_core::QueryOptions;
+/// let opts = QueryOptions::new().threads(4).limit(1000);
+/// assert_eq!(opts.num_threads(), 4);
+/// assert_eq!(opts.output_limit(), Some(1000));
+/// ```
+///
+/// The default configuration is serial, fixed-plan execution with the intersection cache on,
+/// no output limit and no tuple collection.
+///
+/// # Mode precedence
+///
+/// [`adaptive`](QueryOptions::adaptive) and [`threads`](QueryOptions::threads)` > 1` select
+/// *different engines* (the per-tuple adaptive executor is inherently serial); requesting both
+/// at once is rejected with [`Error::InvalidOptions`](crate::Error::InvalidOptions) when the
+/// query runs, rather than silently ignoring one of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    pub(crate) adaptive: bool,
+    pub(crate) threads: usize,
+    pub(crate) intersection_cache: bool,
+    pub(crate) output_limit: Option<u64>,
+    pub(crate) collect_tuples: bool,
+    pub(crate) collect_limit: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            adaptive: false,
+            threads: 1,
+            intersection_cache: true,
+            output_limit: None,
+            collect_tuples: false,
+            collect_limit: 1_000_000,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Default options (identical to [`QueryOptions::default`]), ready for chaining.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // --- builder setters -------------------------------------------------------------------
+
+    /// Use the adaptive executor (per-tuple query-vertex-ordering selection, paper Section 6).
+    ///
+    /// Incompatible with [`threads`](QueryOptions::threads)` > 1`; see the type-level docs on
+    /// mode precedence.
+    pub fn adaptive(mut self, adaptive: bool) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Number of worker threads (1 = serial execution; 0 is treated as 1).
+    ///
+    /// Incompatible with [`adaptive`](QueryOptions::adaptive); see the type-level docs on mode
+    /// precedence.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Toggle the E/I last-extension (intersection) cache (paper Section 3.1).
+    pub fn intersection_cache(mut self, enabled: bool) -> Self {
+        self.intersection_cache = enabled;
+        self
+    }
+
+    /// Stop execution after roughly this many results (exact in serial modes; parallel workers
+    /// stop at their next chunk boundary, so slightly more may be counted).
+    pub fn limit(mut self, limit: u64) -> Self {
+        self.output_limit = Some(limit);
+        self
+    }
+
+    /// Remove a previously set output limit.
+    pub fn no_limit(mut self) -> Self {
+        self.output_limit = None;
+        self
+    }
+
+    /// Collect result tuples into [`QueryResult::tuples`](crate::QueryResult::tuples), up to
+    /// the [`collect_limit`](QueryOptions::collect_limit) cap.
+    ///
+    /// Collection buffers matches in memory; for unbounded result sets stream through a
+    /// [`MatchSink`](crate::MatchSink) instead (`run_with_sink`).
+    pub fn collect_tuples(mut self, collect: bool) -> Self {
+        self.collect_tuples = collect;
+        self
+    }
+
+    /// Cap on the number of tuples collected when
+    /// [`collect_tuples`](QueryOptions::collect_tuples) is on (default one million). Matches
+    /// beyond the cap are still counted.
+    pub fn collect_limit(mut self, cap: usize) -> Self {
+        self.collect_limit = cap;
+        self
+    }
+
+    // --- accessors -------------------------------------------------------------------------
+
+    /// Whether the adaptive executor was requested.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The configured worker-thread count.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the intersection cache is enabled.
+    pub fn uses_intersection_cache(&self) -> bool {
+        self.intersection_cache
+    }
+
+    /// The configured output limit, if any.
+    pub fn output_limit(&self) -> Option<u64> {
+        self.output_limit
+    }
+
+    /// Whether result tuples will be collected into the query result.
+    pub fn collects_tuples(&self) -> bool {
+        self.collect_tuples
+    }
+
+    /// The tuple-collection cap.
+    pub fn collection_cap(&self) -> usize {
+        self.collect_limit
+    }
+
+    /// Reject invalid option combinations (currently: `adaptive` together with multi-threaded
+    /// execution).
+    pub(crate) fn validate(&self) -> Result<(), crate::Error> {
+        if self.adaptive && self.threads > 1 {
+            return Err(crate::Error::InvalidOptions(format!(
+                "adaptive execution is serial: adaptive(true) cannot be combined with \
+                 threads({}); drop one of the two",
+                self.threads
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_and_accessors_agree() {
+        let opts = QueryOptions::new()
+            .adaptive(true)
+            .intersection_cache(false)
+            .limit(7)
+            .collect_tuples(true)
+            .collect_limit(3);
+        assert!(opts.is_adaptive());
+        assert!(!opts.uses_intersection_cache());
+        assert_eq!(opts.output_limit(), Some(7));
+        assert!(opts.collects_tuples());
+        assert_eq!(opts.collection_cap(), 3);
+        assert_eq!(opts.no_limit().output_limit(), None);
+    }
+
+    #[test]
+    fn zero_threads_means_serial() {
+        assert_eq!(QueryOptions::new().threads(0).num_threads(), 1);
+    }
+
+    #[test]
+    fn adaptive_plus_threads_is_invalid() {
+        assert!(QueryOptions::new()
+            .adaptive(true)
+            .threads(4)
+            .validate()
+            .is_err());
+        assert!(QueryOptions::new().adaptive(true).validate().is_ok());
+        assert!(QueryOptions::new().threads(4).validate().is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! Prepared queries: parse + canonicalize + optimize once, execute many times.
+
+use crate::{Error, GraphflowDB, QueryOptions, QueryResult};
+use graphflow_exec::{MatchSink, RuntimeStats};
+use graphflow_graph::VertexId;
+use graphflow_plan::{PlanClass, PlanHandle};
+use graphflow_query::QueryGraph;
+
+/// A query whose expensive front half — parsing, canonicalization and cost-based optimization —
+/// has already been done. Created by [`GraphflowDB::prepare`] (or
+/// [`GraphflowDB::prepare_query`]); rerunnable any number of times with different
+/// [`QueryOptions`] or result sinks.
+///
+/// The underlying plan comes from the database's LRU plan cache, keyed on the *canonical* form
+/// of the query graph: preparing an isomorphic rewriting of an earlier pattern (same shape,
+/// different vertex names or clause order) reuses the cached plan without invoking the
+/// optimizer, and result tuples are transparently remapped back to this query's own vertex
+/// numbering.
+pub struct PreparedQuery<'db> {
+    pub(crate) db: &'db GraphflowDB,
+    pub(crate) query: QueryGraph,
+    pub(crate) plan: PlanHandle,
+    /// `Some(map)` when the cached plan was optimized for an isomorphic twin of `query`:
+    /// `map[plan query vertex] = our query vertex`.
+    pub(crate) remap: Option<Vec<usize>>,
+    pub(crate) cache_hit: bool,
+}
+
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.query)
+            .field("plan_class", &self.plan.class())
+            .field("estimated_cost", &self.plan.estimated_cost)
+            .field("cache_hit", &self.cache_hit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'db> PreparedQuery<'db> {
+    /// The parsed query graph this statement answers.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The (shared) plan that will be executed.
+    pub fn plan(&self) -> &PlanHandle {
+        &self.plan
+    }
+
+    /// The plan's class (WCO / BJ / hybrid).
+    pub fn plan_class(&self) -> PlanClass {
+        self.plan.class()
+    }
+
+    /// Whether preparation was served from the plan cache (i.e. the optimizer was skipped).
+    pub fn was_cached(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// `EXPLAIN`-style text for the prepared plan.
+    pub fn explain(&self) -> String {
+        format!(
+            "plan class: {}\nestimated cost: {:.1}\n{}",
+            self.plan.class(),
+            self.plan.estimated_cost,
+            self.plan.explain()
+        )
+    }
+
+    /// Count the matches with default options.
+    pub fn count(&self) -> Result<u64, Error> {
+        Ok(self.run(QueryOptions::default())?.count)
+    }
+
+    /// Execute with explicit options, materialising a [`QueryResult`].
+    pub fn run(&self, options: QueryOptions) -> Result<QueryResult, Error> {
+        self.db
+            .execute_prepared(&self.plan, self.remap.as_deref(), self.cache_hit, options)
+    }
+
+    /// Execute, streaming every match (in this query's vertex order) into `sink` instead of
+    /// materialising results — constant memory no matter how many matches there are.
+    pub fn run_with_sink(
+        &self,
+        options: QueryOptions,
+        sink: &mut (dyn MatchSink + Send),
+    ) -> Result<RuntimeStats, Error> {
+        self.db.execute_prepared_with_sink(
+            &self.plan,
+            self.remap.as_deref(),
+            self.cache_hit,
+            options,
+            sink,
+        )
+    }
+}
+
+/// Reorders tuples from the cached plan's vertex numbering into the prepared query's own
+/// numbering before forwarding them to the user's sink.
+pub(crate) struct RemapSink<'a> {
+    inner: &'a mut (dyn MatchSink + Send),
+    /// `map[plan query vertex] = prepared query vertex`.
+    map: &'a [usize],
+    scratch: Vec<VertexId>,
+}
+
+impl<'a> RemapSink<'a> {
+    pub(crate) fn new(inner: &'a mut (dyn MatchSink + Send), map: &'a [usize]) -> Self {
+        let scratch = vec![0 as VertexId; map.len()];
+        RemapSink {
+            inner,
+            map,
+            scratch,
+        }
+    }
+}
+
+impl MatchSink for RemapSink<'_> {
+    fn needs_tuples(&self) -> bool {
+        self.inner.needs_tuples()
+    }
+
+    fn on_match(&mut self, tuple: &[VertexId]) -> bool {
+        for (plan_vertex, &our_vertex) in self.map.iter().enumerate() {
+            self.scratch[our_vertex] = tuple[plan_vertex];
+        }
+        self.inner.on_match(&self.scratch)
+    }
+
+    fn on_count(&mut self, n: u64) {
+        self.inner.on_count(n);
+    }
+}

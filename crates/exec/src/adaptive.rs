@@ -9,9 +9,10 @@
 //! fixed (they come from the SCAN) and the rest are picked adaptively per scanned edge.
 
 use crate::pipeline::{
-    compile, run_pipeline, run_stages, CompiledPipeline, ExecOptions, ExecOutput, ExtendStage,
-    Stage,
+    compile, drive_pipeline_into_sink, run_stages, CompiledPipeline, ExecOptions, ExecOutput,
+    ExtendStage, Stage,
 };
+use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_catalog::Catalogue;
 use graphflow_graph::{Graph, VertexId};
@@ -59,19 +60,15 @@ impl AdaptiveStage {
 /// Re-estimate the cost of a candidate for a specific tuple: the first step uses the actual
 /// adjacency-list sizes of the tuple's bound vertices; later steps scale the catalogue estimates
 /// by the observed ratio (Example 6.2 of the paper).
-fn recost_candidate(
-    candidate: &AdaptiveCandidate,
-    graph: &Graph,
-    tuple: &[VertexId],
-) -> f64 {
+fn recost_candidate(candidate: &AdaptiveCandidate, graph: &Graph, tuple: &[VertexId]) -> f64 {
     let first = &candidate.steps[0];
     let first_est = &candidate.estimates[0];
     let mut actual_sum = 0.0;
     let mut ratio = 1.0;
     for (d, est_size) in first.descriptors.iter().zip(first_est.sizes.iter()) {
-        let actual =
-            graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, first.target_label).len()
-                as f64;
+        let actual = graph
+            .neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, first.target_label)
+            .len() as f64;
         actual_sum += actual;
         if *est_size > 0.0 {
             ratio *= actual / est_size;
@@ -79,7 +76,12 @@ fn recost_candidate(
     }
     let mut cost = actual_sum;
     let mut card = (first_est.mu * ratio).max(0.0);
-    for (step_est, _step) in candidate.estimates.iter().zip(candidate.steps.iter()).skip(1) {
+    for (step_est, _step) in candidate
+        .estimates
+        .iter()
+        .zip(candidate.steps.iter())
+        .skip(1)
+    {
         let sum_sizes: f64 = step_est.sizes.iter().sum();
         cost += card * sum_sizes;
         card *= step_est.mu;
@@ -253,7 +255,8 @@ pub(crate) fn compile_adaptive(
         }
         // Build an adaptive stage for the run [i, j).
         let base_layout = layouts[i].clone();
-        let canonical_targets: Vec<usize> = (i..j).map(|k| layouts[k + 1][layouts[k].len()]).collect();
+        let canonical_targets: Vec<usize> =
+            (i..j).map(|k| layouts[k + 1][layouts[k].len()]).collect();
         let base_set = base_layout.iter().fold(0u32, |acc, &v| acc | singleton(v));
         let target_set = canonical_targets
             .iter()
@@ -289,7 +292,12 @@ pub(crate) fn compile_adaptive(
             }
             let canonical_to_candidate: Vec<usize> = canonical_targets
                 .iter()
-                .map(|ct| ordering.iter().position(|t| t == ct).expect("same target set"))
+                .map(|ct| {
+                    ordering
+                        .iter()
+                        .position(|t| t == ct)
+                        .expect("same target set")
+                })
                 .collect();
             candidates.push(AdaptiveCandidate {
                 steps,
@@ -316,39 +324,44 @@ pub(crate) fn compile_adaptive(
 }
 
 /// Execute a plan with adaptive query-vertex-ordering selection for every chain of two or more
-/// E/I operators (hash-join build sides are executed with their fixed orderings).
+/// E/I operators (hash-join build sides are executed with their fixed orderings), counting
+/// results.
 pub fn execute_adaptive(
     graph: &Graph,
     catalogue: &Catalogue,
     plan: &Plan,
     options: ExecOptions,
 ) -> ExecOutput {
+    let mut sink = CountingSink::new();
+    let stats = execute_adaptive_with_sink(graph, catalogue, plan, options, &mut sink);
+    ExecOutput {
+        count: stats.output_count,
+        stats,
+    }
+}
+
+/// Adaptive execution streaming every result tuple (in query-vertex order) into `sink`.
+pub fn execute_adaptive_with_sink(
+    graph: &Graph,
+    catalogue: &Catalogue,
+    plan: &Plan,
+    options: ExecOptions,
+    sink: &mut dyn MatchSink,
+) -> RuntimeStats {
     let start = Instant::now();
     let mut stats = RuntimeStats::default();
     let q = &plan.query;
     let mut pipeline = compile_adaptive(graph, q, &plan.root, catalogue, &options, &mut stats);
-    let mut tuples: Vec<Vec<VertexId>> = Vec::new();
-    let out_layout = pipeline.out_layout.clone();
-    let m = q.num_vertices();
-    {
-        let mut on_result = |tuple: &[VertexId]| -> bool {
-            if options.collect_tuples && tuples.len() < options.collect_limit {
-                let mut ordered = vec![0 as VertexId; m];
-                for (pos, &qv) in out_layout.iter().enumerate() {
-                    ordered[qv] = tuple[pos];
-                }
-                tuples.push(ordered);
-            }
-            true
-        };
-        run_pipeline(&mut pipeline, graph, &options, &mut stats, &mut on_result);
-    }
+    drive_pipeline_into_sink(
+        &mut pipeline,
+        graph,
+        &options,
+        &mut stats,
+        q.num_vertices(),
+        sink,
+    );
     stats.elapsed = start.elapsed();
-    ExecOutput {
-        count: stats.output_count,
-        stats,
-        tuples,
-    }
+    stats
 }
 
 #[cfg(test)]
@@ -378,7 +391,10 @@ mod tests {
         for j in [2usize, 3, 4, 5, 6] {
             let q = patterns::benchmark_query(j);
             let expected = count_matches(&g, &q);
-            for sigma in graphflow_query::qvo::distinct_orderings(&q).into_iter().take(4) {
+            for sigma in graphflow_query::qvo::distinct_orderings(&q)
+                .into_iter()
+                .take(4)
+            {
                 let Some(plan) = wco_plan_for_ordering(&q, &cat, &model, &sigma) else {
                     continue;
                 };
@@ -457,16 +473,9 @@ mod tests {
         let model = CostModel::default();
         let q = patterns::diamond_x();
         let plan = wco_plan_for_ordering(&q, &cat, &model, &[0, 1, 2, 3]).unwrap();
-        let out = execute_adaptive(
-            &g,
-            &cat,
-            &plan,
-            ExecOptions {
-                collect_tuples: true,
-                ..Default::default()
-            },
-        );
-        assert_eq!(out.count, 1);
-        assert_eq!(out.tuples, vec![vec![0, 1, 2, 3]]);
+        let mut sink = crate::sink::CollectingSink::new(10);
+        let stats = execute_adaptive_with_sink(&g, &cat, &plan, ExecOptions::default(), &mut sink);
+        assert_eq!(stats.output_count, 1);
+        assert_eq!(sink.into_tuples(), vec![vec![0, 1, 2, 3]]);
     }
 }

@@ -19,6 +19,11 @@
 //!   pool of worker threads under work stealing; hash-join build sides are materialised once and
 //!   shared read-only.
 //!
+//! Results are **streamed**: every executor has a `*_with_sink` variant that delivers each
+//! match (in query-vertex order) to a [`MatchSink`] — counting, collecting, limit-N or
+//! user-callback — so unbounded result sets never need to be materialised. The plain
+//! `execute*` entry points are counting shorthands over the same machinery.
+//!
 //! Every run returns [`RuntimeStats`] with the *actual* i-cost (Equation 1), the number of
 //! intermediate partial matches, and intersection-cache hit counts — the quantities reported in
 //! Tables 3–6 of the paper.
@@ -26,9 +31,11 @@
 pub mod adaptive;
 pub mod parallel;
 pub mod pipeline;
+pub mod sink;
 pub mod stats;
 
-pub use adaptive::execute_adaptive;
-pub use parallel::execute_parallel;
-pub use pipeline::{execute, execute_with_options, ExecOptions, ExecOutput};
+pub use adaptive::{execute_adaptive, execute_adaptive_with_sink};
+pub use parallel::{execute_parallel, execute_parallel_with_sink};
+pub use pipeline::{execute, execute_with_options, execute_with_sink, ExecOptions, ExecOutput};
+pub use sink::{CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink};
 pub use stats::RuntimeStats;

@@ -7,6 +7,7 @@
 //! through it depth-first, so no intermediate result is ever materialised outside of hash
 //! tables — the same discipline as the paper's Volcano-style engine.
 
+use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{multiway_intersect, Graph, VertexId, VertexLabel};
 use graphflow_plan::plan::{Plan, PlanNode};
@@ -18,16 +19,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Execution options.
+///
+/// Result *delivery* is not configured here any more: executors stream tuples into a
+/// [`MatchSink`], so what used to be `collect_tuples`/`collect_limit` is now the caller's
+/// choice of sink ([`CollectingSink`](crate::sink::CollectingSink),
+/// [`LimitSink`](crate::sink::LimitSink), ...).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecOptions {
     /// Enable the E/I last-extension cache (Section 3.1). Table 3 of the paper toggles this.
     pub use_intersection_cache: bool,
     /// Stop after producing this many results (used by the output-limited CFL comparison).
     pub output_limit: Option<u64>,
-    /// Collect result tuples (up to `collect_limit`) instead of only counting them.
-    pub collect_tuples: bool,
-    /// Maximum number of tuples to collect when `collect_tuples` is set.
-    pub collect_limit: usize,
 }
 
 impl Default for ExecOptions {
@@ -35,8 +37,6 @@ impl Default for ExecOptions {
         ExecOptions {
             use_intersection_cache: true,
             output_limit: None,
-            collect_tuples: false,
-            collect_limit: 1_000_000,
         }
     }
 }
@@ -48,8 +48,6 @@ pub struct ExecOutput {
     pub count: u64,
     /// Runtime counters (actual i-cost, intermediate matches, cache hits, ...).
     pub stats: RuntimeStats,
-    /// Collected result tuples in query-vertex-index order (empty unless requested).
-    pub tuples: Vec<Vec<VertexId>>,
 }
 
 /// A materialised hash-join build side: key columns -> flattened payload columns.
@@ -244,7 +242,12 @@ fn materialize(
         .collect();
     let key_positions: Vec<usize> = key_vertices
         .iter()
-        .map(|kv| build_out.iter().position(|v| v == kv).expect("key in build layout"))
+        .map(|kv| {
+            build_out
+                .iter()
+                .position(|v| v == kv)
+                .expect("key in build layout")
+        })
         .collect();
     let payload_positions: Vec<usize> = build_out
         .iter()
@@ -255,7 +258,6 @@ fn materialize(
 
     let mut inner_options = *options;
     inner_options.output_limit = None;
-    inner_options.collect_tuples = false;
 
     // The build side runs with its own counters: its result tuples are hash-table entries, not
     // query results, so they must not inflate `output_count`.
@@ -265,14 +267,20 @@ fn materialize(
         map: FxHashMap::default(),
         payload_width: payload_positions.len(),
     };
-    run_pipeline(&mut pipeline, graph, &inner_options, &mut build_stats, &mut |tuple| {
-        let key: Vec<VertexId> = key_positions.iter().map(|&i| tuple[i]).collect();
-        let entry = table.map.entry(key).or_default();
-        for &i in &payload_positions {
-            entry.push(tuple[i]);
-        }
-        true
-    });
+    run_pipeline(
+        &mut pipeline,
+        graph,
+        &inner_options,
+        &mut build_stats,
+        &mut |tuple| {
+            let key: Vec<VertexId> = key_positions.iter().map(|&i| tuple[i]).collect();
+            let entry = table.map.entry(key).or_default();
+            for &i in &payload_positions {
+                entry.push(tuple[i]);
+            }
+            true
+        },
+    );
     stats.icost += build_stats.icost;
     stats.intermediate_tuples += build_stats.intermediate_tuples + build_stats.output_count;
     stats.cache_hits += build_stats.cache_hits;
@@ -305,6 +313,11 @@ pub(crate) fn run_pipeline_on_range(
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) {
+    // The per-result limit checks below fire after a result is delivered, so a limit of zero
+    // needs its own guard to deliver nothing.
+    if options.output_limit == Some(0) {
+        return;
+    }
     let scan = pipeline.scan.clone();
     let mut tuple: Vec<VertexId> = Vec::with_capacity(pipeline.out_layout.len());
     'scan: for &(u, v, l) in scan_edges {
@@ -316,7 +329,11 @@ pub(crate) fn run_pipeline_on_range(
         }
         // Apply antiparallel / multi-label filters between the two scanned query vertices.
         let ok = scan.extra_filters.iter().all(|e| {
-            let (s, d) = if e.src == scan.edge.src { (u, v) } else { (v, u) };
+            let (s, d) = if e.src == scan.edge.src {
+                (u, v)
+            } else {
+                (v, u)
+            };
             graph.has_edge(s, d, e.label)
         });
         if !ok {
@@ -398,7 +415,7 @@ pub(crate) fn run_stages(
                 return true;
             };
             let width = stage.table.payload_width;
-            let groups = if width == 0 { 1 } else { payloads.len() / width };
+            let groups = payloads.len().checked_div(width).unwrap_or(1);
             for g in 0..groups {
                 for j in 0..width {
                     tuple.push(payloads[g * width + j]);
@@ -425,9 +442,9 @@ pub(crate) fn run_stages(
             }
             true
         }
-        Stage::Adaptive(stage) => {
-            crate::adaptive::run_adaptive_stage(stage, rest, graph, tuple, options, stats, on_result)
-        }
+        Stage::Adaptive(stage) => crate::adaptive::run_adaptive_stage(
+            stage, rest, graph, tuple, options, stats, on_result,
+        ),
     }
 }
 
@@ -441,39 +458,68 @@ impl ExtendStage {
     }
 }
 
-/// Execute a plan serially with default options.
+/// Stream a compiled pipeline's results into a sink, taking the counting fast path when the
+/// sink does not need tuples (shared by the serial and adaptive executors).
+pub(crate) fn drive_pipeline_into_sink(
+    pipeline: &mut CompiledPipeline,
+    graph: &Graph,
+    options: &ExecOptions,
+    stats: &mut RuntimeStats,
+    num_query_vertices: usize,
+    sink: &mut dyn MatchSink,
+) {
+    if sink.needs_tuples() {
+        let out_layout = pipeline.out_layout.clone();
+        let mut ordered = vec![0 as VertexId; num_query_vertices];
+        let mut on_result = |tuple: &[VertexId]| -> bool {
+            for (pos, &qv) in out_layout.iter().enumerate() {
+                ordered[qv] = tuple[pos];
+            }
+            sink.on_match(&ordered)
+        };
+        run_pipeline(pipeline, graph, options, stats, &mut on_result);
+    } else {
+        run_pipeline(pipeline, graph, options, stats, &mut |_t| true);
+        sink.on_count(stats.output_count);
+    }
+}
+
+/// Execute a plan serially with default options, counting results.
 pub fn execute(graph: &Graph, plan: &Plan) -> ExecOutput {
     execute_with_options(graph, plan, ExecOptions::default())
 }
 
-/// Execute a plan serially.
+/// Execute a plan serially, counting results.
 pub fn execute_with_options(graph: &Graph, plan: &Plan, options: ExecOptions) -> ExecOutput {
+    let mut sink = CountingSink::new();
+    let stats = execute_with_sink(graph, plan, options, &mut sink);
+    ExecOutput {
+        count: stats.output_count,
+        stats,
+    }
+}
+
+/// Execute a plan serially, streaming every result tuple (in query-vertex order) into `sink`.
+pub fn execute_with_sink(
+    graph: &Graph,
+    plan: &Plan,
+    options: ExecOptions,
+    sink: &mut dyn MatchSink,
+) -> RuntimeStats {
     let start = Instant::now();
     let mut stats = RuntimeStats::default();
     let q = &plan.query;
     let mut pipeline = compile(graph, q, &plan.root, &options, &mut stats);
-    let mut tuples: Vec<Vec<VertexId>> = Vec::new();
-    let out_layout = pipeline.out_layout.clone();
-    let m = q.num_vertices();
-    {
-        let mut on_result = |tuple: &[VertexId]| -> bool {
-            if options.collect_tuples && tuples.len() < options.collect_limit {
-                let mut ordered = vec![0 as VertexId; m];
-                for (pos, &qv) in out_layout.iter().enumerate() {
-                    ordered[qv] = tuple[pos];
-                }
-                tuples.push(ordered);
-            }
-            true
-        };
-        run_pipeline(&mut pipeline, graph, &options, &mut stats, &mut on_result);
-    }
+    drive_pipeline_into_sink(
+        &mut pipeline,
+        graph,
+        &options,
+        &mut stats,
+        q.num_vertices(),
+        sink,
+    );
     stats.elapsed = start.elapsed();
-    ExecOutput {
-        count: stats.output_count,
-        stats,
-        tuples,
-    }
+    stats
 }
 
 #[cfg(test)]
@@ -514,7 +560,10 @@ mod tests {
         for j in [1usize, 2, 3, 4, 6, 8] {
             let q = patterns::benchmark_query(j);
             let expected = count_matches(&g, &q);
-            for sigma in graphflow_query::qvo::distinct_orderings(&q).into_iter().take(6) {
+            for sigma in graphflow_query::qvo::distinct_orderings(&q)
+                .into_iter()
+                .take(6)
+            {
                 let Some(plan) = wco_plan_for_ordering(&q, &cat, &model, &sigma) else {
                     continue;
                 };
@@ -605,22 +654,53 @@ mod tests {
         let cat = Catalogue::with_defaults(g.clone());
         let q = patterns::asymmetric_triangle();
         let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
-        let out = execute_with_options(
-            &g,
-            &plan,
-            ExecOptions {
-                collect_tuples: true,
-                collect_limit: 50,
-                ..Default::default()
-            },
-        );
-        assert!(!out.tuples.is_empty());
-        for t in &out.tuples {
+        let mut sink = crate::sink::CollectingSink::new(50);
+        let stats = execute_with_sink(&g, &plan, ExecOptions::default(), &mut sink);
+        let tuples = sink.into_tuples();
+        assert!(!tuples.is_empty());
+        assert!(tuples.len() <= 50);
+        assert!(stats.output_count >= tuples.len() as u64);
+        for t in &tuples {
             // a1->a2, a2->a3, a1->a3 must all exist.
             assert!(g.has_edge(t[0], t[1], graphflow_graph::EdgeLabel(0)));
             assert!(g.has_edge(t[1], t[2], graphflow_graph::EdgeLabel(0)));
             assert!(g.has_edge(t[0], t[2], graphflow_graph::EdgeLabel(0)));
         }
+    }
+
+    #[test]
+    fn limit_sink_stops_execution_early() {
+        let g = complete_graph(20);
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let full = execute(&g, &plan).count;
+        let mut sink = crate::sink::LimitSink::new(10);
+        let stats = execute_with_sink(&g, &plan, ExecOptions::default(), &mut sink);
+        assert_eq!(sink.tuples.len(), 10);
+        assert!(full > 10);
+        assert!(
+            stats.output_count < full,
+            "execution must abort once the limit sink says stop"
+        );
+    }
+
+    #[test]
+    fn callback_sink_streams_without_materializing() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let expected = execute(&g, &plan).count;
+        let mut streamed = 0u64;
+        {
+            let mut sink = crate::sink::CallbackSink::new(|_t: &[VertexId]| {
+                streamed += 1;
+                true
+            });
+            execute_with_sink(&g, &plan, ExecOptions::default(), &mut sink);
+        }
+        assert_eq!(streamed, expected);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub struct RuntimeStats {
     pub hash_build_tuples: u64,
     /// Tuples used to probe hash-join tables.
     pub hash_probe_tuples: u64,
+    /// Times this query's plan was served from the facade's plan cache (filled in by
+    /// `graphflow-core`; executors leave it 0).
+    pub plan_cache_hits: u64,
+    /// Times this query's plan had to be produced by the optimizer (filled in by
+    /// `graphflow-core`; executors leave it 0).
+    pub plan_cache_misses: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -36,6 +42,8 @@ impl RuntimeStats {
         self.cache_misses += other.cache_misses;
         self.hash_build_tuples += other.hash_build_tuples;
         self.hash_probe_tuples += other.hash_probe_tuples;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
         // Elapsed time is wall clock, not CPU time: keep the maximum.
         self.elapsed = self.elapsed.max(other.elapsed);
     }
@@ -66,6 +74,7 @@ mod tests {
             hash_build_tuples: 7,
             hash_probe_tuples: 9,
             elapsed: Duration::from_millis(20),
+            ..Default::default()
         };
         let b = RuntimeStats {
             icost: 1,
@@ -75,10 +84,14 @@ mod tests {
             cache_misses: 1,
             hash_build_tuples: 1,
             hash_probe_tuples: 1,
+            plan_cache_hits: 2,
+            plan_cache_misses: 1,
             elapsed: Duration::from_millis(50),
         };
         a.merge(&b);
         assert_eq!(a.icost, 11);
+        assert_eq!(a.plan_cache_hits, 2);
+        assert_eq!(a.plan_cache_misses, 1);
         assert_eq!(a.output_count, 3);
         assert_eq!(a.elapsed, Duration::from_millis(50));
         assert!((a.cache_hit_rate() - 2.0 / 6.0).abs() < 1e-9);

@@ -82,18 +82,11 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         let n = self.vertex_labels.len();
         // De-duplicate edges on (label, src, dst); this is also the SCAN order.
-        self.edges
-            .sort_unstable_by_key(|&(s, d, l)| (l, s, d));
+        self.edges.sort_unstable_by_key(|&(s, d, l)| (l, s, d));
         self.edges.dedup();
         let num_edges = self.edges.len();
 
-        let num_vertex_labels = self
-            .vertex_labels
-            .iter()
-            .map(|l| l.0)
-            .max()
-            .unwrap_or(0)
-            + 1;
+        let num_vertex_labels = self.vertex_labels.iter().map(|l| l.0).max().unwrap_or(0) + 1;
         let num_edge_labels = self.edges.iter().map(|e| e.2 .0).max().unwrap_or(0) + 1;
 
         // Edge label ranges over the sorted edge array.

@@ -101,10 +101,10 @@ pub fn powerlaw_cluster(n: usize, m_per_node: usize, triangle_prob: f64, seed: u
     let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
 
     let push_edge = |edges: &mut EdgeList,
-                         out_adj: &mut Vec<Vec<VertexId>>,
-                         seen: &mut FxHashSet<(VertexId, VertexId)>,
-                         s: VertexId,
-                         d: VertexId|
+                     out_adj: &mut Vec<Vec<VertexId>>,
+                     seen: &mut FxHashSet<(VertexId, VertexId)>,
+                     s: VertexId,
+                     d: VertexId|
      -> bool {
         if s != d && seen.insert((s, d)) {
             edges.push((s, d));
@@ -225,7 +225,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_edges(edges.iter().copied());
         let g = b.build();
-        let max_in = (0..g.num_vertices() as u32).map(|v| g.in_degree(v)).max().unwrap();
+        let max_in = (0..g.num_vertices() as u32)
+            .map(|v| g.in_degree(v))
+            .max()
+            .unwrap();
         let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
         // Hubs should have far more than the average in-degree.
         assert!(
@@ -288,6 +291,9 @@ mod tests {
             powerlaw_cluster(300, 3, 0.5, 5),
             powerlaw_cluster(300, 3, 0.5, 5)
         );
-        assert_eq!(watts_strogatz(300, 3, 0.1, 5), watts_strogatz(300, 3, 0.1, 5));
+        assert_eq!(
+            watts_strogatz(300, 3, 0.1, 5),
+            watts_strogatz(300, 3, 0.1, 5)
+        );
     }
 }

@@ -131,11 +131,23 @@ pub fn naive_intersect(lists: &[&[VertexId]]) -> Vec<VertexId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sorted_list(rng: &mut StdRng, max_value: u32, max_len: usize) -> Vec<u32> {
+        let len = rng.gen_range(0..=max_len);
+        let mut l: Vec<u32> = (0..len).map(|_| rng.gen_range(0..max_value)).collect();
+        l.sort_unstable();
+        l.dedup();
+        l
+    }
 
     #[test]
     fn two_way_basic() {
-        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], 8), vec![3, 7]);
+        assert_eq!(
+            intersect_sorted(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], 8),
+            vec![3, 7]
+        );
         assert_eq!(intersect_sorted(&[], &[1, 2], 2), Vec::<u32>::new());
         assert_eq!(intersect_sorted(&[1, 2], &[], 2), Vec::<u32>::new());
         assert_eq!(intersect_sorted(&[5], &[5], 1), vec![5]);
@@ -185,37 +197,46 @@ mod tests {
         assert!(out.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn prop_two_way_equals_naive(mut a in proptest::collection::vec(0u32..500, 0..200),
-                                     mut b in proptest::collection::vec(0u32..500, 0..200)) {
-            a.sort_unstable(); a.dedup();
-            b.sort_unstable(); b.dedup();
+    // Randomised property checks over seeded inputs (deterministic, no external test harness).
+
+    #[test]
+    fn prop_two_way_equals_naive() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for _ in 0..100 {
+            let a = random_sorted_list(&mut rng, 500, 200);
+            let b = random_sorted_list(&mut rng, 500, 200);
             let mut out = Vec::new();
             intersect_sorted_into(&a, &b, &mut out);
-            prop_assert_eq!(out, naive_intersect(&[&a, &b]));
+            assert_eq!(out, naive_intersect(&[&a, &b]));
         }
+    }
 
-        #[test]
-        fn prop_multiway_equals_naive(raw in proptest::collection::vec(
-            proptest::collection::vec(0u32..300, 0..120), 1..5)) {
-            let lists: Vec<Vec<u32>> = raw.into_iter().map(|mut l| { l.sort_unstable(); l.dedup(); l }).collect();
+    #[test]
+    fn prop_multiway_equals_naive() {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        for _ in 0..100 {
+            let num_lists = rng.gen_range(1..5usize);
+            let lists: Vec<Vec<u32>> = (0..num_lists)
+                .map(|_| random_sorted_list(&mut rng, 300, 120))
+                .collect();
             let refs: Vec<&[u32]> = lists.iter().map(|l| l.as_slice()).collect();
             let mut out = Vec::new();
             let mut scratch = Vec::new();
             multiway_intersect(&refs, &mut out, &mut scratch);
-            prop_assert_eq!(out, naive_intersect(&refs));
+            assert_eq!(out, naive_intersect(&refs));
         }
+    }
 
-        #[test]
-        fn prop_gallop_skewed_sizes(small in proptest::collection::vec(0u32..10_000, 0..8),
-                                    large_len in 1000usize..4000) {
-            let mut s = small.clone();
-            s.sort_unstable(); s.dedup();
+    #[test]
+    fn prop_gallop_skewed_sizes() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for _ in 0..50 {
+            let s = random_sorted_list(&mut rng, 10_000, 8);
+            let large_len = rng.gen_range(1000usize..4000);
             let large: Vec<u32> = (0..large_len as u32).map(|x| x * 3).collect();
             let mut out = Vec::new();
             intersect_sorted_into(&s, &large, &mut out);
-            prop_assert_eq!(out, naive_intersect(&[&s, &large]));
+            assert_eq!(out, naive_intersect(&[&s, &large]));
         }
     }
 }

@@ -42,7 +42,9 @@ impl From<std::io::Error> for LoadError {
 
 /// Parse an edge list from a reader. Lines are `src dst [edge_label]`, `#`-prefixed lines and
 /// blank lines are skipped. Vertex ids need not be contiguous; they are used verbatim.
-pub fn parse_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId, EdgeLabel)>, LoadError> {
+pub fn parse_edge_list<R: Read>(
+    reader: R,
+) -> Result<Vec<(VertexId, VertexId, EdgeLabel)>, LoadError> {
     let buf = BufReader::new(reader);
     let mut edges = Vec::new();
     for (i, line) in buf.lines().enumerate() {
@@ -56,8 +58,16 @@ pub fn parse_edge_list<R: Read>(reader: R) -> Result<Vec<(VertexId, VertexId, Ed
             line: i + 1,
             content: trimmed.to_string(),
         };
-        let src: VertexId = it.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
-        let dst: VertexId = it.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let src: VertexId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let dst: VertexId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
         let label: u16 = match it.next() {
             Some(tok) => tok.parse().map_err(|_| parse_err())?,
             None => 0,

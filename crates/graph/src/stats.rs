@@ -30,8 +30,14 @@ pub struct GraphStats {
 pub fn graph_stats(g: &Graph) -> GraphStats {
     let n = g.num_vertices();
     let m = g.num_edges();
-    let max_out = (0..n as VertexId).map(|v| g.out_degree(v)).max().unwrap_or(0);
-    let max_in = (0..n as VertexId).map(|v| g.in_degree(v)).max().unwrap_or(0);
+    let max_out = (0..n as VertexId)
+        .map(|v| g.out_degree(v))
+        .max()
+        .unwrap_or(0);
+    let max_in = (0..n as VertexId)
+        .map(|v| g.in_degree(v))
+        .max()
+        .unwrap_or(0);
     let avg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
     GraphStats {
         num_vertices: n,
@@ -103,8 +109,11 @@ pub fn reciprocity(g: &Graph) -> f64 {
     for &(s, d, _) in g.edges() {
         let nl = g.vertex_label(s);
         // reverse edge with any edge label
-        let found = (0..g.num_edge_labels())
-            .any(|el| g.out_neighbours(d, crate::ids::EdgeLabel(el), nl).binary_search(&s).is_ok());
+        let found = (0..g.num_edge_labels()).any(|el| {
+            g.out_neighbours(d, crate::ids::EdgeLabel(el), nl)
+                .binary_search(&s)
+                .is_ok()
+        });
         if found {
             recip += 1;
         }

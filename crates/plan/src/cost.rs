@@ -128,7 +128,7 @@ pub fn estimate_cost(
                 .fold(0, |a, b| a | b);
             let last_matched = last_matched_vertex(&n.child);
             let multiplier = if model.cache_conscious
-                && last_matched.map_or(false, |lv| accessed & singleton(lv) == 0)
+                && last_matched.is_some_and(|lv| accessed & singleton(lv) == 0)
             {
                 catalogue.estimate_cardinality(q, accessed)
             } else {
@@ -235,7 +235,12 @@ mod tests {
             let p = wco_plan(&q, &sigma);
             let cc = estimate_cost(&q, &cat, &conscious, &p);
             let co = estimate_cost(&q, &cat, &oblivious, &p);
-            assert!(cc.icost <= co.icost + 1e-6, "{sigma:?}: {} > {}", cc.icost, co.icost);
+            assert!(
+                cc.icost <= co.icost + 1e-6,
+                "{sigma:?}: {} > {}",
+                cc.icost,
+                co.icost
+            );
         }
     }
 

@@ -126,9 +126,9 @@ impl<'a> DpOptimizer<'a> {
         } else {
             self.optimize_pruned(q)
         };
-        table.get(&q.full_set()).map(|sp| {
-            Plan::new(q.clone(), sp.node.clone(), sp.total_cost())
-        })
+        table
+            .get(&q.full_set())
+            .map(|sp| Plan::new(q.clone(), sp.node.clone(), sp.total_cost()))
     }
 
     /// Exhaustive DP over every connected vertex subset (Algorithm 1).
@@ -147,7 +147,9 @@ impl<'a> DpOptimizer<'a> {
             let set = singleton(e.src) | singleton(e.dst);
             let node = PlanNode::scan(e);
             let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-            let better = table.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+            let better = table
+                .get(&set)
+                .is_none_or(|sp| cost.total() < sp.total_cost());
             if better {
                 table.insert(set, SubPlan { node, cost });
             }
@@ -163,7 +165,10 @@ impl<'a> DpOptimizer<'a> {
                 let mut best: Option<SubPlan> = None;
                 let consider = |cand: Option<SubPlan>, best: &mut Option<SubPlan>| {
                     if let Some(c) = cand {
-                        if best.as_ref().map_or(true, |b| c.total_cost() < b.total_cost()) {
+                        if best
+                            .as_ref()
+                            .is_none_or(|b| c.total_cost() < b.total_cost())
+                        {
                             *best = Some(c);
                         }
                     }
@@ -178,7 +183,9 @@ impl<'a> DpOptimizer<'a> {
                     if !q.is_connected_subset(sub) {
                         continue;
                     }
-                    let Some(child) = table.get(&sub) else { continue };
+                    let Some(child) = table.get(&sub) else {
+                        continue;
+                    };
                     let Some(node) = PlanNode::extend(q, child.node.clone(), target) else {
                         continue;
                     };
@@ -234,7 +241,9 @@ impl<'a> DpOptimizer<'a> {
             let set = singleton(e.src) | singleton(e.dst);
             let node = PlanNode::scan(e);
             let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-            let better = table.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+            let better = table
+                .get(&set)
+                .is_none_or(|sp| cost.total() < sp.total_cost());
             if better {
                 table.insert(set, SubPlan { node, cost });
             }
@@ -247,7 +256,9 @@ impl<'a> DpOptimizer<'a> {
                 if set_len(sub) != k - 1 {
                     continue;
                 }
-                let Some(child) = table.get(&sub).cloned() else { continue };
+                let Some(child) = table.get(&sub).cloned() else {
+                    continue;
+                };
                 for target in 0..m {
                     if sub & singleton(target) != 0 {
                         continue;
@@ -257,7 +268,9 @@ impl<'a> DpOptimizer<'a> {
                     };
                     let set = node.vertex_set();
                     let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                    let better = level.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+                    let better = level
+                        .get(&set)
+                        .is_none_or(|sp| cost.total() < sp.total_cost());
                     if better {
                         level.insert(set, SubPlan { node, cost });
                     }
@@ -281,8 +294,9 @@ impl<'a> DpOptimizer<'a> {
                         {
                             let set = node.vertex_set();
                             let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                            let better =
-                                level.get(&set).map_or(true, |sp| cost.total() < sp.total_cost());
+                            let better = level
+                                .get(&set)
+                                .is_none_or(|sp| cost.total() < sp.total_cost());
                             if better {
                                 level.insert(set, SubPlan { node, cost });
                             }
@@ -383,8 +397,14 @@ mod tests {
         let cat = Catalogue::with_defaults(g);
         let opt = DpOptimizer::new(&cat);
         for (j, q) in patterns::all_benchmark_queries() {
-            let plan = opt.optimize(&q).unwrap_or_else(|| panic!("no plan for Q{j}"));
-            assert_eq!(plan.root.vertex_set(), q.full_set(), "Q{j} covers all vertices");
+            let plan = opt
+                .optimize(&q)
+                .unwrap_or_else(|| panic!("no plan for Q{j}"));
+            assert_eq!(
+                plan.root.vertex_set(),
+                q.full_set(),
+                "Q{j} covers all vertices"
+            );
             assert!(plan.estimated_cost.is_finite(), "Q{j} has a finite cost");
         }
     }

@@ -66,10 +66,7 @@ impl<'a> GhdPlanner<'a> {
         if ghds.is_empty() {
             return ghds;
         }
-        let min = ghds
-            .iter()
-            .map(|g| g.width)
-            .fold(f64::INFINITY, f64::min);
+        let min = ghds.iter().map(|g| g.width).fold(f64::INFINITY, f64::min);
         ghds.retain(|g| (g.width - min).abs() < 1e-9);
         // Prefer fewer bags first (EmptyHeaded breaks ties towards simpler decompositions).
         ghds.sort_by_key(|g| g.bags.len());
@@ -157,7 +154,12 @@ impl<'a> GhdPlanner<'a> {
         Some(Plan::new(q.clone(), acc, cost.total()))
     }
 
-    fn pick_ordering(&self, q: &QueryGraph, bag: VertexSet, policy: OrderingPolicy) -> Option<Vec<usize>> {
+    fn pick_ordering(
+        &self,
+        q: &QueryGraph,
+        bag: VertexSet,
+        policy: OrderingPolicy,
+    ) -> Option<Vec<usize>> {
         let orderings = executable_orderings(q, bag);
         if orderings.is_empty() {
             return None;
@@ -199,7 +201,8 @@ fn executable_orderings(q: &QueryGraph, bag: VertexSet) -> Vec<Vec<usize>> {
         .filter(|sigma| {
             sigma.len() >= 2
                 && q.edges().iter().any(|e| {
-                    (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0])
+                    (e.src == sigma[0] && e.dst == sigma[1])
+                        || (e.src == sigma[1] && e.dst == sigma[0])
                 })
         })
         .collect()
@@ -244,8 +247,8 @@ fn enumerate_ghds(q: &QueryGraph) -> Vec<Ghd> {
             if !covered {
                 continue;
             }
-            let width = fractional_edge_cover_of_subset(q, b1)
-                .max(fractional_edge_cover_of_subset(q, b2));
+            let width =
+                fractional_edge_cover_of_subset(q, b1).max(fractional_edge_cover_of_subset(q, b2));
             out.push(Ghd {
                 bags: vec![b1, b2],
                 width,

@@ -31,5 +31,12 @@ pub use cost::{CostModel, PlanCost};
 pub use dp::{DpOptimizer, PlanSpaceOptions};
 pub use ghd::{GhdPlanner, OrderingPolicy};
 pub use plan::{Plan, PlanClass, PlanNode};
+
+/// A cheaply clonable, shareable plan handle.
+///
+/// Plans are produced once (by the optimizer or the facade's plan cache) and then shared
+/// between the cache, prepared queries and query results; `Arc` makes every one of those a
+/// pointer copy instead of a deep clone of the operator tree.
+pub type PlanHandle = std::sync::Arc<Plan>;
 pub use spectrum::{enumerate_spectrum, SpectrumLimits, SpectrumPlan};
 pub use wco::{all_wco_plans, best_wco_subplans};

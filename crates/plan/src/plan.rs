@@ -79,7 +79,8 @@ impl PlanNode {
             return None;
         }
         let prefix = child.out().to_vec();
-        let spec = graphflow_query::extension::descriptors_for_extension(q, &prefix, target_vertex)?;
+        let spec =
+            graphflow_query::extension::descriptors_for_extension(q, &prefix, target_vertex)?;
         let mut out = prefix;
         out.push(target_vertex);
         Some(PlanNode::Extend(ExtendNode {
@@ -119,7 +120,13 @@ impl PlanNode {
             .filter(|&v| bs & singleton(v) != 0)
             .collect();
         let mut out = probe.out().to_vec();
-        out.extend(build.out().iter().copied().filter(|&v| ps & singleton(v) == 0));
+        out.extend(
+            build
+                .out()
+                .iter()
+                .copied()
+                .filter(|&v| ps & singleton(v) == 0),
+        );
         Some(PlanNode::HashJoin(HashJoinNode {
             build: Box::new(build),
             probe: Box::new(probe),
@@ -165,9 +172,7 @@ impl PlanNode {
     pub fn has_multiway_intersection(&self) -> bool {
         match self {
             PlanNode::Scan(_) => false,
-            PlanNode::Extend(n) => {
-                n.descriptors.len() >= 2 || n.child.has_multiway_intersection()
-            }
+            PlanNode::Extend(n) => n.descriptors.len() >= 2 || n.child.has_multiway_intersection(),
             PlanNode::HashJoin(n) => {
                 n.build.has_multiway_intersection() || n.probe.has_multiway_intersection()
             }
@@ -216,13 +221,16 @@ impl PlanNode {
                     .iter()
                     .map(|d| format!("{}{}{}", n.child.out()[d.tuple_idx], d.dir, d.edge_label.0))
                     .collect();
-                format!("E({};{}<-[{}])", n.child.fingerprint(), n.target_vertex, descs.join(","))
+                format!(
+                    "E({};{}<-[{}])",
+                    n.child.fingerprint(),
+                    n.target_vertex,
+                    descs.join(",")
+                )
             }
-            PlanNode::HashJoin(n) => format!(
-                "J({}|{})",
-                n.build.fingerprint(),
-                n.probe.fingerprint()
-            ),
+            PlanNode::HashJoin(n) => {
+                format!("J({}|{})", n.build.fingerprint(), n.probe.fingerprint())
+            }
         }
     }
 }
@@ -261,7 +269,11 @@ pub struct Plan {
 impl Plan {
     /// Create a plan, asserting that it covers the whole query.
     pub fn new(query: QueryGraph, root: PlanNode, estimated_cost: f64) -> Plan {
-        debug_assert_eq!(root.vertex_set(), query.full_set(), "plan must cover the query");
+        debug_assert_eq!(
+            root.vertex_set(),
+            query.full_set(),
+            "plan must cover the query"
+        );
         Plan {
             query,
             root,
@@ -322,8 +334,11 @@ impl Plan {
                     rec(&n.child, q, indent + 1, out);
                 }
                 PlanNode::HashJoin(n) => {
-                    let keys: Vec<&str> =
-                        n.key_vertices.iter().map(|&v| q.vertex(v).name.as_str()).collect();
+                    let keys: Vec<&str> = n
+                        .key_vertices
+                        .iter()
+                        .map(|&v| q.vertex(v).name.as_str())
+                        .collect();
                     out.push_str(&format!("{pad}HASH-JOIN on [{}]\n", keys.join(", ")));
                     out.push_str(&format!("{pad}  build:\n"));
                     rec(&n.build, q, indent + 2, out);
@@ -418,8 +433,8 @@ mod tests {
     fn extend_rejects_cartesian_and_duplicate_targets() {
         let q = patterns::diamond_x();
         let scan = PlanNode::scan(q.edges()[0]); // a1->a2
-        // a4 is not adjacent to {a1, a2}? It is adjacent to a2 (a2->a4), so that works;
-        // but extending by a1 (already covered) must fail.
+                                                 // a4 is not adjacent to {a1, a2}? It is adjacent to a2 (a2->a4), so that works;
+                                                 // but extending by a1 (already covered) must fail.
         assert!(PlanNode::extend(&q, scan.clone(), 0).is_none());
         // Extending the single edge a1->a3 (covers {a1,a3}) by a4: a4 is adjacent to a3 only.
         let scan13 = PlanNode::scan(q.edges()[1]);
@@ -447,7 +462,10 @@ mod tests {
         let p1 = wco_plan_for(&q, &[0, 1, 2, 3]);
         let p2 = wco_plan_for(&q, &[1, 2, 0, 3]);
         assert_ne!(p1.fingerprint(), p2.fingerprint());
-        assert_eq!(p1.fingerprint(), wco_plan_for(&q, &[0, 1, 2, 3]).fingerprint());
+        assert_eq!(
+            p1.fingerprint(),
+            wco_plan_for(&q, &[0, 1, 2, 3]).fingerprint()
+        );
     }
 
     #[test]

@@ -260,8 +260,14 @@ mod tests {
             SpectrumLimits::default(),
         );
         let summary = summarize(&spectrum);
-        assert!(summary.num_wco >= 8, "diamond-X has at least 8 WCO plans (Table 3)");
-        assert!(summary.num_hybrid >= 1, "the Figure 1c triangle-join plan must appear");
+        assert!(
+            summary.num_wco >= 8,
+            "diamond-X has at least 8 WCO plans (Table 3)"
+        );
+        assert!(
+            summary.num_hybrid >= 1,
+            "the Figure 1c triangle-join plan must appear"
+        );
         assert!(summary.min_cost <= summary.max_cost);
     }
 
@@ -277,7 +283,10 @@ mod tests {
             SpectrumLimits::default(),
         );
         let summary = summarize(&spectrum);
-        assert!(summary.num_bj >= 1, "acyclic queries admit pure binary-join plans");
+        assert!(
+            summary.num_bj >= 1,
+            "acyclic queries admit pure binary-join plans"
+        );
         assert!(summary.num_wco >= 1);
     }
 
@@ -307,7 +316,10 @@ mod tests {
             }
             ei_above_join(&sp.plan.root)
         });
-        assert!(exists, "the spectrum must contain a plan with an intersection after a join");
+        assert!(
+            exists,
+            "the spectrum must contain a plan with an intersection after a join"
+        );
     }
 
     #[test]
@@ -319,8 +331,7 @@ mod tests {
             max_plans_per_subset: 8,
             max_plans_per_class: 5,
         };
-        let spectrum =
-            enumerate_spectrum(&patterns::benchmark_query(8), &cat, &model, limits);
+        let spectrum = enumerate_spectrum(&patterns::benchmark_query(8), &cat, &model, limits);
         let summary = summarize(&spectrum);
         assert!(summary.num_hybrid <= 5);
         assert!(summary.num_bj <= 5);

@@ -46,7 +46,7 @@ pub fn best_wco_subplans(
         let cost = estimate_cost(q, catalogue, model, &node);
         let is_better = best
             .get(&set)
-            .map_or(true, |existing| cost.total() < existing.total_cost());
+            .is_none_or(|existing| cost.total() < existing.total_cost());
         if is_better {
             best.insert(
                 set,
@@ -103,7 +103,9 @@ pub fn wco_node_for_ordering(q: &QueryGraph, sigma: &[usize]) -> Option<PlanNode
     let edge = q
         .edges()
         .iter()
-        .find(|e| (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0]))
+        .find(|e| {
+            (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0])
+        })
         .copied()?;
     let mut node = PlanNode::scan(edge);
     for &t in &sigma[2..] {
@@ -172,7 +174,10 @@ mod tests {
             .filter(|s| graphflow_query::extension::extension_chain(&dx, s).is_some())
             .count();
         assert_eq!(all_wco_plans(&dx, &cat, &model).len(), expected);
-        assert!(expected >= 8, "diamond-X has at least the 8 plans of Table 3, got {expected}");
+        assert!(
+            expected >= 8,
+            "diamond-X has at least the 8 plans of Table 3, got {expected}"
+        );
     }
 
     #[test]

@@ -63,23 +63,52 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
     out
 }
 
+/// Largest query (in vertices) the brute-force canonicalisation routines accept; callers with
+/// bigger queries must use [`exact_code`] or skip canonicalisation.
+pub const MAX_CANONICAL_VERTICES: usize = 9;
+
 /// Compute the canonical code of a query graph by minimising over all vertex permutations.
 ///
 /// Intended for graphs with at most ~8 vertices (catalogue entries have at most `h + 1 ≤ 5`).
 pub fn canonical_code(q: &QueryGraph) -> CanonicalCode {
+    canonical_form(q).0
+}
+
+/// The encoding of the query graph under its *own* vertex numbering (the identity
+/// permutation): cheap (no permutation search), equal for byte-identical query structures but
+/// **not** permutation-invariant. Used as a fast first-level cache key in front of the
+/// `O(n!)` [`canonical_form`] search: a repeated identical pattern skips the search entirely.
+pub fn exact_code(q: &QueryGraph) -> Vec<u64> {
+    let n = q.num_vertices();
+    encode_under_permutation(q, &(0..n).collect::<Vec<_>>())
+}
+
+/// Compute the canonical code *and* a permutation that achieves it
+/// (`perm[original index] = canonical position`).
+///
+/// The permutation is what lets two isomorphic queries be mapped onto each other: if
+/// `canonical_form(a) = (code, pa)` and `canonical_form(b) = (code, pb)` then vertex `v` of `a`
+/// corresponds to the vertex `w` of `b` with `pb[w] == pa[v]`. The facade's plan cache uses
+/// this to reuse a cached plan (expressed over `a`'s vertex numbering) for a later isomorphic
+/// query `b`, remapping result tuples back to `b`'s numbering.
+pub fn canonical_form(q: &QueryGraph) -> (CanonicalCode, Vec<usize>) {
     let n = q.num_vertices();
     if n == 0 {
-        return CanonicalCode(vec![0]);
+        return (CanonicalCode(vec![0]), Vec::new());
     }
-    assert!(n <= 9, "canonical_code is brute force; query too large ({n} vertices)");
-    let mut best: Option<Vec<u64>> = None;
+    assert!(
+        n <= 9,
+        "canonical_form is brute force; query too large ({n} vertices)"
+    );
+    let mut best: Option<(Vec<u64>, Vec<usize>)> = None;
     for perm in permutations(n) {
         let code = encode_under_permutation(q, &perm);
-        if best.as_ref().map_or(true, |b| code < *b) {
-            best = Some(code);
+        if best.as_ref().is_none_or(|(b, _)| code < *b) {
+            best = Some((code, perm));
         }
     }
-    CanonicalCode(best.unwrap())
+    let (code, perm) = best.unwrap();
+    (CanonicalCode(code), perm)
 }
 
 /// All automorphisms of the query graph: permutations `p` (as `p[original] = image`) that map
@@ -89,7 +118,10 @@ pub fn automorphisms(q: &QueryGraph) -> Vec<Vec<usize>> {
     if n == 0 {
         return vec![vec![]];
     }
-    assert!(n <= 9, "automorphisms is brute force; query too large ({n} vertices)");
+    assert!(
+        n <= 9,
+        "automorphisms is brute force; query too large ({n} vertices)"
+    );
     let reference = encode_under_permutation(q, &(0..n).collect::<Vec<_>>());
     let mut reference_sorted = reference;
     // encode_under_permutation already sorts edges, so direct comparison works.
@@ -202,6 +234,47 @@ mod tests {
         two.add_edge(0, 1, EdgeLabel(0));
         two.add_edge(1, 0, EdgeLabel(0));
         assert_eq!(automorphisms(&two).len(), 2);
+    }
+
+    #[test]
+    fn canonical_form_permutations_compose_into_an_isomorphism() {
+        // The same asymmetric triangle under two vertex numberings.
+        let mut q1 = QueryGraph::new();
+        for _ in 0..3 {
+            q1.add_default_vertex();
+        }
+        q1.add_edge(0, 1, EdgeLabel(0));
+        q1.add_edge(1, 2, EdgeLabel(0));
+        q1.add_edge(0, 2, EdgeLabel(0));
+
+        let mut q2 = QueryGraph::new();
+        for _ in 0..3 {
+            q2.add_default_vertex();
+        }
+        q2.add_edge(2, 0, EdgeLabel(0));
+        q2.add_edge(0, 1, EdgeLabel(0));
+        q2.add_edge(2, 1, EdgeLabel(0));
+
+        let (c1, p1) = canonical_form(&q1);
+        let (c2, p2) = canonical_form(&q2);
+        assert_eq!(c1, c2);
+        // Map q1 vertex -> q2 vertex through the shared canonical positions...
+        let mut inv2 = [0usize; 3];
+        for (orig, &pos) in p2.iter().enumerate() {
+            inv2[pos] = orig;
+        }
+        let map: Vec<usize> = p1.iter().map(|&pos| inv2[pos]).collect();
+        // ... and check that every q1 edge maps onto a q2 edge.
+        for e in q1.edges() {
+            assert!(
+                q2.edges()
+                    .iter()
+                    .any(|f| f.src == map[e.src] && f.dst == map[e.dst] && f.label == e.label),
+                "edge {}->{} must map onto a q2 edge",
+                e.src,
+                e.dst
+            );
+        }
     }
 
     #[test]

@@ -83,10 +83,9 @@ pub fn extension_chain(q: &QueryGraph, sigma: &[usize]) -> Option<Vec<ExtensionS
         return None;
     }
     // The first two query vertices are matched by a SCAN, so they must share a query edge.
-    let scan_connected = q
-        .edges()
-        .iter()
-        .any(|e| (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0]));
+    let scan_connected = q.edges().iter().any(|e| {
+        (e.src == sigma[0] && e.dst == sigma[1]) || (e.src == sigma[1] && e.dst == sigma[0])
+    });
     if !scan_connected {
         return None;
     }

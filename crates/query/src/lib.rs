@@ -22,7 +22,10 @@ pub mod patterns;
 pub mod querygraph;
 pub mod qvo;
 
-pub use canonical::{automorphisms, canonical_code};
+pub use canonical::{
+    automorphisms, canonical_code, canonical_form, exact_code, CanonicalCode,
+    MAX_CANONICAL_VERTICES,
+};
 pub use extension::{descriptors_for_extension, extension_chain, AdjListDescriptor, ExtensionSpec};
 pub use parser::{parse_query, ParseError};
 pub use patterns::benchmark_query;

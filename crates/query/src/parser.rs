@@ -118,7 +118,9 @@ impl<'a> Parser<'a> {
         if end == 0 {
             return Err(self.err("expected a numeric label"));
         }
-        let value: u32 = rest[..end].parse().map_err(|_| self.err("invalid number"))?;
+        let value: u32 = rest[..end]
+            .parse()
+            .map_err(|_| self.err("invalid number"))?;
         if value > u16::MAX as u32 {
             return Err(self.err("label out of range"));
         }
@@ -199,6 +201,18 @@ impl<'a> Parser<'a> {
             if src == dst {
                 return Err(self.err("self loops are not allowed in query patterns"));
             }
+            if self
+                .query
+                .edges()
+                .iter()
+                .any(|e| e.src == src && e.dst == dst && e.label == label)
+            {
+                return Err(self.err(format!(
+                    "duplicate edge ({})->({})",
+                    self.query.vertex(src).name,
+                    self.query.vertex(dst).name
+                )));
+            }
             self.query.add_edge(src, dst, label);
             self.skip_ws();
             if self.eat(",") {
@@ -276,6 +290,15 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_edges_rejected() {
+        let err = parse_query("(a)->(b), (a)->(b)").unwrap_err();
+        assert!(err.message.contains("duplicate edge"), "{err}");
+        // Antiparallel pairs and distinct labels between the same vertices stay legal.
+        assert!(parse_query("(a)->(b), (b)->(a)").is_ok());
+        assert!(parse_query("(a)-[1]->(b), (a)-[2]->(b), (a)->(c)").is_ok());
+    }
+
+    #[test]
     fn conflicting_vertex_labels_rejected() {
         assert!(parse_query("(a:1)->(b), (a:2)->(c)").is_err());
         // Re-stating the same label or adding it later is fine.
@@ -289,7 +312,10 @@ mod tests {
         for (j, q) in patterns::all_benchmark_queries() {
             let text = q.to_string();
             let reparsed = parse_query(&text).unwrap_or_else(|e| panic!("Q{j}: {e}"));
-            assert!(are_isomorphic(&q, &reparsed), "Q{j} display/parse round trip");
+            assert!(
+                are_isomorphic(&q, &reparsed),
+                "Q{j} display/parse round trip"
+            );
         }
     }
 }

@@ -108,19 +108,34 @@ pub fn benchmark_query(j: usize) -> QueryGraph {
         6 => directed_clique(4),
         7 => directed_clique(5),
         // Q8: two triangles sharing the single vertex a3 (index 2).
-        8 => with_edges(
-            5,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
-        ),
+        8 => with_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]),
         // Q9: two triangles sharing a3 plus a 6th vertex closing on the second triangle.
         9 => with_edges(
             6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (3, 5), (4, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (3, 5),
+                (4, 5),
+            ],
         ),
         // Q10: diamond-X on a1..a4 joined with a triangle a4,a5,a6 on a4 (index 3).
         10 => with_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (3, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         ),
         // Q11: 5-vertex acyclic tree (a two-level out-tree).
         11 => with_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]),

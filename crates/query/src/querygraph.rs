@@ -81,7 +81,11 @@ impl QueryGraph {
     pub fn add_edge(&mut self, src: usize, dst: usize, label: EdgeLabel) {
         assert!(src < self.vertices.len() && dst < self.vertices.len());
         assert_ne!(src, dst, "query graphs have no self loops");
-        if !self.edges.iter().any(|e| e.src == src && e.dst == dst && e.label == label) {
+        if !self
+            .edges
+            .iter()
+            .any(|e| e.src == src && e.dst == dst && e.label == label)
+        {
             self.edges.push(QueryEdge { src, dst, label });
         }
     }
@@ -154,7 +158,10 @@ impl QueryGraph {
 
     /// Undirected degree of query vertex `i` (number of incident query edges).
     pub fn degree(&self, i: usize) -> usize {
-        self.edges.iter().filter(|e| e.src == i || e.dst == i).count()
+        self.edges
+            .iter()
+            .filter(|e| e.src == i || e.dst == i)
+            .count()
     }
 
     /// Undirected neighbours of query vertex `i`.
@@ -252,8 +259,11 @@ impl QueryGraph {
         for &orig in &mapping {
             q.add_vertex(self.vertices[orig].name.clone(), self.vertices[orig].label);
         }
-        let rev: std::collections::BTreeMap<usize, usize> =
-            mapping.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let rev: std::collections::BTreeMap<usize, usize> = mapping
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
         for e in self.edges_within(set) {
             q.add_edge(rev[&e.src], rev[&e.dst], e.label);
         }

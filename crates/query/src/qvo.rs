@@ -42,12 +42,10 @@ pub fn orderings_extending(q: &QueryGraph, start: VertexSet, target: VertexSet) 
             }
             // The next vertex must attach to the already-covered set, unless nothing is covered.
             let connected = covered == 0
-                || q.edges()
-                    .iter()
-                    .any(|e| {
-                        (e.src == v && covered & singleton(e.dst) != 0)
-                            || (e.dst == v && covered & singleton(e.src) != 0)
-                    });
+                || q.edges().iter().any(|e| {
+                    (e.src == v && covered & singleton(e.dst) != 0)
+                        || (e.dst == v && covered & singleton(e.src) != 0)
+                });
             if !connected {
                 continue;
             }
@@ -136,8 +134,13 @@ mod tests {
         let q = patterns::symmetric_diamond_x();
         let all = connected_orderings(&q);
         let distinct = distinct_orderings(&q);
-        assert!(distinct.len() < all.len(), "{} !< {}", distinct.len(), all.len());
-        assert!(all.len() % distinct.len() == 0 || !distinct.is_empty());
+        assert!(
+            distinct.len() < all.len(),
+            "{} !< {}",
+            distinct.len(),
+            all.len()
+        );
+        assert!(all.len().is_multiple_of(distinct.len()) || !distinct.is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! cargo run --release --example fraud_rings
 //! ```
 
-use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_core::{CallbackSink, GraphflowDB, QueryOptions};
 use graphflow_graph::{EdgeLabel, GraphBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,9 +85,21 @@ fn main() {
         db.graph().num_edges()
     );
 
+    // A fraud detector runs the same handful of shapes over and over as transactions stream
+    // in, so prepare each shape once — the optimizer runs here, and every later execution is
+    // a plan-cache hit.
+    let ring3 = db
+        .prepare("(a)-[1]->(b), (b)-[1]->(c), (c)-[1]->(a)")
+        .unwrap();
+    let ring4 = db
+        .prepare("(a)-[1]->(b), (b)-[1]->(c), (c)-[1]->(d), (d)-[1]->(a)")
+        .unwrap();
+    let diamond = db
+        .prepare("(src)-[1]->(m1), (src)-[1]->(m2), (m1)-[1]->(dst), (m2)-[1]->(dst)")
+        .unwrap();
+
     // Directed 3-cycles of flagged transfers. Every planted ring contributes 3 rotations.
-    let ring3 = "(a)-[1]->(b), (b)-[1]->(c), (c)-[1]->(a)";
-    let r3 = db.run(ring3, QueryOptions::default()).unwrap();
+    let r3 = ring3.run(QueryOptions::default()).unwrap();
     println!(
         "flagged 3-cycles  : {:>6}   (planted rings: {}, each counted once per rotation)",
         r3.count, planted_rings_len3
@@ -95,23 +107,55 @@ fn main() {
     assert!(r3.count >= (planted_rings_len3 * 3) as u64);
 
     // Directed 4-cycles of flagged transfers.
-    let ring4 = "(a)-[1]->(b), (b)-[1]->(c), (c)-[1]->(d), (d)-[1]->(a)";
-    let r4 = db.run(ring4, QueryOptions::default()).unwrap();
+    let r4 = ring4.run(QueryOptions::default()).unwrap();
     println!(
         "flagged 4-cycles  : {:>6}   (planted rings: {}, each counted once per rotation)",
         r4.count, planted_rings_len4
     );
     assert!(r4.count >= (planted_rings_len4 * 4) as u64);
 
-    // Smurfing diamonds over flagged transfers.
-    let diamond = "(src)-[1]->(m1), (src)-[1]->(m2), (m1)-[1]->(dst), (m2)-[1]->(dst)";
-    let d = db.run(diamond, QueryOptions::default()).unwrap();
-    println!("smurfing diamonds : {:>6}   (planted: {planted_diamonds}, counted per mule ordering)", d.count);
-    assert!(d.count >= (planted_diamonds * 2) as u64);
+    // Smurfing diamonds over flagged transfers, streamed through a sink: the alert path sees
+    // each ring as it is found instead of waiting for a materialised result set.
+    let mut alerts = 0u64;
+    {
+        let mut sink = CallbackSink::new(|t: &[u32]| {
+            if alerts < 3 {
+                println!(
+                    "  ALERT smurfing ring: {} -> ({}, {}) -> {}",
+                    t[0], t[1], t[2], t[3]
+                );
+            }
+            alerts += 1;
+            true
+        });
+        diamond
+            .run_with_sink(QueryOptions::new(), &mut sink)
+            .unwrap();
+    }
+    println!(
+        "smurfing diamonds : {:>6}   (planted: {planted_diamonds}, counted per mule ordering)",
+        alerts
+    );
+    assert!(alerts >= (planted_diamonds * 2) as u64);
+
+    // Re-running a prepared shape skips the optimizer entirely, and so does preparing an
+    // isomorphic rewriting of it (a differently-worded detector rule, say): the plan cache
+    // recognises the shape.
+    let rerun = ring4.run(QueryOptions::default()).unwrap();
+    assert_eq!(rerun.count, r4.count);
+    let reworded = db
+        .prepare("(p)-[1]->(q), (q)-[1]->(r), (r)-[1]->(s), (s)-[1]->(p)")
+        .unwrap();
+    assert!(reworded.was_cached());
+    let cache = db.plan_cache_stats();
+    println!(
+        "\nplan cache: {} hits / {} optimizer invocations for {} detector shapes",
+        cache.hits, cache.misses, cache.entries
+    );
 
     // Show what the optimizer chose for the cyclic ring query: cyclic flagged patterns are the
     // sweet spot of WCO-style multiway intersections.
-    println!("\nEXPLAIN {ring4}\n{}", db.explain(ring4).unwrap());
+    println!("\nEXPLAIN 4-cycle\n{}", ring4.explain());
     println!(
         "runtime: {:?}, actual i-cost {}, intermediate matches {}",
         r4.stats.elapsed, r4.stats.icost, r4.stats.intermediate_tuples

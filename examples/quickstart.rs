@@ -1,10 +1,10 @@
-//! Quickstart: build a graph, ask for a plan, run a few patterns.
+//! Quickstart: build a graph, prepare queries, stream results.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_core::{CallbackSink, GraphflowDB, QueryOptions};
 use graphflow_graph::GraphBuilder;
 
 fn main() {
@@ -32,54 +32,68 @@ fn main() {
         db.graph().num_edges()
     );
 
-    // 1. Count simple patterns.
-    let triangle = "(a)->(b), (b)->(c), (a)->(c)";
-    println!("asymmetric triangles : {}", db.count(triangle).unwrap());
-    let diamond = "(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)";
-    println!("diamond-X instances  : {}", db.count(diamond).unwrap());
+    // 1. Prepare queries once: parse -> canonicalize -> optimize happens here, not per run.
+    let triangle = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+    let diamond = db
+        .prepare("(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)")
+        .unwrap();
+    println!("asymmetric triangles : {}", triangle.count().unwrap());
+    println!("diamond-X instances  : {}", diamond.count().unwrap());
+
+    // An isomorphic rewriting of the triangle is a plan-cache hit — the optimizer is skipped.
+    let rewritten = db.prepare("(x)->(y), (y)->(z), (x)->(z)").unwrap();
+    assert!(rewritten.was_cached());
+    let cache = db.plan_cache_stats();
+    println!(
+        "plan cache           : {} hits, {} misses (optimizer invocations)",
+        cache.hits, cache.misses
+    );
 
     // 2. Inspect the plan the cost-based optimizer picked (SCAN / EXTEND-INTERSECT / HASH-JOIN).
-    println!("\nEXPLAIN {diamond}\n{}", db.explain(diamond).unwrap());
+    println!("\nEXPLAIN diamond-X\n{}", diamond.explain());
 
     // 3. Run with statistics: actual i-cost, intermediate matches and cache hits, exactly the
-    //    quantities the paper's Tables 3-6 report.
-    let result = db
-        .run(
-            diamond,
-            QueryOptions {
-                collect_tuples: true,
-                collect_limit: 3,
-                ..Default::default()
-            },
-        )
+    //    quantities the paper's Tables 3-6 report. Tuples are collected via a bounded sink.
+    let result = diamond
+        .run(QueryOptions::new().collect_tuples(true).collect_limit(3))
         .unwrap();
     println!("matches              : {}", result.count);
     println!("actual i-cost        : {}", result.stats.icost);
-    println!("intermediate matches : {}", result.stats.intermediate_tuples);
-    println!("cache hit rate       : {:.2}", result.stats.cache_hit_rate());
+    println!(
+        "intermediate matches : {}",
+        result.stats.intermediate_tuples
+    );
+    println!(
+        "cache hit rate       : {:.2}",
+        result.stats.cache_hit_rate()
+    );
     println!("sample matches       : {:?}", result.tuples);
 
-    // 4. The same query, evaluated adaptively and in parallel — same counts, different engines.
-    let adaptive = db
-        .run(
-            diamond,
-            QueryOptions {
-                adaptive: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-    let parallel = db
-        .run(
-            diamond,
-            QueryOptions {
-                threads: 4,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    // 4. Stream matches through a callback sink instead of materialising them: constant
+    //    memory no matter how many matches there are.
+    let mut anchor_of_first = None;
+    let (streamed, stats) = {
+        let mut sink = CallbackSink::new(|t: &[u32]| {
+            anchor_of_first.get_or_insert(t[0]);
+            true
+        });
+        let stats = diamond
+            .run_with_sink(QueryOptions::new(), &mut sink)
+            .unwrap();
+        (sink.matches, stats)
+    };
     println!(
-        "\nadaptive count = {}, parallel count = {}",
+        "\nstreamed {streamed} diamonds without materialising them (first anchored at user {:?})",
+        anchor_of_first.unwrap()
+    );
+    assert_eq!(streamed, stats.output_count);
+
+    // 5. The same prepared query, evaluated adaptively and in parallel — same counts,
+    //    different engines.
+    let adaptive = diamond.run(QueryOptions::new().adaptive(true)).unwrap();
+    let parallel = diamond.run(QueryOptions::new().threads(4)).unwrap();
+    println!(
+        "adaptive count = {}, parallel count = {}",
         adaptive.count, parallel.count
     );
     assert_eq!(adaptive.count, result.count);

@@ -16,7 +16,7 @@
 //! ```
 
 use graphflow_baselines::{bj_engine_count, BjEngineOptions};
-use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_core::{CallbackSink, GraphflowDB, QueryOptions};
 use graphflow_datasets::twitter;
 use graphflow_plan::dp::PlanSpaceOptions;
 use graphflow_query::patterns;
@@ -51,25 +51,11 @@ fn main() {
     db.set_plan_space(PlanSpaceOptions::default());
 
     // --- 2. Execution modes agree on the answer --------------------------------------------
-    let fixed = db.run_query(&diamond, QueryOptions::default()).unwrap();
-    let adaptive = db
-        .run_query(
-            &diamond,
-            QueryOptions {
-                adaptive: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-    let parallel = db
-        .run_query(
-            &diamond,
-            QueryOptions {
-                threads: 8,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    // Prepare the motif once; the three runs below share the cached plan.
+    let prepared = db.prepare_query(diamond.clone()).unwrap();
+    let fixed = prepared.run(QueryOptions::default()).unwrap();
+    let adaptive = prepared.run(QueryOptions::new().adaptive(true)).unwrap();
+    let parallel = prepared.run(QueryOptions::new().threads(8)).unwrap();
     println!("\ndiamond-X recommendations found : {}", fixed.count);
     println!(
         "  fixed plan    : {:>8.1?}  (i-cost {}, cache hit rate {:.2})",
@@ -81,10 +67,7 @@ fn main() {
         "  adaptive QVOs : {:>8.1?}  (i-cost {})",
         adaptive.stats.elapsed, adaptive.stats.icost
     );
-    println!(
-        "  8 threads     : {:>8.1?}",
-        parallel.stats.elapsed
-    );
+    println!("  8 threads     : {:>8.1?}", parallel.stats.elapsed);
     assert_eq!(fixed.count, adaptive.count);
     assert_eq!(fixed.count, parallel.count);
 
@@ -100,23 +83,22 @@ fn main() {
     );
 
     // --- 4. Top hub users appearing in the most diamonds -------------------------------------
-    let sample = db
-        .run_query(
-            &diamond,
-            QueryOptions {
-                collect_tuples: true,
-                collect_limit: 100_000,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    // Aggregate over *every* diamond by streaming matches through a sink: nothing is
+    // materialised, so this scales to result sets far beyond memory.
     let mut freq = std::collections::HashMap::new();
-    for t in &sample.tuples {
-        *freq.entry(t[0]).or_insert(0u64) += 1;
-    }
+    let streamed = {
+        let mut sink = CallbackSink::new(|t: &[u32]| {
+            *freq.entry(t[0]).or_insert(0u64) += 1;
+            true
+        });
+        prepared
+            .run_with_sink(QueryOptions::new(), &mut sink)
+            .unwrap();
+        sink.matches
+    };
     let mut top: Vec<(u32, u64)> = freq.into_iter().collect();
     top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-    println!("\nusers anchoring the most recommendation diamonds (from a {}-match sample):", sample.tuples.len());
+    println!("\nusers anchoring the most recommendation diamonds (streamed over all {streamed} matches):");
     for (user, count) in top.into_iter().take(5) {
         println!("  user {user:>6}: {count} diamonds");
     }

@@ -4,23 +4,48 @@
 //! *"Optimizing Subgraph Queries by Combining Binary and Worst-Case Optimal Joins"*
 //! (Mhedhbi & Salihoglu, VLDB 2019).
 //!
-//! This crate simply re-exports the workspace's components under one roof; most users only need
-//! [`GraphflowDB`](graphflow_core::GraphflowDB). See the individual crates for the substrate
-//! layers:
+//! Most users only need the facade: build a [`GraphflowDB`], then
+//! [`prepare`](GraphflowDB::prepare) patterns once and rerun them — planning is amortized
+//! through an LRU plan cache keyed on the canonical query form — or stream unbounded result
+//! sets through a [`MatchSink`](graphflow_core::MatchSink):
+//!
+//! ```
+//! use graphflow_rs::{GraphflowDB, QueryOptions};
+//! use graphflow_rs::graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(0, 2);
+//! let db = GraphflowDB::from_graph(b.build());
+//!
+//! let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+//! assert_eq!(triangles.count().unwrap(), 1);
+//! // Rerun with different options — parse/canonicalize/optimize are not repeated.
+//! let parallel = triangles.run(QueryOptions::new().threads(2)).unwrap();
+//! assert_eq!(parallel.count, 1);
+//! ```
+//!
+//! The workspace's substrate layers are re-exported under one roof:
 //!
 //! * [`graph`] — storage (label-partitioned sorted adjacency lists), generators, loaders;
 //! * [`query`] — query graphs, the pattern parser, the benchmark queries of the paper;
 //! * [`catalog`] — the sampling-based subgraph catalogue (cardinality / i-cost estimation);
 //! * [`plan`] — plan trees, the i-cost cost model, the DP optimizer, the GHD baseline planner;
-//! * [`exec`] — the execution engine (intersection cache, adaptive QVO selection, parallelism);
+//! * [`exec`] — the execution engine (streaming sinks, intersection cache, adaptive QVO
+//!   selection, parallelism);
 //! * [`baselines`] — the naive binary-join engine and the CFL-style backtracking matcher;
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets;
-//! * [`core`] — the [`GraphflowDB`](graphflow_core::GraphflowDB) facade.
+//! * [`core`] — the [`GraphflowDB`](graphflow_core::GraphflowDB) facade (prepared queries,
+//!   plan cache, builder-style options, unified [`Error`](graphflow_core::Error)).
 
 pub use graphflow_baselines as baselines;
 pub use graphflow_catalog as catalog;
 pub use graphflow_core as core;
-pub use graphflow_core::{GraphflowDB, QueryOptions, QueryResult};
+pub use graphflow_core::{
+    CallbackSink, CollectingSink, CountingSink, Error, GraphflowDB, LimitSink, MatchSink,
+    PlanCacheStats, PreparedQuery, QueryOptions, QueryResult,
+};
 pub use graphflow_datasets as datasets;
 pub use graphflow_exec as exec;
 pub use graphflow_graph as graph;

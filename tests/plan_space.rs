@@ -31,8 +31,8 @@ fn figure_1c_hybrid_plan_exists_and_is_correct() {
 fn figure_1d_non_ghd_plan_exists_and_is_correct() {
     let graph = Dataset::Amazon.generate(SCALE);
     let q = patterns::benchmark_query(12); // 6-cycle over a1..a6
-    // Left 3-path a1-a2-a3, right 3-path a3-a4-a5 (sharing a3), joined, then extended to a6 by
-    // intersecting the adjacency lists of a5 and a1.
+                                           // Left 3-path a1-a2-a3, right 3-path a3-a4-a5 (sharing a3), joined, then extended to a6 by
+                                           // intersecting the adjacency lists of a5 and a1.
     let left = wco_node_for_ordering(&q, &[0, 1, 2]).unwrap();
     let right = wco_node_for_ordering(&q, &[2, 3, 4]).unwrap();
     let join = PlanNode::hash_join(&q, left, right).expect("path join is valid");
@@ -118,12 +118,27 @@ fn spectrum_classes_match_query_shapes() {
     let model = CostModel::default();
     let limits = SpectrumLimits::default();
 
-    let clique = summarize(&enumerate_spectrum(&patterns::benchmark_query(6), &cat, &model, limits));
+    let clique = summarize(&enumerate_spectrum(
+        &patterns::benchmark_query(6),
+        &cat,
+        &model,
+        limits,
+    ));
     assert!(clique.num_wco > 0 && clique.num_bj == 0 && clique.num_hybrid == 0);
 
-    let acyclic = summarize(&enumerate_spectrum(&patterns::benchmark_query(13), &cat, &model, limits));
+    let acyclic = summarize(&enumerate_spectrum(
+        &patterns::benchmark_query(13),
+        &cat,
+        &model,
+        limits,
+    ));
     assert!(acyclic.num_bj > 0);
 
-    let two_cycles = summarize(&enumerate_spectrum(&patterns::benchmark_query(8), &cat, &model, limits));
+    let two_cycles = summarize(&enumerate_spectrum(
+        &patterns::benchmark_query(8),
+        &cat,
+        &model,
+        limits,
+    ));
     assert!(two_cycles.num_hybrid > 0 && two_cycles.num_wco > 0);
 }

@@ -1,5 +1,9 @@
-//! Property-based integration tests: on random graphs and random queries, every component of
-//! the workspace must agree with the reference matcher and with each other.
+//! Property-style integration tests: on seeded random graphs and random queries, every
+//! component of the workspace must agree with the reference matcher and with each other.
+//!
+//! Implemented as deterministic loops over seeded random inputs (no external property-testing
+//! harness): each case draws a random graph and query shape, and failures print the seed-like
+//! case index for reproduction.
 
 use graphflow_baselines::{backtracking_count, BacktrackOptions};
 use graphflow_catalog::{count_matches, Catalogue};
@@ -9,104 +13,177 @@ use graphflow_plan::cost::CostModel;
 use graphflow_plan::spectrum::{enumerate_spectrum, SpectrumLimits};
 use graphflow_query::patterns;
 use graphflow_query::QueryGraph;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// A random small directed graph described by an edge list over `n` vertices.
-fn arb_graph() -> impl Strategy<Value = Arc<Graph>> {
-    (8usize..40, proptest::collection::vec((0u32..40, 0u32..40), 10..200)).prop_map(|(n, edges)| {
-        let n = n as u32;
-        let mut b = GraphBuilder::with_vertices(n as usize);
-        for (s, d) in edges {
-            let (s, d) = (s % n, d % n);
-            if s != d {
-                b.add_edge(s, d);
-            }
+const CASES: usize = 24;
+
+/// A random small directed graph over 8..40 vertices with 10..200 edge attempts.
+fn random_graph(rng: &mut StdRng) -> Arc<Graph> {
+    let n = rng.gen_range(8u32..40);
+    let num_edges = rng.gen_range(10usize..200);
+    let mut b = GraphBuilder::with_vertices(n as usize);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            b.add_edge(s, d);
         }
-        Arc::new(b.build())
-    })
+    }
+    Arc::new(b.build())
 }
 
 /// One of the small benchmark queries (kept to 5 vertices so spectra stay tiny).
-fn arb_query() -> impl Strategy<Value = QueryGraph> {
-    prop_oneof![
-        Just(patterns::benchmark_query(1)),
-        Just(patterns::benchmark_query(2)),
-        Just(patterns::benchmark_query(3)),
-        Just(patterns::benchmark_query(4)),
-        Just(patterns::benchmark_query(5)),
-        Just(patterns::benchmark_query(8)),
-        Just(patterns::benchmark_query(11)),
-        Just(patterns::directed_path(4)),
-        Just(patterns::out_star(4)),
-    ]
+fn random_query(rng: &mut StdRng) -> QueryGraph {
+    match rng.gen_range(0usize..9) {
+        0 => patterns::benchmark_query(1),
+        1 => patterns::benchmark_query(2),
+        2 => patterns::benchmark_query(3),
+        3 => patterns::benchmark_query(4),
+        4 => patterns::benchmark_query(5),
+        5 => patterns::benchmark_query(8),
+        6 => patterns::benchmark_query(11),
+        7 => patterns::directed_path(4),
+        _ => patterns::out_star(4),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The optimizer's plan, the adaptive executor and the parallel executor agree with the
-    /// reference matcher on random graphs.
-    #[test]
-    fn optimizer_and_executors_agree_with_reference(graph in arb_graph(), q in arb_query()) {
+/// The optimizer's plan, the adaptive executor and the parallel executor agree with the
+/// reference matcher on random graphs.
+#[test]
+fn optimizer_and_executors_agree_with_reference() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    for case in 0..CASES {
+        let graph = random_graph(&mut rng);
+        let q = random_query(&mut rng);
         let expected = count_matches(&graph, &q);
         let db = GraphflowDB::with_config(graph.clone(), Default::default());
         let fixed = db.run_query(&q, QueryOptions::default()).unwrap();
-        prop_assert_eq!(fixed.count, expected);
-        let adaptive = db.run_query(&q, QueryOptions { adaptive: true, ..Default::default() }).unwrap();
-        prop_assert_eq!(adaptive.count, expected);
-        let parallel = db.run_query(&q, QueryOptions { threads: 3, ..Default::default() }).unwrap();
-        prop_assert_eq!(parallel.count, expected);
+        assert_eq!(fixed.count, expected, "case {case}: fixed");
+        let adaptive = db
+            .run_query(&q, QueryOptions::new().adaptive(true))
+            .unwrap();
+        assert_eq!(adaptive.count, expected, "case {case}: adaptive");
+        let parallel = db.run_query(&q, QueryOptions::new().threads(3)).unwrap();
+        assert_eq!(parallel.count, expected, "case {case}: parallel");
     }
+}
 
-    /// Every plan of the (capped) spectrum produces the same count.
-    #[test]
-    fn spectrum_plans_agree(graph in arb_graph(), q in arb_query()) {
+/// Every plan of the (capped) spectrum produces the same count.
+#[test]
+fn spectrum_plans_agree() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    for case in 0..CASES {
+        let graph = random_graph(&mut rng);
+        let q = random_query(&mut rng);
         let expected = count_matches(&graph, &q);
         let cat = Catalogue::with_defaults(graph.clone());
-        let spectrum = enumerate_spectrum(&q, &cat, &CostModel::default(), SpectrumLimits {
-            max_plans_per_subset: 8,
-            max_plans_per_class: 6,
-        });
+        let spectrum = enumerate_spectrum(
+            &q,
+            &cat,
+            &CostModel::default(),
+            SpectrumLimits {
+                max_plans_per_subset: 8,
+                max_plans_per_class: 6,
+            },
+        );
         for sp in spectrum {
             let out = graphflow_exec::execute(&graph, &sp.plan);
-            prop_assert_eq!(out.count, expected);
+            assert_eq!(out.count, expected, "case {case}");
         }
     }
+}
 
-    /// The backtracking baseline agrees with the reference matcher.
-    #[test]
-    fn backtracking_agrees(graph in arb_graph(), q in arb_query()) {
+/// The backtracking baseline agrees with the reference matcher.
+#[test]
+fn backtracking_agrees() {
+    let mut rng = StdRng::seed_from_u64(3003);
+    for case in 0..CASES {
+        let graph = random_graph(&mut rng);
+        let q = random_query(&mut rng);
         let expected = count_matches(&graph, &q);
-        prop_assert_eq!(backtracking_count(&graph, &q, BacktrackOptions::default()), expected);
+        assert_eq!(
+            backtracking_count(&graph, &q, BacktrackOptions::default()),
+            expected,
+            "case {case}"
+        );
     }
+}
 
-    /// Catalogue estimates are always finite and non-negative, and exact for single edges.
-    #[test]
-    fn catalogue_estimates_are_sane(graph in arb_graph(), q in arb_query()) {
+/// Catalogue estimates are always finite and non-negative, and exact for single edges.
+#[test]
+fn catalogue_estimates_are_sane() {
+    let mut rng = StdRng::seed_from_u64(4004);
+    for case in 0..CASES {
+        let graph = random_graph(&mut rng);
+        let q = random_query(&mut rng);
         let cat = Catalogue::with_defaults(graph.clone());
         let card = cat.estimate_cardinality(&q, q.full_set());
-        prop_assert!(card.is_finite());
-        prop_assert!(card >= 0.0);
+        assert!(card.is_finite(), "case {case}");
+        assert!(card >= 0.0, "case {case}");
         // Single query edge estimates are exact counts.
         let edge = &q.edges()[0];
         let set = graphflow_query::querygraph::singleton(edge.src)
             | graphflow_query::querygraph::singleton(edge.dst);
         let est = cat.estimate_cardinality(&q, set);
         let exact = cat.exact_cardinality(&q, set) as f64;
-        prop_assert!((est - exact).abs() < 1e-6 || q.edges_within(set).len() > 1);
+        assert!(
+            (est - exact).abs() < 1e-6 || q.edges_within(set).len() > 1,
+            "case {case}: est {est} vs exact {exact}"
+        );
     }
+}
 
-    /// Execution with the intersection cache disabled never changes the answer and never
-    /// reports cache hits.
-    #[test]
-    fn cache_toggle_preserves_counts(graph in arb_graph()) {
+/// Execution with the intersection cache disabled never changes the answer and never reports
+/// cache hits.
+#[test]
+fn cache_toggle_preserves_counts() {
+    let mut rng = StdRng::seed_from_u64(5005);
+    for case in 0..CASES {
+        let graph = random_graph(&mut rng);
         let q = patterns::diamond_x();
         let db = GraphflowDB::with_config(graph.clone(), Default::default());
         let with_cache = db.run_query(&q, QueryOptions::default()).unwrap();
-        let without = db.run_query(&q, QueryOptions { intersection_cache: false, ..Default::default() }).unwrap();
-        prop_assert_eq!(with_cache.count, without.count);
-        prop_assert_eq!(without.stats.cache_hits, 0);
-        prop_assert!(with_cache.stats.icost <= without.stats.icost);
+        let without = db
+            .run_query(&q, QueryOptions::new().intersection_cache(false))
+            .unwrap();
+        assert_eq!(with_cache.count, without.count, "case {case}");
+        assert_eq!(without.stats.cache_hits, 0, "case {case}");
+        assert!(with_cache.stats.icost <= without.stats.icost, "case {case}");
+    }
+}
+
+/// Streaming a prepared query through a sink always agrees with the counting path, and the
+/// plan cache serves every repetition of the same shape from a single optimizer run.
+#[test]
+fn prepared_streaming_agrees_with_counting() {
+    let mut rng = StdRng::seed_from_u64(6006);
+    for case in 0..CASES / 2 {
+        let graph = random_graph(&mut rng);
+        let q = random_query(&mut rng);
+        let db = GraphflowDB::with_config(graph.clone(), Default::default());
+        let prepared = db.prepare_query(q.clone()).unwrap();
+        let expected = prepared.count().unwrap();
+        let mut streamed = 0u64;
+        {
+            let mut sink = graphflow_core::CallbackSink::new(|_t: &[u32]| {
+                streamed += 1;
+                true
+            });
+            prepared
+                .run_with_sink(QueryOptions::new(), &mut sink)
+                .unwrap();
+        }
+        assert_eq!(streamed, expected, "case {case}");
+        // However many times the statement ran, the shape was optimized exactly once, and
+        // preparing it again is a cache hit.
+        assert_eq!(
+            db.plan_cache_stats().misses,
+            1,
+            "case {case}: one optimizer run per shape"
+        );
+        assert!(db.prepare_query(q).unwrap().was_cached(), "case {case}");
+        assert_eq!(db.plan_cache_stats().hits, 1, "case {case}");
     }
 }

@@ -1,0 +1,57 @@
+//! Slice sampling helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// In-place slice shuffling (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeedableRng, StdRng};
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([42u32].choose(&mut rng), Some(&42));
+    }
+}
