@@ -4,7 +4,7 @@
 use crate::entry::{CanonDescriptor, CatalogueEntry};
 use crate::key::{extension_key, ExtensionKey};
 use crate::matcher::{count_matches, sample_extension_stats};
-use graphflow_graph::{Direction, EdgeLabel, Graph, VertexLabel};
+use graphflow_graph::{Direction, EdgeLabel, Graph, GraphView, Snapshot, VertexLabel};
 use graphflow_query::canonical::{canonical_code, CanonicalCode};
 use graphflow_query::extension::descriptors_for_extension;
 use graphflow_query::querygraph::{set_iter, set_len, singleton, VertexSet};
@@ -26,6 +26,11 @@ pub struct CatalogueConfig {
     pub sample_cap: usize,
     /// RNG seed, making construction fully deterministic.
     pub seed: u64,
+    /// A memoised (sampled) entry is considered stale — and lazily resampled on its next
+    /// lookup — once more than this many graph updates have been recorded since it was
+    /// computed. Exact per-label counts are maintained incrementally and never go stale; this
+    /// only bounds the drift of the *sampled* statistics.
+    pub refresh_after: u64,
 }
 
 impl Default for CatalogueConfig {
@@ -35,6 +40,7 @@ impl Default for CatalogueConfig {
             z: 1000,
             sample_cap: 100_000,
             seed: 42,
+            refresh_after: 1024,
         }
     }
 }
@@ -52,43 +58,79 @@ pub struct ExtensionEstimate {
     pub exact_entry: bool,
 }
 
-#[derive(Default)]
-struct Caches {
-    entries: FxHashMap<ExtensionKey, CatalogueEntry>,
-    cardinalities: FxHashMap<CanonicalCode, f64>,
+/// A memoised sampled entry together with the update tick it was computed at, so drift can be
+/// detected lazily on lookup.
+#[derive(Clone)]
+struct MemoEntry {
+    entry: CatalogueEntry,
+    tick: u64,
 }
 
-/// The subgraph catalogue for one data graph.
+#[derive(Default)]
+struct Caches {
+    entries: FxHashMap<ExtensionKey, MemoEntry>,
+    cardinalities: FxHashMap<CanonicalCode, (f64, u64)>,
+    /// Stale memoised values that were lazily recomputed after drifting past `refresh_after`.
+    refreshes: u64,
+}
+
+/// The subgraph catalogue for one data graph (or live snapshot).
+///
+/// A catalogue built for a dynamic database stays useful across updates through two mechanisms:
+/// the **exact** per-label counts (edge triples and vertex labels) are maintained
+/// *incrementally* by [`Catalogue::record_edge_insert`] and friends, while the **sampled**
+/// entries are *lazily refreshed*: each memoised entry remembers the update tick it was sampled
+/// at, and a lookup more than [`CatalogueConfig::refresh_after`] updates later resamples it
+/// against the current snapshot. Per-label-pair update counters
+/// ([`Catalogue::update_count`]) expose where the churn happened.
 pub struct Catalogue {
-    graph: Arc<Graph>,
+    snap: Snapshot,
     config: CatalogueConfig,
     caches: Mutex<Caches>,
-    /// `edge_counts[(el, src label, dst label)]` — exact edge counts per label triple.
+    /// `edge_counts[(el, src label, dst label)]` — exact edge counts per label triple,
+    /// maintained incrementally under updates.
     edge_counts: FxHashMap<(EdgeLabel, VertexLabel, VertexLabel), u64>,
-    /// Number of vertices per vertex label.
+    /// Number of vertices per vertex label, maintained incrementally under updates.
     vertex_counts: FxHashMap<VertexLabel, u64>,
+    /// Updates recorded per `(edge label, src label, dst label)` triple since construction.
+    update_counts: FxHashMap<(EdgeLabel, VertexLabel, VertexLabel), u64>,
+    /// Total updates recorded since construction (the staleness clock of sampled entries).
+    update_tick: u64,
+    /// Version of the snapshot the catalogue most recently observed.
+    graph_version: u64,
 }
 
 impl Catalogue {
-    /// Create a catalogue for `graph` (entries are sampled on demand and memoised).
+    /// Create a catalogue for a frozen `graph` (entries are sampled on demand and memoised).
     pub fn new(graph: Arc<Graph>, config: CatalogueConfig) -> Self {
+        Self::for_snapshot(Snapshot::new(graph), config)
+    }
+
+    /// Create a catalogue over a live [`Snapshot`] (base CSR + pending deltas).
+    pub fn for_snapshot(snap: Snapshot, config: CatalogueConfig) -> Self {
         let mut edge_counts: FxHashMap<(EdgeLabel, VertexLabel, VertexLabel), u64> =
             FxHashMap::default();
-        for &(s, d, l) in graph.edges() {
-            *edge_counts
-                .entry((l, graph.vertex_label(s), graph.vertex_label(d)))
-                .or_insert(0) += 1;
+        for el in 0..snap.num_edge_labels() {
+            for &(s, d, l) in snap.scan_edges(EdgeLabel(el)).iter() {
+                *edge_counts
+                    .entry((l, snap.vertex_label(s), snap.vertex_label(d)))
+                    .or_insert(0) += 1;
+            }
         }
         let mut vertex_counts: FxHashMap<VertexLabel, u64> = FxHashMap::default();
-        for v in 0..graph.num_vertices() as u32 {
-            *vertex_counts.entry(graph.vertex_label(v)).or_insert(0) += 1;
+        for v in 0..snap.num_vertices() as u32 {
+            *vertex_counts.entry(snap.vertex_label(v)).or_insert(0) += 1;
         }
+        let graph_version = snap.version();
         Catalogue {
-            graph,
+            snap,
             config,
             caches: Mutex::new(Caches::default()),
             edge_counts,
             vertex_counts,
+            update_counts: FxHashMap::default(),
+            update_tick: 0,
+            graph_version,
         }
     }
 
@@ -97,9 +139,18 @@ impl Catalogue {
         Self::new(graph, CatalogueConfig::default())
     }
 
-    /// The data graph this catalogue describes.
+    /// The base CSR of the graph this catalogue describes (excluding pending deltas; sampling
+    /// and estimation run against the full [`snapshot`](Catalogue::snapshot)).
     pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+        self.snap.base()
+    }
+
+    /// The snapshot (base + delta epoch) sampling currently runs against. May lag the live
+    /// graph by up to one staleness window: the facade republishes it at statistics refresh
+    /// points rather than per mutation (exact counts never lag — they are maintained
+    /// incrementally).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
     }
 
     /// The construction configuration.
@@ -120,10 +171,75 @@ impl Catalogue {
             .iter()
             .map(|(k, e)| {
                 k.0.len() * 8
-                    + e.avg_list_sizes.len() * (std::mem::size_of::<CanonDescriptor>() + 8)
-                    + 32
+                    + e.entry.avg_list_sizes.len() * (std::mem::size_of::<CanonDescriptor>() + 8)
+                    + 40
             })
             .sum()
+    }
+
+    // --- incremental maintenance (driven by the graphflow-core mutation API) ----------------
+
+    /// Point sampling at a new snapshot epoch (called by the facade at statistics refresh
+    /// points and after compaction — not per mutation, so the mutation path never shares the
+    /// live delta-store Arc). Memoised entries survive — they are refreshed lazily once they
+    /// drift past [`CatalogueConfig::refresh_after`] recorded updates.
+    pub fn set_snapshot(&mut self, snap: Snapshot) {
+        self.graph_version = snap.version();
+        self.snap = snap;
+    }
+
+    /// Record the insertion of an edge with the given label triple, keeping the exact counts
+    /// current and advancing the staleness clock.
+    pub fn record_edge_insert(&mut self, el: EdgeLabel, src: VertexLabel, dst: VertexLabel) {
+        *self.edge_counts.entry((el, src, dst)).or_insert(0) += 1;
+        self.bump_update((el, src, dst));
+    }
+
+    /// Record the deletion of an edge with the given label triple.
+    pub fn record_edge_delete(&mut self, el: EdgeLabel, src: VertexLabel, dst: VertexLabel) {
+        if let Some(c) = self.edge_counts.get_mut(&(el, src, dst)) {
+            *c = c.saturating_sub(1);
+        }
+        self.bump_update((el, src, dst));
+    }
+
+    /// Record the insertion of a vertex carrying `label`.
+    pub fn record_vertex_insert(&mut self, label: VertexLabel) {
+        *self.vertex_counts.entry(label).or_insert(0) += 1;
+        self.update_tick += 1;
+    }
+
+    fn bump_update(&mut self, triple: (EdgeLabel, VertexLabel, VertexLabel)) {
+        *self.update_counts.entry(triple).or_insert(0) += 1;
+        self.update_tick += 1;
+    }
+
+    /// The version of the snapshot the catalogue most recently observed.
+    pub fn graph_version(&self) -> u64 {
+        self.graph_version
+    }
+
+    /// Total updates recorded since construction.
+    pub fn total_updates(&self) -> u64 {
+        self.update_tick
+    }
+
+    /// Updates recorded for one `(edge label, src label, dst label)` triple.
+    pub fn update_count(&self, el: EdgeLabel, src: VertexLabel, dst: VertexLabel) -> u64 {
+        self.update_counts
+            .get(&(el, src, dst))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of memoised values that were lazily resampled after going stale.
+    pub fn num_refreshes(&self) -> u64 {
+        self.caches.lock().refreshes
+    }
+
+    /// Whether a value memoised at `tick` has drifted past the refresh threshold.
+    fn is_stale(&self, tick: u64) -> bool {
+        self.update_tick.saturating_sub(tick) > self.config.refresh_after
     }
 
     /// Exact number of data edges consistent with `(edge label, source label, destination
@@ -141,7 +257,7 @@ impl Catalogue {
     /// over all vertices — the coarse fallback used when a descriptor's source vertex was
     /// removed by the larger-than-`h` fallback rule.
     pub fn avg_list_size(&self, dir: Direction, el: EdgeLabel, nbr_label: VertexLabel) -> f64 {
-        let n = self.graph.num_vertices().max(1) as f64;
+        let n = self.snap.num_vertices().max(1) as f64;
         let count: u64 = match dir {
             // Forward lists point at `nbr_label` destinations.
             Direction::Fwd => self
@@ -235,13 +351,24 @@ impl Catalogue {
             .expect("target in mapping");
         let (key, perm) = extension_key(&proj, proj_target);
 
-        // Compute or fetch the entry.
+        // Compute or fetch the entry; an entry sampled more than `refresh_after` updates ago is
+        // treated as missing and resampled against the current snapshot (lazy refresh).
         let cached = self.caches.lock().entries.get(&key).cloned();
         let entry = match cached {
-            Some(e) => e,
-            None => {
+            Some(memo) if !self.is_stale(memo.tick) => memo.entry,
+            cached => {
                 let entry = self.compute_entry(&proj, proj_target, &perm);
-                self.caches.lock().entries.insert(key, entry.clone());
+                let mut caches = self.caches.lock();
+                if cached.is_some() {
+                    caches.refreshes += 1;
+                }
+                caches.entries.insert(
+                    key,
+                    MemoEntry {
+                        entry: entry.clone(),
+                        tick: self.update_tick,
+                    },
+                );
                 entry
             }
         };
@@ -303,7 +430,7 @@ impl Catalogue {
             });
 
         let stats = sample_extension_stats(
-            &self.graph,
+            &self.snap,
             proj,
             &ordering,
             proj_target,
@@ -427,11 +554,18 @@ impl Catalogue {
             return self.estimate_cardinality_uncached(q, set, &proj);
         }
         let code = canonical_code(&proj);
-        if let Some(&c) = self.caches.lock().cardinalities.get(&code) {
-            return c;
+        let cached = self.caches.lock().cardinalities.get(&code).copied();
+        if let Some((c, tick)) = cached {
+            if !self.is_stale(tick) {
+                return c;
+            }
         }
         let card = self.estimate_cardinality_uncached(q, set, &proj);
-        self.caches.lock().cardinalities.insert(code, card);
+        let mut caches = self.caches.lock();
+        if cached.is_some() {
+            caches.refreshes += 1;
+        }
+        caches.cardinalities.insert(code, (card, self.update_tick));
         card
     }
 
@@ -542,7 +676,7 @@ impl Catalogue {
     /// used by the estimation-quality experiments as ground truth.
     pub fn exact_cardinality(&self, q: &QueryGraph, set: VertexSet) -> u64 {
         let (proj, _) = q.project(set);
-        count_matches(&self.graph, &proj)
+        count_matches(&self.snap, &proj)
     }
 }
 
@@ -713,6 +847,7 @@ mod tests {
                 z: 200,
                 sample_cap: 10_000,
                 seed: 1,
+                ..Default::default()
             },
         );
         // 5-clique: extending a 4-vertex prefix exceeds h = 2, so the fallback rule kicks in.

@@ -12,7 +12,7 @@
 //! queries used by the paper; the full execution engine uses the same semantics, so counts agree
 //! across every component of the workspace.
 
-use graphflow_graph::{multiway_intersect, Graph, VertexId};
+use graphflow_graph::{multiway_intersect_views, GraphView, NbrList, VertexId, VertexLabel};
 use graphflow_query::extension::{descriptors_for_extension, ExtensionSpec};
 use graphflow_query::qvo::connected_orderings;
 use graphflow_query::QueryGraph;
@@ -41,7 +41,11 @@ fn default_ordering(q: &QueryGraph) -> Option<Vec<usize>> {
 
 /// The candidate data edges matching the query edge between the first two vertices of `sigma`,
 /// returned as matches `(t0, t1)` of `(sigma[0], sigma[1])`.
-fn scan_candidates(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> Vec<(VertexId, VertexId)> {
+fn scan_candidates<G: GraphView>(
+    graph: &G,
+    q: &QueryGraph,
+    sigma: &[usize],
+) -> Vec<(VertexId, VertexId)> {
     let (a, b) = (sigma[0], sigma[1]);
     // Find a primary query edge between a and b.
     let primary = q
@@ -56,7 +60,7 @@ fn scan_candidates(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> Vec<(Verte
     let la = q.vertex(a).label;
     let lb = q.vertex(b).label;
     let mut out = Vec::new();
-    for &(u, v, l) in graph.edges_with_label(primary.label) {
+    for &(u, v, l) in graph.scan_edges(primary.label).iter() {
         if l != primary.label {
             continue;
         }
@@ -83,24 +87,33 @@ fn scan_candidates(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> Vec<(Verte
 
 /// Extend the partial match `tuple` (aligned with `sigma[..k]`) by the extension `spec`,
 /// appending the extension set to `out`.
-fn extension_set(
-    graph: &Graph,
+fn extension_set<G: GraphView>(
+    graph: &G,
     tuple: &[VertexId],
     spec: &ExtensionSpec,
     out: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
 ) {
-    let lists: Vec<&[VertexId]> = spec
+    let lists: Vec<NbrList> = spec
         .descriptors
         .iter()
-        .map(|d| graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label))
+        .map(|d| graph.nbrs(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label))
         .collect();
-    multiway_intersect(&lists, out, scratch);
+    multiway_intersect_views(&lists, out, scratch);
+}
+
+/// Vertices of `graph` carrying `label` (single-vertex queries only need to count these).
+fn vertices_with_label<G: GraphView>(
+    graph: &G,
+    label: VertexLabel,
+) -> impl Iterator<Item = VertexId> + '_ {
+    (0..graph.num_vertices() as VertexId).filter(move |&v| graph.vertex_label(v) == label)
 }
 
 /// Count all matches of `q` in `graph` (homomorphism semantics). Exact; intended for small to
 /// medium inputs (tests, ground truth for estimator experiments, baseline comparisons).
-pub fn count_matches(graph: &Graph, q: &QueryGraph) -> u64 {
+/// Generic over [`GraphView`], so it also serves as the reference counter for live snapshots.
+pub fn count_matches<G: GraphView>(graph: &G, q: &QueryGraph) -> u64 {
     match default_ordering(q) {
         Some(sigma) => count_matches_with_ordering(graph, q, &sigma),
         None => 0,
@@ -108,10 +121,14 @@ pub fn count_matches(graph: &Graph, q: &QueryGraph) -> u64 {
 }
 
 /// Count matches following a specific query-vertex ordering.
-pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize]) -> u64 {
+pub fn count_matches_with_ordering<G: GraphView>(
+    graph: &G,
+    q: &QueryGraph,
+    sigma: &[usize],
+) -> u64 {
     if sigma.len() != q.num_vertices() || sigma.len() < 2 {
         return if q.num_vertices() == 1 {
-            graph.vertices_with_label(q.vertex(0).label).count() as u64
+            vertices_with_label(graph, q.vertex(0).label).count() as u64
         } else {
             0
         };
@@ -128,8 +145,8 @@ pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize
     let mut buffers: Vec<Vec<VertexId>> = vec![Vec::new(); specs.len()];
     let mut scratch = Vec::new();
 
-    fn recurse(
-        graph: &Graph,
+    fn recurse<G: GraphView>(
+        graph: &G,
         specs: &[ExtensionSpec],
         depth: usize,
         tuple: &mut Vec<VertexId>,
@@ -172,7 +189,7 @@ pub fn count_matches_with_ordering(graph: &Graph, q: &QueryGraph, sigma: &[usize
 
 /// Enumerate all matches (as tuples aligned with query-vertex indices `0..m`). Intended for
 /// small result sets in tests.
-pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
+pub fn enumerate_matches<G: GraphView>(graph: &G, q: &QueryGraph) -> Vec<Vec<VertexId>> {
     let sigma = match default_ordering(q) {
         Some(s) => s,
         None => return Vec::new(),
@@ -188,8 +205,8 @@ pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
     let mut scratch = Vec::new();
 
     #[allow(clippy::too_many_arguments)]
-    fn recurse(
-        graph: &Graph,
+    fn recurse<G: GraphView>(
+        graph: &G,
         specs: &[ExtensionSpec],
         depth: usize,
         tuple: &mut Vec<VertexId>,
@@ -218,8 +235,7 @@ pub fn enumerate_matches(graph: &Graph, q: &QueryGraph) -> Vec<Vec<VertexId>> {
 
     let m = q.num_vertices();
     if m == 1 {
-        return graph
-            .vertices_with_label(q.vertex(0).label)
+        return vertices_with_label(graph, q.vertex(0).label)
             .map(|v| vec![v])
             .collect();
     }
@@ -257,8 +273,8 @@ pub struct SampledExtensionStats {
 /// `z` edges of the SCAN are sampled uniformly at random; intermediate extensions are computed
 /// exactly; the final extension is measured. `cap` bounds the number of measured prefix matches
 /// so that a single skewed sample cannot blow up construction time.
-pub fn sample_extension_stats(
-    graph: &Graph,
+pub fn sample_extension_stats<G: GraphView>(
+    graph: &G,
     q: &QueryGraph,
     prefix: &[usize],
     target: usize,
@@ -305,9 +321,9 @@ pub fn sample_extension_stats(
             if depth == specs.len() {
                 // Measure the final extension.
                 for (i, d) in spec.descriptors.iter().enumerate() {
-                    sum_sizes[i] += graph
-                        .neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label)
-                        .len() as f64;
+                    sum_sizes[i] +=
+                        graph.degree(tuple[d.tuple_idx], d.dir, d.edge_label, spec.target_label)
+                            as f64;
                 }
                 extension_set(graph, &tuple, &spec, &mut out, &mut scratch);
                 sum_ext += out.len() as f64;
@@ -343,7 +359,7 @@ pub fn sample_extension_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphflow_graph::GraphBuilder;
+    use graphflow_graph::{Graph, GraphBuilder};
     use graphflow_query::patterns;
 
     fn complete_graph(n: usize) -> Graph {

@@ -64,6 +64,45 @@
 //! assert_eq!(hubs, vec![0]);
 //! ```
 //!
+//! ## Dynamic updates
+//!
+//! The graph is live: edges and vertices can be inserted and deleted between (and logically,
+//! under, thanks to snapshot isolation) queries. Updates land in a delta store layered over the
+//! base CSR; queries run against an immutable [`GraphSnapshot`] of one delta epoch,
+//! and [`compact`](GraphflowDB::compact) (explicit, or automatic past a threshold) folds the
+//! deltas back into a fresh CSR:
+//!
+//! ```
+//! use graphflow_core::GraphflowDB;
+//! use graphflow_graph::{EdgeLabel, GraphView as _, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! let mut db = GraphflowDB::from_graph(b.build());
+//! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 0);
+//!
+//! // Close the triangle; the same prepared shape now matches once.
+//! assert!(db.insert_edge(0, 2, EdgeLabel(0)));
+//! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 1);
+//!
+//! // A snapshot taken now is isolated from later mutations.
+//! let snap = db.snapshot();
+//! db.delete_edge(0, 2, EdgeLabel(0));
+//! assert!(snap.has_edge(0, 2, EdgeLabel(0)));
+//! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 0);
+//!
+//! // Compaction is results-neutral.
+//! db.compact();
+//! assert_eq!(db.count("(a)->(b), (b)->(c)").unwrap(), 1);
+//! ```
+//!
+//! The catalogue keeps its exact per-label counts current on every update and lazily resamples
+//! drifted entries, and the plan cache keys on `(canonical query, statistics version)`, so once
+//! updates cross the configured staleness threshold
+//! ([`staleness_threshold`](GraphflowDBBuilder::staleness_threshold)) stale plans are
+//! re-optimized instead of reused ([`PlanCacheStats::invalidations`] counts these).
+//!
 //! ## Execution options
 //!
 //! [`QueryOptions`] is a fluent builder covering every execution mode studied in the paper —
@@ -79,7 +118,7 @@ use graphflow_catalog::{Catalogue, CatalogueConfig};
 use graphflow_exec::{
     execute_adaptive_with_sink, execute_parallel_with_sink, execute_with_sink, ExecOptions,
 };
-use graphflow_graph::{Graph, VertexId};
+use graphflow_graph::{EdgeLabel, Graph, GraphView, Snapshot, Update, VertexId, VertexLabel};
 use graphflow_plan::cost::CostModel;
 use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
 use graphflow_plan::{Plan, PlanClass, PlanHandle};
@@ -93,6 +132,7 @@ mod prepared;
 pub use graphflow_exec::{
     CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, RuntimeStats,
 };
+pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
 pub use prepared::PreparedQuery;
@@ -196,6 +236,8 @@ pub struct GraphflowDBBuilder {
     cost_model: CostModel,
     plan_space: PlanSpaceOptions,
     plan_cache_capacity: usize,
+    staleness_threshold: Option<u64>,
+    compact_threshold: Option<usize>,
 }
 
 impl GraphflowDBBuilder {
@@ -224,26 +266,70 @@ impl GraphflowDBBuilder {
         self
     }
 
+    /// Number of graph updates after which the database bumps its statistics version, forcing
+    /// cached plans to be re-optimized against the drifted graph instead of silently reusing
+    /// dead statistics. Defaults to the catalogue's
+    /// [`refresh_after`](graphflow_catalog::CatalogueConfig::refresh_after), so plans and
+    /// sampled statistics drift out together.
+    pub fn staleness_threshold(mut self, updates: u64) -> Self {
+        self.staleness_threshold = Some(updates.max(1));
+        self
+    }
+
+    /// Number of pending delta entries (inserted + deleted edges + new vertices) that triggers
+    /// an automatic [`compact`](GraphflowDB::compact) after an update. Defaults to
+    /// `max(4096, base edges / 2)`; `usize::MAX` disables automatic compaction.
+    pub fn compact_threshold(mut self, pending: usize) -> Self {
+        self.compact_threshold = Some(pending.max(1));
+        self
+    }
+
     /// Build the database (constructs the catalogue; entries are sampled lazily).
     pub fn build(self) -> GraphflowDB {
-        let catalogue = Catalogue::new(self.graph.clone(), self.catalogue_config);
+        let snapshot = Snapshot::new(self.graph);
+        let staleness_threshold = self
+            .staleness_threshold
+            .unwrap_or_else(|| self.catalogue_config.refresh_after.max(1));
+        let compact_threshold = self
+            .compact_threshold
+            .unwrap_or_else(|| (snapshot.base().num_edges() / 2).max(4096));
+        let catalogue = Catalogue::for_snapshot(snapshot.clone(), self.catalogue_config);
         GraphflowDB {
-            graph: self.graph,
+            stats_version: snapshot.version(),
+            snapshot,
             catalogue,
             cost_model: self.cost_model,
             plan_space: self.plan_space,
             plan_cache: PlanCache::new(self.plan_cache_capacity),
+            updates_since_stats: 0,
+            staleness_threshold,
+            compact_threshold,
         }
     }
 }
 
 /// An in-memory graph database instance: graph + catalogue + optimizer + plan cache + executor.
+///
+/// The graph is **dynamic**: [`insert_vertex`](GraphflowDB::insert_vertex),
+/// [`insert_edge`](GraphflowDB::insert_edge), [`delete_edge`](GraphflowDB::delete_edge) and
+/// [`apply_batch`](GraphflowDB::apply_batch) mutate a delta store layered over the base CSR,
+/// while queries always run against an immutable [`Snapshot`] of one delta epoch. Snapshots
+/// handed out by [`snapshot`](GraphflowDB::snapshot) are isolated from later mutations
+/// (copy-on-write), and [`compact`](GraphflowDB::compact) — called explicitly or triggered by
+/// the configured threshold — folds the deltas back into a fresh CSR without changing results.
 pub struct GraphflowDB {
-    graph: Arc<Graph>,
+    /// The current graph epoch every new query runs against.
+    snapshot: Snapshot,
     catalogue: Catalogue,
     cost_model: CostModel,
     plan_space: PlanSpaceOptions,
     plan_cache: PlanCache,
+    /// Snapshot version at which cached plans were last considered fresh; part of the plan
+    /// cache key, bumped when `updates_since_stats` crosses `staleness_threshold`.
+    stats_version: u64,
+    updates_since_stats: u64,
+    staleness_threshold: u64,
+    compact_threshold: usize,
 }
 
 impl GraphflowDB {
@@ -255,6 +341,8 @@ impl GraphflowDB {
             cost_model: CostModel::default(),
             plan_space: PlanSpaceOptions::default(),
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            staleness_threshold: None,
+            compact_threshold: None,
         }
     }
 
@@ -269,14 +357,143 @@ impl GraphflowDB {
         Self::builder(graph).catalogue_config(config).build()
     }
 
-    /// The underlying data graph.
+    /// The base CSR of the current snapshot. Pending deltas are *not* visible through this
+    /// handle — use [`snapshot`](GraphflowDB::snapshot) for the live graph (the two coincide
+    /// whenever no updates are pending, e.g. right after construction or a compaction).
     pub fn graph(&self) -> &Arc<Graph> {
-        &self.graph
+        self.snapshot.base()
+    }
+
+    /// An isolated snapshot of the current graph epoch (base CSR + pending deltas). Cheap to
+    /// clone and unaffected by any mutation applied to the database afterwards; implements
+    /// [`GraphView`], so the `graphflow-exec` entry points and
+    /// [`graphflow_catalog::count_matches`] accept it directly.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot.clone()
+    }
+
+    /// The number of mutations applied since the database was built (compaction does not
+    /// advance it: the logical graph is unchanged).
+    pub fn graph_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// The statistics version cached plans are currently keyed under; it trails
+    /// [`graph_version`](GraphflowDB::graph_version) by at most the staleness threshold.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
     }
 
     /// The subgraph catalogue.
     pub fn catalogue(&self) -> &Catalogue {
         &self.catalogue
+    }
+
+    // --- updates ----------------------------------------------------------------------------
+
+    /// Append a new vertex carrying `label`, returning its id.
+    pub fn insert_vertex(&mut self, label: VertexLabel) -> VertexId {
+        let v = self.snapshot.insert_vertex(label);
+        self.catalogue.record_vertex_insert(label);
+        self.finish_updates(1);
+        v
+    }
+
+    /// Insert the directed edge `src -> dst` carrying `label`. Unknown endpoints are created
+    /// on demand with the default vertex label. Returns `false` (and changes nothing) when the
+    /// edge already exists.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        let mut ops = 0u64;
+        let created = self.snapshot.ensure_vertex(src.max(dst));
+        for _ in 0..created {
+            self.catalogue.record_vertex_insert(VertexLabel(0));
+        }
+        ops += created as u64;
+        let inserted = self.snapshot.insert_edge(src, dst, label);
+        if inserted {
+            self.catalogue.record_edge_insert(
+                label,
+                self.snapshot.vertex_label(src),
+                self.snapshot.vertex_label(dst),
+            );
+            ops += 1;
+        }
+        self.finish_updates(ops);
+        inserted
+    }
+
+    /// Delete the directed edge `src -> dst` carrying `label`. Returns `false` (and changes
+    /// nothing) when no such edge exists.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        if !self.snapshot.delete_edge(src, dst, label) {
+            return false;
+        }
+        self.catalogue.record_edge_delete(
+            label,
+            self.snapshot.vertex_label(src),
+            self.snapshot.vertex_label(dst),
+        );
+        self.finish_updates(1);
+        true
+    }
+
+    /// Apply a batch of [`Update`]s in order, returning how many changed the graph (edge
+    /// inserts of existing edges and deletes of missing edges are no-ops).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> usize {
+        let mut applied = 0usize;
+        for u in updates {
+            let changed = match *u {
+                Update::InsertVertex { label } => {
+                    self.insert_vertex(label);
+                    true
+                }
+                Update::InsertEdge { src, dst, label } => self.insert_edge(src, dst, label),
+                Update::DeleteEdge { src, dst, label } => self.delete_edge(src, dst, label),
+            };
+            if changed {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Fold all pending deltas into a fresh base CSR. Results-neutral: every query returns
+    /// exactly what it returned before the compaction, and the graph version is unchanged.
+    /// Runs automatically once the pending-delta count crosses the configured
+    /// [`compact_threshold`](GraphflowDBBuilder::compact_threshold).
+    pub fn compact(&mut self) {
+        if !self.snapshot.has_pending_deltas() {
+            return;
+        }
+        self.snapshot.compact();
+        self.catalogue.set_snapshot(self.snapshot.clone());
+    }
+
+    /// Post-mutation bookkeeping: republish the snapshot to the catalogue, advance the
+    /// staleness clock (bumping the plan-cache statistics version when it crosses the
+    /// threshold), and compact when the delta store has grown past its threshold.
+    fn finish_updates(&mut self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        self.updates_since_stats += ops;
+        if self.updates_since_stats >= self.staleness_threshold {
+            self.stats_version = self.snapshot.version();
+            self.updates_since_stats = 0;
+            // Republish the snapshot to the catalogue only at refresh points: handing it a
+            // clone on *every* mutation would pin the delta-store Arc at refcount 2 and turn
+            // each subsequent `Arc::make_mut` into a deep copy of all pending deltas
+            // (quadratic update application). This leaves one O(pending deltas) copy per
+            // staleness window — bounded in turn by the auto-compaction threshold. The
+            // catalogue's *exact* counts are maintained incrementally above and never lag;
+            // only its *sampled* statistics see a snapshot up to one staleness window old,
+            // which is exactly the drift tolerance `refresh_after` already grants them.
+            self.catalogue.set_snapshot(self.snapshot.clone());
+        }
+        let delta = self.snapshot.delta();
+        if delta.overlay_edges() + delta.num_new_vertices() >= self.compact_threshold {
+            self.compact();
+        }
     }
 
     /// Override the cost model used by the optimizer.
@@ -423,7 +640,7 @@ impl GraphflowDB {
                 (code, perm)
             }
         };
-        if let Some((plan, cached_perm)) = self.plan_cache.get(&code) {
+        if let Some((plan, cached_perm)) = self.plan_cache.get(&code, self.stats_version) {
             // Compose the two canonicalising permutations into plan-query -> our-query.
             let mut inverse = vec![0usize; perm.len()];
             for (vertex, &pos) in perm.iter().enumerate() {
@@ -434,7 +651,8 @@ impl GraphflowDB {
             return Ok((plan, (!identity).then_some(remap), true));
         }
         let plan: PlanHandle = Arc::new(self.plan(query)?);
-        self.plan_cache.insert(code, plan.clone(), perm);
+        self.plan_cache
+            .insert(code, plan.clone(), perm, self.stats_version);
         Ok((plan, None, false))
     }
 
@@ -526,12 +744,13 @@ impl GraphflowDB {
             use_intersection_cache: options.intersection_cache,
             output_limit: options.output_limit,
         };
+        // Execution pins the current snapshot: queries observe one delta epoch end to end.
         if options.threads > 1 {
-            execute_parallel_with_sink(&self.graph, plan, exec_options, options.threads, sink)
+            execute_parallel_with_sink(&self.snapshot, plan, exec_options, options.threads, sink)
         } else if options.adaptive {
-            execute_adaptive_with_sink(&self.graph, &self.catalogue, plan, exec_options, sink)
+            execute_adaptive_with_sink(&self.snapshot, &self.catalogue, plan, exec_options, sink)
         } else {
-            execute_with_sink(&self.graph, plan, exec_options, sink)
+            execute_with_sink(&self.snapshot, plan, exec_options, sink)
         }
     }
 }
@@ -722,6 +941,178 @@ mod tests {
         };
         assert_eq!(streamed, expected);
         assert_eq!(stats.output_count, expected);
+    }
+
+    #[test]
+    fn updates_change_query_results() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let mut db = GraphflowDB::from_graph(b.build());
+        let triangle = "(a)->(b), (b)->(c), (a)->(c)";
+        assert_eq!(db.count(triangle).unwrap(), 0);
+        assert!(db.insert_edge(0, 2, EdgeLabel(0)));
+        assert!(!db.insert_edge(0, 2, EdgeLabel(0)), "duplicate insert");
+        assert_eq!(db.count(triangle).unwrap(), 1);
+        assert_eq!(db.graph_version(), 1);
+        // All three executors see the same snapshot.
+        let adaptive = db
+            .run(triangle, QueryOptions::new().adaptive(true))
+            .unwrap();
+        let parallel = db.run(triangle, QueryOptions::new().threads(4)).unwrap();
+        assert_eq!(adaptive.count, 1);
+        assert_eq!(parallel.count, 1);
+        assert!(db.delete_edge(0, 2, EdgeLabel(0)));
+        assert_eq!(db.count(triangle).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_and_compaction_is_neutral() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let mut db = GraphflowDB::from_graph(b.build());
+        let before = db.snapshot();
+        db.delete_edge(0, 2, EdgeLabel(0));
+        db.insert_edge(2, 3, EdgeLabel(0));
+        // The old snapshot still answers with the pre-update graph.
+        use graphflow_graph::GraphView as _;
+        assert!(before.has_edge(0, 2, EdgeLabel(0)));
+        assert_eq!(before.num_edges(), 3);
+        assert_eq!(
+            graphflow_catalog::count_matches(&before, &patterns::asymmetric_triangle()),
+            1
+        );
+        // Compaction changes neither results nor the version.
+        let version = db.graph_version();
+        let count_before = db.count("(a)->(b), (b)->(c)").unwrap();
+        db.compact();
+        assert_eq!(db.graph_version(), version);
+        assert_eq!(db.count("(a)->(b), (b)->(c)").unwrap(), count_before);
+        assert!(!db.snapshot().has_pending_deltas());
+        assert_eq!(db.graph().num_edges(), 3, "deltas folded into the base CSR");
+    }
+
+    #[test]
+    fn apply_batch_counts_applied_updates() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let mut db = GraphflowDB::from_graph(b.build());
+        let applied = db.apply_batch(&[
+            Update::InsertVertex {
+                label: VertexLabel(0),
+            },
+            Update::InsertEdge {
+                src: 1,
+                dst: 2,
+                label: EdgeLabel(0),
+            },
+            Update::InsertEdge {
+                src: 0,
+                dst: 1,
+                label: EdgeLabel(0),
+            }, // already exists
+            Update::DeleteEdge {
+                src: 5,
+                dst: 6,
+                label: EdgeLabel(0),
+            }, // missing
+        ]);
+        assert_eq!(applied, 2);
+        assert_eq!(db.count("(a)->(b), (b)->(c)").unwrap(), 1);
+    }
+
+    #[test]
+    fn staleness_threshold_triggers_plan_reoptimization() {
+        let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.5, 9);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        let mut db = GraphflowDB::builder(b.build())
+            .staleness_threshold(4)
+            .build();
+        let pattern = "(a)->(b), (b)->(c), (a)->(c)";
+        db.count(pattern).unwrap();
+        db.count(pattern).unwrap();
+        assert_eq!(db.plan_cache_stats().hits, 1);
+        assert_eq!(db.plan_cache_stats().invalidations, 0);
+
+        // Two updates (deletes of existing edges are exactly one update each): below the
+        // threshold, the cached plan is still served.
+        let victims: Vec<_> = db.graph().edges().iter().copied().take(4).collect();
+        assert!(db.delete_edge(victims[0].0, victims[0].1, victims[0].2));
+        assert!(db.delete_edge(victims[1].0, victims[1].1, victims[1].2));
+        assert_eq!(db.stats_version(), 0);
+        db.count(pattern).unwrap();
+        assert_eq!(db.plan_cache_stats().hits, 2);
+
+        // Crossing the threshold bumps the statistics version: the old-version plan must not
+        // be reused, and the catalogue's exact counts reflect the mutated graph.
+        let edge_count_before = db.catalogue().edge_count(
+            EdgeLabel(0),
+            graphflow_graph::VertexLabel(0),
+            graphflow_graph::VertexLabel(0),
+        );
+        assert!(db.delete_edge(victims[2].0, victims[2].1, victims[2].2));
+        assert!(db.delete_edge(victims[3].0, victims[3].1, victims[3].2));
+        assert!(db.stats_version() > 0, "statistics version advanced");
+        let misses_before = db.plan_cache_stats().misses;
+        db.count(pattern).unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.invalidations, 1, "stale plan dropped, not reused");
+        assert_eq!(stats.misses, misses_before + 1, "optimizer ran again");
+        assert!(
+            db.catalogue().edge_count(
+                EdgeLabel(0),
+                graphflow_graph::VertexLabel(0),
+                graphflow_graph::VertexLabel(0)
+            ) < edge_count_before,
+            "catalogue exact counts track updates incrementally"
+        );
+        assert_eq!(db.catalogue().total_updates(), 4);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_at_threshold() {
+        let mut b = GraphBuilder::with_vertices(5);
+        b.add_edge(0, 1);
+        let mut db = GraphflowDB::builder(b.build()).compact_threshold(3).build();
+        db.insert_edge(1, 2, EdgeLabel(0));
+        db.insert_edge(2, 3, EdgeLabel(0));
+        assert!(
+            db.snapshot().has_pending_deltas(),
+            "2 pending < threshold 3"
+        );
+        db.insert_edge(3, 4, EdgeLabel(0));
+        assert!(
+            !db.snapshot().has_pending_deltas(),
+            "threshold crossed: deltas folded into the CSR automatically"
+        );
+        assert_eq!(db.graph().num_edges(), 4);
+        assert_eq!(db.count("(a)->(b)").unwrap(), 4);
+    }
+
+    #[test]
+    fn delta_merges_are_observable_in_stats() {
+        let edges = graphflow_graph::generator::powerlaw_cluster(150, 3, 0.5, 3);
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        let mut db = GraphflowDB::from_graph(b.build());
+        let pattern = "(a)->(b), (b)->(c), (a)->(c)";
+        let clean = db.run(pattern, QueryOptions::default()).unwrap();
+        assert_eq!(clean.stats.delta_merges, 0, "no deltas, no merges");
+        // Touch a vertex that participates in triangles, then re-run.
+        let (u, v, _) = db.graph().edges()[0];
+        db.delete_edge(u, v, EdgeLabel(0));
+        db.insert_edge(u, v, EdgeLabel(0));
+        let dirty = db.run(pattern, QueryOptions::default()).unwrap();
+        assert_eq!(dirty.count, clean.count, "cancelled updates change nothing");
+        // The cancelled pair leaves no overlay, so this is still merge-free; a real overlay
+        // shows up in the counter.
+        let n = db.graph().num_vertices() as u32;
+        db.insert_edge(u, n, EdgeLabel(0));
+        let overlaid = db.run(pattern, QueryOptions::default()).unwrap();
+        assert!(overlaid.stats.delta_merges > 0, "merged lists are counted");
     }
 
     #[test]

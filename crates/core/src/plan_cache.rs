@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Point-in-time counters of a [`PlanCache`].
+/// Point-in-time counters of the plan cache behind [`GraphflowDB::plan_cache_stats`](crate::GraphflowDB::plan_cache_stats).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
     /// Lookups served from the cache (optimizer skipped).
@@ -23,6 +23,10 @@ pub struct PlanCacheStats {
     pub misses: u64,
     /// Entries evicted because the cache was full.
     pub evictions: u64,
+    /// Entries dropped because they were optimized under an older graph statistics version
+    /// (the graph drifted past the staleness threshold, so the plan was re-optimized instead
+    /// of silently reusing dead statistics).
+    pub invalidations: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Maximum number of entries (0 = caching disabled).
@@ -35,11 +39,15 @@ struct Entry {
     /// (`perm[plan query vertex] = canonical position`), kept so later isomorphic queries can
     /// be mapped onto the cached plan's vertex numbering.
     perm: Vec<usize>,
+    /// The graph statistics version the plan was optimized under; a lookup with a newer
+    /// version drops the entry (the logical key is `(canonical query, graph version)`).
+    version: u64,
     last_used: u64,
 }
 
 struct Inner {
     map: HashMap<CanonicalCode, Entry>,
+    invalidations: u64,
     /// First-level index: the cheap identity-permutation encoding of a query
     /// ([`graphflow_query::exact_code`]) mapped to its canonical code and canonicalising
     /// permutation. A repeated byte-identical pattern resolves through this map and skips the
@@ -63,6 +71,7 @@ impl PlanCache {
         PlanCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                invalidations: 0,
                 exact_index: HashMap::new(),
                 tick: 0,
                 evictions: 0,
@@ -96,10 +105,16 @@ impl PlanCache {
         inner.exact_index.insert(exact, (code, perm));
     }
 
-    /// Look up a plan, marking the entry as recently used. Returns the plan and the cached
-    /// query's canonicalising permutation. A miss only bumps the miss counter; the caller is
-    /// expected to optimize and [`insert`](PlanCache::insert).
-    pub(crate) fn get(&self, code: &CanonicalCode) -> Option<(PlanHandle, Vec<usize>)> {
+    /// Look up a plan optimized under statistics `version`, marking the entry as recently
+    /// used. Returns the plan and the cached query's canonicalising permutation. An entry
+    /// carrying an older version is dropped (counted as an invalidation) and reported as a
+    /// miss, so the caller re-optimizes against current statistics. A miss only bumps the miss
+    /// counter; the caller is expected to optimize and [`insert`](PlanCache::insert).
+    pub(crate) fn get(
+        &self,
+        code: &CanonicalCode,
+        version: u64,
+    ) -> Option<(PlanHandle, Vec<usize>)> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -108,10 +123,16 @@ impl PlanCache {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(code) {
-            Some(entry) => {
+            Some(entry) if entry.version == version => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some((entry.plan.clone(), entry.perm.clone()))
+            }
+            Some(_) => {
+                inner.map.remove(code);
+                inner.invalidations += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -120,8 +141,15 @@ impl PlanCache {
         }
     }
 
-    /// Insert a freshly optimized plan, evicting the least recently used entry if full.
-    pub(crate) fn insert(&self, code: CanonicalCode, plan: PlanHandle, perm: Vec<usize>) {
+    /// Insert a plan freshly optimized under statistics `version`, evicting the least recently
+    /// used entry if full.
+    pub(crate) fn insert(
+        &self,
+        code: CanonicalCode,
+        plan: PlanHandle,
+        perm: Vec<usize>,
+        version: u64,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -144,6 +172,7 @@ impl PlanCache {
             Entry {
                 plan,
                 perm,
+                version,
                 last_used: tick,
             },
         );
@@ -165,6 +194,7 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: inner.evictions,
+            invalidations: inner.invalidations,
             entries: inner.map.len(),
             capacity: self.capacity,
         }
@@ -204,13 +234,13 @@ mod tests {
         ];
         let forms: Vec<_> = queries.iter().map(canonical_form).collect();
         for (q, (code, perm)) in queries.iter().zip(forms.iter()) {
-            assert!(cache.get(code).is_none());
-            cache.insert(code.clone(), dummy_plan(q), perm.clone());
+            assert!(cache.get(code, 0).is_none());
+            cache.insert(code.clone(), dummy_plan(q), perm.clone(), 0);
         }
         // Capacity 2: the triangle (oldest, never touched again) must be gone.
-        assert!(cache.get(&forms[0].0).is_none());
-        assert!(cache.get(&forms[1].0).is_some());
-        assert!(cache.get(&forms[2].0).is_some());
+        assert!(cache.get(&forms[0].0, 0).is_none());
+        assert!(cache.get(&forms[1].0, 0).is_some());
+        assert!(cache.get(&forms[2].0, 0).is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
@@ -227,13 +257,13 @@ mod tests {
         let (c1, p1) = canonical_form(&q1);
         let (c2, p2) = canonical_form(&q2);
         let (c3, p3) = canonical_form(&q3);
-        cache.insert(c1.clone(), dummy_plan(&q1), p1);
-        cache.insert(c2.clone(), dummy_plan(&q2), p2);
+        cache.insert(c1.clone(), dummy_plan(&q1), p1, 0);
+        cache.insert(c2.clone(), dummy_plan(&q2), p2, 0);
         // Touch q1 so q2 becomes the LRU victim.
-        assert!(cache.get(&c1).is_some());
-        cache.insert(c3, dummy_plan(&q3), p3);
-        assert!(cache.get(&c1).is_some());
-        assert!(cache.get(&c2).is_none());
+        assert!(cache.get(&c1, 0).is_some());
+        cache.insert(c3, dummy_plan(&q3), p3, 0);
+        assert!(cache.get(&c1, 0).is_some());
+        assert!(cache.get(&c2, 0).is_none());
     }
 
     #[test]
@@ -241,8 +271,25 @@ mod tests {
         let cache = PlanCache::new(0);
         let q = patterns::asymmetric_triangle();
         let (code, perm) = canonical_form(&q);
-        cache.insert(code.clone(), dummy_plan(&q), perm);
-        assert!(cache.get(&code).is_none());
+        cache.insert(code.clone(), dummy_plan(&q), perm, 0);
+        assert!(cache.get(&code, 0).is_none());
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn version_mismatch_invalidates_entry() {
+        let cache = PlanCache::new(4);
+        let q = patterns::asymmetric_triangle();
+        let (code, perm) = canonical_form(&q);
+        cache.insert(code.clone(), dummy_plan(&q), perm.clone(), 0);
+        assert!(cache.get(&code, 0).is_some(), "same version hits");
+        // The graph drifted: version 1 lookups must not reuse the version-0 plan.
+        assert!(cache.get(&code, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 0, "stale entry is dropped eagerly");
+        // Re-inserting under the new version serves version-1 lookups again.
+        cache.insert(code.clone(), dummy_plan(&q), perm, 1);
+        assert!(cache.get(&code, 1).is_some());
     }
 }

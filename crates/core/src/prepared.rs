@@ -12,10 +12,16 @@ use graphflow_query::QueryGraph;
 /// [`QueryOptions`] or result sinks.
 ///
 /// The underlying plan comes from the database's LRU plan cache, keyed on the *canonical* form
-/// of the query graph: preparing an isomorphic rewriting of an earlier pattern (same shape,
-/// different vertex names or clause order) reuses the cached plan without invoking the
-/// optimizer, and result tuples are transparently remapped back to this query's own vertex
-/// numbering.
+/// of the query graph **and the graph statistics version**: preparing an isomorphic rewriting
+/// of an earlier pattern (same shape, different vertex names or clause order) reuses the cached
+/// plan without invoking the optimizer, and result tuples are transparently remapped back to
+/// this query's own vertex numbering — while a pattern prepared after the graph drifted past
+/// the staleness threshold is re-optimized against current statistics.
+///
+/// A prepared query borrows the database immutably, so the graph cannot be mutated while one
+/// is held; every [`run`](PreparedQuery::run) executes against the database's current snapshot.
+/// Re-prepare (cheap on a cache hit) after applying updates to pick up a re-optimized plan
+/// eagerly.
 pub struct PreparedQuery<'db> {
     pub(crate) db: &'db GraphflowDB,
     pub(crate) query: QueryGraph,

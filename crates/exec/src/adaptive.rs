@@ -15,7 +15,7 @@ use crate::pipeline::{
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_catalog::Catalogue;
-use graphflow_graph::{Graph, VertexId};
+use graphflow_graph::{GraphView, VertexId};
 use graphflow_plan::plan::{Plan, PlanNode};
 use graphflow_query::extension::descriptors_for_extension;
 use graphflow_query::querygraph::singleton;
@@ -60,15 +60,19 @@ impl AdaptiveStage {
 /// Re-estimate the cost of a candidate for a specific tuple: the first step uses the actual
 /// adjacency-list sizes of the tuple's bound vertices; later steps scale the catalogue estimates
 /// by the observed ratio (Example 6.2 of the paper).
-fn recost_candidate(candidate: &AdaptiveCandidate, graph: &Graph, tuple: &[VertexId]) -> f64 {
+fn recost_candidate<G: GraphView>(
+    candidate: &AdaptiveCandidate,
+    graph: &G,
+    tuple: &[VertexId],
+) -> f64 {
     let first = &candidate.steps[0];
     let first_est = &candidate.estimates[0];
     let mut actual_sum = 0.0;
     let mut ratio = 1.0;
     for (d, est_size) in first.descriptors.iter().zip(first_est.sizes.iter()) {
-        let actual = graph
-            .neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, first.target_label)
-            .len() as f64;
+        // `degree` reports the merged partition size without materialising a merged list.
+        let actual =
+            graph.degree(tuple[d.tuple_idx], d.dir, d.edge_label, first.target_label) as f64;
         actual_sum += actual;
         if *est_size > 0.0 {
             ratio *= actual / est_size;
@@ -91,10 +95,10 @@ fn recost_candidate(candidate: &AdaptiveCandidate, graph: &Graph, tuple: &[Verte
 
 /// Execute one adaptive stage for `tuple`, forwarding complete extensions (restored to the
 /// canonical layout) into the remaining stages `rest`. Returns `false` to stop execution.
-pub(crate) fn run_adaptive_stage(
+pub(crate) fn run_adaptive_stage<G: GraphView>(
     stage: &mut AdaptiveStage,
     rest: &mut [Stage],
-    graph: &Graph,
+    graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
@@ -128,12 +132,12 @@ pub(crate) fn run_adaptive_stage(
 /// Depth-first evaluation of a candidate's extension steps; once all steps have fired, the
 /// appended values are re-ordered into the canonical layout and passed on.
 #[allow(clippy::too_many_arguments)]
-fn run_candidate_steps(
+fn run_candidate_steps<G: GraphView>(
     steps: &mut [ExtendStage],
     canonical_to_candidate: &[usize],
     base_len: usize,
     rest: &mut [Stage],
-    graph: &Graph,
+    graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
@@ -195,8 +199,8 @@ fn run_candidate_steps(
 
 /// Compile a plan into a pipeline in which every chain of two or more consecutive E/I operators
 /// is replaced by an adaptive stage.
-pub(crate) fn compile_adaptive(
-    graph: &Graph,
+pub(crate) fn compile_adaptive<G: GraphView>(
+    graph: &G,
     q: &QueryGraph,
     node: &PlanNode,
     catalogue: &Catalogue,
@@ -326,8 +330,8 @@ pub(crate) fn compile_adaptive(
 /// Execute a plan with adaptive query-vertex-ordering selection for every chain of two or more
 /// E/I operators (hash-join build sides are executed with their fixed orderings), counting
 /// results.
-pub fn execute_adaptive(
-    graph: &Graph,
+pub fn execute_adaptive<G: GraphView>(
+    graph: &G,
     catalogue: &Catalogue,
     plan: &Plan,
     options: ExecOptions,
@@ -341,8 +345,8 @@ pub fn execute_adaptive(
 }
 
 /// Adaptive execution streaming every result tuple (in query-vertex order) into `sink`.
-pub fn execute_adaptive_with_sink(
-    graph: &Graph,
+pub fn execute_adaptive_with_sink<G: GraphView>(
+    graph: &G,
     catalogue: &Catalogue,
     plan: &Plan,
     options: ExecOptions,
@@ -369,7 +373,7 @@ mod tests {
     use super::*;
     use crate::pipeline::execute;
     use graphflow_catalog::{count_matches, Catalogue};
-    use graphflow_graph::GraphBuilder;
+    use graphflow_graph::{Graph, GraphBuilder};
     use graphflow_plan::cost::CostModel;
     use graphflow_plan::dp::DpOptimizer;
     use graphflow_plan::wco::wco_plan_for_ordering;

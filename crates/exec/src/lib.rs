@@ -27,6 +27,12 @@
 //! Every run returns [`RuntimeStats`] with the *actual* i-cost (Equation 1), the number of
 //! intermediate partial matches, and intersection-cache hit counts — the quantities reported in
 //! Tables 3–6 of the paper.
+//!
+//! All entry points are generic over [`GraphView`](graphflow_graph::GraphView): pass a frozen
+//! [`Graph`](graphflow_graph::Graph) (every adjacency access monomorphises to a borrowed CSR
+//! slice — the static fast path costs nothing) or a live
+//! [`Snapshot`](graphflow_graph::Snapshot) (vertices with pending deltas transparently merge
+//! their overlays; `RuntimeStats::delta_merges` counts how often that happened).
 
 pub mod adaptive;
 pub mod parallel;

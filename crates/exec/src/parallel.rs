@@ -9,7 +9,7 @@
 use crate::pipeline::{compile, run_pipeline_on_range, CompiledPipeline, ExecOptions, ExecOutput};
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
-use graphflow_graph::{Graph, VertexId};
+use graphflow_graph::{GraphView, VertexId};
 use graphflow_plan::plan::Plan;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -21,8 +21,8 @@ const CHUNKS_PER_WORKER: usize = 64;
 
 /// Execute a plan with `num_threads` worker threads, counting results (the scalability
 /// experiments of Figure 11 count outputs); per-thread statistics are merged.
-pub fn execute_parallel(
-    graph: &Graph,
+pub fn execute_parallel<G: GraphView>(
+    graph: &G,
     plan: &Plan,
     options: ExecOptions,
     num_threads: usize,
@@ -45,12 +45,12 @@ const SINK_BATCH_TUPLES: usize = 256;
 /// When the sink does not need tuples, workers only bump thread-local counters and the total is
 /// delivered once through [`MatchSink::on_count`] — the original lock-free fast path. When it
 /// does, workers reorder each tuple into query-vertex order locally, buffer up to
-/// [`SINK_BATCH_TUPLES`] of them, and deliver each batch to the shared sink under a single
+/// `SINK_BATCH_TUPLES` of them, and deliver each batch to the shared sink under a single
 /// lock acquisition; the sink returning `false` raises a stop flag that every worker observes
 /// at its next batch (so "stop" is prompt but, as with `output_limit`, not an exact cut-off
 /// across threads).
-pub fn execute_parallel_with_sink(
-    graph: &Graph,
+pub fn execute_parallel_with_sink<G: GraphView>(
+    graph: &G,
     plan: &Plan,
     options: ExecOptions,
     num_threads: usize,
@@ -63,7 +63,10 @@ pub fn execute_parallel_with_sink(
     // Build-side materialisation happens once, in the calling thread.
     let pipeline = compile(graph, q, &plan.root, &options, &mut setup_stats);
 
-    let scan_edges = graph.edges_with_label(pipeline.scan.edge.label);
+    // Borrowed straight from the CSR when the scanned label has no pending deltas; merged into
+    // an owned, still-sorted vector otherwise. Workers share it read-only either way.
+    let scan_edges_cow = graph.scan_edges(pipeline.scan.edge.label);
+    let scan_edges: &[(VertexId, VertexId, graphflow_graph::EdgeLabel)] = &scan_edges_cow;
     let chunk_count = (num_threads * CHUNKS_PER_WORKER).max(1);
     let chunk_size = scan_edges.len().div_ceil(chunk_count).max(1);
     let next_chunk = AtomicUsize::new(0);
@@ -168,7 +171,7 @@ mod tests {
     use super::*;
     use crate::pipeline::execute;
     use graphflow_catalog::{count_matches, Catalogue};
-    use graphflow_graph::GraphBuilder;
+    use graphflow_graph::{Graph, GraphBuilder};
     use graphflow_plan::dp::DpOptimizer;
     use graphflow_query::patterns;
     use std::sync::Arc;

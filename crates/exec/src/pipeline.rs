@@ -9,7 +9,7 @@
 
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
-use graphflow_graph::{multiway_intersect, Graph, VertexId, VertexLabel};
+use graphflow_graph::{multiway_intersect_views, GraphView, NbrList, VertexId, VertexLabel};
 use graphflow_plan::plan::{Plan, PlanNode};
 use graphflow_query::extension::AdjListDescriptor;
 use graphflow_query::querygraph::singleton;
@@ -94,9 +94,9 @@ impl ExtendStage {
     }
 
     /// Compute (or reuse) the extension set for `tuple`, updating statistics.
-    pub(crate) fn extension_set(
+    pub(crate) fn extension_set<G: GraphView>(
         &mut self,
-        graph: &Graph,
+        graph: &G,
         tuple: &[VertexId],
         use_cache: bool,
         stats: &mut RuntimeStats,
@@ -117,13 +117,16 @@ impl ExtendStage {
         self.cache_key.clear();
         self.cache_key
             .extend(self.descriptors.iter().map(|d| tuple[d.tuple_idx]));
-        let lists: Vec<&[VertexId]> = self
+        // On a plain CSR every list is `NbrList::Borrowed` (no copies); against a snapshot,
+        // only vertices with pending deltas materialise a merged list.
+        let lists: Vec<NbrList> = self
             .descriptors
             .iter()
-            .map(|d| graph.neighbours(tuple[d.tuple_idx], d.dir, d.edge_label, self.target_label))
+            .map(|d| graph.nbrs(tuple[d.tuple_idx], d.dir, d.edge_label, self.target_label))
             .collect();
         stats.icost += lists.iter().map(|l| l.len() as u64).sum::<u64>();
-        multiway_intersect(&lists, &mut self.cache_set, &mut self.scratch);
+        stats.delta_merges += lists.iter().filter(|l| l.is_merged()).count() as u64;
+        multiway_intersect_views(&lists, &mut self.cache_set, &mut self.scratch);
         self.cache_valid = true;
         &self.cache_set
     }
@@ -156,8 +159,8 @@ pub(crate) struct CompiledPipeline {
 
 /// Compile a plan into a pipeline, materialising every hash-join build side along the way
 /// (their execution cost is accumulated into `stats`).
-pub(crate) fn compile(
-    graph: &Graph,
+pub(crate) fn compile<G: GraphView>(
+    graph: &G,
     q: &QueryGraph,
     node: &PlanNode,
     options: &ExecOptions,
@@ -222,8 +225,8 @@ pub(crate) fn compile(
 }
 
 /// Execute the build side of a hash join and materialise it into a [`JoinTable`].
-fn materialize(
-    graph: &Graph,
+fn materialize<G: GraphView>(
+    graph: &G,
     q: &QueryGraph,
     build: &PlanNode,
     probe: &PlanNode,
@@ -292,22 +295,22 @@ fn materialize(
 
 /// Stream every result tuple of a compiled pipeline into `on_result`; the callback returns
 /// `false` to stop execution early.
-pub(crate) fn run_pipeline(
+pub(crate) fn run_pipeline<G: GraphView>(
     pipeline: &mut CompiledPipeline,
-    graph: &Graph,
+    graph: &G,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) {
-    let edges = graph.edges_with_label(pipeline.scan.edge.label);
-    run_pipeline_on_range(pipeline, graph, edges, options, stats, on_result);
+    let edges = graph.scan_edges(pipeline.scan.edge.label);
+    run_pipeline_on_range(pipeline, graph, &edges, options, stats, on_result);
 }
 
 /// Same as [`run_pipeline`] but over an explicit slice of candidate scan edges (used by the
 /// parallel executor to partition the scan).
-pub(crate) fn run_pipeline_on_range(
+pub(crate) fn run_pipeline_on_range<G: GraphView>(
     pipeline: &mut CompiledPipeline,
-    graph: &Graph,
+    graph: &G,
     scan_edges: &[(VertexId, VertexId, graphflow_graph::EdgeLabel)],
     options: &ExecOptions,
     stats: &mut RuntimeStats,
@@ -369,9 +372,9 @@ pub(crate) fn run_pipeline_on_range(
 }
 
 /// Recursive depth-first evaluation of the stage pipeline. Returns `false` to stop.
-pub(crate) fn run_stages(
+pub(crate) fn run_stages<G: GraphView>(
     stages: &mut [Stage],
-    graph: &Graph,
+    graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
@@ -460,9 +463,9 @@ impl ExtendStage {
 
 /// Stream a compiled pipeline's results into a sink, taking the counting fast path when the
 /// sink does not need tuples (shared by the serial and adaptive executors).
-pub(crate) fn drive_pipeline_into_sink(
+pub(crate) fn drive_pipeline_into_sink<G: GraphView>(
     pipeline: &mut CompiledPipeline,
-    graph: &Graph,
+    graph: &G,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
     num_query_vertices: usize,
@@ -485,12 +488,20 @@ pub(crate) fn drive_pipeline_into_sink(
 }
 
 /// Execute a plan serially with default options, counting results.
-pub fn execute(graph: &Graph, plan: &Plan) -> ExecOutput {
+///
+/// Generic over [`GraphView`]: pass a `&Graph` for frozen CSR execution or a
+/// [`&Snapshot`](graphflow_graph::Snapshot) to run against a live delta epoch (all `execute*`
+/// entry points share this signature).
+pub fn execute<G: GraphView>(graph: &G, plan: &Plan) -> ExecOutput {
     execute_with_options(graph, plan, ExecOptions::default())
 }
 
 /// Execute a plan serially, counting results.
-pub fn execute_with_options(graph: &Graph, plan: &Plan, options: ExecOptions) -> ExecOutput {
+pub fn execute_with_options<G: GraphView>(
+    graph: &G,
+    plan: &Plan,
+    options: ExecOptions,
+) -> ExecOutput {
     let mut sink = CountingSink::new();
     let stats = execute_with_sink(graph, plan, options, &mut sink);
     ExecOutput {
@@ -500,8 +511,8 @@ pub fn execute_with_options(graph: &Graph, plan: &Plan, options: ExecOptions) ->
 }
 
 /// Execute a plan serially, streaming every result tuple (in query-vertex order) into `sink`.
-pub fn execute_with_sink(
-    graph: &Graph,
+pub fn execute_with_sink<G: GraphView>(
+    graph: &G,
     plan: &Plan,
     options: ExecOptions,
     sink: &mut dyn MatchSink,
@@ -526,7 +537,7 @@ pub fn execute_with_sink(
 mod tests {
     use super::*;
     use graphflow_catalog::{count_matches, Catalogue};
-    use graphflow_graph::GraphBuilder;
+    use graphflow_graph::{Graph, GraphBuilder};
     use graphflow_plan::cost::CostModel;
     use graphflow_plan::dp::DpOptimizer;
     use graphflow_plan::wco::wco_plan_for_ordering;

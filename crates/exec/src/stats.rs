@@ -18,6 +18,10 @@ pub struct RuntimeStats {
     pub cache_hits: u64,
     /// Intersections actually computed by E/I operators.
     pub cache_misses: u64,
+    /// Adjacency lists that were materialised by merging a CSR partition with a delta overlay
+    /// (always 0 when executing against a plain [`Graph`](graphflow_graph::Graph) or a snapshot
+    /// with no pending deltas) — the observable cost of running over a mutated snapshot.
+    pub delta_merges: u64,
     /// Tuples inserted into hash-join build tables.
     pub hash_build_tuples: u64,
     /// Tuples used to probe hash-join tables.
@@ -40,6 +44,7 @@ impl RuntimeStats {
         self.output_count += other.output_count;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.delta_merges += other.delta_merges;
         self.hash_build_tuples += other.hash_build_tuples;
         self.hash_probe_tuples += other.hash_probe_tuples;
         self.plan_cache_hits += other.plan_cache_hits;
@@ -86,10 +91,12 @@ mod tests {
             hash_probe_tuples: 1,
             plan_cache_hits: 2,
             plan_cache_misses: 1,
+            delta_merges: 3,
             elapsed: Duration::from_millis(50),
         };
         a.merge(&b);
         assert_eq!(a.icost, 11);
+        assert_eq!(a.delta_merges, 3);
         assert_eq!(a.plan_cache_hits, 2);
         assert_eq!(a.plan_cache_misses, 1);
         assert_eq!(a.output_count, 3);

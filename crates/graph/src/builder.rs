@@ -35,6 +35,23 @@ impl GraphBuilder {
         }
     }
 
+    /// Create a builder pre-loaded with every vertex (and its label) and every edge of an
+    /// arbitrary [`GraphView`](crate::graph::GraphView) — the compaction path of the dynamic
+    /// subsystem, and the from-scratch-rebuild reference in equivalence tests.
+    pub fn from_view<G: crate::graph::GraphView>(view: &G) -> Self {
+        let n = view.num_vertices();
+        let mut b = GraphBuilder::with_vertices(n);
+        for v in 0..n as VertexId {
+            b.set_vertex_label(v, view.vertex_label(v));
+        }
+        for el in 0..view.num_edge_labels() {
+            for &(s, d, l) in view.scan_edges(crate::ids::EdgeLabel(el)).iter() {
+                b.add_labelled_edge(s, d, l);
+            }
+        }
+        b
+    }
+
     /// Ensure vertex `v` exists (with the default label if it was unseen).
     pub fn ensure_vertex(&mut self, v: VertexId) {
         if self.vertex_labels.len() <= v as usize {

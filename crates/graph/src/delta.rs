@@ -1,0 +1,761 @@
+//! The dynamic-graph subsystem: a delta store layered over the frozen CSR, and snapshots.
+//!
+//! The paper's Graphflow is an *active* graph database, but a CSR with sorted, label-partitioned
+//! adjacency lists ([`Graph`]) cannot be mutated in place without losing its fast paths. This
+//! module adds writes without giving them up:
+//!
+//! * [`DeltaStore`] holds, per vertex and direction, **sorted insert/delete overlays partitioned
+//!   by `(edge label, neighbour label)`** — mirroring the CSR [`Partition`](crate::graph) scheme
+//!   — plus the inserted/deleted edge sets in SCAN order and the labels of vertices appended
+//!   beyond the base CSR.
+//! * [`Snapshot`] pairs an `Arc<Graph>` base with an `Arc<DeltaStore>` epoch. Cloning a snapshot
+//!   is two reference-count bumps; mutating one goes through [`Arc::make_mut`], so a mutation
+//!   never touches data reachable from previously handed-out clones — in-flight queries are
+//!   isolated from concurrent updates by construction (copy-on-write per epoch).
+//! * [`Snapshot`] implements [`GraphView`], so all executors run against it unchanged. A vertex
+//!   with no pending deltas resolves to a borrowed CSR slice ([`NbrList::Borrowed`]); only
+//!   vertices that were actually touched pay for a [`merge_delta`] pass.
+//!
+//! [`Snapshot::rebuild`] folds the deltas back into a fresh CSR (compaction); the result is
+//! observationally identical to the snapshot it came from.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, GraphView, NbrList};
+use crate::ids::{Direction, EdgeLabel, VertexId, VertexLabel};
+use crate::intersect::merge_delta;
+use rustc_hash::FxHashMap;
+use std::borrow::Cow;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A single graph mutation, applied through [`Snapshot::apply_update`] or the batch APIs of the
+/// `graphflow-core` facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Update {
+    /// Append a new vertex carrying `label`; its id is the current vertex count.
+    InsertVertex { label: VertexLabel },
+    /// Insert the directed edge `src -> dst` with edge label `label`. Unknown endpoints are
+    /// created on demand with the default vertex label. Inserting an existing edge is a no-op.
+    InsertEdge {
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+    },
+    /// Delete the directed edge `src -> dst` with edge label `label`. Deleting a missing edge
+    /// is a no-op.
+    DeleteEdge {
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+    },
+}
+
+/// One `(edge label, neighbour label)` overlay of a vertex's adjacency list: the edges inserted
+/// into and deleted from the matching CSR partition, each kept sorted by neighbour id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct OverlayPartition {
+    edge_label: EdgeLabel,
+    nbr_label: VertexLabel,
+    /// Sorted neighbour ids inserted into this partition (disjoint from the CSR partition).
+    inserts: Vec<VertexId>,
+    /// Sorted neighbour ids deleted from this partition (a subset of the CSR partition).
+    deletes: Vec<VertexId>,
+}
+
+impl OverlayPartition {
+    fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// The pending overlays of one vertex in one direction. Partitions are few (as in the CSR), so
+/// a linear scan beats a map.
+#[derive(Debug, Clone, Default)]
+struct VertexOverlay {
+    parts: Vec<OverlayPartition>,
+}
+
+impl VertexOverlay {
+    fn part(&self, el: EdgeLabel, nl: VertexLabel) -> Option<&OverlayPartition> {
+        self.parts
+            .iter()
+            .find(|p| p.edge_label == el && p.nbr_label == nl)
+    }
+
+    fn part_mut(&mut self, el: EdgeLabel, nl: VertexLabel) -> &mut OverlayPartition {
+        if let Some(i) = self
+            .parts
+            .iter()
+            .position(|p| p.edge_label == el && p.nbr_label == nl)
+        {
+            return &mut self.parts[i];
+        }
+        self.parts.push(OverlayPartition {
+            edge_label: el,
+            nbr_label: nl,
+            inserts: Vec::new(),
+            deletes: Vec::new(),
+        });
+        self.parts.last_mut().unwrap()
+    }
+
+    /// Drop empty partitions so the `None` fast path comes back after an insert+delete pair
+    /// cancels out.
+    fn prune(&mut self) {
+        self.parts.retain(|p| !p.is_empty());
+    }
+
+    fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// Insert `v` into a sorted vector (no-op when already present).
+fn sorted_insert(list: &mut Vec<VertexId>, v: VertexId) {
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
+    }
+}
+
+/// Remove `v` from a sorted vector (no-op when absent).
+fn sorted_remove(list: &mut Vec<VertexId>, v: VertexId) {
+    if let Ok(pos) = list.binary_search(&v) {
+        list.remove(pos);
+    }
+}
+
+/// The pending mutations of one snapshot epoch, layered over a base CSR.
+///
+/// Invariants (maintained by [`Snapshot`]'s mutation methods, relied upon by [`merge_delta`]):
+/// inserted edges are absent from the base, deleted edges are present in it, and no edge is in
+/// both sets; every per-partition overlay list is strictly sorted.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStore {
+    /// Labels of vertices appended beyond the base CSR (vertex `base_n + i` has label `[i]`).
+    new_vertex_labels: Vec<VertexLabel>,
+    /// Forward (out-neighbour) overlays of touched vertices.
+    fwd: FxHashMap<VertexId, VertexOverlay>,
+    /// Backward (in-neighbour) overlays of touched vertices.
+    bwd: FxHashMap<VertexId, VertexOverlay>,
+    /// Inserted edges in SCAN order `(label, src, dst)`.
+    inserted_edges: BTreeSet<(EdgeLabel, VertexId, VertexId)>,
+    /// Deleted edges in SCAN order `(label, src, dst)`.
+    deleted_edges: BTreeSet<(EdgeLabel, VertexId, VertexId)>,
+    /// Largest vertex label carried by a new vertex (0 when none). Monotone is correct here:
+    /// vertices are never removed, so the maximum can only grow.
+    max_vertex_label: u16,
+}
+
+impl DeltaStore {
+    /// Whether nothing is pending (the snapshot is observationally the base CSR).
+    pub fn is_empty(&self) -> bool {
+        self.new_vertex_labels.is_empty()
+            && self.inserted_edges.is_empty()
+            && self.deleted_edges.is_empty()
+    }
+
+    /// Number of pending edge insertions.
+    pub fn num_inserted_edges(&self) -> usize {
+        self.inserted_edges.len()
+    }
+
+    /// Number of pending edge deletions.
+    pub fn num_deleted_edges(&self) -> usize {
+        self.deleted_edges.len()
+    }
+
+    /// Number of vertices appended beyond the base CSR.
+    pub fn num_new_vertices(&self) -> usize {
+        self.new_vertex_labels.len()
+    }
+
+    /// Total overlay entries (inserted + deleted edges) — the compaction-pressure measure.
+    pub fn overlay_edges(&self) -> usize {
+        self.inserted_edges.len() + self.deleted_edges.len()
+    }
+
+    /// Largest edge label carried by a *currently pending* insert. Derived from the sorted
+    /// insert set (its last element) rather than a running maximum, so cancelling the only
+    /// insert with a high label does not leave the label space over-reported.
+    fn max_inserted_edge_label(&self) -> Option<u16> {
+        self.inserted_edges.iter().next_back().map(|&(l, _, _)| l.0)
+    }
+
+    /// Approximate in-memory size of the overlay structures, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let overlay = |m: &FxHashMap<VertexId, VertexOverlay>| -> usize {
+            m.values()
+                .map(|o| {
+                    o.parts.len() * std::mem::size_of::<OverlayPartition>()
+                        + o.parts
+                            .iter()
+                            .map(|p| (p.inserts.len() + p.deletes.len()) * 4)
+                            .sum::<usize>()
+                        + 16
+                })
+                .sum()
+        };
+        overlay(&self.fwd)
+            + overlay(&self.bwd)
+            + (self.inserted_edges.len() + self.deleted_edges.len()) * 12
+            + self.new_vertex_labels.len() * 2
+    }
+
+    fn adj(&self, dir: Direction) -> &FxHashMap<VertexId, VertexOverlay> {
+        match dir {
+            Direction::Fwd => &self.fwd,
+            Direction::Bwd => &self.bwd,
+        }
+    }
+
+    fn adj_mut(&mut self, dir: Direction) -> &mut FxHashMap<VertexId, VertexOverlay> {
+        match dir {
+            Direction::Fwd => &mut self.fwd,
+            Direction::Bwd => &mut self.bwd,
+        }
+    }
+
+    /// Whether any pending insert or delete carries edge label `el`.
+    fn touches_label(&self, el: EdgeLabel) -> bool {
+        let range = (el, 0, 0)..=(el, VertexId::MAX, VertexId::MAX);
+        self.inserted_edges.range(range.clone()).next().is_some()
+            || self.deleted_edges.range(range).next().is_some()
+    }
+
+    /// Mutate the `(dir, v, el, nl)` overlay partition, then drop it if it cancelled to empty.
+    fn with_part(
+        &mut self,
+        dir: Direction,
+        v: VertexId,
+        el: EdgeLabel,
+        nl: VertexLabel,
+        f: impl FnOnce(&mut OverlayPartition),
+    ) {
+        let map = self.adj_mut(dir);
+        let overlay = map.entry(v).or_default();
+        f(overlay.part_mut(el, nl));
+        overlay.prune();
+        if overlay.is_empty() {
+            map.remove(&v);
+        }
+    }
+}
+
+/// An immutable view of the graph at one moment: a base CSR plus a frozen delta epoch.
+///
+/// Cheap to clone (`Arc` bumps) and safe to hold across mutations of the database it came from:
+/// mutation goes through copy-on-write, so a clone taken before an update keeps observing the
+/// pre-update graph. Implements [`GraphView`], so every executor runs against it directly.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    base: Arc<Graph>,
+    delta: Arc<DeltaStore>,
+    version: u64,
+}
+
+impl From<Graph> for Snapshot {
+    fn from(g: Graph) -> Self {
+        Snapshot::new(Arc::new(g))
+    }
+}
+
+impl From<Arc<Graph>> for Snapshot {
+    fn from(g: Arc<Graph>) -> Self {
+        Snapshot::new(g)
+    }
+}
+
+impl Snapshot {
+    /// A snapshot of a frozen graph with no pending deltas, at version 0.
+    pub fn new(base: Arc<Graph>) -> Self {
+        Snapshot {
+            base,
+            delta: Arc::new(DeltaStore::default()),
+            version: 0,
+        }
+    }
+
+    /// The base CSR (excluding pending deltas).
+    pub fn base(&self) -> &Arc<Graph> {
+        &self.base
+    }
+
+    /// The pending-delta store of this epoch.
+    pub fn delta(&self) -> &DeltaStore {
+        &self.delta
+    }
+
+    /// The version of this snapshot: the number of applied mutations since the base graph was
+    /// first wrapped. Compaction preserves the version (the logical graph does not change).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether any mutation is pending on top of the base CSR.
+    pub fn has_pending_deltas(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// Approximate in-memory size of base CSR + delta overlays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.base.memory_bytes() + self.delta.memory_bytes()
+    }
+
+    // --- mutations (copy-on-write against older clones) ------------------------------------
+
+    /// Append a new vertex carrying `label`, returning its id.
+    pub fn insert_vertex(&mut self, label: VertexLabel) -> VertexId {
+        let v = self.num_vertices() as VertexId;
+        let delta = Arc::make_mut(&mut self.delta);
+        delta.new_vertex_labels.push(label);
+        delta.max_vertex_label = delta.max_vertex_label.max(label.0);
+        self.version += 1;
+        v
+    }
+
+    /// Ensure vertex `v` exists, appending default-labelled vertices as needed. Returns the
+    /// number of vertices created.
+    pub fn ensure_vertex(&mut self, v: VertexId) -> usize {
+        let have = self.num_vertices();
+        let need = v as usize + 1;
+        if need <= have {
+            return 0;
+        }
+        let delta = Arc::make_mut(&mut self.delta);
+        delta
+            .new_vertex_labels
+            .resize(need - self.base.num_vertices(), VertexLabel(0));
+        self.version += 1;
+        need - have
+    }
+
+    /// Insert the directed edge `src -> dst` with label `el`. Both endpoints must exist (use
+    /// [`ensure_vertex`](Snapshot::ensure_vertex) or [`insert_vertex`](Snapshot::insert_vertex)
+    /// first). Returns `false` (and changes nothing) when the edge already exists.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, el: EdgeLabel) -> bool {
+        let n = self.num_vertices();
+        assert!(
+            (src as usize) < n && (dst as usize) < n,
+            "insert_edge: vertex out of bounds ({src} or {dst} >= {n})"
+        );
+        if GraphView::has_edge(self, src, dst, el) {
+            return false;
+        }
+        let sl = self.vertex_label(src);
+        let dl = self.vertex_label(dst);
+        let key = (el, src, dst);
+        let delta = Arc::make_mut(&mut self.delta);
+        if delta.deleted_edges.remove(&key) {
+            // Re-inserting a deleted base edge: cancel the delete.
+            delta.with_part(Direction::Fwd, src, el, dl, |p| {
+                sorted_remove(&mut p.deletes, dst)
+            });
+            delta.with_part(Direction::Bwd, dst, el, sl, |p| {
+                sorted_remove(&mut p.deletes, src)
+            });
+        } else {
+            delta.inserted_edges.insert(key);
+            delta.with_part(Direction::Fwd, src, el, dl, |p| {
+                sorted_insert(&mut p.inserts, dst)
+            });
+            delta.with_part(Direction::Bwd, dst, el, sl, |p| {
+                sorted_insert(&mut p.inserts, src)
+            });
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Delete the directed edge `src -> dst` with label `el`. Returns `false` (and changes
+    /// nothing) when no such edge exists.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId, el: EdgeLabel) -> bool {
+        if !GraphView::has_edge(self, src, dst, el) {
+            return false;
+        }
+        let sl = self.vertex_label(src);
+        let dl = self.vertex_label(dst);
+        let key = (el, src, dst);
+        let delta = Arc::make_mut(&mut self.delta);
+        if delta.inserted_edges.remove(&key) {
+            // Deleting a pending insert: cancel it.
+            delta.with_part(Direction::Fwd, src, el, dl, |p| {
+                sorted_remove(&mut p.inserts, dst)
+            });
+            delta.with_part(Direction::Bwd, dst, el, sl, |p| {
+                sorted_remove(&mut p.inserts, src)
+            });
+        } else {
+            delta.deleted_edges.insert(key);
+            delta.with_part(Direction::Fwd, src, el, dl, |p| {
+                sorted_insert(&mut p.deletes, dst)
+            });
+            delta.with_part(Direction::Bwd, dst, el, sl, |p| {
+                sorted_insert(&mut p.deletes, src)
+            });
+        }
+        self.version += 1;
+        true
+    }
+
+    /// Apply one [`Update`]. Returns whether it changed the graph (vertex insertions always do;
+    /// edge operations are no-ops when the edge already exists / is already gone). Edge updates
+    /// create unknown endpoints on demand with the default vertex label.
+    pub fn apply_update(&mut self, update: &Update) -> bool {
+        match *update {
+            Update::InsertVertex { label } => {
+                self.insert_vertex(label);
+                true
+            }
+            Update::InsertEdge { src, dst, label } => {
+                self.ensure_vertex(src.max(dst));
+                self.insert_edge(src, dst, label)
+            }
+            Update::DeleteEdge { src, dst, label } => self.delete_edge(src, dst, label),
+        }
+    }
+
+    // --- compaction -------------------------------------------------------------------------
+
+    /// Fold the pending deltas into a fresh CSR. The returned graph is observationally
+    /// identical to this snapshot (same vertices, labels and edges) with empty deltas;
+    /// `Snapshot::from(rebuilt)` restarts at version 0, so callers that track versions (the
+    /// `graphflow-core` facade) carry the version over themselves.
+    pub fn rebuild(&self) -> Graph {
+        let mut g = GraphBuilder::from_view(self).build();
+        // The builder derives label counts from the surviving content; preserve this
+        // snapshot's declared label-space widths (e.g. a base label whose last edge was
+        // deleted) so compaction is observationally neutral for them too.
+        g.num_vertex_labels = g.num_vertex_labels.max(GraphView::num_vertex_labels(self));
+        g.num_edge_labels = g.num_edge_labels.max(GraphView::num_edge_labels(self));
+        g.edge_label_ranges
+            .resize(g.num_edge_labels as usize, (0, 0));
+        g
+    }
+
+    /// Replace the base CSR with the compacted graph, dropping all deltas while keeping the
+    /// version number (the logical graph is unchanged). No-op when nothing is pending.
+    pub fn compact(&mut self) {
+        if !self.has_pending_deltas() {
+            return;
+        }
+        self.base = Arc::new(self.rebuild());
+        self.delta = Arc::new(DeltaStore::default());
+    }
+}
+
+impl GraphView for Snapshot {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices() + self.delta.new_vertex_labels.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.delta.inserted_edges.len() - self.delta.deleted_edges.len()
+    }
+
+    #[inline]
+    fn num_vertex_labels(&self) -> u16 {
+        self.base
+            .num_vertex_labels()
+            .max(self.delta.max_vertex_label + 1)
+    }
+
+    #[inline]
+    fn num_edge_labels(&self) -> u16 {
+        self.base
+            .num_edge_labels()
+            .max(self.delta.max_inserted_edge_label().map_or(0, |l| l + 1))
+    }
+
+    #[inline]
+    fn vertex_label(&self, v: VertexId) -> VertexLabel {
+        let nb = self.base.num_vertices();
+        if (v as usize) < nb {
+            self.base.vertex_label(v)
+        } else {
+            self.delta.new_vertex_labels[v as usize - nb]
+        }
+    }
+
+    fn nbrs(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> NbrList<'_> {
+        let base_list: &[VertexId] = if (v as usize) < self.base.num_vertices() {
+            self.base.adj(dir).list(v, el, nl)
+        } else {
+            &[]
+        };
+        if self.delta.is_empty() {
+            return NbrList::Borrowed(base_list);
+        }
+        let Some(overlay) = self.delta.adj(dir).get(&v) else {
+            return NbrList::Borrowed(base_list);
+        };
+        match overlay.part(el, nl) {
+            None => NbrList::Borrowed(base_list),
+            Some(p) => {
+                let mut out = Vec::new();
+                merge_delta(base_list, &p.inserts, &p.deletes, &mut out);
+                NbrList::Merged(out)
+            }
+        }
+    }
+
+    fn degree(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> usize {
+        let base = if (v as usize) < self.base.num_vertices() {
+            self.base.adj(dir).degree(v, el, nl)
+        } else {
+            0
+        };
+        match self.delta.adj(dir).get(&v).and_then(|o| o.part(el, nl)) {
+            Some(p) => base + p.inserts.len() - p.deletes.len(),
+            None => base,
+        }
+    }
+
+    fn has_edge(&self, u: VertexId, v: VertexId, el: EdgeLabel) -> bool {
+        let n = self.num_vertices();
+        if u as usize >= n || v as usize >= n {
+            return false;
+        }
+        if !self.delta.is_empty() {
+            let key = (el, u, v);
+            if self.delta.inserted_edges.contains(&key) {
+                return true;
+            }
+            if self.delta.deleted_edges.contains(&key) {
+                return false;
+            }
+        }
+        // `Graph::has_edge` bounds-checks against the base vertex count itself.
+        self.base.has_edge(u, v, el)
+    }
+
+    fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]> {
+        let base = self.base.edges_with_label(el);
+        if !self.delta.touches_label(el) {
+            return Cow::Borrowed(base);
+        }
+        let range = (el, 0, 0)..=(el, VertexId::MAX, VertexId::MAX);
+        let mut inserts = self.delta.inserted_edges.range(range.clone()).peekable();
+        let mut deletes = self.delta.deleted_edges.range(range).peekable();
+        let mut out = Vec::with_capacity(base.len() + self.delta.inserted_edges.len());
+        // Base edges with one label are sorted by (src, dst), as are the BTreeSet ranges, so a
+        // single merge pass produces the merged SCAN input in order.
+        for &(s, d, l) in base {
+            if deletes.peek() == Some(&&(el, s, d)) {
+                deletes.next();
+                continue;
+            }
+            while let Some(&&(_, is, id)) = inserts.peek() {
+                if (is, id) < (s, d) {
+                    out.push((is, id, el));
+                    inserts.next();
+                } else {
+                    break;
+                }
+            }
+            out.push((s, d, l));
+        }
+        out.extend(inserts.map(|&(_, s, d)| (s, d, el)));
+        Cow::Owned(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_triangle() -> Snapshot {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        Snapshot::from(b.build())
+    }
+
+    fn nbr_vec(s: &Snapshot, v: VertexId, dir: Direction) -> Vec<VertexId> {
+        s.nbrs(v, dir, EdgeLabel(0), VertexLabel(0)).to_vec()
+    }
+
+    #[test]
+    fn clean_snapshot_is_transparent() {
+        let s = base_triangle();
+        assert!(!s.has_pending_deltas());
+        assert_eq!(GraphView::num_vertices(&s), 3);
+        assert_eq!(GraphView::num_edges(&s), 3);
+        assert!(!s
+            .nbrs(0, Direction::Fwd, EdgeLabel(0), VertexLabel(0))
+            .is_merged());
+        assert_eq!(nbr_vec(&s, 0, Direction::Fwd), vec![1, 2]);
+        assert!(matches!(s.scan_edges(EdgeLabel(0)), Cow::Borrowed(_)));
+        assert_eq!(s.version(), 0);
+    }
+
+    #[test]
+    fn insert_and_delete_edges_merge_into_lists() {
+        let mut s = base_triangle();
+        assert!(s.insert_edge(2, 0, EdgeLabel(0)));
+        assert!(
+            !s.insert_edge(2, 0, EdgeLabel(0)),
+            "duplicate insert is a no-op"
+        );
+        assert!(s.delete_edge(0, 1, EdgeLabel(0)));
+        assert!(
+            !s.delete_edge(0, 1, EdgeLabel(0)),
+            "double delete is a no-op"
+        );
+        assert_eq!(s.version(), 2);
+        assert_eq!(GraphView::num_edges(&s), 3);
+        assert_eq!(nbr_vec(&s, 0, Direction::Fwd), vec![2]);
+        assert_eq!(nbr_vec(&s, 2, Direction::Fwd), vec![0]);
+        assert_eq!(nbr_vec(&s, 0, Direction::Bwd), vec![2]);
+        assert!(GraphView::has_edge(&s, 2, 0, EdgeLabel(0)));
+        assert!(!GraphView::has_edge(&s, 0, 1, EdgeLabel(0)));
+        assert_eq!(s.degree(0, Direction::Fwd, EdgeLabel(0), VertexLabel(0)), 1);
+        let scan: Vec<_> = s.scan_edges(EdgeLabel(0)).to_vec();
+        assert_eq!(
+            scan,
+            vec![
+                (0, 2, EdgeLabel(0)),
+                (1, 2, EdgeLabel(0)),
+                (2, 0, EdgeLabel(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn cancelling_updates_restores_fast_path() {
+        let mut s = base_triangle();
+        assert!(s.insert_edge(2, 0, EdgeLabel(0)));
+        assert!(
+            s.delete_edge(2, 0, EdgeLabel(0)),
+            "deleting a pending insert"
+        );
+        assert!(s.delete_edge(0, 1, EdgeLabel(0)));
+        assert!(
+            s.insert_edge(0, 1, EdgeLabel(0)),
+            "re-inserting a deleted base edge"
+        );
+        assert!(!s.has_pending_deltas(), "all updates cancelled out");
+        assert!(!s
+            .nbrs(0, Direction::Fwd, EdgeLabel(0), VertexLabel(0))
+            .is_merged());
+        assert_eq!(nbr_vec(&s, 0, Direction::Fwd), vec![1, 2]);
+        assert_eq!(s.version(), 4, "versions advance even when updates cancel");
+    }
+
+    #[test]
+    fn new_vertices_and_labels() {
+        let mut s = base_triangle();
+        let v = s.insert_vertex(VertexLabel(3));
+        assert_eq!(v, 3);
+        assert_eq!(s.vertex_label(3), VertexLabel(3));
+        assert_eq!(GraphView::num_vertex_labels(&s), 4);
+        assert!(s.insert_edge(0, v, EdgeLabel(2)));
+        assert_eq!(GraphView::num_edge_labels(&s), 3);
+        assert_eq!(
+            s.nbrs(0, Direction::Fwd, EdgeLabel(2), VertexLabel(3))
+                .to_vec(),
+            vec![3]
+        );
+        assert_eq!(
+            s.nbrs(v, Direction::Bwd, EdgeLabel(2), VertexLabel(0))
+                .to_vec(),
+            vec![0]
+        );
+        assert_eq!(s.ensure_vertex(5), 2);
+        assert_eq!(GraphView::num_vertices(&s), 6);
+        assert_eq!(s.vertex_label(5), VertexLabel(0));
+    }
+
+    #[test]
+    fn self_loops_are_supported() {
+        let mut s = base_triangle();
+        assert!(s.insert_edge(1, 1, EdgeLabel(0)));
+        assert!(GraphView::has_edge(&s, 1, 1, EdgeLabel(0)));
+        assert_eq!(nbr_vec(&s, 1, Direction::Fwd), vec![1, 2]);
+        assert_eq!(nbr_vec(&s, 1, Direction::Bwd), vec![0, 1]);
+        assert!(s.delete_edge(1, 1, EdgeLabel(0)));
+        assert!(!s.has_pending_deltas());
+    }
+
+    #[test]
+    fn clones_are_isolated_from_later_mutations() {
+        let mut s = base_triangle();
+        s.insert_edge(2, 0, EdgeLabel(0));
+        let frozen = s.clone();
+        s.delete_edge(2, 0, EdgeLabel(0));
+        s.delete_edge(1, 2, EdgeLabel(0));
+        assert!(GraphView::has_edge(&frozen, 2, 0, EdgeLabel(0)));
+        assert!(GraphView::has_edge(&frozen, 1, 2, EdgeLabel(0)));
+        assert_eq!(GraphView::num_edges(&frozen), 4);
+        assert_eq!(GraphView::num_edges(&s), 2);
+        assert_eq!(frozen.version(), 1);
+        assert_eq!(s.version(), 3);
+    }
+
+    #[test]
+    fn rebuild_round_trips() {
+        let mut s = base_triangle();
+        s.insert_vertex(VertexLabel(1));
+        s.insert_edge(3, 0, EdgeLabel(1));
+        s.insert_edge(2, 2, EdgeLabel(0)); // self-loop
+        s.delete_edge(0, 2, EdgeLabel(0));
+        let rebuilt = s.rebuild();
+        rebuilt.check_invariants().unwrap();
+        assert_eq!(rebuilt.num_vertices(), GraphView::num_vertices(&s));
+        assert_eq!(rebuilt.num_edges(), GraphView::num_edges(&s));
+        for el in 0..GraphView::num_edge_labels(&s) {
+            assert_eq!(
+                rebuilt.edges_with_label(EdgeLabel(el)),
+                &s.scan_edges(EdgeLabel(el))[..],
+                "label {el}"
+            );
+        }
+        // In-place compaction is observationally neutral.
+        let before: Vec<_> = s.scan_edges(EdgeLabel(0)).to_vec();
+        let version = s.version();
+        s.compact();
+        assert!(!s.has_pending_deltas());
+        assert_eq!(s.version(), version);
+        assert_eq!(s.scan_edges(EdgeLabel(0)).to_vec(), before);
+    }
+
+    #[test]
+    fn cancelled_label_inserts_do_not_leak_label_space() {
+        let mut s = base_triangle();
+        assert!(s.insert_edge(2, 0, EdgeLabel(9)));
+        assert_eq!(GraphView::num_edge_labels(&s), 10);
+        assert!(
+            s.delete_edge(2, 0, EdgeLabel(9)),
+            "cancel the pending insert"
+        );
+        assert_eq!(
+            GraphView::num_edge_labels(&s),
+            1,
+            "cancelled insert must not widen the label space"
+        );
+        // And compaction agrees with the live snapshot either way.
+        assert!(s.insert_edge(2, 0, EdgeLabel(4)));
+        let declared = GraphView::num_edge_labels(&s);
+        let rebuilt = s.rebuild();
+        assert_eq!(rebuilt.num_edge_labels(), declared);
+        // Deleting the last edge of a base label keeps the declared width across compaction.
+        let mut t = base_triangle();
+        t.insert_edge(2, 0, EdgeLabel(3));
+        t.compact();
+        t.delete_edge(2, 0, EdgeLabel(3));
+        assert_eq!(GraphView::num_edge_labels(&t), 4);
+        let rebuilt = t.rebuild();
+        assert_eq!(rebuilt.num_edge_labels(), 4);
+        assert!(rebuilt.edges_with_label(EdgeLabel(3)).is_empty());
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_deltas() {
+        let mut s = base_triangle();
+        let clean = s.memory_bytes();
+        s.insert_edge(2, 0, EdgeLabel(0));
+        assert!(s.memory_bytes() > clean);
+    }
+}

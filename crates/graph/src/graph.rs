@@ -1,6 +1,13 @@
 //! The in-memory graph: label-partitioned, sorted, CSR-style adjacency lists in both directions.
+//!
+//! Besides the frozen CSR ([`Graph`]), this module defines the [`GraphView`] abstraction that
+//! the executors and the catalogue matcher run against. `GraphView` is implemented both by
+//! `Graph` itself (every access resolves to a borrowed CSR slice — the static fast path) and by
+//! [`Snapshot`](crate::delta::Snapshot) (CSR + delta overlay), so the same monomorphised
+//! execution code serves frozen and dynamic graphs without a dispatch cost on the frozen path.
 
 use crate::ids::{Direction, EdgeLabel, VertexId, VertexLabel};
+use std::borrow::Cow;
 
 /// One `(edge label, neighbour label)` partition of a vertex's adjacency list.
 ///
@@ -20,7 +27,7 @@ pub(crate) struct Partition {
 /// A single-direction adjacency index (forward or backward) for the whole graph.
 ///
 /// Layout: a CSR over partitions. For each vertex `v`, `part_offsets[v]..part_offsets[v+1]`
-/// indexes into `parts`, where each [`Partition`] names an `(edge label, neighbour label)` pair
+/// indexes into `parts`, where each `Partition` names an `(edge label, neighbour label)` pair
 /// and a contiguous, id-sorted range of `nbrs`.
 #[derive(Debug, Clone, Default)]
 pub struct Adjacency {
@@ -219,8 +226,10 @@ impl Graph {
             .map(|(i, _)| i as VertexId)
     }
 
-    /// Rough number of bytes of the adjacency structures (used in catalogue size reports).
-    pub fn memory_footprint_bytes(&self) -> usize {
+    /// Approximate number of bytes held by this graph's storage structures (both adjacency
+    /// indexes, vertex labels and the sorted edge array), mirroring
+    /// `Catalogue::memory_footprint_bytes` so capacity planning covers both structures.
+    pub fn memory_bytes(&self) -> usize {
         let adj = |a: &Adjacency| {
             a.nbrs.len() * std::mem::size_of::<VertexId>()
                 + a.parts.len() * std::mem::size_of::<Partition>()
@@ -231,6 +240,12 @@ impl Graph {
             + adj(&self.bwd)
             + self.vertex_labels.len() * 2
             + self.edges.len() * std::mem::size_of::<(VertexId, VertexId, EdgeLabel)>()
+    }
+
+    /// Rough number of bytes of the adjacency structures (used in catalogue size reports).
+    /// Alias of [`Graph::memory_bytes`].
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.memory_bytes()
     }
 
     /// Validate internal invariants (sortedness, symmetry of fwd/bwd, counts). Used by tests and
@@ -273,6 +288,177 @@ impl Graph {
             }
         }
         Ok(())
+    }
+}
+
+/// A neighbour list handed out by a [`GraphView`]: either a borrowed CSR slice (the static fast
+/// path — no copy, no allocation) or an owned list merged from a CSR slice and a delta overlay.
+///
+/// Dereferences to `&[VertexId]`, always sorted and duplicate-free.
+#[derive(Debug, Clone)]
+pub enum NbrList<'a> {
+    /// A slice borrowed directly from the CSR (or an empty slice).
+    Borrowed(&'a [VertexId]),
+    /// A list materialised by merging a CSR partition with delta inserts/deletes.
+    Merged(Vec<VertexId>),
+}
+
+impl NbrList<'_> {
+    /// The neighbours as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[VertexId] {
+        match self {
+            NbrList::Borrowed(s) => s,
+            NbrList::Merged(v) => v,
+        }
+    }
+
+    /// Whether this list took the delta-merge path (used by runtime statistics).
+    #[inline]
+    pub fn is_merged(&self) -> bool {
+        matches!(self, NbrList::Merged(_))
+    }
+}
+
+impl std::ops::Deref for NbrList<'_> {
+    type Target = [VertexId];
+
+    #[inline]
+    fn deref(&self) -> &[VertexId] {
+        self.as_slice()
+    }
+}
+
+/// A read view of a directed labelled graph that execution runs against.
+///
+/// Implemented by [`Graph`] (every method resolves to a borrowed CSR slice; the compiler
+/// monomorphises executors against it, so static workloads pay nothing for the abstraction) and
+/// by [`Snapshot`](crate::delta::Snapshot) (CSR base + frozen delta epoch; vertices without
+/// pending deltas still take the borrowed fast path).
+pub trait GraphView: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Number of distinct vertex labels (at least 1).
+    fn num_vertex_labels(&self) -> u16;
+
+    /// Number of distinct edge labels (at least 1).
+    fn num_edge_labels(&self) -> u16;
+
+    /// The label of vertex `v`.
+    fn vertex_label(&self, v: VertexId) -> VertexLabel;
+
+    /// The sorted neighbours of `v` in direction `dir` restricted to the given labels.
+    fn nbrs(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> NbrList<'_>;
+
+    /// Size of the `(dir, el, nl)` adjacency partition of `v`, without materialising a merged
+    /// list (the adaptive executor re-costs orderings with this).
+    fn degree(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> usize;
+
+    /// Whether the directed edge `u -> v` with edge label `el` exists.
+    fn has_edge(&self, u: VertexId, v: VertexId, el: EdgeLabel) -> bool;
+
+    /// The edges carrying label `el`, sorted by `(src, dst)` — the driver SCAN's input.
+    /// Borrowed from the CSR when no deltas are pending for the label.
+    fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]>;
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn num_vertex_labels(&self) -> u16 {
+        Graph::num_vertex_labels(self)
+    }
+
+    #[inline]
+    fn num_edge_labels(&self) -> u16 {
+        Graph::num_edge_labels(self)
+    }
+
+    #[inline]
+    fn vertex_label(&self, v: VertexId) -> VertexLabel {
+        Graph::vertex_label(self, v)
+    }
+
+    #[inline]
+    fn nbrs(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> NbrList<'_> {
+        NbrList::Borrowed(self.adj(dir).list(v, el, nl))
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> usize {
+        self.adj(dir).degree(v, el, nl)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId, el: EdgeLabel) -> bool {
+        Graph::has_edge(self, u, v, el)
+    }
+
+    #[inline]
+    fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]> {
+        Cow::Borrowed(self.edges_with_label(el))
+    }
+}
+
+/// Shared-ownership handles view the same graph (lets call sites pass `&Arc<Graph>` or
+/// `&Snapshot` clones to the generic executors without re-borrowing).
+impl<G: GraphView + Send> GraphView for std::sync::Arc<G> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    #[inline]
+    fn num_vertex_labels(&self) -> u16 {
+        (**self).num_vertex_labels()
+    }
+
+    #[inline]
+    fn num_edge_labels(&self) -> u16 {
+        (**self).num_edge_labels()
+    }
+
+    #[inline]
+    fn vertex_label(&self, v: VertexId) -> VertexLabel {
+        (**self).vertex_label(v)
+    }
+
+    #[inline]
+    fn nbrs(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> NbrList<'_> {
+        (**self).nbrs(v, dir, el, nl)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId, dir: Direction, el: EdgeLabel, nl: VertexLabel) -> usize {
+        (**self).degree(v, dir, el, nl)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId, el: EdgeLabel) -> bool {
+        (**self).has_edge(u, v, el)
+    }
+
+    #[inline]
+    fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]> {
+        (**self).scan_edges(el)
     }
 }
 
@@ -341,6 +527,22 @@ mod tests {
     #[test]
     fn memory_footprint_positive() {
         let g = triangle();
-        assert!(g.memory_footprint_bytes() > 0);
+        assert!(g.memory_bytes() > 0);
+        assert_eq!(g.memory_footprint_bytes(), g.memory_bytes());
+    }
+
+    #[test]
+    fn graph_view_on_csr_always_borrows() {
+        use crate::graph::GraphView;
+        let g = triangle();
+        let l = g.nbrs(0, Direction::Fwd, EdgeLabel(0), VertexLabel(0));
+        assert!(!l.is_merged());
+        assert_eq!(&*l, &[1, 2]);
+        assert_eq!(g.degree(0, Direction::Fwd, EdgeLabel(0), VertexLabel(0)), 2);
+        assert!(matches!(
+            g.scan_edges(EdgeLabel(0)),
+            std::borrow::Cow::Borrowed(_)
+        ));
+        assert!(GraphView::has_edge(&g, 0, 1, EdgeLabel(0)));
     }
 }

@@ -94,25 +94,75 @@ pub fn multiway_intersect(
     out: &mut Vec<VertexId>,
     scratch: &mut Vec<VertexId>,
 ) {
+    multiway_intersect_views(lists, out, scratch)
+}
+
+/// [`multiway_intersect`] over any slice-like list type (anything that derefs to
+/// `[VertexId]`, e.g. [`NbrList`](crate::graph::NbrList)). The executors call this with their
+/// `Vec<NbrList>` directly, so the hot E/I path does not build a second vector of slice
+/// references just to adapt types.
+pub fn multiway_intersect_views<L>(
+    lists: &[L],
+    out: &mut Vec<VertexId>,
+    scratch: &mut Vec<VertexId>,
+) where
+    L: std::ops::Deref<Target = [VertexId]>,
+{
     out.clear();
     match lists.len() {
         0 => {}
-        1 => out.extend_from_slice(lists[0]),
-        2 => intersect_sorted_into(lists[0], lists[1], out),
+        1 => out.extend_from_slice(&lists[0]),
+        2 => intersect_sorted_into(&lists[0], &lists[1], out),
         _ => {
             // Order by length so the running intersection shrinks as fast as possible.
             let mut order: Vec<usize> = (0..lists.len()).collect();
             order.sort_unstable_by_key(|&i| lists[i].len());
-            intersect_sorted_into(lists[order[0]], lists[order[1]], out);
+            intersect_sorted_into(&lists[order[0]], &lists[order[1]], out);
             for &i in &order[2..] {
                 if out.is_empty() {
                     return;
                 }
                 std::mem::swap(out, scratch);
-                intersect_sorted_into(scratch, lists[i], out);
+                intersect_sorted_into(scratch, &lists[i], out);
             }
         }
     }
+}
+
+/// Merge a sorted base list with a sorted delta overlay: emit `(base \ deletes) ∪ inserts` into
+/// `out`, sorted. This is the merge-aware neighbour iteration behind
+/// [`Snapshot::nbrs`](crate::delta::Snapshot): the dynamic-graph overlay keeps per-partition
+/// inserts and deletes sorted exactly so this stays a single linear pass feeding the
+/// intersection kernels above.
+///
+/// Invariants assumed (and maintained by the delta store): `inserts ∩ base = ∅`,
+/// `deletes ⊆ base`, `inserts ∩ deletes = ∅`, all inputs strictly sorted.
+pub fn merge_delta(
+    base: &[VertexId],
+    inserts: &[VertexId],
+    deletes: &[VertexId],
+    out: &mut Vec<VertexId>,
+) {
+    out.clear();
+    out.reserve(base.len() + inserts.len() - deletes.len().min(base.len()));
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < base.len() {
+        let b = base[i];
+        // Drop deleted base entries.
+        if k < deletes.len() && deletes[k] == b {
+            k += 1;
+            i += 1;
+            continue;
+        }
+        // Emit inserts that sort before the next surviving base entry.
+        while j < inserts.len() && inserts[j] < b {
+            out.push(inserts[j]);
+            j += 1;
+        }
+        out.push(b);
+        i += 1;
+    }
+    out.extend_from_slice(&inserts[j..]);
 }
 
 /// Naive reference intersection used by tests and property checks.
@@ -195,6 +245,48 @@ mod tests {
         let mut scratch = Vec::new();
         multiway_intersect(&[], &mut out, &mut scratch);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_delta_basic() {
+        let mut out = Vec::new();
+        merge_delta(&[2, 4, 6, 8], &[1, 5, 9], &[4, 8], &mut out);
+        assert_eq!(out, vec![1, 2, 5, 6, 9]);
+        merge_delta(&[], &[3, 7], &[], &mut out);
+        assert_eq!(out, vec![3, 7]);
+        merge_delta(&[1, 2, 3], &[], &[1, 2, 3], &mut out);
+        assert!(out.is_empty());
+        merge_delta(&[1, 2, 3], &[], &[], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn prop_merge_delta_equals_set_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        for _ in 0..200 {
+            let base = random_sorted_list(&mut rng, 200, 60);
+            // deletes ⊆ base, inserts ∩ base = ∅.
+            let deletes: Vec<u32> = base
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_range(0..3u32) == 0)
+                .collect();
+            let inserts = {
+                let mut l = random_sorted_list(&mut rng, 200, 40);
+                l.retain(|v| base.binary_search(v).is_err());
+                l
+            };
+            let mut out = Vec::new();
+            merge_delta(&base, &inserts, &deletes, &mut out);
+            let mut expected: Vec<u32> = base
+                .iter()
+                .copied()
+                .filter(|v| deletes.binary_search(v).is_err())
+                .chain(inserts.iter().copied())
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(out, expected);
+        }
     }
 
     // Randomised property checks over seeded inputs (deterministic, no external test harness).

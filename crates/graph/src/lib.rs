@@ -18,8 +18,15 @@
 //! sorted-set intersection kernels ([`intersect`]), synthetic graph generators used to stand in
 //! for the paper's SNAP datasets ([`generator`]), an edge-list loader ([`loader`]) and basic
 //! structural statistics ([`stats`]) used by the dataset profiles and by tests.
+//!
+//! On top of the frozen CSR, [`delta`] adds the **dynamic-graph subsystem**: a per-vertex
+//! sorted insert/delete overlay store and an `Arc`-based [`Snapshot`] type that freezes one
+//! delta epoch. Both the CSR and snapshots implement [`GraphView`], the read abstraction the
+//! executors are compiled against, so static workloads keep their borrowed-slice fast paths
+//! while updated vertices transparently take a [`merge_delta`] pass.
 
 pub mod builder;
+pub mod delta;
 pub mod generator;
 pub mod graph;
 pub mod ids;
@@ -28,9 +35,13 @@ pub mod loader;
 pub mod stats;
 
 pub use builder::GraphBuilder;
-pub use graph::{Adjacency, Graph};
+pub use delta::{DeltaStore, Snapshot, Update};
+pub use graph::{Adjacency, Graph, GraphView, NbrList};
 pub use ids::{Direction, EdgeLabel, VertexId, VertexLabel};
-pub use intersect::{intersect_sorted, intersect_sorted_into, multiway_intersect};
+pub use intersect::{
+    intersect_sorted, intersect_sorted_into, merge_delta, multiway_intersect,
+    multiway_intersect_views,
+};
 
 /// Convenience alias for an edge list `(source, destination)` used by generators and loaders.
 pub type EdgeList = Vec<(VertexId, VertexId)>;

@@ -12,36 +12,92 @@ use crate::ids::{EdgeLabel, VertexId, VertexLabel};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, BufReader, Read};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Errors produced while parsing edge-list input.
+///
+/// Both variants carry the path of the file being loaded when one is known (reading from a
+/// plain `Read`er leaves it `None`), so a failure in a pipeline loading many files names the
+/// culprit.
 #[derive(Debug)]
 pub enum LoadError {
-    Io(std::io::Error),
-    Parse { line: usize, content: String },
+    /// An I/O failure while opening or reading the input.
+    Io {
+        path: Option<PathBuf>,
+        source: std::io::Error,
+    },
+    /// A line that is not `src dst [edge_label]`.
+    Parse {
+        path: Option<PathBuf>,
+        line: usize,
+        content: String,
+    },
+}
+
+impl LoadError {
+    /// Attach a file path to an error that was produced without one.
+    fn with_path(self, p: &Path) -> Self {
+        match self {
+            LoadError::Io { source, .. } => LoadError::Io {
+                path: Some(p.to_path_buf()),
+                source,
+            },
+            LoadError::Parse { line, content, .. } => LoadError::Parse {
+                path: Some(p.to_path_buf()),
+                line,
+                content,
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LoadError::Io(e) => write!(f, "i/o error: {e}"),
-            LoadError::Parse { line, content } => {
-                write!(f, "parse error on line {line}: {content:?}")
-            }
+            LoadError::Io {
+                path: Some(p),
+                source,
+            } => write!(f, "i/o error in {}: {source}", p.display()),
+            LoadError::Io { path: None, source } => write!(f, "i/o error: {source}"),
+            LoadError::Parse {
+                path: Some(p),
+                line,
+                content,
+            } => write!(
+                f,
+                "parse error in {} on line {line}: {content:?}",
+                p.display()
+            ),
+            LoadError::Parse {
+                path: None,
+                line,
+                content,
+            } => write!(f, "parse error on line {line}: {content:?}"),
         }
     }
 }
 
-impl std::error::Error for LoadError {}
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io { source, .. } => Some(source),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for LoadError {
     fn from(e: std::io::Error) -> Self {
-        LoadError::Io(e)
+        LoadError::Io {
+            path: None,
+            source: e,
+        }
     }
 }
 
 /// Parse an edge list from a reader. Lines are `src dst [edge_label]`, `#`-prefixed lines and
-/// blank lines are skipped. Vertex ids need not be contiguous; they are used verbatim.
+/// blank lines are skipped, and Windows-style `\r\n` line endings are tolerated. Vertex ids
+/// need not be contiguous; they are used verbatim.
 pub fn parse_edge_list<R: Read>(
     reader: R,
 ) -> Result<Vec<(VertexId, VertexId, EdgeLabel)>, LoadError> {
@@ -49,12 +105,15 @@ pub fn parse_edge_list<R: Read>(
     let mut edges = Vec::new();
     for (i, line) in buf.lines().enumerate() {
         let line = line?;
-        let trimmed = line.trim();
+        // `BufRead::lines` strips a trailing CRLF, but stray carriage returns (e.g. a CR-only
+        // file, or CRLF content read through a transform) still need trimming.
+        let trimmed = line.trim_end_matches('\r').trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
         }
         let mut it = trimmed.split_whitespace();
         let parse_err = || LoadError::Parse {
+            path: None,
             line: i + 1,
             content: trimmed.to_string(),
         };
@@ -77,10 +136,11 @@ pub fn parse_edge_list<R: Read>(
     Ok(edges)
 }
 
-/// Load a graph from an edge-list file on disk (SNAP format).
+/// Load a graph from an edge-list file on disk (SNAP format). Errors name the offending file.
 pub fn load_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
-    let file = std::fs::File::open(path)?;
-    let edges = parse_edge_list(file)?;
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| LoadError::from(e).with_path(path))?;
+    let edges = parse_edge_list(file).map_err(|e| e.with_path(path))?;
     Ok(graph_from_labelled_edges(&edges))
 }
 
@@ -160,6 +220,32 @@ mod tests {
         assert!(parse_edge_list(input.as_bytes()).is_err());
         let input2 = "0\n";
         assert!(parse_edge_list(input2.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn tolerates_crlf_line_endings() {
+        let input = "# comment\r\n0 1\r\n1 2 3\r\n\r\n2 0\r\n";
+        let edges = parse_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[1], (1, 2, EdgeLabel(3)));
+    }
+
+    #[test]
+    fn file_errors_name_the_path() {
+        let err = load_edge_list_file("/definitely/not/a/real/file.txt").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("/definitely/not/a/real/file.txt"), "{msg}");
+        assert!(matches!(err, LoadError::Io { path: Some(_), .. }));
+
+        let dir = std::env::temp_dir().join("graphflow_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad_edges.txt");
+        std::fs::write(&bad, "0 1\r\nnot numbers\r\n").unwrap();
+        let err = load_edge_list_file(&bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad_edges.txt"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

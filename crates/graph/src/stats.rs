@@ -24,6 +24,10 @@ pub struct GraphStats {
     pub clustering_coefficient: f64,
     /// Fraction of directed edges whose reverse edge also exists.
     pub reciprocity: f64,
+    /// Approximate in-memory size of the graph's storage structures
+    /// ([`Graph::memory_bytes`]), mirroring `Catalogue::memory_footprint_bytes` so capacity
+    /// planning covers both structures.
+    pub memory_bytes: usize,
 }
 
 /// Compute summary statistics (exact; intended for the small graphs used in tests and reports).
@@ -49,6 +53,7 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
         in_degree_skew: if avg > 0.0 { max_in as f64 / avg } else { 0.0 },
         clustering_coefficient: global_clustering_coefficient(g),
         reciprocity: reciprocity(g),
+        memory_bytes: g.memory_bytes(),
     }
 }
 
@@ -216,5 +221,7 @@ mod tests {
         assert_eq!(s.max_in_degree, 3);
         assert!((s.avg_degree - 3.0).abs() < 1e-9);
         assert!((s.reciprocity - 1.0).abs() < 1e-9);
+        assert_eq!(s.memory_bytes, g.memory_bytes());
+        assert!(s.memory_bytes > 0);
     }
 }

@@ -7,7 +7,7 @@
 //! Most users only need the facade: build a [`GraphflowDB`], then
 //! [`prepare`](GraphflowDB::prepare) patterns once and rerun them — planning is amortized
 //! through an LRU plan cache keyed on the canonical query form — or stream unbounded result
-//! sets through a [`MatchSink`](graphflow_core::MatchSink):
+//! sets through a [`MatchSink`]:
 //!
 //! ```
 //! use graphflow_rs::{GraphflowDB, QueryOptions};
@@ -26,6 +26,23 @@
 //! assert_eq!(parallel.count, 1);
 //! ```
 //!
+//! The graph is **dynamic**: `GraphflowDB::insert_edge` / `delete_edge` /
+//! [`apply_batch`](GraphflowDB::apply_batch) mutate a delta store layered over the frozen CSR,
+//! queries run against isolated [`Snapshot`](graph::Snapshot)s, and compaction folds deltas
+//! back into a fresh CSR:
+//!
+//! ```
+//! use graphflow_rs::GraphflowDB;
+//! use graphflow_rs::graph::{EdgeLabel, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! let mut db = GraphflowDB::from_graph(b.build());
+//! assert!(db.insert_edge(0, 2, EdgeLabel(0))); // close the triangle
+//! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 1);
+//! ```
+//!
 //! The workspace's substrate layers are re-exported under one roof:
 //!
 //! * [`graph`] — storage (label-partitioned sorted adjacency lists), generators, loaders;
@@ -36,8 +53,8 @@
 //!   selection, parallelism);
 //! * [`baselines`] — the naive binary-join engine and the CFL-style backtracking matcher;
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets;
-//! * [`core`] — the [`GraphflowDB`](graphflow_core::GraphflowDB) facade (prepared queries,
-//!   plan cache, builder-style options, unified [`Error`](graphflow_core::Error)).
+//! * [`core`] — the [`GraphflowDB`] facade (prepared queries,
+//!   plan cache, builder-style options, unified [`Error`]).
 
 pub use graphflow_baselines as baselines;
 pub use graphflow_catalog as catalog;

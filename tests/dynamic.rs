@@ -1,0 +1,226 @@
+//! Update/rebuild equivalence properties of the dynamic graph subsystem.
+//!
+//! The central invariant: after any sequence of random inserts and deletes (self-loops and
+//! duplicate/no-op updates included), queries against the live snapshot return exactly what
+//! they return on a graph rebuilt from scratch out of the merged edge set — and `compact()`
+//! changes nothing observable.
+
+use graphflow_catalog::count_matches;
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_graph::{EdgeLabel, Graph, GraphBuilder, GraphView, Update, VertexLabel};
+use graphflow_query::parse_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The model: the set of edges that should exist, maintained with plain set arithmetic.
+type EdgeSet = BTreeSet<(u32, u32, u16)>;
+
+fn reference_graph(num_vertices: usize, edges: &EdgeSet) -> Graph {
+    let mut b = GraphBuilder::with_vertices(num_vertices);
+    for &(s, d, l) in edges {
+        b.add_labelled_edge(s, d, EdgeLabel(l));
+    }
+    b.build()
+}
+
+const PATTERNS: &[&str] = &[
+    "(a)->(b), (b)->(c), (a)->(c)",
+    "(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)",
+    "(a)->(b), (b)->(c)",
+    "(a)->(b), (b)->(a)",
+];
+
+/// Assert every pattern counts identically on the live database and on a from-scratch rebuild.
+fn assert_equivalent(db: &GraphflowDB, num_vertices: usize, model: &EdgeSet, context: &str) {
+    let rebuilt = reference_graph(num_vertices, model);
+    rebuilt.check_invariants().unwrap();
+    let snap = db.snapshot();
+    assert_eq!(snap.num_edges(), model.len(), "{context}: edge count");
+    assert_eq!(snap.num_vertices(), num_vertices, "{context}: vertex count");
+    for pattern in PATTERNS {
+        let q = parse_query(pattern).unwrap();
+        let expected = count_matches(&rebuilt, &q);
+        assert_eq!(
+            db.count(pattern).unwrap(),
+            expected,
+            "{context}: pattern {pattern}"
+        );
+        // The snapshot handle answers the reference matcher identically.
+        assert_eq!(
+            count_matches(&snap, &q),
+            expected,
+            "{context}: snapshot matcher {pattern}"
+        );
+    }
+}
+
+#[test]
+fn random_update_sequences_match_from_scratch_rebuilds() {
+    for seed in [1u64, 7, 1234] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut num_vertices = 24usize;
+        let mut model: EdgeSet = EdgeSet::new();
+        let mut b = GraphBuilder::with_vertices(num_vertices);
+        for _ in 0..70 {
+            let s = rng.gen_range(0..num_vertices as u32);
+            let d = rng.gen_range(0..num_vertices as u32);
+            b.add_edge(s, d);
+            model.insert((s, d, 0));
+        }
+        // Disable auto-compaction so rounds genuinely accumulate deltas over the base CSR.
+        let mut db = GraphflowDB::builder(b.build())
+            .compact_threshold(usize::MAX)
+            .build();
+
+        for round in 0..6 {
+            let mut batch = Vec::new();
+            for _ in 0..15 {
+                let n = num_vertices as u32;
+                match rng.gen_range(0..10u32) {
+                    // Insert a random edge — possibly a self-loop or an existing duplicate.
+                    0..=4 => {
+                        let (src, dst) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                        batch.push(Update::InsertEdge {
+                            src,
+                            dst,
+                            label: EdgeLabel(0),
+                        });
+                        model.insert((src, dst, 0));
+                    }
+                    // Delete a random existing edge (or a miss when the model is empty).
+                    5..=8 => {
+                        if let Some(&(src, dst, l)) = {
+                            let skip = if model.is_empty() {
+                                0
+                            } else {
+                                rng.gen_range(0..model.len())
+                            };
+                            model.iter().nth(skip)
+                        } {
+                            batch.push(Update::DeleteEdge {
+                                src,
+                                dst,
+                                label: EdgeLabel(l),
+                            });
+                            model.remove(&(src, dst, l));
+                        } else {
+                            // Empty model: delete a definitely-missing edge (a no-op).
+                            batch.push(Update::DeleteEdge {
+                                src: 0,
+                                dst: 1,
+                                label: EdgeLabel(0),
+                            });
+                        }
+                    }
+                    // Occasionally grow the vertex set.
+                    _ => {
+                        batch.push(Update::InsertVertex {
+                            label: VertexLabel(0),
+                        });
+                        num_vertices += 1;
+                    }
+                }
+            }
+            // Replay the first insert at the end of the batch: a duplicate no-op unless a
+            // mid-batch delete removed that edge, in which case it is a genuine re-insert —
+            // the model replays it either way.
+            if let Some(first @ Update::InsertEdge { src, dst, label }) = batch.first().copied() {
+                batch.push(first);
+                model.insert((src, dst, label.0));
+            }
+            db.apply_batch(&batch);
+            assert_equivalent(
+                &db,
+                num_vertices,
+                &model,
+                &format!("seed {seed} round {round}"),
+            );
+        }
+
+        // Compaction must be results-neutral.
+        assert!(db.snapshot().has_pending_deltas() || model.is_empty());
+        db.compact();
+        assert!(!db.snapshot().has_pending_deltas());
+        assert_equivalent(
+            &db,
+            num_vertices,
+            &model,
+            &format!("seed {seed} post-compact"),
+        );
+    }
+}
+
+#[test]
+fn executors_agree_on_dirty_snapshots() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let edges = graphflow_graph::generator::powerlaw_cluster(250, 4, 0.5, 31);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    let mut db = GraphflowDB::builder(b.build())
+        .compact_threshold(usize::MAX)
+        .build();
+    // Churn ~10% of the graph so plenty of vertices carry overlays.
+    let victims: Vec<_> = db.graph().edges().to_vec();
+    for &(s, d, l) in victims.iter().take(40) {
+        db.delete_edge(s, d, l);
+    }
+    let n = db.graph().num_vertices() as u32;
+    for _ in 0..40 {
+        let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        db.insert_edge(s, d, EdgeLabel(0));
+    }
+    assert!(db.snapshot().has_pending_deltas());
+
+    for pattern in PATTERNS {
+        let serial = db.run(pattern, QueryOptions::default()).unwrap();
+        let adaptive = db.run(pattern, QueryOptions::new().adaptive(true)).unwrap();
+        let parallel = db.run(pattern, QueryOptions::new().threads(4)).unwrap();
+        assert_eq!(serial.count, adaptive.count, "{pattern}");
+        assert_eq!(serial.count, parallel.count, "{pattern}");
+    }
+
+    // Tuple-level equivalence for the triangle: live snapshot vs rebuilt graph.
+    let q = parse_query(PATTERNS[0]).unwrap();
+    let mut live = db
+        .run(PATTERNS[0], QueryOptions::new().collect_tuples(true))
+        .unwrap()
+        .tuples;
+    let rebuilt = GraphBuilder::from_view(&db.snapshot()).build();
+    let mut reference = graphflow_catalog::enumerate_matches(&rebuilt, &q);
+    live.sort_unstable();
+    reference.sort_unstable();
+    assert_eq!(live, reference);
+}
+
+#[test]
+fn self_loops_and_duplicates_round_trip() {
+    let mut b = GraphBuilder::with_vertices(4);
+    b.add_edge(0, 1);
+    b.add_edge(1, 1); // base self-loop, kept by the builder
+    let mut db = GraphflowDB::builder(b.build())
+        .compact_threshold(usize::MAX)
+        .build();
+
+    assert!(db.insert_edge(2, 2, EdgeLabel(0)), "delta self-loop");
+    assert!(
+        !db.insert_edge(1, 1, EdgeLabel(0)),
+        "duplicate of a base self-loop"
+    );
+    assert!(
+        !db.insert_edge(0, 1, EdgeLabel(0)),
+        "duplicate of a base edge"
+    );
+    assert!(
+        db.delete_edge(1, 1, EdgeLabel(0)),
+        "delete a base self-loop"
+    );
+    assert!(!db.delete_edge(1, 1, EdgeLabel(0)), "double delete");
+
+    let model: EdgeSet = [(0, 1, 0), (2, 2, 0)].into_iter().collect();
+    assert_equivalent(&db, 4, &model, "self-loops");
+
+    db.compact();
+    assert_equivalent(&db, 4, &model, "self-loops post-compact");
+    db.graph().check_invariants().unwrap();
+}
