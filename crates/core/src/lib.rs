@@ -103,6 +103,51 @@
 //! ([`staleness_threshold`](GraphflowDBBuilder::staleness_threshold)) stale plans are
 //! re-optimized instead of reused ([`PlanCacheStats::invalidations`] counts these).
 //!
+//! ## Typed properties and predicate pushdown
+//!
+//! Vertices and edges carry **typed properties** (int, float, bool, string — see
+//! [`PropValue`]), written through the
+//! [`GraphBuilder`](graphflow_graph::GraphBuilder), the loader's `key=value` columns, or the
+//! live-update APIs ([`set_vertex_prop`](GraphflowDB::set_vertex_prop),
+//! [`set_edge_prop`](GraphflowDB::set_edge_prop),
+//! [`insert_vertex_with_props`](GraphflowDB::insert_vertex_with_props), property
+//! [`Update`]s in [`apply_batch`](GraphflowDB::apply_batch)). Queries filter on
+//! them with a `WHERE` clause of comparisons joined by `AND`; predicates are **pushed into the
+//! compiled pipeline** — evaluated at the SCAN, during E/I extension, and while materialising
+//! hash-join build sides, as early as the bound variables allow — rather than post-filtering
+//! full matches, and the optimizer folds per-predicate selectivity into its cost model. The
+//! plan cache canonicalizes predicate *constants* away, so `age > 30` and `age > 50` over the
+//! same shape share one optimized plan:
+//!
+//! ```
+//! use graphflow_core::GraphflowDB;
+//! use graphflow_graph::{GraphBuilder, PropValue};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(0, 2);
+//! for v in 0..3 {
+//!     b.set_vertex_prop(v, "age", PropValue::Int(25 + 10 * v as i64)).unwrap();
+//! }
+//! b.set_edge_prop(0, 1, graphflow_graph::EdgeLabel(0), "weight", PropValue::Float(0.8))
+//!     .unwrap();
+//! let db = GraphflowDB::from_graph(b.build());
+//!
+//! let triangle = "(a)-[e]->(b), (b)->(c), (a)->(c)";
+//! assert_eq!(
+//!     db.count(&format!("{triangle} WHERE a.age <= 30 AND e.weight > 0.5")).unwrap(),
+//!     1
+//! );
+//! assert_eq!(
+//!     db.count(&format!("{triangle} WHERE a.age <= 20 AND e.weight > 0.1")).unwrap(),
+//!     0
+//! );
+//! // Structurally equal predicates share one plan: only the constants differ.
+//! assert_eq!(db.plan_cache_stats().misses, 1);
+//! assert_eq!(db.plan_cache_stats().hits, 1);
+//! ```
+//!
 //! ## Execution options
 //!
 //! [`QueryOptions`] is a fluent builder covering every execution mode studied in the paper —
@@ -118,11 +163,15 @@ use graphflow_catalog::{Catalogue, CatalogueConfig};
 use graphflow_exec::{
     execute_adaptive_with_sink, execute_parallel_with_sink, execute_with_sink, ExecOptions,
 };
-use graphflow_graph::{EdgeLabel, Graph, GraphView, Snapshot, Update, VertexId, VertexLabel};
+use graphflow_graph::{
+    EdgeLabel, Graph, GraphView, PropError, PropValue, Snapshot, Update, VertexId, VertexLabel,
+};
 use graphflow_plan::cost::CostModel;
 use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
 use graphflow_plan::{Plan, PlanClass, PlanHandle};
-use graphflow_query::{canonical_form, parse_query, QueryGraph};
+use graphflow_query::{
+    canonical_form, parse_query, CanonicalCode, PredTarget, Predicate, QueryGraph,
+};
 use std::sync::Arc;
 
 mod options;
@@ -167,6 +216,10 @@ pub enum Error {
     /// The requested combination of [`QueryOptions`] is not executable (for example
     /// `adaptive(true)` together with `threads(4)`).
     InvalidOptions(String),
+    /// A property write failed (type mismatch against an existing column, or the addressed
+    /// vertex/edge does not exist); the underlying [`PropError`] is the
+    /// [`source`](std::error::Error::source).
+    Property(PropError),
 }
 
 impl std::fmt::Display for Error {
@@ -181,6 +234,7 @@ impl std::fmt::Display for Error {
                 "no plan found for the query in the configured plan space"
             ),
             Error::InvalidOptions(msg) => write!(f, "invalid query options: {msg}"),
+            Error::Property(_) => write!(f, "property write rejected"),
         }
     }
 }
@@ -189,6 +243,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Parse(e) => Some(e),
+            Error::Property(e) => Some(e),
             _ => None,
         }
     }
@@ -197,6 +252,12 @@ impl std::error::Error for Error {
 impl From<graphflow_query::ParseError> for Error {
     fn from(e: graphflow_query::ParseError) -> Self {
         Error::Parse(e)
+    }
+}
+
+impl From<PropError> for Error {
+    fn from(e: PropError) -> Self {
+        Error::Property(e)
     }
 }
 
@@ -437,18 +498,74 @@ impl GraphflowDB {
         true
     }
 
+    /// Set the typed property `key = value` on vertex `v`. The column's type is fixed by its
+    /// first value; conflicting writes return [`Error::Property`].
+    pub fn set_vertex_prop(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), Error> {
+        self.snapshot.set_vertex_prop(v, key, value)?;
+        self.finish_updates(1);
+        Ok(())
+    }
+
+    /// Set the typed property `key = value` on the (existing) edge `src -> dst` carrying
+    /// `label`.
+    pub fn set_edge_prop(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), Error> {
+        self.snapshot.set_edge_prop(src, dst, label, key, value)?;
+        self.finish_updates(1);
+        Ok(())
+    }
+
+    /// Append a new vertex carrying `label` and an initial set of typed properties, returning
+    /// its id. The vertex is created even if a property write fails (the error reports the
+    /// first failing write).
+    pub fn insert_vertex_with_props(
+        &mut self,
+        label: VertexLabel,
+        props: &[(&str, PropValue)],
+    ) -> Result<VertexId, Error> {
+        let v = self.insert_vertex(label);
+        for (key, value) in props {
+            self.set_vertex_prop(v, key, value.clone())?;
+        }
+        Ok(v)
+    }
+
     /// Apply a batch of [`Update`]s in order, returning how many changed the graph (edge
-    /// inserts of existing edges and deletes of missing edges are no-ops).
+    /// inserts of existing edges, deletes of missing edges, and property writes that fail
+    /// their type/existence checks are no-ops).
     pub fn apply_batch(&mut self, updates: &[Update]) -> usize {
         let mut applied = 0usize;
         for u in updates {
-            let changed = match *u {
+            let changed = match u {
                 Update::InsertVertex { label } => {
-                    self.insert_vertex(label);
+                    self.insert_vertex(*label);
                     true
                 }
-                Update::InsertEdge { src, dst, label } => self.insert_edge(src, dst, label),
-                Update::DeleteEdge { src, dst, label } => self.delete_edge(src, dst, label),
+                Update::InsertEdge { src, dst, label } => self.insert_edge(*src, *dst, *label),
+                Update::DeleteEdge { src, dst, label } => self.delete_edge(*src, *dst, *label),
+                Update::SetVertexProp { v, key, value } => {
+                    self.set_vertex_prop(*v, key, value.clone()).is_ok()
+                }
+                Update::SetEdgeProp {
+                    src,
+                    dst,
+                    label,
+                    key,
+                    value,
+                } => self
+                    .set_edge_prop(*src, *dst, *label, key, value.clone())
+                    .is_ok(),
             };
             if changed {
                 applied += 1;
@@ -619,6 +736,12 @@ impl GraphflowDB {
     /// (`map[plan query vertex] = query vertex`, present when the cached plan was optimized
     /// for an isomorphic twin with different vertex numbering), and whether this was a hit.
     ///
+    /// Cache keys are the **pattern's** canonical code plus the canonicalised *structure* of
+    /// the `WHERE` clause — targets, keys, operators and literal types, with the literal
+    /// constants normalised away. Two structurally-equal queries that differ only in constants
+    /// (`age > 30` vs `age > 50`) therefore share one optimized plan; on a hit the current
+    /// query's constants are grafted onto the cached plan before execution.
+    ///
     /// Canonicalisation is brute force over vertex permutations, so queries larger than
     /// [`graphflow_query::MAX_CANONICAL_VERTICES`] bypass the cache and are optimized
     /// directly — correct, just not amortized. A cheap exact-form index in front of the
@@ -630,11 +753,16 @@ impl GraphflowDB {
         if query.num_vertices() > graphflow_query::MAX_CANONICAL_VERTICES {
             return Ok((Arc::new(self.plan(query)?), None, false));
         }
-        let exact = graphflow_query::exact_code(query);
+        let identity: Vec<usize> = (0..query.num_vertices()).collect();
+        let mut exact = graphflow_query::exact_code(query);
+        exact.extend(graphflow_query::predicate_structure_code(query, &identity));
         let (code, perm) = match self.plan_cache.canonical_for_exact(&exact) {
             Some(known) => known,
             None => {
-                let (code, perm) = canonical_form(query);
+                let (pattern_code, perm) = canonical_form(query);
+                let mut full = pattern_code.0;
+                full.extend(graphflow_query::predicate_structure_code(query, &perm));
+                let code = CanonicalCode(full);
                 self.plan_cache
                     .remember_exact(exact, code.clone(), perm.clone());
                 (code, perm)
@@ -648,6 +776,7 @@ impl GraphflowDB {
             }
             let remap: Vec<usize> = cached_perm.iter().map(|&pos| inverse[pos]).collect();
             let identity = remap.iter().enumerate().all(|(i, &v)| i == v);
+            let plan = graft_predicates(plan, query, &remap);
             return Ok((plan, (!identity).then_some(remap), true));
         }
         let plan: PlanHandle = Arc::new(self.plan(query)?);
@@ -753,6 +882,56 @@ impl GraphflowDB {
             execute_with_sink(&self.snapshot, plan, exec_options, sink)
         }
     }
+}
+
+/// Graft `query`'s predicate constants onto a cached plan optimized for a structurally-equal
+/// twin. `remap[plan query vertex] = our query vertex`; our predicates are translated into the
+/// plan's vertex/edge numbering and substituted into the plan's query, so the compiled pipeline
+/// pushes down *this* query's constants. When the mapped predicates already equal the cached
+/// ones (the common repeated-query case), the shared handle is returned untouched.
+fn graft_predicates(plan: PlanHandle, query: &QueryGraph, remap: &[usize]) -> PlanHandle {
+    if !query.has_predicates() && !plan.query.has_predicates() {
+        return plan;
+    }
+    let mut inverse = vec![0usize; remap.len()];
+    for (plan_v, &our_v) in remap.iter().enumerate() {
+        inverse[our_v] = plan_v;
+    }
+    let mapped: Vec<Predicate> = query
+        .predicates()
+        .iter()
+        .map(|p| {
+            let target = match p.target {
+                PredTarget::Vertex(v) => PredTarget::Vertex(inverse[v]),
+                PredTarget::Edge(i) => {
+                    let e = query.edges()[i];
+                    let (ps, pd) = (inverse[e.src], inverse[e.dst]);
+                    let idx = plan
+                        .query
+                        .edges()
+                        .iter()
+                        .position(|f| f.src == ps && f.dst == pd && f.label == e.label)
+                        .expect("pattern isomorphism maps every edge");
+                    PredTarget::Edge(idx)
+                }
+            };
+            Predicate {
+                target,
+                key: p.key.clone(),
+                op: p.op,
+                value: p.value.clone(),
+            }
+        })
+        .collect();
+    let substituted = plan.query.with_predicates(mapped);
+    if substituted.predicates() == plan.query.predicates() {
+        return plan;
+    }
+    Arc::new(Plan {
+        query: substituted,
+        root: plan.root.clone(),
+        estimated_cost: plan.estimated_cost,
+    })
 }
 
 #[cfg(test)]
@@ -941,6 +1120,180 @@ mod tests {
         };
         assert_eq!(streamed, expected);
         assert_eq!(stats.output_count, expected);
+    }
+
+    /// Two triangles whose vertices carry `age = 10 * id` and whose edges carry
+    /// `w = 0.1 * src`.
+    fn props_db() -> GraphflowDB {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 3] {
+            b.add_edge(base, base + 1);
+            b.add_edge(base + 1, base + 2);
+            b.add_edge(base, base + 2);
+        }
+        for v in 0..6u32 {
+            b.set_vertex_prop(v, "age", PropValue::Int(10 * v as i64))
+                .unwrap();
+        }
+        for &(s, d, l) in b.clone().build().edges() {
+            b.set_edge_prop(s, d, l, "w", PropValue::Float(0.1 * s as f64))
+                .unwrap();
+        }
+        GraphflowDB::from_graph(b.build())
+    }
+
+    #[test]
+    fn predicate_queries_run_and_push_down() {
+        let db = props_db();
+        let triangle = "(a)->(b), (b)->(c), (a)->(c)";
+        assert_eq!(db.count(triangle).unwrap(), 2);
+        assert_eq!(
+            db.count(&format!("{triangle} WHERE a.age >= 30")).unwrap(),
+            1
+        );
+        assert_eq!(
+            db.count(&format!("{triangle} WHERE b.age = 40")).unwrap(),
+            1
+        );
+        assert_eq!(
+            db.count(&format!("{triangle} WHERE a.age > 99")).unwrap(),
+            0
+        );
+        // Edge predicate through a named edge.
+        assert_eq!(
+            db.count("(a)-[e]->(b), (b)->(c), (a)->(c) WHERE e.w > 0.2")
+                .unwrap(),
+            1
+        );
+        // Pushdown is observable in the stats, and all three executors agree.
+        let filtered = db
+            .run(
+                &format!("{triangle} WHERE a.age >= 30"),
+                QueryOptions::default(),
+            )
+            .unwrap();
+        assert!(filtered.stats.predicate_evals > 0);
+        assert!(filtered.stats.predicate_drops > 0);
+        for opts in [
+            QueryOptions::new().adaptive(true),
+            QueryOptions::new().threads(4),
+        ] {
+            let out = db
+                .run(&format!("{triangle} WHERE a.age >= 30"), opts)
+                .unwrap();
+            assert_eq!(out.count, 1);
+        }
+    }
+
+    #[test]
+    fn plan_cache_canonicalizes_predicate_constants() {
+        let db = props_db();
+        let triangle = "(a)->(b), (b)->(c), (a)->(c)";
+        let loose = db.prepare(&format!("{triangle} WHERE a.age >= 0")).unwrap();
+        assert!(!loose.was_cached());
+        assert_eq!(loose.count().unwrap(), 2);
+        // Same structure, different constant: plan-cache hit, different answer.
+        let tight = db
+            .prepare(&format!("{triangle} WHERE a.age >= 30"))
+            .unwrap();
+        assert!(tight.was_cached(), "constants are canonicalized away");
+        assert_eq!(tight.count().unwrap(), 1);
+        assert_eq!(db.plan_cache_stats().misses, 1, "one optimizer run");
+        // An isomorphic rewriting with yet another constant still hits, and remaps tuples.
+        let twin = db
+            .prepare("(y)->(z), (x)->(y), (x)->(z) WHERE x.age >= 30")
+            .unwrap();
+        assert!(twin.was_cached());
+        assert_eq!(twin.count().unwrap(), 1);
+        let run = twin.run(QueryOptions::new().collect_tuples(true)).unwrap();
+        let xi = twin.query().vertex_index("x").unwrap();
+        assert_eq!(run.tuples.len(), 1);
+        assert_eq!(run.tuples[0][xi], 3, "x plays the filtered (a) role");
+        // A different predicate *structure* (another operator) is a different cache entry.
+        let other_op = db.prepare(&format!("{triangle} WHERE a.age = 30")).unwrap();
+        assert!(!other_op.was_cached());
+        // As is the bare pattern.
+        let bare = db.prepare(triangle).unwrap();
+        assert!(!bare.was_cached());
+        assert_eq!(bare.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn property_updates_are_live_and_isolated() {
+        let mut db = props_db();
+        let q = "(a)->(b), (b)->(c), (a)->(c) WHERE a.age >= 30";
+        assert_eq!(db.count(q).unwrap(), 1);
+        let before = db.snapshot();
+        // Raising vertex 0's age makes the first triangle match too.
+        db.set_vertex_prop(0, "age", PropValue::Int(70)).unwrap();
+        assert_eq!(db.count(q).unwrap(), 2);
+        // The pre-update snapshot still answers with the old property value.
+        use graphflow_graph::GraphView as _;
+        assert_eq!(before.vertex_prop(0, "age"), Some(PropValue::Int(0)));
+        // Type mismatches surface as unified errors with a source.
+        let err = db
+            .set_vertex_prop(0, "age", PropValue::str("old"))
+            .unwrap_err();
+        assert!(matches!(err, Error::Property(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        // Deleting an edge drops its properties; compaction is results-neutral.
+        let eq = "(a)-[e]->(b), (b)->(c), (a)->(c) WHERE e.w > 0.2";
+        assert_eq!(db.count(eq).unwrap(), 1);
+        db.delete_edge(3, 4, EdgeLabel(0));
+        assert_eq!(db.count(eq).unwrap(), 0);
+        db.compact();
+        assert_eq!(db.count(q).unwrap(), 1);
+        assert_eq!(db.count(eq).unwrap(), 0);
+    }
+
+    #[test]
+    fn apply_batch_sets_properties() {
+        let mut db = props_db();
+        let applied = db.apply_batch(&[
+            Update::InsertVertex {
+                label: VertexLabel(0),
+            },
+            Update::SetVertexProp {
+                v: 6,
+                key: "age".into(),
+                value: PropValue::Int(100),
+            },
+            Update::SetEdgeProp {
+                src: 0,
+                dst: 1,
+                label: EdgeLabel(0),
+                key: "w".into(),
+                value: PropValue::Float(0.9),
+            },
+            // Type mismatch and missing edge are counted as no-ops.
+            Update::SetVertexProp {
+                v: 6,
+                key: "age".into(),
+                value: PropValue::Bool(true),
+            },
+            Update::SetEdgeProp {
+                src: 5,
+                dst: 0,
+                label: EdgeLabel(0),
+                key: "w".into(),
+                value: PropValue::Float(0.5),
+            },
+        ]);
+        assert_eq!(applied, 3);
+        use graphflow_graph::GraphView as _;
+        assert_eq!(
+            db.snapshot().vertex_prop(6, "age"),
+            Some(PropValue::Int(100))
+        );
+        assert_eq!(
+            db.count("(a)-[e]->(b), (b)->(c), (a)->(c) WHERE e.w > 0.5")
+                .unwrap(),
+            1
+        );
+        let v = db
+            .insert_vertex_with_props(VertexLabel(1), &[("age", PropValue::Int(7))])
+            .unwrap();
+        assert_eq!(db.snapshot().vertex_prop(v, "age"), Some(PropValue::Int(7)));
     }
 
     #[test]

@@ -278,7 +278,17 @@ pub(crate) fn compile_adaptive<G: GraphView>(
                     catalogue.extension_estimate(q, &prefix, target),
                 ) {
                     (Some(spec), Some(est)) => {
-                        steps.push(ExtendStage::new(spec.descriptors, spec.target_label));
+                        // Each candidate ordering binds targets at different times, so the
+                        // pushed-down predicates are recomputed against this ordering's own
+                        // prefix.
+                        let (target_preds, edge_preds) =
+                            crate::pipeline::extension_preds(q, &prefix, target);
+                        steps.push(ExtendStage::new(
+                            spec.descriptors,
+                            spec.target_label,
+                            target_preds,
+                            edge_preds,
+                        ));
                         estimates.push(StepEstimate {
                             sizes: est.avg_list_sizes,
                             mu: est.mu,

@@ -11,7 +11,7 @@ use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{GraphView, VertexId};
 use graphflow_plan::plan::Plan;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -47,8 +47,12 @@ const SINK_BATCH_TUPLES: usize = 256;
 /// does, workers reorder each tuple into query-vertex order locally, buffer up to
 /// `SINK_BATCH_TUPLES` of them, and deliver each batch to the shared sink under a single
 /// lock acquisition; the sink returning `false` raises a stop flag that every worker observes
-/// at its next batch (so "stop" is prompt but, as with `output_limit`, not an exact cut-off
-/// across threads).
+/// at its next batch.
+///
+/// `output_limit` is enforced through one **shared atomic counter**: every produced tuple
+/// claims a slot, only tuples with a slot below the limit are counted and delivered, so the
+/// cut-off is exact across threads (workers drain at most the partial match they were expanding
+/// when the counter filled up, then stop).
 pub fn execute_parallel_with_sink<G: GraphView>(
     graph: &G,
     plan: &Plan,
@@ -62,6 +66,14 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     let q = &plan.query;
     // Build-side materialisation happens once, in the calling thread.
     let pipeline = compile(graph, q, &plan.root, &options, &mut setup_stats);
+    // Workers enforce the limit through the shared counter below, not through their private
+    // per-pipeline counters (which would multiply the limit by the worker count).
+    let limit = options.output_limit;
+    let worker_options = ExecOptions {
+        output_limit: None,
+        ..options
+    };
+    let produced = AtomicU64::new(0);
 
     // Borrowed straight from the CSR when the scanned label has no pending deltas; merged into
     // an owned, still-sorted vector otherwise. Workers share it read-only either way.
@@ -84,8 +96,13 @@ pub fn execute_parallel_with_sink<G: GraphView>(
             let stop = &stop;
             let shared_sink = &shared_sink;
             let out_layout = &out_layout;
+            let produced = &produced;
             handles.push(scope.spawn(move || {
                 let mut stats = RuntimeStats::default();
+                // Tuples the local pipeline produced beyond the shared limit: counted by the
+                // pipeline's own bookkeeping but never delivered, so they are subtracted from
+                // this worker's stats before merging.
+                let mut rejected = 0u64;
                 // Tuples buffered locally (flattened; every tuple is `num_query_vertices`
                 // wide) and flushed to the shared sink in one lock acquisition.
                 let mut batch: Vec<VertexId> =
@@ -113,8 +130,24 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                     }
                     let hi = (lo + chunk_size).min(scan_edges.len());
                     let mut on_result = |tuple: &[VertexId]| -> bool {
+                        // Claim an output slot; slots at or beyond the limit are discarded, so
+                        // the number of delivered tuples is exactly min(limit, total matches).
+                        let mut keep_going = true;
+                        if let Some(limit) = limit {
+                            let slot = produced.fetch_add(1, Ordering::Relaxed);
+                            if slot >= limit {
+                                rejected += 1;
+                                stop.store(true, Ordering::Relaxed);
+                                return false;
+                            }
+                            if slot + 1 >= limit {
+                                // This tuple fills the limit: deliver it, then stop.
+                                stop.store(true, Ordering::Relaxed);
+                                keep_going = false;
+                            }
+                        }
                         if !needs_tuples {
-                            return true;
+                            return keep_going;
                         }
                         let base = batch.len();
                         batch.resize(base + num_query_vertices, 0);
@@ -122,27 +155,23 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                             batch[base + qv] = tuple[pos];
                         }
                         if batch.len() >= SINK_BATCH_TUPLES * num_query_vertices {
-                            flush(&mut batch)
+                            flush(&mut batch) && keep_going
                         } else {
-                            !stop.load(Ordering::Relaxed)
+                            keep_going && !stop.load(Ordering::Relaxed)
                         }
                     };
                     run_pipeline_on_range(
                         &mut local_pipeline,
                         graph,
                         &scan_edges[lo..hi],
-                        &options,
+                        &worker_options,
                         &mut stats,
                         &mut on_result,
                     );
-                    if let Some(limit) = options.output_limit {
-                        if stats.output_count >= limit {
-                            break;
-                        }
-                    }
                 }
                 // Deliver whatever is left in the local buffer.
                 flush(&mut batch);
+                stats.output_count -= rejected;
                 stats
             }));
         }
@@ -206,7 +235,25 @@ mod tests {
         let cat = Catalogue::with_defaults(g.clone());
         let q = patterns::asymmetric_triangle();
         let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
-        let limited = execute_parallel(
+        let full = execute(&g, &plan).count;
+        assert!(full > 50, "graph must have enough triangles for the test");
+        for threads in [2usize, 4, 8] {
+            let limited = execute_parallel(
+                &g,
+                &plan,
+                ExecOptions {
+                    output_limit: Some(50),
+                    ..Default::default()
+                },
+                threads,
+            );
+            // Workers claim output slots from one shared atomic counter, so the cut-off is
+            // exact across threads (not `limit x threads` as with per-worker limit checks).
+            assert_eq!(limited.count, 50, "{threads} threads");
+        }
+        // The same exact cut-off holds when tuples are streamed to a sink.
+        let mut sink = crate::sink::CollectingSink::new(usize::MAX);
+        let stats = execute_parallel_with_sink(
             &g,
             &plan,
             ExecOptions {
@@ -214,12 +261,31 @@ mod tests {
                 ..Default::default()
             },
             4,
+            &mut sink,
         );
-        // Each worker stops once it alone has produced the limit, so the total is bounded by
-        // limit x threads (the paper's output-limited runs only need "stop early", not an exact
-        // cut-off).
-        assert!(limited.count >= 50);
-        assert!(limited.count <= 50 * 4 + 200);
+        assert_eq!(stats.output_count, 50);
+        assert_eq!(sink.into_tuples().len(), 50);
+        // Degenerate limits behave: zero delivers nothing, a huge limit delivers everything.
+        let zero = execute_parallel(
+            &g,
+            &plan,
+            ExecOptions {
+                output_limit: Some(0),
+                ..Default::default()
+            },
+            4,
+        );
+        assert_eq!(zero.count, 0);
+        let all = execute_parallel(
+            &g,
+            &plan,
+            ExecOptions {
+                output_limit: Some(u64::MAX),
+                ..Default::default()
+            },
+            4,
+        );
+        assert_eq!(all.count, full);
     }
 
     #[test]

@@ -9,14 +9,114 @@
 
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
-use graphflow_graph::{multiway_intersect_views, GraphView, NbrList, VertexId, VertexLabel};
+use graphflow_graph::{
+    multiway_intersect_views, EdgeLabel, GraphView, NbrList, PropValue, VertexId, VertexLabel,
+};
 use graphflow_plan::plan::{Plan, PlanNode};
 use graphflow_query::extension::AdjListDescriptor;
 use graphflow_query::querygraph::singleton;
-use graphflow_query::{QueryEdge, QueryGraph};
+use graphflow_query::{CmpOp, PredTarget, QueryEdge, QueryGraph};
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One pushed-down comparison compiled down to its evaluation ingredients.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledCmp {
+    pub key: String,
+    pub op: CmpOp,
+    pub value: PropValue,
+}
+
+impl CompiledCmp {
+    /// Evaluate against a looked-up property value, counting the evaluation. Missing
+    /// properties and type-incomparable pairs do not match.
+    #[inline]
+    pub(crate) fn matches(&self, found: Option<PropValue>, stats: &mut RuntimeStats) -> bool {
+        stats.predicate_evals += 1;
+        match found {
+            Some(found) => found
+                .compare(&self.value)
+                .map(|ord| self.op.eval(ord))
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
+/// A predicate evaluable as soon as the driver SCAN binds its two vertices.
+#[derive(Debug, Clone)]
+pub(crate) enum ScanPred {
+    /// On the vertex held by tuple slot 0 (scan source) or 1 (scan destination).
+    Vertex { slot: usize, cmp: CompiledCmp },
+    /// On a query edge between the two scanned vertices (the scan edge itself or an
+    /// antiparallel / parallel-label companion).
+    Edge {
+        src_slot: usize,
+        dst_slot: usize,
+        label: EdgeLabel,
+        cmp: CompiledCmp,
+    },
+}
+
+/// An edge predicate evaluated while extending: the data edge runs between a prefix slot and
+/// the candidate extension vertex.
+#[derive(Debug, Clone)]
+pub(crate) struct ExtendEdgePred {
+    /// Tuple slot of the already-bound endpoint.
+    pub prefix_idx: usize,
+    /// Whether the prefix endpoint is the data edge's source (query edge `prefix -> target`).
+    pub prefix_is_src: bool,
+    pub label: EdgeLabel,
+    pub cmp: CompiledCmp,
+}
+
+/// The predicates that become evaluable when `target` is bound on top of `prefix`: comparisons
+/// on `target` itself, plus comparisons on query edges between `target` and a prefix vertex.
+/// Shared by the fixed compiler and the adaptive candidate builder (whose per-ordering prefixes
+/// differ).
+pub(crate) fn extension_preds(
+    q: &QueryGraph,
+    prefix: &[usize],
+    target: usize,
+) -> (Vec<CompiledCmp>, Vec<ExtendEdgePred>) {
+    let mut target_preds = Vec::new();
+    let mut edge_preds = Vec::new();
+    for p in q.predicates() {
+        let cmp = CompiledCmp {
+            key: p.key.clone(),
+            op: p.op,
+            value: p.value.clone(),
+        };
+        match p.target {
+            PredTarget::Vertex(v) if v == target => target_preds.push(cmp),
+            PredTarget::Edge(i) => {
+                let e = q.edges()[i];
+                if e.src == target {
+                    if let Some(pos) = prefix.iter().position(|&x| x == e.dst) {
+                        edge_preds.push(ExtendEdgePred {
+                            prefix_idx: pos,
+                            prefix_is_src: false,
+                            label: e.label,
+                            cmp,
+                        });
+                    }
+                } else if e.dst == target {
+                    if let Some(pos) = prefix.iter().position(|&x| x == e.src) {
+                        edge_preds.push(ExtendEdgePred {
+                            prefix_idx: pos,
+                            prefix_is_src: true,
+                            label: e.label,
+                            cmp,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (target_preds, edge_preds)
+}
 
 /// Execution options.
 ///
@@ -67,6 +167,8 @@ pub(crate) struct ScanStage {
     /// Additional query edges between the same two query vertices (antiparallel pairs or
     /// multi-labelled edges) that act as scan filters.
     pub extra_filters: Vec<QueryEdge>,
+    /// Property predicates evaluable on the scanned pair (pushed down from the WHERE clause).
+    pub(crate) preds: Vec<ScanPred>,
 }
 
 /// An EXTEND/INTERSECT stage.
@@ -74,6 +176,10 @@ pub(crate) struct ScanStage {
 pub(crate) struct ExtendStage {
     pub descriptors: Vec<AdjListDescriptor>,
     pub target_label: VertexLabel,
+    /// Predicates on the extension target, applied to every candidate of the extension set.
+    target_preds: Vec<CompiledCmp>,
+    /// Predicates on query edges between the target and a prefix vertex.
+    edge_preds: Vec<ExtendEdgePred>,
     // Last-extension cache state.
     cache_key: Vec<VertexId>,
     cache_set: Vec<VertexId>,
@@ -82,10 +188,17 @@ pub(crate) struct ExtendStage {
 }
 
 impl ExtendStage {
-    pub(crate) fn new(descriptors: Vec<AdjListDescriptor>, target_label: VertexLabel) -> Self {
+    pub(crate) fn new(
+        descriptors: Vec<AdjListDescriptor>,
+        target_label: VertexLabel,
+        target_preds: Vec<CompiledCmp>,
+        edge_preds: Vec<ExtendEdgePred>,
+    ) -> Self {
         ExtendStage {
             descriptors,
             target_label,
+            target_preds,
+            edge_preds,
             cache_key: Vec::new(),
             cache_set: Vec::new(),
             cache_valid: false,
@@ -127,6 +240,41 @@ impl ExtendStage {
         stats.icost += lists.iter().map(|l| l.len() as u64).sum::<u64>();
         stats.delta_merges += lists.iter().filter(|l| l.is_merged()).count() as u64;
         multiway_intersect_views(&lists, &mut self.cache_set, &mut self.scratch);
+        // Pushed-down filtering of the extension set. Baking this into the *cached* set is
+        // sound: target predicates depend only on the candidate vertex, and every edge
+        // predicate's prefix endpoint has a descriptor (one exists for each query edge between
+        // prefix and target), so all bindings the filter reads are part of the cache key.
+        if !self.target_preds.is_empty() || !self.edge_preds.is_empty() {
+            let ExtendStage {
+                cache_set,
+                target_preds,
+                edge_preds,
+                ..
+            } = self;
+            let before = cache_set.len();
+            cache_set.retain(|&v| {
+                for cmp in target_preds.iter() {
+                    if !cmp.matches(graph.vertex_prop(v, &cmp.key), stats) {
+                        return false;
+                    }
+                }
+                for ep in edge_preds.iter() {
+                    let (s, d) = if ep.prefix_is_src {
+                        (tuple[ep.prefix_idx], v)
+                    } else {
+                        (v, tuple[ep.prefix_idx])
+                    };
+                    if !ep
+                        .cmp
+                        .matches(graph.edge_prop(s, d, ep.label, &ep.cmp.key), stats)
+                    {
+                        return false;
+                    }
+                }
+                true
+            });
+            stats.predicate_drops += (before - self.cache_set.len()) as u64;
+        }
         self.cache_valid = true;
         &self.cache_set
     }
@@ -171,9 +319,12 @@ pub(crate) fn compile<G: GraphView>(
     loop {
         match current {
             PlanNode::Extend(n) => {
+                let (target_preds, edge_preds) = extension_preds(q, n.child.out(), n.target_vertex);
                 stages_top_down.push(Stage::Extend(ExtendStage::new(
                     n.descriptors.clone(),
                     n.target_label,
+                    target_preds,
+                    edge_preds,
                 )));
                 current = &n.child;
             }
@@ -207,11 +358,45 @@ pub(crate) fn compile<G: GraphView>(
                                 || (e.src == n.edge.dst && e.dst == n.edge.src))
                     })
                     .collect();
+                // Predicates evaluable the moment the scan binds its two vertices: anything on
+                // the scanned query vertices, and anything on a query edge between them (the
+                // scan edge itself or one of the extra filter edges).
+                let mut preds = Vec::new();
+                for p in q.predicates() {
+                    let cmp = CompiledCmp {
+                        key: p.key.clone(),
+                        op: p.op,
+                        value: p.value.clone(),
+                    };
+                    match p.target {
+                        PredTarget::Vertex(v) if v == n.edge.src => {
+                            preds.push(ScanPred::Vertex { slot: 0, cmp });
+                        }
+                        PredTarget::Vertex(v) if v == n.edge.dst => {
+                            preds.push(ScanPred::Vertex { slot: 1, cmp });
+                        }
+                        PredTarget::Edge(i) => {
+                            let e = q.edges()[i];
+                            let covers = (e.src == n.edge.src && e.dst == n.edge.dst)
+                                || (e.src == n.edge.dst && e.dst == n.edge.src);
+                            if covers {
+                                preds.push(ScanPred::Edge {
+                                    src_slot: usize::from(e.src != n.edge.src),
+                                    dst_slot: usize::from(e.dst != n.edge.src),
+                                    label: e.label,
+                                    cmp,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
                 let scan = ScanStage {
                     edge: n.edge,
                     src_label: q.vertex(n.edge.src).label,
                     dst_label: q.vertex(n.edge.dst).label,
                     extra_filters,
+                    preds,
                 };
                 stages_top_down.reverse();
                 return CompiledPipeline {
@@ -288,6 +473,9 @@ fn materialize<G: GraphView>(
     stats.intermediate_tuples += build_stats.intermediate_tuples + build_stats.output_count;
     stats.cache_hits += build_stats.cache_hits;
     stats.cache_misses += build_stats.cache_misses;
+    stats.delta_merges += build_stats.delta_merges;
+    stats.predicate_evals += build_stats.predicate_evals;
+    stats.predicate_drops += build_stats.predicate_drops;
     stats.hash_build_tuples += build_stats.output_count + build_stats.hash_build_tuples;
     stats.hash_probe_tuples += build_stats.hash_probe_tuples;
     table
@@ -341,6 +529,28 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
         });
         if !ok {
             continue;
+        }
+        // Pushed-down property predicates on the scanned pair.
+        if !scan.preds.is_empty() {
+            let pick = |slot: usize| if slot == 0 { u } else { v };
+            let pass = scan.preds.iter().all(|p| match p {
+                ScanPred::Vertex { slot, cmp } => {
+                    cmp.matches(graph.vertex_prop(pick(*slot), &cmp.key), stats)
+                }
+                ScanPred::Edge {
+                    src_slot,
+                    dst_slot,
+                    label,
+                    cmp,
+                } => cmp.matches(
+                    graph.edge_prop(pick(*src_slot), pick(*dst_slot), *label, &cmp.key),
+                    stats,
+                ),
+            });
+            if !pass {
+                stats.predicate_drops += 1;
+                continue;
+            }
         }
         tuple.clear();
         tuple.push(u);
@@ -722,6 +932,89 @@ mod tests {
         let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
         let out = execute(&g, &plan);
         assert_eq!(out.count, 20);
+    }
+
+    #[test]
+    fn predicates_filter_at_scan_and_extend() {
+        use graphflow_graph::PropValue;
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        // Triangle 0->1->2, 0->2 plus a second triangle 3->4->5, 3->5.
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 3] {
+            b.add_edge(base, base + 1);
+            b.add_edge(base + 1, base + 2);
+            b.add_edge(base, base + 2);
+        }
+        for v in 0..6u32 {
+            b.set_vertex_prop(v, "age", PropValue::Int(10 * v as i64))
+                .unwrap();
+        }
+        b.set_edge_prop(
+            0,
+            1,
+            graphflow_graph::EdgeLabel(0),
+            "w",
+            PropValue::Float(0.9),
+        )
+        .unwrap();
+        b.set_edge_prop(
+            3,
+            4,
+            graphflow_graph::EdgeLabel(0),
+            "w",
+            PropValue::Float(0.1),
+        )
+        .unwrap();
+        let g = Arc::new(b.build());
+        let cat = Catalogue::with_defaults(g.clone());
+
+        // Unfiltered: both triangles match.
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let unfiltered = execute(&g, &plan);
+        assert_eq!(unfiltered.count, 2);
+        assert_eq!(unfiltered.stats.predicate_evals, 0);
+
+        // Vertex predicate: only the second triangle's apex has age >= 30.
+        let mut filtered = q.clone();
+        filtered.add_predicate(Predicate {
+            target: PredTarget::Vertex(0),
+            key: "age".into(),
+            op: CmpOp::Ge,
+            value: PropValue::Int(30),
+        });
+        let plan = DpOptimizer::new(&cat).optimize(&filtered).unwrap();
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, 1);
+        assert!(out.stats.predicate_evals > 0);
+        assert!(out.stats.predicate_drops > 0, "drops happen before output");
+        assert!(
+            out.stats.intermediate_tuples < unfiltered.stats.intermediate_tuples,
+            "pushdown must shrink intermediate results, not post-filter"
+        );
+
+        // Edge predicate on the (a1)->(a2) edge: only 0->1 has w > 0.5.
+        let mut edge_filtered = q.clone();
+        edge_filtered.add_predicate(Predicate {
+            target: PredTarget::Edge(0),
+            key: "w".into(),
+            op: CmpOp::Gt,
+            value: PropValue::Float(0.5),
+        });
+        let plan = DpOptimizer::new(&cat).optimize(&edge_filtered).unwrap();
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, 1);
+
+        // A predicate over a property that does not exist matches nothing.
+        let mut missing = q.clone();
+        missing.add_predicate(Predicate {
+            target: PredTarget::Vertex(1),
+            key: "nope".into(),
+            op: CmpOp::Ne,
+            value: PropValue::Int(0),
+        });
+        let plan = DpOptimizer::new(&cat).optimize(&missing).unwrap();
+        assert_eq!(execute(&g, &plan).count, 0);
     }
 
     #[test]

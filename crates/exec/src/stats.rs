@@ -22,6 +22,13 @@ pub struct RuntimeStats {
     /// (always 0 when executing against a plain [`Graph`](graphflow_graph::Graph) or a snapshot
     /// with no pending deltas) — the observable cost of running over a mutated snapshot.
     pub delta_merges: u64,
+    /// Property-predicate evaluations performed by pushed-down filters (at SCAN, E/I
+    /// extension and hash-join build time). Extension-set filtering that is served from the
+    /// intersection cache is not re-evaluated, mirroring how i-cost skips cached lists.
+    pub predicate_evals: u64,
+    /// Tuples / extension candidates discarded by a pushed-down predicate before they could
+    /// produce any downstream work.
+    pub predicate_drops: u64,
     /// Tuples inserted into hash-join build tables.
     pub hash_build_tuples: u64,
     /// Tuples used to probe hash-join tables.
@@ -45,6 +52,8 @@ impl RuntimeStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.delta_merges += other.delta_merges;
+        self.predicate_evals += other.predicate_evals;
+        self.predicate_drops += other.predicate_drops;
         self.hash_build_tuples += other.hash_build_tuples;
         self.hash_probe_tuples += other.hash_probe_tuples;
         self.plan_cache_hits += other.plan_cache_hits;
@@ -92,11 +101,15 @@ mod tests {
             plan_cache_hits: 2,
             plan_cache_misses: 1,
             delta_merges: 3,
+            predicate_evals: 5,
+            predicate_drops: 4,
             elapsed: Duration::from_millis(50),
         };
         a.merge(&b);
         assert_eq!(a.icost, 11);
         assert_eq!(a.delta_merges, 3);
+        assert_eq!(a.predicate_evals, 5);
+        assert_eq!(a.predicate_drops, 4);
         assert_eq!(a.plan_cache_hits, 2);
         assert_eq!(a.plan_cache_misses, 1);
         assert_eq!(a.output_count, 3);

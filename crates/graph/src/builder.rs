@@ -2,6 +2,7 @@
 
 use crate::graph::{Adjacency, Graph, Partition};
 use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+use crate::props::{PropError, PropValue, PropertyStore};
 
 /// A mutable builder that accumulates labelled vertices and edges and freezes them into an
 /// immutable [`Graph`] with sorted, label-partitioned adjacency lists.
@@ -14,6 +15,7 @@ pub struct GraphBuilder {
     vertex_labels: Vec<VertexLabel>,
     edges: Vec<(VertexId, VertexId, EdgeLabel)>,
     max_vertex: Option<VertexId>,
+    props: PropertyStore,
 }
 
 impl GraphBuilder {
@@ -32,6 +34,7 @@ impl GraphBuilder {
             } else {
                 Some(vertices as VertexId - 1)
             },
+            props: PropertyStore::new(),
         }
     }
 
@@ -78,6 +81,38 @@ impl GraphBuilder {
         self.edges.push((src, dst, label));
     }
 
+    /// Set the typed property `key = value` on vertex `v` (created if unseen). The column is
+    /// created with the type of the first value written; later writes must match it.
+    pub fn set_vertex_prop(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        self.ensure_vertex(v);
+        self.props.set_vertex(v, key, value)
+    }
+
+    /// Set the typed property `key = value` on the edge `src -> dst` carrying `label`.
+    ///
+    /// The edge itself must also be added through
+    /// [`add_labelled_edge`](GraphBuilder::add_labelled_edge) — in any order relative to this
+    /// call; [`build`](GraphBuilder::build) panics on properties of edges that were never
+    /// added (the live-update API rejects the same mistake with
+    /// [`PropError::NoSuchEdge`](crate::props::PropError)).
+    pub fn set_edge_prop(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        self.ensure_vertex(src);
+        self.ensure_vertex(dst);
+        self.props.set_edge((src, dst, label), key, value)
+    }
+
     /// Add every edge of an iterator of `(src, dst)` pairs with the default edge label.
     pub fn add_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
         for (s, d) in iter {
@@ -120,6 +155,29 @@ impl GraphBuilder {
             }
         }
 
+        // Freeze-time validation: every edge property must name an edge that exists. The
+        // builder accumulates freely (props may arrive before their edge), so the check lives
+        // here; a typoed label would otherwise store an unreachable value that silently fails
+        // every filter on it.
+        let edge_cols: Vec<String> = self
+            .props
+            .edge_columns()
+            .map(|(k, _)| k.to_string())
+            .collect();
+        for key in edge_cols {
+            for ((s, d, l), _) in self.props.edge_values(&key) {
+                let exists = self
+                    .edges
+                    .binary_search_by_key(&(l, s, d), |&(s2, d2, l2)| (l2, s2, d2))
+                    .is_ok();
+                assert!(
+                    exists,
+                    "edge property {key:?} set on nonexistent edge {s}->{d} [label {}]",
+                    l.0
+                );
+            }
+        }
+
         let fwd = build_adjacency(n, &self.vertex_labels, self.edges.iter().copied(), false);
         let bwd = build_adjacency(n, &self.vertex_labels, self.edges.iter().copied(), true);
 
@@ -132,7 +190,13 @@ impl GraphBuilder {
             num_edge_labels,
             edges: self.edges,
             edge_label_ranges,
+            props: self.props,
         }
+    }
+
+    /// Replace the whole property store (compaction folds a merged store back in with this).
+    pub(crate) fn set_props(&mut self, props: PropertyStore) {
+        self.props = props;
     }
 }
 
@@ -218,6 +282,32 @@ mod tests {
         );
         assert_eq!(g.in_neighbours(3, EdgeLabel(0), VertexLabel(0)), &[0]);
         assert_eq!(g.in_neighbours(3, EdgeLabel(0), VertexLabel(1)), &[1]);
+    }
+
+    #[test]
+    fn edge_props_require_their_edge() {
+        let mut b = GraphBuilder::new();
+        b.add_labelled_edge(0, 1, EdgeLabel(0));
+        // Props may arrive before their edge, in any order.
+        b.set_edge_prop(1, 2, EdgeLabel(3), "w", PropValue::Int(1))
+            .unwrap();
+        b.add_labelled_edge(1, 2, EdgeLabel(3));
+        let g = b.build();
+        assert_eq!(
+            g.edge_prop(1, 2, EdgeLabel(3), "w"),
+            Some(PropValue::Int(1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent edge")]
+    fn orphan_edge_props_panic_at_build() {
+        let mut b = GraphBuilder::new();
+        b.add_labelled_edge(0, 1, EdgeLabel(0));
+        // Typoed label: the edge 0->1 exists only with label 0.
+        b.set_edge_prop(0, 1, EdgeLabel(1), "w", PropValue::Int(1))
+            .unwrap();
+        let _ = b.build();
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::builder::GraphBuilder;
 use crate::graph::{Graph, GraphView, NbrList};
 use crate::ids::{Direction, EdgeLabel, VertexId, VertexLabel};
 use crate::intersect::merge_delta;
+use crate::props::{EdgeKey, PropError, PropType, PropValue, PropertyStore};
 use rustc_hash::FxHashMap;
 use std::borrow::Cow;
 use std::collections::BTreeSet;
@@ -30,7 +31,7 @@ use std::sync::Arc;
 
 /// A single graph mutation, applied through [`Snapshot::apply_update`] or the batch APIs of the
 /// `graphflow-core` facade.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Update {
     /// Append a new vertex carrying `label`; its id is the current vertex count.
     InsertVertex { label: VertexLabel },
@@ -47,6 +48,22 @@ pub enum Update {
         src: VertexId,
         dst: VertexId,
         label: EdgeLabel,
+    },
+    /// Set the typed property `key = value` on vertex `v`. A no-op when the vertex does not
+    /// exist or the value's type conflicts with the column's type.
+    SetVertexProp {
+        v: VertexId,
+        key: String,
+        value: PropValue,
+    },
+    /// Set the typed property `key = value` on the edge `src -> dst` carrying `label`. A no-op
+    /// when the edge does not exist or the value's type conflicts with the column's type.
+    SetEdgeProp {
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+        key: String,
+        value: PropValue,
     },
 }
 
@@ -144,6 +161,11 @@ pub struct DeltaStore {
     /// Largest vertex label carried by a new vertex (0 when none). Monotone is correct here:
     /// vertices are never removed, so the maximum can only grow.
     max_vertex_label: u16,
+    /// Pending vertex-property writes: per column, its type and the overridden slots.
+    vertex_props: FxHashMap<String, (PropType, FxHashMap<VertexId, PropValue>)>,
+    /// Pending edge-property writes: `Some(value)` overrides, `None` tombstones a base value
+    /// (set when the carrying edge is deleted).
+    edge_props: FxHashMap<String, (PropType, FxHashMap<EdgeKey, Option<PropValue>>)>,
 }
 
 impl DeltaStore {
@@ -152,6 +174,21 @@ impl DeltaStore {
         self.new_vertex_labels.is_empty()
             && self.inserted_edges.is_empty()
             && self.deleted_edges.is_empty()
+            && self.vertex_props.is_empty()
+            && self.edge_props.is_empty()
+    }
+
+    /// Number of pending property writes (vertex and edge overrides plus tombstones).
+    pub fn num_prop_overrides(&self) -> usize {
+        self.vertex_props
+            .values()
+            .map(|(_, m)| m.len())
+            .sum::<usize>()
+            + self
+                .edge_props
+                .values()
+                .map(|(_, m)| m.len())
+                .sum::<usize>()
     }
 
     /// Number of pending edge insertions.
@@ -195,10 +232,25 @@ impl DeltaStore {
                 })
                 .sum()
         };
+        let props = self
+            .vertex_props
+            .values()
+            .map(|(_, m)| m.len() * (4 + std::mem::size_of::<PropValue>()))
+            .sum::<usize>()
+            + self
+                .edge_props
+                .values()
+                .map(|(_, m)| {
+                    m.len()
+                        * (std::mem::size_of::<EdgeKey>()
+                            + std::mem::size_of::<Option<PropValue>>())
+                })
+                .sum::<usize>();
         overlay(&self.fwd)
             + overlay(&self.bwd)
             + (self.inserted_edges.len() + self.deleted_edges.len()) * 12
             + self.new_vertex_labels.len() * 2
+            + props
     }
 
     fn adj(&self, dir: Direction) -> &FxHashMap<VertexId, VertexOverlay> {
@@ -393,24 +445,135 @@ impl Snapshot {
                 sorted_insert(&mut p.deletes, src)
             });
         }
+        // Properties die with their edge: drop pending overrides and tombstone base values so
+        // neither a later re-insert nor compaction resurrects them.
+        let edge: EdgeKey = (src, dst, el);
+        delta.edge_props.retain(|_, (_, overrides)| {
+            overrides.remove(&edge);
+            !overrides.is_empty()
+        });
+        for key in self.base.properties().edge_keys_of(edge) {
+            let ty = self
+                .base
+                .properties()
+                .edge_col_type(&key)
+                .expect("column exists");
+            delta
+                .edge_props
+                .entry(key)
+                .or_insert_with(|| (ty, FxHashMap::default()))
+                .1
+                .insert(edge, None);
+        }
         self.version += 1;
         true
+    }
+
+    /// Set the typed property `key = value` on vertex `v`. The column's type is fixed by its
+    /// first value (base store or overlay); conflicting writes are rejected.
+    pub fn set_vertex_prop(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        if (v as usize) >= self.num_vertices() {
+            return Err(PropError::NoSuchVertex { v });
+        }
+        let expected = self
+            .base
+            .properties()
+            .vertex_col_type(key)
+            .or_else(|| self.delta.vertex_props.get(key).map(|(ty, _)| *ty));
+        if let Some(ty) = expected {
+            if value.prop_type() != ty {
+                return Err(PropError::TypeMismatch {
+                    key: key.to_string(),
+                    expected: ty,
+                    found: value.prop_type(),
+                });
+            }
+        }
+        let ty = value.prop_type();
+        let delta = Arc::make_mut(&mut self.delta);
+        delta
+            .vertex_props
+            .entry(key.to_string())
+            .or_insert_with(|| (ty, FxHashMap::default()))
+            .1
+            .insert(v, value);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Set the typed property `key = value` on the (existing) edge `src -> dst` carrying `el`.
+    pub fn set_edge_prop(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        if !GraphView::has_edge(self, src, dst, el) {
+            return Err(PropError::NoSuchEdge {
+                src,
+                dst,
+                label: el,
+            });
+        }
+        let expected = self
+            .base
+            .properties()
+            .edge_col_type(key)
+            .or_else(|| self.delta.edge_props.get(key).map(|(ty, _)| *ty));
+        if let Some(ty) = expected {
+            if value.prop_type() != ty {
+                return Err(PropError::TypeMismatch {
+                    key: key.to_string(),
+                    expected: ty,
+                    found: value.prop_type(),
+                });
+            }
+        }
+        let ty = value.prop_type();
+        let delta = Arc::make_mut(&mut self.delta);
+        delta
+            .edge_props
+            .entry(key.to_string())
+            .or_insert_with(|| (ty, FxHashMap::default()))
+            .1
+            .insert((src, dst, el), Some(value));
+        self.version += 1;
+        Ok(())
     }
 
     /// Apply one [`Update`]. Returns whether it changed the graph (vertex insertions always do;
     /// edge operations are no-ops when the edge already exists / is already gone). Edge updates
     /// create unknown endpoints on demand with the default vertex label.
     pub fn apply_update(&mut self, update: &Update) -> bool {
-        match *update {
+        match update {
             Update::InsertVertex { label } => {
-                self.insert_vertex(label);
+                self.insert_vertex(*label);
                 true
             }
             Update::InsertEdge { src, dst, label } => {
-                self.ensure_vertex(src.max(dst));
-                self.insert_edge(src, dst, label)
+                self.ensure_vertex(*src.max(dst));
+                self.insert_edge(*src, *dst, *label)
             }
-            Update::DeleteEdge { src, dst, label } => self.delete_edge(src, dst, label),
+            Update::DeleteEdge { src, dst, label } => self.delete_edge(*src, *dst, *label),
+            Update::SetVertexProp { v, key, value } => {
+                self.set_vertex_prop(*v, key, value.clone()).is_ok()
+            }
+            Update::SetEdgeProp {
+                src,
+                dst,
+                label,
+                key,
+                value,
+            } => self
+                .set_edge_prop(*src, *dst, *label, key, value.clone())
+                .is_ok(),
         }
     }
 
@@ -421,7 +584,9 @@ impl Snapshot {
     /// `Snapshot::from(rebuilt)` restarts at version 0, so callers that track versions (the
     /// `graphflow-core` facade) carry the version over themselves.
     pub fn rebuild(&self) -> Graph {
-        let mut g = GraphBuilder::from_view(self).build();
+        let mut builder = GraphBuilder::from_view(self);
+        builder.set_props(self.merged_props());
+        let mut g = builder.build();
         // The builder derives label counts from the surviving content; preserve this
         // snapshot's declared label-space widths (e.g. a base label whose last edge was
         // deleted) so compaction is observationally neutral for them too.
@@ -430,6 +595,30 @@ impl Snapshot {
         g.edge_label_ranges
             .resize(g.num_edge_labels as usize, (0, 0));
         g
+    }
+
+    /// The base property store with every pending override and tombstone folded in (what
+    /// compaction installs as the new base store).
+    fn merged_props(&self) -> PropertyStore {
+        let mut props = self.base.properties().clone();
+        for (key, (_, overrides)) in &self.delta.vertex_props {
+            for (&v, value) in overrides {
+                props
+                    .set_vertex(v, key, value.clone())
+                    .expect("overlay writes were type-checked");
+            }
+        }
+        for (key, (_, overrides)) in &self.delta.edge_props {
+            for (&edge, value) in overrides {
+                match value {
+                    Some(value) => props
+                        .set_edge(edge, key, value.clone())
+                        .expect("overlay writes were type-checked"),
+                    None => props.remove_edge_value(edge, key),
+                }
+            }
+        }
+        props
     }
 
     /// Replace the base CSR with the compacted graph, dropping all deltas while keeping the
@@ -558,6 +747,36 @@ impl GraphView for Snapshot {
         }
         out.extend(inserts.map(|&(_, s, d)| (s, d, el)));
         Cow::Owned(out)
+    }
+
+    fn vertex_prop(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        if let Some((_, overrides)) = self.delta.vertex_props.get(key) {
+            if let Some(value) = overrides.get(&v) {
+                return Some(value.clone());
+            }
+        }
+        if (v as usize) < self.base.num_vertices() {
+            self.base.vertex_prop(v, key)
+        } else {
+            None
+        }
+    }
+
+    fn edge_prop(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+    ) -> Option<PropValue> {
+        if let Some((_, overrides)) = self.delta.edge_props.get(key) {
+            match overrides.get(&(src, dst, el)) {
+                Some(Some(value)) => return Some(value.clone()),
+                Some(None) => return None, // tombstoned
+                None => {}
+            }
+        }
+        self.base.edge_prop(src, dst, el, key)
     }
 }
 
@@ -749,6 +968,72 @@ mod tests {
         let rebuilt = t.rebuild();
         assert_eq!(rebuilt.num_edge_labels(), 4);
         assert!(rebuilt.edges_with_label(EdgeLabel(3)).is_empty());
+    }
+
+    #[test]
+    fn props_overlay_isolated_and_compacted() {
+        let mut s = base_triangle();
+        s.set_vertex_prop(0, "age", PropValue::Int(30)).unwrap();
+        s.set_edge_prop(0, 1, EdgeLabel(0), "w", PropValue::Float(0.5))
+            .unwrap();
+        assert_eq!(s.vertex_prop(0, "age"), Some(PropValue::Int(30)));
+        assert_eq!(
+            s.edge_prop(0, 1, EdgeLabel(0), "w"),
+            Some(PropValue::Float(0.5))
+        );
+        assert!(s.has_pending_deltas());
+
+        // Clones are isolated from later property writes.
+        let frozen = s.clone();
+        s.set_vertex_prop(0, "age", PropValue::Int(99)).unwrap();
+        assert_eq!(frozen.vertex_prop(0, "age"), Some(PropValue::Int(30)));
+        assert_eq!(s.vertex_prop(0, "age"), Some(PropValue::Int(99)));
+
+        // Type mismatches and missing endpoints are rejected.
+        assert!(matches!(
+            s.set_vertex_prop(1, "age", PropValue::str("old")),
+            Err(PropError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.set_vertex_prop(77, "age", PropValue::Int(1)),
+            Err(PropError::NoSuchVertex { .. })
+        ));
+        assert!(matches!(
+            s.set_edge_prop(2, 0, EdgeLabel(0), "w", PropValue::Float(1.0)),
+            Err(PropError::NoSuchEdge { .. })
+        ));
+
+        // Compaction folds the overlay into the base store without changing reads.
+        s.compact();
+        assert!(!s.has_pending_deltas());
+        assert_eq!(s.vertex_prop(0, "age"), Some(PropValue::Int(99)));
+        assert_eq!(
+            s.edge_prop(0, 1, EdgeLabel(0), "w"),
+            Some(PropValue::Float(0.5))
+        );
+        // After compaction the base column enforces the established type.
+        assert!(s.set_vertex_prop(2, "age", PropValue::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn deleting_an_edge_drops_its_props() {
+        let mut s = base_triangle();
+        s.set_edge_prop(0, 1, EdgeLabel(0), "w", PropValue::Int(7))
+            .unwrap();
+        s.compact(); // props now live in the base store
+        assert!(s.delete_edge(0, 1, EdgeLabel(0)));
+        assert_eq!(s.edge_prop(0, 1, EdgeLabel(0), "w"), None, "tombstoned");
+        // Re-inserting the edge does not resurrect the old value, and compaction agrees.
+        assert!(s.insert_edge(0, 1, EdgeLabel(0)));
+        assert_eq!(s.edge_prop(0, 1, EdgeLabel(0), "w"), None);
+        let rebuilt = Snapshot::from(s.rebuild());
+        assert_eq!(rebuilt.edge_prop(0, 1, EdgeLabel(0), "w"), None);
+        // New vertices can carry properties through the overlay.
+        let v = s.insert_vertex(VertexLabel(1));
+        s.set_vertex_prop(v, "name", PropValue::str("new")).unwrap();
+        assert_eq!(s.vertex_prop(v, "name"), Some(PropValue::str("new")));
+        let rebuilt = s.rebuild();
+        assert_eq!(rebuilt.vertex_prop(v, "name"), Some(PropValue::str("new")));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! execution code serves frozen and dynamic graphs without a dispatch cost on the frozen path.
 
 use crate::ids::{Direction, EdgeLabel, VertexId, VertexLabel};
+use crate::props::{PropValue, PropertyStore};
 use std::borrow::Cow;
 
 /// One `(edge label, neighbour label)` partition of a vertex's adjacency list.
@@ -116,6 +117,8 @@ pub struct Graph {
     /// `edge_label_ranges[l] = (start, end)` range into `edges` holding label `l` (edges are
     /// sorted by label first), enabling label-filtered scans without a pass over all edges.
     pub(crate) edge_label_ranges: Vec<(u32, u32)>,
+    /// Typed vertex/edge property columns (see [`crate::props`]).
+    pub(crate) props: PropertyStore,
 }
 
 impl Graph {
@@ -217,6 +220,27 @@ impl Graph {
         }
     }
 
+    /// The typed property columns of this graph.
+    pub fn properties(&self) -> &PropertyStore {
+        &self.props
+    }
+
+    /// The value of property `key` on vertex `v`, if set.
+    pub fn vertex_prop(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        self.props.vertex(v, key)
+    }
+
+    /// The value of property `key` on the edge `src -> dst` with label `el`, if set.
+    pub fn edge_prop(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+    ) -> Option<PropValue> {
+        self.props.edge((src, dst, el), key)
+    }
+
     /// Vertices carrying the given label.
     pub fn vertices_with_label(&self, vl: VertexLabel) -> impl Iterator<Item = VertexId> + '_ {
         self.vertex_labels
@@ -240,6 +264,7 @@ impl Graph {
             + adj(&self.bwd)
             + self.vertex_labels.len() * 2
             + self.edges.len() * std::mem::size_of::<(VertexId, VertexId, EdgeLabel)>()
+            + self.props.memory_bytes()
     }
 
     /// Rough number of bytes of the adjacency structures (used in catalogue size reports).
@@ -364,6 +389,18 @@ pub trait GraphView: Sync {
     /// The edges carrying label `el`, sorted by `(src, dst)` — the driver SCAN's input.
     /// Borrowed from the CSR when no deltas are pending for the label.
     fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]>;
+
+    /// The value of property `key` on vertex `v`, if set (predicate pushdown reads this).
+    fn vertex_prop(&self, v: VertexId, key: &str) -> Option<PropValue>;
+
+    /// The value of property `key` on the edge `src -> dst` with label `el`, if set.
+    fn edge_prop(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+    ) -> Option<PropValue>;
 }
 
 impl GraphView for Graph {
@@ -410,6 +447,22 @@ impl GraphView for Graph {
     #[inline]
     fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]> {
         Cow::Borrowed(self.edges_with_label(el))
+    }
+
+    #[inline]
+    fn vertex_prop(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        Graph::vertex_prop(self, v, key)
+    }
+
+    #[inline]
+    fn edge_prop(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+    ) -> Option<PropValue> {
+        Graph::edge_prop(self, src, dst, el, key)
     }
 }
 
@@ -459,6 +512,22 @@ impl<G: GraphView + Send> GraphView for std::sync::Arc<G> {
     #[inline]
     fn scan_edges(&self, el: EdgeLabel) -> Cow<'_, [(VertexId, VertexId, EdgeLabel)]> {
         (**self).scan_edges(el)
+    }
+
+    #[inline]
+    fn vertex_prop(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        (**self).vertex_prop(v, key)
+    }
+
+    #[inline]
+    fn edge_prop(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        el: EdgeLabel,
+        key: &str,
+    ) -> Option<PropValue> {
+        (**self).edge_prop(src, dst, el, key)
     }
 }
 

@@ -32,6 +32,7 @@ pub mod graph;
 pub mod ids;
 pub mod intersect;
 pub mod loader;
+pub mod props;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -42,6 +43,7 @@ pub use intersect::{
     intersect_sorted, intersect_sorted_into, merge_delta, multiway_intersect,
     multiway_intersect_views,
 };
+pub use props::{EdgeKey, PropError, PropType, PropValue, PropertyStore};
 
 /// Convenience alias for an edge list `(source, destination)` used by generators and loaders.
 pub type EdgeList = Vec<(VertexId, VertexId)>;

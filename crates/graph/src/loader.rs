@@ -5,12 +5,31 @@
 //! edge label). The labelled workloads `Q^J_i` of the paper assign one of `i` labels uniformly
 //! at random to every data edge and query edge (Section 8.1.3); [`assign_random_edge_labels`]
 //! and [`assign_random_vertex_labels`] implement the data-graph half of that protocol.
+//!
+//! ## Property columns
+//!
+//! Both formats optionally carry **typed property columns** as trailing `key=value` tokens
+//! (types inferred per [`PropValue::infer`]: integer, float, `true`/`false`, else string), with
+//! per-key type consistency enforced across the whole file:
+//!
+//! ```text
+//! # edges: src dst [label] [key=value ...]
+//! 0 1 2 weight=0.5 since=2019
+//! # vertices: id [label] [key=value ...]
+//! 0 1 name=ada age=41
+//! ```
+//!
+//! [`parse_edge_list_with_props`] / [`parse_vertex_list`] parse them, and
+//! [`load_graph_with_props`] assembles a property-carrying [`Graph`] from an edge file plus an
+//! optional vertex file.
 
 use crate::builder::GraphBuilder;
 use crate::graph::Graph;
 use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+use crate::props::{PropType, PropValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
 use std::io::{BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
 
@@ -32,6 +51,12 @@ pub enum LoadError {
         line: usize,
         content: String,
     },
+    /// A malformed or type-inconsistent `key=value` property column.
+    Prop {
+        path: Option<PathBuf>,
+        line: usize,
+        message: String,
+    },
 }
 
 impl LoadError {
@@ -46,6 +71,11 @@ impl LoadError {
                 path: Some(p.to_path_buf()),
                 line,
                 content,
+            },
+            LoadError::Prop { line, message, .. } => LoadError::Prop {
+                path: Some(p.to_path_buf()),
+                line,
+                message,
             },
         }
     }
@@ -73,6 +103,20 @@ impl std::fmt::Display for LoadError {
                 line,
                 content,
             } => write!(f, "parse error on line {line}: {content:?}"),
+            LoadError::Prop {
+                path: Some(p),
+                line,
+                message,
+            } => write!(
+                f,
+                "property error in {} on line {line}: {message}",
+                p.display()
+            ),
+            LoadError::Prop {
+                path: None,
+                line,
+                message,
+            } => write!(f, "property error on line {line}: {message}"),
         }
     }
 }
@@ -81,7 +125,7 @@ impl std::error::Error for LoadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             LoadError::Io { source, .. } => Some(source),
-            LoadError::Parse { .. } => None,
+            LoadError::Parse { .. } | LoadError::Prop { .. } => None,
         }
     }
 }
@@ -136,12 +180,193 @@ pub fn parse_edge_list<R: Read>(
     Ok(edges)
 }
 
+/// An edge list parsed together with its trailing `key=value` property columns.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeListWithProps {
+    /// The edges, in file order.
+    pub edges: Vec<(VertexId, VertexId, EdgeLabel)>,
+    /// Edge properties as `(index into edges, key, value)` triples.
+    pub props: Vec<(usize, String, PropValue)>,
+}
+
+/// Split a `key=value` token; `Ok(None)` when the token is not a property column.
+fn parse_prop_token(
+    token: &str,
+    line: usize,
+    types: &mut FxHashMap<String, PropType>,
+) -> Result<Option<(String, PropValue)>, LoadError> {
+    let Some((key, raw)) = token.split_once('=') else {
+        return Ok(None);
+    };
+    let prop_err = |message: String| LoadError::Prop {
+        path: None,
+        line,
+        message,
+    };
+    if key.is_empty() || raw.is_empty() {
+        return Err(prop_err(format!(
+            "malformed property column {token:?}; expected key=value"
+        )));
+    }
+    let value = PropValue::infer(raw);
+    match types.get(key) {
+        // Columns are strictly typed, matching `PropertyStore` (write 1.0, not 1, to make a
+        // column float).
+        Some(&ty) if value.prop_type() != ty => Err(prop_err(format!(
+            "property {key:?} was {ty} earlier in the file but {raw:?} is a {}",
+            value.prop_type()
+        ))),
+        Some(_) => Ok(Some((key.to_string(), value))),
+        None => {
+            types.insert(key.to_string(), value.prop_type());
+            Ok(Some((key.to_string(), value)))
+        }
+    }
+}
+
+/// Parse an edge list whose lines are `src dst [label] [key=value ...]`. The third column is
+/// read as an edge label only when it is purely numeric (so `0 1 weight=2.5` works without a
+/// label column); every `key=value` column becomes a typed edge property. Unlike
+/// [`parse_edge_list`] — which ignores extra columns for SNAP compatibility — any trailing
+/// token that is not a property column is an error.
+pub fn parse_edge_list_with_props<R: Read>(reader: R) -> Result<EdgeListWithProps, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut out = EdgeListWithProps::default();
+    let mut types: FxHashMap<String, PropType> = FxHashMap::default();
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r').trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace().peekable();
+        let parse_err = || LoadError::Parse {
+            path: None,
+            line: i + 1,
+            content: trimmed.to_string(),
+        };
+        let src: VertexId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let dst: VertexId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let label = match it.peek() {
+            Some(tok) if !tok.contains('=') => {
+                let l: u16 = tok.parse().map_err(|_| parse_err())?;
+                it.next();
+                EdgeLabel(l)
+            }
+            _ => EdgeLabel(0),
+        };
+        let edge_idx = out.edges.len();
+        out.edges.push((src, dst, label));
+        for token in it {
+            match parse_prop_token(token, i + 1, &mut types)? {
+                Some((key, value)) => out.props.push((edge_idx, key, value)),
+                None => return Err(parse_err()),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One parsed vertex line: id, label, and its `key=value` properties.
+pub type VertexRecord = (VertexId, VertexLabel, Vec<(String, PropValue)>);
+
+/// Parse a vertex list whose lines are `id [label] [key=value ...]`, returning
+/// `(vertex, label, properties)` per line.
+pub fn parse_vertex_list<R: Read>(reader: R) -> Result<Vec<VertexRecord>, LoadError> {
+    let buf = BufReader::new(reader);
+    let mut out = Vec::new();
+    let mut types: FxHashMap<String, PropType> = FxHashMap::default();
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches('\r').trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace().peekable();
+        let parse_err = || LoadError::Parse {
+            path: None,
+            line: i + 1,
+            content: trimmed.to_string(),
+        };
+        let v: VertexId = it
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let label = match it.peek() {
+            Some(tok) if !tok.contains('=') => {
+                let l: u16 = tok.parse().map_err(|_| parse_err())?;
+                it.next();
+                VertexLabel(l)
+            }
+            _ => VertexLabel(0),
+        };
+        let mut props = Vec::new();
+        for token in it {
+            match parse_prop_token(token, i + 1, &mut types)? {
+                Some(kv) => props.push(kv),
+                None => return Err(parse_err()),
+            }
+        }
+        out.push((v, label, props));
+    }
+    Ok(out)
+}
+
 /// Load a graph from an edge-list file on disk (SNAP format). Errors name the offending file.
 pub fn load_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, LoadError> {
     let path = path.as_ref();
     let file = std::fs::File::open(path).map_err(|e| LoadError::from(e).with_path(path))?;
     let edges = parse_edge_list(file).map_err(|e| e.with_path(path))?;
     Ok(graph_from_labelled_edges(&edges))
+}
+
+/// Load a property graph: an edge file (`src dst [label] [key=value ...]`) plus an optional
+/// vertex file (`id [label] [key=value ...]`). Errors name the offending file and line.
+pub fn load_graph_with_props<P: AsRef<Path>>(
+    edge_path: P,
+    vertex_path: Option<P>,
+) -> Result<Graph, LoadError> {
+    let edge_path = edge_path.as_ref();
+    let file =
+        std::fs::File::open(edge_path).map_err(|e| LoadError::from(e).with_path(edge_path))?;
+    let parsed = parse_edge_list_with_props(file).map_err(|e| e.with_path(edge_path))?;
+
+    let mut b = GraphBuilder::new();
+    for &(s, d, l) in &parsed.edges {
+        b.add_labelled_edge(s, d, l);
+    }
+    for (idx, key, value) in parsed.props {
+        let (s, d, l) = parsed.edges[idx];
+        // Infallible: parsing already enforced one type per key across the file, which is
+        // exactly the builder's per-column invariant.
+        b.set_edge_prop(s, d, l, &key, value)
+            .expect("per-file type checking matches the store's column typing");
+    }
+    if let Some(vertex_path) = vertex_path {
+        let vertex_path = vertex_path.as_ref();
+        let file = std::fs::File::open(vertex_path)
+            .map_err(|e| LoadError::from(e).with_path(vertex_path))?;
+        let vertices = parse_vertex_list(file).map_err(|e| e.with_path(vertex_path))?;
+        for (v, label, props) in vertices {
+            b.set_vertex_label(v, label);
+            for (key, value) in props {
+                // Same invariant as edge properties above (vertex columns are a separate
+                // namespace, so the edge file cannot conflict with the vertex file).
+                b.set_vertex_prop(v, &key, value)
+                    .expect("per-file type checking matches the store's column typing");
+            }
+        }
+    }
+    Ok(b.build())
 }
 
 /// Build a graph from `(src, dst, edge label)` triples (vertices are unlabelled).
@@ -246,6 +471,91 @@ mod tests {
         assert!(msg.contains("bad_edges.txt"), "{msg}");
         assert!(msg.contains("line 2"), "{msg}");
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn parses_edge_property_columns() {
+        let input =
+            "# typed columns\n0 1 2 weight=0.5 since=2019\n1 2 kind=friend active=true\n2 0 1\n";
+        let parsed = parse_edge_list_with_props(input.as_bytes()).unwrap();
+        assert_eq!(parsed.edges.len(), 3);
+        assert_eq!(parsed.edges[0], (0, 1, EdgeLabel(2)));
+        assert_eq!(
+            parsed.edges[1],
+            (1, 2, EdgeLabel(0)),
+            "label omitted before props"
+        );
+        assert_eq!(parsed.edges[2], (2, 0, EdgeLabel(1)));
+        assert_eq!(parsed.props.len(), 4);
+        assert_eq!(
+            parsed.props[0],
+            (0, "weight".to_string(), PropValue::Float(0.5))
+        );
+        assert_eq!(
+            parsed.props[1],
+            (0, "since".to_string(), PropValue::Int(2019))
+        );
+        assert_eq!(
+            parsed.props[2],
+            (1, "kind".to_string(), PropValue::str("friend"))
+        );
+        assert_eq!(
+            parsed.props[3],
+            (1, "active".to_string(), PropValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn property_type_conflicts_are_reported_with_lines() {
+        let input = "0 1 weight=0.5\n1 2 weight=heavy\n";
+        let err = parse_edge_list_with_props(input.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, LoadError::Prop { line: 2, .. }), "{msg}");
+        assert!(msg.contains("weight"), "{msg}");
+        assert!(msg.contains("float"), "{msg}");
+        // Malformed columns and stray tokens are rejected too.
+        assert!(parse_edge_list_with_props("0 1 =5\n".as_bytes()).is_err());
+        assert!(parse_edge_list_with_props("0 1 w=\n".as_bytes()).is_err());
+        assert!(parse_edge_list_with_props("0 1 junk\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn vertex_list_round_trips() {
+        let input = "# id label props\n0 1 name=ada age=41\n1 name=bob\n2 2\n";
+        let vertices = parse_vertex_list(input.as_bytes()).unwrap();
+        assert_eq!(vertices.len(), 3);
+        assert_eq!(vertices[0].0, 0);
+        assert_eq!(vertices[0].1, VertexLabel(1));
+        assert_eq!(vertices[0].2.len(), 2);
+        assert_eq!(vertices[1].1, VertexLabel(0), "label omitted before props");
+        assert_eq!(vertices[2].1, VertexLabel(2));
+        assert!(vertices[2].2.is_empty());
+    }
+
+    #[test]
+    fn load_graph_with_props_assembles_everything() {
+        let dir = std::env::temp_dir().join("graphflow_loader_props_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let edges = dir.join("edges.txt");
+        let vertices = dir.join("vertices.txt");
+        std::fs::write(&edges, "0 1 weight=0.5\n1 2 weight=0.75\n0 2\n").unwrap();
+        std::fs::write(&vertices, "0 1 age=41\n1 0 age=12\n2 1 age=77\n").unwrap();
+        let g = load_graph_with_props(&edges, Some(&vertices)).unwrap();
+        g.check_invariants().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.vertex_label(0), VertexLabel(1));
+        assert_eq!(g.vertex_prop(1, "age"), Some(PropValue::Int(12)));
+        assert_eq!(
+            g.edge_prop(1, 2, EdgeLabel(0), "weight"),
+            Some(PropValue::Float(0.75))
+        );
+        assert_eq!(g.edge_prop(0, 2, EdgeLabel(0), "weight"), None);
+        // Errors carry the file path.
+        std::fs::write(&edges, "0 1 weight=0.5\n1 2 weight=oops\n").unwrap();
+        let err = load_graph_with_props(&edges, Some(&vertices)).unwrap_err();
+        assert!(err.to_string().contains("edges.txt"), "{err}");
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&vertices).ok();
     }
 
     #[test]

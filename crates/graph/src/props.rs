@@ -1,0 +1,586 @@
+//! Typed vertex/edge property storage.
+//!
+//! The paper's engine matches on labels only; real workloads also filter on attributes
+//! (`age > 30`, `weight < 0.5`). This module adds a **typed, columnar** property layer to the
+//! storage substrate:
+//!
+//! * [`PropValue`] is the dynamically-typed value cell (integer, float, boolean, string), with
+//!   a coercing comparison ([`PropValue::compare`]) that predicate evaluation is built on;
+//! * [`PropertyStore`] holds one **column per property key**. Vertex columns are dense typed
+//!   vectors indexed by vertex id (null-bitmap style `Option` slots); edge columns are typed
+//!   maps keyed by `(src, dst, edge label)` — the identity SCAN and E/I already carry. A column
+//!   is created with the type of its first value and every later write is type-checked, so a
+//!   query compiled against a column knows the type it will read.
+//!
+//! The delta subsystem ([`crate::delta`]) layers sparse copy-on-write overlays over a base
+//! `PropertyStore`, so property writes obey the same snapshot-isolation contract as edge
+//! updates.
+
+use crate::ids::{EdgeLabel, VertexId};
+use rustc_hash::FxHashMap;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The identity of a data edge, as carried by the SCAN and adjacency layers.
+pub type EdgeKey = (VertexId, VertexId, EdgeLabel);
+
+/// The type of a property column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PropType {
+    Int,
+    Float,
+    Bool,
+    Str,
+}
+
+impl fmt::Display for PropType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropType::Int => write!(f, "int"),
+            PropType::Float => write!(f, "float"),
+            PropType::Bool => write!(f, "bool"),
+            PropType::Str => write!(f, "string"),
+        }
+    }
+}
+
+/// A typed property value.
+///
+/// Strings are reference-counted ([`Arc<str>`]), so cloning a value out of the store is cheap.
+/// Equality and hashing are *structural* (floats compare by bit pattern, so `PropValue` can key
+/// caches); ordered comparison for predicates goes through [`PropValue::compare`], which uses
+/// numeric semantics and coerces between `Int` and `Float`.
+#[derive(Debug, Clone)]
+pub enum PropValue {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(Arc<str>),
+}
+
+impl PropValue {
+    /// A string value (convenience over building the `Arc` by hand).
+    pub fn str(s: impl AsRef<str>) -> PropValue {
+        PropValue::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The type of this value.
+    pub fn prop_type(&self) -> PropType {
+        match self {
+            PropValue::Int(_) => PropType::Int,
+            PropValue::Float(_) => PropType::Float,
+            PropValue::Bool(_) => PropType::Bool,
+            PropValue::Str(_) => PropType::Str,
+        }
+    }
+
+    /// Whether a value of this type can be stored in (and compared against) a column of type
+    /// `ty`. `Int` and `Float` are mutually comparable; every other type only matches itself.
+    pub fn comparable_with(&self, ty: PropType) -> bool {
+        match (self.prop_type(), ty) {
+            (a, b) if a == b => true,
+            (PropType::Int, PropType::Float) | (PropType::Float, PropType::Int) => true,
+            _ => false,
+        }
+    }
+
+    /// Ordered comparison with `Int`/`Float` coercion. Returns `None` for incomparable types
+    /// (e.g. a string against an integer) and for comparisons involving NaN — a predicate over
+    /// an incomparable pair simply does not match.
+    pub fn compare(&self, other: &PropValue) -> Option<Ordering> {
+        match (self, other) {
+            (PropValue::Int(a), PropValue::Int(b)) => Some(a.cmp(b)),
+            (PropValue::Float(a), PropValue::Float(b)) => a.partial_cmp(b),
+            (PropValue::Int(a), PropValue::Float(b)) => (*a as f64).partial_cmp(b),
+            (PropValue::Float(a), PropValue::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (PropValue::Bool(a), PropValue::Bool(b)) => Some(a.cmp(b)),
+            (PropValue::Str(a), PropValue::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Parse a loader literal: `i64` first, then `f64`, then `true`/`false`, else a string.
+    pub fn infer(token: &str) -> PropValue {
+        if let Ok(i) = token.parse::<i64>() {
+            return PropValue::Int(i);
+        }
+        if let Ok(f) = token.parse::<f64>() {
+            return PropValue::Float(f);
+        }
+        match token {
+            "true" => PropValue::Bool(true),
+            "false" => PropValue::Bool(false),
+            _ => PropValue::str(token),
+        }
+    }
+}
+
+impl PartialEq for PropValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PropValue::Int(a), PropValue::Int(b)) => a == b,
+            (PropValue::Float(a), PropValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (PropValue::Bool(a), PropValue::Bool(b)) => a == b,
+            (PropValue::Str(a), PropValue::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PropValue {}
+
+impl std::hash::Hash for PropValue {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            PropValue::Int(v) => v.hash(state),
+            PropValue::Float(v) => v.to_bits().hash(state),
+            PropValue::Bool(v) => v.hash(state),
+            PropValue::Str(v) => v.hash(state),
+        }
+    }
+}
+
+/// Total order across all values (type discriminant first, floats by IEEE `total_cmp`): used to
+/// keep predicate lists in a canonical order, *not* for predicate evaluation (which coerces —
+/// see [`PropValue::compare`]).
+impl Ord for PropValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &PropValue) -> u8 {
+            match v {
+                PropValue::Int(_) => 0,
+                PropValue::Float(_) => 1,
+                PropValue::Bool(_) => 2,
+                PropValue::Str(_) => 3,
+            }
+        }
+        rank(self)
+            .cmp(&rank(other))
+            .then_with(|| match (self, other) {
+                (PropValue::Int(a), PropValue::Int(b)) => a.cmp(b),
+                (PropValue::Float(a), PropValue::Float(b)) => a.total_cmp(b),
+                (PropValue::Bool(a), PropValue::Bool(b)) => a.cmp(b),
+                (PropValue::Str(a), PropValue::Str(b)) => a.as_ref().cmp(b.as_ref()),
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for PropValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Int(v) => write!(f, "{v}"),
+            PropValue::Float(v) => {
+                // Keep the decimal point so the literal round-trips as a float.
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            PropValue::Bool(v) => write!(f, "{v}"),
+            PropValue::Str(v) => {
+                write!(f, "\"")?;
+                for c in v.chars() {
+                    match c {
+                        '"' | '\\' => write!(f, "\\{c}")?,
+                        _ => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+        }
+    }
+}
+
+/// Errors produced by property writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The column `key` holds values of type `expected` but a `found` value was written.
+    TypeMismatch {
+        key: String,
+        expected: PropType,
+        found: PropType,
+    },
+    /// The addressed vertex does not exist.
+    NoSuchVertex { v: VertexId },
+    /// The addressed edge does not exist.
+    NoSuchEdge {
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+    },
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropError::TypeMismatch {
+                key,
+                expected,
+                found,
+            } => write!(
+                f,
+                "property column {key:?} holds {expected} values; cannot store a {found}"
+            ),
+            PropError::NoSuchVertex { v } => write!(f, "vertex {v} does not exist"),
+            PropError::NoSuchEdge { src, dst, label } => {
+                write!(f, "edge {src}->{dst} with label {label} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+/// One dense vertex column: a typed vector indexed by vertex id (`None` = property absent).
+#[derive(Debug, Clone, PartialEq)]
+enum VertexColumn {
+    Int(Vec<Option<i64>>),
+    Float(Vec<Option<f64>>),
+    Bool(Vec<Option<bool>>),
+    Str(Vec<Option<Arc<str>>>),
+}
+
+impl VertexColumn {
+    fn new(ty: PropType) -> VertexColumn {
+        match ty {
+            PropType::Int => VertexColumn::Int(Vec::new()),
+            PropType::Float => VertexColumn::Float(Vec::new()),
+            PropType::Bool => VertexColumn::Bool(Vec::new()),
+            PropType::Str => VertexColumn::Str(Vec::new()),
+        }
+    }
+
+    fn ty(&self) -> PropType {
+        match self {
+            VertexColumn::Int(_) => PropType::Int,
+            VertexColumn::Float(_) => PropType::Float,
+            VertexColumn::Bool(_) => PropType::Bool,
+            VertexColumn::Str(_) => PropType::Str,
+        }
+    }
+
+    fn get(&self, v: VertexId) -> Option<PropValue> {
+        let i = v as usize;
+        match self {
+            VertexColumn::Int(c) => c.get(i).copied().flatten().map(PropValue::Int),
+            VertexColumn::Float(c) => c.get(i).copied().flatten().map(PropValue::Float),
+            VertexColumn::Bool(c) => c.get(i).copied().flatten().map(PropValue::Bool),
+            VertexColumn::Str(c) => c.get(i).cloned().flatten().map(PropValue::Str),
+        }
+    }
+
+    /// Store `value` at slot `v`, growing the column as needed. The caller has already
+    /// type-checked `value` against [`VertexColumn::ty`].
+    fn set(&mut self, v: VertexId, value: PropValue) {
+        fn slot<T>(c: &mut Vec<Option<T>>, v: VertexId) -> &mut Option<T> {
+            let i = v as usize;
+            if c.len() <= i {
+                c.resize_with(i + 1, || None);
+            }
+            &mut c[i]
+        }
+        match (self, value) {
+            (VertexColumn::Int(c), PropValue::Int(x)) => *slot(c, v) = Some(x),
+            (VertexColumn::Float(c), PropValue::Float(x)) => *slot(c, v) = Some(x),
+            (VertexColumn::Bool(c), PropValue::Bool(x)) => *slot(c, v) = Some(x),
+            (VertexColumn::Str(c), PropValue::Str(x)) => *slot(c, v) = Some(x),
+            _ => unreachable!("type-checked by PropertyStore::set_vertex"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            VertexColumn::Int(c) => c.len(),
+            VertexColumn::Float(c) => c.len(),
+            VertexColumn::Bool(c) => c.len(),
+            VertexColumn::Str(c) => c.len(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            VertexColumn::Int(c) => c.len() * std::mem::size_of::<Option<i64>>(),
+            VertexColumn::Float(c) => c.len() * std::mem::size_of::<Option<f64>>(),
+            VertexColumn::Bool(c) => c.len() * std::mem::size_of::<Option<bool>>(),
+            VertexColumn::Str(c) => {
+                c.len() * std::mem::size_of::<Option<Arc<str>>>()
+                    + c.iter().flatten().map(|s| s.len()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// One edge column: uniform value type, keyed by edge identity.
+#[derive(Debug, Clone, PartialEq)]
+struct EdgeColumn {
+    ty: PropType,
+    map: FxHashMap<EdgeKey, PropValue>,
+}
+
+/// Columnar typed property storage for one graph: one column per property key, vertex and edge
+/// namespaces kept separate. See the [module docs](self) for the storage layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PropertyStore {
+    vertex_cols: BTreeMap<String, VertexColumn>,
+    edge_cols: BTreeMap<String, EdgeColumn>,
+}
+
+impl PropertyStore {
+    /// An empty store.
+    pub fn new() -> PropertyStore {
+        PropertyStore::default()
+    }
+
+    /// Whether no property is stored at all.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_cols.is_empty() && self.edge_cols.is_empty()
+    }
+
+    /// The type of the vertex column `key`, if it exists.
+    pub fn vertex_col_type(&self, key: &str) -> Option<PropType> {
+        self.vertex_cols.get(key).map(|c| c.ty())
+    }
+
+    /// The type of the edge column `key`, if it exists.
+    pub fn edge_col_type(&self, key: &str) -> Option<PropType> {
+        self.edge_cols.get(key).map(|c| c.ty)
+    }
+
+    /// Names (and types) of all vertex columns, in sorted order.
+    pub fn vertex_columns(&self) -> impl Iterator<Item = (&str, PropType)> {
+        self.vertex_cols.iter().map(|(k, c)| (k.as_str(), c.ty()))
+    }
+
+    /// Names (and types) of all edge columns, in sorted order.
+    pub fn edge_columns(&self) -> impl Iterator<Item = (&str, PropType)> {
+        self.edge_cols.iter().map(|(k, c)| (k.as_str(), c.ty))
+    }
+
+    /// Set `key = value` on vertex `v`. The column is created with `value`'s type on first
+    /// write; later writes must match it.
+    pub fn set_vertex(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        let col = self
+            .vertex_cols
+            .entry(key.to_string())
+            .or_insert_with(|| VertexColumn::new(value.prop_type()));
+        if col.ty() != value.prop_type() {
+            return Err(PropError::TypeMismatch {
+                key: key.to_string(),
+                expected: col.ty(),
+                found: value.prop_type(),
+            });
+        }
+        col.set(v, value);
+        Ok(())
+    }
+
+    /// The value of `key` on vertex `v`, if set.
+    pub fn vertex(&self, v: VertexId, key: &str) -> Option<PropValue> {
+        self.vertex_cols.get(key).and_then(|c| c.get(v))
+    }
+
+    /// Set `key = value` on the edge `edge`. Same column-typing rule as vertices.
+    pub fn set_edge(
+        &mut self,
+        edge: EdgeKey,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), PropError> {
+        let col = self
+            .edge_cols
+            .entry(key.to_string())
+            .or_insert_with(|| EdgeColumn {
+                ty: value.prop_type(),
+                map: FxHashMap::default(),
+            });
+        if col.ty != value.prop_type() {
+            return Err(PropError::TypeMismatch {
+                key: key.to_string(),
+                expected: col.ty,
+                found: value.prop_type(),
+            });
+        }
+        col.map.insert(edge, value);
+        Ok(())
+    }
+
+    /// The value of `key` on the edge `edge`, if set.
+    pub fn edge(&self, edge: EdgeKey, key: &str) -> Option<PropValue> {
+        self.edge_cols
+            .get(key)
+            .and_then(|c| c.map.get(&edge))
+            .cloned()
+    }
+
+    /// Remove one edge-property value (used when folding delete tombstones at compaction).
+    pub fn remove_edge_value(&mut self, edge: EdgeKey, key: &str) {
+        if let Some(col) = self.edge_cols.get_mut(key) {
+            col.map.remove(&edge);
+        }
+    }
+
+    /// Drop every property of the edge `edge` (the edge was deleted).
+    pub fn remove_edge(&mut self, edge: EdgeKey) {
+        for col in self.edge_cols.values_mut() {
+            col.map.remove(&edge);
+        }
+    }
+
+    /// The property keys of `edge` that currently hold a value.
+    pub fn edge_keys_of(&self, edge: EdgeKey) -> Vec<String> {
+        self.edge_cols
+            .iter()
+            .filter(|(_, c)| c.map.contains_key(&edge))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// All `(vertex, value)` pairs of the vertex column `key`.
+    pub fn vertex_values(&self, key: &str) -> Vec<(VertexId, PropValue)> {
+        match self.vertex_cols.get(key) {
+            None => Vec::new(),
+            Some(col) => (0..col.len() as VertexId)
+                .filter_map(|v| col.get(v).map(|val| (v, val)))
+                .collect(),
+        }
+    }
+
+    /// All `(edge, value)` pairs of the edge column `key`.
+    pub fn edge_values(&self, key: &str) -> Vec<(EdgeKey, PropValue)> {
+        match self.edge_cols.get(key) {
+            None => Vec::new(),
+            Some(col) => col.map.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        }
+    }
+
+    /// Approximate bytes held by the store.
+    pub fn memory_bytes(&self) -> usize {
+        let vertex: usize = self
+            .vertex_cols
+            .iter()
+            .map(|(k, c)| k.len() + c.memory_bytes())
+            .sum();
+        let edge: usize = self
+            .edge_cols
+            .iter()
+            .map(|(k, c)| {
+                k.len()
+                    + c.map.len()
+                        * (std::mem::size_of::<EdgeKey>() + std::mem::size_of::<PropValue>())
+            })
+            .sum();
+        vertex + edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_columns_enforce_their_type() {
+        let mut s = PropertyStore::new();
+        s.set_vertex(3, "age", PropValue::Int(41)).unwrap();
+        assert_eq!(s.vertex(3, "age"), Some(PropValue::Int(41)));
+        assert_eq!(s.vertex(2, "age"), None, "unset slot");
+        assert_eq!(s.vertex(3, "nope"), None, "unknown column");
+        let err = s.set_vertex(4, "age", PropValue::str("old")).unwrap_err();
+        assert!(matches!(err, PropError::TypeMismatch { .. }));
+        assert!(err.to_string().contains("age"), "{err}");
+        assert_eq!(s.vertex_col_type("age"), Some(PropType::Int));
+    }
+
+    #[test]
+    fn edge_columns_round_trip() {
+        let mut s = PropertyStore::new();
+        let e = (0, 1, EdgeLabel(2));
+        s.set_edge(e, "weight", PropValue::Float(0.25)).unwrap();
+        assert_eq!(s.edge(e, "weight"), Some(PropValue::Float(0.25)));
+        assert_eq!(s.edge((1, 0, EdgeLabel(2)), "weight"), None);
+        assert!(s.set_edge(e, "weight", PropValue::Bool(true)).is_err());
+        assert_eq!(s.edge_keys_of(e), vec!["weight".to_string()]);
+        s.remove_edge(e);
+        assert_eq!(s.edge(e, "weight"), None);
+    }
+
+    #[test]
+    fn compare_coerces_numerics_only() {
+        assert_eq!(
+            PropValue::Int(2).compare(&PropValue::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            PropValue::Float(3.0).compare(&PropValue::Int(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            PropValue::str("a").compare(&PropValue::str("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(PropValue::str("1").compare(&PropValue::Int(1)), None);
+        assert_eq!(PropValue::Bool(true).compare(&PropValue::Int(1)), None);
+        assert_eq!(
+            PropValue::Float(f64::NAN).compare(&PropValue::Float(0.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_infer() {
+        for v in [
+            PropValue::Int(-7),
+            PropValue::Float(2.5),
+            PropValue::Float(30.0),
+            PropValue::Bool(true),
+        ] {
+            let text = v.to_string();
+            assert_eq!(PropValue::infer(&text), v, "literal {text}");
+        }
+        // Strings display quoted; infer() works on raw (unquoted) loader tokens instead.
+        assert_eq!(PropValue::str("hi").to_string(), "\"hi\"");
+        assert_eq!(PropValue::infer("hi"), PropValue::str("hi"));
+        assert_eq!(PropValue::infer("12"), PropValue::Int(12));
+        assert_eq!(PropValue::infer("1.5"), PropValue::Float(1.5));
+        assert_eq!(PropValue::infer("false"), PropValue::Bool(false));
+    }
+
+    #[test]
+    fn memory_and_iteration() {
+        let mut s = PropertyStore::new();
+        assert!(s.is_empty());
+        s.set_vertex(0, "name", PropValue::str("ada")).unwrap();
+        s.set_vertex(2, "name", PropValue::str("bob")).unwrap();
+        s.set_edge((0, 2, EdgeLabel(0)), "w", PropValue::Int(9))
+            .unwrap();
+        assert!(!s.is_empty());
+        assert!(s.memory_bytes() > 0);
+        assert_eq!(
+            s.vertex_values("name"),
+            vec![(0, PropValue::str("ada")), (2, PropValue::str("bob"))]
+        );
+        assert_eq!(s.edge_values("w").len(), 1);
+        assert_eq!(
+            s.vertex_columns().collect::<Vec<_>>(),
+            vec![("name", PropType::Str)]
+        );
+        assert_eq!(
+            s.edge_columns().collect::<Vec<_>>(),
+            vec![("w", PropType::Int)]
+        );
+    }
+}

@@ -91,19 +91,27 @@ impl PlanCost {
 /// accesses query vertices matched *before* the child's most recently matched vertex — the
 /// cardinality of the projection onto the accessed vertices (Section 5.2, "Intersection cache
 /// utilization"). Hash joins contribute `w1·|build| + w2·|probe|`.
+///
+/// Every cardinality is scaled by the combined selectivity of the property predicates fully
+/// bound by the corresponding vertex subset
+/// ([`QueryGraph::predicate_selectivity`]): predicates are evaluated by the executors as soon
+/// as their vertices bind, so intermediate results shrink at exactly these points and plans
+/// that bind highly filtered vertices early win the cost comparison.
 pub fn estimate_cost(
     q: &QueryGraph,
     catalogue: &Catalogue,
     model: &CostModel,
     node: &PlanNode,
 ) -> PlanCost {
+    let card =
+        |set: VertexSet| catalogue.estimate_cardinality(q, set) * q.predicate_selectivity(set);
     match node {
         PlanNode::Scan(n) => {
             let set = singleton(n.edge.src) | singleton(n.edge.dst);
             PlanCost {
                 icost: 0.0,
                 join_cost: 0.0,
-                output_cardinality: catalogue.estimate_cardinality(q, set),
+                output_cardinality: card(set),
             }
         }
         PlanNode::Extend(n) => {
@@ -130,12 +138,12 @@ pub fn estimate_cost(
             let multiplier = if model.cache_conscious
                 && last_matched.is_some_and(|lv| accessed & singleton(lv) == 0)
             {
-                catalogue.estimate_cardinality(q, accessed)
+                card(accessed)
             } else {
-                catalogue.estimate_cardinality(q, child_set)
+                card(child_set)
             };
 
-            let out_card = catalogue.estimate_cardinality(q, node.vertex_set());
+            let out_card = card(node.vertex_set());
             PlanCost {
                 icost: child_cost.icost + multiplier * sum_sizes,
                 join_cost: child_cost.join_cost,
@@ -147,7 +155,7 @@ pub fn estimate_cost(
             let probe = estimate_cost(q, catalogue, model, &n.probe);
             let n1 = build.output_cardinality;
             let n2 = probe.output_cardinality;
-            let out_card = catalogue.estimate_cardinality(q, node.vertex_set());
+            let out_card = card(node.vertex_set());
             PlanCost {
                 icost: build.icost + probe.icost,
                 join_cost: build.join_cost + probe.join_cost + model.w1 * n1 + model.w2 * n2,
@@ -272,6 +280,36 @@ mod tests {
         let o_cached = estimate_cost(&q, &cat, &ob, &cached);
         let o_uncached = estimate_cost(&q, &cat, &ob, &uncached);
         assert!((o_cached.icost - o_uncached.icost).abs() / o_uncached.icost < 0.2);
+    }
+
+    #[test]
+    fn predicate_selectivity_shrinks_estimates() {
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        let g = complete_graph(8);
+        let cat = Catalogue::with_defaults(g);
+        let model = CostModel::default();
+        let q = patterns::diamond_x();
+        let plain = estimate_cost(&q, &cat, &model, &wco_plan(&q, &[0, 1, 2, 3]));
+        let mut filtered = q.clone();
+        filtered.add_predicate(Predicate {
+            target: PredTarget::Vertex(0),
+            key: "age".into(),
+            op: CmpOp::Eq,
+            value: graphflow_graph::PropValue::Int(30),
+        });
+        let cost = estimate_cost(&filtered, &cat, &model, &wco_plan(&filtered, &[0, 1, 2, 3]));
+        assert!(cost.output_cardinality < plain.output_cardinality);
+        assert!(cost.icost < plain.icost, "filtered scans feed fewer tuples");
+        // An equality predicate (selectivity 0.1) cuts deeper than an inequality (1/3).
+        let mut loosely = q.clone();
+        loosely.add_predicate(Predicate {
+            target: PredTarget::Vertex(0),
+            key: "age".into(),
+            op: CmpOp::Gt,
+            value: graphflow_graph::PropValue::Int(30),
+        });
+        let loose = estimate_cost(&loosely, &cat, &model, &wco_plan(&loosely, &[0, 1, 2, 3]));
+        assert!(cost.output_cardinality < loose.output_cardinality);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! Query graphs are tiny (≤ 8 vertices in every experiment), so a brute-force minimisation over
 //! all vertex permutations is both exact and fast.
 
-use crate::querygraph::QueryGraph;
+use crate::querygraph::{PredTarget, QueryGraph};
+use std::hash::{Hash, Hasher};
 
 /// A canonical, permutation-invariant encoding of a query graph.
 ///
@@ -109,6 +110,42 @@ pub fn canonical_form(q: &QueryGraph) -> (CanonicalCode, Vec<usize>) {
     }
     let (code, perm) = best.unwrap();
     (CanonicalCode(code), perm)
+}
+
+/// A permutation-normalised encoding of the query's predicate **structure** — targets (mapped
+/// through `perm` into canonical vertex positions), property keys, operators and literal
+/// *types*, but **not** the literal constants.
+///
+/// The facade's plan cache appends this to the pattern code, so two structurally-equal queries
+/// that differ only in predicate constants (`age > 30` vs `age > 50`) produce the same cache
+/// key and share one optimized plan; the constants are grafted back on at prepare time.
+pub fn predicate_structure_code(q: &QueryGraph, perm: &[usize]) -> Vec<u64> {
+    let mut items: Vec<[u64; 3]> = q
+        .predicates()
+        .iter()
+        .map(|p| {
+            let target = match p.target {
+                PredTarget::Vertex(v) => (perm[v] as u64) << 1,
+                PredTarget::Edge(i) => {
+                    let e = q.edges()[i];
+                    1u64 | ((perm[e.src] as u64) << 1)
+                        | ((perm[e.dst] as u64) << 17)
+                        | ((e.label.0 as u64) << 33)
+                }
+            };
+            let mut h = rustc_hash::FxHasher::default();
+            p.key.hash(&mut h);
+            let shape = ((p.op as u64) << 8) | p.value.prop_type() as u64;
+            [target, h.finish(), shape]
+        })
+        .collect();
+    items.sort_unstable();
+    let mut code = Vec::with_capacity(1 + items.len() * 3);
+    code.push(items.len() as u64);
+    for item in items {
+        code.extend_from_slice(&item);
+    }
+    code
 }
 
 /// All automorphisms of the query graph: permutations `p` (as `p[original] = image`) that map

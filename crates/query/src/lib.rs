@@ -5,9 +5,11 @@
 //! A subgraph query `Q(V_Q, E_Q)` is a small directed, connected, labelled graph whose matches
 //! are looked for in a data graph (paper Section 2). This crate provides:
 //!
-//! * [`QueryGraph`] — the query representation with labelled query vertices and edges,
-//!   projections onto vertex subsets, and connectivity utilities used by the planner;
-//! * [`parser`] — a compact textual pattern syntax (`(a)-[1]->(b:2), (b)->(c)`);
+//! * [`QueryGraph`] — the query representation with labelled query vertices and edges, typed
+//!   property [`Predicate`]s, projections onto vertex subsets, and connectivity utilities used
+//!   by the planner;
+//! * [`parser`] — a compact textual pattern syntax (`(a)-[1]->(b:2), (b)->(c)`) with `WHERE`
+//!   clauses over vertex and edge properties (`(a)-[e]->(b) WHERE a.age > 30 AND e.w < 0.5`);
 //! * [`patterns`] — constructors for the standard shapes used throughout the paper (triangle,
 //!   diamond-X, tailed triangle, cliques, cycles) and the benchmark queries Q1–Q14 of Figure 6;
 //! * [`qvo`] — enumeration of query-vertex orderings (QVOs), i.e. connected orders of `V_Q`,
@@ -23,11 +25,11 @@ pub mod querygraph;
 pub mod qvo;
 
 pub use canonical::{
-    automorphisms, canonical_code, canonical_form, exact_code, CanonicalCode,
-    MAX_CANONICAL_VERTICES,
+    automorphisms, canonical_code, canonical_form, exact_code, predicate_structure_code,
+    CanonicalCode, MAX_CANONICAL_VERTICES,
 };
 pub use extension::{descriptors_for_extension, extension_chain, AdjListDescriptor, ExtensionSpec};
 pub use parser::{parse_query, ParseError};
 pub use patterns::benchmark_query;
-pub use querygraph::{QueryEdge, QueryGraph, QueryVertex, VertexSet};
+pub use querygraph::{CmpOp, PredTarget, Predicate, QueryEdge, QueryGraph, QueryVertex, VertexSet};
 pub use qvo::{connected_orderings, distinct_orderings};

@@ -4,13 +4,23 @@
 //! enough to express every query in the paper:
 //!
 //! ```text
+//! query     := pattern ("WHERE" conjunction)?
 //! pattern   := edge ("," edge)*
 //! edge      := vertex arrow vertex
 //! vertex    := "(" name (":" label)? ")"
-//! arrow     := "->" | "-[" label "]->" | "<-" | "<-[" label "]-"
-//! name      := identifier (e.g. a1, person)
+//! arrow     := "->" | "-[" edgespec "]->" | "<-" | "<-[" edgespec "]-"
+//! edgespec  := label | name (":" label)? | ":" label
+//! conjunction := comparison ("AND" comparison)*
+//! comparison  := name "." key cmp literal
+//! cmp       := "<" | "<=" | ">" | ">=" | "=" | "==" | "!=" | "<>"
+//! literal   := integer | float | quoted string | "true" | "false"
+//! name, key := identifier (e.g. a1, person, weight)
 //! label     := unsigned integer (maps directly onto data-graph label ids)
 //! ```
+//!
+//! `WHERE` and `AND` are case-insensitive. A comparison's variable must name a pattern vertex
+//! or a *named* edge (`-[e]->`, `-[e:2]->`); predicates are typed — a property key compared to
+//! a string in one conjunct and a number in another is rejected at parse time.
 //!
 //! Examples:
 //!
@@ -22,10 +32,13 @@
 //! // Labelled query: edge label 2 between vertices labelled 1 and 0.
 //! let q = parse_query("(x:1)-[2]->(y)").unwrap();
 //! assert_eq!(q.num_edges(), 1);
+//! // Property predicates on a vertex and a named edge.
+//! let q = parse_query("(a)-[e]->(b) WHERE a.age >= 30 AND e.weight < 0.5").unwrap();
+//! assert_eq!(q.predicates().len(), 2);
 //! ```
 
-use crate::querygraph::QueryGraph;
-use graphflow_graph::{EdgeLabel, VertexLabel};
+use crate::querygraph::{CmpOp, PredTarget, Predicate, QueryGraph};
+use graphflow_graph::{EdgeLabel, PropType, PropValue, VertexLabel};
 use std::fmt;
 
 /// An error produced while parsing a query pattern.
@@ -50,6 +63,11 @@ struct Parser<'a> {
     pos: usize,
     query: QueryGraph,
 }
+
+/// Per-`(variable, key)` literal-type bookkeeping for WHERE-clause type checking: the type a
+/// key was first compared against, plus the literal text that established it (for error
+/// messages).
+type SeenPropTypes = Vec<((PredTarget, String), (PropType, String))>;
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
@@ -83,6 +101,25 @@ impl<'a> Parser<'a> {
         } else {
             false
         }
+    }
+
+    /// Consume a case-insensitive keyword, requiring a word boundary after it (so a vertex
+    /// named `whereabouts` is not mistaken for `WHERE`).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        let rest = self.rest();
+        // `get` (not indexing) so a multi-byte character straddling the boundary is a
+        // non-match instead of a char-boundary panic.
+        let Some(head) = rest.get(..kw.len()) else {
+            return false;
+        };
+        if head.eq_ignore_ascii_case(kw) {
+            let next = rest[kw.len()..].chars().next();
+            if !matches!(next, Some(c) if c.is_alphanumeric() || c == '_') {
+                self.pos += kw.len();
+                return true;
+            }
+        }
+        false
     }
 
     fn expect(&mut self, token: &str) -> Result<(), ParseError> {
@@ -134,6 +171,11 @@ impl<'a> Parser<'a> {
         self.expect("(")?;
         self.skip_ws();
         let name = self.parse_identifier()?;
+        if self.query.edge_index_by_name(&name).is_some() {
+            return Err(self.err(format!(
+                "{name} already names an edge; vertex and edge variables share one namespace"
+            )));
+        }
         self.skip_ws();
         let label = if self.eat(":") {
             self.skip_ws();
@@ -164,30 +206,51 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// `->`, `-[label]->`, `<-` or `<-[label]-`; returns `(reversed, label)`.
-    fn parse_arrow(&mut self) -> Result<(bool, EdgeLabel), ParseError> {
+    /// The inside of a bracketed arrow: `label`, `:label`, `name` or `name:label`; returns
+    /// `(label, edge variable name)`.
+    fn parse_edge_spec(&mut self) -> Result<(EdgeLabel, Option<String>), ParseError> {
+        self.skip_ws();
+        if self.eat(":") {
+            // Cypher-ish "-[:3]->".
+            self.skip_ws();
+            return Ok((EdgeLabel(self.parse_number()?), None));
+        }
+        if self.rest().starts_with(|c: char| c.is_ascii_digit()) {
+            return Ok((EdgeLabel(self.parse_number()?), None));
+        }
+        let name = self.parse_identifier().map_err(|_| {
+            self.err("expected an edge label (number) or an edge variable name inside [...]")
+        })?;
+        self.skip_ws();
+        let label = if self.eat(":") {
+            self.skip_ws();
+            EdgeLabel(self.parse_number()?)
+        } else {
+            EdgeLabel(0)
+        };
+        Ok((label, Some(name)))
+    }
+
+    /// `->`, `-[spec]->`, `<-` or `<-[spec]-`; returns `(reversed, label, edge name)`.
+    fn parse_arrow(&mut self) -> Result<(bool, EdgeLabel, Option<String>), ParseError> {
         self.skip_ws();
         if self.eat("->") {
-            return Ok((false, EdgeLabel(0)));
+            return Ok((false, EdgeLabel(0), None));
         }
         if self.eat("-[") {
-            self.skip_ws();
-            self.eat(":"); // tolerate Cypher-ish "-[:3]->"
-            let label = EdgeLabel(self.parse_number()?);
+            let (label, name) = self.parse_edge_spec()?;
             self.skip_ws();
             self.expect("]->")?;
-            return Ok((false, label));
+            return Ok((false, label, name));
         }
         if self.eat("<-[") {
-            self.skip_ws();
-            self.eat(":");
-            let label = EdgeLabel(self.parse_number()?);
+            let (label, name) = self.parse_edge_spec()?;
             self.skip_ws();
             self.expect("]-")?;
-            return Ok((true, label));
+            return Ok((true, label, name));
         }
         if self.eat("<-") {
-            return Ok((true, EdgeLabel(0)));
+            return Ok((true, EdgeLabel(0), None));
         }
         Err(self.err("expected an arrow: ->, -[l]->, <- or <-[l]-"))
     }
@@ -195,7 +258,7 @@ impl<'a> Parser<'a> {
     fn parse_pattern(mut self) -> Result<QueryGraph, ParseError> {
         loop {
             let a = self.parse_vertex()?;
-            let (reversed, label) = self.parse_arrow()?;
+            let (reversed, label, edge_name) = self.parse_arrow()?;
             let b = self.parse_vertex()?;
             let (src, dst) = if reversed { (b, a) } else { (a, b) };
             if src == dst {
@@ -214,11 +277,28 @@ impl<'a> Parser<'a> {
                 )));
             }
             self.query.add_edge(src, dst, label);
+            if let Some(name) = edge_name {
+                if self.query.edge_index_by_name(&name).is_some() {
+                    return Err(self.err(format!("edge variable {name} already names an edge")));
+                }
+                if self.query.vertex_index(&name).is_some() {
+                    return Err(self.err(format!(
+                        "{name} already names a vertex; vertex and edge variables share one \
+                         namespace"
+                    )));
+                }
+                let idx = self.query.num_edges() - 1;
+                self.query.set_edge_name(idx, name);
+            }
             self.skip_ws();
             if self.eat(",") {
                 continue;
             }
             break;
+        }
+        self.skip_ws();
+        if self.eat_keyword("WHERE") {
+            self.parse_where_clause()?;
         }
         self.skip_ws();
         if !self.rest().is_empty() {
@@ -228,6 +308,173 @@ impl<'a> Parser<'a> {
             return Err(self.err("query pattern must be connected"));
         }
         Ok(self.query)
+    }
+
+    /// `comparison (AND comparison)*`, appended to the query as predicates.
+    fn parse_where_clause(&mut self) -> Result<(), ParseError> {
+        let mut seen: SeenPropTypes = Vec::new();
+        loop {
+            self.parse_comparison(&mut seen)?;
+            self.skip_ws();
+            if self.eat_keyword("AND") {
+                continue;
+            }
+            break;
+        }
+        Ok(())
+    }
+
+    /// `var.key <op> literal`.
+    fn parse_comparison(&mut self, seen: &mut SeenPropTypes) -> Result<(), ParseError> {
+        self.skip_ws();
+        let var = self.parse_identifier()?;
+        let target = if let Some(v) = self.query.vertex_index(&var) {
+            PredTarget::Vertex(v)
+        } else if let Some(e) = self.query.edge_index_by_name(&var) {
+            PredTarget::Edge(e)
+        } else {
+            let vertices: Vec<&str> = self
+                .query
+                .vertices()
+                .iter()
+                .map(|v| v.name.as_str())
+                .collect();
+            let edges: Vec<&str> = (0..self.query.num_edges())
+                .filter_map(|i| self.query.edge_name(i))
+                .collect();
+            return Err(self.err(format!(
+                "unknown variable {var} in WHERE clause; the pattern defines vertices \
+                 [{}] and named edges [{}] (write -[name]-> to name an edge so it can be \
+                 filtered)",
+                vertices.join(", "),
+                edges.join(", ")
+            )));
+        };
+        self.skip_ws();
+        self.expect(".")?;
+        let key = self.parse_identifier()?;
+        self.skip_ws();
+        let op = self.parse_cmp_op()?;
+        self.skip_ws();
+        let literal_text_start = self.pos;
+        let value = self.parse_literal()?;
+        let literal_text = self.input[literal_text_start..self.pos].trim().to_string();
+
+        // Typed predicates: one comparable type per (variable, key). Int and Float coerce into
+        // each other; everything else must match exactly.
+        let ty = value.prop_type();
+        let numeric = |t: PropType| matches!(t, PropType::Int | PropType::Float);
+        let slot = (target, key.clone());
+        match seen.iter().find(|(s, _)| *s == slot) {
+            Some((_, (prev_ty, prev_text)))
+                if *prev_ty != ty && !(numeric(*prev_ty) && numeric(ty)) =>
+            {
+                return Err(self.err(format!(
+                    "type mismatch: {var}.{key} is compared to the {ty} {literal_text} here \
+                     but to the {prev_ty} {prev_text} earlier; a property key must be compared \
+                     to one comparable type throughout the WHERE clause"
+                )));
+            }
+            Some(_) => {}
+            None => seen.push((slot, (ty, literal_text))),
+        }
+        self.query.add_predicate(Predicate {
+            target,
+            key,
+            op,
+            value,
+        });
+        Ok(())
+    }
+
+    /// One of `<= >= <> != == < > =`.
+    fn parse_cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        for (tok, op) in [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<>", CmpOp::Ne),
+            ("!=", CmpOp::Ne),
+            ("==", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+            ("=", CmpOp::Eq),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected a comparison operator: <, <=, >, >=, =, != or <>"))
+    }
+
+    /// A typed literal: integer, float, quoted string (single or double quotes, `\`-escapes),
+    /// `true` or `false`.
+    fn parse_literal(&mut self) -> Result<PropValue, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        match rest.chars().next() {
+            Some(quote @ ('"' | '\'')) => {
+                let mut out = String::new();
+                let mut chars = rest.char_indices().skip(1);
+                let mut escaped = false;
+                for (i, c) in &mut chars {
+                    if escaped {
+                        out.push(c);
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == quote {
+                        self.pos += i + c.len_utf8();
+                        return Ok(PropValue::str(out));
+                    } else {
+                        out.push(c);
+                    }
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let negative = c == '-';
+                let digits_start = if negative { 1 } else { 0 };
+                let mut end = digits_start;
+                let bytes = rest.as_bytes();
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end == digits_start {
+                    return Err(self.err("expected digits after -"));
+                }
+                let mut is_float = false;
+                if end + 1 < bytes.len() && bytes[end] == b'.' && bytes[end + 1].is_ascii_digit() {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                let text = &rest[..end];
+                let value = if is_float {
+                    PropValue::Float(
+                        text.parse::<f64>()
+                            .map_err(|_| self.err("invalid float literal"))?,
+                    )
+                } else {
+                    PropValue::Int(
+                        text.parse::<i64>()
+                            .map_err(|_| self.err("integer literal out of range"))?,
+                    )
+                };
+                self.pos += end;
+                Ok(value)
+            }
+            _ => {
+                if self.eat_keyword("true") {
+                    Ok(PropValue::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(PropValue::Bool(false))
+                } else {
+                    Err(self.err("expected a literal: a number, a quoted string, true or false"))
+                }
+            }
+        }
     }
 }
 
@@ -305,6 +552,140 @@ mod tests {
         let q = parse_query("(a)->(b), (a:2)->(c)").unwrap();
         let a = q.vertex_index("a").unwrap();
         assert_eq!(q.vertex(a).label.0, 2);
+    }
+
+    #[test]
+    fn parses_predicates_in_canonical_form() {
+        use crate::querygraph::{CmpOp, PredTarget};
+        use graphflow_graph::PropValue;
+        let q = parse_query(
+            "(a)-[e:2]->(b:1) WHERE b.score <= 1.5 AND a.age > 30 AND e.kind = \"friend\"",
+        )
+        .unwrap();
+        assert_eq!(q.predicates().len(), 3);
+        // Predicates are stored sorted (vertices before edges, by index), regardless of the
+        // order they were written in.
+        let a = q.vertex_index("a").unwrap();
+        let b = q.vertex_index("b").unwrap();
+        assert_eq!(q.predicates()[0].target, PredTarget::Vertex(a));
+        assert_eq!(q.predicates()[0].op, CmpOp::Gt);
+        assert_eq!(q.predicates()[0].value, PropValue::Int(30));
+        assert_eq!(q.predicates()[1].target, PredTarget::Vertex(b));
+        assert_eq!(q.predicates()[1].value, PropValue::Float(1.5));
+        assert_eq!(q.predicates()[2].target, PredTarget::Edge(0));
+        assert_eq!(q.predicates()[2].value, PropValue::str("friend"));
+        assert_eq!(q.edge_name(0), Some("e"));
+    }
+
+    #[test]
+    fn predicates_round_trip_through_display() {
+        for text in [
+            "(a)->(b) WHERE a.age > 30",
+            "(a)-[e]->(b) WHERE e.weight < 0.5 AND a.age >= 30",
+            "(a)-[e:2]->(b:1), (b)->(c) WHERE b.name = \"x \\\"y\\\"\" AND e.ok != true",
+            "(a)->(b), (b)<-(c) WHERE a.f <= -1.25 AND a.n = -3",
+        ] {
+            let q = parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let shown = q.to_string();
+            let reparsed = parse_query(&shown).unwrap_or_else(|e| panic!("{shown}: {e}"));
+            assert_eq!(q, reparsed, "round trip of {text} via {shown}");
+            // Display is a fixed point: canonical form re-displays identically.
+            assert_eq!(shown, reparsed.to_string());
+        }
+    }
+
+    #[test]
+    fn unnamed_edges_with_predicates_get_display_names() {
+        use crate::querygraph::{CmpOp, PredTarget, Predicate};
+        use graphflow_graph::PropValue;
+        let mut q = parse_query("(a)->(b)").unwrap();
+        q.add_predicate(Predicate {
+            target: PredTarget::Edge(0),
+            key: "w".into(),
+            op: CmpOp::Lt,
+            value: PropValue::Int(5),
+        });
+        let shown = q.to_string();
+        assert!(shown.contains("-[_e1]->"), "{shown}");
+        let reparsed = parse_query(&shown).unwrap();
+        assert_eq!(reparsed.predicates().len(), 1);
+        assert_eq!(reparsed.predicates()[0].target, PredTarget::Edge(0));
+    }
+
+    #[test]
+    fn where_keywords_are_case_insensitive_and_ops_parse() {
+        let q =
+            parse_query("(a)->(b) where a.x < 1 and a.x <= 2 AND a.y >= 3 aNd a.z <> 4").unwrap();
+        assert_eq!(q.predicates().len(), 4);
+        // = and == are the same operator; != and <> are the same operator.
+        let q1 = parse_query("(a)->(b) WHERE a.x = 1 AND a.y != 2").unwrap();
+        let q2 = parse_query("(a)->(b) WHERE a.x == 1 AND a.y <> 2").unwrap();
+        assert_eq!(q1.predicates(), q2.predicates());
+        // A vertex named like the keyword still parses as a pattern without a WHERE clause.
+        let q3 = parse_query("(a)->(whereabouts)").unwrap();
+        assert_eq!(q3.num_vertices(), 2);
+        assert!(q3.predicates().is_empty());
+    }
+
+    #[test]
+    fn unknown_predicate_variables_are_actionable_errors() {
+        let err = parse_query("(a)-[e]->(b) WHERE z.age > 30").unwrap_err();
+        assert!(err.message.contains("unknown variable z"), "{err}");
+        assert!(err.message.contains('a'), "lists pattern vertices: {err}");
+        assert!(err.message.contains('e'), "lists named edges: {err}");
+        // An unnamed edge cannot be referenced; the error explains how to name one.
+        let err = parse_query("(a)->(b) WHERE e.w > 1").unwrap_err();
+        assert!(err.message.contains("-[name]->"), "{err}");
+    }
+
+    #[test]
+    fn predicate_type_mismatches_are_parse_errors() {
+        let err = parse_query("(a)->(b) WHERE a.age > 30 AND a.age < \"old\"").unwrap_err();
+        assert!(err.message.contains("type mismatch"), "{err}");
+        assert!(err.message.contains("a.age"), "{err}");
+        assert!(
+            err.message.contains("30"),
+            "names the earlier literal: {err}"
+        );
+        // Int and Float coerce, so mixing them is fine.
+        assert!(parse_query("(a)->(b) WHERE a.x > 1 AND a.x < 2.5").is_ok());
+        // Bool against number is rejected too.
+        assert!(parse_query("(a)->(b) WHERE a.ok = true AND a.ok != 0").is_err());
+        // Different keys (or same key on different variables) are independent.
+        assert!(parse_query("(a)->(b) WHERE a.x > 1 AND b.x = \"s\"").is_ok());
+    }
+
+    #[test]
+    fn non_ascii_input_errors_instead_of_panicking() {
+        // Multi-byte characters near keyword probe positions must not hit a char-boundary
+        // slice; every case below is a clean ParseError.
+        for text in [
+            "(a)->(b) ΩΩΩ",
+            "(a)->(b) WHERE a.x = aΩΩx",
+            "(a)->(b) wΩ",
+            "(α)->(β) WHERE α.x > 1",
+        ] {
+            let _ = parse_query(text);
+        }
+        // Non-ASCII identifiers themselves are fine.
+        let q = parse_query("(α)->(β) WHERE α.größe > 1").unwrap();
+        assert_eq!(q.predicates().len(), 1);
+    }
+
+    #[test]
+    fn malformed_where_clauses_are_rejected() {
+        assert!(parse_query("(a)->(b) WHERE").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x >").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x > \"unterminated").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x > 1 AND").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x > 1 junk").is_err());
+        assert!(parse_query("(a)->(b) WHERE a.x > -").is_err());
+        // Edge variable namespace clashes.
+        assert!(parse_query("(a)-[x]->(b), (a)-[x:1]->(b)").is_err());
+        assert!(parse_query("(a)-[b]->(b)").is_err());
+        assert!(parse_query("(a)-[e]->(b), (e)->(b)").is_err());
     }
 
     #[test]

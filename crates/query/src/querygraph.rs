@@ -1,6 +1,6 @@
-//! The [`QueryGraph`] type and vertex-subset utilities.
+//! The [`QueryGraph`] type, property predicates, and vertex-subset utilities.
 
-use graphflow_graph::{EdgeLabel, VertexLabel};
+use graphflow_graph::{EdgeLabel, GraphView, PropValue, VertexId, VertexLabel};
 use std::fmt;
 
 /// A set of query vertices, encoded as a bitmask over query-vertex indices.
@@ -43,6 +43,111 @@ pub struct QueryEdge {
     pub label: EdgeLabel,
 }
 
+/// A comparison operator in a `WHERE` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the operator to the result of a three-way comparison.
+    #[inline]
+    pub fn eval(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+        }
+    }
+
+    /// Default selectivity assumed by the cost model when no per-column statistics exist:
+    /// equality keeps one in ten tuples, inequality keeps a third, `!=` keeps almost all. These
+    /// are the classic System-R style magic constants — coarse, but enough to make the
+    /// optimizer prefer plans that bind highly filtered vertices early.
+    pub fn selectivity(&self) -> f64 {
+        match self {
+            CmpOp::Eq => 0.1,
+            CmpOp::Ne => 0.9,
+            _ => 1.0 / 3.0,
+        }
+    }
+
+    /// The canonical textual form (what [`QueryGraph`]'s `Display` prints and the parser
+    /// accepts).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// What a predicate filters: a query vertex or a query edge (by index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredTarget {
+    Vertex(usize),
+    Edge(usize),
+}
+
+/// One conjunct of a `WHERE` clause: `<target>.<key> <op> <literal>`.
+///
+/// Semantics follow SQL-ish three-valued logic collapsed to boolean: a missing property or a
+/// type-incomparable pair makes the predicate **false** (the tuple is filtered out).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Predicate {
+    pub target: PredTarget,
+    pub key: String,
+    pub op: CmpOp,
+    pub value: PropValue,
+}
+
+impl Predicate {
+    /// Whether every query vertex this predicate touches is inside `set` (i.e. a partial match
+    /// over `set` has enough bindings to evaluate it).
+    pub fn bound_by(&self, q: &QueryGraph, set: VertexSet) -> bool {
+        match self.target {
+            PredTarget::Vertex(v) => set & singleton(v) != 0,
+            PredTarget::Edge(i) => {
+                let e = q.edges()[i];
+                set & singleton(e.src) != 0 && set & singleton(e.dst) != 0
+            }
+        }
+    }
+
+    /// Evaluate the predicate against a full assignment (`assignment[query vertex] = data
+    /// vertex`). This is the reference (post-filter) semantics the pushdown paths must agree
+    /// with; the differential test suite leans on it as the oracle.
+    pub fn eval<G: GraphView>(&self, q: &QueryGraph, assignment: &[VertexId], graph: &G) -> bool {
+        let actual = match self.target {
+            PredTarget::Vertex(v) => graph.vertex_prop(assignment[v], &self.key),
+            PredTarget::Edge(i) => {
+                let e = q.edges()[i];
+                graph.edge_prop(assignment[e.src], assignment[e.dst], e.label, &self.key)
+            }
+        };
+        match actual {
+            Some(found) => found
+                .compare(&self.value)
+                .map(|ord| self.op.eval(ord))
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
 /// A directed, labelled query graph.
 ///
 /// Query vertices are referred to by dense indices `0..num_vertices()`; the conventional names
@@ -51,6 +156,11 @@ pub struct QueryEdge {
 pub struct QueryGraph {
     vertices: Vec<QueryVertex>,
     edges: Vec<QueryEdge>,
+    /// Optional variable name per edge (parallel to `edges`); named edges can carry
+    /// property predicates (`(a)-[e]->(b) WHERE e.weight < 0.5`).
+    edge_names: Vec<Option<String>>,
+    /// `WHERE` conjuncts, kept in canonical (sorted, de-duplicated) order.
+    predicates: Vec<Predicate>,
 }
 
 impl QueryGraph {
@@ -87,7 +197,74 @@ impl QueryGraph {
             .any(|e| e.src == src && e.dst == dst && e.label == label)
         {
             self.edges.push(QueryEdge { src, dst, label });
+            self.edge_names.push(None);
         }
+    }
+
+    /// Name the edge with index `i` (for predicate references and `Display` round-trips).
+    pub fn set_edge_name(&mut self, i: usize, name: impl Into<String>) {
+        self.edge_names[i] = Some(name.into());
+    }
+
+    /// The variable name of edge `i`, if one was declared.
+    pub fn edge_name(&self, i: usize) -> Option<&str> {
+        self.edge_names.get(i).and_then(|n| n.as_deref())
+    }
+
+    /// Index of the edge with the given variable name, if any.
+    pub fn edge_index_by_name(&self, name: &str) -> Option<usize> {
+        self.edge_names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+    }
+
+    /// Add a `WHERE` conjunct. The predicate list is kept sorted and de-duplicated, so two
+    /// queries with the same conjuncts in any order compare (and hash) equal.
+    ///
+    /// # Panics
+    /// Panics if the predicate's target vertex/edge is out of range.
+    pub fn add_predicate(&mut self, p: Predicate) {
+        match p.target {
+            PredTarget::Vertex(v) => assert!(v < self.vertices.len(), "predicate vertex in range"),
+            PredTarget::Edge(i) => assert!(i < self.edges.len(), "predicate edge in range"),
+        }
+        self.predicates.push(p);
+        self.predicates.sort();
+        self.predicates.dedup();
+    }
+
+    /// The `WHERE` conjuncts, in canonical order.
+    #[inline]
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Whether the query carries any property predicate.
+    #[inline]
+    pub fn has_predicates(&self) -> bool {
+        !self.predicates.is_empty()
+    }
+
+    /// A copy of this query with its predicate list replaced by `predicates` (re-canonicalised).
+    /// Used by the plan cache to graft a new query's constants onto a structurally-equal cached
+    /// plan.
+    pub fn with_predicates(&self, predicates: Vec<Predicate>) -> QueryGraph {
+        let mut q = self.clone();
+        q.predicates.clear();
+        for p in predicates {
+            q.add_predicate(p);
+        }
+        q
+    }
+
+    /// Combined selectivity (product of per-operator defaults) of every predicate fully bound
+    /// by `set`. 1.0 when none apply.
+    pub fn predicate_selectivity(&self, set: VertexSet) -> f64 {
+        self.predicates
+            .iter()
+            .filter(|p| p.bound_by(self, set))
+            .map(|p| p.op.selectivity())
+            .product()
     }
 
     /// Number of query vertices `m`.
@@ -253,6 +430,11 @@ impl QueryGraph {
 
     /// The *projection* of the query onto `set`: the induced sub-query plus a mapping from new
     /// indices to original indices (sorted ascending).
+    ///
+    /// Predicates and edge names are **not** carried over: projections feed the catalogue and
+    /// canonical sub-query keys, which are about pattern structure only (the cost model applies
+    /// predicate selectivity separately through
+    /// [`predicate_selectivity`](QueryGraph::predicate_selectivity)).
     pub fn project(&self, set: VertexSet) -> (QueryGraph, Vec<usize>) {
         let mapping: Vec<usize> = set_iter(set).filter(|&i| i < self.vertices.len()).collect();
         let mut q = QueryGraph::new();
@@ -289,10 +471,24 @@ impl QueryGraph {
     }
 }
 
+impl QueryGraph {
+    /// The name edge `i` renders under: its declared variable name, or a generated `_e{i+1}`
+    /// when an unnamed edge carries a predicate (so `Display` output always re-parses).
+    fn edge_display_name(&self, i: usize) -> Option<String> {
+        if let Some(name) = self.edge_name(i) {
+            return Some(name.to_string());
+        }
+        self.predicates
+            .iter()
+            .any(|p| p.target == PredTarget::Edge(i))
+            .then(|| format!("_e{}", i + 1))
+    }
+}
+
 impl fmt::Display for QueryGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for e in &self.edges {
+        for (i, e) in self.edges.iter().enumerate() {
             if !first {
                 write!(f, ", ")?;
             }
@@ -306,10 +502,27 @@ impl fmt::Display for QueryGraph {
                     format!("({}:{})", v.name, v.label.0)
                 }
             };
-            if e.label.0 == 0 {
-                write!(f, "{}->{}", fmt_v(sv), fmt_v(dv))?;
-            } else {
-                write!(f, "{}-[{}]->{}", fmt_v(sv), e.label.0, fmt_v(dv))?;
+            let arrow = match (self.edge_display_name(i), e.label.0) {
+                (None, 0) => "->".to_string(),
+                (None, l) => format!("-[{l}]->"),
+                (Some(n), 0) => format!("-[{n}]->"),
+                (Some(n), l) => format!("-[{n}:{l}]->"),
+            };
+            write!(f, "{}{arrow}{}", fmt_v(sv), fmt_v(dv))?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                let var = match p.target {
+                    PredTarget::Vertex(v) => self.vertices[v].name.clone(),
+                    PredTarget::Edge(e) => self
+                        .edge_display_name(e)
+                        .expect("edges with predicates always render a name"),
+                };
+                write!(f, "{var}.{} {} {}", p.key, p.op.symbol(), p.value)?;
             }
         }
         Ok(())

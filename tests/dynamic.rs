@@ -125,7 +125,7 @@ fn random_update_sequences_match_from_scratch_rebuilds() {
             // Replay the first insert at the end of the batch: a duplicate no-op unless a
             // mid-batch delete removed that edge, in which case it is a genuine re-insert —
             // the model replays it either way.
-            if let Some(first @ Update::InsertEdge { src, dst, label }) = batch.first().copied() {
+            if let Some(first @ Update::InsertEdge { src, dst, label }) = batch.first().cloned() {
                 batch.push(first);
                 model.insert((src, dst, label.0));
             }
