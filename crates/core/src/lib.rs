@@ -159,6 +159,8 @@
 //! available through [`GraphflowDB::explain`] / [`PreparedQuery::explain`] and
 //! [`QueryResult::stats`].
 
+#![warn(missing_docs)]
+
 use graphflow_catalog::{Catalogue, CatalogueConfig};
 use graphflow_exec::{
     execute_adaptive_with_sink, execute_parallel_with_sink, execute_with_sink, ExecOptions,
@@ -177,14 +179,17 @@ use std::sync::Arc;
 mod options;
 mod plan_cache;
 mod prepared;
+mod results;
 
 pub use graphflow_exec::{
-    CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, RuntimeStats,
+    CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, Row, RuntimeStats, Value,
 };
 pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
+pub use graphflow_query::returns::ReturnClause;
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
 pub use prepared::PreparedQuery;
+pub use results::ResultSet;
 
 use plan_cache::PlanCache;
 use prepared::RemapSink;
@@ -698,6 +703,34 @@ impl GraphflowDB {
         self.prepare_query(query.clone())?.run(options)
     }
 
+    /// Parse, plan and execute a pattern's `RETURN` clause with default options, producing a
+    /// typed [`ResultSet`] (served through the plan cache). A pattern without `RETURN`
+    /// behaves as `RETURN *`.
+    ///
+    /// ```
+    /// # use graphflow_core::GraphflowDB;
+    /// # use graphflow_graph::{GraphBuilder, PropValue};
+    /// let mut b = GraphBuilder::new();
+    /// b.add_edge(0, 1);
+    /// b.add_edge(0, 2);
+    /// for v in 0..3 {
+    ///     b.set_vertex_prop(v, "age", PropValue::Int(20 + v as i64)).unwrap();
+    /// }
+    /// let db = GraphflowDB::from_graph(b.build());
+    /// let rs = db.query("(a)->(b) RETURN a, COUNT(*), MAX(b.age)").unwrap();
+    /// assert_eq!(rs.rows().len(), 1); // one group: a = vertex 0
+    /// assert_eq!(rs.rows()[0][1], Some(PropValue::Int(2)));
+    /// assert_eq!(rs.rows()[0][2], Some(PropValue::Int(22)));
+    /// ```
+    pub fn query(&self, pattern: &str) -> Result<ResultSet, Error> {
+        self.query_with(pattern, QueryOptions::default())
+    }
+
+    /// [`query`](GraphflowDB::query) with explicit execution options.
+    pub fn query_with(&self, pattern: &str, options: QueryOptions) -> Result<ResultSet, Error> {
+        self.prepare(pattern)?.execute(options)
+    }
+
     /// Run a pattern, streaming every match (in query-vertex order) into `sink` instead of
     /// materialising results.
     pub fn run_with_sink(
@@ -795,6 +828,52 @@ impl GraphflowDB {
         self.execute_plan(plan, Some(plan.clone()), Some((remap, cache_hit)), options)
     }
 
+    /// Execute a prepared query's `RETURN` clause into a typed [`ResultSet`]: compile the
+    /// clause against the prepared query's own vertex numbering, pick the projecting or
+    /// aggregating sink, arm the `COUNT(*)` fast path when the plan is eligible, and run
+    /// through the standard dispatch (remap included).
+    pub(crate) fn execute_prepared_return(
+        &self,
+        query: &QueryGraph,
+        plan: &PlanHandle,
+        remap: Option<&[usize]>,
+        cache_hit: bool,
+        mut options: QueryOptions,
+    ) -> Result<ResultSet, Error> {
+        let clause = query
+            .return_clause()
+            .cloned()
+            .unwrap_or_else(ReturnClause::star);
+        let columns = clause.column_names(query);
+        let spec = graphflow_exec::RowSpec::compile(query, &clause);
+        let view = self.snapshot();
+        let (rows, stats) = if spec.has_aggregates() {
+            // `RETURN COUNT(*)` + a plan ending in an E/I extension: the executors add the
+            // final extension-set sizes in bulk and the sink only ever sees counts — no
+            // per-match tuple is allocated anywhere.
+            if clause.is_count_star_only()
+                && plan.count_fast_path_eligible()
+                && options.output_limit.is_none()
+            {
+                options.count_tail = true;
+            }
+            let mut sink = graphflow_exec::AggregatingSink::new(view, spec);
+            let stats =
+                self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, &mut sink)?;
+            (sink.finish(), stats)
+        } else {
+            let mut sink = graphflow_exec::ProjectingSink::new(view, spec);
+            let stats =
+                self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, &mut sink)?;
+            (sink.finish(), stats)
+        };
+        Ok(ResultSet {
+            columns,
+            rows,
+            stats,
+        })
+    }
+
     pub(crate) fn execute_prepared_with_sink(
         &self,
         plan: &Plan,
@@ -872,6 +951,7 @@ impl GraphflowDB {
         let exec_options = ExecOptions {
             use_intersection_cache: options.intersection_cache,
             output_limit: options.output_limit,
+            count_tail: options.count_tail,
         };
         // Execution pins the current snapshot: queries observe one delta epoch end to end.
         if options.threads > 1 {
@@ -1216,6 +1296,113 @@ mod tests {
         let bare = db.prepare(triangle).unwrap();
         assert!(!bare.was_cached());
         assert_eq!(bare.count().unwrap(), 2);
+    }
+
+    #[test]
+    fn return_clauses_share_plans_and_count_star_takes_the_fast_path() {
+        let db = db();
+        let triangle = "(a)->(b), (b)->(c), (a)->(c)";
+        let bare = db.prepare(triangle).unwrap();
+        assert!(!bare.was_cached());
+        // Queries differing only in RETURN are plan-cache hits: the clause is excluded from
+        // the canonical form.
+        let counted = db.prepare(&format!("{triangle} RETURN COUNT(*)")).unwrap();
+        assert!(counted.was_cached());
+        let projected = db.prepare(&format!("{triangle} RETURN a, b")).unwrap();
+        assert!(projected.was_cached());
+        assert_eq!(db.plan_cache_stats().misses, 1, "one optimizer run total");
+
+        let expected = bare.count().unwrap();
+        assert!(expected > 0);
+        // COUNT(*) agrees with the raw count across all three executors, and the serial /
+        // parallel runs bulk-count the final extension column instead of materialising it.
+        for opts in [
+            QueryOptions::new(),
+            QueryOptions::new().adaptive(true),
+            QueryOptions::new().threads(4),
+        ] {
+            let rs = counted.execute(opts).unwrap();
+            assert_eq!(rs.scalar_count(), Some(expected));
+            assert!(
+                rs.stats.bulk_counted_extensions > 0,
+                "fast path fired (opts {opts:?})"
+            );
+        }
+        // RETURN * produces full tuples with vertex-named columns.
+        let rs = projected.execute(QueryOptions::default()).unwrap();
+        assert_eq!(rs.columns(), ["a", "b"]);
+        assert_eq!(rs.len(), expected as usize);
+    }
+
+    #[test]
+    fn execute_runs_projections_and_grouped_aggregates() {
+        let db = props_db();
+        // Grouped aggregate over the two triangles: one group per apex vertex.
+        let rs = db
+            .query("(a)->(b), (b)->(c), (a)->(c) RETURN a, COUNT(*), MIN(c.age)")
+            .unwrap();
+        assert_eq!(rs.columns(), ["a", "COUNT(*)", "MIN(c.age)"]);
+        assert_eq!(
+            rs.rows(),
+            &[
+                vec![
+                    Some(PropValue::Int(0)),
+                    Some(PropValue::Int(1)),
+                    Some(PropValue::Int(20))
+                ],
+                vec![
+                    Some(PropValue::Int(3)),
+                    Some(PropValue::Int(1)),
+                    Some(PropValue::Int(50))
+                ],
+            ]
+        );
+        // Projection with ORDER BY + LIMIT (top-K) and DISTINCT.
+        let rs = db
+            .query("(a)->(b) RETURN DISTINCT a.age ORDER BY a.age DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(
+            rs.rows(),
+            &[
+                vec![Some(PropValue::Int(40))],
+                vec![Some(PropValue::Int(30))]
+            ]
+        );
+        // Global aggregate over an empty match set still yields its one row.
+        let rs = db
+            .query("(a)->(b) WHERE a.age > 999 RETURN COUNT(*), MAX(b.age)")
+            .unwrap();
+        assert_eq!(rs.rows(), &[vec![Some(PropValue::Int(0)), None]]);
+        // No RETURN behaves as RETURN *.
+        let rs = db.query("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert_eq!(rs.columns(), ["a", "b", "c"]);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn executors_agree_on_result_sets_including_remapped_twins() {
+        let db = props_db();
+        let pattern = "(a)-[e]->(b), (b)->(c), (a)->(c) RETURN a, SUM(e.w), AVG(c.age)";
+        let reference = db.query(pattern).unwrap();
+        for opts in [
+            QueryOptions::new().adaptive(true),
+            QueryOptions::new().threads(4),
+        ] {
+            let rs = db.query_with(pattern, opts).unwrap();
+            assert_eq!(rs.rows(), reference.rows(), "{opts:?}");
+        }
+        // An isomorphic rewriting is a cache hit whose tuples are remapped before the
+        // aggregation sink sees them: x plays the (a) role.
+        let twin = db
+            .prepare("(y)->(z), (x)-[f]->(y), (x)->(z) RETURN x, SUM(f.w), AVG(z.age)")
+            .unwrap();
+        assert!(twin.was_cached());
+        let rs = twin.execute(QueryOptions::default()).unwrap();
+        assert_eq!(rs.rows(), reference.rows());
+        // Parallel execution of the twin goes through RemapSink's forwarded partials (each
+        // thread-local fold remaps before folding) and must agree too.
+        let rs = twin.execute(QueryOptions::new().threads(4)).unwrap();
+        assert_eq!(rs.rows(), reference.rows());
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct QueryOptions {
     pub(crate) output_limit: Option<u64>,
     pub(crate) collect_tuples: bool,
     pub(crate) collect_limit: usize,
+    /// Internal: enable the executors' `COUNT(*)` bulk-count fast path. Set by the
+    /// result-set layer when the prepared query is `RETURN COUNT(*)` and the plan's final
+    /// operator is an E/I extension; never exposed to callers directly.
+    pub(crate) count_tail: bool,
 }
 
 impl Default for QueryOptions {
@@ -37,6 +41,7 @@ impl Default for QueryOptions {
             output_limit: None,
             collect_tuples: false,
             collect_limit: 1_000_000,
+            count_tail: false,
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Prepared queries: parse + canonicalize + optimize once, execute many times.
 
 use crate::{Error, GraphflowDB, QueryOptions, QueryResult};
-use graphflow_exec::{MatchSink, RuntimeStats};
+use graphflow_exec::{MatchSink, PartialSink, RuntimeStats};
 use graphflow_graph::VertexId;
 use graphflow_plan::{PlanClass, PlanHandle};
 use graphflow_query::QueryGraph;
@@ -75,8 +75,29 @@ impl<'db> PreparedQuery<'db> {
     }
 
     /// Count the matches with default options.
+    ///
+    /// Counts the raw match stream; the query's `RETURN` clause (if any) is not applied —
+    /// use [`execute`](PreparedQuery::execute) for `RETURN` semantics.
     pub fn count(&self) -> Result<u64, Error> {
         Ok(self.run(QueryOptions::default())?.count)
+    }
+
+    /// Execute the query's `RETURN` clause, producing a typed [`ResultSet`](crate::ResultSet)
+    /// of rows (projections) or groups (aggregates). A query without `RETURN` behaves as
+    /// `RETURN *`.
+    ///
+    /// Aggregates fold **streamingly** — memory is O(groups), never O(matches) — and
+    /// `RETURN COUNT(*)` composes with the planner's fast path so the final extension column
+    /// is bulk-counted instead of materialised
+    /// (`ResultSet::stats.bulk_counted_extensions` counts the shortcut firing).
+    pub fn execute(&self, options: QueryOptions) -> Result<crate::ResultSet, Error> {
+        self.db.execute_prepared_return(
+            &self.query,
+            &self.plan,
+            self.remap.as_deref(),
+            self.cache_hit,
+            options,
+        )
     }
 
     /// Execute with explicit options, materialising a [`QueryResult`].
@@ -136,5 +157,47 @@ impl MatchSink for RemapSink<'_> {
 
     fn on_count(&mut self, n: u64) {
         self.inner.on_count(n);
+    }
+
+    // Forward the thread-local partial-aggregation protocol, wrapping each partial with the
+    // same vertex remap — so executing a plan cached for an isomorphic twin keeps the
+    // parallel executor's lock-free per-match path.
+    fn fork_partial(&self) -> Option<Box<dyn PartialSink>> {
+        let inner = self.inner.fork_partial()?;
+        Some(Box::new(RemapPartial {
+            inner,
+            map: self.map.to_vec(),
+            scratch: vec![0 as VertexId; self.map.len()],
+        }))
+    }
+
+    fn absorb_partial(&mut self, partial: Box<dyn PartialSink>) {
+        let partial = partial
+            .into_any()
+            .downcast::<RemapPartial>()
+            .expect("partial forked from this sink");
+        self.inner.absorb_partial(partial.inner);
+    }
+}
+
+/// The thread-local twin of a [`RemapSink`]: reorders each tuple into the prepared query's
+/// vertex numbering, then folds it into the wrapped sink's own partial.
+struct RemapPartial {
+    inner: Box<dyn PartialSink>,
+    /// `map[plan query vertex] = prepared query vertex`.
+    map: Vec<usize>,
+    scratch: Vec<VertexId>,
+}
+
+impl PartialSink for RemapPartial {
+    fn on_match(&mut self, tuple: &[VertexId]) -> bool {
+        for (plan_vertex, &our_vertex) in self.map.iter().enumerate() {
+            self.scratch[our_vertex] = tuple[plan_vertex];
+        }
+        self.inner.on_match(&self.scratch)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
     }
 }

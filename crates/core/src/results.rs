@@ -1,0 +1,112 @@
+//! Typed result sets produced by `RETURN`-aware execution.
+
+use graphflow_exec::{Row, RuntimeStats, Value};
+use graphflow_graph::PropValue;
+
+/// The typed rows produced by executing a query's `RETURN` clause
+/// ([`PreparedQuery::execute`](crate::PreparedQuery::execute)).
+///
+/// One row per output: a projection produces one row per (possibly de-duplicated, sorted,
+/// truncated) match, an aggregation one row per group — and a global aggregate like
+/// `RETURN COUNT(*)` exactly one row, reachable through the scalar accessors. Cells are
+/// [`Value`]s: `Some(PropValue)` for a present value (vertex variables surface as
+/// [`PropValue::Int`] holding the data-vertex id), `None` for a missing property or an
+/// aggregate over an empty input.
+///
+/// ```
+/// use graphflow_core::GraphflowDB;
+/// use graphflow_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(0, 2);
+/// let db = GraphflowDB::from_graph(b.build());
+/// let rs = db.query("(a)->(b), (b)->(c), (a)->(c) RETURN COUNT(*)").unwrap();
+/// assert_eq!(rs.columns(), ["COUNT(*)"]);
+/// assert_eq!(rs.scalar_count(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    pub(crate) columns: Vec<String>,
+    pub(crate) rows: Vec<Row>,
+    /// Runtime counters of the execution that produced these rows (actual i-cost,
+    /// predicate drops, `bulk_counted_extensions` for the `COUNT(*)` fast path, ...).
+    pub stats: RuntimeStats,
+}
+
+impl ResultSet {
+    /// Column headers, one per `RETURN` item in declaration order (a lone `RETURN *` expands
+    /// to one column per query vertex, named after the vertex).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The output rows. Aggregated rows arrive in a deterministic order: the explicit
+    /// `ORDER BY` when present, ascending group-key order otherwise.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Consume the result set, keeping only the rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Number of output rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single cell of a 1×1 result (global aggregates like `RETURN COUNT(*)` or
+    /// `RETURN AVG(a.age)`); `None` for any other shape.
+    pub fn scalar(&self) -> Option<&Value> {
+        match self.rows.as_slice() {
+            [row] if row.len() == 1 => Some(&row[0]),
+            _ => None,
+        }
+    }
+
+    /// The scalar as a non-negative count (`RETURN COUNT(*)` and friends); `None` when the
+    /// result is not a 1×1 non-negative integer.
+    pub fn scalar_count(&self) -> Option<u64> {
+        match self.scalar() {
+            Some(Some(PropValue::Int(n))) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_accessors_demand_a_one_by_one_shape() {
+        let one = ResultSet {
+            columns: vec!["COUNT(*)".into()],
+            rows: vec![vec![Some(PropValue::Int(7))]],
+            stats: RuntimeStats::default(),
+        };
+        assert_eq!(one.scalar_count(), Some(7));
+        assert_eq!(one.len(), 1);
+        let wide = ResultSet {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec![Some(PropValue::Int(1)), None]],
+            stats: RuntimeStats::default(),
+        };
+        assert_eq!(wide.scalar(), None);
+        assert_eq!(wide.scalar_count(), None);
+        let empty = ResultSet {
+            columns: vec!["a".into()],
+            rows: Vec::new(),
+            stats: RuntimeStats::default(),
+        };
+        assert!(empty.is_empty());
+        assert_eq!(empty.scalar(), None);
+    }
+}

@@ -172,6 +172,17 @@ fn run_candidate_steps<G: GraphView>(
             .extension_set(graph, tuple, options.use_intersection_cache, stats)
             .len()
     };
+    if remaining.is_empty()
+        && rest.is_empty()
+        && options.count_tail
+        && options.output_limit.is_none()
+    {
+        // COUNT(*) fast path (mirrors the fixed pipeline): the candidate's final column is
+        // never read, so its set size is the result count for this prefix.
+        stats.output_count += set_len as u64;
+        stats.bulk_counted_extensions += 1;
+        return true;
+    }
     for i in 0..set_len {
         let v = stage.cache_set_value(i);
         tuple.push(v);

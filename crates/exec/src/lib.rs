@@ -35,13 +35,15 @@
 //! their overlays; `RuntimeStats::delta_merges` counts how often that happened).
 
 pub mod adaptive;
+pub mod agg;
 pub mod parallel;
 pub mod pipeline;
 pub mod sink;
 pub mod stats;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_with_sink};
+pub use agg::{AggregatingSink, ProjectingSink, Row, RowSpec, Value};
 pub use parallel::{execute_parallel, execute_parallel_with_sink};
 pub use pipeline::{execute, execute_with_options, execute_with_sink, ExecOptions, ExecOutput};
-pub use sink::{CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink};
+pub use sink::{CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, PartialSink};
 pub use stats::RuntimeStats;

@@ -7,7 +7,7 @@
 //! keeps all threads busy even when the per-chunk work is highly skewed.
 
 use crate::pipeline::{compile, run_pipeline_on_range, CompiledPipeline, ExecOptions, ExecOutput};
-use crate::sink::{CountingSink, MatchSink};
+use crate::sink::{CountingSink, MatchSink, PartialSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{GraphView, VertexId};
 use graphflow_plan::plan::Plan;
@@ -43,9 +43,12 @@ const SINK_BATCH_TUPLES: usize = 256;
 /// Parallel execution streaming results into a sink.
 ///
 /// When the sink does not need tuples, workers only bump thread-local counters and the total is
-/// delivered once through [`MatchSink::on_count`] — the original lock-free fast path. When it
-/// does, workers reorder each tuple into query-vertex order locally, buffer up to
-/// `SINK_BATCH_TUPLES` of them, and deliver each batch to the shared sink under a single
+/// delivered once through [`MatchSink::on_count`] — the original lock-free fast path. When the
+/// sink can [`fork_partial`](MatchSink::fork_partial) (aggregation and projection sinks),
+/// every worker folds its matches into a **thread-local partial** with zero cross-thread
+/// synchronisation, and the partials are merged into the shared sink once at the join
+/// barrier. Otherwise, workers reorder each tuple into query-vertex order locally, buffer up
+/// to `SINK_BATCH_TUPLES` of them, and deliver each batch to the shared sink under a single
 /// lock acquisition; the sink returning `false` raises a stop flag that every worker observes
 /// at its next batch.
 ///
@@ -71,6 +74,9 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     let limit = options.output_limit;
     let worker_options = ExecOptions {
         output_limit: None,
+        // The shared `produced` counter claims one slot per tuple through `on_result`; the
+        // bulk-count fast path never calls it, so it must stay off under a limit.
+        count_tail: options.count_tail && limit.is_none(),
         ..options
     };
     let produced = AtomicU64::new(0);
@@ -84,112 +90,156 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     let next_chunk = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let needs_tuples = sink.needs_tuples();
+    // Thread-local partial aggregation: when the sink can fork (aggregation / projection
+    // sinks), each worker gets its own empty twin and the shared lock is never touched on
+    // the per-match path; the partials are merged at the join barrier below.
+    let mut partial_slots: Vec<Box<dyn PartialSink>> = Vec::new();
+    if needs_tuples {
+        for _ in 0..num_threads {
+            match sink.fork_partial() {
+                Some(p) => partial_slots.push(p),
+                None => {
+                    partial_slots.clear();
+                    break;
+                }
+            }
+        }
+    }
+    let use_partials = partial_slots.len() == num_threads;
     let out_layout = pipeline.out_layout.clone();
     let num_query_vertices = q.num_vertices();
-    let shared_sink = Mutex::new(&mut *sink);
 
-    let per_thread: Vec<RuntimeStats> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_threads);
-        for _ in 0..num_threads {
-            let mut local_pipeline: CompiledPipeline = pipeline.clone();
-            let next_chunk = &next_chunk;
-            let stop = &stop;
-            let shared_sink = &shared_sink;
-            let out_layout = &out_layout;
-            let produced = &produced;
-            handles.push(scope.spawn(move || {
-                let mut stats = RuntimeStats::default();
-                // Tuples the local pipeline produced beyond the shared limit: counted by the
-                // pipeline's own bookkeeping but never delivered, so they are subtracted from
-                // this worker's stats before merging.
-                let mut rejected = 0u64;
-                // Tuples buffered locally (flattened; every tuple is `num_query_vertices`
-                // wide) and flushed to the shared sink in one lock acquisition.
-                let mut batch: Vec<VertexId> =
-                    Vec::with_capacity(SINK_BATCH_TUPLES * num_query_vertices);
-                let flush = |batch: &mut Vec<VertexId>| -> bool {
-                    if batch.is_empty() {
-                        return !stop.load(Ordering::Relaxed);
-                    }
-                    let mut sink = shared_sink.lock().unwrap_or_else(|e| e.into_inner());
-                    for tuple in batch.chunks_exact(num_query_vertices) {
-                        if !sink.on_match(tuple) {
-                            stop.store(true, Ordering::Relaxed);
-                            batch.clear();
-                            return false;
-                        }
-                    }
-                    batch.clear();
-                    true
+    let per_thread: Vec<(RuntimeStats, Option<Box<dyn PartialSink>>)> = {
+        let shared_sink = Mutex::new(&mut *sink);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_threads);
+            for _ in 0..num_threads {
+                let mut local_pipeline: CompiledPipeline = pipeline.clone();
+                let next_chunk = &next_chunk;
+                let stop = &stop;
+                let shared_sink = &shared_sink;
+                let out_layout = &out_layout;
+                let produced = &produced;
+                let worker_partial = if use_partials {
+                    partial_slots.pop()
+                } else {
+                    None
                 };
-                loop {
-                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    let lo = chunk * chunk_size;
-                    if lo >= scan_edges.len() || stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let hi = (lo + chunk_size).min(scan_edges.len());
-                    let mut on_result = |tuple: &[VertexId]| -> bool {
-                        // Claim an output slot; slots at or beyond the limit are discarded, so
-                        // the number of delivered tuples is exactly min(limit, total matches).
-                        let mut keep_going = true;
-                        if let Some(limit) = limit {
-                            let slot = produced.fetch_add(1, Ordering::Relaxed);
-                            if slot >= limit {
-                                rejected += 1;
+                handles.push(scope.spawn(move || {
+                    let mut stats = RuntimeStats::default();
+                    let mut partial = worker_partial;
+                    // Reorder scratch for the thread-local partial path.
+                    let mut scratch = vec![0 as VertexId; num_query_vertices];
+                    // Tuples the local pipeline produced beyond the shared limit: counted by
+                    // the pipeline's own bookkeeping but never delivered, so they are
+                    // subtracted from this worker's stats before merging.
+                    let mut rejected = 0u64;
+                    // Tuples buffered locally (flattened; every tuple is
+                    // `num_query_vertices` wide) and flushed to the shared sink in one lock
+                    // acquisition (the fallback path for non-forkable sinks).
+                    let mut batch: Vec<VertexId> =
+                        Vec::with_capacity(SINK_BATCH_TUPLES * num_query_vertices);
+                    let flush = |batch: &mut Vec<VertexId>| -> bool {
+                        if batch.is_empty() {
+                            return !stop.load(Ordering::Relaxed);
+                        }
+                        let mut sink = shared_sink.lock().unwrap_or_else(|e| e.into_inner());
+                        for tuple in batch.chunks_exact(num_query_vertices) {
+                            if !sink.on_match(tuple) {
                                 stop.store(true, Ordering::Relaxed);
+                                batch.clear();
                                 return false;
                             }
-                            if slot + 1 >= limit {
-                                // This tuple fills the limit: deliver it, then stop.
-                                stop.store(true, Ordering::Relaxed);
-                                keep_going = false;
-                            }
                         }
-                        if !needs_tuples {
-                            return keep_going;
-                        }
-                        let base = batch.len();
-                        batch.resize(base + num_query_vertices, 0);
-                        for (pos, &qv) in out_layout.iter().enumerate() {
-                            batch[base + qv] = tuple[pos];
-                        }
-                        if batch.len() >= SINK_BATCH_TUPLES * num_query_vertices {
-                            flush(&mut batch) && keep_going
-                        } else {
-                            keep_going && !stop.load(Ordering::Relaxed)
-                        }
+                        batch.clear();
+                        true
                     };
-                    run_pipeline_on_range(
-                        &mut local_pipeline,
-                        graph,
-                        &scan_edges[lo..hi],
-                        &worker_options,
-                        &mut stats,
-                        &mut on_result,
-                    );
-                }
-                // Deliver whatever is left in the local buffer.
-                flush(&mut batch);
-                stats.output_count -= rejected;
-                stats
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        let lo = chunk * chunk_size;
+                        if lo >= scan_edges.len() || stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let hi = (lo + chunk_size).min(scan_edges.len());
+                        let mut on_result = |tuple: &[VertexId]| -> bool {
+                            // Claim an output slot; slots at or beyond the limit are
+                            // discarded, so the number of delivered tuples is exactly
+                            // min(limit, total matches).
+                            let mut keep_going = true;
+                            if let Some(limit) = limit {
+                                let slot = produced.fetch_add(1, Ordering::Relaxed);
+                                if slot >= limit {
+                                    rejected += 1;
+                                    stop.store(true, Ordering::Relaxed);
+                                    return false;
+                                }
+                                if slot + 1 >= limit {
+                                    // This tuple fills the limit: deliver it, then stop.
+                                    stop.store(true, Ordering::Relaxed);
+                                    keep_going = false;
+                                }
+                            }
+                            if !needs_tuples {
+                                return keep_going;
+                            }
+                            if let Some(p) = partial.as_mut() {
+                                for (pos, &qv) in out_layout.iter().enumerate() {
+                                    scratch[qv] = tuple[pos];
+                                }
+                                if !p.on_match(&scratch) {
+                                    // A partial stops only when it alone already holds
+                                    // everything the merge needs (e.g. an unordered LIMIT
+                                    // filled), so the whole run can stop.
+                                    stop.store(true, Ordering::Relaxed);
+                                    return false;
+                                }
+                                return keep_going && !stop.load(Ordering::Relaxed);
+                            }
+                            let base = batch.len();
+                            batch.resize(base + num_query_vertices, 0);
+                            for (pos, &qv) in out_layout.iter().enumerate() {
+                                batch[base + qv] = tuple[pos];
+                            }
+                            if batch.len() >= SINK_BATCH_TUPLES * num_query_vertices {
+                                flush(&mut batch) && keep_going
+                            } else {
+                                keep_going && !stop.load(Ordering::Relaxed)
+                            }
+                        };
+                        run_pipeline_on_range(
+                            &mut local_pipeline,
+                            graph,
+                            &scan_edges[lo..hi],
+                            &worker_options,
+                            &mut stats,
+                            &mut on_result,
+                        );
+                    }
+                    // Deliver whatever is left in the local buffer.
+                    flush(&mut batch);
+                    stats.output_count -= rejected;
+                    (stats, partial)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        // `shared_sink` (and its borrow of `sink`) ends here, releasing `sink` for the
+        // partial merges below.
+    };
     let mut stats = setup_stats;
-    for s in &per_thread {
-        stats.merge(s);
+    for (s, partial) in per_thread {
+        stats.merge(&s);
+        if let Some(p) = partial {
+            // Merge each worker's thread-local fold back into the caller's sink; order
+            // must not matter, and for the provided aggregation sinks it does not.
+            sink.absorb_partial(p);
+        }
     }
     if !needs_tuples {
-        shared_sink
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .on_count(stats.output_count);
+        sink.on_count(stats.output_count);
     }
     stats.elapsed = start.elapsed();
     stats

@@ -130,6 +130,15 @@ pub struct ExecOptions {
     pub use_intersection_cache: bool,
     /// Stop after producing this many results (used by the output-limited CFL comparison).
     pub output_limit: Option<u64>,
+    /// The `COUNT(*)` fast path: when the final pipeline stage is an E/I extension, add the
+    /// extension-set *size* to the output count in bulk instead of materialising one tuple
+    /// per element (the set is computed — and predicate-filtered — either way; only the
+    /// per-element tuple loop is skipped). Only sound when the sink reports
+    /// `needs_tuples() == false` and no `output_limit` is set; executors additionally guard
+    /// on the latter, and hash-join build sides always ignore the flag (their tuples feed
+    /// the join table, not the output). `RuntimeStats::bulk_counted_extensions` counts the
+    /// shortcut firing.
+    pub count_tail: bool,
 }
 
 impl Default for ExecOptions {
@@ -137,6 +146,7 @@ impl Default for ExecOptions {
         ExecOptions {
             use_intersection_cache: true,
             output_limit: None,
+            count_tail: false,
         }
     }
 }
@@ -446,6 +456,8 @@ fn materialize<G: GraphView>(
 
     let mut inner_options = *options;
     inner_options.output_limit = None;
+    // Build-side tuples populate the join table; bulk-counting them would leave it empty.
+    inner_options.count_tail = false;
 
     // The build side runs with its own counters: its result tuples are hash-table entries, not
     // query results, so they must not inflate `output_count`.
@@ -598,6 +610,13 @@ pub(crate) fn run_stages<G: GraphView>(
                 let set = stage.extension_set(graph, tuple, options.use_intersection_cache, stats);
                 set.len()
             };
+            if is_last && options.count_tail && options.output_limit.is_none() {
+                // COUNT(*) fast path: the final column's values are never read, so the
+                // (already predicate-filtered) set size is the number of results.
+                stats.output_count += set_len as u64;
+                stats.bulk_counted_extensions += 1;
+                return true;
+            }
             for i in 0..set_len {
                 let v = stage.cache_set_value(i);
                 tuple.push(v);
@@ -1015,6 +1034,41 @@ mod tests {
         });
         let plan = DpOptimizer::new(&cat).optimize(&missing).unwrap();
         assert_eq!(execute(&g, &plan).count, 0);
+    }
+
+    #[test]
+    fn count_tail_bulk_counts_final_extension() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let normal = execute(&g, &plan);
+        assert_eq!(normal.stats.bulk_counted_extensions, 0);
+        let mut sink = CountingSink::new();
+        let stats = execute_with_sink(
+            &g,
+            &plan,
+            ExecOptions {
+                count_tail: true,
+                ..Default::default()
+            },
+            &mut sink,
+        );
+        assert_eq!(sink.matches, normal.count, "bulk counting is exact");
+        assert_eq!(stats.output_count, normal.count);
+        assert!(stats.bulk_counted_extensions > 0, "fast path fired");
+        // With an output limit the fast path must stand down (per-result accounting).
+        let limited = execute_with_options(
+            &g,
+            &plan,
+            ExecOptions {
+                count_tail: true,
+                output_limit: Some(5),
+                ..Default::default()
+            },
+        );
+        assert_eq!(limited.count, 5);
+        assert_eq!(limited.stats.bulk_counted_extensions, 0);
     }
 
     #[test]

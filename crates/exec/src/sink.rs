@@ -13,6 +13,25 @@
 
 use graphflow_graph::VertexId;
 
+/// Thread-local partial state forked from a [`MatchSink`] for parallel fold-then-merge
+/// execution.
+///
+/// A sink whose result is a *fold* over the match stream (counts, sums, group maps, top-K
+/// heaps) can hand each parallel worker an empty twin of itself: workers fold their share of
+/// the matches locally with **zero cross-thread synchronisation**, and the partials are merged
+/// back into the parent sink once at the barrier — the classic partial-aggregation pattern.
+/// Sinks that cannot merge (arbitrary callbacks, ordered collection) simply never fork, and
+/// the parallel executor falls back to funnelling tuples through a shared lock.
+pub trait PartialSink: Send {
+    /// Receive one result tuple (in query-vertex order). Return `false` to stop this worker
+    /// (e.g. a local `LIMIT` was filled); other workers keep running.
+    fn on_match(&mut self, tuple: &[VertexId]) -> bool;
+
+    /// Erase to [`Any`](std::any::Any) so the owning sink can downcast the partial back to
+    /// its concrete type inside [`MatchSink::absorb_partial`].
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
 /// A consumer of streamed query results.
 pub trait MatchSink {
     /// Whether this sink wants to see the actual result tuples.
@@ -28,6 +47,17 @@ pub trait MatchSink {
 
     /// Receive a bulk result count (used on the `needs_tuples() == false` fast path).
     fn on_count(&mut self, _n: u64) {}
+
+    /// Fork an empty thread-local twin for one parallel worker, or `None` when this sink's
+    /// results cannot be folded independently and merged (the default). See [`PartialSink`].
+    fn fork_partial(&self) -> Option<Box<dyn PartialSink>> {
+        None
+    }
+
+    /// Merge a partial previously produced by [`fork_partial`](MatchSink::fork_partial) back
+    /// into this sink. Called once per worker, after all workers have joined; merge order
+    /// must not affect the final result.
+    fn absorb_partial(&mut self, _partial: Box<dyn PartialSink>) {}
 }
 
 /// Counts matches without ever looking at them — the zero-overhead sink.

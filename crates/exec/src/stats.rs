@@ -29,6 +29,11 @@ pub struct RuntimeStats {
     /// Tuples / extension candidates discarded by a pushed-down predicate before they could
     /// produce any downstream work.
     pub predicate_drops: u64,
+    /// Extension sets whose *sizes* were added to the output count in bulk by the `COUNT(*)`
+    /// fast path ([`ExecOptions::count_tail`](crate::ExecOptions::count_tail)) instead of
+    /// materialising one tuple per element — the observable proof that a counting query
+    /// never allocated per-match tuples for its final extension column.
+    pub bulk_counted_extensions: u64,
     /// Tuples inserted into hash-join build tables.
     pub hash_build_tuples: u64,
     /// Tuples used to probe hash-join tables.
@@ -54,6 +59,7 @@ impl RuntimeStats {
         self.delta_merges += other.delta_merges;
         self.predicate_evals += other.predicate_evals;
         self.predicate_drops += other.predicate_drops;
+        self.bulk_counted_extensions += other.bulk_counted_extensions;
         self.hash_build_tuples += other.hash_build_tuples;
         self.hash_probe_tuples += other.hash_probe_tuples;
         self.plan_cache_hits += other.plan_cache_hits;
@@ -103,10 +109,12 @@ mod tests {
             delta_merges: 3,
             predicate_evals: 5,
             predicate_drops: 4,
+            bulk_counted_extensions: 6,
             elapsed: Duration::from_millis(50),
         };
         a.merge(&b);
         assert_eq!(a.icost, 11);
+        assert_eq!(a.bulk_counted_extensions, 6);
         assert_eq!(a.delta_merges, 3);
         assert_eq!(a.predicate_evals, 5);
         assert_eq!(a.predicate_drops, 4);

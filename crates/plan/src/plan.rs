@@ -292,6 +292,17 @@ impl Plan {
         }
     }
 
+    /// Whether the `COUNT(*)` fast path applies to this plan: its **final operator is an E/I
+    /// extension**, so the last output column is produced as an (already predicate-filtered)
+    /// extension set whose *size* alone determines the result count. A counting execution —
+    /// one whose sink reports `needs_tuples() == false`, e.g. `RETURN COUNT(*)` — can then
+    /// skip materialising the final column entirely and add the set size in bulk
+    /// (`ExecOptions::count_tail` in `graphflow-exec`). Scan-only and probe-rooted plans
+    /// produce their last column row by row, so nothing can be skipped for them.
+    pub fn count_fast_path_eligible(&self) -> bool {
+        matches!(self.root, PlanNode::Extend(_))
+    }
+
     /// The query-vertex ordering of a WCO plan (None for plans containing hash joins).
     pub fn wco_ordering(&self) -> Option<Vec<usize>> {
         if self.root.has_hash_join() {
@@ -454,6 +465,22 @@ mod tests {
         let join = PlanNode::hash_join(&q, s1, s2).unwrap();
         let plan = Plan::new(q, join, 0.0);
         assert_eq!(plan.class(), PlanClass::BinaryJoin);
+    }
+
+    #[test]
+    fn count_fast_path_eligibility_follows_the_root_operator() {
+        let q = patterns::diamond_x();
+        let root = wco_plan_for(&q, &[0, 1, 2, 3]);
+        assert!(Plan::new(q.clone(), root, 0.0).count_fast_path_eligible());
+        // Hash-join roots emit their last column row by row: nothing to skip.
+        let left = wco_plan_for(&q, &[0, 1, 2]);
+        let right = wco_plan_for(&q, &[1, 2, 3]);
+        let join = PlanNode::hash_join(&q, left, right).unwrap();
+        assert!(!Plan::new(q, join, 0.0).count_fast_path_eligible());
+        // Scan-only plans too.
+        let path = patterns::directed_path(2);
+        let scan = PlanNode::scan(path.edges()[0]);
+        assert!(!Plan::new(path, scan, 0.0).count_fast_path_eligible());
     }
 
     #[test]

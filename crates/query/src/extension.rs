@@ -25,7 +25,10 @@ pub struct AdjListDescriptor {
 /// required on the destination vertex.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ExtensionSpec {
+    /// The adjacency lists to intersect, one per query edge between the prefix and the
+    /// target.
     pub descriptors: Vec<AdjListDescriptor>,
+    /// The vertex label required on every candidate extension vertex.
     pub target_label: VertexLabel,
     /// The query-vertex index being matched by this extension.
     pub target_vertex: usize,

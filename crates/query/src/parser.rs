@@ -4,7 +4,7 @@
 //! enough to express every query in the paper:
 //!
 //! ```text
-//! query     := pattern ("WHERE" conjunction)?
+//! query     := pattern ("WHERE" conjunction)? ("RETURN" return)?
 //! pattern   := edge ("," edge)*
 //! edge      := vertex arrow vertex
 //! vertex    := "(" name (":" label)? ")"
@@ -14,13 +14,20 @@
 //! comparison  := name "." key cmp literal
 //! cmp       := "<" | "<=" | ">" | ">=" | "=" | "==" | "!=" | "<>"
 //! literal   := integer | float | quoted string | "true" | "false"
+//! return    := "DISTINCT"? item ("," item)* ("ORDER" "BY" sort ("," sort)*)? ("LIMIT" uint)?
+//! item      := "*" | agg "(" "DISTINCT"? operand ")" | "COUNT" "(" "*" ")" | operand
+//! operand   := name | name "." key
+//! sort      := item ("ASC" | "DESC")?
+//! agg       := "COUNT" | "SUM" | "MIN" | "MAX" | "AVG"
 //! name, key := identifier (e.g. a1, person, weight)
 //! label     := unsigned integer (maps directly onto data-graph label ids)
 //! ```
 //!
-//! `WHERE` and `AND` are case-insensitive. A comparison's variable must name a pattern vertex
+//! All keywords are case-insensitive. A comparison's variable must name a pattern vertex
 //! or a *named* edge (`-[e]->`, `-[e:2]->`); predicates are typed — a property key compared to
-//! a string in one conjunct and a number in another is rejected at parse time.
+//! a string in one conjunct and a number in another is rejected at parse time. `RETURN` items
+//! reference pattern vertices (`a`, `a.age`) or named-edge properties (`e.weight`); `ORDER BY`
+//! keys must repeat an expression from the `RETURN` list.
 //!
 //! Examples:
 //!
@@ -35,9 +42,13 @@
 //! // Property predicates on a vertex and a named edge.
 //! let q = parse_query("(a)-[e]->(b) WHERE a.age >= 30 AND e.weight < 0.5").unwrap();
 //! assert_eq!(q.predicates().len(), 2);
+//! // Aggregation: group by a, count matches, order and truncate.
+//! let q = parse_query("(a)->(b) RETURN a, COUNT(*) ORDER BY COUNT(*) DESC LIMIT 10").unwrap();
+//! assert!(q.return_clause().unwrap().has_aggregates());
 //! ```
 
 use crate::querygraph::{CmpOp, PredTarget, Predicate, QueryGraph};
+use crate::returns::{AggFunc, OrderKey, ReturnClause, ReturnExpr, ReturnItem, SortDir};
 use graphflow_graph::{EdgeLabel, PropType, PropValue, VertexLabel};
 use std::fmt;
 
@@ -301,6 +312,10 @@ impl<'a> Parser<'a> {
             self.parse_where_clause()?;
         }
         self.skip_ws();
+        if self.eat_keyword("RETURN") {
+            self.parse_return_clause()?;
+        }
+        self.skip_ws();
         if !self.rest().is_empty() {
             return Err(self.err("trailing input after pattern"));
         }
@@ -475,6 +490,207 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// `DISTINCT? item ("," item)* (ORDER BY sort ("," sort)*)? (LIMIT uint)?`, attached to
+    /// the query as its [`ReturnClause`].
+    fn parse_return_clause(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_return_item()?);
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            break;
+        }
+        if items.len() > 1
+            && items
+                .iter()
+                .any(|i| i.agg.is_none() && matches!(i.expr, ReturnExpr::Star))
+        {
+            return Err(self.err("RETURN * cannot be combined with other return items"));
+        }
+        let mut order_by: Vec<OrderKey> = Vec::new();
+        self.skip_ws();
+        if self.eat_keyword("ORDER") {
+            self.skip_ws();
+            if !self.eat_keyword("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            loop {
+                let key_item = self.parse_return_item()?;
+                if key_item.agg.is_none() && matches!(key_item.expr, ReturnExpr::Star) {
+                    return Err(self.err("ORDER BY cannot sort on *; name a variable or property"));
+                }
+                let Some(idx) = items.iter().position(|i| *i == key_item) else {
+                    let listed: Vec<String> = items
+                        .iter()
+                        .map(|i| self.query.return_item_text(i))
+                        .collect();
+                    return Err(self.err(format!(
+                        "ORDER BY key {} must repeat an expression from the RETURN list \
+                         [{}]",
+                        self.query.return_item_text(&key_item),
+                        listed.join(", ")
+                    )));
+                };
+                self.skip_ws();
+                let dir = if self.eat_keyword("DESC") {
+                    SortDir::Desc
+                } else {
+                    let _ = self.eat_keyword("ASC");
+                    SortDir::Asc
+                };
+                order_by.push(OrderKey { item: idx, dir });
+                self.skip_ws();
+                if self.eat(",") {
+                    continue;
+                }
+                break;
+            }
+        }
+        self.skip_ws();
+        let limit = if self.eat_keyword("LIMIT") {
+            self.skip_ws();
+            Some(self.parse_u64()?)
+        } else {
+            None
+        };
+        self.query.set_return(ReturnClause {
+            distinct,
+            items,
+            order_by,
+            limit,
+        });
+        Ok(())
+    }
+
+    /// One `RETURN` (or `ORDER BY`) item: `*`, an aggregate call, or a bare operand.
+    fn parse_return_item(&mut self) -> Result<ReturnItem, ParseError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(ReturnItem {
+                agg: None,
+                distinct: false,
+                expr: ReturnExpr::Star,
+            });
+        }
+        for (kw, func) in [
+            ("COUNT", AggFunc::Count),
+            ("SUM", AggFunc::Sum),
+            ("MIN", AggFunc::Min),
+            ("MAX", AggFunc::Max),
+            ("AVG", AggFunc::Avg),
+        ] {
+            let save = self.pos;
+            if self.eat_keyword(kw) {
+                self.skip_ws();
+                if !self.eat("(") {
+                    // `count` (etc.) was a plain variable name, not an aggregate call.
+                    self.pos = save;
+                    break;
+                }
+                self.skip_ws();
+                let distinct = self.eat_keyword("DISTINCT");
+                self.skip_ws();
+                let expr = if self.eat("*") {
+                    if func != AggFunc::Count {
+                        return Err(self.err(format!(
+                            "only COUNT may aggregate *; write {}(var) or {}(var.key)",
+                            func.name(),
+                            func.name()
+                        )));
+                    }
+                    if distinct {
+                        return Err(self.err(
+                            "COUNT(DISTINCT *) is redundant: matches are already distinct \
+                             tuples; write COUNT(*)",
+                        ));
+                    }
+                    ReturnExpr::Star
+                } else {
+                    self.parse_return_operand()?
+                };
+                self.skip_ws();
+                self.expect(")")?;
+                return Ok(ReturnItem {
+                    agg: Some(func),
+                    distinct,
+                    expr,
+                });
+            }
+        }
+        let expr = self.parse_return_operand()?;
+        Ok(ReturnItem {
+            agg: None,
+            distinct: false,
+            expr,
+        })
+    }
+
+    /// `name` or `name.key`, resolved against the pattern's vertex and named-edge variables.
+    fn parse_return_operand(&mut self) -> Result<ReturnExpr, ParseError> {
+        self.skip_ws();
+        let var = self.parse_identifier().map_err(|_| {
+            self.err("expected a return item: *, an aggregate call, a variable or var.key")
+        })?;
+        if let Some(v) = self.query.vertex_index(&var) {
+            self.skip_ws();
+            if self.eat(".") {
+                self.skip_ws();
+                let key = self.parse_identifier()?;
+                return Ok(ReturnExpr::VertexProp(v, key));
+            }
+            return Ok(ReturnExpr::Vertex(v));
+        }
+        if let Some(e) = self.query.edge_index_by_name(&var) {
+            self.skip_ws();
+            if !self.eat(".") {
+                return Err(self.err(format!(
+                    "edge variable {var} can only be returned through a property: write \
+                     {var}.key"
+                )));
+            }
+            self.skip_ws();
+            let key = self.parse_identifier()?;
+            return Ok(ReturnExpr::EdgeProp(e, key));
+        }
+        let vertices: Vec<&str> = self
+            .query
+            .vertices()
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect();
+        let edges: Vec<&str> = (0..self.query.num_edges())
+            .filter_map(|i| self.query.edge_name(i))
+            .collect();
+        Err(self.err(format!(
+            "unknown variable {var} in RETURN clause; the pattern defines vertices [{}] and \
+             named edges [{}]",
+            vertices.join(", "),
+            edges.join(", ")
+        )))
+    }
+
+    /// An unsigned 64-bit integer (for `LIMIT`).
+    fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected an unsigned integer"));
+        }
+        let value: u64 = rest[..end]
+            .parse()
+            .map_err(|_| self.err("integer out of range"))?;
+        self.pos += end;
+        Ok(value)
     }
 }
 
@@ -686,6 +902,122 @@ mod tests {
         assert!(parse_query("(a)-[x]->(b), (a)-[x:1]->(b)").is_err());
         assert!(parse_query("(a)-[b]->(b)").is_err());
         assert!(parse_query("(a)-[e]->(b), (e)->(b)").is_err());
+    }
+
+    #[test]
+    fn parses_return_clauses() {
+        use crate::returns::{AggFunc, ReturnExpr, SortDir};
+        // RETURN * and RETURN COUNT(*).
+        let q = parse_query("(a)->(b) RETURN *").unwrap();
+        assert!(q.return_clause().unwrap().is_star_only());
+        let q = parse_query("(a)->(b) return count(*)").unwrap();
+        assert!(q.return_clause().unwrap().is_count_star_only());
+        // Projection with properties, grouping aggregate, ORDER BY + LIMIT.
+        let q = parse_query(
+            "(a)-[e]->(b) WHERE a.age > 30 \
+             RETURN a, b.age, SUM(e.w), COUNT(DISTINCT b) ORDER BY SUM(e.w) DESC, a LIMIT 5",
+        )
+        .unwrap();
+        let r = q.return_clause().unwrap();
+        assert_eq!(r.items.len(), 4);
+        assert!(r.has_aggregates());
+        assert_eq!(r.items[0].expr, ReturnExpr::Vertex(0));
+        assert_eq!(r.items[1].expr, ReturnExpr::VertexProp(1, "age".into()));
+        assert_eq!(r.items[2].agg, Some(AggFunc::Sum));
+        assert_eq!(r.items[2].expr, ReturnExpr::EdgeProp(0, "w".into()));
+        assert!(r.items[3].distinct);
+        assert_eq!(r.order_by.len(), 2);
+        assert_eq!((r.order_by[0].item, r.order_by[0].dir), (2, SortDir::Desc));
+        assert_eq!((r.order_by[1].item, r.order_by[1].dir), (0, SortDir::Asc));
+        assert_eq!(r.limit, Some(5));
+        // RETURN DISTINCT rows, explicit ASC.
+        let q = parse_query("(a)->(b) RETURN DISTINCT a ORDER BY a ASC").unwrap();
+        assert!(q.return_clause().unwrap().distinct);
+        // MIN/MAX/AVG parse.
+        let q = parse_query("(a)->(b) RETURN MIN(a.x), MAX(a.x), AVG(a.x)").unwrap();
+        assert_eq!(q.return_clause().unwrap().items.len(), 3);
+        // A vertex named like an aggregate still parses as a plain variable.
+        let q = parse_query("(count)->(b) RETURN count").unwrap();
+        assert_eq!(
+            q.return_clause().unwrap().items[0].expr,
+            ReturnExpr::Vertex(0)
+        );
+    }
+
+    #[test]
+    fn return_clauses_round_trip_through_display() {
+        for text in [
+            "(a)->(b) RETURN *",
+            "(a)->(b) RETURN COUNT(*)",
+            "(a)->(b) RETURN DISTINCT a, b",
+            "(a)-[e]->(b) WHERE a.age > 30 RETURN a, SUM(e.w) ORDER BY SUM(e.w) DESC LIMIT 3",
+            "(a)->(b), (b)->(c) RETURN a, COUNT(DISTINCT c) ORDER BY a LIMIT 10",
+            "(a)->(b) RETURN AVG(a.x), MIN(b.y), MAX(b.y)",
+        ] {
+            let q = parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let shown = q.to_string();
+            let reparsed = parse_query(&shown).unwrap_or_else(|e| panic!("{shown}: {e}"));
+            assert_eq!(q, reparsed, "round trip of {text} via {shown}");
+            assert_eq!(shown, reparsed.to_string(), "display fixed point");
+        }
+    }
+
+    #[test]
+    fn return_clause_is_excluded_from_canonical_codes() {
+        let bare = parse_query("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        let counted = parse_query("(a)->(b), (b)->(c), (a)->(c) RETURN COUNT(*)").unwrap();
+        assert_ne!(bare, counted, "queries differ as values");
+        assert_eq!(
+            crate::exact_code(&bare),
+            crate::exact_code(&counted),
+            "but share one exact code"
+        );
+        assert_eq!(
+            crate::canonical_form(&bare).0,
+            crate::canonical_form(&counted).0,
+            "and one canonical code"
+        );
+    }
+
+    #[test]
+    fn malformed_return_clauses_are_rejected() {
+        assert!(parse_query("(a)->(b) RETURN").is_err());
+        assert!(parse_query("(a)->(b) RETURN a,").is_err());
+        assert!(
+            parse_query("(a)->(b) RETURN *, a").is_err(),
+            "star is alone"
+        );
+        assert!(parse_query("(a)->(b) RETURN SUM(*)").is_err());
+        assert!(parse_query("(a)->(b) RETURN COUNT(DISTINCT *)").is_err());
+        assert!(parse_query("(a)->(b) RETURN COUNT(a").is_err());
+        assert!(
+            parse_query("(a)->(b) RETURN z").is_err(),
+            "unknown variable"
+        );
+        assert!(
+            parse_query("(a)-[e]->(b) RETURN e").is_err(),
+            "bare edge variable needs a property"
+        );
+        assert!(parse_query("(a)->(b) RETURN a ORDER a").is_err(), "BY");
+        assert!(
+            parse_query("(a)->(b) RETURN a ORDER BY b").is_err(),
+            "ORDER BY must repeat a RETURN item"
+        );
+        assert!(
+            parse_query("(a)->(b) RETURN * ORDER BY *").is_err(),
+            "no sorting on *"
+        );
+        assert!(
+            parse_query("(a)->(b) RETURN a ORDER BY *").is_err(),
+            "no sorting on *"
+        );
+        assert!(parse_query("(a)->(b) RETURN a LIMIT").is_err());
+        assert!(parse_query("(a)->(b) RETURN a LIMIT x").is_err());
+        assert!(parse_query("(a)->(b) RETURN a junk").is_err());
+        // Unknown-variable errors are actionable.
+        let err = parse_query("(a)-[e]->(b) RETURN z.age").unwrap_err();
+        assert!(err.message.contains("unknown variable z"), "{err}");
+        assert!(err.message.contains('e'), "lists named edges: {err}");
     }
 
     #[test]

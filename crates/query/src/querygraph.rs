@@ -1,5 +1,6 @@
 //! The [`QueryGraph`] type, property predicates, and vertex-subset utilities.
 
+use crate::returns::{ReturnClause, ReturnExpr, ReturnItem, SortDir};
 use graphflow_graph::{EdgeLabel, GraphView, PropValue, VertexId, VertexLabel};
 use std::fmt;
 
@@ -31,26 +32,37 @@ pub fn singleton(i: usize) -> VertexSet {
 /// A query vertex: a variable name plus a required vertex label (label 0 = unlabelled).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryVertex {
+    /// The variable name the vertex was declared with (`a` in `(a)->(b)`).
     pub name: String,
+    /// The required data-vertex label; label 0 means "any".
     pub label: VertexLabel,
 }
 
 /// A directed query edge between query-vertex indices, carrying an edge label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryEdge {
+    /// Source query-vertex index.
     pub src: usize,
+    /// Destination query-vertex index.
     pub dst: usize,
+    /// The required data-edge label; label 0 means "any".
     pub label: EdgeLabel,
 }
 
 /// A comparison operator in a `WHERE` predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CmpOp {
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
+    /// `=` (also written `==`)
     Eq,
+    /// `!=` (also written `<>`)
     Ne,
 }
 
@@ -98,7 +110,9 @@ impl CmpOp {
 /// What a predicate filters: a query vertex or a query edge (by index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PredTarget {
+    /// A query vertex, by index.
     Vertex(usize),
+    /// A query edge, by index (the edge must be *named* to be referenced from query text).
     Edge(usize),
 }
 
@@ -108,9 +122,13 @@ pub enum PredTarget {
 /// type-incomparable pair makes the predicate **false** (the tuple is filtered out).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Predicate {
+    /// What the predicate filters: a query vertex or a named query edge.
     pub target: PredTarget,
+    /// The property key read on the matched data vertex/edge.
     pub key: String,
+    /// The comparison operator.
     pub op: CmpOp,
+    /// The typed literal compared against.
     pub value: PropValue,
 }
 
@@ -161,6 +179,10 @@ pub struct QueryGraph {
     edge_names: Vec<Option<String>>,
     /// `WHERE` conjuncts, kept in canonical (sorted, de-duplicated) order.
     predicates: Vec<Predicate>,
+    /// The `RETURN` clause, if one was declared. Deliberately excluded from the canonical /
+    /// exact codes (see [`crate::canonical`]): the clause changes what is *produced*, not
+    /// which subgraphs match, so queries differing only here share one cached plan.
+    return_clause: Option<ReturnClause>,
 }
 
 impl QueryGraph {
@@ -255,6 +277,36 @@ impl QueryGraph {
             q.add_predicate(p);
         }
         q
+    }
+
+    /// Attach a `RETURN` clause, replacing any previous one.
+    ///
+    /// # Panics
+    /// Panics if an item references a vertex or edge outside the pattern, or an `ORDER BY`
+    /// key references a non-existent item.
+    pub fn set_return(&mut self, clause: ReturnClause) {
+        for item in &clause.items {
+            match &item.expr {
+                ReturnExpr::Star => {}
+                ReturnExpr::Vertex(v) | ReturnExpr::VertexProp(v, _) => {
+                    assert!(*v < self.vertices.len(), "return vertex in range");
+                }
+                ReturnExpr::EdgeProp(e, _) => {
+                    assert!(*e < self.edges.len(), "return edge in range");
+                }
+            }
+        }
+        for key in &clause.order_by {
+            assert!(key.item < clause.items.len(), "ORDER BY key in range");
+        }
+        self.return_clause = Some(clause);
+    }
+
+    /// The `RETURN` clause, if one was declared (`None` means "enumerate full binding
+    /// tuples", i.e. the implicit [`ReturnClause::star`]).
+    #[inline]
+    pub fn return_clause(&self) -> Option<&ReturnClause> {
+        self.return_clause.as_ref()
     }
 
     /// Combined selectivity (product of per-operator defaults) of every predicate fully bound
@@ -478,10 +530,38 @@ impl QueryGraph {
         if let Some(name) = self.edge_name(i) {
             return Some(name.to_string());
         }
-        self.predicates
+        let referenced = self
+            .predicates
             .iter()
             .any(|p| p.target == PredTarget::Edge(i))
-            .then(|| format!("_e{}", i + 1))
+            || self
+                .return_clause
+                .as_ref()
+                .is_some_and(|r| r.references_edge(i));
+        referenced.then(|| format!("_e{}", i + 1))
+    }
+
+    /// The canonical textual form of one `RETURN` item under this query's variable names
+    /// (`a`, `b.age`, `COUNT(*)`, `SUM(DISTINCT e.w)`, ...). What `Display` prints and the
+    /// parser accepts; also used for result-set column headers.
+    pub fn return_item_text(&self, item: &ReturnItem) -> String {
+        let operand = match &item.expr {
+            ReturnExpr::Star => "*".to_string(),
+            ReturnExpr::Vertex(v) => self.vertices[*v].name.clone(),
+            ReturnExpr::VertexProp(v, key) => format!("{}.{key}", self.vertices[*v].name),
+            ReturnExpr::EdgeProp(e, key) => format!(
+                "{}.{key}",
+                self.edge_display_name(*e)
+                    .expect("edges referenced by RETURN always render a name")
+            ),
+        };
+        match item.agg {
+            None => operand,
+            Some(f) => {
+                let distinct = if item.distinct { "DISTINCT " } else { "" };
+                format!("{}({distinct}{operand})", f.name())
+            }
+        }
     }
 }
 
@@ -523,6 +603,33 @@ impl fmt::Display for QueryGraph {
                         .expect("edges with predicates always render a name"),
                 };
                 write!(f, "{var}.{} {} {}", p.key, p.op.symbol(), p.value)?;
+            }
+        }
+        if let Some(r) = &self.return_clause {
+            write!(f, " RETURN ")?;
+            if r.distinct {
+                write!(f, "DISTINCT ")?;
+            }
+            for (i, item) in r.items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.return_item_text(item))?;
+            }
+            if !r.order_by.is_empty() {
+                write!(f, " ORDER BY ")?;
+                for (i, key) in r.order_by.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", self.return_item_text(&r.items[key.item]))?;
+                    if key.dir == SortDir::Desc {
+                        write!(f, " DESC")?;
+                    }
+                }
+            }
+            if let Some(limit) = r.limit {
+                write!(f, " LIMIT {limit}")?;
             }
         }
         Ok(())

@@ -1,0 +1,247 @@
+//! The `RETURN` clause: projections and streaming aggregates over match tuples.
+//!
+//! A query's *pattern* (plus its `WHERE` predicates) decides **which** subgraphs match; the
+//! `RETURN` clause decides **what is produced** per match — the full binding tuple
+//! (`RETURN *`), a projection (`RETURN a, b.age`), or aggregates folded over the match stream
+//! (`RETURN a, COUNT(*)`, `RETURN AVG(e.weight)`), optionally de-duplicated (`DISTINCT`),
+//! sorted (`ORDER BY`) and truncated (`LIMIT`).
+//!
+//! The clause is deliberately **not** part of the query's canonical form: two queries that
+//! differ only in their `RETURN` clause are the same *pattern*, run the same plan, and share
+//! one plan-cache entry. Execution layers compile the clause into streaming sinks instead
+//! (see `graphflow-exec`'s aggregation module), so adding a projection or aggregate never
+//! re-invokes the optimizer.
+
+use crate::querygraph::QueryGraph;
+
+/// An aggregate function usable in a `RETURN` item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` counts matches; `COUNT(x)` counts matches where `x` is non-missing.
+    Count,
+    /// Sum of the numeric values of the operand (missing and non-numeric values are skipped;
+    /// an all-skipped input sums to integer zero, Cypher style).
+    Sum,
+    /// Smallest operand value under the canonical
+    /// [`PropValue`](graphflow_graph::PropValue) total order; missing over the whole input.
+    Min,
+    /// Largest operand value under the canonical total order; missing over the whole input.
+    Max,
+    /// Arithmetic mean of the numeric operand values; missing when no numeric value occurs.
+    Avg,
+}
+
+impl AggFunc {
+    /// The canonical (upper-case) spelling, as printed by `Display` and accepted by the parser.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// The value a [`ReturnItem`] computes from one match tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ReturnExpr {
+    /// `*` — the whole binding tuple (`RETURN *`), or "every match" under `COUNT(*)`.
+    Star,
+    /// A vertex variable: the data-vertex id matched to query vertex `i`.
+    Vertex(usize),
+    /// `var.key` on a vertex variable: the typed property value of the matched data vertex.
+    VertexProp(usize, String),
+    /// `var.key` on a named edge (by query-edge index): the typed property value of the
+    /// matched data edge.
+    EdgeProp(usize, String),
+}
+
+/// One comma-separated item of a `RETURN` clause: an optional aggregate applied to a value
+/// expression.
+///
+/// Items without an aggregate act as **grouping keys** whenever any item carries one
+/// (`RETURN a, COUNT(*)` groups by `a`, Cypher style); with no aggregates anywhere the clause
+/// is a plain projection.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReturnItem {
+    /// The aggregate folding this item over the match stream, if any.
+    pub agg: Option<AggFunc>,
+    /// `DISTINCT` *inside* the aggregate (`COUNT(DISTINCT a)`): fold each operand value once.
+    pub distinct: bool,
+    /// The per-match value expression.
+    pub expr: ReturnExpr,
+}
+
+/// Sort direction of one `ORDER BY` key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    /// Ascending (the default; missing values sort first).
+    Asc,
+    /// Descending (missing values sort last).
+    Desc,
+}
+
+/// One `ORDER BY` key: a reference to a `RETURN` item plus a direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    /// Index into [`ReturnClause::items`] of the expression sorted on.
+    pub item: usize,
+    /// Sort direction.
+    pub dir: SortDir,
+}
+
+/// A parsed `RETURN` clause.
+///
+/// Grammar (keywords case-insensitive):
+///
+/// ```text
+/// return  := "RETURN" "DISTINCT"? item ("," item)*
+///            ("ORDER" "BY" key ("," key)*)? ("LIMIT" uint)?
+/// item    := "*" | agg "(" "DISTINCT"? operand ")" | "COUNT" "(" "*" ")" | operand
+/// operand := name | name "." key
+/// key     := item ("ASC" | "DESC")?
+/// agg     := "COUNT" | "SUM" | "MIN" | "MAX" | "AVG"
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReturnClause {
+    /// `RETURN DISTINCT`: de-duplicate whole output rows.
+    pub distinct: bool,
+    /// The comma-separated return items, in declaration order.
+    pub items: Vec<ReturnItem>,
+    /// `ORDER BY` keys (empty when absent); every key references an entry of `items`.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n`: keep only the first `n` output rows (after sorting, when `ORDER BY` is
+    /// present).
+    pub limit: Option<u64>,
+}
+
+impl ReturnClause {
+    /// The implicit clause of a query without `RETURN`: the full binding tuple per match.
+    pub fn star() -> ReturnClause {
+        ReturnClause {
+            distinct: false,
+            items: vec![ReturnItem {
+                agg: None,
+                distinct: false,
+                expr: ReturnExpr::Star,
+            }],
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// The canonical counting clause, `RETURN COUNT(*)`.
+    pub fn count_star() -> ReturnClause {
+        ReturnClause {
+            distinct: false,
+            items: vec![ReturnItem {
+                agg: Some(AggFunc::Count),
+                distinct: false,
+                expr: ReturnExpr::Star,
+            }],
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Whether any item carries an aggregate function (the clause then groups by its
+    /// non-aggregate items).
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| i.agg.is_some())
+    }
+
+    /// Whether the clause is exactly `RETURN COUNT(*)` — the shape eligible for the
+    /// counting fast path that never materialises per-match tuples.
+    pub fn is_count_star_only(&self) -> bool {
+        self.items.len() == 1
+            && self.order_by.is_empty()
+            && matches!(
+                &self.items[0],
+                ReturnItem {
+                    agg: Some(AggFunc::Count),
+                    distinct: false,
+                    expr: ReturnExpr::Star,
+                }
+            )
+    }
+
+    /// Whether the clause is a plain `RETURN *` (with or without `DISTINCT`, which is a no-op:
+    /// distinct matches already produce distinct tuples).
+    pub fn is_star_only(&self) -> bool {
+        self.items.len() == 1
+            && matches!(
+                &self.items[0],
+                ReturnItem {
+                    agg: None,
+                    expr: ReturnExpr::Star,
+                    ..
+                }
+            )
+    }
+
+    /// Whether any item reads the given query edge (`e.prop` on edge index `i`).
+    pub fn references_edge(&self, i: usize) -> bool {
+        self.items
+            .iter()
+            .any(|item| matches!(&item.expr, ReturnExpr::EdgeProp(e, _) if *e == i))
+    }
+
+    /// Whether any item's expression *binds to* the given query vertex — i.e. the clause can
+    /// only be evaluated with that vertex matched. `Star` references every vertex.
+    pub fn references_vertex(&self, v: usize, q: &QueryGraph) -> bool {
+        self.items.iter().any(|item| match &item.expr {
+            ReturnExpr::Star => true,
+            ReturnExpr::Vertex(i) | ReturnExpr::VertexProp(i, _) => *i == v,
+            ReturnExpr::EdgeProp(e, _) => {
+                let edge = q.edges()[*e];
+                edge.src == v || edge.dst == v
+            }
+        })
+    }
+
+    /// Column headers for the produced rows: one per item, in the item's canonical textual
+    /// form (`a`, `b.age`, `COUNT(*)`, ...). A lone `RETURN *` expands to one column per query
+    /// vertex, named after the vertex.
+    pub fn column_names(&self, q: &QueryGraph) -> Vec<String> {
+        if self.is_star_only() {
+            return q.vertices().iter().map(|v| v.name.clone()).collect();
+        }
+        self.items.iter().map(|i| q.return_item_text(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_classification() {
+        let star = ReturnClause::star();
+        assert!(star.is_star_only());
+        assert!(!star.has_aggregates());
+        assert!(!star.is_count_star_only());
+        let count = ReturnClause::count_star();
+        assert!(count.is_count_star_only());
+        assert!(count.has_aggregates());
+        assert!(!count.is_star_only());
+        // COUNT(DISTINCT ...) and ordered counts lose fast-path eligibility.
+        let mut distinct_count = ReturnClause::count_star();
+        distinct_count.items[0].distinct = true;
+        assert!(!distinct_count.is_count_star_only());
+    }
+
+    #[test]
+    fn column_names_expand_star() {
+        let mut q = QueryGraph::new();
+        q.add_vertex("a", graphflow_graph::VertexLabel(0));
+        q.add_vertex("b", graphflow_graph::VertexLabel(0));
+        q.add_edge(0, 1, graphflow_graph::EdgeLabel(0));
+        assert_eq!(ReturnClause::star().column_names(&q), vec!["a", "b"]);
+        assert_eq!(
+            ReturnClause::count_star().column_names(&q),
+            vec!["COUNT(*)"]
+        );
+    }
+}

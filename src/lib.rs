@@ -24,6 +24,9 @@
 //! // Rerun with different options — parse/canonicalize/optimize are not repeated.
 //! let parallel = triangles.run(QueryOptions::new().threads(2)).unwrap();
 //! assert_eq!(parallel.count, 1);
+//! // RETURN clauses compile into streaming aggregation sinks over the same plan.
+//! let counted = db.query("(a)->(b), (b)->(c), (a)->(c) RETURN COUNT(*)").unwrap();
+//! assert_eq!(counted.scalar_count(), Some(1));
 //! ```
 //!
 //! The graph is **dynamic**: `GraphflowDB::insert_edge` / `delete_edge` /
@@ -61,7 +64,7 @@ pub use graphflow_catalog as catalog;
 pub use graphflow_core as core;
 pub use graphflow_core::{
     CallbackSink, CollectingSink, CountingSink, Error, GraphflowDB, LimitSink, MatchSink,
-    PlanCacheStats, PreparedQuery, QueryOptions, QueryResult,
+    PlanCacheStats, PreparedQuery, QueryOptions, QueryResult, ResultSet,
 };
 pub use graphflow_datasets as datasets;
 pub use graphflow_exec as exec;

@@ -1,0 +1,75 @@
+//! Keeps `docs/QUERY_LANGUAGE.md` honest: every fenced block tagged `graphflow` must parse
+//! with the real parser, and every block tagged `graphflow-invalid` must fail to parse.
+
+use graphflow_rs::query::parse_query;
+
+const QUERY_LANGUAGE_MD: &str = include_str!("../docs/QUERY_LANGUAGE.md");
+
+/// The non-comment, non-empty lines of every fenced block carrying `tag`.
+fn snippets(tag: &str) -> Vec<String> {
+    let fence = format!("```{tag}");
+    let mut out = Vec::new();
+    let mut in_block = false;
+    for line in QUERY_LANGUAGE_MD.lines() {
+        let trimmed = line.trim();
+        if in_block {
+            if trimmed == "```" {
+                in_block = false;
+                continue;
+            }
+            if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                out.push(trimmed.to_string());
+            }
+        } else if trimmed == fence {
+            in_block = true;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_query_language_snippet_parses() {
+    let queries = snippets("graphflow");
+    assert!(
+        queries.len() >= 30,
+        "the reference should stay example-rich (found {})",
+        queries.len()
+    );
+    for query in &queries {
+        parse_query(query).unwrap_or_else(|e| {
+            panic!("docs/QUERY_LANGUAGE.md snippet failed to parse:\n  {query}\n  {e}")
+        });
+    }
+}
+
+#[test]
+fn every_invalid_snippet_is_rejected() {
+    let queries = snippets("graphflow-invalid");
+    assert!(!queries.is_empty(), "the error section must stay populated");
+    for query in &queries {
+        assert!(
+            parse_query(query).is_err(),
+            "docs/QUERY_LANGUAGE.md claims this is invalid, but it parses:\n  {query}"
+        );
+    }
+}
+
+/// Display round-trip: the canonical form of every valid snippet re-parses, and re-displays
+/// identically (a fixed point), so the reference's syntax and the engine's own printer
+/// agree. Vertex numbering may legitimately differ (`(a)<-(b)` prints source-first), so the
+/// queries are compared through their displayed forms, not by value.
+#[test]
+fn snippets_round_trip_through_display() {
+    for query in snippets("graphflow") {
+        let q = parse_query(&query).unwrap();
+        let shown = q.to_string();
+        let reparsed = parse_query(&shown).unwrap_or_else(|e| {
+            panic!("canonical form of {query} failed to reparse: {shown}: {e}")
+        });
+        assert_eq!(
+            shown,
+            reparsed.to_string(),
+            "display fixed point of {query}"
+        );
+    }
+}
