@@ -17,8 +17,8 @@ fn main() {
         ("symmetric diamond-X (Q5)", patterns::symmetric_diamond_x()),
         ("two triangles (Q8)", patterns::benchmark_query(8)),
     ] {
-        let conscious = DpOptimizer::new(db.catalogue()).optimize(&q).unwrap();
-        let oblivious = DpOptimizer::new(db.catalogue())
+        let conscious = DpOptimizer::new(&db.catalogue()).optimize(&q).unwrap();
+        let oblivious = DpOptimizer::new(&db.catalogue())
             .with_cost_model(CostModel::default().cache_oblivious())
             .optimize(&q)
             .unwrap();

@@ -25,7 +25,7 @@ fn main() {
             dataset(ds)
         };
         let db = GraphflowDB::with_config(graph, Default::default());
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         for &j in &queries {
             let mut q = patterns::benchmark_query(j);
             if labels > 1 {
@@ -33,7 +33,7 @@ fn main() {
             }
             let spectrum = enumerate_spectrum(
                 &q,
-                db.catalogue(),
+                &db.catalogue(),
                 &model,
                 SpectrumLimits {
                     max_plans_per_subset: 24,

@@ -12,14 +12,14 @@ fn main() {
     let queries = [2usize, 3, 4, 5, 6];
     for ds in datasets {
         let db = db_for(ds);
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         for &j in &queries {
             let q = patterns::benchmark_query(j);
             let mut rows = Vec::new();
             let (mut fixed_best, mut fixed_worst) = (f64::INFINITY, 0.0f64);
             let (mut adapt_best, mut adapt_worst) = (f64::INFINITY, 0.0f64);
             for sigma in executable_orderings(&q) {
-                let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else {
+                let Some(plan) = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma) else {
                     continue;
                 };
                 let (_, _, t_fixed) = run_plan(&db, &plan, QueryOptions::default());

@@ -16,12 +16,12 @@ fn main() {
     ];
     for (j, ds) in cases {
         let db = db_for(ds);
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         let q = patterns::benchmark_query(j);
 
         let gf_spectrum = enumerate_spectrum(
             &q,
-            db.catalogue(),
+            &db.catalogue(),
             &model,
             SpectrumLimits {
                 max_plans_per_subset: 16,
@@ -37,7 +37,8 @@ fn main() {
             })
             .collect();
 
-        let eh_planner = GhdPlanner::new(db.catalogue());
+        let catalogue = db.catalogue();
+        let eh_planner = GhdPlanner::new(&catalogue);
         let eh_plans = eh_planner.spectrum(&q);
         let eh_times: Vec<f64> = eh_plans
             .iter()

@@ -18,7 +18,7 @@ fn main() {
             let (count, _, gf_time) = run_plan(&db, &plan, QueryOptions::default());
             let (bj, bj_time) = time(|| {
                 bj_engine_count(
-                    db.graph(),
+                    &db.graph(),
                     &q,
                     BjEngineOptions {
                         time_limit: Some(Duration::from_secs(120)),

@@ -10,10 +10,10 @@ use graphflow_query::patterns;
 fn main() {
     let db = db_for(Dataset::Amazon);
     let q = patterns::diamond_x();
-    let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+    let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
     let mut rows = Vec::new();
     for sigma in executable_orderings(&q) {
-        let plan = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma).unwrap();
+        let plan = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma).unwrap();
         let (_, s_on, t_on) = run_plan(&db, &plan, QueryOptions::default());
         let (_, s_off, t_off) = run_plan(&db, &plan, QueryOptions::new().intersection_cache(false));
         rows.push(vec![

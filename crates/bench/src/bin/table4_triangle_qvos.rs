@@ -12,10 +12,10 @@ fn main() {
     let q = patterns::asymmetric_triangle();
     for ds in [Dataset::BerkStan, Dataset::LiveJournal] {
         let db = db_for(ds);
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         let mut rows = Vec::new();
         for sigma in [vec![0, 1, 2], vec![1, 2, 0], vec![0, 2, 1]] {
-            let plan = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma).unwrap();
+            let plan = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma).unwrap();
             let (count, stats, t) = run_plan(&db, &plan, QueryOptions::default());
             rows.push(vec![
                 ordering_name(&q, &sigma),

@@ -19,10 +19,10 @@ fn main() {
     ];
     for ds in [Dataset::Amazon, Dataset::Epinions] {
         let db = db_for(ds);
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         let mut rows = Vec::new();
         for sigma in &orderings {
-            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, sigma) else {
+            let Some(plan) = wco_plan_for_ordering(&q, &db.catalogue(), &model, sigma) else {
                 continue;
             };
             let (count, stats, t) =

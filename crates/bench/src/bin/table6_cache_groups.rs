@@ -11,10 +11,10 @@ fn main() {
     let q = patterns::symmetric_diamond_x();
     for ds in [Dataset::Amazon, Dataset::Epinions] {
         let db = db_for(ds);
-        let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+        let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
         let mut rows = Vec::new();
         for sigma in [vec![1, 2, 0, 3], vec![0, 1, 2, 3]] {
-            let Some(plan) = wco_plan_for_ordering(&q, db.catalogue(), &model, &sigma) else {
+            let Some(plan) = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma) else {
                 continue;
             };
             let (count, stats, t) = run_plan(&db, &plan, QueryOptions::default());

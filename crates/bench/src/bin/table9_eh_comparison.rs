@@ -8,7 +8,8 @@ use graphflow_plan::ghd::{GhdPlanner, OrderingPolicy};
 use graphflow_query::patterns;
 
 fn run_cell(db: &GraphflowDB, q: &graphflow_query::QueryGraph) -> (String, String, String) {
-    let planner = GhdPlanner::new(db.catalogue());
+    let catalogue = db.catalogue();
+    let planner = GhdPlanner::new(&catalogue);
     let gf = db
         .plan(q)
         .map(|p| run_plan(db, &p, QueryOptions::default()).2);

@@ -66,7 +66,7 @@ struct MemoEntry {
     tick: u64,
 }
 
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Caches {
     entries: FxHashMap<ExtensionKey, MemoEntry>,
     cardinalities: FxHashMap<CanonicalCode, (f64, u64)>,
@@ -98,6 +98,24 @@ pub struct Catalogue {
     update_tick: u64,
     /// Version of the snapshot the catalogue most recently observed.
     graph_version: u64,
+}
+
+impl Clone for Catalogue {
+    /// Deep copy, including the memoised sample caches (taken under their lock). Backs
+    /// copy-on-write sharing of a catalogue between a committing writer and in-flight
+    /// readers (`Arc::make_mut` in the `graphflow-core` facade).
+    fn clone(&self) -> Self {
+        Catalogue {
+            snap: self.snap.clone(),
+            config: self.config,
+            caches: Mutex::new(self.caches.lock().clone()),
+            edge_counts: self.edge_counts.clone(),
+            vertex_counts: self.vertex_counts.clone(),
+            update_counts: self.update_counts.clone(),
+            update_tick: self.update_tick,
+            graph_version: self.graph_version,
+        }
+    }
 }
 
 impl Catalogue {

@@ -64,13 +64,49 @@
 //! assert_eq!(hubs, vec![0]);
 //! ```
 //!
+//! ## Concurrency: one shareable handle, write transactions, lock-free reads
+//!
+//! [`GraphflowDB`] is a cheap [`Clone`]-able, `Send + Sync` **handle**: clone it (or wrap it in
+//! an `Arc` — a clone *is* two `Arc` bumps) and hand it to as many threads as you like. Reads
+//! pin an immutable [`GraphSnapshot`] of the current epoch and then never touch a lock again;
+//! writes go through a [`WriteTxn`] ([`begin_write`](GraphflowDB::begin_write) → staged updates
+//! → [`commit`](WriteTxn::commit)), which stages on a private copy-on-write snapshot and
+//! publishes **one new epoch atomically** — writers never block readers, and a reader sees
+//! either all of a transaction or none of it:
+//!
+//! ```
+//! use graphflow_core::GraphflowDB;
+//! use graphflow_graph::{EdgeLabel, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! let db = GraphflowDB::from_graph(b.build());
+//! let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+//!
+//! // The same owned prepared query executes from any thread through cloned handles.
+//! let worker = std::thread::spawn({
+//!     let triangles = triangles.clone();
+//!     move || triangles.count().unwrap()
+//! });
+//! assert_eq!(worker.join().unwrap(), 0);
+//!
+//! // A write transaction publishes atomically; the closing edge appears to every
+//! // later read at once.
+//! let mut txn = db.begin_write();
+//! txn.insert_edge(0, 2, EdgeLabel(0));
+//! txn.commit();
+//! assert_eq!(triangles.count().unwrap(), 1);
+//! ```
+//!
 //! ## Dynamic updates
 //!
 //! The graph is live: edges and vertices can be inserted and deleted between (and logically,
 //! under, thanks to snapshot isolation) queries. Updates land in a delta store layered over the
 //! base CSR; queries run against an immutable [`GraphSnapshot`] of one delta epoch,
 //! and [`compact`](GraphflowDB::compact) (explicit, or automatic past a threshold) folds the
-//! deltas back into a fresh CSR:
+//! deltas back into a fresh CSR. The single-call convenience wrappers below are each a
+//! one-update [`WriteTxn`]:
 //!
 //! ```
 //! use graphflow_core::GraphflowDB;
@@ -79,7 +115,7 @@
 //! let mut b = GraphBuilder::new();
 //! b.add_edge(0, 1);
 //! b.add_edge(1, 2);
-//! let mut db = GraphflowDB::from_graph(b.build());
+//! let db = GraphflowDB::from_graph(b.build());
 //! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 0);
 //!
 //! // Close the triangle; the same prepared shape now matches once.
@@ -148,13 +184,17 @@
 //! assert_eq!(db.plan_cache_stats().hits, 1);
 //! ```
 //!
-//! ## Execution options
+//! ## Execution options, deadlines and cancellation
 //!
 //! [`QueryOptions`] is a fluent builder covering every execution mode studied in the paper —
 //! fixed plans, adaptive query-vertex-ordering evaluation
 //! ([`adaptive`](QueryOptions::adaptive)), multi-threaded execution
-//! ([`threads`](QueryOptions::threads)) — plus the intersection cache toggle, output limits and
-//! tuple collection. Plan inspection (`EXPLAIN`-style output) and the runtime statistics the
+//! ([`threads`](QueryOptions::threads)) — plus the intersection cache toggle, output limits,
+//! tuple collection, wall-clock deadlines ([`timeout`](QueryOptions::timeout), surfaced as
+//! [`Error::Timeout`]) and cooperative cancellation
+//! ([`cancel_token`](QueryOptions::cancel_token), surfaced as [`Error::Cancelled`];
+//! [`PreparedQuery::execute_handle`] packages the pattern as a [`QueryHandle`] that any thread
+//! can cancel). Plan inspection (`EXPLAIN`-style output) and the runtime statistics the
 //! paper's experiments report (actual i-cost, intermediate match counts, cache hits) are
 //! available through [`GraphflowDB::explain`] / [`PreparedQuery::explain`] and
 //! [`QueryResult::stats`].
@@ -174,22 +214,28 @@ use graphflow_plan::{Plan, PlanClass, PlanHandle};
 use graphflow_query::{
     canonical_form, parse_query, CanonicalCode, PredTarget, Predicate, QueryGraph,
 };
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 mod options;
 mod plan_cache;
 mod prepared;
 mod results;
+mod txn;
 
 pub use graphflow_exec::{
-    CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, Row, RuntimeStats, Value,
+    CallbackSink, CancellationToken, CollectingSink, CountingSink, LimitSink, MatchSink, Row,
+    RuntimeStats, Value,
 };
 pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
 pub use graphflow_query::returns::ReturnClause;
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
-pub use prepared::PreparedQuery;
+pub use prepared::{PreparedQuery, QueryHandle};
 pub use results::ResultSet;
+pub use txn::WriteTxn;
 
 use plan_cache::PlanCache;
 use prepared::RemapSink;
@@ -225,6 +271,16 @@ pub enum Error {
     /// vertex/edge does not exist); the underlying [`PropError`] is the
     /// [`source`](std::error::Error::source).
     Property(PropError),
+    /// The query was cancelled through its [`CancellationToken`] (attached with
+    /// [`QueryOptions::cancel_token`] or created by [`PreparedQuery::execute_handle`]) before
+    /// it completed. Materialising entry points discard their partial results; a
+    /// sink-streaming run ([`run_with_sink`](GraphflowDB::run_with_sink)) has already
+    /// delivered the matches found before the cancellation to the caller's sink.
+    Cancelled,
+    /// The query ran past its wall-clock deadline ([`QueryOptions::timeout`]) and was
+    /// stopped. Materialising entry points discard their partial results; a sink-streaming
+    /// run has already delivered the matches found before the deadline to the caller's sink.
+    Timeout,
 }
 
 impl std::fmt::Display for Error {
@@ -240,6 +296,8 @@ impl std::fmt::Display for Error {
             ),
             Error::InvalidOptions(msg) => write!(f, "invalid query options: {msg}"),
             Error::Property(_) => write!(f, "property write rejected"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Timeout => write!(f, "query timed out"),
         }
     }
 }
@@ -361,41 +419,76 @@ impl GraphflowDBBuilder {
             .unwrap_or_else(|| (snapshot.base().num_edges() / 2).max(4096));
         let catalogue = Catalogue::for_snapshot(snapshot.clone(), self.catalogue_config);
         GraphflowDB {
-            stats_version: snapshot.version(),
-            snapshot,
-            catalogue,
-            cost_model: self.cost_model,
-            plan_space: self.plan_space,
-            plan_cache: PlanCache::new(self.plan_cache_capacity),
-            updates_since_stats: 0,
-            staleness_threshold,
-            compact_threshold,
+            shared: Arc::new(DbShared {
+                stats_version: AtomicU64::new(snapshot.version()),
+                current: RwLock::new(snapshot),
+                catalogue: RwLock::new(Arc::new(catalogue)),
+                config_epoch: AtomicU64::new(0),
+                cost_model: RwLock::new(self.cost_model),
+                plan_space: RwLock::new(self.plan_space),
+                plan_cache: PlanCache::new(self.plan_cache_capacity),
+                writer: Mutex::new(WriterState {
+                    updates_since_stats: 0,
+                }),
+                staleness_threshold,
+                compact_threshold,
+            }),
         }
     }
 }
 
 /// An in-memory graph database instance: graph + catalogue + optimizer + plan cache + executor.
 ///
+/// `GraphflowDB` is a cheap **handle** (`Clone` is two `Arc` bumps) over shared, internally
+/// synchronized state, and is `Send + Sync`: clone it across threads, or share one instance
+/// behind an `Arc` — both spellings address the same database. Reads pin an immutable
+/// [`Snapshot`] of the current epoch under a momentary read lock and then run lock-free;
+/// writes are serialized through [`WriteTxn`]s that publish one new epoch atomically, so
+/// **writers never block readers**.
+///
 /// The graph is **dynamic**: [`insert_vertex`](GraphflowDB::insert_vertex),
 /// [`insert_edge`](GraphflowDB::insert_edge), [`delete_edge`](GraphflowDB::delete_edge) and
-/// [`apply_batch`](GraphflowDB::apply_batch) mutate a delta store layered over the base CSR,
-/// while queries always run against an immutable [`Snapshot`] of one delta epoch. Snapshots
-/// handed out by [`snapshot`](GraphflowDB::snapshot) are isolated from later mutations
-/// (copy-on-write), and [`compact`](GraphflowDB::compact) — called explicitly or triggered by
-/// the configured threshold — folds the deltas back into a fresh CSR without changing results.
+/// [`apply_batch`](GraphflowDB::apply_batch) are one-update write transactions over a delta
+/// store layered over the base CSR ([`begin_write`](GraphflowDB::begin_write) batches many
+/// updates into one atomic epoch), while queries always run against an immutable [`Snapshot`]
+/// of one epoch. Snapshots handed out by [`snapshot`](GraphflowDB::snapshot) are isolated from
+/// later mutations (copy-on-write), and [`compact`](GraphflowDB::compact) — called explicitly
+/// or triggered by the configured threshold — folds the deltas back into a fresh CSR without
+/// changing results.
+#[derive(Clone)]
 pub struct GraphflowDB {
-    /// The current graph epoch every new query runs against.
-    snapshot: Snapshot,
-    catalogue: Catalogue,
-    cost_model: CostModel,
-    plan_space: PlanSpaceOptions,
-    plan_cache: PlanCache,
+    pub(crate) shared: Arc<DbShared>,
+}
+
+/// The shared, internally synchronized state behind every clone of a [`GraphflowDB`] handle.
+pub(crate) struct DbShared {
+    /// The current published epoch; readers clone it under a brief read lock, the single
+    /// writer swaps in a new one at commit.
+    pub(crate) current: RwLock<Snapshot>,
+    /// Shared copy-on-write: readers clone the `Arc` under a momentary read lock and then
+    /// hold no lock at all (planning and the adaptive executor run against their own
+    /// reference); commits mutate through `Arc::make_mut` under the write lock.
+    pub(crate) catalogue: RwLock<Arc<Catalogue>>,
+    /// Bumped by `set_cost_model` / `set_plan_space`; part of the plan-cache version key, so
+    /// a plan whose optimization straddled a configuration change can never be served from
+    /// the cache afterwards.
+    pub(crate) config_epoch: AtomicU64,
+    pub(crate) cost_model: RwLock<CostModel>,
+    pub(crate) plan_space: RwLock<PlanSpaceOptions>,
+    /// Already thread-safe internally (atomics + its own mutex).
+    pub(crate) plan_cache: PlanCache,
     /// Snapshot version at which cached plans were last considered fresh; part of the plan
-    /// cache key, bumped when `updates_since_stats` crosses `staleness_threshold`.
-    stats_version: u64,
-    updates_since_stats: u64,
-    staleness_threshold: u64,
-    compact_threshold: usize,
+    /// cache key, bumped by commits when the staleness clock crosses `staleness_threshold`.
+    pub(crate) stats_version: AtomicU64,
+    /// Serializes write transactions and guards the staleness clock.
+    pub(crate) writer: Mutex<WriterState>,
+    pub(crate) staleness_threshold: u64,
+    pub(crate) compact_threshold: usize,
+}
+
+/// Writer-only bookkeeping, guarded by the writer mutex a [`WriteTxn`] holds.
+pub(crate) struct WriterState {
+    pub(crate) updates_since_stats: u64,
 }
 
 impl GraphflowDB {
@@ -426,156 +519,134 @@ impl GraphflowDB {
     /// The base CSR of the current snapshot. Pending deltas are *not* visible through this
     /// handle — use [`snapshot`](GraphflowDB::snapshot) for the live graph (the two coincide
     /// whenever no updates are pending, e.g. right after construction or a compaction).
-    pub fn graph(&self) -> &Arc<Graph> {
-        self.snapshot.base()
+    pub fn graph(&self) -> Arc<Graph> {
+        self.shared.current.read().base().clone()
     }
 
     /// An isolated snapshot of the current graph epoch (base CSR + pending deltas). Cheap to
-    /// clone and unaffected by any mutation applied to the database afterwards; implements
+    /// clone and unaffected by any mutation committed to the database afterwards; implements
     /// [`GraphView`], so the `graphflow-exec` entry points and
-    /// [`graphflow_catalog::count_matches`] accept it directly.
+    /// [`graphflow_catalog::count_matches`] accept it directly. This is the read path's only
+    /// synchronization: a momentary read lock around two `Arc` bumps.
     pub fn snapshot(&self) -> Snapshot {
-        self.snapshot.clone()
+        self.shared.current.read().clone()
     }
 
-    /// The number of mutations applied since the database was built (compaction does not
+    /// The number of mutations committed since the database was built (compaction does not
     /// advance it: the logical graph is unchanged).
     pub fn graph_version(&self) -> u64 {
-        self.snapshot.version()
+        self.shared.current.read().version()
     }
 
     /// The statistics version cached plans are currently keyed under; it trails
     /// [`graph_version`](GraphflowDB::graph_version) by at most the staleness threshold.
     pub fn stats_version(&self) -> u64 {
-        self.stats_version
+        self.shared.stats_version.load(Ordering::Acquire)
     }
 
-    /// The subgraph catalogue.
-    pub fn catalogue(&self) -> &Catalogue {
-        &self.catalogue
+    /// The plan cache's full version key: statistics version plus the optimizer-configuration
+    /// epoch, so plans are invalidated by graph drift *and* by `set_cost_model` /
+    /// `set_plan_space` — even when the change lands while an optimizer run is in flight.
+    fn cache_version(&self) -> (u64, u64) {
+        (
+            self.stats_version(),
+            self.shared.config_epoch.load(Ordering::Acquire),
+        )
+    }
+
+    /// The subgraph catalogue: a cheap shared reference to the current revision. Safe to
+    /// hold for as long as you like — commits install their maintenance through copy-on-write,
+    /// so a held reference simply keeps observing the revision it was taken from.
+    pub fn catalogue(&self) -> Arc<Catalogue> {
+        self.shared.catalogue.read().clone()
     }
 
     // --- updates ----------------------------------------------------------------------------
 
-    /// Append a new vertex carrying `label`, returning its id.
-    pub fn insert_vertex(&mut self, label: VertexLabel) -> VertexId {
-        let v = self.snapshot.insert_vertex(label);
-        self.catalogue.record_vertex_insert(label);
-        self.finish_updates(1);
+    /// Open a write transaction: stage any number of updates, then
+    /// [`commit`](WriteTxn::commit) them as **one atomically published epoch** — a concurrent
+    /// reader sees all of them or none of them. Writers are serialized (a second
+    /// `begin_write` blocks until the first transaction commits or drops); readers are never
+    /// blocked. The single-update convenience methods below are thin wrappers over this.
+    pub fn begin_write(&self) -> WriteTxn<'_> {
+        WriteTxn::begin(self)
+    }
+
+    /// Append a new vertex carrying `label`, returning its id. A one-update [`WriteTxn`].
+    pub fn insert_vertex(&self, label: VertexLabel) -> VertexId {
+        let mut txn = self.begin_write();
+        let v = txn.insert_vertex(label);
+        txn.commit();
         v
     }
 
     /// Insert the directed edge `src -> dst` carrying `label`. Unknown endpoints are created
     /// on demand with the default vertex label. Returns `false` (and changes nothing) when the
-    /// edge already exists.
-    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
-        let mut ops = 0u64;
-        let created = self.snapshot.ensure_vertex(src.max(dst));
-        for _ in 0..created {
-            self.catalogue.record_vertex_insert(VertexLabel(0));
-        }
-        ops += created as u64;
-        let inserted = self.snapshot.insert_edge(src, dst, label);
-        if inserted {
-            self.catalogue.record_edge_insert(
-                label,
-                self.snapshot.vertex_label(src),
-                self.snapshot.vertex_label(dst),
-            );
-            ops += 1;
-        }
-        self.finish_updates(ops);
+    /// edge already exists. A one-update [`WriteTxn`].
+    pub fn insert_edge(&self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        let mut txn = self.begin_write();
+        let inserted = txn.insert_edge(src, dst, label);
+        txn.commit();
         inserted
     }
 
     /// Delete the directed edge `src -> dst` carrying `label`. Returns `false` (and changes
-    /// nothing) when no such edge exists.
-    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
-        if !self.snapshot.delete_edge(src, dst, label) {
-            return false;
-        }
-        self.catalogue.record_edge_delete(
-            label,
-            self.snapshot.vertex_label(src),
-            self.snapshot.vertex_label(dst),
-        );
-        self.finish_updates(1);
-        true
+    /// nothing) when no such edge exists. A one-update [`WriteTxn`].
+    pub fn delete_edge(&self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        let mut txn = self.begin_write();
+        let deleted = txn.delete_edge(src, dst, label);
+        txn.commit();
+        deleted
     }
 
     /// Set the typed property `key = value` on vertex `v`. The column's type is fixed by its
-    /// first value; conflicting writes return [`Error::Property`].
-    pub fn set_vertex_prop(
-        &mut self,
-        v: VertexId,
-        key: &str,
-        value: PropValue,
-    ) -> Result<(), Error> {
-        self.snapshot.set_vertex_prop(v, key, value)?;
-        self.finish_updates(1);
+    /// first value; conflicting writes return [`Error::Property`]. A one-update [`WriteTxn`].
+    pub fn set_vertex_prop(&self, v: VertexId, key: &str, value: PropValue) -> Result<(), Error> {
+        let mut txn = self.begin_write();
+        txn.set_vertex_prop(v, key, value)?;
+        txn.commit();
         Ok(())
     }
 
     /// Set the typed property `key = value` on the (existing) edge `src -> dst` carrying
-    /// `label`.
+    /// `label`. A one-update [`WriteTxn`].
     pub fn set_edge_prop(
-        &mut self,
+        &self,
         src: VertexId,
         dst: VertexId,
         label: EdgeLabel,
         key: &str,
         value: PropValue,
     ) -> Result<(), Error> {
-        self.snapshot.set_edge_prop(src, dst, label, key, value)?;
-        self.finish_updates(1);
+        let mut txn = self.begin_write();
+        txn.set_edge_prop(src, dst, label, key, value)?;
+        txn.commit();
         Ok(())
     }
 
     /// Append a new vertex carrying `label` and an initial set of typed properties, returning
     /// its id. The vertex is created even if a property write fails (the error reports the
-    /// first failing write).
+    /// first failing write; updates staged before the failure are still committed, matching
+    /// the historical single-update semantics).
     pub fn insert_vertex_with_props(
-        &mut self,
+        &self,
         label: VertexLabel,
         props: &[(&str, PropValue)],
     ) -> Result<VertexId, Error> {
-        let v = self.insert_vertex(label);
-        for (key, value) in props {
-            self.set_vertex_prop(v, key, value.clone())?;
-        }
-        Ok(v)
+        let mut txn = self.begin_write();
+        let result = txn.insert_vertex_with_props(label, props);
+        txn.commit();
+        result
     }
 
-    /// Apply a batch of [`Update`]s in order, returning how many changed the graph (edge
-    /// inserts of existing edges, deletes of missing edges, and property writes that fail
-    /// their type/existence checks are no-ops).
-    pub fn apply_batch(&mut self, updates: &[Update]) -> usize {
-        let mut applied = 0usize;
-        for u in updates {
-            let changed = match u {
-                Update::InsertVertex { label } => {
-                    self.insert_vertex(*label);
-                    true
-                }
-                Update::InsertEdge { src, dst, label } => self.insert_edge(*src, *dst, *label),
-                Update::DeleteEdge { src, dst, label } => self.delete_edge(*src, *dst, *label),
-                Update::SetVertexProp { v, key, value } => {
-                    self.set_vertex_prop(*v, key, value.clone()).is_ok()
-                }
-                Update::SetEdgeProp {
-                    src,
-                    dst,
-                    label,
-                    key,
-                    value,
-                } => self
-                    .set_edge_prop(*src, *dst, *label, key, value.clone())
-                    .is_ok(),
-            };
-            if changed {
-                applied += 1;
-            }
-        }
+    /// Apply a batch of [`Update`]s in order — as **one** write transaction, so the whole
+    /// batch becomes visible to readers atomically — returning how many changed the graph
+    /// (edge inserts of existing edges, deletes of missing edges, and property writes that
+    /// fail their type/existence checks are no-ops).
+    pub fn apply_batch(&self, updates: &[Update]) -> usize {
+        let mut txn = self.begin_write();
+        let applied = txn.apply_batch(updates);
+        txn.commit();
         applied
     }
 
@@ -583,55 +654,36 @@ impl GraphflowDB {
     /// exactly what it returned before the compaction, and the graph version is unchanged.
     /// Runs automatically once the pending-delta count crosses the configured
     /// [`compact_threshold`](GraphflowDBBuilder::compact_threshold).
-    pub fn compact(&mut self) {
-        if !self.snapshot.has_pending_deltas() {
+    pub fn compact(&self) {
+        let _writer = self.shared.writer.lock();
+        let mut snap = self.shared.current.read().clone();
+        if !snap.has_pending_deltas() {
             return;
         }
-        self.snapshot.compact();
-        self.catalogue.set_snapshot(self.snapshot.clone());
-    }
-
-    /// Post-mutation bookkeeping: republish the snapshot to the catalogue, advance the
-    /// staleness clock (bumping the plan-cache statistics version when it crosses the
-    /// threshold), and compact when the delta store has grown past its threshold.
-    fn finish_updates(&mut self, ops: u64) {
-        if ops == 0 {
-            return;
-        }
-        self.updates_since_stats += ops;
-        if self.updates_since_stats >= self.staleness_threshold {
-            self.stats_version = self.snapshot.version();
-            self.updates_since_stats = 0;
-            // Republish the snapshot to the catalogue only at refresh points: handing it a
-            // clone on *every* mutation would pin the delta-store Arc at refcount 2 and turn
-            // each subsequent `Arc::make_mut` into a deep copy of all pending deltas
-            // (quadratic update application). This leaves one O(pending deltas) copy per
-            // staleness window — bounded in turn by the auto-compaction threshold. The
-            // catalogue's *exact* counts are maintained incrementally above and never lag;
-            // only its *sampled* statistics see a snapshot up to one staleness window old,
-            // which is exactly the drift tolerance `refresh_after` already grants them.
-            self.catalogue.set_snapshot(self.snapshot.clone());
-        }
-        let delta = self.snapshot.delta();
-        if delta.overlay_edges() + delta.num_new_vertices() >= self.compact_threshold {
-            self.compact();
-        }
+        snap.compact();
+        Arc::make_mut(&mut *self.shared.catalogue.write()).set_snapshot(snap.clone());
+        *self.shared.current.write() = snap;
     }
 
     /// Override the cost model used by the optimizer.
     ///
     /// Clears the plan cache: cached plans were chosen under the old model.
-    pub fn set_cost_model(&mut self, model: CostModel) {
-        self.cost_model = model;
-        self.plan_cache.clear();
+    pub fn set_cost_model(&self, model: CostModel) {
+        *self.shared.cost_model.write() = model;
+        // Epoch first, then clear: a plan optimized under the old model carries the old
+        // epoch in its cache key, so even one inserted *after* the clear (its optimizer run
+        // straddled this call) can never be served again.
+        self.shared.config_epoch.fetch_add(1, Ordering::AcqRel);
+        self.shared.plan_cache.clear();
     }
 
     /// Restrict the optimizer's plan space (WCO-only, BJ-only, or the default hybrid space).
     ///
     /// Clears the plan cache: cached plans may fall outside the new space.
-    pub fn set_plan_space(&mut self, options: PlanSpaceOptions) {
-        self.plan_space = options;
-        self.plan_cache.clear();
+    pub fn set_plan_space(&self, options: PlanSpaceOptions) {
+        *self.shared.plan_space.write() = options;
+        self.shared.config_epoch.fetch_add(1, Ordering::AcqRel);
+        self.shared.plan_cache.clear();
     }
 
     /// Parse a pattern written in the query syntax.
@@ -645,9 +697,10 @@ impl GraphflowDB {
     /// should use [`prepare`](GraphflowDB::prepare) / [`run`](GraphflowDB::run), which
     /// amortize planning through the cache.
     pub fn plan(&self, query: &QueryGraph) -> Result<Plan, Error> {
-        DpOptimizer::new(&self.catalogue)
-            .with_cost_model(self.cost_model)
-            .with_options(self.plan_space)
+        let catalogue = self.catalogue();
+        DpOptimizer::new(&catalogue)
+            .with_cost_model(*self.shared.cost_model.read())
+            .with_options(*self.shared.plan_space.read())
             .optimize(query)
             .ok_or(Error::NoPlan)
     }
@@ -655,17 +708,20 @@ impl GraphflowDB {
     /// Parse, canonicalize and plan a pattern once, returning a rerunnable [`PreparedQuery`].
     ///
     /// Planning goes through the LRU plan cache: preparing a pattern isomorphic to an earlier
-    /// one (same shape, any vertex names / clause order) skips the optimizer.
-    pub fn prepare(&self, pattern: &str) -> Result<PreparedQuery<'_>, Error> {
+    /// one (same shape, any vertex names / clause order) skips the optimizer. The returned
+    /// statement is **owned** (`'static`, `Send + Sync`): it keeps a cloned database handle
+    /// and `Arc`-shared plan internally, so it can be stored, cloned and executed from any
+    /// thread.
+    pub fn prepare(&self, pattern: &str) -> Result<PreparedQuery, Error> {
         let query = self.parse(pattern)?;
         self.prepare_query(query)
     }
 
     /// [`prepare`](GraphflowDB::prepare) for an already-parsed query graph.
-    pub fn prepare_query(&self, query: QueryGraph) -> Result<PreparedQuery<'_>, Error> {
+    pub fn prepare_query(&self, query: QueryGraph) -> Result<PreparedQuery, Error> {
         let (plan, remap, cache_hit) = self.plan_cached(&query)?;
         Ok(PreparedQuery {
-            db: self,
+            db: self.clone(),
             query,
             plan,
             remap,
@@ -675,7 +731,7 @@ impl GraphflowDB {
 
     /// Cumulative plan-cache counters (hits, misses = optimizer invocations, evictions, size).
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.plan_cache.stats()
+        self.shared.plan_cache.stats()
     }
 
     /// `EXPLAIN`: return the chosen plan's operator tree as text, plus its class and estimated
@@ -745,7 +801,7 @@ impl GraphflowDB {
     /// Execute a specific plan (useful for plan-spectrum style experimentation; bypasses the
     /// plan cache).
     pub fn run_plan(&self, plan: &Plan, options: QueryOptions) -> Result<QueryResult, Error> {
-        self.execute_plan(plan, None, None, options)
+        self.execute_plan(&self.snapshot(), plan, None, None, options)
     }
 
     /// Execute a specific plan, streaming matches into `sink`.
@@ -755,7 +811,7 @@ impl GraphflowDB {
         options: QueryOptions,
         sink: &mut (dyn MatchSink + Send),
     ) -> Result<RuntimeStats, Error> {
-        self.execute_plan_with_sink(plan, None, None, options, sink)
+        self.execute_plan_with_sink(&self.snapshot(), plan, None, None, options, sink)
     }
 
     /// Convenience: the class (WCO / BJ / hybrid) of the plan chosen for a pattern.
@@ -789,19 +845,20 @@ impl GraphflowDB {
         let identity: Vec<usize> = (0..query.num_vertices()).collect();
         let mut exact = graphflow_query::exact_code(query);
         exact.extend(graphflow_query::predicate_structure_code(query, &identity));
-        let (code, perm) = match self.plan_cache.canonical_for_exact(&exact) {
+        let (code, perm) = match self.shared.plan_cache.canonical_for_exact(&exact) {
             Some(known) => known,
             None => {
                 let (pattern_code, perm) = canonical_form(query);
                 let mut full = pattern_code.0;
                 full.extend(graphflow_query::predicate_structure_code(query, &perm));
                 let code = CanonicalCode(full);
-                self.plan_cache
+                self.shared
+                    .plan_cache
                     .remember_exact(exact, code.clone(), perm.clone());
                 (code, perm)
             }
         };
-        if let Some((plan, cached_perm)) = self.plan_cache.get(&code, self.stats_version) {
+        if let Some((plan, cached_perm)) = self.shared.plan_cache.get(&code, self.cache_version()) {
             // Compose the two canonicalising permutations into plan-query -> our-query.
             let mut inverse = vec![0usize; perm.len()];
             for (vertex, &pos) in perm.iter().enumerate() {
@@ -812,20 +869,32 @@ impl GraphflowDB {
             let plan = graft_predicates(plan, query, &remap);
             return Ok((plan, (!identity).then_some(remap), true));
         }
+        // Read the version key *before* optimizing: if a configuration change (or staleness
+        // bump) lands while the optimizer runs, this plan is inserted under the old key and
+        // can never be served to post-change lookups.
+        let version = self.cache_version();
         let plan: PlanHandle = Arc::new(self.plan(query)?);
-        self.plan_cache
-            .insert(code, plan.clone(), perm, self.stats_version);
+        self.shared
+            .plan_cache
+            .insert(code, plan.clone(), perm, version);
         Ok((plan, None, false))
     }
 
     pub(crate) fn execute_prepared(
         &self,
+        view: &Snapshot,
         plan: &PlanHandle,
         remap: Option<&[usize]>,
         cache_hit: bool,
         options: QueryOptions,
     ) -> Result<QueryResult, Error> {
-        self.execute_plan(plan, Some(plan.clone()), Some((remap, cache_hit)), options)
+        self.execute_plan(
+            view,
+            plan,
+            Some(plan.clone()),
+            Some((remap, cache_hit)),
+            options,
+        )
     }
 
     /// Execute a prepared query's `RETURN` clause into a typed [`ResultSet`]: compile the
@@ -834,6 +903,7 @@ impl GraphflowDB {
     /// through the standard dispatch (remap included).
     pub(crate) fn execute_prepared_return(
         &self,
+        view: &Snapshot,
         query: &QueryGraph,
         plan: &PlanHandle,
         remap: Option<&[usize]>,
@@ -846,7 +916,6 @@ impl GraphflowDB {
             .unwrap_or_else(ReturnClause::star);
         let columns = clause.column_names(query);
         let spec = graphflow_exec::RowSpec::compile(query, &clause);
-        let view = self.snapshot();
         let (rows, stats) = if spec.has_aggregates() {
             // `RETURN COUNT(*)` + a plan ending in an E/I extension: the executors add the
             // final extension-set sizes in bulk and the sink only ever sees counts — no
@@ -857,14 +926,26 @@ impl GraphflowDB {
             {
                 options.count_tail = true;
             }
-            let mut sink = graphflow_exec::AggregatingSink::new(view, spec);
-            let stats =
-                self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, &mut sink)?;
+            let mut sink = graphflow_exec::AggregatingSink::new(view.clone(), spec);
+            let stats = self.execute_plan_with_sink(
+                view,
+                plan,
+                remap,
+                Some(cache_hit),
+                options,
+                &mut sink,
+            )?;
             (sink.finish(), stats)
         } else {
-            let mut sink = graphflow_exec::ProjectingSink::new(view, spec);
-            let stats =
-                self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, &mut sink)?;
+            let mut sink = graphflow_exec::ProjectingSink::new(view.clone(), spec);
+            let stats = self.execute_plan_with_sink(
+                view,
+                plan,
+                remap,
+                Some(cache_hit),
+                options,
+                &mut sink,
+            )?;
             (sink.finish(), stats)
         };
         Ok(ResultSet {
@@ -876,19 +957,21 @@ impl GraphflowDB {
 
     pub(crate) fn execute_prepared_with_sink(
         &self,
+        view: &Snapshot,
         plan: &Plan,
         remap: Option<&[usize]>,
         cache_hit: bool,
         options: QueryOptions,
         sink: &mut (dyn MatchSink + Send),
     ) -> Result<RuntimeStats, Error> {
-        self.execute_plan_with_sink(plan, remap, Some(cache_hit), options, sink)
+        self.execute_plan_with_sink(view, plan, remap, Some(cache_hit), options, sink)
     }
 
     /// Shared QueryResult-materialising path: runs with a counting or collecting sink
     /// depending on the options.
     fn execute_plan(
         &self,
+        view: &Snapshot,
         plan: &Plan,
         handle: Option<PlanHandle>,
         prepared: Option<(Option<&[usize]>, bool)>,
@@ -900,11 +983,13 @@ impl GraphflowDB {
         };
         let (stats, tuples) = if options.collect_tuples {
             let mut sink = CollectingSink::new(options.collect_limit);
-            let stats = self.execute_plan_with_sink(plan, remap, cache_info, options, &mut sink)?;
+            let stats =
+                self.execute_plan_with_sink(view, plan, remap, cache_info, options, &mut sink)?;
             (stats, sink.into_tuples())
         } else {
             let mut sink = CountingSink::new();
-            let stats = self.execute_plan_with_sink(plan, remap, cache_info, options, &mut sink)?;
+            let stats =
+                self.execute_plan_with_sink(view, plan, remap, cache_info, options, &mut sink)?;
             (stats, Vec::new())
         };
         Ok(QueryResult {
@@ -915,11 +1000,14 @@ impl GraphflowDB {
         })
     }
 
-    /// The one true execution path: validate options, pick the executor, wrap the sink with a
-    /// vertex remap when the plan belongs to an isomorphic twin, and stamp plan-cache counters
-    /// into the returned stats.
+    /// The one true execution path: validate options, arm the deadline, pick the executor,
+    /// wrap the sink with a vertex remap when the plan belongs to an isomorphic twin, stamp
+    /// plan-cache counters into the returned stats, and surface a tripped interrupt as a
+    /// typed error. Every stage runs against the single pinned `view`, so one execution
+    /// observes exactly one epoch.
     fn execute_plan_with_sink(
         &self,
+        view: &Snapshot,
         plan: &Plan,
         remap: Option<&[usize]>,
         cache_info: Option<bool>,
@@ -927,42 +1015,73 @@ impl GraphflowDB {
         sink: &mut (dyn MatchSink + Send),
     ) -> Result<RuntimeStats, Error> {
         options.validate()?;
+        // The deadline is armed before pipeline compilation, so hash-join build work and
+        // (in the parallel executor) build-side materialisation count against the budget;
+        // planning happened at prepare time and is not covered.
+        let deadline = options.timeout.map(|t| Instant::now() + t);
         let mut stats = match remap {
             Some(map) => {
                 let mut remapping = RemapSink::new(sink, map);
-                self.dispatch(plan, &options, &mut remapping)
+                self.dispatch(view, plan, &options, deadline, &mut remapping)
             }
-            None => self.dispatch(plan, &options, sink),
+            None => self.dispatch(view, plan, &options, deadline, sink),
         };
         match cache_info {
             Some(true) => stats.plan_cache_hits += 1,
             Some(false) => stats.plan_cache_misses += 1,
             None => {}
         }
+        if stats.cancelled {
+            return Err(Error::Cancelled);
+        }
+        if stats.timed_out {
+            return Err(Error::Timeout);
+        }
         Ok(stats)
     }
 
     fn dispatch(
         &self,
+        view: &Snapshot,
         plan: &Plan,
         options: &QueryOptions,
+        deadline: Option<Instant>,
         sink: &mut (dyn MatchSink + Send),
     ) -> RuntimeStats {
         let exec_options = ExecOptions {
             use_intersection_cache: options.intersection_cache,
             output_limit: options.output_limit,
+            cancel: options.cancel.clone(),
+            deadline,
             count_tail: options.count_tail,
         };
-        // Execution pins the current snapshot: queries observe one delta epoch end to end.
+        // Execution pins `view`: queries observe one delta epoch end to end.
         if options.threads > 1 {
-            execute_parallel_with_sink(&self.snapshot, plan, exec_options, options.threads, sink)
+            execute_parallel_with_sink(view, plan, exec_options, options.threads, sink)
         } else if options.adaptive {
-            execute_adaptive_with_sink(&self.snapshot, &self.catalogue, plan, exec_options, sink)
+            // The adaptive executor re-costs orderings from catalogue estimates per tuple;
+            // it runs against its own shared reference (no lock held), so a long adaptive
+            // query never stalls commits or other readers.
+            let catalogue = self.catalogue();
+            execute_adaptive_with_sink(view, &catalogue, plan, exec_options, sink)
         } else {
-            execute_with_sink(&self.snapshot, plan, exec_options, sink)
+            execute_with_sink(view, plan, exec_options, sink)
         }
     }
 }
+
+// Compile-time proof of the concurrency contract: the handle, prepared statements, result
+// handles and tokens all cross threads. (`WriteTxn` deliberately does not — it holds the
+// writer lock guard.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphflowDB>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<QueryHandle>();
+    assert_send_sync::<CancellationToken>();
+    assert_send_sync::<GraphSnapshot>();
+    assert_send_sync::<QueryOptions>();
+};
 
 /// Graft `query`'s predicate constants onto a cached plan optimized for a structurally-equal
 /// twin. `remap[plan query vertex] = our query vertex`; our predicates are translated into the
@@ -1031,7 +1150,7 @@ mod tests {
     fn count_matches_reference() {
         let db = db();
         let q = patterns::asymmetric_triangle();
-        let expected = graphflow_catalog::count_matches(db.graph(), &q);
+        let expected = graphflow_catalog::count_matches(&db.graph(), &q);
         assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), expected);
     }
 
@@ -1039,7 +1158,7 @@ mod tests {
     fn execution_modes_agree() {
         let db = db();
         let q = patterns::diamond_x();
-        let expected = graphflow_catalog::count_matches(db.graph(), &q);
+        let expected = graphflow_catalog::count_matches(&db.graph(), &q);
         let fixed = db.run_query(&q, QueryOptions::default()).unwrap();
         let adaptive = db
             .run_query(&q, QueryOptions::new().adaptive(true))
@@ -1097,7 +1216,7 @@ mod tests {
 
     #[test]
     fn plan_space_restrictions_apply() {
-        let mut db = db();
+        let db = db();
         db.set_plan_space(PlanSpaceOptions::wco_only());
         let class = db
             .plan_class("(a)->(b), (b)->(c), (a)->(c), (c)->(d), (b)->(d)")
@@ -1107,7 +1226,7 @@ mod tests {
 
     #[test]
     fn set_plan_space_clears_the_plan_cache() {
-        let mut db = db();
+        let db = db();
         let pattern = "(a)->(b), (b)->(c), (a)->(c), (c)->(d), (b)->(d)";
         db.count(pattern).unwrap();
         assert_eq!(db.plan_cache_stats().entries, 1);
@@ -1321,7 +1440,7 @@ mod tests {
             QueryOptions::new().adaptive(true),
             QueryOptions::new().threads(4),
         ] {
-            let rs = counted.execute(opts).unwrap();
+            let rs = counted.execute(opts.clone()).unwrap();
             assert_eq!(rs.scalar_count(), Some(expected));
             assert!(
                 rs.stats.bulk_counted_extensions > 0,
@@ -1388,7 +1507,7 @@ mod tests {
             QueryOptions::new().adaptive(true),
             QueryOptions::new().threads(4),
         ] {
-            let rs = db.query_with(pattern, opts).unwrap();
+            let rs = db.query_with(pattern, opts.clone()).unwrap();
             assert_eq!(rs.rows(), reference.rows(), "{opts:?}");
         }
         // An isomorphic rewriting is a cache hit whose tuples are remapped before the
@@ -1407,7 +1526,7 @@ mod tests {
 
     #[test]
     fn property_updates_are_live_and_isolated() {
-        let mut db = props_db();
+        let db = props_db();
         let q = "(a)->(b), (b)->(c), (a)->(c) WHERE a.age >= 30";
         assert_eq!(db.count(q).unwrap(), 1);
         let before = db.snapshot();
@@ -1435,7 +1554,7 @@ mod tests {
 
     #[test]
     fn apply_batch_sets_properties() {
-        let mut db = props_db();
+        let db = props_db();
         let applied = db.apply_batch(&[
             Update::InsertVertex {
                 label: VertexLabel(0),
@@ -1488,7 +1607,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1);
         b.add_edge(1, 2);
-        let mut db = GraphflowDB::from_graph(b.build());
+        let db = GraphflowDB::from_graph(b.build());
         let triangle = "(a)->(b), (b)->(c), (a)->(c)";
         assert_eq!(db.count(triangle).unwrap(), 0);
         assert!(db.insert_edge(0, 2, EdgeLabel(0)));
@@ -1512,7 +1631,7 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 2);
         b.add_edge(0, 2);
-        let mut db = GraphflowDB::from_graph(b.build());
+        let db = GraphflowDB::from_graph(b.build());
         let before = db.snapshot();
         db.delete_edge(0, 2, EdgeLabel(0));
         db.insert_edge(2, 3, EdgeLabel(0));
@@ -1538,7 +1657,7 @@ mod tests {
     fn apply_batch_counts_applied_updates() {
         let mut b = GraphBuilder::new();
         b.add_edge(0, 1);
-        let mut db = GraphflowDB::from_graph(b.build());
+        let db = GraphflowDB::from_graph(b.build());
         let applied = db.apply_batch(&[
             Update::InsertVertex {
                 label: VertexLabel(0),
@@ -1568,7 +1687,7 @@ mod tests {
         let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.5, 9);
         let mut b = GraphBuilder::new();
         b.add_edges(edges);
-        let mut db = GraphflowDB::builder(b.build())
+        let db = GraphflowDB::builder(b.build())
             .staleness_threshold(4)
             .build();
         let pattern = "(a)->(b), (b)->(c), (a)->(c)";
@@ -1616,7 +1735,7 @@ mod tests {
     fn auto_compaction_triggers_at_threshold() {
         let mut b = GraphBuilder::with_vertices(5);
         b.add_edge(0, 1);
-        let mut db = GraphflowDB::builder(b.build()).compact_threshold(3).build();
+        let db = GraphflowDB::builder(b.build()).compact_threshold(3).build();
         db.insert_edge(1, 2, EdgeLabel(0));
         db.insert_edge(2, 3, EdgeLabel(0));
         assert!(
@@ -1637,7 +1756,7 @@ mod tests {
         let edges = graphflow_graph::generator::powerlaw_cluster(150, 3, 0.5, 3);
         let mut b = GraphBuilder::new();
         b.add_edges(edges);
-        let mut db = GraphflowDB::from_graph(b.build());
+        let db = GraphflowDB::from_graph(b.build());
         let pattern = "(a)->(b), (b)->(c), (a)->(c)";
         let clean = db.run(pattern, QueryOptions::default()).unwrap();
         assert_eq!(clean.stats.delta_merges, 0, "no deltas, no merges");

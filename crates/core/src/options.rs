@@ -1,5 +1,8 @@
 //! Per-query execution options as a fluent builder.
 
+use crate::CancellationToken;
+use std::time::Duration;
+
 /// Per-query execution settings, built fluently:
 ///
 /// ```
@@ -10,7 +13,7 @@
 /// ```
 ///
 /// The default configuration is serial, fixed-plan execution with the intersection cache on,
-/// no output limit and no tuple collection.
+/// no output limit, no tuple collection, no timeout and no cancellation token.
 ///
 /// # Mode precedence
 ///
@@ -18,7 +21,17 @@
 /// *different engines* (the per-tuple adaptive executor is inherently serial); requesting both
 /// at once is rejected with [`Error::InvalidOptions`](crate::Error::InvalidOptions) when the
 /// query runs, rather than silently ignoring one of them.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// # Deadlines and cancellation
+///
+/// [`timeout`](QueryOptions::timeout) bounds one execution's wall-clock time (pipeline
+/// compilation and hash-join build work count against the budget; planning happened at
+/// `prepare` time and does not); a run that exceeds it returns
+/// [`Error::Timeout`](crate::Error::Timeout). [`cancel_token`](QueryOptions::cancel_token)
+/// attaches a [`CancellationToken`] that any thread can trip, turning the run into
+/// [`Error::Cancelled`](crate::Error::Cancelled). Both are polled cooperatively at batch
+/// granularity by all three executors.
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryOptions {
     pub(crate) adaptive: bool,
     pub(crate) threads: usize,
@@ -26,6 +39,8 @@ pub struct QueryOptions {
     pub(crate) output_limit: Option<u64>,
     pub(crate) collect_tuples: bool,
     pub(crate) collect_limit: usize,
+    pub(crate) timeout: Option<Duration>,
+    pub(crate) cancel: Option<CancellationToken>,
     /// Internal: enable the executors' `COUNT(*)` bulk-count fast path. Set by the
     /// result-set layer when the prepared query is `RETURN COUNT(*)` and the plan's final
     /// operator is an E/I extension; never exposed to callers directly.
@@ -41,6 +56,8 @@ impl Default for QueryOptions {
             output_limit: None,
             collect_tuples: false,
             collect_limit: 1_000_000,
+            timeout: None,
+            cancel: None,
             count_tail: false,
         }
     }
@@ -109,6 +126,30 @@ impl QueryOptions {
         self
     }
 
+    /// Bound one execution's wall-clock time. The deadline is armed when the run starts —
+    /// pipeline compilation and hash-join build work count against it, but planning does not
+    /// (it happened at `prepare` time, possibly amortized away by the plan cache) — and is
+    /// polled cooperatively at batch granularity by every executor; a run that exceeds it
+    /// returns [`Error::Timeout`](crate::Error::Timeout) instead of a truncated result.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Remove a previously set timeout.
+    pub fn no_timeout(mut self) -> Self {
+        self.timeout = None;
+        self
+    }
+
+    /// Attach a [`CancellationToken`] the run will poll at batch granularity. Cancelling it
+    /// (from any thread — the token is `Send + Sync` and cheap to clone) makes the run return
+    /// [`Error::Cancelled`](crate::Error::Cancelled).
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     // --- accessors -------------------------------------------------------------------------
 
     /// Whether the adaptive executor was requested.
@@ -139,6 +180,16 @@ impl QueryOptions {
     /// The tuple-collection cap.
     pub fn collection_cap(&self) -> usize {
         self.collect_limit
+    }
+
+    /// The configured wall-clock timeout, if any.
+    pub fn timeout_duration(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancellation_token(&self) -> Option<&CancellationToken> {
+        self.cancel.as_ref()
     }
 
     /// Reject invalid option combinations (currently: `adaptive` together with multi-threaded
@@ -178,6 +229,21 @@ mod tests {
     #[test]
     fn zero_threads_means_serial() {
         assert_eq!(QueryOptions::new().threads(0).num_threads(), 1);
+    }
+
+    #[test]
+    fn timeout_and_token_round_trip() {
+        let token = CancellationToken::new();
+        let opts = QueryOptions::new()
+            .timeout(Duration::from_millis(250))
+            .cancel_token(token.clone());
+        assert_eq!(opts.timeout_duration(), Some(Duration::from_millis(250)));
+        assert!(opts
+            .cancellation_token()
+            .is_some_and(|t| t.same_token(&token)));
+        let cleared = opts.no_timeout();
+        assert_eq!(cleared.timeout_duration(), None);
+        assert!(QueryOptions::new().cancellation_token().is_none());
     }
 
     #[test]

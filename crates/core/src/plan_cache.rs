@@ -33,15 +33,20 @@ pub struct PlanCacheStats {
     pub capacity: usize,
 }
 
+/// The `(statistics version, optimizer-configuration epoch)` pair an entry was optimized
+/// under. Read by the facade *before* the optimizer runs, so a plan whose optimization
+/// straddled a configuration change is keyed under the old epoch and never served after it.
+pub(crate) type CacheVersion = (u64, u64);
+
 struct Entry {
     plan: PlanHandle,
     /// The canonicalising permutation of the *cached* plan's query
     /// (`perm[plan query vertex] = canonical position`), kept so later isomorphic queries can
     /// be mapped onto the cached plan's vertex numbering.
     perm: Vec<usize>,
-    /// The graph statistics version the plan was optimized under; a lookup with a newer
-    /// version drops the entry (the logical key is `(canonical query, graph version)`).
-    version: u64,
+    /// The version pair the plan was optimized under; a lookup with a different pair drops
+    /// the entry (the logical key is `(canonical query, statistics version, config epoch)`).
+    version: CacheVersion,
     last_used: u64,
 }
 
@@ -105,15 +110,15 @@ impl PlanCache {
         inner.exact_index.insert(exact, (code, perm));
     }
 
-    /// Look up a plan optimized under statistics `version`, marking the entry as recently
+    /// Look up a plan optimized under the `version` pair, marking the entry as recently
     /// used. Returns the plan and the cached query's canonicalising permutation. An entry
-    /// carrying an older version is dropped (counted as an invalidation) and reported as a
-    /// miss, so the caller re-optimizes against current statistics. A miss only bumps the miss
+    /// carrying a different version pair is dropped (counted as an invalidation) and reported
+    /// as a miss, so the caller re-optimizes against current statistics and configuration. A miss only bumps the miss
     /// counter; the caller is expected to optimize and [`insert`](PlanCache::insert).
     pub(crate) fn get(
         &self,
         code: &CanonicalCode,
-        version: u64,
+        version: CacheVersion,
     ) -> Option<(PlanHandle, Vec<usize>)> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -141,14 +146,14 @@ impl PlanCache {
         }
     }
 
-    /// Insert a plan freshly optimized under statistics `version`, evicting the least recently
+    /// Insert a plan freshly optimized under the `version` pair, evicting the least recently
     /// used entry if full.
     pub(crate) fn insert(
         &self,
         code: CanonicalCode,
         plan: PlanHandle,
         perm: Vec<usize>,
-        version: u64,
+        version: CacheVersion,
     ) {
         if self.capacity == 0 {
             return;
@@ -234,13 +239,13 @@ mod tests {
         ];
         let forms: Vec<_> = queries.iter().map(canonical_form).collect();
         for (q, (code, perm)) in queries.iter().zip(forms.iter()) {
-            assert!(cache.get(code, 0).is_none());
-            cache.insert(code.clone(), dummy_plan(q), perm.clone(), 0);
+            assert!(cache.get(code, (0, 0)).is_none());
+            cache.insert(code.clone(), dummy_plan(q), perm.clone(), (0, 0));
         }
         // Capacity 2: the triangle (oldest, never touched again) must be gone.
-        assert!(cache.get(&forms[0].0, 0).is_none());
-        assert!(cache.get(&forms[1].0, 0).is_some());
-        assert!(cache.get(&forms[2].0, 0).is_some());
+        assert!(cache.get(&forms[0].0, (0, 0)).is_none());
+        assert!(cache.get(&forms[1].0, (0, 0)).is_some());
+        assert!(cache.get(&forms[2].0, (0, 0)).is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries, 2);
@@ -257,13 +262,13 @@ mod tests {
         let (c1, p1) = canonical_form(&q1);
         let (c2, p2) = canonical_form(&q2);
         let (c3, p3) = canonical_form(&q3);
-        cache.insert(c1.clone(), dummy_plan(&q1), p1, 0);
-        cache.insert(c2.clone(), dummy_plan(&q2), p2, 0);
+        cache.insert(c1.clone(), dummy_plan(&q1), p1, (0, 0));
+        cache.insert(c2.clone(), dummy_plan(&q2), p2, (0, 0));
         // Touch q1 so q2 becomes the LRU victim.
-        assert!(cache.get(&c1, 0).is_some());
-        cache.insert(c3, dummy_plan(&q3), p3, 0);
-        assert!(cache.get(&c1, 0).is_some());
-        assert!(cache.get(&c2, 0).is_none());
+        assert!(cache.get(&c1, (0, 0)).is_some());
+        cache.insert(c3, dummy_plan(&q3), p3, (0, 0));
+        assert!(cache.get(&c1, (0, 0)).is_some());
+        assert!(cache.get(&c2, (0, 0)).is_none());
     }
 
     #[test]
@@ -271,8 +276,8 @@ mod tests {
         let cache = PlanCache::new(0);
         let q = patterns::asymmetric_triangle();
         let (code, perm) = canonical_form(&q);
-        cache.insert(code.clone(), dummy_plan(&q), perm, 0);
-        assert!(cache.get(&code, 0).is_none());
+        cache.insert(code.clone(), dummy_plan(&q), perm, (0, 0));
+        assert!(cache.get(&code, (0, 0)).is_none());
         assert_eq!(cache.stats().entries, 0);
     }
 
@@ -281,15 +286,21 @@ mod tests {
         let cache = PlanCache::new(4);
         let q = patterns::asymmetric_triangle();
         let (code, perm) = canonical_form(&q);
-        cache.insert(code.clone(), dummy_plan(&q), perm.clone(), 0);
-        assert!(cache.get(&code, 0).is_some(), "same version hits");
+        cache.insert(code.clone(), dummy_plan(&q), perm.clone(), (0, 0));
+        assert!(cache.get(&code, (0, 0)).is_some(), "same version hits");
         // The graph drifted: version 1 lookups must not reuse the version-0 plan.
-        assert!(cache.get(&code, 1).is_none());
+        assert!(cache.get(&code, (1, 0)).is_none());
         let stats = cache.stats();
         assert_eq!(stats.invalidations, 1);
         assert_eq!(stats.entries, 0, "stale entry is dropped eagerly");
         // Re-inserting under the new version serves version-1 lookups again.
-        cache.insert(code.clone(), dummy_plan(&q), perm, 1);
-        assert!(cache.get(&code, 1).is_some());
+        cache.insert(code.clone(), dummy_plan(&q), perm.clone(), (1, 0));
+        assert!(cache.get(&code, (1, 0)).is_some());
+        // The configuration epoch is the second half of the key: a plan inserted under an
+        // old epoch (e.g. its optimizer run straddled a set_plan_space that cleared the
+        // cache) is invalidated by the first post-change lookup, not served.
+        cache.insert(code.clone(), dummy_plan(&q), perm, (1, 0));
+        assert!(cache.get(&code, (1, 1)).is_none());
+        assert_eq!(cache.stats().entries, 0);
     }
 }

@@ -1,8 +1,9 @@
-//! Prepared queries: parse + canonicalize + optimize once, execute many times.
+//! Prepared queries: parse + canonicalize + optimize once, execute many times — from any
+//! thread — plus the [`QueryHandle`] wrapper for cancellable background execution.
 
-use crate::{Error, GraphflowDB, QueryOptions, QueryResult};
+use crate::{CancellationToken, Error, GraphflowDB, QueryOptions, QueryResult};
 use graphflow_exec::{MatchSink, PartialSink, RuntimeStats};
-use graphflow_graph::VertexId;
+use graphflow_graph::{Snapshot, VertexId};
 use graphflow_plan::{PlanClass, PlanHandle};
 use graphflow_query::QueryGraph;
 
@@ -18,12 +19,15 @@ use graphflow_query::QueryGraph;
 /// this query's own vertex numbering — while a pattern prepared after the graph drifted past
 /// the staleness threshold is re-optimized against current statistics.
 ///
-/// A prepared query borrows the database immutably, so the graph cannot be mutated while one
-/// is held; every [`run`](PreparedQuery::run) executes against the database's current snapshot.
-/// Re-prepare (cheap on a cache hit) after applying updates to pick up a re-optimized plan
-/// eagerly.
-pub struct PreparedQuery<'db> {
-    pub(crate) db: &'db GraphflowDB,
+/// A prepared query is **owned** (`'static`): it holds a cloned [`GraphflowDB`] handle and
+/// `Arc`-shared plan, so it is `Send + Sync`, cheap to [`Clone`], and executable from any
+/// thread — including concurrently with writes to the same database. Every
+/// [`run`](PreparedQuery::run) pins the database's current snapshot for its whole execution
+/// (use [`run_on`](PreparedQuery::run_on) to pin an explicit epoch instead); re-prepare (cheap
+/// on a cache hit) after applying updates to pick up a re-optimized plan eagerly.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    pub(crate) db: GraphflowDB,
     pub(crate) query: QueryGraph,
     pub(crate) plan: PlanHandle,
     /// `Some(map)` when the cached plan was optimized for an isomorphic twin of `query`:
@@ -32,7 +36,7 @@ pub struct PreparedQuery<'db> {
     pub(crate) cache_hit: bool,
 }
 
-impl std::fmt::Debug for PreparedQuery<'_> {
+impl std::fmt::Debug for PreparedQuery {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedQuery")
             .field("query", &self.query)
@@ -43,7 +47,7 @@ impl std::fmt::Debug for PreparedQuery<'_> {
     }
 }
 
-impl<'db> PreparedQuery<'db> {
+impl PreparedQuery {
     /// The parsed query graph this statement answers.
     pub fn query(&self) -> &QueryGraph {
         &self.query
@@ -91,7 +95,18 @@ impl<'db> PreparedQuery<'db> {
     /// is bulk-counted instead of materialised
     /// (`ResultSet::stats.bulk_counted_extensions` counts the shortcut firing).
     pub fn execute(&self, options: QueryOptions) -> Result<crate::ResultSet, Error> {
+        self.execute_on(&self.db.snapshot(), options)
+    }
+
+    /// [`execute`](PreparedQuery::execute) against an explicit, caller-pinned snapshot epoch
+    /// instead of the database's current one.
+    pub fn execute_on(
+        &self,
+        snapshot: &Snapshot,
+        options: QueryOptions,
+    ) -> Result<crate::ResultSet, Error> {
         self.db.execute_prepared_return(
+            snapshot,
             &self.query,
             &self.plan,
             self.remap.as_deref(),
@@ -102,8 +117,21 @@ impl<'db> PreparedQuery<'db> {
 
     /// Execute with explicit options, materialising a [`QueryResult`].
     pub fn run(&self, options: QueryOptions) -> Result<QueryResult, Error> {
-        self.db
-            .execute_prepared(&self.plan, self.remap.as_deref(), self.cache_hit, options)
+        self.run_on(&self.db.snapshot(), options)
+    }
+
+    /// [`run`](PreparedQuery::run) against an explicit, caller-pinned snapshot epoch instead
+    /// of the database's current one. Snapshots are immutable, so running on the same
+    /// snapshot always reproduces the same result no matter what has been committed since —
+    /// the primitive behind repeatable reads and the concurrency test oracle.
+    pub fn run_on(&self, snapshot: &Snapshot, options: QueryOptions) -> Result<QueryResult, Error> {
+        self.db.execute_prepared(
+            snapshot,
+            &self.plan,
+            self.remap.as_deref(),
+            self.cache_hit,
+            options,
+        )
     }
 
     /// Execute, streaming every match (in this query's vertex order) into `sink` instead of
@@ -114,12 +142,88 @@ impl<'db> PreparedQuery<'db> {
         sink: &mut (dyn MatchSink + Send),
     ) -> Result<RuntimeStats, Error> {
         self.db.execute_prepared_with_sink(
+            &self.db.snapshot(),
             &self.plan,
             self.remap.as_deref(),
             self.cache_hit,
             options,
             sink,
         )
+    }
+
+    /// Start executing on a background thread, returning a [`QueryHandle`] that can be
+    /// cancelled from any thread and joined for the result.
+    ///
+    /// The handle's [`CancellationToken`] is the one from `options` when present (so one token
+    /// can govern several runs), freshly created otherwise.
+    ///
+    /// ```
+    /// use graphflow_core::{Error, GraphflowDB, QueryOptions};
+    /// use graphflow_graph::GraphBuilder;
+    /// let mut b = GraphBuilder::new();
+    /// for i in 0..8u32 {
+    ///     for j in 0..8u32 {
+    ///         if i != j {
+    ///             b.add_edge(i, j);
+    ///         }
+    ///     }
+    /// }
+    /// let db = GraphflowDB::from_graph(b.build());
+    /// let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+    /// let handle = q.execute_handle(QueryOptions::new());
+    /// handle.cancel(); // any thread holding the handle (or its token) can do this
+    /// match handle.join() {
+    ///     Ok(result) => assert_eq!(result.count, 336), // finished before the cancel landed
+    ///     Err(e) => assert!(matches!(e, Error::Cancelled)),
+    /// }
+    /// ```
+    pub fn execute_handle(&self, options: QueryOptions) -> QueryHandle {
+        let token = options.cancel.clone().unwrap_or_default();
+        let options = options.cancel_token(token.clone());
+        let prepared = self.clone();
+        let thread = std::thread::spawn(move || prepared.run(options));
+        QueryHandle { token, thread }
+    }
+}
+
+/// A query executing on a background thread, started by [`PreparedQuery::execute_handle`].
+///
+/// [`cancel`](QueryHandle::cancel) (or cancelling any clone of [`token`](QueryHandle::token))
+/// stops the run cooperatively within one batch of work; [`join`](QueryHandle::join) then
+/// returns [`Error::Cancelled`]. A run that completes before the cancellation lands returns
+/// its result normally.
+#[derive(Debug)]
+pub struct QueryHandle {
+    token: CancellationToken,
+    thread: std::thread::JoinHandle<Result<QueryResult, Error>>,
+}
+
+impl QueryHandle {
+    /// Request cancellation; the running query returns [`Error::Cancelled`] within one batch
+    /// of work. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// A clone of the run's [`CancellationToken`] — hand it to watchdogs or admin threads
+    /// that should be able to stop the query without holding the handle.
+    pub fn token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    /// Whether the background run has finished (successfully or not) without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Wait for the run and return its result ([`Error::Cancelled`] if it was cancelled,
+    /// [`Error::Timeout`] if its deadline elapsed).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the query thread.
+    pub fn join(self) -> Result<QueryResult, Error> {
+        self.thread.join().expect("query thread panicked")
     }
 }
 

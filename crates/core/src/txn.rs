@@ -1,0 +1,288 @@
+//! Write transactions: staged updates published as one new snapshot epoch.
+//!
+//! All mutation of a [`GraphflowDB`] funnels through a [`WriteTxn`]. A transaction holds the
+//! database's single writer lock from [`begin_write`](GraphflowDB::begin_write) to
+//! [`commit`](WriteTxn::commit) (writers are serialized; readers are never blocked), stages its
+//! updates on a **private copy-on-write clone** of the current snapshot, and publishes the
+//! staged snapshot as the database's new epoch in one atomic swap. Queries that started before
+//! the commit keep running against the epoch they pinned; queries that start after it see every
+//! update of the transaction — there is no in-between state, no matter how many updates the
+//! transaction staged.
+//!
+//! Dropping a transaction without committing discards the staged epoch
+//! ([`rollback`](WriteTxn::rollback) spells this out).
+
+use crate::{Error, GraphflowDB, WriterState};
+use graphflow_graph::{
+    EdgeLabel, GraphView as _, PropValue, Snapshot, Update, VertexId, VertexLabel,
+};
+use std::sync::{Arc, MutexGuard};
+
+/// A catalogue maintenance action recorded while staging, applied under the catalogue write
+/// lock at commit time.
+enum CatOp {
+    VertexInsert(VertexLabel),
+    EdgeInsert(EdgeLabel, VertexLabel, VertexLabel),
+    EdgeDelete(EdgeLabel, VertexLabel, VertexLabel),
+}
+
+/// An exclusive write transaction on a [`GraphflowDB`].
+///
+/// Created by [`GraphflowDB::begin_write`]; holds the database's writer lock until it is
+/// committed or dropped, so at most one transaction is open at a time (a second `begin_write`
+/// blocks). Updates staged through the mutation methods are visible to the transaction's own
+/// [`snapshot`](WriteTxn::snapshot) (read-your-writes) but to no reader until
+/// [`commit`](WriteTxn::commit) publishes them — atomically, as one new epoch.
+///
+/// ```
+/// use graphflow_core::GraphflowDB;
+/// use graphflow_graph::{EdgeLabel, GraphBuilder};
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let db = GraphflowDB::from_graph(b.build());
+///
+/// let mut txn = db.begin_write();
+/// txn.insert_edge(0, 2, EdgeLabel(0));
+/// // Not yet published: readers still see the two-edge graph.
+/// assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 0);
+/// txn.commit();
+/// assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 1);
+/// ```
+pub struct WriteTxn<'db> {
+    db: &'db GraphflowDB,
+    /// The writer lock, held for the whole transaction (serializes writers; commit also uses
+    /// it to update the staleness clock).
+    guard: MutexGuard<'db, WriterState>,
+    /// Private copy-on-write clone of the epoch the transaction started from.
+    staged: Snapshot,
+    cat_ops: Vec<CatOp>,
+    /// Updates staged so far (the staleness-clock currency of the catalogue).
+    ops: u64,
+}
+
+impl std::fmt::Debug for WriteTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteTxn")
+            .field("staged_version", &self.staged.version())
+            .field("staged_updates", &self.ops)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'db> WriteTxn<'db> {
+    pub(crate) fn begin(db: &'db GraphflowDB) -> Self {
+        // Lock order matters: take the writer lock *first*, then read the current epoch —
+        // only commit publishes, and commit runs under this same lock, so the clone below is
+        // guaranteed to be the latest epoch.
+        let guard = db.shared.writer.lock();
+        let staged = db.shared.current.read().clone();
+        WriteTxn {
+            db,
+            guard,
+            staged,
+            cat_ops: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// The transaction's private view: the epoch it started from plus every update staged so
+    /// far (read-your-writes). Cloning it keeps a cheap immutable copy of this intermediate
+    /// state.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.staged
+    }
+
+    /// Number of updates staged so far.
+    pub fn staged_updates(&self) -> u64 {
+        self.ops
+    }
+
+    // --- staged mutations (mirror the `GraphflowDB` convenience wrappers) -------------------
+
+    /// Stage a new vertex carrying `label`, returning its id.
+    pub fn insert_vertex(&mut self, label: VertexLabel) -> VertexId {
+        let v = self.staged.insert_vertex(label);
+        self.cat_ops.push(CatOp::VertexInsert(label));
+        self.ops += 1;
+        v
+    }
+
+    /// Stage the directed edge `src -> dst` carrying `label`. Unknown endpoints are created on
+    /// demand with the default vertex label. Returns `false` (and stages nothing) when the
+    /// edge already exists in the transaction's view.
+    pub fn insert_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        let created = self.staged.ensure_vertex(src.max(dst));
+        for _ in 0..created {
+            self.cat_ops.push(CatOp::VertexInsert(VertexLabel(0)));
+        }
+        self.ops += created as u64;
+        let inserted = self.staged.insert_edge(src, dst, label);
+        if inserted {
+            self.cat_ops.push(CatOp::EdgeInsert(
+                label,
+                self.staged.vertex_label(src),
+                self.staged.vertex_label(dst),
+            ));
+            self.ops += 1;
+        }
+        inserted
+    }
+
+    /// Stage the deletion of the directed edge `src -> dst` carrying `label`. Returns `false`
+    /// (and stages nothing) when no such edge exists in the transaction's view.
+    pub fn delete_edge(&mut self, src: VertexId, dst: VertexId, label: EdgeLabel) -> bool {
+        if !self.staged.delete_edge(src, dst, label) {
+            return false;
+        }
+        self.cat_ops.push(CatOp::EdgeDelete(
+            label,
+            self.staged.vertex_label(src),
+            self.staged.vertex_label(dst),
+        ));
+        self.ops += 1;
+        true
+    }
+
+    /// Stage the typed property write `key = value` on vertex `v`. The column's type is fixed
+    /// by its first value; conflicting writes return
+    /// [`Error::Property`](crate::Error::Property).
+    pub fn set_vertex_prop(
+        &mut self,
+        v: VertexId,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), Error> {
+        self.staged.set_vertex_prop(v, key, value)?;
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Stage the typed property write `key = value` on the (existing) edge `src -> dst`
+    /// carrying `label`.
+    pub fn set_edge_prop(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        label: EdgeLabel,
+        key: &str,
+        value: PropValue,
+    ) -> Result<(), Error> {
+        self.staged.set_edge_prop(src, dst, label, key, value)?;
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Stage a new vertex carrying `label` and an initial set of typed properties, returning
+    /// its id. The vertex is staged even if a property write fails (the error reports the
+    /// first failing write).
+    pub fn insert_vertex_with_props(
+        &mut self,
+        label: VertexLabel,
+        props: &[(&str, PropValue)],
+    ) -> Result<VertexId, Error> {
+        let v = self.insert_vertex(label);
+        for (key, value) in props {
+            self.set_vertex_prop(v, key, value.clone())?;
+        }
+        Ok(v)
+    }
+
+    /// Stage a batch of [`Update`]s in order, returning how many changed the graph (edge
+    /// inserts of existing edges, deletes of missing edges, and property writes that fail
+    /// their type/existence checks are no-ops). The whole batch becomes visible atomically at
+    /// [`commit`](WriteTxn::commit).
+    pub fn apply_batch(&mut self, updates: &[Update]) -> usize {
+        let mut applied = 0usize;
+        for u in updates {
+            let changed = match u {
+                Update::InsertVertex { label } => {
+                    self.insert_vertex(*label);
+                    true
+                }
+                Update::InsertEdge { src, dst, label } => self.insert_edge(*src, *dst, *label),
+                Update::DeleteEdge { src, dst, label } => self.delete_edge(*src, *dst, *label),
+                Update::SetVertexProp { v, key, value } => {
+                    self.set_vertex_prop(*v, key, value.clone()).is_ok()
+                }
+                Update::SetEdgeProp {
+                    src,
+                    dst,
+                    label,
+                    key,
+                    value,
+                } => self
+                    .set_edge_prop(*src, *dst, *label, key, value.clone())
+                    .is_ok(),
+            };
+            if changed {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    // --- commit / rollback ------------------------------------------------------------------
+
+    /// Publish the staged snapshot as the database's new epoch — one atomic swap — and return
+    /// the published epoch's version. Also applies the catalogue's incremental count
+    /// maintenance, advances the staleness clock (bumping the plan-cache statistics version
+    /// when it crosses the threshold) and runs auto-compaction when the delta store has grown
+    /// past its threshold.
+    pub fn commit(mut self) -> u64 {
+        let shared = &self.db.shared;
+        if self.ops > 0 {
+            self.guard.updates_since_stats += self.ops;
+            // Republish the snapshot to the catalogue only at refresh points and compactions:
+            // handing it a clone on *every* commit would pin the delta-store `Arc` and turn
+            // each subsequent staging pass into a deep copy of all pending deltas. The
+            // catalogue's *exact* counts are maintained incrementally below and never lag;
+            // only its *sampled* statistics see a snapshot up to one staleness window old —
+            // exactly the drift tolerance `refresh_after` already grants them.
+            let mut republish = false;
+            if self.guard.updates_since_stats >= shared.staleness_threshold {
+                shared
+                    .stats_version
+                    .store(self.staged.version(), std::sync::atomic::Ordering::Release);
+                self.guard.updates_since_stats = 0;
+                republish = true;
+            }
+            let delta = self.staged.delta();
+            if delta.overlay_edges() + delta.num_new_vertices() >= shared.compact_threshold {
+                self.staged.compact();
+                republish = true;
+            }
+            // One catalogue revision per commit: copy-on-write through `Arc::make_mut`, so
+            // planners and adaptive runs holding the previous revision are never blocked and
+            // never observe a half-applied batch (the copy is only paid while such a reader
+            // exists).
+            {
+                let mut slot = shared.catalogue.write();
+                let catalogue = Arc::make_mut(&mut slot);
+                for op in self.cat_ops.drain(..) {
+                    match op {
+                        CatOp::VertexInsert(label) => catalogue.record_vertex_insert(label),
+                        CatOp::EdgeInsert(el, src, dst) => {
+                            catalogue.record_edge_insert(el, src, dst)
+                        }
+                        CatOp::EdgeDelete(el, src, dst) => {
+                            catalogue.record_edge_delete(el, src, dst)
+                        }
+                    }
+                }
+                if republish {
+                    catalogue.set_snapshot(self.staged.clone());
+                }
+            }
+        }
+        let version = self.staged.version();
+        // The publication point: readers pinning a snapshot from here on see every staged
+        // update; in-flight queries keep the epoch they already pinned.
+        *shared.current.write() = self.staged;
+        version
+    }
+
+    /// Discard every staged update (equivalent to dropping the transaction). Readers never
+    /// observed any of them.
+    pub fn rollback(self) {}
+}

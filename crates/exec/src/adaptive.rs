@@ -95,12 +95,14 @@ fn recost_candidate<G: GraphView>(
 
 /// Execute one adaptive stage for `tuple`, forwarding complete extensions (restored to the
 /// canonical layout) into the remaining stages `rest`. Returns `false` to stop execution.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_adaptive_stage<G: GraphView>(
     stage: &mut AdaptiveStage,
     rest: &mut [Stage],
     graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
+    interrupt: Option<&crate::cancel::Interrupt>,
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
@@ -124,6 +126,7 @@ pub(crate) fn run_adaptive_stage<G: GraphView>(
         graph,
         tuple,
         options,
+        interrupt,
         stats,
         on_result,
     )
@@ -140,6 +143,7 @@ fn run_candidate_steps<G: GraphView>(
     graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
+    interrupt: Option<&crate::cancel::Interrupt>,
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
@@ -162,7 +166,15 @@ fn run_candidate_steps<G: GraphView>(
         } else {
             stats.intermediate_tuples += 1;
             let mut canonical_vec = canonical;
-            run_stages(rest, graph, &mut canonical_vec, options, stats, on_result)
+            run_stages(
+                rest,
+                graph,
+                &mut canonical_vec,
+                options,
+                interrupt,
+                stats,
+                on_result,
+            )
         };
     }
     let (first, remaining) = steps.split_at_mut(1);
@@ -184,6 +196,12 @@ fn run_candidate_steps<G: GraphView>(
         return true;
     }
     for i in 0..set_len {
+        // Same cooperative-interrupt granularity as the fixed pipeline: one candidate value.
+        if let Some(interrupt) = interrupt {
+            if interrupt.should_stop(stats) {
+                return false;
+            }
+        }
         let v = stage.cache_set_value(i);
         tuple.push(v);
         if !remaining.is_empty() || !rest.is_empty() {
@@ -197,6 +215,7 @@ fn run_candidate_steps<G: GraphView>(
             graph,
             tuple,
             options,
+            interrupt,
             stats,
             on_result,
         );

@@ -36,6 +36,7 @@
 
 pub mod adaptive;
 pub mod agg;
+pub mod cancel;
 pub mod parallel;
 pub mod pipeline;
 pub mod sink;
@@ -43,6 +44,7 @@ pub mod stats;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_with_sink};
 pub use agg::{AggregatingSink, ProjectingSink, Row, RowSpec, Value};
+pub use cancel::{CancellationToken, Interrupt, INTERRUPT_CHECK_INTERVAL};
 pub use parallel::{execute_parallel, execute_parallel_with_sink};
 pub use pipeline::{execute, execute_with_options, execute_with_sink, ExecOptions, ExecOutput};
 pub use sink::{CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, PartialSink};

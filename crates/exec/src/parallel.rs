@@ -77,7 +77,7 @@ pub fn execute_parallel_with_sink<G: GraphView>(
         // The shared `produced` counter claims one slot per tuple through `on_result`; the
         // bulk-count fast path never calls it, so it must stay off under a limit.
         count_tail: options.count_tail && limit.is_none(),
-        ..options
+        ..options.clone()
     };
     let produced = AtomicU64::new(0);
 
@@ -115,6 +115,10 @@ pub fn execute_parallel_with_sink<G: GraphView>(
             let mut handles = Vec::with_capacity(num_threads);
             for _ in 0..num_threads {
                 let mut local_pipeline: CompiledPipeline = pipeline.clone();
+                // Workers share the options read-only; each `run_pipeline_on_range` call
+                // builds its own interrupt countdown, while the cancellation token and
+                // deadline inside are shared — one cancel() stops every worker.
+                let worker_options = &worker_options;
                 let next_chunk = &next_chunk;
                 let stop = &stop;
                 let shared_sink = &shared_sink;
@@ -179,8 +183,12 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                                     keep_going = false;
                                 }
                             }
+                            // The output-limit slot counter above and the shared stop flag are
+                            // checked in this same per-result loop, so a query cancelled (or
+                            // stopped) by another worker ends within one batch instead of
+                            // draining its current extension set.
                             if !needs_tuples {
-                                return keep_going;
+                                return keep_going && !stop.load(Ordering::Relaxed);
                             }
                             if let Some(p) = partial.as_mut() {
                                 for (pos, &qv) in out_layout.iter().enumerate() {
@@ -210,10 +218,16 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                             &mut local_pipeline,
                             graph,
                             &scan_edges[lo..hi],
-                            &worker_options,
+                            worker_options,
                             &mut stats,
                             &mut on_result,
                         );
+                        // A tripped interrupt (cancellation or deadline) stops this worker;
+                        // raise the shared flag so the others stop at their next check too.
+                        if stats.cancelled || stats.timed_out {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
                     }
                     // Deliver whatever is left in the local buffer.
                     flush(&mut batch);

@@ -124,12 +124,22 @@ pub(crate) fn extension_preds(
 /// [`MatchSink`], so what used to be `collect_tuples`/`collect_limit` is now the caller's
 /// choice of sink ([`CollectingSink`](crate::sink::CollectingSink),
 /// [`LimitSink`](crate::sink::LimitSink), ...).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecOptions {
     /// Enable the E/I last-extension cache (Section 3.1). Table 3 of the paper toggles this.
     pub use_intersection_cache: bool,
     /// Stop after producing this many results (used by the output-limited CFL comparison).
     pub output_limit: Option<u64>,
+    /// Cooperative cancellation: executors poll this token at batch granularity
+    /// ([`INTERRUPT_CHECK_INTERVAL`](crate::INTERRUPT_CHECK_INTERVAL) units of work) and stop
+    /// — recording [`RuntimeStats::cancelled`] — once it is cancelled.
+    pub cancel: Option<crate::CancellationToken>,
+    /// Hard deadline: executors poll the clock at the same batch granularity and stop —
+    /// recording [`RuntimeStats::timed_out`] — once it has passed. Callers with a relative
+    /// timeout compute `Instant::now() + timeout` before submitting the run, so pipeline
+    /// compilation and hash-join build time count against the budget too (query *planning*
+    /// happens upstream of the executors and does not).
+    pub deadline: Option<std::time::Instant>,
     /// The `COUNT(*)` fast path: when the final pipeline stage is an E/I extension, add the
     /// extension-set *size* to the output count in bulk instead of materialising one tuple
     /// per element (the set is computed — and predicate-filtered — either way; only the
@@ -146,8 +156,18 @@ impl Default for ExecOptions {
         ExecOptions {
             use_intersection_cache: true,
             output_limit: None,
+            cancel: None,
+            deadline: None,
             count_tail: false,
         }
+    }
+}
+
+impl ExecOptions {
+    /// The interrupt state for one run over these options (`None` when neither a token nor a
+    /// deadline is set, so un-cancellable runs pay nothing).
+    pub(crate) fn interrupt(&self) -> Option<crate::cancel::Interrupt> {
+        crate::cancel::Interrupt::new(self.cancel.clone(), self.deadline)
     }
 }
 
@@ -454,7 +474,7 @@ fn materialize<G: GraphView>(
         .map(|(i, _)| i)
         .collect();
 
-    let mut inner_options = *options;
+    let mut inner_options = options.clone();
     inner_options.output_limit = None;
     // Build-side tuples populate the join table; bulk-counting them would leave it empty.
     inner_options.count_tail = false;
@@ -490,6 +510,11 @@ fn materialize<G: GraphView>(
     stats.predicate_drops += build_stats.predicate_drops;
     stats.hash_build_tuples += build_stats.output_count + build_stats.hash_build_tuples;
     stats.hash_probe_tuples += build_stats.hash_probe_tuples;
+    // An interrupt tripped while materialising leaves the table incomplete; the flags make
+    // the facade surface the run as cancelled/timed out instead of returning partial counts
+    // (the probe pipeline's own interrupt check stops the rest of the run promptly).
+    stats.cancelled |= build_stats.cancelled;
+    stats.timed_out |= build_stats.timed_out;
     table
 }
 
@@ -521,9 +546,16 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
     if options.output_limit == Some(0) {
         return;
     }
+    let interrupt = options.interrupt();
+    let interrupt = interrupt.as_ref();
     let scan = pipeline.scan.clone();
     let mut tuple: Vec<VertexId> = Vec::with_capacity(pipeline.out_layout.len());
     'scan: for &(u, v, l) in scan_edges {
+        if let Some(interrupt) = interrupt {
+            if interrupt.should_stop(stats) {
+                break 'scan;
+            }
+        }
         if l != scan.edge.label {
             continue;
         }
@@ -584,6 +616,7 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
                 graph,
                 &mut tuple,
                 options,
+                interrupt,
                 stats,
                 on_result,
             ) {
@@ -599,6 +632,7 @@ pub(crate) fn run_stages<G: GraphView>(
     graph: &G,
     tuple: &mut Vec<VertexId>,
     options: &ExecOptions,
+    interrupt: Option<&crate::cancel::Interrupt>,
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
@@ -618,6 +652,13 @@ pub(crate) fn run_stages<G: GraphView>(
                 return true;
             }
             for i in 0..set_len {
+                // One extension candidate is the unit of cooperative-interrupt accounting: a
+                // cancelled query stops mid-extension-set instead of draining it.
+                if let Some(interrupt) = interrupt {
+                    if interrupt.should_stop(stats) {
+                        return false;
+                    }
+                }
                 let v = stage.cache_set_value(i);
                 tuple.push(v);
                 let keep_going = if is_last {
@@ -631,7 +672,7 @@ pub(crate) fn run_stages<G: GraphView>(
                     cont
                 } else {
                     stats.intermediate_tuples += 1;
-                    run_stages(rest, graph, tuple, options, stats, on_result)
+                    run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
                 };
                 tuple.pop();
                 if !keep_going {
@@ -649,6 +690,11 @@ pub(crate) fn run_stages<G: GraphView>(
             let width = stage.table.payload_width;
             let groups = payloads.len().checked_div(width).unwrap_or(1);
             for g in 0..groups {
+                if let Some(interrupt) = interrupt {
+                    if interrupt.should_stop(stats) {
+                        return false;
+                    }
+                }
                 for j in 0..width {
                     tuple.push(payloads[g * width + j]);
                 }
@@ -663,7 +709,7 @@ pub(crate) fn run_stages<G: GraphView>(
                     cont
                 } else {
                     stats.intermediate_tuples += 1;
-                    run_stages(rest, graph, tuple, options, stats, on_result)
+                    run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
                 };
                 for _ in 0..width {
                     tuple.pop();
@@ -675,7 +721,7 @@ pub(crate) fn run_stages<G: GraphView>(
             true
         }
         Stage::Adaptive(stage) => crate::adaptive::run_adaptive_stage(
-            stage, rest, graph, tuple, options, stats, on_result,
+            stage, rest, graph, tuple, options, interrupt, stats, on_result,
         ),
     }
 }

@@ -44,6 +44,13 @@ pub struct RuntimeStats {
     /// Times this query's plan had to be produced by the optimizer (filled in by
     /// `graphflow-core`; executors leave it 0).
     pub plan_cache_misses: u64,
+    /// The run stopped early because its [`CancellationToken`](crate::CancellationToken) was
+    /// cancelled; counters cover only the work done up to that point.
+    pub cancelled: bool,
+    /// The run stopped early because its deadline
+    /// ([`ExecOptions::deadline`](crate::ExecOptions::deadline)) elapsed; counters cover only
+    /// the work done up to that point.
+    pub timed_out: bool,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -64,6 +71,9 @@ impl RuntimeStats {
         self.hash_probe_tuples += other.hash_probe_tuples;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        // A run is cancelled / timed out if any of its workers was.
+        self.cancelled |= other.cancelled;
+        self.timed_out |= other.timed_out;
         // Elapsed time is wall clock, not CPU time: keep the maximum.
         self.elapsed = self.elapsed.max(other.elapsed);
     }
@@ -110,9 +120,12 @@ mod tests {
             predicate_evals: 5,
             predicate_drops: 4,
             bulk_counted_extensions: 6,
+            timed_out: true,
             elapsed: Duration::from_millis(50),
+            ..Default::default()
         };
         a.merge(&b);
+        assert!(a.timed_out && !a.cancelled, "stop reasons merge with OR");
         assert_eq!(a.icost, 11);
         assert_eq!(a.bulk_counted_extensions, 6);
         assert_eq!(a.delta_merges, 3);

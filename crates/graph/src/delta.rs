@@ -18,6 +18,17 @@
 //!
 //! [`Snapshot::rebuild`] folds the deltas back into a fresh CSR (compaction); the result is
 //! observationally identical to the snapshot it came from.
+//!
+//! # Epoch publication
+//!
+//! A snapshot **is** an epoch: an immutable `(base, delta, version)` triple. A concurrent
+//! database (the `graphflow-core` facade) publishes writes by *swapping a snapshot value in a
+//! shared slot* — readers clone the slot (two `Arc` bumps) and then run entirely lock-free,
+//! while a writer stages its updates on a private clone and installs it with one store. The
+//! copy-on-write mutation methods below are what make that protocol safe: a staged mutation
+//! can never reach memory an already-published clone observes, so the swap is the *only*
+//! point where readers transition between epochs — they see all of a staged batch or none of
+//! it. [`Snapshot::same_epoch`] tests whether two snapshots observe one published epoch.
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, GraphView, NbrList};
@@ -346,6 +357,18 @@ impl Snapshot {
     /// Whether any mutation is pending on top of the base CSR.
     pub fn has_pending_deltas(&self) -> bool {
         !self.delta.is_empty()
+    }
+
+    /// Whether `other` observes the exact same published epoch: identical version *and* the
+    /// same shared base/delta allocations — an O(1) pointer check, no content comparison.
+    ///
+    /// Conservative across compaction: compacting rebuilds the base allocation without
+    /// changing the logical graph, so a pre-compaction clone reports `false` against a
+    /// post-compaction one even though their contents agree.
+    pub fn same_epoch(&self, other: &Snapshot) -> bool {
+        self.version == other.version
+            && Arc::ptr_eq(&self.base, &other.base)
+            && Arc::ptr_eq(&self.delta, &other.delta)
     }
 
     /// Approximate in-memory size of base CSR + delta overlays, in bytes.
@@ -896,6 +919,25 @@ mod tests {
         assert_eq!(nbr_vec(&s, 1, Direction::Bwd), vec![0, 1]);
         assert!(s.delete_edge(1, 1, EdgeLabel(0)));
         assert!(!s.has_pending_deltas());
+    }
+
+    #[test]
+    fn same_epoch_tracks_publication_not_content() {
+        let mut s = base_triangle();
+        let clone = s.clone();
+        assert!(s.same_epoch(&clone), "clones share one epoch");
+        s.insert_edge(2, 0, EdgeLabel(0));
+        assert!(!s.same_epoch(&clone), "mutation departs from the old epoch");
+        // Cancelling the update restores the *content* but not the epoch identity.
+        s.delete_edge(2, 0, EdgeLabel(0));
+        assert!(!s.same_epoch(&clone));
+        // Compaction is conservative: logically neutral, but a different allocation.
+        let mut t = base_triangle();
+        t.insert_edge(2, 0, EdgeLabel(0));
+        let before = t.clone();
+        t.compact();
+        assert!(!t.same_epoch(&before));
+        assert_eq!(t.version(), before.version());
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
             b.add_edge(i, (i + 3) % n);
         }
     }
-    let mut db = GraphflowDB::builder(b.build())
+    let db = GraphflowDB::builder(b.build())
         .staleness_threshold(64)
         .compact_threshold(1 << 16)
         .build();

@@ -46,7 +46,7 @@ fn main() {
         )
         .unwrap();
     }
-    let mut db = GraphflowDB::from_graph(b.build());
+    let db = GraphflowDB::from_graph(b.build());
 
     let triangle = "(a)-[t1]->(b), (b)-[t2]->(c), (a)-[t3]->(c)";
     let all = db.run(triangle, QueryOptions::new()).unwrap();

@@ -31,7 +31,7 @@ fn main() {
         graph.num_edges()
     );
 
-    let mut db = GraphflowDB::with_config(graph.clone(), Default::default());
+    let db = GraphflowDB::with_config(graph.clone(), Default::default());
     let diamond = patterns::diamond_x();
 
     // --- 1. What does the optimizer pick in each plan space? -------------------------------

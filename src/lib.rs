@@ -29,9 +29,12 @@
 //! assert_eq!(counted.scalar_count(), Some(1));
 //! ```
 //!
-//! The graph is **dynamic**: `GraphflowDB::insert_edge` / `delete_edge` /
-//! [`apply_batch`](GraphflowDB::apply_batch) mutate a delta store layered over the frozen CSR,
-//! queries run against isolated [`Snapshot`](graph::Snapshot)s, and compaction folds deltas
+//! The graph is **dynamic** and the database is **concurrent**: [`GraphflowDB`] is a cheap
+//! `Clone`-able, `Send + Sync` handle, writes go through [`WriteTxn`]s
+//! (`GraphflowDB::begin_write` — the single-call `insert_edge` / `delete_edge` /
+//! [`apply_batch`](GraphflowDB::apply_batch) wrappers are one-update transactions) that
+//! publish one snapshot epoch atomically, queries run against isolated
+//! [`Snapshot`](graph::Snapshot)s — writers never block readers — and compaction folds deltas
 //! back into a fresh CSR:
 //!
 //! ```
@@ -41,9 +44,16 @@
 //! let mut b = GraphBuilder::new();
 //! b.add_edge(0, 1);
 //! b.add_edge(1, 2);
-//! let mut db = GraphflowDB::from_graph(b.build());
-//! assert!(db.insert_edge(0, 2, EdgeLabel(0))); // close the triangle
+//! let db = GraphflowDB::from_graph(b.build());
+//! assert!(db.insert_edge(0, 2, EdgeLabel(0))); // close the triangle (a 1-update WriteTxn)
 //! assert_eq!(db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap(), 1);
+//!
+//! // Share the handle across threads; long queries can carry deadlines or be cancelled.
+//! let worker = std::thread::spawn({
+//!     let db = db.clone();
+//!     move || db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap()
+//! });
+//! assert_eq!(worker.join().unwrap(), 1);
 //! ```
 //!
 //! The workspace's substrate layers are re-exported under one roof:
@@ -63,8 +73,9 @@ pub use graphflow_baselines as baselines;
 pub use graphflow_catalog as catalog;
 pub use graphflow_core as core;
 pub use graphflow_core::{
-    CallbackSink, CollectingSink, CountingSink, Error, GraphflowDB, LimitSink, MatchSink,
-    PlanCacheStats, PreparedQuery, QueryOptions, QueryResult, ResultSet,
+    CallbackSink, CancellationToken, CollectingSink, CountingSink, Error, GraphflowDB, LimitSink,
+    MatchSink, PlanCacheStats, PreparedQuery, QueryHandle, QueryOptions, QueryResult, ResultSet,
+    WriteTxn,
 };
 pub use graphflow_datasets as datasets;
 pub use graphflow_exec as exec;

@@ -1,0 +1,197 @@
+//! Concurrency stress tests: one shared `GraphflowDB` handle, writer threads committing
+//! transactions while reader threads execute owned prepared queries.
+//!
+//! The invariants under test:
+//!
+//! * **Atomic epoch publication** — every [`WriteTxn`] here preserves a global invariant
+//!   (each writer keeps exactly one "live" edge by deleting the old one and inserting the new
+//!   one in the same transaction), so *any* snapshot a reader pins must satisfy it; observing
+//!   a half-applied transaction fails the test.
+//! * **Snapshot consistency** — a parallel run on a pinned snapshot must equal a serial
+//!   re-run on the *same* snapshot, no matter what writers committed in between; re-running
+//!   after all writers joined must reproduce the same count again (repeatable reads).
+//! * **No lost updates** — after all writers join, every writer's final edge is present and
+//!   the global edge count adds up.
+
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_graph::{EdgeLabel, GraphBuilder, GraphView as _, VertexId};
+
+const EDGE: EdgeLabel = EdgeLabel(0);
+
+/// A random base graph plus, per writer, one reserved vertex range carrying its single live
+/// edge.
+fn stress_db(num_writers: usize) -> (GraphflowDB, usize) {
+    let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.5, 77);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    // Reserve an isolated vertex block per writer, far beyond the base graph.
+    for w in 0..num_writers {
+        let base = writer_base(w);
+        b.add_edge(base, base + 1);
+    }
+    let g = b.build();
+    let num_edges = g.num_edges();
+    (GraphflowDB::from_graph(g), num_edges)
+}
+
+fn writer_base(w: usize) -> VertexId {
+    1000 + (w as VertexId) * 100
+}
+
+/// N writer transactions churning concurrently with M reader threads; every pinned snapshot
+/// must satisfy the writers' transactional invariant and agree between parallel and serial
+/// execution.
+#[test]
+fn writers_and_readers_race_without_torn_epochs() {
+    const WRITERS: usize = 3;
+    const READERS: usize = 4;
+    const TXNS_PER_WRITER: usize = 150;
+    const READS_PER_READER: usize = 40;
+
+    let (db, base_edges) = stress_db(WRITERS);
+    let edge_query = db.prepare("(a)->(b)").unwrap();
+    let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+
+    std::thread::scope(|scope| {
+        // Writers: each transaction deletes the writer's current live edge and inserts the
+        // next one — the global edge count is invariant across every *committed* epoch, and
+        // only a torn (non-atomic) publication could change it.
+        for w in 0..WRITERS {
+            let db = db.clone();
+            scope.spawn(move || {
+                let base = writer_base(w);
+                for i in 0..TXNS_PER_WRITER {
+                    let old = (base + (i as VertexId) % 50, base + 1 + (i as VertexId) % 50);
+                    let new = (
+                        base + (i as VertexId + 1) % 50,
+                        base + 1 + (i as VertexId + 1) % 50,
+                    );
+                    let mut txn = db.begin_write();
+                    assert!(txn.delete_edge(old.0, old.1, EDGE), "writer {w} txn {i}");
+                    assert!(txn.insert_edge(new.0, new.1, EDGE), "writer {w} txn {i}");
+                    txn.commit();
+                }
+            });
+        }
+        // Readers: pin a snapshot, check the writers' invariant on it, and check that the
+        // parallel executor agrees with a serial re-run on the same pinned epoch.
+        for r in 0..READERS {
+            let edge_query = edge_query.clone();
+            let triangles = triangles.clone();
+            let db = db.clone();
+            scope.spawn(move || {
+                for i in 0..READS_PER_READER {
+                    let snap = db.snapshot();
+                    let serial_edges = edge_query
+                        .run_on(&snap, QueryOptions::default())
+                        .unwrap()
+                        .count;
+                    assert_eq!(
+                        serial_edges, base_edges as u64,
+                        "reader {r} read {i}: a committed epoch broke the delete+insert \
+                         invariant — torn transaction observed"
+                    );
+                    assert_eq!(snap.num_edges(), base_edges, "reader {r} read {i}");
+                    let serial = triangles.run_on(&snap, QueryOptions::default()).unwrap();
+                    let parallel = triangles
+                        .run_on(&snap, QueryOptions::new().threads(4))
+                        .unwrap();
+                    assert_eq!(
+                        parallel.count, serial.count,
+                        "reader {r} read {i}: parallel run disagrees with serial re-run on \
+                         the same pinned snapshot"
+                    );
+                }
+            });
+        }
+    });
+
+    // After the join: no lost updates. Every writer committed TXNS_PER_WRITER transactions,
+    // so its live edge is the one its last transaction inserted.
+    let snap = db.snapshot();
+    assert_eq!(snap.num_edges(), base_edges);
+    for w in 0..WRITERS {
+        let base = writer_base(w);
+        let i = (TXNS_PER_WRITER as VertexId) % 50;
+        assert!(
+            snap.has_edge(base + i, base + 1 + i, EDGE),
+            "writer {w}'s final edge was lost"
+        );
+    }
+    assert_eq!(
+        edge_query.count().unwrap(),
+        base_edges as u64,
+        "final edge count must add up after all writers joined"
+    );
+}
+
+/// A pinned snapshot is repeatable: the same query on the same snapshot returns the same
+/// result before, during and after unrelated commits.
+#[test]
+fn pinned_snapshots_are_repeatable_across_commits() {
+    let (db, _) = stress_db(1);
+    let triangles = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+    let pinned = db.snapshot();
+    let before = triangles.run_on(&pinned, QueryOptions::default()).unwrap();
+
+    // Commit a batch that adds brand-new triangles (fresh vertices, one atomic txn).
+    let mut txn = db.begin_write();
+    for t in 0..10u32 {
+        let v = 5000 + 3 * t;
+        txn.insert_edge(v, v + 1, EDGE);
+        txn.insert_edge(v + 1, v + 2, EDGE);
+        txn.insert_edge(v, v + 2, EDGE);
+    }
+    let epoch = txn.commit();
+    assert!(epoch > 0);
+
+    // The pinned snapshot still answers exactly as before; the live database moved on.
+    let after = triangles.run_on(&pinned, QueryOptions::default()).unwrap();
+    assert_eq!(before.count, after.count);
+    assert_eq!(triangles.count().unwrap(), before.count + 10);
+
+    // Serial, adaptive and parallel execution agree on the pinned epoch too.
+    for opts in [
+        QueryOptions::new().adaptive(true),
+        QueryOptions::new().threads(4),
+    ] {
+        let run = triangles.run_on(&pinned, opts.clone()).unwrap();
+        assert_eq!(run.count, before.count, "{opts:?}");
+    }
+}
+
+/// The same owned prepared query executes concurrently from many threads, and concurrent
+/// `prepare` calls share one plan through the thread-safe plan cache.
+#[test]
+fn owned_prepared_queries_execute_from_any_thread() {
+    let (db, _) = stress_db(1);
+    let pattern = "(a)->(b), (b)->(c), (a)->(c)";
+    let prepared = db.prepare(pattern).unwrap();
+    let expected = prepared.count().unwrap();
+
+    let counts: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            // Half the threads share the same statement (cloned), half re-prepare — which
+            // must be served from the plan cache without a second optimizer run.
+            if i % 2 == 0 {
+                let prepared = prepared.clone();
+                handles.push(scope.spawn(move || prepared.count().unwrap()));
+            } else {
+                let db = db.clone();
+                handles.push(scope.spawn(move || {
+                    let again = db.prepare(pattern).unwrap();
+                    assert!(again.was_cached(), "thread-side prepare must hit the cache");
+                    again.count().unwrap()
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(counts.iter().all(|&c| c == expected));
+    assert_eq!(
+        db.plan_cache_stats().misses,
+        1,
+        "exactly one optimizer run across all threads"
+    );
+}

@@ -69,7 +69,7 @@ fn random_update_sequences_match_from_scratch_rebuilds() {
             model.insert((s, d, 0));
         }
         // Disable auto-compaction so rounds genuinely accumulate deltas over the base CSR.
-        let mut db = GraphflowDB::builder(b.build())
+        let db = GraphflowDB::builder(b.build())
             .compact_threshold(usize::MAX)
             .build();
 
@@ -157,7 +157,7 @@ fn executors_agree_on_dirty_snapshots() {
     let edges = graphflow_graph::generator::powerlaw_cluster(250, 4, 0.5, 31);
     let mut b = GraphBuilder::new();
     b.add_edges(edges);
-    let mut db = GraphflowDB::builder(b.build())
+    let db = GraphflowDB::builder(b.build())
         .compact_threshold(usize::MAX)
         .build();
     // Churn ~10% of the graph so plenty of vertices carry overlays.
@@ -198,7 +198,7 @@ fn self_loops_and_duplicates_round_trip() {
     let mut b = GraphBuilder::with_vertices(4);
     b.add_edge(0, 1);
     b.add_edge(1, 1); // base self-loop, kept by the builder
-    let mut db = GraphflowDB::builder(b.build())
+    let db = GraphflowDB::builder(b.build())
         .compact_threshold(usize::MAX)
         .build();
 

@@ -73,7 +73,8 @@ fn all_engines_agree_on_benchmark_queries() {
 fn ghd_plans_agree_with_reference_counts() {
     let graph = Dataset::Google.generate(SCALE);
     let db = GraphflowDB::with_config(graph.clone(), Default::default());
-    let planner = GhdPlanner::new(db.catalogue());
+    let catalogue = db.catalogue();
+    let planner = GhdPlanner::new(&catalogue);
     for j in [1usize, 3, 5, 8] {
         let q = patterns::benchmark_query(j);
         let expected = count_matches(&graph, &q);
@@ -114,7 +115,7 @@ fn optimizer_pick_is_never_worse_than_four_times_the_best_plan_cost() {
     use graphflow_plan::spectrum::{enumerate_spectrum, SpectrumLimits};
     let graph = Dataset::Epinions.generate(SCALE);
     let db = GraphflowDB::with_config(graph.clone(), Default::default());
-    let model = *graphflow_plan::dp::DpOptimizer::new(db.catalogue()).cost_model();
+    let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
     for j in [1usize, 3, 4] {
         let q = patterns::benchmark_query(j);
         let chosen = db.plan(&q).unwrap();
@@ -123,7 +124,7 @@ fn optimizer_pick_is_never_worse_than_four_times_the_best_plan_cost() {
             .unwrap()
             .stats
             .icost;
-        let spectrum = enumerate_spectrum(&q, db.catalogue(), &model, SpectrumLimits::default());
+        let spectrum = enumerate_spectrum(&q, &db.catalogue(), &model, SpectrumLimits::default());
         let best_icost = spectrum
             .iter()
             .map(|sp| {

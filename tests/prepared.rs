@@ -207,7 +207,7 @@ fn sinks_agree_across_execution_modes() {
                 streamed += 1;
                 true
             });
-            prepared.run_with_sink(options, &mut sink).unwrap();
+            prepared.run_with_sink(options.clone(), &mut sink).unwrap();
         }
         assert_eq!(streamed, expected, "{options:?}");
     }
