@@ -18,6 +18,7 @@ fn main() {
     ];
     let queries = [1usize, 2, 3, 4, 5, 6, 8, 11];
     let mut summary: Vec<f64> = Vec::new();
+    let mut report = Vec::new();
     for (ds, labels) in configs {
         let graph = if labels > 1 {
             graphflow_datasets::with_random_edge_labels(&dataset(ds), labels, 5)
@@ -42,12 +43,26 @@ fn main() {
             );
             let chosen = db.plan(&q).unwrap();
             let chosen_fp = chosen.root.fingerprint();
+            let query_name = format!(
+                "Q{j}{}",
+                if labels > 1 {
+                    format!("^{labels}")
+                } else {
+                    String::new()
+                }
+            );
             let mut rows = Vec::new();
             let mut best = f64::INFINITY;
             let mut worst: f64 = 0.0;
             let mut chosen_time = None;
-            for sp in &spectrum {
+            for (sp_i, sp) in spectrum.iter().enumerate() {
                 let (_, _, t) = run_plan(&db, &sp.plan, QueryOptions::default());
+                report.push(BenchRecord::new(
+                    &query_name,
+                    ds.name(),
+                    format!("{}#{sp_i}", sp.class),
+                    &[t],
+                ));
                 let t = t.as_secs_f64();
                 best = best.min(t);
                 worst = worst.max(t);
@@ -68,6 +83,12 @@ fn main() {
                     .2
                     .as_secs_f64()
             });
+            report.push(BenchRecord::new(
+                &query_name,
+                ds.name(),
+                "optimizer_pick",
+                &[std::time::Duration::from_secs_f64(chosen_time)],
+            ));
             rows.sort();
             print_table(
                 &format!(
@@ -98,4 +119,5 @@ fn main() {
     println!("within 1.4x of optimal        : {}", within(1.4));
     println!("within 2x of optimal          : {}", within(2.0));
     println!("paper shape: optimal in 15/31 spectra, within 1.4x in 21, within 2x in 28.");
+    bench_report("fig7_plan_spectra", &report).expect("writing bench report");
 }

@@ -20,6 +20,7 @@ use graphflow_exec::RuntimeStats;
 use graphflow_graph::Graph;
 use graphflow_plan::Plan;
 use graphflow_query::QueryGraph;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -107,6 +108,122 @@ pub fn executable_orderings(q: &QueryGraph) -> Vec<Vec<usize>> {
         .collect()
 }
 
+/// One measured configuration destined for a machine-readable [`bench_report`]: which query
+/// ran on which dataset under which plan, with every wall-time sample in milliseconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub query: String,
+    pub dataset: String,
+    pub plan: String,
+    pub samples_ms: Vec<f64>,
+}
+
+impl BenchRecord {
+    /// Build a record from raw [`Duration`] samples.
+    pub fn new(
+        query: impl Into<String>,
+        dataset: impl Into<String>,
+        plan: impl Into<String>,
+        samples: &[Duration],
+    ) -> BenchRecord {
+        BenchRecord {
+            query: query.into(),
+            dataset: dataset.into(),
+            plan: plan.into(),
+            samples_ms: samples.iter().map(|d| d.as_secs_f64() * 1e3).collect(),
+        }
+    }
+
+    /// Median wall time over the samples, in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        percentile(&self.samples_ms, 50.0)
+    }
+
+    /// 95th-percentile wall time over the samples, in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        percentile(&self.samples_ms, 95.0)
+    }
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of a sample set; 0.0 for an empty set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Number of timing samples per measured configuration (`GF_SAMPLES`, default 3).
+pub fn sample_count() -> usize {
+    std::env::var("GF_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(3)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number that is always valid JSON (no NaN/inf, which JSON cannot carry).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write the machine-readable result file `BENCH_<name>.json` (into `GF_BENCH_DIR`, default
+/// the current directory) and return its path. The file holds one object per record with the
+/// query, dataset, plan, median and p95 wall time, and the raw samples, so CI and plotting
+/// scripts can diff runs without scraping the human-readable tables.
+pub fn bench_report(name: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("GF_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!("BENCH_{name}.json"));
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"plan\": \"{}\", \
+             \"median_ms\": {}, \"p95_ms\": {}, \"samples_ms\": [{}]}}{}\n",
+            json_escape(&r.query),
+            json_escape(&r.dataset),
+            json_escape(&r.plan),
+            json_num(r.median_ms()),
+            json_num(r.p95_ms()),
+            r.samples_ms
+                .iter()
+                .map(|&s| json_num(s))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
 /// Thread counts for the scalability sweep: 1, 2, 4, ... up to the machine (or `GF_THREADS`).
 pub fn thread_sweep() -> Vec<usize> {
     let max = std::env::var("GF_THREADS")
@@ -144,5 +261,51 @@ mod tests {
         let q = graphflow_query::patterns::diamond_x();
         assert_eq!(ordering_name(&q, &[1, 2, 0, 3]), "a2a3a1a4");
         print_table("test", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 95.0), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn bench_report_writes_valid_shape() {
+        let dir = std::env::temp_dir().join(format!("gf_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("GF_BENCH_DIR", &dir);
+        let records = vec![
+            BenchRecord::new(
+                "(a)->(b), \"quoted\"",
+                "amazon",
+                "a1a2a3",
+                &[Duration::from_millis(2), Duration::from_millis(1)],
+            ),
+            BenchRecord::new("q2", "google", "bj\\wco", &[Duration::from_millis(3)]),
+        ];
+        let path = bench_report("unit_test", &records).unwrap();
+        std::env::remove_var("GF_BENCH_DIR");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\\\"quoted\\\""), "quotes are escaped");
+        assert!(
+            body.contains("\"plan\": \"bj\\\\wco\""),
+            "backslash escaped"
+        );
+        assert!(body.contains("\"median_ms\""));
+        assert!(body.contains("\"p95_ms\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                body.matches(open).count(),
+                body.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -11,6 +11,12 @@ use graphflow_query::querygraph::{set_iter, set_len, singleton, VertexSet};
 use graphflow_query::QueryGraph;
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+
+/// Exact per-vertex-label counts, sorted by label, as exported for a durability snapshot.
+pub type VertexCounts = Vec<(VertexLabel, u64)>;
+/// Exact per-`(edge label, src label, dst label)` counts, sorted, as exported for a
+/// durability snapshot.
+pub type EdgeCounts = Vec<((EdgeLabel, VertexLabel, VertexLabel), u64)>;
 use std::sync::Arc;
 
 /// Configuration of catalogue construction (paper Section 5.1 and Appendix B).
@@ -150,6 +156,51 @@ impl Catalogue {
             update_tick: 0,
             graph_version,
         }
+    }
+
+    /// Create a catalogue over a live [`Snapshot`] with **restored** exact counts instead of
+    /// the O(V + E) recount of [`Catalogue::for_snapshot`] — the crash-recovery path, where
+    /// the counts come from a snapshot file that persisted them (see
+    /// [`Catalogue::exact_counts`]). The caller is responsible for the counts actually
+    /// matching the snapshot.
+    pub fn for_snapshot_with_counts(
+        snap: Snapshot,
+        config: CatalogueConfig,
+        vertex_counts: impl IntoIterator<Item = (VertexLabel, u64)>,
+        edge_counts: impl IntoIterator<Item = ((EdgeLabel, VertexLabel, VertexLabel), u64)>,
+    ) -> Self {
+        let graph_version = snap.version();
+        Catalogue {
+            snap,
+            config,
+            caches: Mutex::new(Caches::default()),
+            edge_counts: edge_counts.into_iter().collect(),
+            vertex_counts: vertex_counts.into_iter().collect(),
+            update_counts: FxHashMap::default(),
+            update_tick: 0,
+            graph_version,
+        }
+    }
+
+    /// Export the exact per-label counts in deterministic (sorted) order, for persistence in
+    /// a durability snapshot. Zero entries (a label whose last edge was deleted) are skipped —
+    /// absence already means zero on restore.
+    pub fn exact_counts(&self) -> (VertexCounts, EdgeCounts) {
+        let mut vertex: Vec<_> = self
+            .vertex_counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&l, &c)| (l, c))
+            .collect();
+        vertex.sort_unstable_by_key(|&(l, _)| l.0);
+        let mut edge: Vec<_> = self
+            .edge_counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&k, &c)| (k, c))
+            .collect();
+        edge.sort_unstable_by_key(|&((el, sl, dl), _)| (el.0, sl.0, dl.0));
+        (vertex, edge)
     }
 
     /// Build a catalogue with the default configuration.

@@ -143,7 +143,7 @@
 //!
 //! Vertices and edges carry **typed properties** (int, float, bool, string — see
 //! [`PropValue`]), written through the
-//! [`GraphBuilder`](graphflow_graph::GraphBuilder), the loader's `key=value` columns, or the
+//! [`GraphBuilder`], the loader's `key=value` columns, or the
 //! live-update APIs ([`set_vertex_prop`](GraphflowDB::set_vertex_prop),
 //! [`set_edge_prop`](GraphflowDB::set_edge_prop),
 //! [`insert_vertex_with_props`](GraphflowDB::insert_vertex_with_props), property
@@ -205,8 +205,10 @@ use graphflow_catalog::{Catalogue, CatalogueConfig};
 use graphflow_exec::{
     execute_adaptive_with_sink, execute_parallel_with_sink, execute_with_sink, ExecOptions,
 };
+use graphflow_graph::loader::LoadError;
 use graphflow_graph::{
-    EdgeLabel, Graph, GraphView, PropError, PropValue, Snapshot, Update, VertexId, VertexLabel,
+    EdgeLabel, Graph, GraphBuilder, GraphView, PropError, PropValue, Snapshot, Update, VertexId,
+    VertexLabel,
 };
 use graphflow_plan::cost::CostModel;
 use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
@@ -214,7 +216,9 @@ use graphflow_plan::{Plan, PlanClass, PlanHandle};
 use graphflow_query::{
     canonical_form, parse_query, CanonicalCode, PredTarget, Predicate, QueryGraph,
 };
+use graphflow_storage::{PersistedCounts, StorageError, Store};
 use parking_lot::{Mutex, RwLock};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -231,6 +235,7 @@ pub use graphflow_exec::{
 };
 pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
 pub use graphflow_query::returns::ReturnClause;
+pub use graphflow_storage::Durability;
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
 pub use prepared::{PreparedQuery, QueryHandle};
@@ -281,6 +286,11 @@ pub enum Error {
     /// stopped. Materialising entry points discard their partial results; a sink-streaming
     /// run has already delivered the matches found before the deadline to the caller's sink.
     Timeout,
+    /// The durability subsystem failed: a write-ahead-log append, snapshot write, or recovery
+    /// read hit an I/O error or found a corrupt/incompatible file. The underlying
+    /// [`StorageError`] (which itself chains down to the OS error where one exists) is the
+    /// [`source`](std::error::Error::source).
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for Error {
@@ -298,6 +308,7 @@ impl std::fmt::Display for Error {
             Error::Property(_) => write!(f, "property write rejected"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::Timeout => write!(f, "query timed out"),
+            Error::Storage(_) => write!(f, "durable storage operation failed"),
         }
     }
 }
@@ -307,6 +318,7 @@ impl std::error::Error for Error {
         match self {
             Error::Parse(e) => Some(e),
             Error::Property(e) => Some(e),
+            Error::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -321,6 +333,18 @@ impl From<graphflow_query::ParseError> for Error {
 impl From<PropError> for Error {
     fn from(e: PropError) -> Self {
         Error::Property(e)
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<LoadError> for Error {
+    fn from(e: LoadError) -> Self {
+        Error::Storage(StorageError::Load(e))
     }
 }
 
@@ -362,6 +386,8 @@ pub struct GraphflowDBBuilder {
     plan_cache_capacity: usize,
     staleness_threshold: Option<u64>,
     compact_threshold: Option<usize>,
+    data_dir: Option<PathBuf>,
+    durability: Durability,
 }
 
 impl GraphflowDBBuilder {
@@ -408,16 +434,103 @@ impl GraphflowDBBuilder {
         self
     }
 
+    /// Persist the database in `dir`: every committed [`WriteTxn`] is write-ahead logged
+    /// before its epoch is published, compactions double as binary-snapshot checkpoints, and
+    /// reopening the directory ([`open`](GraphflowDBBuilder::open) or [`GraphflowDB::open`])
+    /// recovers the last durably committed epoch. When the directory already holds data, that
+    /// data wins over the builder's graph; a fresh directory is seeded with the builder's
+    /// graph as its first snapshot.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// How much durability a commit buys before it returns (default
+    /// [`Durability::Fsync`]). Only meaningful together with
+    /// [`data_dir`](GraphflowDBBuilder::data_dir).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// Build the database (constructs the catalogue; entries are sampled lazily).
+    ///
+    /// Infallible spelling of [`open`](GraphflowDBBuilder::open): **panics** on a storage
+    /// error when a [`data_dir`](GraphflowDBBuilder::data_dir) is configured (without one no
+    /// storage is touched and no panic is possible).
     pub fn build(self) -> GraphflowDB {
-        let snapshot = Snapshot::new(self.graph);
+        match self.open() {
+            Ok(db) => db,
+            Err(e) => panic!("failed to open database directory: {e} ({e:?})"),
+        }
+    }
+
+    /// Build the database, opening (and if necessary creating and seeding) the configured
+    /// [`data_dir`](GraphflowDBBuilder::data_dir) and running crash recovery: the newest
+    /// valid snapshot is loaded, write-ahead-log records past it are replayed in commit
+    /// order, a torn WAL tail (crash mid-append) is truncated, and the database comes up at
+    /// the last durably committed epoch.
+    pub fn open(self) -> Result<GraphflowDB, Error> {
+        let Some(dir) = self.data_dir.clone() else {
+            let snapshot = Snapshot::new(self.graph.clone());
+            let catalogue = Catalogue::for_snapshot(snapshot.clone(), self.catalogue_config);
+            return Ok(self.assemble(snapshot, catalogue, None));
+        };
+        let (mut store, recovered) = Store::open(&dir, self.durability)?;
+        // An existing snapshot wins over the builder's graph: the directory's contents are
+        // the durable truth, the builder graph only seeds a fresh directory.
+        let had_snapshot = recovered.snapshot.is_some();
+        let (base, base_epoch, counts) = match recovered.snapshot {
+            Some(s) => (Arc::new(s.graph), s.epoch, Some(s.counts)),
+            None => (self.graph.clone(), 0, None),
+        };
+        let mut snap = Snapshot::new(base);
+        snap.set_version(base_epoch);
+        let mut catalogue = match &counts {
+            Some(c) => Catalogue::for_snapshot_with_counts(
+                snap.clone(),
+                self.catalogue_config,
+                c.vertex_counts.iter().map(|&(l, n)| (VertexLabel(l), n)),
+                c.edge_counts
+                    .iter()
+                    .map(|&(el, sl, dl, n)| ((EdgeLabel(el), VertexLabel(sl), VertexLabel(dl)), n)),
+            ),
+            None => Catalogue::for_snapshot(snap.clone(), self.catalogue_config),
+        };
+        for batch in &recovered.batches {
+            replay_batch(&mut snap, &mut catalogue, &batch.updates);
+            // Pin the replayed state to the epoch the WAL recorded, so version numbers stay
+            // monotone across restarts regardless of how replay counted its mutations.
+            snap.set_version(batch.epoch);
+        }
+        if !recovered.batches.is_empty() {
+            catalogue.set_snapshot(snap.clone());
+        }
+        if !had_snapshot {
+            // First open of this directory: fold any replayed updates into the base CSR and
+            // install it as the initial snapshot, so recovery always has a base image and the
+            // WAL can start empty.
+            if snap.has_pending_deltas() {
+                snap.compact();
+                catalogue.set_snapshot(snap.clone());
+            }
+            store.checkpoint(snap.base(), snap.version(), &persisted_counts(&catalogue))?;
+        }
+        Ok(self.assemble(snap, catalogue, Some(store)))
+    }
+
+    fn assemble(
+        self,
+        snapshot: Snapshot,
+        catalogue: Catalogue,
+        storage: Option<Store>,
+    ) -> GraphflowDB {
         let staleness_threshold = self
             .staleness_threshold
             .unwrap_or_else(|| self.catalogue_config.refresh_after.max(1));
         let compact_threshold = self
             .compact_threshold
             .unwrap_or_else(|| (snapshot.base().num_edges() / 2).max(4096));
-        let catalogue = Catalogue::for_snapshot(snapshot.clone(), self.catalogue_config);
         GraphflowDB {
             shared: Arc::new(DbShared {
                 stats_version: AtomicU64::new(snapshot.version()),
@@ -432,8 +545,58 @@ impl GraphflowDBBuilder {
                 }),
                 staleness_threshold,
                 compact_threshold,
+                storage: storage.map(Mutex::new),
             }),
         }
+    }
+}
+
+/// Replay one recovered WAL batch onto `snap`, mirroring the catalogue maintenance a live
+/// [`WriteTxn`] would have recorded for the same effective updates.
+fn replay_batch(snap: &mut Snapshot, catalogue: &mut Catalogue, updates: &[Update]) {
+    for u in updates {
+        match u {
+            Update::InsertVertex { label } => {
+                snap.insert_vertex(*label);
+                catalogue.record_vertex_insert(*label);
+            }
+            Update::InsertEdge { src, dst, label } => {
+                let created = snap.ensure_vertex((*src).max(*dst));
+                for _ in 0..created {
+                    catalogue.record_vertex_insert(VertexLabel(0));
+                }
+                if snap.insert_edge(*src, *dst, *label) {
+                    catalogue.record_edge_insert(
+                        *label,
+                        snap.vertex_label(*src),
+                        snap.vertex_label(*dst),
+                    );
+                }
+            }
+            Update::DeleteEdge { src, dst, label } => {
+                let (sl, dl) = (snap.vertex_label(*src), snap.vertex_label(*dst));
+                if snap.delete_edge(*src, *dst, *label) {
+                    catalogue.record_edge_delete(*label, sl, dl);
+                }
+            }
+            // Property writes carry no catalogue maintenance; the WAL only holds writes
+            // that passed their type/existence checks, so replaying them cannot fail.
+            prop => {
+                snap.apply_update(prop);
+            }
+        }
+    }
+}
+
+/// Export the catalogue's exact counts in the storage crate's id-level wire shape.
+pub(crate) fn persisted_counts(catalogue: &Catalogue) -> PersistedCounts {
+    let (vertex_counts, edge_counts) = catalogue.exact_counts();
+    PersistedCounts {
+        vertex_counts: vertex_counts.into_iter().map(|(l, n)| (l.0, n)).collect(),
+        edge_counts: edge_counts
+            .into_iter()
+            .map(|((el, sl, dl), n)| (el.0, sl.0, dl.0, n))
+            .collect(),
     }
 }
 
@@ -484,6 +647,11 @@ pub(crate) struct DbShared {
     pub(crate) writer: Mutex<WriterState>,
     pub(crate) staleness_threshold: u64,
     pub(crate) compact_threshold: usize,
+    /// The durability subsystem: `Some` when the database was opened over a data directory
+    /// ([`GraphflowDBBuilder::data_dir`] / [`GraphflowDB::open`]), `None` for a purely
+    /// in-memory database. Locked briefly by commits (WAL append) and checkpoints; never on
+    /// the read path.
+    pub(crate) storage: Option<Mutex<Store>>,
 }
 
 /// Writer-only bookkeeping, guarded by the writer mutex a [`WriteTxn`] holds.
@@ -502,7 +670,22 @@ impl GraphflowDB {
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             staleness_threshold: None,
             compact_threshold: None,
+            data_dir: None,
+            durability: Durability::default(),
         }
+    }
+
+    /// Open (creating if needed) a persistent database in `dir` with all-default
+    /// configuration, running crash recovery: load the newest valid snapshot, replay the
+    /// write-ahead log past it, truncate any torn tail, and come up at the last durably
+    /// committed epoch. Equivalent to
+    /// `GraphflowDB::builder(empty graph).data_dir(dir).open()` — see
+    /// [`GraphflowDBBuilder::open`] for the recovery protocol and
+    /// [`GraphflowDBBuilder::data_dir`] for how existing data interacts with a seed graph.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<GraphflowDB, Error> {
+        Self::builder(GraphBuilder::new().build())
+            .data_dir(dir)
+            .open()
     }
 
     /// Create a database over an already-built graph with all-default configuration
@@ -654,15 +837,66 @@ impl GraphflowDB {
     /// exactly what it returned before the compaction, and the graph version is unchanged.
     /// Runs automatically once the pending-delta count crosses the configured
     /// [`compact_threshold`](GraphflowDBBuilder::compact_threshold).
+    ///
+    /// On a persistent database the compaction doubles as a **checkpoint**: the freshly
+    /// folded CSR is written as a binary snapshot and the write-ahead log is truncated.
+    /// **Panics** if that checkpoint hits a storage error (the in-memory compaction has
+    /// already been published at that point); use [`checkpoint`](GraphflowDB::checkpoint) for
+    /// the fallible spelling.
     pub fn compact(&self) {
+        if let Err(e) = self.compact_inner(false) {
+            panic!("checkpoint during compaction failed: {e} ({e:?})");
+        }
+    }
+
+    /// Force a durable checkpoint: fold pending deltas into a fresh base CSR (as
+    /// [`compact`](GraphflowDB::compact) would), write the folded graph as a binary snapshot,
+    /// and truncate the write-ahead log. Recovery time after this is the cost of loading one
+    /// snapshot. A no-op returning `Ok` on an in-memory database.
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        self.compact_inner(true)
+    }
+
+    /// Shared body of [`compact`](GraphflowDB::compact) and
+    /// [`checkpoint`](GraphflowDB::checkpoint): compaction always happens (and is published)
+    /// when deltas are pending; the snapshot+WAL-truncate step runs when storage is attached
+    /// and either deltas were folded or `force_checkpoint` demands a fresh snapshot anyway.
+    fn compact_inner(&self, force_checkpoint: bool) -> Result<(), Error> {
         let _writer = self.shared.writer.lock();
         let mut snap = self.shared.current.read().clone();
-        if !snap.has_pending_deltas() {
-            return;
+        let folded = snap.has_pending_deltas();
+        if folded {
+            snap.compact();
+            Arc::make_mut(&mut *self.shared.catalogue.write()).set_snapshot(snap.clone());
+            *self.shared.current.write() = snap.clone();
         }
-        snap.compact();
-        Arc::make_mut(&mut *self.shared.catalogue.write()).set_snapshot(snap.clone());
-        *self.shared.current.write() = snap;
+        if let Some(storage) = &self.shared.storage {
+            if folded || force_checkpoint {
+                let counts = persisted_counts(&self.shared.catalogue.read());
+                storage
+                    .lock()
+                    .checkpoint(snap.base(), snap.version(), &counts)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Force all write-ahead-log frames onto stable storage — an fsync barrier usable under
+    /// any [`Durability`] policy (under [`Durability::None`] this is the only thing that
+    /// makes commits since the last checkpoint durable). A no-op on an in-memory database.
+    pub fn sync(&self) -> Result<(), Error> {
+        if let Some(storage) = &self.shared.storage {
+            storage.lock().sync()?;
+        }
+        Ok(())
+    }
+
+    /// The data directory this database persists to, or `None` for an in-memory database.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.shared
+            .storage
+            .as_ref()
+            .map(|s| s.lock().dir().to_path_buf())
     }
 
     /// Override the cost model used by the optimizer.

@@ -12,7 +12,7 @@
 //! Dropping a transaction without committing discards the staged epoch
 //! ([`rollback`](WriteTxn::rollback) spells this out).
 
-use crate::{Error, GraphflowDB, WriterState};
+use crate::{persisted_counts, Error, GraphflowDB, WriterState};
 use graphflow_graph::{
     EdgeLabel, GraphView as _, PropValue, Snapshot, Update, VertexId, VertexLabel,
 };
@@ -59,6 +59,12 @@ pub struct WriteTxn<'db> {
     cat_ops: Vec<CatOp>,
     /// Updates staged so far (the staleness-clock currency of the catalogue).
     ops: u64,
+    /// The *effective* updates staged so far, in order — the write-ahead-log record commit
+    /// appends before publishing. Only populated on a persistent database (`journaling`);
+    /// no-op updates (duplicate edge inserts, deletes of missing edges, rejected property
+    /// writes) are never journalled, so replay reproduces the staged state exactly.
+    journal: Vec<Update>,
+    journaling: bool,
 }
 
 impl std::fmt::Debug for WriteTxn<'_> {
@@ -77,12 +83,22 @@ impl<'db> WriteTxn<'db> {
         // guaranteed to be the latest epoch.
         let guard = db.shared.writer.lock();
         let staged = db.shared.current.read().clone();
+        let journaling = db.shared.storage.is_some();
         WriteTxn {
             db,
             guard,
             staged,
             cat_ops: Vec::new(),
             ops: 0,
+            journal: Vec::new(),
+            journaling,
+        }
+    }
+
+    /// Record an effective update in the write-ahead journal (persistent databases only).
+    fn journal_update(&mut self, update: impl FnOnce() -> Update) {
+        if self.journaling {
+            self.journal.push(update());
         }
     }
 
@@ -104,6 +120,7 @@ impl<'db> WriteTxn<'db> {
     pub fn insert_vertex(&mut self, label: VertexLabel) -> VertexId {
         let v = self.staged.insert_vertex(label);
         self.cat_ops.push(CatOp::VertexInsert(label));
+        self.journal_update(|| Update::InsertVertex { label });
         self.ops += 1;
         v
     }
@@ -124,6 +141,9 @@ impl<'db> WriteTxn<'db> {
                 self.staged.vertex_label(src),
                 self.staged.vertex_label(dst),
             ));
+            // One journal entry covers the on-demand endpoints too: replay re-runs
+            // `ensure_vertex` before re-inserting the edge.
+            self.journal_update(|| Update::InsertEdge { src, dst, label });
             self.ops += 1;
         }
         inserted
@@ -140,6 +160,7 @@ impl<'db> WriteTxn<'db> {
             self.staged.vertex_label(src),
             self.staged.vertex_label(dst),
         ));
+        self.journal_update(|| Update::DeleteEdge { src, dst, label });
         self.ops += 1;
         true
     }
@@ -153,7 +174,12 @@ impl<'db> WriteTxn<'db> {
         key: &str,
         value: PropValue,
     ) -> Result<(), Error> {
-        self.staged.set_vertex_prop(v, key, value)?;
+        self.staged.set_vertex_prop(v, key, value.clone())?;
+        self.journal_update(|| Update::SetVertexProp {
+            v,
+            key: key.to_string(),
+            value,
+        });
         self.ops += 1;
         Ok(())
     }
@@ -168,7 +194,15 @@ impl<'db> WriteTxn<'db> {
         key: &str,
         value: PropValue,
     ) -> Result<(), Error> {
-        self.staged.set_edge_prop(src, dst, label, key, value)?;
+        self.staged
+            .set_edge_prop(src, dst, label, key, value.clone())?;
+        self.journal_update(|| Update::SetEdgeProp {
+            src,
+            dst,
+            label,
+            key: key.to_string(),
+            value,
+        });
         self.ops += 1;
         Ok(())
     }
@@ -229,9 +263,42 @@ impl<'db> WriteTxn<'db> {
     /// maintenance, advances the staleness clock (bumping the plan-cache statistics version
     /// when it crosses the threshold) and runs auto-compaction when the delta store has grown
     /// past its threshold.
-    pub fn commit(mut self) -> u64 {
+    ///
+    /// On a persistent database the staged updates are write-ahead logged (durably, per the
+    /// configured [`Durability`](crate::Durability) policy) *before* the epoch becomes
+    /// visible to readers; **panics** if that logging fails — use
+    /// [`try_commit`](WriteTxn::try_commit) for the fallible spelling. In-memory databases
+    /// never panic here.
+    pub fn commit(self) -> u64 {
+        match self.try_commit() {
+            Ok(version) => version,
+            Err(e) => panic!("write-ahead logging failed at commit: {e} ({e:?})"),
+        }
+    }
+
+    /// Fallible [`commit`](WriteTxn::commit). On `Err` the error is a storage failure:
+    ///
+    /// * [`Error::Storage`](crate::Error::Storage) from the WAL append — **nothing was
+    ///   published**; readers still see the pre-transaction epoch, exactly as if the
+    ///   transaction had been rolled back (the append itself is rolled back too, so the log
+    ///   holds no frame for the unpublished epoch).
+    /// * [`Error::Storage`](crate::Error::Storage) from the checkpoint an auto-compaction
+    ///   piggybacks on — the commit **was** published (and its WAL frame is durable); only
+    ///   the snapshot+WAL-truncate step failed and will be retried by the next compaction or
+    ///   [`checkpoint`](crate::GraphflowDB::checkpoint).
+    pub fn try_commit(mut self) -> Result<u64, Error> {
         let shared = &self.db.shared;
+        let mut checkpoint_after = None;
         if self.ops > 0 {
+            // Write-ahead: the batch must be durable (to the configured policy) before any
+            // reader can observe the epoch it produces.
+            if let Some(storage) = &shared.storage {
+                if !self.journal.is_empty() {
+                    storage
+                        .lock()
+                        .log_commit(self.staged.version(), &self.journal)?;
+                }
+            }
             self.guard.updates_since_stats += self.ops;
             // Republish the snapshot to the catalogue only at refresh points and compactions:
             // handing it a clone on *every* commit would pin the delta-store `Arc` and turn
@@ -248,9 +315,11 @@ impl<'db> WriteTxn<'db> {
                 republish = true;
             }
             let delta = self.staged.delta();
+            let mut compacted = false;
             if delta.overlay_edges() + delta.num_new_vertices() >= shared.compact_threshold {
                 self.staged.compact();
                 republish = true;
+                compacted = true;
             }
             // One catalogue revision per commit: copy-on-write through `Arc::make_mut`, so
             // planners and adaptive runs holding the previous revision are never blocked and
@@ -273,13 +342,26 @@ impl<'db> WriteTxn<'db> {
                 if republish {
                     catalogue.set_snapshot(self.staged.clone());
                 }
+                // Counts are exported *after* the cat-op drain so the snapshot the piggyback
+                // checkpoint writes carries this very transaction's maintenance.
+                if compacted && shared.storage.is_some() {
+                    checkpoint_after = Some(persisted_counts(catalogue));
+                }
             }
         }
         let version = self.staged.version();
         // The publication point: readers pinning a snapshot from here on see every staged
         // update; in-flight queries keep the epoch they already pinned.
-        *shared.current.write() = self.staged;
-        version
+        *shared.current.write() = self.staged.clone();
+        // Compaction doubles as a checkpoint: persist the freshly folded CSR and truncate
+        // the WAL. After the publication point, so a failure here cannot un-publish the
+        // commit — the WAL still holds everything the lost snapshot would have folded.
+        if let (Some(counts), Some(storage)) = (checkpoint_after, &shared.storage) {
+            storage
+                .lock()
+                .checkpoint(self.staged.base(), version, &counts)?;
+        }
+        Ok(version)
     }
 
     /// Discard every staged update (equivalent to dropping the transaction). Readers never

@@ -359,6 +359,14 @@ impl Snapshot {
         !self.delta.is_empty()
     }
 
+    /// Overwrite the version counter without touching the graph. Crash recovery uses this to
+    /// republish a reloaded graph at the epoch its snapshot/WAL recorded, so version numbers
+    /// stay monotone across a restart. Not for general use: versions normally advance only
+    /// through mutations.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
     /// Whether `other` observes the exact same published epoch: identical version *and* the
     /// same shared base/delta allocations — an O(1) pointer check, no content comparison.
     ///

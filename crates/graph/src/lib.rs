@@ -33,6 +33,7 @@ pub mod ids;
 pub mod intersect;
 pub mod loader;
 pub mod props;
+pub mod serialize;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -44,6 +45,7 @@ pub use intersect::{
     multiway_intersect_views,
 };
 pub use props::{EdgeKey, PropError, PropType, PropValue, PropertyStore};
+pub use serialize::DecodeError;
 
 /// Convenience alias for an edge list `(source, destination)` used by generators and loaders.
 pub type EdgeList = Vec<(VertexId, VertexId)>;

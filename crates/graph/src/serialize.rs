@@ -1,0 +1,675 @@
+//! Binary wire format for the storage substrate.
+//!
+//! The durability subsystem (`graphflow-storage`) persists two kinds of payloads: whole frozen
+//! CSR graphs inside snapshot files and [`Update`] batches inside WAL frames. Both are encoded
+//! here, next to the structs they serialize, so the private CSR layout never leaks across crate
+//! boundaries.
+//!
+//! Conventions: everything is little-endian; variable-length sequences are length-prefixed;
+//! strings are UTF-8 with a `u32` byte length. The format deliberately mirrors the in-memory
+//! flat arrays of [`Graph`] — decoding a snapshot is mostly `Vec` reads back into the same CSR
+//! fields, so a future mmap-based loader can reuse the layout unchanged.
+//!
+//! Decoding is **total**: every read is bounds-checked and allocation sizes are validated
+//! against the remaining input before reserving memory, so corrupt or truncated bytes produce a
+//! [`DecodeError`] — never a panic, never an unbounded allocation. Crash recovery leans on this
+//! to treat a torn WAL tail as a clean end-of-log.
+
+use crate::delta::Update;
+use crate::graph::{Adjacency, Graph, Partition};
+use crate::ids::{EdgeLabel, VertexId, VertexLabel};
+use crate::props::{PropValue, PropertyStore};
+use std::fmt;
+
+/// A structural problem found while decoding (truncation, bad tag, invalid UTF-8,
+/// inconsistent counts). Carries the byte offset where decoding stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset into the input at which the problem was detected.
+    pub offset: usize,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// --- primitive writers ----------------------------------------------------------------------
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a little-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` as its IEEE-754 bit pattern (NaN payloads round-trip exactly).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- bounds-checked reader ------------------------------------------------------------------
+
+/// A bounds-checked reader over a byte slice. Every method fails with a [`DecodeError`]
+/// instead of panicking when the input is short or malformed.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the whole input was consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, detail: impl Into<String>) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err(format!("need {n} bytes, {} remaining", self.remaining())));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn read_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its IEEE-754 bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String, DecodeError> {
+        let len = self.read_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 in string"))
+    }
+
+    /// Read a sequence length and validate that `len * elem_size` bytes can still follow, so a
+    /// corrupt length prefix cannot trigger a huge allocation.
+    pub fn read_len(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
+        let len = self.read_u64()? as usize;
+        let need = len.checked_mul(elem_size.max(1));
+        match need {
+            Some(n) if n <= self.remaining() => Ok(len),
+            _ => Err(self.err(format!(
+                "sequence of {len} x {elem_size}B elements exceeds {} remaining bytes",
+                self.remaining()
+            ))),
+        }
+    }
+}
+
+// --- property values ------------------------------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_FLOAT: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Append one tagged [`PropValue`].
+pub fn put_prop_value(out: &mut Vec<u8>, v: &PropValue) {
+    match v {
+        PropValue::Int(x) => {
+            put_u8(out, TAG_INT);
+            put_i64(out, *x);
+        }
+        PropValue::Float(x) => {
+            put_u8(out, TAG_FLOAT);
+            put_f64(out, *x);
+        }
+        PropValue::Bool(x) => {
+            put_u8(out, TAG_BOOL);
+            put_u8(out, *x as u8);
+        }
+        PropValue::Str(x) => {
+            put_u8(out, TAG_STR);
+            put_str(out, x);
+        }
+    }
+}
+
+/// Read one tagged [`PropValue`].
+pub fn read_prop_value(cur: &mut Cursor<'_>) -> Result<PropValue, DecodeError> {
+    let tag = cur.read_u8()?;
+    match tag {
+        TAG_INT => Ok(PropValue::Int(cur.read_i64()?)),
+        TAG_FLOAT => Ok(PropValue::Float(cur.read_f64()?)),
+        TAG_BOOL => Ok(PropValue::Bool(cur.read_u8()? != 0)),
+        TAG_STR => Ok(PropValue::Str(cur.read_str()?.into())),
+        _ => Err(cur.err(format!("unknown property value tag {tag}"))),
+    }
+}
+
+// --- updates --------------------------------------------------------------------------------
+
+const UPD_INSERT_VERTEX: u8 = 0;
+const UPD_INSERT_EDGE: u8 = 1;
+const UPD_DELETE_EDGE: u8 = 2;
+const UPD_SET_VERTEX_PROP: u8 = 3;
+const UPD_SET_EDGE_PROP: u8 = 4;
+
+/// Append one [`Update`] (the WAL record element).
+pub fn put_update(out: &mut Vec<u8>, u: &Update) {
+    match u {
+        Update::InsertVertex { label } => {
+            put_u8(out, UPD_INSERT_VERTEX);
+            put_u16(out, label.0);
+        }
+        Update::InsertEdge { src, dst, label } => {
+            put_u8(out, UPD_INSERT_EDGE);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_u16(out, label.0);
+        }
+        Update::DeleteEdge { src, dst, label } => {
+            put_u8(out, UPD_DELETE_EDGE);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_u16(out, label.0);
+        }
+        Update::SetVertexProp { v, key, value } => {
+            put_u8(out, UPD_SET_VERTEX_PROP);
+            put_u32(out, *v);
+            put_str(out, key);
+            put_prop_value(out, value);
+        }
+        Update::SetEdgeProp {
+            src,
+            dst,
+            label,
+            key,
+            value,
+        } => {
+            put_u8(out, UPD_SET_EDGE_PROP);
+            put_u32(out, *src);
+            put_u32(out, *dst);
+            put_u16(out, label.0);
+            put_str(out, key);
+            put_prop_value(out, value);
+        }
+    }
+}
+
+/// Read one [`Update`].
+pub fn read_update(cur: &mut Cursor<'_>) -> Result<Update, DecodeError> {
+    let tag = cur.read_u8()?;
+    match tag {
+        UPD_INSERT_VERTEX => Ok(Update::InsertVertex {
+            label: VertexLabel(cur.read_u16()?),
+        }),
+        UPD_INSERT_EDGE => Ok(Update::InsertEdge {
+            src: cur.read_u32()?,
+            dst: cur.read_u32()?,
+            label: EdgeLabel(cur.read_u16()?),
+        }),
+        UPD_DELETE_EDGE => Ok(Update::DeleteEdge {
+            src: cur.read_u32()?,
+            dst: cur.read_u32()?,
+            label: EdgeLabel(cur.read_u16()?),
+        }),
+        UPD_SET_VERTEX_PROP => Ok(Update::SetVertexProp {
+            v: cur.read_u32()?,
+            key: cur.read_str()?,
+            value: read_prop_value(cur)?,
+        }),
+        UPD_SET_EDGE_PROP => Ok(Update::SetEdgeProp {
+            src: cur.read_u32()?,
+            dst: cur.read_u32()?,
+            label: EdgeLabel(cur.read_u16()?),
+            key: cur.read_str()?,
+            value: read_prop_value(cur)?,
+        }),
+        _ => Err(cur.err(format!("unknown update tag {tag}"))),
+    }
+}
+
+// --- property store -------------------------------------------------------------------------
+
+fn put_props(out: &mut Vec<u8>, props: &PropertyStore) {
+    let vertex_keys: Vec<&str> = props.vertex_columns().map(|(k, _)| k).collect();
+    put_u32(out, vertex_keys.len() as u32);
+    for key in vertex_keys {
+        put_str(out, key);
+        // `vertex_values` iterates by vertex id, so the encoding is deterministic.
+        let values = props.vertex_values(key);
+        put_u64(out, values.len() as u64);
+        for (v, value) in values {
+            put_u32(out, v);
+            put_prop_value(out, &value);
+        }
+    }
+    let edge_keys: Vec<&str> = props.edge_columns().map(|(k, _)| k).collect();
+    put_u32(out, edge_keys.len() as u32);
+    for key in edge_keys {
+        put_str(out, key);
+        // Edge columns are hash maps; sort so identical stores produce identical bytes.
+        let mut values = props.edge_values(key);
+        values.sort_by_key(|((s, d, l), _)| (*l, *s, *d));
+        put_u64(out, values.len() as u64);
+        for ((src, dst, label), value) in values {
+            put_u32(out, src);
+            put_u32(out, dst);
+            put_u16(out, label.0);
+            put_prop_value(out, &value);
+        }
+    }
+}
+
+fn read_props(cur: &mut Cursor<'_>) -> Result<PropertyStore, DecodeError> {
+    let mut props = PropertyStore::new();
+    let vertex_cols = cur.read_u32()?;
+    for _ in 0..vertex_cols {
+        let key = cur.read_str()?;
+        let n = cur.read_len(5)?; // at least u32 id + 1 tag byte per entry
+        for _ in 0..n {
+            let v = cur.read_u32()?;
+            let value = read_prop_value(cur)?;
+            props
+                .set_vertex(v, &key, value)
+                .map_err(|e| cur.err(format!("inconsistent vertex column {key:?}: {e}")))?;
+        }
+    }
+    let edge_cols = cur.read_u32()?;
+    for _ in 0..edge_cols {
+        let key = cur.read_str()?;
+        let n = cur.read_len(11)?; // at least two u32 ids + u16 label + 1 tag byte per entry
+        for _ in 0..n {
+            let src = cur.read_u32()?;
+            let dst = cur.read_u32()?;
+            let label = EdgeLabel(cur.read_u16()?);
+            let value = read_prop_value(cur)?;
+            props
+                .set_edge((src, dst, label), &key, value)
+                .map_err(|e| cur.err(format!("inconsistent edge column {key:?}: {e}")))?;
+        }
+    }
+    Ok(props)
+}
+
+// --- adjacency ------------------------------------------------------------------------------
+
+fn put_adjacency(out: &mut Vec<u8>, adj: &Adjacency) {
+    put_u64(out, adj.part_offsets.len() as u64);
+    for &o in &adj.part_offsets {
+        put_u32(out, o);
+    }
+    put_u64(out, adj.parts.len() as u64);
+    for p in &adj.parts {
+        put_u16(out, p.edge_label.0);
+        put_u16(out, p.nbr_label.0);
+        put_u32(out, p.start);
+        put_u32(out, p.len);
+    }
+    put_u64(out, adj.nbrs.len() as u64);
+    for &n in &adj.nbrs {
+        put_u32(out, n);
+    }
+    put_u64(out, adj.vertex_offsets.len() as u64);
+    for &o in &adj.vertex_offsets {
+        put_u32(out, o);
+    }
+}
+
+fn read_adjacency(cur: &mut Cursor<'_>, num_vertices: usize) -> Result<Adjacency, DecodeError> {
+    let n_part_offsets = cur.read_len(4)?;
+    if n_part_offsets != num_vertices + 1 {
+        return Err(cur.err(format!(
+            "part_offsets length {n_part_offsets} != num_vertices + 1 ({})",
+            num_vertices + 1
+        )));
+    }
+    let mut part_offsets = Vec::with_capacity(n_part_offsets);
+    for _ in 0..n_part_offsets {
+        part_offsets.push(cur.read_u32()?);
+    }
+    let n_parts = cur.read_len(12)?;
+    let mut parts = Vec::with_capacity(n_parts);
+    for _ in 0..n_parts {
+        parts.push(Partition {
+            edge_label: EdgeLabel(cur.read_u16()?),
+            nbr_label: VertexLabel(cur.read_u16()?),
+            start: cur.read_u32()?,
+            len: cur.read_u32()?,
+        });
+    }
+    let n_nbrs = cur.read_len(4)?;
+    let mut nbrs: Vec<VertexId> = Vec::with_capacity(n_nbrs);
+    for _ in 0..n_nbrs {
+        nbrs.push(cur.read_u32()?);
+    }
+    let n_vertex_offsets = cur.read_len(4)?;
+    if n_vertex_offsets != num_vertices + 1 {
+        return Err(cur.err(format!(
+            "vertex_offsets length {n_vertex_offsets} != num_vertices + 1 ({})",
+            num_vertices + 1
+        )));
+    }
+    let mut vertex_offsets = Vec::with_capacity(n_vertex_offsets);
+    for _ in 0..n_vertex_offsets {
+        vertex_offsets.push(cur.read_u32()?);
+    }
+    // Structural validation: every offset and partition range must point inside its array, so
+    // later CSR slicing cannot go out of bounds no matter what the decoded bytes said.
+    if part_offsets.windows(2).any(|w| w[0] > w[1])
+        || part_offsets.last().is_some_and(|&e| e as usize != n_parts)
+    {
+        return Err(cur.err("part_offsets are not a monotone cover of parts"));
+    }
+    if vertex_offsets.windows(2).any(|w| w[0] > w[1])
+        || vertex_offsets.last().is_some_and(|&e| e as usize != n_nbrs)
+    {
+        return Err(cur.err("vertex_offsets are not a monotone cover of nbrs"));
+    }
+    for p in &parts {
+        let end = (p.start as usize).checked_add(p.len as usize);
+        if end.is_none_or(|e| e > n_nbrs) {
+            return Err(cur.err("partition range exceeds neighbour array"));
+        }
+    }
+    Ok(Adjacency {
+        part_offsets,
+        parts,
+        nbrs,
+        vertex_offsets,
+    })
+}
+
+// --- whole graph ----------------------------------------------------------------------------
+
+/// Append the full binary image of a frozen [`Graph`]: labels, both adjacency indexes, the
+/// sorted edge array with its label ranges, and the property columns.
+pub fn put_graph(out: &mut Vec<u8>, g: &Graph) {
+    put_u64(out, g.vertex_labels.len() as u64);
+    for l in &g.vertex_labels {
+        put_u16(out, l.0);
+    }
+    put_u16(out, g.num_vertex_labels);
+    put_u16(out, g.num_edge_labels);
+    put_u64(out, g.num_edges as u64);
+    put_u64(out, g.edges.len() as u64);
+    for &(s, d, l) in &g.edges {
+        put_u32(out, s);
+        put_u32(out, d);
+        put_u16(out, l.0);
+    }
+    put_u64(out, g.edge_label_ranges.len() as u64);
+    for &(s, e) in &g.edge_label_ranges {
+        put_u32(out, s);
+        put_u32(out, e);
+    }
+    put_adjacency(out, &g.fwd);
+    put_adjacency(out, &g.bwd);
+    put_props(out, &g.props);
+}
+
+/// Decode a [`Graph`] previously written by [`put_graph`]. All counts and ranges are
+/// re-validated, so malformed input yields an error rather than a graph that panics later.
+pub fn read_graph(cur: &mut Cursor<'_>) -> Result<Graph, DecodeError> {
+    let n = cur.read_len(2)?;
+    let mut vertex_labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        vertex_labels.push(VertexLabel(cur.read_u16()?));
+    }
+    let num_vertex_labels = cur.read_u16()?;
+    let num_edge_labels = cur.read_u16()?;
+    let num_edges = cur.read_u64()? as usize;
+    let n_edges = cur.read_len(10)?;
+    if n_edges != num_edges {
+        return Err(cur.err(format!(
+            "edge array length {n_edges} != declared edge count {num_edges}"
+        )));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push((cur.read_u32()?, cur.read_u32()?, EdgeLabel(cur.read_u16()?)));
+    }
+    let n_ranges = cur.read_len(8)?;
+    let mut edge_label_ranges = Vec::with_capacity(n_ranges);
+    for _ in 0..n_ranges {
+        let s = cur.read_u32()?;
+        let e = cur.read_u32()?;
+        if s > e || e as usize > n_edges {
+            return Err(cur.err("edge label range exceeds edge array"));
+        }
+        edge_label_ranges.push((s, e));
+    }
+    let fwd = read_adjacency(cur, n)?;
+    let bwd = read_adjacency(cur, n)?;
+    if fwd.nbrs.len() != num_edges || bwd.nbrs.len() != num_edges {
+        return Err(cur.err(format!(
+            "adjacency entries (fwd {}, bwd {}) disagree with edge count {num_edges}",
+            fwd.nbrs.len(),
+            bwd.nbrs.len()
+        )));
+    }
+    for l in &vertex_labels {
+        if l.0 >= num_vertex_labels {
+            return Err(cur.err(format!(
+                "vertex label {} outside declared label space {num_vertex_labels}",
+                l.0
+            )));
+        }
+    }
+    let props = read_props(cur)?;
+    Ok(Graph {
+        vertex_labels,
+        fwd,
+        bwd,
+        num_edges,
+        num_vertex_labels,
+        num_edge_labels,
+        edges,
+        edge_label_ranges,
+        props,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generator;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_labelled_edge(0, 1, EdgeLabel(0));
+        b.add_labelled_edge(1, 2, EdgeLabel(1));
+        b.add_labelled_edge(0, 2, EdgeLabel(0));
+        b.add_labelled_edge(3, 3, EdgeLabel(2)); // self-loop
+        b.set_vertex_label(2, VertexLabel(1));
+        b.set_vertex_label(3, VertexLabel(2));
+        b.set_vertex_prop(0, "age", PropValue::Int(30)).unwrap();
+        b.set_vertex_prop(2, "age", PropValue::Int(41)).unwrap();
+        b.set_vertex_prop(1, "name", PropValue::str("ada")).unwrap();
+        b.set_edge_prop(0, 1, EdgeLabel(0), "w", PropValue::Float(0.25))
+            .unwrap();
+        b.set_edge_prop(1, 2, EdgeLabel(1), "ok", PropValue::Bool(true))
+            .unwrap();
+        b.build()
+    }
+
+    fn assert_graphs_equal(a: &Graph, b: &Graph) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.num_vertex_labels(), b.num_vertex_labels());
+        assert_eq!(a.num_edge_labels(), b.num_edge_labels());
+        assert_eq!(a.vertex_labels, b.vertex_labels);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.edge_label_ranges, b.edge_label_ranges);
+        for adj in [(&a.fwd, &b.fwd), (&a.bwd, &b.bwd)] {
+            assert_eq!(adj.0.part_offsets, adj.1.part_offsets);
+            assert_eq!(adj.0.parts, adj.1.parts);
+            assert_eq!(adj.0.nbrs, adj.1.nbrs);
+            assert_eq!(adj.0.vertex_offsets, adj.1.vertex_offsets);
+        }
+        assert_eq!(a.props, b.props);
+    }
+
+    #[test]
+    fn graph_round_trips() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        put_graph(&mut buf, &g);
+        let mut cur = Cursor::new(&buf);
+        let back = read_graph(&mut cur).unwrap();
+        assert!(cur.is_empty(), "all bytes consumed");
+        back.check_invariants().unwrap();
+        assert_graphs_equal(&g, &back);
+        // Deterministic: encoding the decoded graph reproduces the same bytes.
+        let mut buf2 = Vec::new();
+        put_graph(&mut buf2, &back);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn generated_graph_round_trips() {
+        let mut b = GraphBuilder::new();
+        b.add_edges(generator::powerlaw_cluster(500, 3, 0.4, 7));
+        let g = b.build();
+        let mut buf = Vec::new();
+        put_graph(&mut buf, &g);
+        let back = read_graph(&mut Cursor::new(&buf)).unwrap();
+        back.check_invariants().unwrap();
+        assert_graphs_equal(&g, &back);
+    }
+
+    #[test]
+    fn updates_round_trip() {
+        let updates = vec![
+            Update::InsertVertex {
+                label: VertexLabel(3),
+            },
+            Update::InsertEdge {
+                src: 7,
+                dst: 9,
+                label: EdgeLabel(1),
+            },
+            Update::DeleteEdge {
+                src: 9,
+                dst: 7,
+                label: EdgeLabel(0),
+            },
+            Update::SetVertexProp {
+                v: 2,
+                key: "name".into(),
+                value: PropValue::str("grace"),
+            },
+            Update::SetEdgeProp {
+                src: 7,
+                dst: 9,
+                label: EdgeLabel(1),
+                key: "w".into(),
+                value: PropValue::Float(f64::NAN),
+            },
+        ];
+        let mut buf = Vec::new();
+        for u in &updates {
+            put_update(&mut buf, u);
+        }
+        let mut cur = Cursor::new(&buf);
+        for u in &updates {
+            // NaN float props compare by bit pattern through PropValue's Eq.
+            assert_eq!(&read_update(&mut cur).unwrap(), u);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_error_out() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        put_graph(&mut buf, &g);
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut]);
+            assert!(
+                read_graph(&mut cur).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        // A bogus update tag is rejected.
+        let mut cur = Cursor::new(&[200u8]);
+        assert!(read_update(&mut cur).is_err());
+        // A length prefix larger than the remaining input is rejected without allocating.
+        let mut bogus = Vec::new();
+        put_u64(&mut bogus, u64::MAX);
+        assert!(Cursor::new(&bogus).read_len(4).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Fault-injection test support: simulate crashes and media corruption by mutilating storage
+//! files at arbitrary byte offsets.
+//!
+//! Lives in the library (not behind `cfg(test)`) so integration tests in other crates — the
+//! durability round-trip and kill-and-reopen suites in `graphflow-core` — can drive the same
+//! failure modes. Not intended for production use.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A handle over one storage file that can be damaged in controlled ways between database
+/// sessions — the "failpoint" side of the crash-recovery tests.
+#[derive(Debug, Clone)]
+pub struct FailpointFile {
+    path: PathBuf,
+}
+
+impl FailpointFile {
+    /// Wrap `path` (typically [`crate::wal::wal_path`] of a closed database).
+    pub fn new(path: impl Into<PathBuf>) -> FailpointFile {
+        FailpointFile { path: path.into() }
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> io::Result<u64> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// Whether the file is empty (or missing).
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len().unwrap_or(0) == 0)
+    }
+
+    /// Cut the file to `len` bytes — a torn write / power loss mid-append.
+    pub fn truncate_at(&self, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(len)
+    }
+
+    /// XOR the byte at `offset` with `mask` (default-style single-byte media corruption).
+    /// `offset` must be inside the file.
+    pub fn corrupt_at(&self, offset: u64, mask: u8) -> io::Result<()> {
+        let mut bytes = std::fs::read(&self.path)?;
+        let i = usize::try_from(offset).ok().filter(|&i| i < bytes.len());
+        let Some(i) = i else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("offset {offset} outside file of {} bytes", bytes.len()),
+            ));
+        };
+        bytes[i] ^= if mask == 0 { 0xA5 } else { mask };
+        std::fs::write(&self.path, bytes)
+    }
+
+    /// Append `junk` raw bytes — garbage past the last valid frame.
+    pub fn append_garbage(&self, junk: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(junk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failpoints_mutilate_files() {
+        let path = std::env::temp_dir().join(format!("gf_fault_{}.bin", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let fp = FailpointFile::new(&path);
+        assert_eq!(fp.len().unwrap(), 16);
+        fp.corrupt_at(3, 0xFF).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[3], 0xFF);
+        fp.corrupt_at(3, 0).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[3], 0xFF ^ 0xA5);
+        assert!(fp.corrupt_at(99, 0xFF).is_err(), "offset out of range");
+        fp.truncate_at(4).unwrap();
+        assert_eq!(fp.len().unwrap(), 4);
+        fp.append_garbage(b"zz").unwrap();
+        assert_eq!(fp.len().unwrap(), 6);
+        assert!(!fp.is_empty().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! # graphflow-storage
+//!
+//! The durability subsystem of Graphflow-RS: a write-ahead log, binary snapshots, and the
+//! crash-recovery protocol that `graphflow-core` drives from `GraphflowDB::open`.
+//!
+//! The design follows the classic ARIES-lite shape used by embedded stores:
+//!
+//! * **WAL** ([`wal`]) — every committed `WriteTxn` batch is appended as one CRC32-framed,
+//!   length-prefixed record carrying its epoch version and the effective [`Update`]s. Under
+//!   [`Durability::Fsync`] the frame is `fdatasync`'d before the commit returns; recovery
+//!   replays records in order and treats the first bad frame as the end of the log (a torn
+//!   tail from a crash mid-append loses at most the unacknowledged batch).
+//! * **Snapshots** ([`snapshot`]) — a compact binary image of the frozen CSR's flat arrays,
+//!   the columnar property store and the catalogue's exact counts, with a versioned header and
+//!   a whole-file checksum. Snapshots are written to a temp file and atomically renamed, so a
+//!   visible snapshot is always complete; the two most recent are kept.
+//! * **Checkpointing** ([`store::Store::checkpoint`]) — piggybacks on compaction: folding the
+//!   delta overlay into a fresh CSR produces exactly the frozen graph a snapshot needs, so
+//!   compaction doubles as checkpointing and truncates the WAL afterwards. A crash between
+//!   the snapshot rename and the WAL truncation is safe because recovery skips WAL records at
+//!   or below the snapshot's epoch.
+//! * **Fault injection** ([`faults`]) — test support that truncates or corrupts files at
+//!   arbitrary byte offsets, used by the recovery property tests.
+//!
+//! [`Update`]: graphflow_graph::Update
+
+pub mod crc;
+pub mod faults;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use faults::FailpointFile;
+pub use snapshot::{PersistedCounts, SnapshotData};
+pub use store::{Recovered, Store};
+pub use wal::{Wal, WalBatch, WalRecovery};
+
+use graphflow_graph::loader::LoadError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// How much durability a commit buys before it returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// WAL frames stay in a process-local buffer; a crash loses everything since the last
+    /// checkpoint or explicit sync. Fastest — useful for bulk loads and tests.
+    None,
+    /// Frames are written to the OS page cache on every commit: a process crash loses
+    /// nothing, a machine crash may lose recent commits.
+    Buffered,
+    /// Frames are `fdatasync`'d on every commit before it returns: a machine crash loses at
+    /// most the in-flight batch. The default.
+    #[default]
+    Fsync,
+}
+
+/// Errors raised by the durability subsystem. Wrapped into `graphflow_core::Error::Storage`
+/// at the facade; `source()` chains down to the underlying I/O error where one exists.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An operating-system I/O failure, with the operation that hit it.
+    Io {
+        /// What the subsystem was doing (e.g. `"appending to WAL .../wal.log"`).
+        context: String,
+        source: std::io::Error,
+    },
+    /// A file exists but its contents fail validation (bad magic, checksum mismatch,
+    /// malformed payload).
+    Corrupt { path: PathBuf, detail: String },
+    /// A snapshot written by an incompatible (newer) format version.
+    UnsupportedVersion { path: PathBuf, found: u32 },
+    /// An edge-list/vertex-list loader failure (see [`LoadError`]); unified here so every
+    /// persistence path reports through one error type.
+    Load(LoadError),
+}
+
+impl StorageError {
+    pub(crate) fn io(context: impl Into<String>, source: std::io::Error) -> StorageError {
+        StorageError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { context, source } => write!(f, "i/o failure {context}: {source}"),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt storage file {}: {detail}", path.display())
+            }
+            StorageError::UnsupportedVersion { path, found } => write!(
+                f,
+                "{} uses unsupported format version {found} (this build reads up to {})",
+                path.display(),
+                snapshot::FORMAT_VERSION
+            ),
+            StorageError::Load(e) => write!(f, "load failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            StorageError::Load(e) => Some(e),
+            StorageError::Corrupt { .. } | StorageError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<LoadError> for StorageError {
+    fn from(e: LoadError) -> Self {
+        StorageError::Load(e)
+    }
+}

@@ -1,0 +1,357 @@
+//! Binary snapshot files: a complete frozen image of the database at one epoch.
+//!
+//! Layout (`snapshot-<epoch>.gfs`, all little-endian):
+//!
+//! ```text
+//! [magic: 8 bytes "GFSNAP01"][format version: u32][epoch: u64]
+//! [payload len: u64][crc32(payload): u32][payload]
+//! payload = persisted catalogue counts ++ graph image (see graphflow_graph::serialize)
+//! ```
+//!
+//! The payload is the CSR's flat arrays written verbatim, so the on-disk image mirrors the
+//! in-memory layout (an mmap-based loader could reuse it). The whole payload is covered by one
+//! CRC32; the header is validated field-by-field.
+//!
+//! **Atomicity.** A snapshot is written to `<name>.tmp`, fsynced, then renamed into place and
+//! the directory fsynced — so a visible `snapshot-*.gfs` file is always complete. The two
+//! newest snapshots are kept (the older one is the fallback if the newest is damaged by the
+//! storage medium); everything older is pruned.
+
+use crate::crc::crc32;
+use crate::StorageError;
+use graphflow_graph::serialize::{put_graph, put_u16, put_u32, put_u64, read_graph, Cursor};
+use graphflow_graph::Graph;
+use std::path::{Path, PathBuf};
+
+/// Leading bytes of every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GFSNAP01";
+/// Newest snapshot format this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+/// File-name suffix of snapshot files.
+pub const SNAPSHOT_SUFFIX: &str = ".gfs";
+/// How many snapshot generations to keep on disk.
+pub const SNAPSHOTS_KEPT: usize = 2;
+
+/// The catalogue's exact counts, persisted alongside the graph so recovery does not have to
+/// recount O(V + E) state that was maintained incrementally while the database ran.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PersistedCounts {
+    /// `(vertex label, count)` pairs.
+    pub vertex_counts: Vec<(u16, u64)>,
+    /// `(edge label, source vertex label, destination vertex label, count)` tuples.
+    pub edge_counts: Vec<(u16, u16, u16, u64)>,
+}
+
+/// A fully-decoded snapshot.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// The epoch (snapshot version) the image was taken at.
+    pub epoch: u64,
+    /// The frozen CSR, including properties.
+    pub graph: Graph,
+    /// The catalogue counts at that epoch.
+    pub counts: PersistedCounts,
+}
+
+/// The snapshot path for `epoch` inside `dir`. Epochs are zero-padded so lexicographic and
+/// numeric order agree.
+pub fn snapshot_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snapshot-{epoch:020}{SNAPSHOT_SUFFIX}"))
+}
+
+/// Parse the epoch out of a snapshot file name, if it is one.
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(SNAPSHOT_SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// All snapshot epochs present in `dir`, newest first.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<u64>, StorageError> {
+    let mut epochs = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(epochs),
+        Err(e) => {
+            return Err(StorageError::io(
+                format!("listing snapshots in {}", dir.display()),
+                e,
+            ))
+        }
+    };
+    for entry in entries.flatten() {
+        if let Some(epoch) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            epochs.push(epoch);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(epochs)
+}
+
+fn put_counts(out: &mut Vec<u8>, counts: &PersistedCounts) {
+    put_u32(out, counts.vertex_counts.len() as u32);
+    for &(label, n) in &counts.vertex_counts {
+        put_u16(out, label);
+        put_u64(out, n);
+    }
+    put_u32(out, counts.edge_counts.len() as u32);
+    for &(el, sl, dl, n) in &counts.edge_counts {
+        put_u16(out, el);
+        put_u16(out, sl);
+        put_u16(out, dl);
+        put_u64(out, n);
+    }
+}
+
+fn read_counts(cur: &mut Cursor<'_>) -> Result<PersistedCounts, graphflow_graph::DecodeError> {
+    let nv = cur.read_u32()?;
+    let mut vertex_counts = Vec::with_capacity((nv as usize).min(cur.remaining() / 10));
+    for _ in 0..nv {
+        vertex_counts.push((cur.read_u16()?, cur.read_u64()?));
+    }
+    let ne = cur.read_u32()?;
+    let mut edge_counts = Vec::with_capacity((ne as usize).min(cur.remaining() / 14));
+    for _ in 0..ne {
+        edge_counts.push((
+            cur.read_u16()?,
+            cur.read_u16()?,
+            cur.read_u16()?,
+            cur.read_u64()?,
+        ));
+    }
+    Ok(PersistedCounts {
+        vertex_counts,
+        edge_counts,
+    })
+}
+
+/// Serialize and atomically install `snapshot-<epoch>.gfs` in `dir`, then prune old
+/// generations down to [`SNAPSHOTS_KEPT`]. Returns the installed path.
+pub fn write_snapshot(
+    dir: &Path,
+    graph: &Graph,
+    epoch: u64,
+    counts: &PersistedCounts,
+) -> Result<PathBuf, StorageError> {
+    let mut payload = Vec::new();
+    put_counts(&mut payload, counts);
+    put_graph(&mut payload, graph);
+
+    let mut file_bytes = Vec::with_capacity(payload.len() + 32);
+    file_bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    file_bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    file_bytes.extend_from_slice(&epoch.to_le_bytes());
+    file_bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file_bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    file_bytes.extend_from_slice(&payload);
+
+    let final_path = snapshot_path(dir, epoch);
+    let tmp_path = final_path.with_extension("gfs.tmp");
+    let ctx = |op: &str, p: &Path| format!("{op} snapshot {}", p.display());
+    std::fs::write(&tmp_path, &file_bytes)
+        .map_err(|e| StorageError::io(ctx("writing", &tmp_path), e))?;
+    let f = std::fs::File::open(&tmp_path)
+        .map_err(|e| StorageError::io(ctx("reopening", &tmp_path), e))?;
+    f.sync_all()
+        .map_err(|e| StorageError::io(ctx("syncing", &tmp_path), e))?;
+    std::fs::rename(&tmp_path, &final_path)
+        .map_err(|e| StorageError::io(ctx("installing", &final_path), e))?;
+    // Make the rename itself durable. Directory fsync is POSIX-specific; failure to open the
+    // directory is not fatal on platforms that don't support it.
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all()
+            .map_err(|e| StorageError::io(format!("syncing directory {}", dir.display()), e))?;
+    }
+
+    // Prune old generations (best effort — a leftover snapshot is harmless).
+    if let Ok(epochs) = list_snapshots(dir) {
+        for &old in epochs.iter().skip(SNAPSHOTS_KEPT) {
+            let _ = std::fs::remove_file(snapshot_path(dir, old));
+        }
+    }
+    Ok(final_path)
+}
+
+/// Decode one snapshot file.
+pub fn read_snapshot_file(path: &Path) -> Result<SnapshotData, StorageError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| StorageError::io(format!("reading snapshot {}", path.display()), e))?;
+    let corrupt = |detail: String| StorageError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if bytes.len() < 32 {
+        return Err(corrupt(format!(
+            "file is {} bytes, header needs 32",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(StorageError::UnsupportedVersion {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let epoch = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    let payload = &bytes[32..];
+    if payload.len() != payload_len {
+        return Err(corrupt(format!(
+            "payload is {} bytes, header declares {payload_len}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != crc {
+        return Err(corrupt("payload checksum mismatch".into()));
+    }
+    let mut cur = Cursor::new(payload);
+    let counts = read_counts(&mut cur).map_err(|e| corrupt(e.to_string()))?;
+    let graph = read_graph(&mut cur).map_err(|e| corrupt(e.to_string()))?;
+    if !cur.is_empty() {
+        return Err(corrupt(format!(
+            "{} trailing payload bytes",
+            cur.remaining()
+        )));
+    }
+    Ok(SnapshotData {
+        epoch,
+        graph,
+        counts,
+    })
+}
+
+/// Load the newest valid snapshot in `dir`, falling back across damaged generations.
+///
+/// Returns `Ok(None)` when no snapshot exists (a fresh database directory). When snapshots
+/// exist but every one of them fails validation, the newest failure is returned — there is no
+/// base image to recover from.
+pub fn read_latest_snapshot(dir: &Path) -> Result<Option<SnapshotData>, StorageError> {
+    let epochs = list_snapshots(dir)?;
+    let mut first_err = None;
+    for &epoch in &epochs {
+        match read_snapshot_file(&snapshot_path(dir, epoch)) {
+            Ok(s) => return Ok(Some(s)),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_graph::{GraphBuilder, PropValue};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gf_snap_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(seed: u32) -> (Graph, PersistedCounts) {
+        let mut b = GraphBuilder::new();
+        b.add_edge(seed, seed + 1);
+        b.add_edge(seed + 1, seed + 2);
+        b.set_vertex_prop(0, "n", PropValue::Int(seed as i64))
+            .unwrap();
+        let g = b.build();
+        let counts = PersistedCounts {
+            vertex_counts: vec![(0, g.num_vertices() as u64)],
+            edge_counts: vec![(0, 0, 0, g.num_edges() as u64)],
+        };
+        (g, counts)
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmpdir("round_trip");
+        let (g, counts) = sample(0);
+        let path = write_snapshot(&dir, &g, 42, &counts).unwrap();
+        assert!(path.ends_with("snapshot-00000000000000000042.gfs"));
+        let s = read_snapshot_file(&path).unwrap();
+        assert_eq!(s.epoch, 42);
+        assert_eq!(s.counts, counts);
+        assert_eq!(s.graph.num_edges(), g.num_edges());
+        assert_eq!(s.graph.edges(), g.edges());
+        assert_eq!(s.graph.vertex_prop(0, "n"), Some(PropValue::Int(0)));
+        s.graph.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keeps_two_generations_and_falls_back_on_damage() {
+        let dir = tmpdir("generations");
+        for epoch in [10u64, 20, 30] {
+            let (g, counts) = sample(epoch as u32);
+            write_snapshot(&dir, &g, epoch, &counts).unwrap();
+        }
+        assert_eq!(list_snapshots(&dir).unwrap(), vec![30, 20], "oldest pruned");
+        // Damage the newest payload: recovery falls back to the previous generation.
+        let newest = snapshot_path(&dir, 30);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() - 5;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let s = read_latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(s.epoch, 20);
+        // With every generation damaged, the error surfaces instead of a panic.
+        let older = snapshot_path(&dir, 20);
+        let mut bytes = std::fs::read(&older).unwrap();
+        bytes[40] ^= 0xFF;
+        std::fs::write(&older, &bytes).unwrap();
+        assert!(matches!(
+            read_latest_snapshot(&dir),
+            Err(StorageError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_validation() {
+        let dir = tmpdir("header");
+        let (g, counts) = sample(0);
+        let path = write_snapshot(&dir, &g, 7, &counts).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Future format version.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(StorageError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Truncated payload.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            read_snapshot_file(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Empty dir is a fresh database, not an error.
+        let fresh = tmpdir("header_fresh");
+        assert!(read_latest_snapshot(&fresh).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&fresh).unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! The durability front door: one [`Store`] per database directory, owning the WAL and the
+//! snapshot files, plus the recovery state handed to `GraphflowDB::open`.
+
+use crate::snapshot::{self, PersistedCounts, SnapshotData};
+use crate::wal::{Wal, WalBatch};
+use crate::{Durability, StorageError};
+use graphflow_graph::{Graph, Update};
+use std::path::{Path, PathBuf};
+
+/// Everything recovery found in a database directory: the newest valid snapshot (if any) and
+/// the WAL batches committed after it, in order.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The base image to start from; `None` for a fresh directory.
+    pub snapshot: Option<SnapshotData>,
+    /// Committed batches past the snapshot's epoch, to be replayed on top of it.
+    pub batches: Vec<WalBatch>,
+    /// Whether a torn/corrupt WAL tail was found and truncated — i.e. the database died
+    /// mid-append and the last unacknowledged batch was dropped.
+    pub wal_truncated: bool,
+}
+
+impl Recovered {
+    /// The epoch the database reaches after replaying `batches` over `snapshot`.
+    pub fn recovered_epoch(&self) -> u64 {
+        self.batches
+            .last()
+            .map(|b| b.epoch)
+            .or_else(|| self.snapshot.as_ref().map(|s| s.epoch))
+            .unwrap_or(0)
+    }
+}
+
+/// An open database directory: an append-position WAL plus the snapshot files around it.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    durability: Durability,
+}
+
+impl Store {
+    /// Open (creating if needed) the database directory `dir` and run recovery: load the
+    /// newest valid snapshot, replay the WAL's valid prefix, truncate any torn tail, and
+    /// filter out batches already folded into the snapshot.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        durability: Durability,
+    ) -> Result<(Store, Recovered), StorageError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::io(format!("creating data dir {}", dir.display()), e))?;
+        let snapshot = snapshot::read_latest_snapshot(&dir)?;
+        let (wal, replayed) = Wal::open(&dir, durability)?;
+        // A record at or below the snapshot epoch was already folded in by the checkpoint
+        // that wrote the snapshot — this is what makes a crash *between* snapshot install
+        // and WAL truncation harmless.
+        let snap_epoch = snapshot.as_ref().map_or(0, |s| s.epoch);
+        let batches = replayed
+            .batches
+            .into_iter()
+            .filter(|b| b.epoch > snap_epoch)
+            .collect();
+        Ok((
+            Store {
+                dir,
+                wal,
+                durability,
+            },
+            Recovered {
+                snapshot,
+                batches,
+                wal_truncated: replayed.truncated_tail,
+            },
+        ))
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The durability policy commits run under.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Log one committed batch (called by `WriteTxn::commit` *before* the epoch is
+    /// published). Durability on return follows the store's [`Durability`] policy.
+    pub fn log_commit(&mut self, epoch: u64, updates: &[Update]) -> Result<(), StorageError> {
+        self.wal.append(epoch, updates)
+    }
+
+    /// Force all logged-but-buffered frames onto stable storage (a fsync barrier usable under
+    /// any durability policy).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.wal.sync()
+    }
+
+    /// Install a snapshot of the (compacted) `graph` at `epoch` and truncate the WAL — the
+    /// checkpoint that compaction piggybacks on. `graph` must be the frozen base of the
+    /// snapshot published at `epoch` (no pending deltas).
+    pub fn checkpoint(
+        &mut self,
+        graph: &Graph,
+        epoch: u64,
+        counts: &PersistedCounts,
+    ) -> Result<PathBuf, StorageError> {
+        let path = snapshot::write_snapshot(&self.dir, graph, epoch, counts)?;
+        self.wal.truncate()?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphflow_graph::{EdgeLabel, GraphBuilder};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gf_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.build()
+    }
+
+    fn insert(src: u32, dst: u32) -> Update {
+        Update::InsertEdge {
+            src,
+            dst,
+            label: EdgeLabel(0),
+        }
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let (_store, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.batches.is_empty());
+        assert!(!rec.wal_truncated);
+        assert_eq!(rec.recovered_epoch(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovery_skips_folded_batches() {
+        let dir = tmpdir("checkpoint");
+        let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+        store.log_commit(1, &[insert(0, 1)]).unwrap();
+        store.log_commit(2, &[insert(1, 2)]).unwrap();
+        store
+            .checkpoint(&graph(), 2, &PersistedCounts::default())
+            .unwrap();
+        store.log_commit(3, &[insert(2, 3)]).unwrap();
+        drop(store);
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        let snap = rec.snapshot.as_ref().unwrap();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(
+            rec.batches.iter().map(|b| b.epoch).collect::<Vec<_>>(),
+            vec![3],
+            "batches at or below the snapshot epoch are skipped"
+        );
+        assert_eq!(rec.recovered_epoch(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_wal_truncation_is_safe() {
+        let dir = tmpdir("crash_window");
+        let (mut store, _) = Store::open(&dir, Durability::Fsync).unwrap();
+        store.log_commit(1, &[insert(0, 1)]).unwrap();
+        store.log_commit(2, &[insert(1, 2)]).unwrap();
+        // Simulate the crash window: snapshot installed, WAL *not* truncated.
+        snapshot::write_snapshot(&dir, &graph(), 2, &PersistedCounts::default()).unwrap();
+        drop(store);
+        let (_, rec) = Store::open(&dir, Durability::Fsync).unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().epoch, 2);
+        assert!(
+            rec.batches.is_empty(),
+            "stale WAL records must not be replayed over the snapshot"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

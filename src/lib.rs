@@ -66,19 +66,40 @@
 //!   selection, parallelism);
 //! * [`baselines`] — the naive binary-join engine and the CFL-style backtracking matcher;
 //! * [`datasets`] — synthetic stand-ins for the paper's datasets;
+//! * [`storage`] — the durability subsystem (write-ahead log, binary snapshots, crash
+//!   recovery, fault injection for tests);
 //! * [`core`] — the [`GraphflowDB`] facade (prepared queries,
 //!   plan cache, builder-style options, unified [`Error`]).
+//!
+//! Databases can also be **persistent**: open one over a data directory and every committed
+//! write transaction is write-ahead logged before it is published, compactions double as
+//! binary-snapshot checkpoints, and reopening the directory recovers the last durably
+//! committed epoch — including after a crash mid-write:
+//!
+//! ```no_run
+//! use graphflow_rs::{Durability, GraphflowDB};
+//! use graphflow_rs::graph::EdgeLabel;
+//!
+//! let db = GraphflowDB::open("./mydb")?;       // creates ./mydb, or recovers it
+//! db.insert_edge(0, 1, EdgeLabel(0));          // WAL-logged (fsync'd) before it returns
+//! db.checkpoint()?;                            // snapshot the CSR, truncate the WAL
+//! drop(db);
+//! let db = GraphflowDB::open("./mydb")?;       // instant recovery from the snapshot
+//! assert_eq!(db.count("(a)->(b)")?, 1);
+//! # Ok::<(), graphflow_rs::Error>(())
+//! ```
 
 pub use graphflow_baselines as baselines;
 pub use graphflow_catalog as catalog;
 pub use graphflow_core as core;
 pub use graphflow_core::{
-    CallbackSink, CancellationToken, CollectingSink, CountingSink, Error, GraphflowDB, LimitSink,
-    MatchSink, PlanCacheStats, PreparedQuery, QueryHandle, QueryOptions, QueryResult, ResultSet,
-    WriteTxn,
+    CallbackSink, CancellationToken, CollectingSink, CountingSink, Durability, Error, GraphflowDB,
+    LimitSink, MatchSink, PlanCacheStats, PreparedQuery, QueryHandle, QueryOptions, QueryResult,
+    ResultSet, WriteTxn,
 };
 pub use graphflow_datasets as datasets;
 pub use graphflow_exec as exec;
 pub use graphflow_graph as graph;
 pub use graphflow_plan as plan;
 pub use graphflow_query as query;
+pub use graphflow_storage as storage;
