@@ -12,6 +12,7 @@ use graphflow_query::patterns;
 fn main() {
     let db = db_for(Dataset::Amazon);
     let mut rows = Vec::new();
+    let mut report = Vec::new();
     for (name, q) in [
         ("diamond-X (Q4)", patterns::diamond_x()),
         ("symmetric diamond-X (Q5)", patterns::symmetric_diamond_x()),
@@ -24,6 +25,8 @@ fn main() {
             .unwrap();
         let (_, sc, tc) = run_plan(&db, &conscious, QueryOptions::default());
         let (_, so, to) = run_plan(&db, &oblivious, QueryOptions::default());
+        report.push(BenchRecord::new(name, "amazon", "cache_conscious", &[tc]).with_stats(&sc));
+        report.push(BenchRecord::new(name, "amazon", "cache_oblivious", &[to]).with_stats(&so));
         rows.push(vec![
             name.to_string(),
             secs(tc),
@@ -49,4 +52,5 @@ fn main() {
     );
     println!("\nexpected shape: the cache-conscious optimizer's plans have equal or lower actual");
     println!("i-cost and higher cache hit rates; the oblivious one may pick a slower ordering.");
+    bench_report("ablation_cache_conscious", &report).expect("writing bench report");
 }

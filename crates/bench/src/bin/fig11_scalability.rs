@@ -13,6 +13,7 @@ fn main() {
         (Dataset::LiveJournal, 2usize),
         (Dataset::Google, 14usize),
     ];
+    let mut report = Vec::new();
     for (ds, j) in cases {
         let db = db_for(ds);
         let q = patterns::benchmark_query(j);
@@ -20,7 +21,16 @@ fn main() {
         let mut rows = Vec::new();
         let mut base = None;
         for threads in thread_sweep() {
-            let (count, _, t) = run_plan(&db, &plan, QueryOptions::new().threads(threads));
+            let (count, stats, t) = run_plan(&db, &plan, QueryOptions::new().threads(threads));
+            report.push(
+                BenchRecord::new(
+                    format!("Q{j}"),
+                    ds.name(),
+                    format!("threads={threads}"),
+                    &[t],
+                )
+                .with_stats(&stats),
+            );
             let speedup = base.get_or_insert(t.as_secs_f64()).max(1e-9) / t.as_secs_f64().max(1e-9);
             rows.push(vec![
                 threads.to_string(),
@@ -37,4 +47,5 @@ fn main() {
     }
     println!("\npaper shape: near-linear scaling up to the physical core count (13x-16x at 16");
     println!("cores in the paper), flattening once hyperthreads / all cores are used.");
+    bench_report("fig11_scalability", &report).expect("writing bench report");
 }

@@ -56,13 +56,11 @@ fn main() {
             let mut worst: f64 = 0.0;
             let mut chosen_time = None;
             for (sp_i, sp) in spectrum.iter().enumerate() {
-                let (_, _, t) = run_plan(&db, &sp.plan, QueryOptions::default());
-                report.push(BenchRecord::new(
-                    &query_name,
-                    ds.name(),
-                    format!("{}#{sp_i}", sp.class),
-                    &[t],
-                ));
+                let (_, stats, t) = run_plan(&db, &sp.plan, QueryOptions::default());
+                report.push(
+                    BenchRecord::new(&query_name, ds.name(), format!("{}#{sp_i}", sp.class), &[t])
+                        .with_stats(&stats),
+                );
                 let t = t.as_secs_f64();
                 best = best.min(t);
                 worst = worst.max(t);

@@ -10,6 +10,7 @@ use graphflow_query::patterns;
 fn main() {
     let datasets = [Dataset::Amazon, Dataset::Epinions, Dataset::Google];
     let queries = [2usize, 3, 4, 5, 6];
+    let mut report = Vec::new();
     for ds in datasets {
         let db = db_for(ds);
         let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
@@ -22,8 +23,28 @@ fn main() {
                 let Some(plan) = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma) else {
                     continue;
                 };
-                let (_, _, t_fixed) = run_plan(&db, &plan, QueryOptions::default());
-                let (_, _, t_adapt) = run_plan(&db, &plan, QueryOptions::new().adaptive(true));
+                let (_, s_fixed, t_fixed) = run_plan(&db, &plan, QueryOptions::default());
+                let (_, s_adapt, t_adapt) =
+                    run_plan(&db, &plan, QueryOptions::new().adaptive(true));
+                let name = ordering_name(&q, &sigma);
+                report.push(
+                    BenchRecord::new(
+                        format!("Q{j}"),
+                        ds.name(),
+                        format!("{name} fixed"),
+                        &[t_fixed],
+                    )
+                    .with_stats(&s_fixed),
+                );
+                report.push(
+                    BenchRecord::new(
+                        format!("Q{j}"),
+                        ds.name(),
+                        format!("{name} adaptive"),
+                        &[t_adapt],
+                    )
+                    .with_stats(&s_adapt),
+                );
                 let (tf, ta) = (t_fixed.as_secs_f64(), t_adapt.as_secs_f64());
                 fixed_best = fixed_best.min(tf);
                 fixed_worst = fixed_worst.max(tf);
@@ -51,4 +72,5 @@ fn main() {
     println!("\npaper shape: adapting improves most fixed plans (up to 4.3x for one Q5 plan) and");
     println!("shrinks the gap between the best and worst orderings; on cliques (Q6) the");
     println!("re-costing overhead can make some plans slightly slower.");
+    bench_report("fig8_adaptive_spectra", &report).expect("writing bench report");
 }

@@ -14,6 +14,7 @@ fn main() {
         (7usize, Dataset::Epinions),
         (8usize, Dataset::Amazon),
     ];
+    let mut report = Vec::new();
     for (j, ds) in cases {
         let db = db_for(ds);
         let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
@@ -30,10 +31,19 @@ fn main() {
         );
         let gf_times: Vec<f64> = gf_spectrum
             .iter()
-            .map(|sp| {
-                run_plan(&db, &sp.plan, QueryOptions::default())
-                    .2
-                    .as_secs_f64()
+            .enumerate()
+            .map(|(i, sp)| {
+                let (_, stats, t) = run_plan(&db, &sp.plan, QueryOptions::default());
+                report.push(
+                    BenchRecord::new(
+                        format!("Q{j}"),
+                        ds.name(),
+                        format!("GF {}#{i}", sp.class),
+                        &[t],
+                    )
+                    .with_stats(&stats),
+                );
+                t.as_secs_f64()
             })
             .collect();
 
@@ -42,7 +52,15 @@ fn main() {
         let eh_plans = eh_planner.spectrum(&q);
         let eh_times: Vec<f64> = eh_plans
             .iter()
-            .map(|p| run_plan(&db, p, QueryOptions::default()).2.as_secs_f64())
+            .enumerate()
+            .map(|(i, p)| {
+                let (_, stats, t) = run_plan(&db, p, QueryOptions::default());
+                report.push(
+                    BenchRecord::new(format!("Q{j}"), ds.name(), format!("EH#{i}"), &[t])
+                        .with_stats(&stats),
+                );
+                t.as_secs_f64()
+            })
             .collect();
 
         let stats = |ts: &[f64]| {
@@ -77,4 +95,5 @@ fn main() {
     println!("\npaper shape: Graphflow's spectrum contains plans at least as good as the best EH");
     println!("plan, and EH's spread between its best and worst orderings is large (it does not");
     println!("optimize the ordering inside a bag).");
+    bench_report("fig9_eh_spectra", &report).expect("writing bench report");
 }

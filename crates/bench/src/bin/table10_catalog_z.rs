@@ -31,6 +31,7 @@ fn queries(labels: u16) -> Vec<graphflow_query::QueryGraph> {
 }
 
 fn main() {
+    let mut report = Vec::new();
     for (ds, labels) in [(Dataset::Amazon, 1u16), (Dataset::Google, 3u16)] {
         let graph = if labels > 1 {
             graphflow_datasets::with_random_edge_labels(&dataset(ds), labels, 3)
@@ -53,6 +54,12 @@ fn main() {
                 },
             );
             let (_, build_time) = time(|| cat.prepopulate(&qs));
+            report.push(BenchRecord::new(
+                "catalogue_build",
+                ds.name(),
+                format!("z={z} h=3"),
+                &[build_time],
+            ));
             let errors: Vec<f64> = qs
                 .iter()
                 .zip(&truths)
@@ -80,4 +87,5 @@ fn main() {
     }
     println!("\npaper shape: larger z costs more construction time and pushes more queries into");
     println!("the low-q-error buckets, with diminishing returns beyond z = 500-1000.");
+    bench_report("table10_catalog_z", &report).expect("writing bench report");
 }

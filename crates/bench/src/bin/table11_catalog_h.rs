@@ -7,6 +7,7 @@ use graphflow_datasets::Dataset;
 use graphflow_query::patterns;
 
 fn main() {
+    let mut report = Vec::new();
     for (ds, labels) in [(Dataset::Amazon, 1u16), (Dataset::Google, 3u16)] {
         let graph = if labels > 1 {
             graphflow_datasets::with_random_edge_labels(&dataset(ds), labels, 3)
@@ -40,7 +41,13 @@ fn main() {
                     ..Default::default()
                 },
             );
-            cat.prepopulate(&qs);
+            let (_, build_time) = time(|| cat.prepopulate(&qs));
+            report.push(BenchRecord::new(
+                "catalogue_build",
+                ds.name(),
+                format!("h={h} z=1000"),
+                &[build_time],
+            ));
             let errors: Vec<f64> = qs
                 .iter()
                 .zip(&truths)
@@ -84,4 +91,5 @@ fn main() {
     }
     println!("\npaper shape: larger h grows the catalogue but tightens estimates; the");
     println!("independence estimator (PostgreSQL) is wildly inaccurate on cyclic patterns.");
+    bench_report("table11_catalog_h", &report).expect("writing bench report");
 }

@@ -15,11 +15,15 @@ fn main() {
     let output_limit = 100_000u64;
 
     let mut rows = Vec::new();
+    let mut report = Vec::new();
     for kind in [QuerySetKind::Sparse, QuerySetKind::Dense] {
         for n in [10usize, 15, 20] {
             let mut gf_total = Duration::ZERO;
             let mut cfl_total = Duration::ZERO;
             let mut solved = 0usize;
+            let mut gf_samples = Vec::new();
+            let mut cfl_samples = Vec::new();
+            let mut rollup = graphflow_exec::RuntimeStats::default();
             for i in 0..queries_per_set {
                 let q = graphflow_baselines::random_connected_query(
                     &graph,
@@ -28,7 +32,8 @@ fn main() {
                     i as u64 * 31 + n as u64,
                 );
                 let Ok(plan) = db.plan(&q) else { continue };
-                let (_, _, gf_t) = run_plan(&db, &plan, QueryOptions::new().limit(output_limit));
+                let (_, stats, gf_t) =
+                    run_plan(&db, &plan, QueryOptions::new().limit(output_limit));
                 let (_, cfl_t) = time(|| {
                     backtracking_count(
                         &graph,
@@ -41,18 +46,33 @@ fn main() {
                 });
                 gf_total += gf_t;
                 cfl_total += cfl_t;
+                gf_samples.push(gf_t);
+                cfl_samples.push(cfl_t);
+                rollup.icost += stats.icost;
+                rollup.intermediate_tuples += stats.intermediate_tuples;
+                rollup.output_count += stats.output_count;
                 solved += 1;
             }
+            let set_name = format!(
+                "Q{n}{}",
+                if kind == QuerySetKind::Sparse {
+                    "s"
+                } else {
+                    "d"
+                }
+            );
+            report.push(
+                BenchRecord::new(&set_name, "human", "graphflow", &gf_samples).with_stats(&rollup),
+            );
+            report.push(BenchRecord::new(
+                &set_name,
+                "human",
+                "cfl_backtracking",
+                &cfl_samples,
+            ));
             let avg = |d: Duration| d.as_secs_f64() / solved.max(1) as f64;
             rows.push(vec![
-                format!(
-                    "Q{n}{}",
-                    if kind == QuerySetKind::Sparse {
-                        "s"
-                    } else {
-                        "d"
-                    }
-                ),
+                set_name,
                 format!("{:.3}", avg(gf_total)),
                 format!("{:.3}", avg(cfl_total)),
                 format!("{:.1}x", avg(cfl_total) / avg(gf_total).max(1e-9)),
@@ -75,4 +95,5 @@ fn main() {
     );
     println!("\npaper shape: Graphflow's operator plans are faster on average (1.2x-12x in the");
     println!("paper), with the gap widening on larger and denser query sets.");
+    bench_report("table12_cfl_comparison", &report).expect("writing bench report");
 }

@@ -9,13 +9,18 @@ use graphflow_query::patterns;
 use std::time::Duration;
 
 fn main() {
+    let mut report = Vec::new();
     for ds in [Dataset::Amazon, Dataset::Epinions] {
         let db = db_for(ds);
         let mut rows = Vec::new();
         for j in [1usize, 2, 4] {
             let q = patterns::benchmark_query(j);
             let plan = db.plan(&q).unwrap();
-            let (count, _, gf_time) = run_plan(&db, &plan, QueryOptions::default());
+            let (count, stats, gf_time) = run_plan(&db, &plan, QueryOptions::default());
+            report.push(
+                BenchRecord::new(format!("Q{j}"), ds.name(), "graphflow", &[gf_time])
+                    .with_stats(&stats),
+            );
             let (bj, bj_time) = time(|| {
                 bj_engine_count(
                     &db.graph(),
@@ -26,6 +31,14 @@ fn main() {
                     },
                 )
             });
+            if bj.count().is_some() {
+                report.push(BenchRecord::new(
+                    format!("Q{j}"),
+                    ds.name(),
+                    "bj_engine",
+                    &[bj_time],
+                ));
+            }
             let bj_cell = match bj.count() {
                 Some(c) => {
                     assert_eq!(c, count, "engines disagree on Q{j}");
@@ -52,4 +65,5 @@ fn main() {
     }
     println!("\npaper shape: the BJ-only engine is orders of magnitude slower (or times out) on");
     println!("cyclic queries because it materialises open structures before closing them.");
+    bench_report("table13_bj_engine", &report).expect("writing bench report");
 }

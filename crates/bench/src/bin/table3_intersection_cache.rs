@@ -12,10 +12,29 @@ fn main() {
     let q = patterns::diamond_x();
     let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
     let mut rows = Vec::new();
+    let mut report = Vec::new();
     for sigma in executable_orderings(&q) {
         let plan = wco_plan_for_ordering(&q, &db.catalogue(), &model, &sigma).unwrap();
         let (_, s_on, t_on) = run_plan(&db, &plan, QueryOptions::default());
         let (_, s_off, t_off) = run_plan(&db, &plan, QueryOptions::new().intersection_cache(false));
+        report.push(
+            BenchRecord::new(
+                "diamond_x",
+                "amazon",
+                format!("{} cache_on", ordering_name(&q, &sigma)),
+                &[t_on],
+            )
+            .with_stats(&s_on),
+        );
+        report.push(
+            BenchRecord::new(
+                "diamond_x",
+                "amazon",
+                format!("{} cache_off", ordering_name(&q, &sigma)),
+                &[t_off],
+            )
+            .with_stats(&s_off),
+        );
         rows.push(vec![
             ordering_name(&q, &sigma),
             secs(t_on),
@@ -39,4 +58,5 @@ fn main() {
         &rows,
     );
     println!("\npaper shape: 4 of the 8 plans improve with the cache, the best by ~1.9x.");
+    bench_report("table3_intersection_cache", &report).expect("writing bench report");
 }

@@ -25,12 +25,15 @@ fn main() {
                 (count, stats, t) = run_plan(&db, &plan, QueryOptions::default());
                 times.push(t);
             }
-            report.push(BenchRecord::new(
-                "asymmetric_triangle",
-                ds.name(),
-                ordering_name(&q, &sigma),
-                &times,
-            ));
+            report.push(
+                BenchRecord::new(
+                    "asymmetric_triangle",
+                    ds.name(),
+                    ordering_name(&q, &sigma),
+                    &times,
+                )
+                .with_stats(&stats),
+            );
             rows.push(vec![
                 ordering_name(&q, &sigma),
                 secs(t),

@@ -17,6 +17,7 @@ fn main() {
         vec![0, 1, 3, 2],
         vec![1, 3, 0, 2],
     ];
+    let mut report = Vec::new();
     for ds in [Dataset::Amazon, Dataset::Epinions] {
         let db = db_for(ds);
         let model = *graphflow_plan::dp::DpOptimizer::new(&db.catalogue()).cost_model();
@@ -27,6 +28,10 @@ fn main() {
             };
             let (count, stats, t) =
                 run_plan(&db, &plan, QueryOptions::new().intersection_cache(false));
+            report.push(
+                BenchRecord::new("tailed_triangle", ds.name(), ordering_name(&q, sigma), &[t])
+                    .with_stats(&stats),
+            );
             let kind = if sigma[2] == 2 || (sigma[2] != 3 && sigma[3] == 3) {
                 "EDGE-TRIANGLE"
             } else {
@@ -56,4 +61,5 @@ fn main() {
     }
     println!("\npaper shape: EDGE-TRIANGLE plans (extend edges to triangles first) generate fewer");
     println!("intermediate matches and are several times faster than EDGE-2PATH plans.");
+    bench_report("table5_tailed_triangle", &report).expect("writing bench report");
 }

@@ -116,6 +116,29 @@ pub struct BenchRecord {
     pub dataset: String,
     pub plan: String,
     pub samples_ms: Vec<f64>,
+    /// Profiler roll-up of one representative run (actual i-cost, intermediate tuples,
+    /// output count) — attach with [`with_stats`](BenchRecord::with_stats).
+    pub stats: Option<StatsRollup>,
+}
+
+/// The per-run executor counters a [`BenchRecord`] carries into the JSON report, so runs can
+/// be diffed on work done (i-cost, intermediate size) and checked for result drift (output
+/// count), not just on wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsRollup {
+    pub icost: u64,
+    pub intermediate_tuples: u64,
+    pub output_count: u64,
+}
+
+impl From<&RuntimeStats> for StatsRollup {
+    fn from(s: &RuntimeStats) -> StatsRollup {
+        StatsRollup {
+            icost: s.icost,
+            intermediate_tuples: s.intermediate_tuples,
+            output_count: s.output_count,
+        }
+    }
 }
 
 impl BenchRecord {
@@ -131,7 +154,14 @@ impl BenchRecord {
             dataset: dataset.into(),
             plan: plan.into(),
             samples_ms: samples.iter().map(|d| d.as_secs_f64() * 1e3).collect(),
+            stats: None,
         }
+    }
+
+    /// Attach the executor counters of a representative run.
+    pub fn with_stats(mut self, stats: &RuntimeStats) -> BenchRecord {
+        self.stats = Some(StatsRollup::from(stats));
+        self
     }
 
     /// Median wall time over the samples, in milliseconds.
@@ -202,9 +232,16 @@ pub fn bench_report(name: &str, records: &[BenchRecord]) -> std::io::Result<Path
     out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let stats = match &r.stats {
+            Some(s) => format!(
+                ", \"icost\": {}, \"intermediate_tuples\": {}, \"output_count\": {}",
+                s.icost, s.intermediate_tuples, s.output_count
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"query\": \"{}\", \"dataset\": \"{}\", \"plan\": \"{}\", \
-             \"median_ms\": {}, \"p95_ms\": {}, \"samples_ms\": [{}]}}{}\n",
+             \"median_ms\": {}, \"p95_ms\": {}, \"samples_ms\": [{}]{}}}{}\n",
             json_escape(&r.query),
             json_escape(&r.dataset),
             json_escape(&r.plan),
@@ -215,6 +252,7 @@ pub fn bench_report(name: &str, records: &[BenchRecord]) -> std::io::Result<Path
                 .map(|&s| json_num(s))
                 .collect::<Vec<_>>()
                 .join(", "),
+            stats,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -284,7 +322,13 @@ mod tests {
                 "amazon",
                 "a1a2a3",
                 &[Duration::from_millis(2), Duration::from_millis(1)],
-            ),
+            )
+            .with_stats(&RuntimeStats {
+                icost: 42,
+                intermediate_tuples: 7,
+                output_count: 3,
+                ..Default::default()
+            }),
             BenchRecord::new("q2", "google", "bj\\wco", &[Duration::from_millis(3)]),
         ];
         let path = bench_report("unit_test", &records).unwrap();
@@ -298,6 +342,8 @@ mod tests {
         );
         assert!(body.contains("\"median_ms\""));
         assert!(body.contains("\"p95_ms\""));
+        assert!(body.contains("\"icost\": 42"), "stats roll-up emitted");
+        assert!(body.contains("\"intermediate_tuples\": 7"));
         // Balanced braces/brackets as a cheap well-formedness check.
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(

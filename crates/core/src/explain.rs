@@ -1,0 +1,590 @@
+//! The `EXPLAIN` / `PROFILE` surface: a typed operator-tree report.
+//!
+//! [`QueryProfile`] is the structured answer to both verbs. `EXPLAIN` builds one from the
+//! chosen plan alone, annotating every operator with the catalogue's estimated cardinality
+//! and cumulative cost ([`PreparedQuery::explain`](crate::PreparedQuery::explain));
+//! `PROFILE` executes the query with per-operator profiling on and attaches each operator's
+//! actual counters next to its estimates
+//! ([`PreparedQuery::profile`](crate::PreparedQuery::profile)). Both are also reachable
+//! through [`GraphflowDB::query`](crate::GraphflowDB::query) by prefixing the pattern with
+//! the verb (`EXPLAIN (a)->(b), ...`), which renders the tree as a one-column
+//! [`ResultSet`].
+//!
+//! The report is plain data: walk [`ProfileNode`]s directly, [`Display`](std::fmt::Display)
+//! it as an indented tree, or serialize it with [`QueryProfile::to_json`].
+
+use crate::results::ResultSet;
+use graphflow_catalog::Catalogue;
+use graphflow_exec::{CandidateProfile, OpCounters, OpKind, OpProfile, RuntimeStats};
+use graphflow_graph::PropValue;
+use graphflow_plan::cost::{estimate_cost, CostModel};
+use graphflow_plan::{Plan, PlanClass, PlanNode};
+use graphflow_query::QueryGraph;
+use std::fmt;
+
+/// One operator of an `EXPLAIN`/`PROFILE` report, mirroring the plan's operator tree.
+///
+/// Children are upstream operators: an E/I node has one child (its input), a `HASH-JOIN`
+/// node has two (`children[0]` = build side, `children[1]` = probe side), a `SCAN` none.
+/// Under adaptive execution a chain of E/I operators that ran as one adaptive stage
+/// collapses into a single `ADAPTIVE EXTEND/INTERSECT` node carrying the per-candidate
+/// ordering profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Human-readable operator label (`SCAN (a)->(b) [label 0]`,
+    /// `EXTEND/INTERSECT -> c using {a.fwd[0], b.fwd[0]}`, `HASH-JOIN on [b]`), using the
+    /// planned query's vertex names.
+    pub operator: String,
+    /// Estimated output cardinality of this operator's subtree (catalogue estimate times
+    /// predicate selectivity — what the optimizer believed).
+    pub est_rows: f64,
+    /// Estimated cumulative cost of the subtree in i-cost units (Equation 1 / the
+    /// hash-join cost normalisation), children included.
+    pub est_cost: f64,
+    /// The operator's actual counters — `Some` only in a `PROFILE` report. Counter times are
+    /// self-times; rows produced are `tuples_out` for intermediate operators and `outputs`
+    /// for the final one.
+    pub actual: Option<OpCounters>,
+    /// Adaptive stages only: one profile per candidate ordering (how many tuples per-tuple
+    /// re-costing routed to it, and what its steps did).
+    pub candidates: Vec<CandidateProfile>,
+    /// Upstream operators: `[input]` for E/I, `[build, probe]` for `HASH-JOIN`, empty for
+    /// `SCAN`.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Rows this operator actually produced (`tuples_out` + `outputs` — for any single
+    /// operator exactly one of the two is non-zero); `None` in an `EXPLAIN`-only report.
+    pub fn actual_rows(&self) -> Option<u64> {
+        self.actual.as_ref().map(|c| c.tuples_out + c.outputs)
+    }
+
+    /// Number of operator nodes in the subtree (an adaptive stage counts as one).
+    pub fn num_operators(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.num_operators())
+            .sum::<usize>()
+    }
+}
+
+/// The typed result of `EXPLAIN` or `PROFILE`: the chosen plan as an operator tree with
+/// estimated cardinalities and costs, plus (for `PROFILE`) per-operator actuals and the
+/// run's [`RuntimeStats`].
+///
+/// ```
+/// use graphflow_core::GraphflowDB;
+/// use graphflow_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(0, 2);
+/// let db = GraphflowDB::from_graph(b.build());
+/// let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+///
+/// let explained = q.explain(); // estimates only
+/// assert!(explained.to_string().contains("EXTEND/INTERSECT"));
+/// assert!(explained.stats.is_none());
+///
+/// let profiled = q.profile(Default::default()).unwrap(); // executed, with actuals
+/// assert_eq!(profiled.stats.as_ref().unwrap().output_count, 1);
+/// assert!(profiled.root.actual_rows().is_some());
+/// assert!(profiled.to_json().starts_with('{'));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// The planned query in pattern syntax (for a query served by an isomorphic twin's
+    /// cached plan, the twin's vertex names — the same naming the tree's labels use).
+    pub query: String,
+    /// The plan's class (WCO / BJ / hybrid).
+    pub plan_class: PlanClass,
+    /// The optimizer's estimated total cost in i-cost units.
+    pub estimated_cost: f64,
+    /// The operator tree, root = the operator producing the query's results.
+    pub root: ProfileNode,
+    /// The run's totals — `Some` only for `PROFILE`. Every per-operator counter in the tree
+    /// sums exactly to its total here.
+    pub stats: Option<RuntimeStats>,
+}
+
+impl QueryProfile {
+    /// Build an estimate-only (`EXPLAIN`) report for a plan.
+    pub(crate) fn estimate(plan: &Plan, catalogue: &Catalogue, model: &CostModel) -> QueryProfile {
+        QueryProfile {
+            query: plan.query.to_string(),
+            plan_class: plan.class(),
+            estimated_cost: plan.estimated_cost,
+            root: estimate_node(&plan.root, &plan.query, catalogue, model),
+            stats: None,
+        }
+    }
+
+    /// Build a `PROFILE` report: the estimate tree annotated with the actuals of `stats`'s
+    /// per-operator profile (falls back to estimates only if the run carried no profile).
+    pub(crate) fn profiled(
+        plan: &Plan,
+        catalogue: &Catalogue,
+        model: &CostModel,
+        stats: RuntimeStats,
+    ) -> QueryProfile {
+        let root = match &stats.profile {
+            Some(prof) => annotate(&plan.root, prof, &plan.query, catalogue, model),
+            None => estimate_node(&plan.root, &plan.query, catalogue, model),
+        };
+        QueryProfile {
+            query: plan.query.to_string(),
+            plan_class: plan.class(),
+            estimated_cost: plan.estimated_cost,
+            root,
+            stats: Some(stats),
+        }
+    }
+
+    /// Whether the report carries actuals (i.e. came from `PROFILE`, not `EXPLAIN`).
+    pub fn executed(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// Serialize the whole report as a self-contained JSON object (no external schema):
+    /// `{"query", "plan_class", "estimated_cost", "executed", "stats", "root"}`, where
+    /// `root` nests `{"operator", "est_rows", "est_cost", "actual", "candidates",
+    /// "children"}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str(&format!("\"query\":{}", json_str(&self.query)));
+        out.push_str(&format!(
+            ",\"plan_class\":{}",
+            json_str(&self.plan_class.to_string())
+        ));
+        out.push_str(&format!(
+            ",\"estimated_cost\":{}",
+            json_f64(self.estimated_cost)
+        ));
+        out.push_str(&format!(",\"executed\":{}", self.executed()));
+        out.push_str(",\"stats\":");
+        match &self.stats {
+            Some(s) => json_stats(s, &mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"root\":");
+        json_node(&self.root, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    /// The human-readable report: a `plan class` / `estimated cost` header followed by the
+    /// indented operator tree, one operator per line with its estimates (and, for
+    /// `PROFILE`, its actuals) in parentheses.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan class: {}", self.plan_class)?;
+        writeln!(f, "estimated cost: {:.1}", self.estimated_cost)?;
+        render_node(&self.root, 0, f)
+    }
+}
+
+fn render_node(node: &ProfileNode, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    write!(
+        f,
+        "{pad}{} (est rows {:.1}, est cost {:.1}",
+        node.operator, node.est_rows, node.est_cost
+    )?;
+    if let Some(c) = &node.actual {
+        write!(
+            f,
+            "; actual rows {}, icost {}, time {:.3}ms",
+            node.actual_rows().unwrap_or(0),
+            c.icost,
+            c.time_ns as f64 / 1e6
+        )?;
+    }
+    writeln!(f, ")")?;
+    for cand in &node.candidates {
+        writeln!(
+            f,
+            "{pad}  candidate {:?}: chose {} tuples, icost {}",
+            cand.order,
+            cand.chosen,
+            cand.counters().icost
+        )?;
+    }
+    let is_join = node.operator.starts_with("HASH-JOIN");
+    for (i, child) in node.children.iter().enumerate() {
+        if is_join {
+            writeln!(f, "{pad}  {}:", if i == 0 { "build" } else { "probe" })?;
+            render_node(child, indent + 2, f)?;
+        } else {
+            render_node(child, indent + 1, f)?;
+        }
+    }
+    Ok(())
+}
+
+/// Render an `EXPLAIN`/`PROFILE` report as a one-column `ResultSet` (column `"plan"`, one
+/// row per rendered line) — the shape `GraphflowDB::query` returns for the prefixed verbs.
+pub(crate) fn result_set(profile: &QueryProfile) -> ResultSet {
+    ResultSet {
+        columns: vec!["plan".to_string()],
+        rows: profile
+            .to_string()
+            .lines()
+            .map(|line| vec![Some(PropValue::str(line))])
+            .collect(),
+        stats: profile.stats.clone().unwrap_or_default(),
+    }
+}
+
+// --- tree construction ---------------------------------------------------------------------
+
+fn operator_label(node: &PlanNode, q: &QueryGraph) -> String {
+    match node {
+        PlanNode::Scan(n) => format!(
+            "SCAN ({})->({}) [label {}]",
+            q.vertex(n.edge.src).name,
+            q.vertex(n.edge.dst).name,
+            n.edge.label.0
+        ),
+        PlanNode::Extend(n) => {
+            let descs: Vec<String> = n
+                .descriptors
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{}.{}[{}]",
+                        q.vertex(n.child.out()[d.tuple_idx]).name,
+                        d.dir,
+                        d.edge_label.0
+                    )
+                })
+                .collect();
+            format!(
+                "EXTEND/INTERSECT -> {} using {{{}}}",
+                q.vertex(n.target_vertex).name,
+                descs.join(", ")
+            )
+        }
+        PlanNode::HashJoin(n) => {
+            let keys: Vec<&str> = n
+                .key_vertices
+                .iter()
+                .map(|&v| q.vertex(v).name.as_str())
+                .collect();
+            format!("HASH-JOIN on [{}]", keys.join(", "))
+        }
+    }
+}
+
+fn estimate_node(
+    node: &PlanNode,
+    q: &QueryGraph,
+    catalogue: &Catalogue,
+    model: &CostModel,
+) -> ProfileNode {
+    let cost = estimate_cost(q, catalogue, model, node);
+    let children = match node {
+        PlanNode::Scan(_) => Vec::new(),
+        PlanNode::Extend(n) => vec![estimate_node(&n.child, q, catalogue, model)],
+        PlanNode::HashJoin(n) => vec![
+            estimate_node(&n.build, q, catalogue, model),
+            estimate_node(&n.probe, q, catalogue, model),
+        ],
+    };
+    ProfileNode {
+        operator: operator_label(node, q),
+        est_rows: cost.output_cardinality,
+        est_cost: cost.total(),
+        actual: None,
+        candidates: Vec::new(),
+        children,
+    }
+}
+
+/// Zip the plan tree with the executed profile tree. The two always have matching shapes —
+/// the executor assembled the profile from this very plan — except that an adaptive stage
+/// collapses a chain of consecutive E/I plan nodes into one `OpKind::Adaptive` profile node
+/// (its `targets` name the chain, topmost last).
+fn annotate(
+    node: &PlanNode,
+    prof: &OpProfile,
+    q: &QueryGraph,
+    catalogue: &Catalogue,
+    model: &CostModel,
+) -> ProfileNode {
+    let cost = estimate_cost(q, catalogue, model, node);
+    match &prof.kind {
+        OpKind::Scan { .. } | OpKind::Extend { .. } | OpKind::HashJoin { .. } => {
+            let children = match node {
+                PlanNode::Scan(_) => Vec::new(),
+                PlanNode::Extend(n) => match prof.children.first() {
+                    Some(up) => vec![annotate(&n.child, up, q, catalogue, model)],
+                    None => vec![estimate_node(&n.child, q, catalogue, model)],
+                },
+                PlanNode::HashJoin(n) => {
+                    // Profile children are [probe (upstream), build]; the report's
+                    // convention is [build, probe].
+                    let build = match prof.children.get(1) {
+                        Some(b) => annotate(&n.build, b, q, catalogue, model),
+                        None => estimate_node(&n.build, q, catalogue, model),
+                    };
+                    let probe = match prof.children.first() {
+                        Some(p) => annotate(&n.probe, p, q, catalogue, model),
+                        None => estimate_node(&n.probe, q, catalogue, model),
+                    };
+                    vec![build, probe]
+                }
+            };
+            ProfileNode {
+                operator: operator_label(node, q),
+                est_rows: cost.output_cardinality,
+                est_cost: cost.total(),
+                actual: Some(prof.counters.clone()),
+                candidates: prof.candidates.clone(),
+                children,
+            }
+        }
+        OpKind::Adaptive { targets } => {
+            // `node` is the topmost E/I of the collapsed chain; descend past the whole
+            // chain to find the stage's input operator.
+            let mut below = node;
+            for _ in 0..targets.len() {
+                match below {
+                    PlanNode::Extend(n) => below = &n.child,
+                    _ => break,
+                }
+            }
+            let names: Vec<&str> = targets.iter().map(|&t| q.vertex(t).name.as_str()).collect();
+            let children = match prof.children.first() {
+                Some(up) => vec![annotate(below, up, q, catalogue, model)],
+                None => vec![estimate_node(below, q, catalogue, model)],
+            };
+            ProfileNode {
+                operator: format!("ADAPTIVE EXTEND/INTERSECT -> {{{}}}", names.join(", ")),
+                est_rows: cost.output_cardinality,
+                est_cost: cost.total(),
+                actual: Some(prof.counters.clone()),
+                candidates: prof.candidates.clone(),
+                children,
+            }
+        }
+    }
+}
+
+// --- hand-rolled JSON (the workspace deliberately has no serialization dependency) ---------
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_counters(c: &OpCounters, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"time_ns\":{},\"tuples_in\":{},\"tuples_out\":{},\"outputs\":{},\"icost\":{},\
+         \"cache_hits\":{},\"cache_misses\":{},\"delta_merges\":{},\"predicate_evals\":{},\
+         \"predicate_drops\":{}}}",
+        c.time_ns,
+        c.tuples_in,
+        c.tuples_out,
+        c.outputs,
+        c.icost,
+        c.cache_hits,
+        c.cache_misses,
+        c.delta_merges,
+        c.predicate_evals,
+        c.predicate_drops,
+    ));
+}
+
+fn json_stats(s: &RuntimeStats, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"icost\":{},\"intermediate_tuples\":{},\"output_count\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"delta_merges\":{},\"predicate_evals\":{},\"predicate_drops\":{},\
+         \"bulk_counted_extensions\":{},\"hash_build_tuples\":{},\"hash_probe_tuples\":{},\
+         \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"elapsed_ns\":{}}}",
+        s.icost,
+        s.intermediate_tuples,
+        s.output_count,
+        s.cache_hits,
+        s.cache_misses,
+        s.delta_merges,
+        s.predicate_evals,
+        s.predicate_drops,
+        s.bulk_counted_extensions,
+        s.hash_build_tuples,
+        s.hash_probe_tuples,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+        s.elapsed.as_nanos(),
+    ));
+}
+
+fn json_node(node: &ProfileNode, out: &mut String) {
+    out.push('{');
+    out.push_str(&format!("\"operator\":{}", json_str(&node.operator)));
+    out.push_str(&format!(",\"est_rows\":{}", json_f64(node.est_rows)));
+    out.push_str(&format!(",\"est_cost\":{}", json_f64(node.est_cost)));
+    out.push_str(",\"actual\":");
+    match &node.actual {
+        Some(c) => json_counters(c, out),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"candidates\":[");
+    for (i, cand) in node.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"order\":[{}],\"chosen\":{},\"counters\":",
+            cand.order
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            cand.chosen,
+        ));
+        json_counters(&cand.counters(), out);
+        out.push('}');
+    }
+    out.push_str("],\"children\":[");
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_node(child, out);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphflowDB, QueryOptions};
+    use graphflow_graph::GraphBuilder;
+
+    fn triangle_db() -> GraphflowDB {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.add_edge(2, 3);
+        GraphflowDB::from_graph(b.build())
+    }
+
+    #[test]
+    fn explain_tree_carries_estimates_but_no_actuals() {
+        let db = triangle_db();
+        let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        let report = q.explain();
+        assert!(report.stats.is_none());
+        assert!(!report.executed());
+        assert_eq!(
+            report.root.num_operators(),
+            2,
+            "SCAN + one E/I for a triangle"
+        );
+        assert!(report.root.actual.is_none());
+        assert!(report.root.est_cost > 0.0);
+        let text = report.to_string();
+        assert!(text.contains("plan class:"));
+        assert!(text.contains("SCAN"));
+        assert!(text.contains("EXTEND/INTERSECT"));
+        assert!(text.contains("est rows"));
+        assert!(!text.contains("actual rows"));
+    }
+
+    #[test]
+    fn profile_tree_attaches_actuals_that_sum_to_the_stats() {
+        let db = triangle_db();
+        let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        let report = q.profile(QueryOptions::new()).unwrap();
+        let stats = report.stats.as_ref().unwrap();
+        assert_eq!(stats.output_count, 1);
+        let mut icost = 0u64;
+        let mut rows = 0u64;
+        fn walk(n: &crate::ProfileNode, icost: &mut u64, rows: &mut u64) {
+            let c = n.actual.as_ref().expect("profiled node carries actuals");
+            *icost += c.icost;
+            *rows += c.tuples_out + c.outputs;
+            for cand in &n.candidates {
+                let cc = cand.counters();
+                *icost += cc.icost;
+                *rows += cc.tuples_out + cc.outputs;
+            }
+            for ch in &n.children {
+                walk(ch, icost, rows);
+            }
+        }
+        walk(&report.root, &mut icost, &mut rows);
+        assert_eq!(icost, stats.icost);
+        assert_eq!(rows, stats.intermediate_tuples + stats.output_count);
+        assert!(report.to_string().contains("actual rows"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough_to_spot_check() {
+        let db = triangle_db();
+        let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        let json = q.profile(QueryOptions::new()).unwrap().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"query\":",
+            "\"plan_class\":\"WCO\"",
+            "\"executed\":true",
+            "\"stats\":{",
+            "\"root\":{",
+            "\"operator\":",
+            "\"est_rows\":",
+            "\"actual\":{",
+            "\"children\":[",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn explain_and_profile_verbs_route_through_query() {
+        let db = triangle_db();
+        let explained = db.query("EXPLAIN (a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert_eq!(explained.columns(), ["plan"]);
+        assert!(explained.len() >= 3);
+        assert_eq!(explained.stats.output_count, 0, "EXPLAIN does not execute");
+        let profiled = db.query("PROFILE (a)->(b), (b)->(c), (a)->(c)").unwrap();
+        assert_eq!(profiled.stats.output_count, 1, "PROFILE executes");
+        let text: Vec<String> = profiled
+            .rows()
+            .iter()
+            .map(|r| format!("{:?}", r[0]))
+            .collect();
+        assert!(text.iter().any(|l| l.contains("actual rows")));
+    }
+}

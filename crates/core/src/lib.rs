@@ -214,34 +214,40 @@ use graphflow_plan::cost::CostModel;
 use graphflow_plan::dp::{DpOptimizer, PlanSpaceOptions};
 use graphflow_plan::{Plan, PlanClass, PlanHandle};
 use graphflow_query::{
-    canonical_form, parse_query, CanonicalCode, PredTarget, Predicate, QueryGraph,
+    canonical_form, parse_query, split_mode, CanonicalCode, PredTarget, Predicate, QueryGraph,
+    QueryMode,
 };
 use graphflow_storage::{PersistedCounts, StorageError, Store};
 use parking_lot::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+mod explain;
+mod metrics;
 mod options;
 mod plan_cache;
 mod prepared;
 mod results;
 mod txn;
 
+pub use explain::{ProfileNode, QueryProfile};
 pub use graphflow_exec::{
-    CallbackSink, CancellationToken, CollectingSink, CountingSink, LimitSink, MatchSink, Row,
-    RuntimeStats, Value,
+    CallbackSink, CancellationToken, CandidateProfile, CollectingSink, CountingSink, LimitSink,
+    MatchSink, OpCounters, OpKind, OpProfile, Row, RuntimeStats, Value,
 };
 pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
 pub use graphflow_query::returns::ReturnClause;
 pub use graphflow_storage::Durability;
+pub use metrics::{LatencyHistogram, Metrics, SlowQuery, SLOW_LOG_CAPACITY};
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
 pub use prepared::{PreparedQuery, QueryHandle};
 pub use results::ResultSet;
 pub use txn::WriteTxn;
 
+use metrics::{MetricsRegistry, SlowLog};
 use plan_cache::PlanCache;
 use prepared::RemapSink;
 
@@ -386,6 +392,7 @@ pub struct GraphflowDBBuilder {
     plan_cache_capacity: usize,
     staleness_threshold: Option<u64>,
     compact_threshold: Option<usize>,
+    slow_query_threshold: Option<Duration>,
     data_dir: Option<PathBuf>,
     durability: Durability,
 }
@@ -434,6 +441,16 @@ impl GraphflowDBBuilder {
         self
     }
 
+    /// Record every query whose wall-clock latency reaches `threshold` in a bounded
+    /// in-memory ring buffer ([`SLOW_LOG_CAPACITY`] entries, oldest dropped first), readable
+    /// through [`GraphflowDB::slow_queries`]. Each record carries the executed query's
+    /// canonical text, its latency, its actual i-cost and the plan's structural fingerprint.
+    /// Off by default — without a threshold the query path pays nothing.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+
     /// Persist the database in `dir`: every committed [`WriteTxn`] is write-ahead logged
     /// before its epoch is published, compactions double as binary-snapshot checkpoints, and
     /// reopening the directory ([`open`](GraphflowDBBuilder::open) or [`GraphflowDB::open`])
@@ -476,6 +493,7 @@ impl GraphflowDBBuilder {
             let catalogue = Catalogue::for_snapshot(snapshot.clone(), self.catalogue_config);
             return Ok(self.assemble(snapshot, catalogue, None));
         };
+        let load_started = Instant::now();
         let (mut store, recovered) = Store::open(&dir, self.durability)?;
         // An existing snapshot wins over the builder's graph: the directory's contents are
         // the durable truth, the builder graph only seeds a fresh directory.
@@ -516,7 +534,12 @@ impl GraphflowDBBuilder {
             }
             store.checkpoint(snap.base(), snap.version(), &persisted_counts(&catalogue))?;
         }
-        Ok(self.assemble(snap, catalogue, Some(store)))
+        let db = self.assemble(snap, catalogue, Some(store));
+        db.shared.metrics.snapshot_load_ns.store(
+            load_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        Ok(db)
     }
 
     fn assemble(
@@ -545,6 +568,8 @@ impl GraphflowDBBuilder {
                 }),
                 staleness_threshold,
                 compact_threshold,
+                metrics: MetricsRegistry::default(),
+                slow_log: self.slow_query_threshold.map(SlowLog::new),
                 storage: storage.map(Mutex::new),
             }),
         }
@@ -647,6 +672,12 @@ pub(crate) struct DbShared {
     pub(crate) writer: Mutex<WriterState>,
     pub(crate) staleness_threshold: u64,
     pub(crate) compact_threshold: usize,
+    /// The db-wide metrics registry: lock-free atomic counters accrued on the query and
+    /// commit paths, snapshotted by [`GraphflowDB::metrics`].
+    pub(crate) metrics: MetricsRegistry,
+    /// The slow-query ring buffer; `Some` only when a
+    /// [`slow_query_threshold`](GraphflowDBBuilder::slow_query_threshold) was configured.
+    pub(crate) slow_log: Option<SlowLog>,
     /// The durability subsystem: `Some` when the database was opened over a data directory
     /// ([`GraphflowDBBuilder::data_dir`] / [`GraphflowDB::open`]), `None` for a purely
     /// in-memory database. Locked briefly by commits (WAL append) and checkpoints; never on
@@ -670,6 +701,7 @@ impl GraphflowDB {
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
             staleness_threshold: None,
             compact_threshold: None,
+            slow_query_threshold: None,
             data_dir: None,
             durability: Durability::default(),
         }
@@ -873,9 +905,11 @@ impl GraphflowDB {
         if let Some(storage) = &self.shared.storage {
             if folded || force_checkpoint {
                 let counts = persisted_counts(&self.shared.catalogue.read());
+                let started = Instant::now();
                 storage
                     .lock()
                     .checkpoint(snap.base(), snap.version(), &counts)?;
+                self.shared.metrics.record_checkpoint(started.elapsed());
             }
         }
         Ok(())
@@ -968,10 +1002,47 @@ impl GraphflowDB {
         self.shared.plan_cache.stats()
     }
 
-    /// `EXPLAIN`: return the chosen plan's operator tree as text, plus its class and estimated
-    /// cost. Served through the plan cache.
+    /// A point-in-time snapshot of every db-wide metric: query throughput and latency
+    /// percentiles, plan-cache counters, commit/WAL/checkpoint activity. Cheap (atomic loads;
+    /// on a persistent database also a brief storage-lock acquisition for the WAL counters)
+    /// and safe to call concurrently with queries and commits. Render the snapshot for a
+    /// Prometheus scrape with [`Metrics::render`].
+    ///
+    /// ```
+    /// # use graphflow_core::GraphflowDB;
+    /// # use graphflow_graph::GraphBuilder;
+    /// # let mut b = GraphBuilder::new();
+    /// # b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+    /// # let db = GraphflowDB::from_graph(b.build());
+    /// db.count("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+    /// let m = db.metrics();
+    /// assert_eq!(m.queries_started, 1);
+    /// assert_eq!(m.queries_completed, 1);
+    /// assert!(m.render().contains("graphflow_queries_completed_total 1"));
+    /// ```
+    pub fn metrics(&self) -> Metrics {
+        let wal = self.shared.storage.as_ref().map(|s| s.lock().wal_stats());
+        self.shared.metrics.snapshot(self.plan_cache_stats(), wal)
+    }
+
+    /// The slow-query log: every recorded query whose latency reached the configured
+    /// [`slow_query_threshold`](GraphflowDBBuilder::slow_query_threshold), oldest first
+    /// (bounded at [`SLOW_LOG_CAPACITY`] entries — older ones are dropped). Empty when no
+    /// threshold was configured.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared
+            .slow_log
+            .as_ref()
+            .map(|log| log.entries())
+            .unwrap_or_default()
+    }
+
+    /// `EXPLAIN`: return the chosen plan's operator tree as text — class, estimated cost,
+    /// and per-operator estimated cardinalities. Served through the plan cache; nothing is
+    /// executed. For the structured report use [`PreparedQuery::explain`], which returns a
+    /// typed [`QueryProfile`].
     pub fn explain(&self, pattern: &str) -> Result<String, Error> {
-        Ok(self.prepare(pattern)?.explain())
+        Ok(self.prepare(pattern)?.explain().to_string())
     }
 
     /// Count the matches of a pattern with default options (served through the plan cache).
@@ -1017,8 +1088,29 @@ impl GraphflowDB {
     }
 
     /// [`query`](GraphflowDB::query) with explicit execution options.
+    ///
+    /// A pattern prefixed with `EXPLAIN` returns the chosen plan (with estimated
+    /// cardinalities and costs) as a one-column result set without executing anything; a
+    /// `PROFILE` prefix executes the query under `options` and returns the same tree
+    /// annotated with per-operator actuals. For the structured reports behind these verbs
+    /// see [`PreparedQuery::explain`] and [`PreparedQuery::profile`].
+    ///
+    /// ```
+    /// # use graphflow_core::GraphflowDB;
+    /// # use graphflow_graph::GraphBuilder;
+    /// # let mut b = GraphBuilder::new();
+    /// # b.add_edge(0, 1); b.add_edge(1, 2); b.add_edge(0, 2);
+    /// # let db = GraphflowDB::from_graph(b.build());
+    /// let rs = db.query("EXPLAIN (a)->(b), (b)->(c), (a)->(c)").unwrap();
+    /// assert_eq!(rs.columns(), ["plan"]);
+    /// ```
     pub fn query_with(&self, pattern: &str, options: QueryOptions) -> Result<ResultSet, Error> {
-        self.prepare(pattern)?.execute(options)
+        let (mode, rest) = split_mode(pattern);
+        match mode {
+            QueryMode::Execute => self.prepare(rest)?.execute(options),
+            QueryMode::Explain => Ok(explain::result_set(&self.prepare(rest)?.explain())),
+            QueryMode::Profile => Ok(explain::result_set(&self.prepare(rest)?.profile(options)?)),
+        }
     }
 
     /// Run a pattern, streaming every match (in query-vertex order) into `sink` instead of
@@ -1249,6 +1341,8 @@ impl GraphflowDB {
         sink: &mut (dyn MatchSink + Send),
     ) -> Result<RuntimeStats, Error> {
         options.validate()?;
+        let metrics = &self.shared.metrics;
+        metrics.queries_started.fetch_add(1, Ordering::Relaxed);
         // The deadline is armed before pipeline compilation, so hash-join build work and
         // (in the parallel executor) build-side materialisation count against the budget;
         // planning happened at prepare time and is not covered.
@@ -1265,12 +1359,28 @@ impl GraphflowDB {
             Some(false) => stats.plan_cache_misses += 1,
             None => {}
         }
+        // Every finished run — completed, cancelled or timed out — is one latency
+        // observation, and a slow-log candidate (a timed-out query is slow by definition).
+        metrics.query_latency.observe(stats.elapsed);
+        if let Some(log) = &self.shared.slow_log {
+            if stats.elapsed >= log.threshold() {
+                log.record(SlowQuery {
+                    query: plan.query.to_string(),
+                    latency: stats.elapsed,
+                    icost: stats.icost,
+                    plan_id: plan.root.fingerprint(),
+                });
+            }
+        }
         if stats.cancelled {
+            metrics.queries_cancelled.fetch_add(1, Ordering::Relaxed);
             return Err(Error::Cancelled);
         }
         if stats.timed_out {
+            metrics.queries_timed_out.fetch_add(1, Ordering::Relaxed);
             return Err(Error::Timeout);
         }
+        metrics.queries_completed.fetch_add(1, Ordering::Relaxed);
         Ok(stats)
     }
 
@@ -1288,6 +1398,7 @@ impl GraphflowDB {
             cancel: options.cancel.clone(),
             deadline,
             count_tail: options.count_tail,
+            profile: options.profile,
         };
         // Execution pins `view`: queries observe one delta epoch end to end.
         if options.threads > 1 {

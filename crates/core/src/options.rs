@@ -45,6 +45,7 @@ pub struct QueryOptions {
     /// result-set layer when the prepared query is `RETURN COUNT(*)` and the plan's final
     /// operator is an E/I extension; never exposed to callers directly.
     pub(crate) count_tail: bool,
+    pub(crate) profile: bool,
 }
 
 impl Default for QueryOptions {
@@ -59,6 +60,7 @@ impl Default for QueryOptions {
             timeout: None,
             cancel: None,
             count_tail: false,
+            profile: false,
         }
     }
 }
@@ -150,6 +152,16 @@ impl QueryOptions {
         self
     }
 
+    /// Collect a per-operator execution profile alongside the run, returned through
+    /// [`RuntimeStats::profile`](crate::RuntimeStats::profile) (this is what
+    /// [`PreparedQuery::profile`](crate::PreparedQuery::profile) and `PROFILE <query>` turn
+    /// on). Off by default; when off the executors' stats are identical to an unprofiled
+    /// run's.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
     // --- accessors -------------------------------------------------------------------------
 
     /// Whether the adaptive executor was requested.
@@ -190,6 +202,11 @@ impl QueryOptions {
     /// The attached cancellation token, if any.
     pub fn cancellation_token(&self) -> Option<&CancellationToken> {
         self.cancel.as_ref()
+    }
+
+    /// Whether a per-operator profile will be collected.
+    pub fn profiles(&self) -> bool {
+        self.profile
     }
 
     /// Reject invalid option combinations (currently: `adaptive` together with multi-threaded

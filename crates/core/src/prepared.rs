@@ -1,6 +1,7 @@
 //! Prepared queries: parse + canonicalize + optimize once, execute many times — from any
 //! thread — plus the [`QueryHandle`] wrapper for cancellable background execution.
 
+use crate::explain::QueryProfile;
 use crate::{CancellationToken, Error, GraphflowDB, QueryOptions, QueryResult};
 use graphflow_exec::{MatchSink, PartialSink, RuntimeStats};
 use graphflow_graph::{Snapshot, VertexId};
@@ -68,14 +69,36 @@ impl PreparedQuery {
         self.cache_hit
     }
 
-    /// `EXPLAIN`-style text for the prepared plan.
-    pub fn explain(&self) -> String {
-        format!(
-            "plan class: {}\nestimated cost: {:.1}\n{}",
-            self.plan.class(),
-            self.plan.estimated_cost,
-            self.plan.explain()
-        )
+    /// `EXPLAIN`: the prepared plan as a typed [`QueryProfile`] — the operator tree with
+    /// the catalogue's estimated cardinality and cumulative cost on every node. Nothing is
+    /// executed. `Display` renders the classic indented tree; [`QueryProfile::to_json`]
+    /// serializes it.
+    pub fn explain(&self) -> QueryProfile {
+        let catalogue = self.db.catalogue();
+        let model = *self.db.shared.cost_model.read();
+        QueryProfile::estimate(&self.plan, &catalogue, &model)
+    }
+
+    /// `PROFILE`: execute the query with per-operator profiling and return the plan tree
+    /// annotated with **both** estimates and actuals ([`QueryProfile`] with
+    /// [`stats`](QueryProfile::stats) set). The summed per-operator counters equal the run's
+    /// [`RuntimeStats`] totals exactly; profiling adds one counter struct per operator and
+    /// two timestamp reads per batch, nothing more.
+    ///
+    /// The query runs to completion under `options` (with
+    /// [`profile`](QueryOptions::profile) forced on), so cancellation, timeouts and output
+    /// limits all behave as in [`run`](PreparedQuery::run) — except that a cancelled or
+    /// timed-out run surfaces as its usual error rather than a partial profile.
+    pub fn profile(&self, options: QueryOptions) -> Result<QueryProfile, Error> {
+        let result = self.run(options.profile(true))?;
+        let catalogue = self.db.catalogue();
+        let model = *self.db.shared.cost_model.read();
+        Ok(QueryProfile::profiled(
+            &self.plan,
+            &catalogue,
+            &model,
+            result.stats,
+        ))
     }
 
     /// Count the matches with default options.

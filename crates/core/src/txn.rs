@@ -353,13 +353,19 @@ impl<'db> WriteTxn<'db> {
         // The publication point: readers pinning a snapshot from here on see every staged
         // update; in-flight queries keep the epoch they already pinned.
         *shared.current.write() = self.staged.clone();
+        shared
+            .metrics
+            .txn_commits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // Compaction doubles as a checkpoint: persist the freshly folded CSR and truncate
         // the WAL. After the publication point, so a failure here cannot un-publish the
         // commit — the WAL still holds everything the lost snapshot would have folded.
         if let (Some(counts), Some(storage)) = (checkpoint_after, &shared.storage) {
+            let started = std::time::Instant::now();
             storage
                 .lock()
                 .checkpoint(self.staged.base(), version, &counts)?;
+            shared.metrics.record_checkpoint(started.elapsed());
         }
         Ok(version)
     }

@@ -9,9 +9,10 @@
 //! fixed (they come from the SCAN) and the rest are picked adaptively per scanned edge.
 
 use crate::pipeline::{
-    compile, drive_pipeline_into_sink, run_stages, CompiledPipeline, ExecOptions, ExecOutput,
-    ExtendStage, Stage,
+    assemble_profile, compile, drive_pipeline_into_sink, run_stages, CompiledPipeline, ExecOptions,
+    ExecOutput, ExtendStage, Stage,
 };
+use crate::profile::OpCounters;
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_catalog::Catalogue;
@@ -44,10 +45,22 @@ pub(crate) struct AdaptiveCandidate {
     pub canonical_to_candidate: Vec<usize>,
 }
 
+/// Profile accumulator for an adaptive stage: the stage's own counters (selection overhead,
+/// routed tuples, canonical re-emits) plus a per-candidate routing histogram. Step-level work
+/// accrues on each candidate's own [`ExtendStage`] accumulators.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct AdaptiveProf {
+    pub(crate) op: OpCounters,
+    /// `chosen[i]` = number of incoming tuples routed to candidate `i`.
+    pub(crate) chosen: Vec<u64>,
+}
+
 /// A pipeline stage that picks a query-vertex ordering per tuple.
 #[derive(Debug, Clone)]
 pub struct AdaptiveStage {
     pub(crate) candidates: Vec<AdaptiveCandidate>,
+    /// Present only under [`ExecOptions::profile`].
+    pub(crate) prof: Option<Box<AdaptiveProf>>,
 }
 
 impl AdaptiveStage {
@@ -106,18 +119,31 @@ pub(crate) fn run_adaptive_stage<G: GraphView>(
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
+    // Destructured so the chosen candidate and the stage's profile accumulator can be borrowed
+    // disjointly through the recursion below.
+    let AdaptiveStage { candidates, prof } = stage;
+    let sel_t0 = if prof.is_some() {
+        Some(Instant::now())
+    } else {
+        None
+    };
     // Pick the cheapest candidate for this tuple.
     let mut best = 0usize;
     let mut best_cost = f64::INFINITY;
-    for (i, cand) in stage.candidates.iter().enumerate() {
+    for (i, cand) in candidates.iter().enumerate() {
         let c = recost_candidate(cand, graph, tuple);
         if c < best_cost {
             best_cost = c;
             best = i;
         }
     }
+    if let Some(p) = prof.as_deref_mut() {
+        p.op.tuples_in += 1;
+        p.chosen[best] += 1;
+        p.op.time_ns += sel_t0.expect("set with prof").elapsed().as_nanos() as u64;
+    }
     let base_len = tuple.len();
-    let candidate = &mut stage.candidates[best];
+    let candidate = &mut candidates[best];
     run_candidate_steps(
         &mut candidate.steps,
         &candidate.canonical_to_candidate,
@@ -128,6 +154,7 @@ pub(crate) fn run_adaptive_stage<G: GraphView>(
         options,
         interrupt,
         stats,
+        prof,
         on_result,
     )
 }
@@ -145,10 +172,13 @@ fn run_candidate_steps<G: GraphView>(
     options: &ExecOptions,
     interrupt: Option<&crate::cancel::Interrupt>,
     stats: &mut RuntimeStats,
+    adaptive_prof: &mut Option<Box<AdaptiveProf>>,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
     if steps.is_empty() {
-        // Restore the canonical layout of the appended values.
+        // Restore the canonical layout of the appended values. Outputs and canonical re-emits
+        // are the stage's own work (no single step owns them), so they accrue on the stage's
+        // accumulator rather than a candidate step's.
         let mut canonical = Vec::with_capacity(tuple.len());
         canonical.extend_from_slice(&tuple[..base_len]);
         for &cand_pos in canonical_to_candidate {
@@ -156,6 +186,9 @@ fn run_candidate_steps<G: GraphView>(
         }
         return if rest.is_empty() {
             stats.output_count += 1;
+            if let Some(p) = adaptive_prof.as_deref_mut() {
+                p.op.outputs += 1;
+            }
             let mut cont = on_result(&canonical);
             if let Some(limit) = options.output_limit {
                 if stats.output_count >= limit {
@@ -165,6 +198,9 @@ fn run_candidate_steps<G: GraphView>(
             cont
         } else {
             stats.intermediate_tuples += 1;
+            if let Some(p) = adaptive_prof.as_deref_mut() {
+                p.op.tuples_out += 1;
+            }
             let mut canonical_vec = canonical;
             run_stages(
                 rest,
@@ -193,6 +229,9 @@ fn run_candidate_steps<G: GraphView>(
         // never read, so its set size is the result count for this prefix.
         stats.output_count += set_len as u64;
         stats.bulk_counted_extensions += 1;
+        if let Some(p) = adaptive_prof.as_deref_mut() {
+            p.op.outputs += set_len as u64;
+        }
         return true;
     }
     for i in 0..set_len {
@@ -206,6 +245,9 @@ fn run_candidate_steps<G: GraphView>(
         tuple.push(v);
         if !remaining.is_empty() || !rest.is_empty() {
             stats.intermediate_tuples += 1;
+            if let Some(p) = &mut stage.prof {
+                p.tuples_out += 1;
+            }
         }
         let keep_going = run_candidate_steps(
             remaining,
@@ -217,6 +259,7 @@ fn run_candidate_steps<G: GraphView>(
             options,
             interrupt,
             stats,
+            adaptive_prof,
             on_result,
         );
         tuple.pop();
@@ -355,7 +398,22 @@ pub(crate) fn compile_adaptive<G: GraphView>(
                 new_stages.push(fixed.stages[k].clone());
             }
         } else {
-            new_stages.push(Stage::Adaptive(AdaptiveStage { candidates }));
+            // `compile` enables the fixed stages' accumulators; candidate steps are built here,
+            // so their accumulators (and the stage's own) are enabled here too.
+            let prof = if options.profile {
+                for cand in &mut candidates {
+                    for step in &mut cand.steps {
+                        step.prof = Some(Default::default());
+                    }
+                }
+                Some(Box::new(AdaptiveProf {
+                    op: OpCounters::default(),
+                    chosen: vec![0; candidates.len()],
+                }))
+            } else {
+                None
+            };
+            new_stages.push(Stage::Adaptive(AdaptiveStage { candidates, prof }));
         }
         i = j;
     }
@@ -404,6 +462,9 @@ pub fn execute_adaptive_with_sink<G: GraphView>(
         q.num_vertices(),
         sink,
     );
+    if options.profile {
+        stats.profile = Some(Box::new(assemble_profile(&pipeline)));
+    }
     stats.elapsed = start.elapsed();
     stats
 }

@@ -39,6 +39,7 @@ pub mod agg;
 pub mod cancel;
 pub mod parallel;
 pub mod pipeline;
+pub mod profile;
 pub mod sink;
 pub mod stats;
 
@@ -47,5 +48,6 @@ pub use agg::{AggregatingSink, ProjectingSink, Row, RowSpec, Value};
 pub use cancel::{CancellationToken, Interrupt, INTERRUPT_CHECK_INTERVAL};
 pub use parallel::{execute_parallel, execute_parallel_with_sink};
 pub use pipeline::{execute, execute_with_options, execute_with_sink, ExecOptions, ExecOutput};
+pub use profile::{CandidateProfile, OpCounters, OpKind, OpProfile};
 pub use sink::{CallbackSink, CollectingSink, CountingSink, LimitSink, MatchSink, PartialSink};
 pub use stats::RuntimeStats;

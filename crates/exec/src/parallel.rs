@@ -6,7 +6,11 @@
 //! the next unclaimed chunk from a shared atomic counter — a simple work-stealing queue that
 //! keeps all threads busy even when the per-chunk work is highly skewed.
 
-use crate::pipeline::{compile, run_pipeline_on_range, CompiledPipeline, ExecOptions, ExecOutput};
+use crate::pipeline::{
+    assemble_profile, compile, flatten_profs, merge_flat_profs, run_pipeline_on_range,
+    CompiledPipeline, ExecOptions, ExecOutput,
+};
+use crate::profile::OpCounters;
 use crate::sink::{CountingSink, MatchSink, PartialSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{GraphView, VertexId};
@@ -68,7 +72,7 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     let mut setup_stats = RuntimeStats::default();
     let q = &plan.query;
     // Build-side materialisation happens once, in the calling thread.
-    let pipeline = compile(graph, q, &plan.root, &options, &mut setup_stats);
+    let mut pipeline = compile(graph, q, &plan.root, &options, &mut setup_stats);
     // Workers enforce the limit through the shared counter below, not through their private
     // per-pipeline counters (which would multiply the limit by the worker count).
     let limit = options.output_limit;
@@ -109,7 +113,12 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     let out_layout = pipeline.out_layout.clone();
     let num_query_vertices = q.num_vertices();
 
-    let per_thread: Vec<(RuntimeStats, Option<Box<dyn PartialSink>>)> = {
+    type WorkerResult = (
+        RuntimeStats,
+        Option<Box<dyn PartialSink>>,
+        Option<Vec<OpCounters>>,
+    );
+    let per_thread: Vec<WorkerResult> = {
         let shared_sink = Mutex::new(&mut *sink);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(num_threads);
@@ -232,7 +241,22 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                     // Deliver whatever is left in the local buffer.
                     flush(&mut batch);
                     stats.output_count -= rejected;
-                    (stats, partial)
+                    // Harvest this worker's per-stage profile accumulators for the positional
+                    // merge at the join barrier (fork/absorb, like partial sinks). Rejected
+                    // tuples were booked as outputs by the emitting (last) operator, so the
+                    // same deduction applied to the stats total keeps the tree-sum exact.
+                    let profs = if worker_options.profile {
+                        let mut profs = flatten_profs(&local_pipeline);
+                        if rejected > 0 {
+                            if let Some(last) = profs.last_mut() {
+                                last.outputs -= rejected;
+                            }
+                        }
+                        Some(profs)
+                    } else {
+                        None
+                    };
+                    (stats, partial, profs)
                 }));
             }
             handles
@@ -244,16 +268,22 @@ pub fn execute_parallel_with_sink<G: GraphView>(
         // partial merges below.
     };
     let mut stats = setup_stats;
-    for (s, partial) in per_thread {
+    for (s, partial, profs) in per_thread {
         stats.merge(&s);
         if let Some(p) = partial {
             // Merge each worker's thread-local fold back into the caller's sink; order
             // must not matter, and for the provided aggregation sinks it does not.
             sink.absorb_partial(p);
         }
+        if let Some(profs) = profs {
+            merge_flat_profs(&mut pipeline, &profs);
+        }
     }
     if !needs_tuples {
         sink.on_count(stats.output_count);
+    }
+    if options.profile {
+        stats.profile = Some(Box::new(assemble_profile(&pipeline)));
     }
     stats.elapsed = start.elapsed();
     stats

@@ -7,6 +7,7 @@
 //! through it depth-first, so no intermediate result is ever materialised outside of hash
 //! tables — the same discipline as the paper's Volcano-style engine.
 
+use crate::profile::{CandidateProfile, OpCounters, OpKind, OpProfile};
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{
@@ -149,6 +150,12 @@ pub struct ExecOptions {
     /// the join table, not the output). `RuntimeStats::bulk_counted_extensions` counts the
     /// shortcut firing.
     pub count_tail: bool,
+    /// Collect a per-operator profile ([`OpProfile`]) alongside the
+    /// run: wall-time, i-cost, tuples in/out, cache hits/misses, predicate evals/drops and
+    /// delta merges attributed to each plan operator, returned through
+    /// [`RuntimeStats::profile`]. Off by default; when off, every accrual site pays a single
+    /// predictable branch and the returned stats are identical to an unprofiled build's.
+    pub profile: bool,
 }
 
 impl Default for ExecOptions {
@@ -159,6 +166,7 @@ impl Default for ExecOptions {
             cancel: None,
             deadline: None,
             count_tail: false,
+            profile: false,
         }
     }
 }
@@ -199,6 +207,8 @@ pub(crate) struct ScanStage {
     pub extra_filters: Vec<QueryEdge>,
     /// Property predicates evaluable on the scanned pair (pushed down from the WHERE clause).
     pub(crate) preds: Vec<ScanPred>,
+    /// Per-operator profile accumulator (present only under [`ExecOptions::profile`]).
+    pub(crate) prof: Option<Box<OpCounters>>,
 }
 
 /// An EXTEND/INTERSECT stage.
@@ -215,6 +225,8 @@ pub(crate) struct ExtendStage {
     cache_set: Vec<VertexId>,
     cache_valid: bool,
     scratch: Vec<VertexId>,
+    /// Per-operator profile accumulator (present only under [`ExecOptions::profile`]).
+    pub(crate) prof: Option<Box<OpCounters>>,
 }
 
 impl ExtendStage {
@@ -233,6 +245,7 @@ impl ExtendStage {
             cache_set: Vec::new(),
             cache_valid: false,
             scratch: Vec::new(),
+            prof: None,
         }
     }
 
@@ -244,6 +257,11 @@ impl ExtendStage {
         use_cache: bool,
         stats: &mut RuntimeStats,
     ) -> &[VertexId] {
+        let prof_t0 = if self.prof.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let key_matches = use_cache
             && self.cache_valid
             && self.cache_key.len() == self.descriptors.len()
@@ -254,6 +272,11 @@ impl ExtendStage {
                 .all(|(d, &k)| tuple[d.tuple_idx] == k);
         if key_matches {
             stats.cache_hits += 1;
+            if let Some(p) = &mut self.prof {
+                p.tuples_in += 1;
+                p.cache_hits += 1;
+                p.time_ns += prof_t0.expect("set with prof").elapsed().as_nanos() as u64;
+            }
             return &self.cache_set;
         }
         stats.cache_misses += 1;
@@ -267,13 +290,17 @@ impl ExtendStage {
             .iter()
             .map(|d| graph.nbrs(tuple[d.tuple_idx], d.dir, d.edge_label, self.target_label))
             .collect();
-        stats.icost += lists.iter().map(|l| l.len() as u64).sum::<u64>();
-        stats.delta_merges += lists.iter().filter(|l| l.is_merged()).count() as u64;
+        let list_sizes: u64 = lists.iter().map(|l| l.len() as u64).sum();
+        let merged_lists = lists.iter().filter(|l| l.is_merged()).count() as u64;
+        stats.icost += list_sizes;
+        stats.delta_merges += merged_lists;
         multiway_intersect_views(&lists, &mut self.cache_set, &mut self.scratch);
         // Pushed-down filtering of the extension set. Baking this into the *cached* set is
         // sound: target predicates depend only on the candidate vertex, and every edge
         // predicate's prefix endpoint has a descriptor (one exists for each query edge between
         // prefix and target), so all bindings the filter reads are part of the cache key.
+        let evals_before = stats.predicate_evals;
+        let drops_before = stats.predicate_drops;
         if !self.target_preds.is_empty() || !self.edge_preds.is_empty() {
             let ExtendStage {
                 cache_set,
@@ -306,6 +333,15 @@ impl ExtendStage {
             stats.predicate_drops += (before - self.cache_set.len()) as u64;
         }
         self.cache_valid = true;
+        if let Some(p) = &mut self.prof {
+            p.tuples_in += 1;
+            p.cache_misses += 1;
+            p.icost += list_sizes;
+            p.delta_merges += merged_lists;
+            p.predicate_evals += stats.predicate_evals - evals_before;
+            p.predicate_drops += stats.predicate_drops - drops_before;
+            p.time_ns += prof_t0.expect("set with prof").elapsed().as_nanos() as u64;
+        }
         &self.cache_set
     }
 }
@@ -316,6 +352,12 @@ pub(crate) struct ProbeStage {
     pub table: Arc<JoinTable>,
     /// Positions of the join-key query vertices within the incoming tuple.
     pub key_positions: Vec<usize>,
+    /// Per-operator profile accumulator (present only under [`ExecOptions::profile`]).
+    pub(crate) prof: Option<Box<OpCounters>>,
+    /// The assembled profile of the materialised build side (filled at compile time under
+    /// [`ExecOptions::profile`]; shared unchanged by every parallel worker's pipeline clone
+    /// and therefore harvested once, from the compile-time template).
+    pub(crate) build_profile: Option<Box<OpProfile>>,
 }
 
 /// One pipeline stage.
@@ -359,7 +401,8 @@ pub(crate) fn compile<G: GraphView>(
                 current = &n.child;
             }
             PlanNode::HashJoin(n) => {
-                let table = materialize(graph, q, &n.build, &n.probe, options, stats);
+                let (table, build_profile) =
+                    materialize(graph, q, &n.build, &n.probe, options, stats);
                 let key_positions: Vec<usize> = n
                     .key_vertices
                     .iter()
@@ -374,6 +417,8 @@ pub(crate) fn compile<G: GraphView>(
                 stages_top_down.push(Stage::Probe(ProbeStage {
                     table: Arc::new(table),
                     key_positions,
+                    prof: None,
+                    build_profile,
                 }));
                 current = &n.probe;
             }
@@ -427,19 +472,36 @@ pub(crate) fn compile<G: GraphView>(
                     dst_label: q.vertex(n.edge.dst).label,
                     extra_filters,
                     preds,
+                    prof: None,
                 };
                 stages_top_down.reverse();
-                return CompiledPipeline {
+                let mut pipeline = CompiledPipeline {
                     scan,
                     stages: stages_top_down,
                     out_layout: node.out().to_vec(),
                 };
+                if options.profile {
+                    pipeline.scan.prof = Some(Default::default());
+                    for s in &mut pipeline.stages {
+                        match s {
+                            Stage::Extend(e) => e.prof = Some(Default::default()),
+                            Stage::Probe(p) => p.prof = Some(Default::default()),
+                            // Adaptive stages are introduced by `compile_adaptive`, which
+                            // enables their accumulators itself.
+                            Stage::Adaptive(_) => {}
+                        }
+                    }
+                }
+                return pipeline;
             }
         }
     }
 }
 
-/// Execute the build side of a hash join and materialise it into a [`JoinTable`].
+/// Execute the build side of a hash join and materialise it into a [`JoinTable`]. Under
+/// [`ExecOptions::profile`] the second return value is the build side's assembled profile
+/// subtree (its result-tuple outputs folded into the build root's `tuples_out`, mirroring how
+/// the stats fold below books them as intermediates).
 fn materialize<G: GraphView>(
     graph: &G,
     q: &QueryGraph,
@@ -447,7 +509,7 @@ fn materialize<G: GraphView>(
     probe: &PlanNode,
     options: &ExecOptions,
     stats: &mut RuntimeStats,
-) -> JoinTable {
+) -> (JoinTable, Option<Box<OpProfile>>) {
     let probe_set = probe.vertex_set();
     let build_out = build.out().to_vec();
     // Key = vertices shared with the probe side (in probe layout order is not required for the
@@ -515,7 +577,15 @@ fn materialize<G: GraphView>(
     // (the probe pipeline's own interrupt check stops the rest of the run promptly).
     stats.cancelled |= build_stats.cancelled;
     stats.timed_out |= build_stats.timed_out;
-    table
+    let build_profile = if options.profile {
+        let mut prof = assemble_profile(&pipeline);
+        prof.counters.tuples_out += prof.counters.outputs;
+        prof.counters.outputs = 0;
+        Some(Box::new(prof))
+    } else {
+        None
+    };
+    (table, build_profile)
 }
 
 /// Stream every result tuple of a compiled pipeline into `on_result`; the callback returns
@@ -548,6 +618,16 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
     }
     let interrupt = options.interrupt();
     let interrupt = interrupt.as_ref();
+    // The scan stage is cloned for the drive loop, so its profile (when enabled) accrues in a
+    // local accumulator and is merged back into the pipeline's accumulator at the end. The
+    // scan's time covers the whole drive; assembly subtracts downstream self-times.
+    let profiling = pipeline.scan.prof.is_some();
+    let run_t0 = if profiling {
+        Some(Instant::now())
+    } else {
+        None
+    };
+    let mut scan_prof = OpCounters::default();
     let scan = pipeline.scan.clone();
     let mut tuple: Vec<VertexId> = Vec::with_capacity(pipeline.out_layout.len());
     'scan: for &(u, v, l) in scan_edges {
@@ -558,6 +638,9 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
         }
         if l != scan.edge.label {
             continue;
+        }
+        if profiling {
+            scan_prof.tuples_in += 1;
         }
         if graph.vertex_label(u) != scan.src_label || graph.vertex_label(v) != scan.dst_label {
             continue;
@@ -576,6 +659,7 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
         }
         // Pushed-down property predicates on the scanned pair.
         if !scan.preds.is_empty() {
+            let evals_before = stats.predicate_evals;
             let pick = |slot: usize| if slot == 0 { u } else { v };
             let pass = scan.preds.iter().all(|p| match p {
                 ScanPred::Vertex { slot, cmp } => {
@@ -591,8 +675,14 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
                     stats,
                 ),
             });
+            if profiling {
+                scan_prof.predicate_evals += stats.predicate_evals - evals_before;
+            }
             if !pass {
                 stats.predicate_drops += 1;
+                if profiling {
+                    scan_prof.predicate_drops += 1;
+                }
                 continue;
             }
         }
@@ -601,6 +691,9 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
         tuple.push(v);
         if pipeline.stages.is_empty() {
             stats.output_count += 1;
+            if profiling {
+                scan_prof.outputs += 1;
+            }
             if !on_result(&tuple) {
                 break 'scan;
             }
@@ -611,6 +704,9 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
             }
         } else {
             stats.intermediate_tuples += 1;
+            if profiling {
+                scan_prof.tuples_out += 1;
+            }
             if !run_stages(
                 &mut pipeline.stages,
                 graph,
@@ -623,6 +719,10 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
                 break 'scan;
             }
         }
+    }
+    if let Some(p) = &mut pipeline.scan.prof {
+        scan_prof.time_ns = run_t0.expect("set with prof").elapsed().as_nanos() as u64;
+        p.merge(&scan_prof);
     }
 }
 
@@ -649,6 +749,9 @@ pub(crate) fn run_stages<G: GraphView>(
                 // (already predicate-filtered) set size is the number of results.
                 stats.output_count += set_len as u64;
                 stats.bulk_counted_extensions += 1;
+                if let Some(p) = &mut stage.prof {
+                    p.outputs += set_len as u64;
+                }
                 return true;
             }
             for i in 0..set_len {
@@ -663,6 +766,9 @@ pub(crate) fn run_stages<G: GraphView>(
                 tuple.push(v);
                 let keep_going = if is_last {
                     stats.output_count += 1;
+                    if let Some(p) = &mut stage.prof {
+                        p.outputs += 1;
+                    }
                     let mut cont = on_result(tuple);
                     if let Some(limit) = options.output_limit {
                         if stats.output_count >= limit {
@@ -672,6 +778,9 @@ pub(crate) fn run_stages<G: GraphView>(
                     cont
                 } else {
                     stats.intermediate_tuples += 1;
+                    if let Some(p) = &mut stage.prof {
+                        p.tuples_out += 1;
+                    }
                     run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
                 };
                 tuple.pop();
@@ -683,42 +792,65 @@ pub(crate) fn run_stages<G: GraphView>(
         }
         Stage::Probe(stage) => {
             stats.hash_probe_tuples += 1;
-            let key: Vec<VertexId> = stage.key_positions.iter().map(|&i| tuple[i]).collect();
-            let Some(payloads) = stage.table.map.get(&key) else {
-                return true;
+            // The profile accumulator is taken out of the stage for the duration of the probe
+            // so the table borrow below and the accumulator borrows stay disjoint.
+            let prof_t0 = if stage.prof.is_some() {
+                Some(Instant::now())
+            } else {
+                None
             };
-            let width = stage.table.payload_width;
-            let groups = payloads.len().checked_div(width).unwrap_or(1);
-            for g in 0..groups {
-                if let Some(interrupt) = interrupt {
-                    if interrupt.should_stop(stats) {
-                        return false;
-                    }
+            let mut prof = stage.prof.take();
+            let keep = 'probe: {
+                let key: Vec<VertexId> = stage.key_positions.iter().map(|&i| tuple[i]).collect();
+                let lookup = stage.table.map.get(&key);
+                if let (Some(p), Some(t0)) = (prof.as_deref_mut(), prof_t0) {
+                    p.tuples_in += 1;
+                    p.time_ns += t0.elapsed().as_nanos() as u64;
                 }
-                for j in 0..width {
-                    tuple.push(payloads[g * width + j]);
-                }
-                let keep_going = if is_last {
-                    stats.output_count += 1;
-                    let mut cont = on_result(tuple);
-                    if let Some(limit) = options.output_limit {
-                        if stats.output_count >= limit {
-                            cont = false;
+                let Some(payloads) = lookup else {
+                    break 'probe true;
+                };
+                let width = stage.table.payload_width;
+                let groups = payloads.len().checked_div(width).unwrap_or(1);
+                for g in 0..groups {
+                    if let Some(interrupt) = interrupt {
+                        if interrupt.should_stop(stats) {
+                            break 'probe false;
                         }
                     }
-                    cont
-                } else {
-                    stats.intermediate_tuples += 1;
-                    run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
-                };
-                for _ in 0..width {
-                    tuple.pop();
+                    for j in 0..width {
+                        tuple.push(payloads[g * width + j]);
+                    }
+                    let keep_going = if is_last {
+                        stats.output_count += 1;
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.outputs += 1;
+                        }
+                        let mut cont = on_result(tuple);
+                        if let Some(limit) = options.output_limit {
+                            if stats.output_count >= limit {
+                                cont = false;
+                            }
+                        }
+                        cont
+                    } else {
+                        stats.intermediate_tuples += 1;
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.tuples_out += 1;
+                        }
+                        run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
+                    };
+                    for _ in 0..width {
+                        tuple.pop();
+                    }
+                    if !keep_going {
+                        break 'probe false;
+                    }
                 }
-                if !keep_going {
-                    return false;
-                }
-            }
-            true
+                true
+            };
+            stage.prof = prof;
+            keep
         }
         Stage::Adaptive(stage) => crate::adaptive::run_adaptive_stage(
             stage, rest, graph, tuple, options, interrupt, stats, on_result,
@@ -733,6 +865,181 @@ impl ExtendStage {
     #[inline]
     pub(crate) fn cache_set_value(&self, i: usize) -> VertexId {
         self.cache_set[i]
+    }
+}
+
+/// Assemble a pipeline's per-stage accumulators into the [`OpProfile`] tree mirroring the
+/// plan's operator tree. Times become self-times here: every non-scan accumulator timed only
+/// its own work while the scan's accumulator timed the whole drive, so the scan's time is
+/// reduced by the downstream stages' total.
+pub(crate) fn assemble_profile(pipeline: &CompiledPipeline) -> OpProfile {
+    let mut stage_time = 0u64;
+    for s in &pipeline.stages {
+        match s {
+            Stage::Extend(e) => {
+                if let Some(p) = &e.prof {
+                    stage_time += p.time_ns;
+                }
+            }
+            Stage::Probe(p) => {
+                if let Some(c) = &p.prof {
+                    stage_time += c.time_ns;
+                }
+            }
+            Stage::Adaptive(a) => {
+                if let Some(pr) = &a.prof {
+                    stage_time += pr.op.time_ns;
+                }
+                for cand in &a.candidates {
+                    for step in &cand.steps {
+                        if let Some(p) = &step.prof {
+                            stage_time += p.time_ns;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut scan_counters = pipeline.scan.prof.as_deref().cloned().unwrap_or_default();
+    scan_counters.time_ns = scan_counters.time_ns.saturating_sub(stage_time);
+    let mut node = OpProfile {
+        kind: OpKind::Scan {
+            src: pipeline.scan.edge.src,
+            dst: pipeline.scan.edge.dst,
+        },
+        counters: scan_counters,
+        candidates: Vec::new(),
+        children: Vec::new(),
+    };
+    let layout = &pipeline.out_layout;
+    let mut pos = 2usize;
+    for s in &pipeline.stages {
+        match s {
+            Stage::Extend(e) => {
+                let target = layout[pos];
+                pos += 1;
+                node = OpProfile {
+                    kind: OpKind::Extend { target },
+                    counters: e.prof.as_deref().cloned().unwrap_or_default(),
+                    candidates: Vec::new(),
+                    children: vec![node],
+                };
+            }
+            Stage::Probe(p) => {
+                let width = p.table.payload_width;
+                let appended = layout[pos..pos + width].to_vec();
+                pos += width;
+                let mut children = vec![node];
+                if let Some(bp) = &p.build_profile {
+                    children.push((**bp).clone());
+                }
+                node = OpProfile {
+                    kind: OpKind::HashJoin { appended },
+                    counters: p.prof.as_deref().cloned().unwrap_or_default(),
+                    candidates: Vec::new(),
+                    children,
+                };
+            }
+            Stage::Adaptive(a) => {
+                let span = a.candidates.first().map(|c| c.steps.len()).unwrap_or(0);
+                let targets = layout[pos..pos + span].to_vec();
+                pos += span;
+                let (op, chosen) = match &a.prof {
+                    Some(pr) => (pr.op.clone(), pr.chosen.clone()),
+                    None => (OpCounters::default(), vec![0; a.candidates.len()]),
+                };
+                let candidates = a
+                    .candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, cand)| {
+                        // `canonical_to_candidate[i]` is the candidate position of the vertex
+                        // the fixed plan binds at canonical position `i`; invert it to list
+                        // the candidate's own binding order.
+                        let mut order = vec![0usize; span];
+                        for (canon_i, &cand_pos) in cand.canonical_to_candidate.iter().enumerate() {
+                            order[cand_pos] = targets[canon_i];
+                        }
+                        CandidateProfile {
+                            order,
+                            chosen: chosen.get(ci).copied().unwrap_or(0),
+                            steps: cand
+                                .steps
+                                .iter()
+                                .map(|st| st.prof.as_deref().cloned().unwrap_or_default())
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                node = OpProfile {
+                    kind: OpKind::Adaptive { targets },
+                    counters: op,
+                    candidates,
+                    children: vec![node],
+                };
+            }
+        }
+    }
+    node
+}
+
+/// Flatten a pipeline's profile accumulators into a positional list (scan first, then each
+/// stage in order; adaptive stages contribute their own accumulator followed by every
+/// candidate step's). Hash-join build subtrees are compile-time state shared by every clone of
+/// the pipeline, so they are *not* flattened — the template keeps the only copy.
+pub(crate) fn flatten_profs(pipeline: &CompiledPipeline) -> Vec<OpCounters> {
+    let mut out = Vec::new();
+    out.push(pipeline.scan.prof.as_deref().cloned().unwrap_or_default());
+    for s in &pipeline.stages {
+        match s {
+            Stage::Extend(e) => out.push(e.prof.as_deref().cloned().unwrap_or_default()),
+            Stage::Probe(p) => out.push(p.prof.as_deref().cloned().unwrap_or_default()),
+            Stage::Adaptive(a) => {
+                // Parallel pipelines never contain adaptive stages (only `compile_adaptive`
+                // builds them, and adaptive execution is single-threaded); this arm exists
+                // only to keep the walk positional. Candidate step counters collapse into
+                // the stage's slot.
+                let mut op = a.prof.as_deref().map(|p| p.op.clone()).unwrap_or_default();
+                for cand in &a.candidates {
+                    for step in &cand.steps {
+                        if let Some(p) = &step.prof {
+                            op.merge(p);
+                        }
+                    }
+                }
+                out.push(op);
+            }
+        }
+    }
+    out
+}
+
+/// Merge a worker pipeline's flattened accumulators back into the template pipeline,
+/// positionally (the parallel join barrier; same fork/absorb discipline as partial sinks).
+pub(crate) fn merge_flat_profs(pipeline: &mut CompiledPipeline, profs: &[OpCounters]) {
+    let mut it = profs.iter();
+    if let (Some(p), Some(src)) = (pipeline.scan.prof.as_deref_mut(), it.next()) {
+        p.merge(src);
+    }
+    for s in &mut pipeline.stages {
+        let Some(src) = it.next() else { return };
+        match s {
+            Stage::Extend(e) => {
+                if let Some(p) = e.prof.as_deref_mut() {
+                    p.merge(src);
+                }
+            }
+            Stage::Probe(p) => {
+                if let Some(p) = p.prof.as_deref_mut() {
+                    p.merge(src);
+                }
+            }
+            Stage::Adaptive(a) => {
+                if let Some(pr) = a.prof.as_deref_mut() {
+                    pr.op.merge(src);
+                }
+            }
+        }
     }
 }
 
@@ -804,6 +1111,9 @@ pub fn execute_with_sink<G: GraphView>(
         q.num_vertices(),
         sink,
     );
+    if options.profile {
+        stats.profile = Some(Box::new(assemble_profile(&pipeline)));
+    }
     stats.elapsed = start.elapsed();
     stats
 }

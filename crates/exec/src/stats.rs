@@ -53,6 +53,12 @@ pub struct RuntimeStats {
     pub timed_out: bool,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// The assembled per-operator profile tree, present only when the run was executed with
+    /// [`ExecOptions::profile`](crate::ExecOptions::profile) set. Every counter above is the
+    /// exact sum of the tree's per-operator contributions (see
+    /// [`OpProfile`](crate::profile::OpProfile)). With profiling off this is `None` and the
+    /// stats are identical to an unprofiled build's.
+    pub profile: Option<Box<crate::profile::OpProfile>>,
 }
 
 impl RuntimeStats {
@@ -76,6 +82,11 @@ impl RuntimeStats {
         self.timed_out |= other.timed_out;
         // Elapsed time is wall clock, not CPU time: keep the maximum.
         self.elapsed = self.elapsed.max(other.elapsed);
+        // Per-worker operator profiles are merged positionally by the parallel executor
+        // itself (stage by stage, before assembly); a plain stats merge keeps its own tree.
+        if self.profile.is_none() {
+            self.profile = other.profile.clone();
+        }
     }
 
     /// Fraction of E/I extension-set computations served by the cache.

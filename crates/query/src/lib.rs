@@ -35,7 +35,7 @@ pub use canonical::{
     CanonicalCode, MAX_CANONICAL_VERTICES,
 };
 pub use extension::{descriptors_for_extension, extension_chain, AdjListDescriptor, ExtensionSpec};
-pub use parser::{parse_query, ParseError};
+pub use parser::{parse_query, split_mode, ParseError, QueryMode};
 pub use patterns::benchmark_query;
 pub use querygraph::{CmpOp, PredTarget, Predicate, QueryEdge, QueryGraph, QueryVertex, VertexSet};
 pub use qvo::{connected_orderings, distinct_orderings};

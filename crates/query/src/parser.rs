@@ -699,11 +699,78 @@ pub fn parse_query(input: &str) -> Result<QueryGraph, ParseError> {
     Parser::new(input).parse_pattern()
 }
 
+/// How a query string asks to be evaluated: run it, explain its plan, or profile a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMode {
+    /// Plain execution (no prefix keyword).
+    Execute,
+    /// `EXPLAIN <query>`: plan only, nothing executes.
+    Explain,
+    /// `PROFILE <query>`: execute and report per-operator actuals.
+    Profile,
+}
+
+/// Split an optional leading `EXPLAIN` / `PROFILE` keyword (case-insensitive) off a query
+/// string, returning the mode and the remaining pattern text.
+///
+/// Patterns proper always start with `(`, so a leading identifier is unambiguous; a keyword
+/// must be followed by whitespace to count (`EXPLAIN(a)->(b)` is left for the pattern parser
+/// to reject with its usual positioned error).
+///
+/// ```
+/// use graphflow_query::{parse_query, split_mode, QueryMode};
+/// let (mode, rest) = split_mode("EXPLAIN (a)->(b), (b)->(c), (a)->(c)");
+/// assert_eq!(mode, QueryMode::Explain);
+/// assert_eq!(parse_query(rest).unwrap().num_vertices(), 3);
+/// let (mode, _) = split_mode("profile (a)->(b) RETURN COUNT(*)");
+/// assert_eq!(mode, QueryMode::Profile);
+/// let (mode, _) = split_mode("(a)->(b)");
+/// assert_eq!(mode, QueryMode::Execute);
+/// ```
+pub fn split_mode(input: &str) -> (QueryMode, &str) {
+    let trimmed = input.trim_start();
+    for (kw, mode) in [
+        ("EXPLAIN", QueryMode::Explain),
+        ("PROFILE", QueryMode::Profile),
+    ] {
+        if trimmed.len() > kw.len()
+            && trimmed[..kw.len()].eq_ignore_ascii_case(kw)
+            && trimmed.as_bytes()[kw.len()].is_ascii_whitespace()
+        {
+            return (mode, &trimmed[kw.len() + 1..]);
+        }
+    }
+    (QueryMode::Execute, input)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::canonical::are_isomorphic;
     use crate::patterns;
+
+    #[test]
+    fn split_mode_detects_prefixes_case_insensitively() {
+        assert_eq!(split_mode("(a)->(b)"), (QueryMode::Execute, "(a)->(b)"));
+        assert_eq!(
+            split_mode("EXPLAIN (a)->(b)"),
+            (QueryMode::Explain, "(a)->(b)")
+        );
+        assert_eq!(
+            split_mode("  profile (a)->(b)"),
+            (QueryMode::Profile, "(a)->(b)")
+        );
+        assert_eq!(
+            split_mode("Explain\t(a)->(b)"),
+            (QueryMode::Explain, "(a)->(b)")
+        );
+        // No word boundary: left for the pattern parser (which will reject it).
+        let (mode, rest) = split_mode("EXPLAIN(a)->(b)");
+        assert_eq!(mode, QueryMode::Execute);
+        assert_eq!(rest, "EXPLAIN(a)->(b)");
+        // A bare keyword with nothing after it is not a query.
+        assert_eq!(split_mode("EXPLAIN").0, QueryMode::Execute);
+    }
 
     #[test]
     fn parses_triangle() {

@@ -33,7 +33,7 @@ pub mod wal;
 pub use faults::FailpointFile;
 pub use snapshot::{PersistedCounts, SnapshotData};
 pub use store::{Recovered, Store};
-pub use wal::{Wal, WalBatch, WalRecovery};
+pub use wal::{Wal, WalBatch, WalRecovery, WalStats};
 
 use graphflow_graph::loader::LoadError;
 use std::fmt;

@@ -2,7 +2,7 @@
 //! snapshot files, plus the recovery state handed to `GraphflowDB::open`.
 
 use crate::snapshot::{self, PersistedCounts, SnapshotData};
-use crate::wal::{Wal, WalBatch};
+use crate::wal::{Wal, WalBatch, WalStats};
 use crate::{Durability, StorageError};
 use graphflow_graph::{Graph, Update};
 use std::path::{Path, PathBuf};
@@ -95,6 +95,11 @@ impl Store {
     /// any durability policy).
     pub fn sync(&mut self) -> Result<(), StorageError> {
         self.wal.sync()
+    }
+
+    /// Cumulative WAL counters (appends, bytes, fsyncs) since this store was opened.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
     }
 
     /// Install a snapshot of the (compacted) `graph` at `epoch` and truncate the WAL — the

@@ -98,6 +98,20 @@ pub fn replay(bytes: &[u8]) -> WalRecovery {
     }
 }
 
+/// Plain cumulative counters of what an open [`Wal`] has done, polled by the facade's metrics
+/// registry. Counters reset when the log is reopened (they describe this process's work, not
+/// the file's history).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit frames appended (staged frames under [`Durability::None`] included).
+    pub appends: u64,
+    /// Frame bytes (header + payload) that entered the log.
+    pub bytes_written: u64,
+    /// `fdatasync` calls issued (per-commit under [`Durability::Fsync`], plus explicit
+    /// [`Wal::sync`] barriers and checkpoint truncations).
+    pub fsyncs: u64,
+}
+
 /// An open write-ahead log positioned for appending.
 #[derive(Debug)]
 pub struct Wal {
@@ -108,6 +122,7 @@ pub struct Wal {
     pending: Vec<u8>,
     /// Reused frame-encoding scratch buffer.
     scratch: Vec<u8>,
+    stats: WalStats,
 }
 
 impl Wal {
@@ -142,6 +157,7 @@ impl Wal {
                 durability,
                 pending: Vec::new(),
                 scratch: Vec::new(),
+                stats: WalStats::default(),
             },
             recovery,
         ))
@@ -161,6 +177,8 @@ impl Wal {
         let mut header = [0u8; 8];
         header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.stats.appends += 1;
+        self.stats.bytes_written += (header.len() + payload.len()) as u64;
         if matches!(self.durability, Durability::None) {
             self.pending.extend_from_slice(&header);
             self.pending.extend_from_slice(payload);
@@ -177,6 +195,7 @@ impl Wal {
             .and_then(|()| self.file.write_all(payload))
             .and_then(|()| {
                 if matches!(self.durability, Durability::Fsync) {
+                    self.stats.fsyncs += 1;
                     self.file.sync_data()
                 } else {
                     Ok(())
@@ -202,9 +221,15 @@ impl Wal {
                 .map_err(|e| StorageError::io(ctx("flushing"), e))?;
             self.pending.clear();
         }
+        self.stats.fsyncs += 1;
         self.file
             .sync_data()
             .map_err(|e| StorageError::io(ctx("syncing"), e))
+    }
+
+    /// Cumulative counters of this log's work since it was opened.
+    pub fn stats(&self) -> WalStats {
+        self.stats
     }
 
     /// Drop every logged frame (a checkpoint has made them redundant) and reset the file to
@@ -219,6 +244,7 @@ impl Wal {
             .seek(SeekFrom::Start(0))
             .map_err(|e| StorageError::io(ctx("rewinding"), e))?;
         if matches!(self.durability, Durability::Fsync) {
+            self.stats.fsyncs += 1;
             self.file
                 .sync_data()
                 .map_err(|e| StorageError::io(ctx("syncing"), e))?;

@@ -1,0 +1,86 @@
+//! Profile a query end to end: EXPLAIN the chosen plan, PROFILE a run to see per-operator
+//! actuals, inspect the typed profile tree and its JSON form, then read the db-wide metrics
+//! registry and the slow-query log.
+//!
+//! ```bash
+//! cargo run --release --example profile_query
+//! ```
+
+use graphflow_core::{GraphflowDB, QueryOptions};
+use graphflow_graph::{GraphBuilder, PropValue};
+use std::time::Duration;
+
+const DIAMOND_X: &str = "(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)";
+
+fn main() {
+    // A synthetic social graph with enough structure for the optimizer to have choices.
+    let edges = graphflow_graph::generator::powerlaw_cluster(2_000, 6, 0.4, 11);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    let db = GraphflowDB::builder(b.build())
+        // Queries at or above this latency land in the slow-query ring buffer.
+        .slow_query_threshold(Duration::from_micros(50))
+        .build();
+
+    // 1. EXPLAIN: the chosen plan with the catalogue's estimated cardinalities and costs.
+    //    No execution happens — the stats columns stay empty.
+    println!("== EXPLAIN ==");
+    let explained = db.query(&format!("EXPLAIN {DIAMOND_X}")).unwrap();
+    for row in explained.rows() {
+        if let Some(PropValue::Str(line)) = &row[0] {
+            println!("{line}");
+        }
+    }
+
+    // 2. PROFILE: execute with per-operator counters and annotate the same tree with actual
+    //    rows, i-cost and self time.
+    println!("\n== PROFILE ==");
+    let profiled = db.query(&format!("PROFILE {DIAMOND_X}")).unwrap();
+    for row in profiled.rows() {
+        if let Some(PropValue::Str(line)) = &row[0] {
+            println!("{line}");
+        }
+    }
+
+    // 3. The typed surface: a prepared query exposes the same tree as a structure, plus a
+    //    machine-readable JSON rendering for dashboards.
+    let prepared = db.prepare(DIAMOND_X).unwrap();
+    let profile = prepared.profile(QueryOptions::new()).unwrap();
+    let stats = profile.stats.as_ref().unwrap();
+    println!("\n== typed profile ==");
+    println!("plan class          : {}", profile.plan_class);
+    println!("operators           : {}", profile.root.num_operators());
+    println!("actual i-cost       : {}", stats.icost);
+    println!("intermediate tuples : {}", stats.intermediate_tuples);
+    println!("output tuples       : {}", stats.output_count);
+    println!("json bytes          : {}", profile.to_json().len());
+
+    // 4. The db-wide metrics registry: query/txn/storage counters plus a latency histogram,
+    //    rendered in Prometheus text exposition format.
+    let mut txn = db.begin_write();
+    txn.insert_edge(0, 1_999, graphflow_graph::EdgeLabel(0));
+    txn.commit();
+    println!("\n== metrics ==");
+    let metrics = db.metrics();
+    println!(
+        "queries started/completed : {}/{}",
+        metrics.queries_started, metrics.queries_completed
+    );
+    println!(
+        "p50/p95 latency           : {:?}/{:?}",
+        metrics.query_latency.p50(),
+        metrics.query_latency.p95()
+    );
+    println!("txn commits               : {}", metrics.txn_commits);
+    println!("\n{}", metrics.render());
+
+    // 5. The slow-query log: every query at or above the configured threshold, with its
+    //    latency, actual i-cost and plan fingerprint.
+    println!("== slow queries ==");
+    for slow in db.slow_queries() {
+        println!(
+            "{:?}  icost={}  plan={}  {}",
+            slow.latency, slow.icost, slow.plan_id, slow.query
+        );
+    }
+}

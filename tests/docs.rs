@@ -1,7 +1,7 @@
 //! Keeps `docs/QUERY_LANGUAGE.md` honest: every fenced block tagged `graphflow` must parse
 //! with the real parser, and every block tagged `graphflow-invalid` must fail to parse.
 
-use graphflow_rs::query::parse_query;
+use graphflow_rs::query::{parse_query, split_mode};
 
 const QUERY_LANGUAGE_MD: &str = include_str!("../docs/QUERY_LANGUAGE.md");
 
@@ -36,7 +36,9 @@ fn every_query_language_snippet_parses() {
         queries.len()
     );
     for query in &queries {
-        parse_query(query).unwrap_or_else(|e| {
+        // Snippets may carry an EXPLAIN/PROFILE verb prefix; the pattern after it must parse.
+        let (_, rest) = split_mode(query);
+        parse_query(rest).unwrap_or_else(|e| {
             panic!("docs/QUERY_LANGUAGE.md snippet failed to parse:\n  {query}\n  {e}")
         });
     }
@@ -61,7 +63,7 @@ fn every_invalid_snippet_is_rejected() {
 #[test]
 fn snippets_round_trip_through_display() {
     for query in snippets("graphflow") {
-        let q = parse_query(&query).unwrap();
+        let q = parse_query(split_mode(&query).1).unwrap();
         let shown = q.to_string();
         let reparsed = parse_query(&shown).unwrap_or_else(|e| {
             panic!("canonical form of {query} failed to reparse: {shown}: {e}")

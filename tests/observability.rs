@@ -1,0 +1,324 @@
+//! Observability integration tests: per-operator profiler exactness across all three executors
+//! and snapshot states, profiling-off purity, the db-wide metrics registry under concurrent
+//! readers and writers, Prometheus text rendering, and the slow-query log.
+
+use graphflow_core::{GraphflowDB, QueryOptions, RuntimeStats, SLOW_LOG_CAPACITY};
+use graphflow_graph::{EdgeLabel, GraphBuilder};
+use graphflow_plan::plan::{Plan, PlanNode};
+use graphflow_plan::wco::wco_node_for_ordering;
+use graphflow_query::patterns;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const TRIANGLE: &str = "(a)->(b), (b)->(c), (a)->(c)";
+const DIAMOND_X: &str = "(a)->(b), (a)->(c), (b)->(c), (b)->(d), (c)->(d)";
+
+fn small_db() -> GraphflowDB {
+    let edges = graphflow_graph::generator::powerlaw_cluster(400, 4, 0.5, 42);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    GraphflowDB::from_graph(b.build())
+}
+
+/// The exactness contract: every per-operator counter sums back to the run's totals.
+fn assert_profile_exact(label: &str, stats: &RuntimeStats) {
+    let prof = stats
+        .profile
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: profiled run must attach an operator tree"));
+    assert_eq!(prof.total_icost(), stats.icost, "{label}: i-cost");
+    assert_eq!(
+        prof.total_intermediate_tuples(),
+        stats.intermediate_tuples,
+        "{label}: intermediate tuples"
+    );
+    assert_eq!(prof.total_outputs(), stats.output_count, "{label}: outputs");
+    assert_eq!(
+        prof.total_cache_hits(),
+        stats.cache_hits,
+        "{label}: cache hits"
+    );
+    assert_eq!(
+        prof.total_cache_misses(),
+        stats.cache_misses,
+        "{label}: cache misses"
+    );
+    assert_eq!(
+        prof.total_delta_merges(),
+        stats.delta_merges,
+        "{label}: delta merges"
+    );
+}
+
+fn executor_options() -> [(&'static str, QueryOptions); 3] {
+    [
+        ("serial", QueryOptions::new()),
+        ("adaptive", QueryOptions::new().adaptive(true)),
+        ("parallel", QueryOptions::new().threads(4)),
+    ]
+}
+
+// --- profiler exactness -----------------------------------------------------------------
+
+/// The acceptance-criteria test: on every executor, the per-operator tree of a profiled run
+/// sums *exactly* to the run's `RuntimeStats` totals — on the frozen snapshot and again on a
+/// dirty snapshot with uncompacted delta edges.
+#[test]
+fn profiler_totals_are_exact_on_all_executors_and_snapshots() {
+    let db = small_db();
+    for (name, options) in executor_options() {
+        let r = db.run(DIAMOND_X, options.profile(true)).unwrap();
+        assert!(r.count > 0, "{name}: diamond-X must match something");
+        assert_profile_exact(&format!("{name}/frozen"), &r.stats);
+    }
+
+    // Dirty snapshot: stage edges in a committed-but-uncompacted delta so the executors go
+    // through the overlay-merge path, then re-check exactness.
+    let mut txn = db.begin_write();
+    for i in 0..24u32 {
+        txn.insert_edge(i, (i * 7 + 3) % 400, EdgeLabel(0));
+    }
+    txn.commit();
+    for (name, options) in executor_options() {
+        let r = db.run(DIAMOND_X, options.profile(true)).unwrap();
+        assert_profile_exact(&format!("{name}/dirty"), &r.stats);
+    }
+}
+
+/// Exactness also holds for hybrid plans: the HASH-JOIN node carries the build subtree, and
+/// build-side work still sums into the totals.
+#[test]
+fn profiler_is_exact_on_hybrid_hash_join_plans() {
+    let db = small_db();
+    let q = patterns::diamond_x();
+    // The Figure 1c plan: two triangles joined on (a2, a3).
+    let left = wco_node_for_ordering(&q, &[1, 2, 0]).unwrap();
+    let right = wco_node_for_ordering(&q, &[1, 2, 3]).unwrap();
+    let join = PlanNode::hash_join(&q, left, right).expect("Figure 1c join is valid");
+    let plan = Plan::new(q, join, 0.0);
+    for (name, options) in [
+        ("serial", QueryOptions::new()),
+        ("parallel", QueryOptions::new().threads(4)),
+    ] {
+        let r = db.run_plan(&plan, options.profile(true)).unwrap();
+        assert_profile_exact(&format!("{name}/hybrid"), &r.stats);
+        let prof = r.stats.profile.as_ref().unwrap();
+        assert_eq!(
+            prof.children.len(),
+            2,
+            "{name}: a HASH-JOIN profile node carries probe and build subtrees"
+        );
+    }
+}
+
+/// With `profile: false` (the default) the run leaves no trace: no operator tree, and every
+/// deterministic counter identical to a profiled run of the same plan.
+#[test]
+fn profiling_off_leaves_stats_identical() {
+    let db = small_db();
+    let prepared = db.prepare(DIAMOND_X).unwrap();
+    for (name, options) in executor_options() {
+        let off = prepared.run(options.clone()).unwrap().stats;
+        let on = prepared.run(options.profile(true)).unwrap().stats;
+        assert!(off.profile.is_none(), "{name}: profiling is opt-in");
+        // Strip the fields that legitimately differ (wall time, the tree itself): everything
+        // else must be byte-identical.
+        let mut on_cmp = on.clone();
+        on_cmp.profile = None;
+        on_cmp.elapsed = Duration::ZERO;
+        let mut off_cmp = off.clone();
+        off_cmp.elapsed = Duration::ZERO;
+        assert_eq!(
+            on_cmp, off_cmp,
+            "{name}: profiling must not change the counters"
+        );
+    }
+}
+
+// --- metrics registry -------------------------------------------------------------------
+
+/// Hammer `metrics()` from reader threads while writers commit and queries run: every sampled
+/// counter must be monotonically non-decreasing, and the final totals must account for all
+/// the work submitted.
+#[test]
+fn metrics_counters_are_monotonic_under_concurrency() {
+    const WRITERS: usize = 2;
+    const COMMITS_PER_WRITER: u32 = 50;
+    const QUERIERS: usize = 2;
+    const QUERIES_PER_QUERIER: usize = 20;
+
+    let db = small_db();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..COMMITS_PER_WRITER {
+                    let mut txn = db.begin_write();
+                    txn.insert_edge((w as u32) * 1000 + i, i, EdgeLabel(0));
+                    txn.commit();
+                }
+            });
+        }
+        for _ in 0..QUERIERS {
+            let db = db.clone();
+            s.spawn(move || {
+                for _ in 0..QUERIES_PER_QUERIER {
+                    db.count(TRIANGLE).unwrap();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let db = db.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut prev = db.metrics();
+                while !stop.load(Ordering::Relaxed) {
+                    let m = db.metrics();
+                    assert!(m.queries_started >= prev.queries_started);
+                    assert!(m.queries_completed >= prev.queries_completed);
+                    assert!(m.txn_commits >= prev.txn_commits);
+                    assert!(m.query_latency.count() >= prev.query_latency.count());
+                    assert!(m.queries_started >= m.queries_completed);
+                    prev = m;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        // The scope joins the writer/querier threads when the closure returns; flip the stop
+        // flag once their work is provably done by polling the counters.
+        let db = db.clone();
+        let stop = &stop;
+        s.spawn(move || {
+            let expected_queries = (QUERIERS * QUERIES_PER_QUERIER) as u64;
+            let expected_commits = WRITERS as u64 * COMMITS_PER_WRITER as u64;
+            loop {
+                let m = db.metrics();
+                if m.queries_completed >= expected_queries && m.txn_commits >= expected_commits {
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let m = db.metrics();
+    assert_eq!(
+        m.queries_completed,
+        (QUERIERS * QUERIES_PER_QUERIER) as u64,
+        "every query completed"
+    );
+    assert_eq!(m.queries_started, m.queries_completed);
+    assert_eq!(m.txn_commits, WRITERS as u64 * COMMITS_PER_WRITER as u64);
+    assert_eq!(m.query_latency.count(), m.queries_completed);
+}
+
+/// `metrics().render()` must be valid Prometheus text exposition: every sample line parses,
+/// histogram buckets are cumulative and end at `+Inf == _count`.
+#[test]
+fn rendered_metrics_are_valid_prometheus_text() {
+    let db = small_db();
+    db.count(TRIANGLE).unwrap();
+    db.count(TRIANGLE).unwrap();
+    let text = db.metrics().render();
+
+    let valid_name = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+    };
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line must be '<series> <value>', got {line:?}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable sample value in {line:?}"));
+        let name = series.split('{').next().unwrap();
+        assert!(valid_name(name), "invalid metric name in {line:?}");
+        if let Some(labels) = series.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(
+                    labels.starts_with('{') && labels.ends_with('}'),
+                    "malformed label set in {line:?}"
+                );
+            }
+        }
+        samples += 1;
+    }
+    assert!(
+        samples >= 15,
+        "expected a full registry, got {samples} samples"
+    );
+
+    // Histogram shape: buckets are cumulative, the +Inf bucket equals _count, and both
+    // queries landed in it.
+    let bucket_values: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("graphflow_query_latency_seconds_bucket"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(!bucket_values.is_empty());
+    assert!(bucket_values.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+    let count: u64 = text
+        .lines()
+        .find(|l| l.starts_with("graphflow_query_latency_seconds_count"))
+        .and_then(|l| l.rsplit_once(' '))
+        .unwrap()
+        .1
+        .parse()
+        .unwrap();
+    assert_eq!(*bucket_values.last().unwrap(), count);
+    assert_eq!(count, 2);
+    assert!(text.contains("graphflow_query_latency_seconds_bucket{le=\"+Inf\"}"));
+}
+
+// --- slow-query log ---------------------------------------------------------------------
+
+#[test]
+fn slow_query_log_captures_queries_over_threshold_and_is_bounded() {
+    let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.4, 7);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    let db = GraphflowDB::builder(b.build())
+        .slow_query_threshold(Duration::ZERO)
+        .build();
+
+    db.count(TRIANGLE).unwrap();
+    let entries = db.slow_queries();
+    assert_eq!(entries.len(), 1, "threshold 0 records every query");
+    assert!(!entries[0].query.is_empty());
+    assert!(!entries[0].plan_id.is_empty());
+    assert!(entries[0].latency > Duration::ZERO);
+
+    // The ring is bounded: overflow drops the oldest entries, never grows past capacity.
+    for _ in 0..(SLOW_LOG_CAPACITY + 16) {
+        db.count(TRIANGLE).unwrap();
+    }
+    assert_eq!(db.slow_queries().len(), SLOW_LOG_CAPACITY);
+}
+
+#[test]
+fn slow_query_log_is_opt_in_and_respects_the_threshold() {
+    // No threshold configured: nothing is recorded.
+    let db = small_db();
+    db.count(TRIANGLE).unwrap();
+    assert!(db.slow_queries().is_empty());
+
+    // A threshold far above any realistic run: still nothing.
+    let edges = graphflow_graph::generator::powerlaw_cluster(200, 3, 0.4, 7);
+    let mut b = GraphBuilder::new();
+    b.add_edges(edges);
+    let db = GraphflowDB::builder(b.build())
+        .slow_query_threshold(Duration::from_secs(3600))
+        .build();
+    db.count(TRIANGLE).unwrap();
+    assert!(db.slow_queries().is_empty());
+}
