@@ -202,16 +202,31 @@ fn render_node(node: &ProfileNode, indent: usize, f: &mut fmt::Formatter<'_>) ->
             c.icost,
             c.time_ns as f64 / 1e6
         )?;
+        // Which intersection kernels this operator's E/I calls dispatched to.
+        if c.kernel_merge + c.kernel_gallop + c.kernel_block > 0 {
+            write!(
+                f,
+                ", kernels merge/gallop/block {}/{}/{}",
+                c.kernel_merge, c.kernel_gallop, c.kernel_block
+            )?;
+        }
     }
     writeln!(f, ")")?;
     for cand in &node.candidates {
-        writeln!(
+        let c = cand.counters();
+        write!(
             f,
             "{pad}  candidate {:?}: chose {} tuples, icost {}",
-            cand.order,
-            cand.chosen,
-            cand.counters().icost
+            cand.order, cand.chosen, c.icost
         )?;
+        if c.kernel_merge + c.kernel_gallop + c.kernel_block > 0 {
+            write!(
+                f,
+                ", kernels merge/gallop/block {}/{}/{}",
+                c.kernel_merge, c.kernel_gallop, c.kernel_block
+            )?;
+        }
+        writeln!(f)?;
     }
     let is_join = node.operator.starts_with("HASH-JOIN");
     for (i, child) in node.children.iter().enumerate() {
@@ -406,7 +421,7 @@ fn json_counters(c: &OpCounters, out: &mut String) {
     out.push_str(&format!(
         "{{\"time_ns\":{},\"tuples_in\":{},\"tuples_out\":{},\"outputs\":{},\"icost\":{},\
          \"cache_hits\":{},\"cache_misses\":{},\"delta_merges\":{},\"predicate_evals\":{},\
-         \"predicate_drops\":{}}}",
+         \"predicate_drops\":{},\"kernel_merge\":{},\"kernel_gallop\":{},\"kernel_block\":{}}}",
         c.time_ns,
         c.tuples_in,
         c.tuples_out,
@@ -417,6 +432,9 @@ fn json_counters(c: &OpCounters, out: &mut String) {
         c.delta_merges,
         c.predicate_evals,
         c.predicate_drops,
+        c.kernel_merge,
+        c.kernel_gallop,
+        c.kernel_block,
     ));
 }
 
@@ -424,8 +442,10 @@ fn json_stats(s: &RuntimeStats, out: &mut String) {
     out.push_str(&format!(
         "{{\"icost\":{},\"intermediate_tuples\":{},\"output_count\":{},\"cache_hits\":{},\
          \"cache_misses\":{},\"delta_merges\":{},\"predicate_evals\":{},\"predicate_drops\":{},\
-         \"bulk_counted_extensions\":{},\"hash_build_tuples\":{},\"hash_probe_tuples\":{},\
-         \"plan_cache_hits\":{},\"plan_cache_misses\":{},\"elapsed_ns\":{}}}",
+         \"bulk_counted_extensions\":{},\"kernel_merge\":{},\"kernel_gallop\":{},\
+         \"kernel_block\":{},\"heavy_splits\":{},\"hash_build_tuples\":{},\
+         \"hash_probe_tuples\":{},\"plan_cache_hits\":{},\"plan_cache_misses\":{},\
+         \"elapsed_ns\":{}}}",
         s.icost,
         s.intermediate_tuples,
         s.output_count,
@@ -435,6 +455,10 @@ fn json_stats(s: &RuntimeStats, out: &mut String) {
         s.predicate_evals,
         s.predicate_drops,
         s.bulk_counted_extensions,
+        s.kernel_merge,
+        s.kernel_gallop,
+        s.kernel_block,
+        s.heavy_splits,
         s.hash_build_tuples,
         s.hash_probe_tuples,
         s.plan_cache_hits,

@@ -15,8 +15,9 @@
 //! * the **adaptive executor** (Section 6) replaces chains of two or more E/I operators with a
 //!   per-tuple choice among all remaining query-vertex orderings, re-costing each ordering from
 //!   the actual adjacency-list sizes of the tuple at hand;
-//! * the **parallel executor** (Section 7) partitions the driver SCAN into chunks consumed by a
-//!   pool of worker threads under work stealing; hash-join build sides are materialised once and
+//! * the **parallel executor** (Section 7) schedules the driver SCAN as adaptive-size morsels
+//!   claimed from a shared cursor by a pool of worker threads, and splits heavy (hub-vertex)
+//!   extension sets into stealable sub-tasks; hash-join build sides are materialised once and
 //!   shared read-only.
 //!
 //! Results are **streamed**: every executor has a `*_with_sink` variant that delivers each

@@ -1,14 +1,28 @@
-//! Work-stealing parallel execution (Section 7 of the paper).
+//! Work-stealing parallel execution (Section 7 of the paper), with two-level morsel
+//! scheduling.
 //!
 //! Each worker thread owns a copy of the compiled pipeline (so its intersection caches and
-//! counters are private) while hash-join build tables are shared read-only. The driver SCAN's
-//! edge range is split into many more chunks than there are workers; workers repeatedly claim
-//! the next unclaimed chunk from a shared atomic counter — a simple work-stealing queue that
-//! keeps all threads busy even when the per-chunk work is highly skewed.
+//! counters are private) while hash-join build tables are shared read-only. Work is
+//! distributed at two levels:
+//!
+//! 1. **Scan morsels.** The driver SCAN's edge range is carved into morsels sized adaptively
+//!    from the edge count and worker count (`MORSELS_PER_WORKER`, clamped to
+//!    `MIN_MORSEL_EDGES..MAX_MORSEL_EDGES`); workers repeatedly claim the next morsel
+//!    from a shared atomic cursor.
+//! 2. **Heavy extension splitting.** A scan morsel containing a hub vertex used to serialize
+//!    that hub's entire subtree on one worker — exactly the skew that capped the Figure 11
+//!    scalability runs. Now, when a worker computes a first-stage extension set of at least
+//!    `HEAVY_SPLIT_MIN` candidates (and downstream stages exist to fan into), it keeps only
+//!    the first `HEAVY_SEGMENT` candidates and publishes the rest as `HeavyTask` segments
+//!    in a shared queue that idle workers drain in preference to claiming new morsels.
+//!
+//! Workers exit when the scan cursor is drained, the heavy queue is empty, and no worker is
+//! still producing (a scanning-counter protocol — a task yet to be published implies an active
+//! producer, so the re-check after observing zero active workers is conclusive).
 
 use crate::pipeline::{
-    assemble_profile, compile, flatten_profs, merge_flat_profs, run_pipeline_on_range,
-    CompiledPipeline, ExecOptions, ExecOutput,
+    assemble_profile, compile, flatten_profs, merge_flat_profs, run_extend_candidates, run_stages,
+    CompiledPipeline, ExecOptions, ExecOutput, Stage,
 };
 use crate::profile::OpCounters;
 use crate::sink::{CountingSink, MatchSink, PartialSink};
@@ -19,9 +33,33 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// How many scan chunks are created per worker thread. More chunks means better load balancing
-/// at the price of slightly more coordination; 64 works well for the skewed graphs used here.
-const CHUNKS_PER_WORKER: usize = 64;
+/// Target number of scan morsels per worker thread. More morsels means better first-level load
+/// balancing at the price of slightly more coordination on the shared cursor.
+const MORSELS_PER_WORKER: usize = 64;
+
+/// Smallest scan-morsel size: below this, cursor traffic dominates the per-edge work.
+const MIN_MORSEL_EDGES: usize = 64;
+
+/// Largest scan-morsel size: above this, a single slow morsel can stall the join barrier.
+const MAX_MORSEL_EDGES: usize = 16384;
+
+/// First-stage extension sets with at least this many candidates are split across workers
+/// (second-level morsels). Only sets that fan into further pipeline stages are split — for a
+/// final stage the per-candidate work is a counter bump or a batched sink append, too cheap to
+/// be worth re-buffering.
+const HEAVY_SPLIT_MIN: usize = 256;
+
+/// Candidate count per published segment of a split heavy extension set.
+const HEAVY_SEGMENT: usize = 128;
+
+/// A second-level morsel: one partial match plus a segment of its already computed (and
+/// predicate-filtered) first-stage extension set, ready for any worker to finish.
+struct HeavyTask {
+    /// The scan tuple (prefix) the segment extends.
+    tuple: Vec<VertexId>,
+    /// The candidate segment carved out of the producing worker's extension set.
+    candidates: Vec<VertexId>,
+}
 
 /// Execute a plan with `num_threads` worker threads, counting results (the scalability
 /// experiments of Figure 11 count outputs); per-thread statistics are merged.
@@ -89,10 +127,23 @@ pub fn execute_parallel_with_sink<G: GraphView>(
     // an owned, still-sorted vector otherwise. Workers share it read-only either way.
     let scan_edges_cow = graph.scan_edges(pipeline.scan.edge.label);
     let scan_edges: &[(VertexId, VertexId, graphflow_graph::EdgeLabel)] = &scan_edges_cow;
-    let chunk_count = (num_threads * CHUNKS_PER_WORKER).max(1);
-    let chunk_size = scan_edges.len().div_ceil(chunk_count).max(1);
-    let next_chunk = AtomicUsize::new(0);
+    // First-level morsel size: aim for MORSELS_PER_WORKER claims per worker, clamped so tiny
+    // graphs do not thrash the cursor and huge graphs cannot stall the barrier on one claim.
+    let morsel_size = (scan_edges.len() / (num_threads * MORSELS_PER_WORKER).max(1))
+        .clamp(MIN_MORSEL_EDGES, MAX_MORSEL_EDGES);
+    let next_edge = AtomicUsize::new(0);
+    // `stop` is the prompt fast-path signal (limit filled, sink declined, cancelled);
+    // `declined` and `aborted` additionally record *why*, because the reasons differ in what
+    // happens to buffered tuples: limit-gated tuples hold valid slots and must still be
+    // delivered, while tuples buffered behind a sink decline or a cancellation must be
+    // dropped (and deducted) — a sink must never see a tuple after it returned `false`.
     let stop = AtomicBool::new(false);
+    let declined = AtomicBool::new(false);
+    let aborted = AtomicBool::new(false);
+    // Second-level work: segments of split heavy extension sets, plus the number of workers
+    // currently inside a morsel or a segment (the termination protocol's producer count).
+    let heavy: Mutex<Vec<HeavyTask>> = Mutex::new(Vec::new());
+    let active = AtomicUsize::new(0);
     let needs_tuples = sink.needs_tuples();
     // Thread-local partial aggregation: when the sink can fork (aggregation / projection
     // sinks), each worker gets its own empty twin and the shared lock is never touched on
@@ -124,12 +175,16 @@ pub fn execute_parallel_with_sink<G: GraphView>(
             let mut handles = Vec::with_capacity(num_threads);
             for _ in 0..num_threads {
                 let mut local_pipeline: CompiledPipeline = pipeline.clone();
-                // Workers share the options read-only; each `run_pipeline_on_range` call
-                // builds its own interrupt countdown, while the cancellation token and
-                // deadline inside are shared — one cancel() stops every worker.
+                // Workers share the options read-only; each worker builds its own interrupt
+                // countdown, while the cancellation token and deadline inside are shared —
+                // one cancel() stops every worker.
                 let worker_options = &worker_options;
-                let next_chunk = &next_chunk;
+                let next_edge = &next_edge;
                 let stop = &stop;
+                let declined = &declined;
+                let aborted = &aborted;
+                let heavy = &heavy;
+                let active = &active;
                 let shared_sink = &shared_sink;
                 let out_layout = &out_layout;
                 let produced = &produced;
@@ -143,23 +198,43 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                     let mut partial = worker_partial;
                     // Reorder scratch for the thread-local partial path.
                     let mut scratch = vec![0 as VertexId; num_query_vertices];
-                    // Tuples the local pipeline produced beyond the shared limit: counted by
-                    // the pipeline's own bookkeeping but never delivered, so they are
-                    // subtracted from this worker's stats before merging.
+                    // Tuples the local pipeline produced beyond the shared limit (or buffered
+                    // behind a sink decline / cancellation): counted by the pipeline's own
+                    // bookkeeping but never delivered, so they are subtracted from this
+                    // worker's stats before merging.
                     let mut rejected = 0u64;
                     // Tuples buffered locally (flattened; every tuple is
                     // `num_query_vertices` wide) and flushed to the shared sink in one lock
                     // acquisition (the fallback path for non-forkable sinks).
                     let mut batch: Vec<VertexId> =
                         Vec::with_capacity(SINK_BATCH_TUPLES * num_query_vertices);
-                    let flush = |batch: &mut Vec<VertexId>| -> bool {
+                    // Deliver a batch to the shared sink. The `declined` check runs again
+                    // *under the sink lock*: a decline raised by another worker while this one
+                    // waited for the lock must also suppress delivery — the sink contract is
+                    // that no tuple arrives after `on_match` returned `false`. Undelivered
+                    // tuples are counted into `rejected`; the tuple the sink declined *on* was
+                    // delivered (the sink saw it), matching the serial executor.
+                    let flush = |batch: &mut Vec<VertexId>, rejected: &mut u64| -> bool {
                         if batch.is_empty() {
                             return !stop.load(Ordering::Relaxed);
                         }
+                        if declined.load(Ordering::Relaxed) || aborted.load(Ordering::Relaxed) {
+                            *rejected += (batch.len() / num_query_vertices) as u64;
+                            batch.clear();
+                            return false;
+                        }
                         let mut sink = shared_sink.lock().unwrap_or_else(|e| e.into_inner());
-                        for tuple in batch.chunks_exact(num_query_vertices) {
+                        if declined.load(Ordering::Relaxed) {
+                            *rejected += (batch.len() / num_query_vertices) as u64;
+                            batch.clear();
+                            return false;
+                        }
+                        let total = batch.len() / num_query_vertices;
+                        for (n, tuple) in batch.chunks_exact(num_query_vertices).enumerate() {
                             if !sink.on_match(tuple) {
+                                declined.store(true, Ordering::Relaxed);
                                 stop.store(true, Ordering::Relaxed);
+                                *rejected += (total - n - 1) as u64;
                                 batch.clear();
                                 return false;
                             }
@@ -167,79 +242,271 @@ pub fn execute_parallel_with_sink<G: GraphView>(
                         batch.clear();
                         true
                     };
-                    loop {
-                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        let lo = chunk * chunk_size;
-                        if lo >= scan_edges.len() || stop.load(Ordering::Relaxed) {
-                            break;
+                    let mut on_result = |tuple: &[VertexId]| -> bool {
+                        // Claim an output slot; slots at or beyond the limit are
+                        // discarded, so the number of delivered tuples is exactly
+                        // min(limit, total matches).
+                        let mut keep_going = true;
+                        if let Some(limit) = limit {
+                            let slot = produced.fetch_add(1, Ordering::Relaxed);
+                            if slot >= limit {
+                                rejected += 1;
+                                stop.store(true, Ordering::Relaxed);
+                                return false;
+                            }
+                            if slot + 1 >= limit {
+                                // This tuple fills the limit: deliver it, then stop.
+                                stop.store(true, Ordering::Relaxed);
+                                keep_going = false;
+                            }
                         }
-                        let hi = (lo + chunk_size).min(scan_edges.len());
-                        let mut on_result = |tuple: &[VertexId]| -> bool {
-                            // Claim an output slot; slots at or beyond the limit are
-                            // discarded, so the number of delivered tuples is exactly
-                            // min(limit, total matches).
-                            let mut keep_going = true;
-                            if let Some(limit) = limit {
-                                let slot = produced.fetch_add(1, Ordering::Relaxed);
-                                if slot >= limit {
-                                    rejected += 1;
-                                    stop.store(true, Ordering::Relaxed);
-                                    return false;
-                                }
-                                if slot + 1 >= limit {
-                                    // This tuple fills the limit: deliver it, then stop.
-                                    stop.store(true, Ordering::Relaxed);
-                                    keep_going = false;
-                                }
-                            }
-                            // The output-limit slot counter above and the shared stop flag are
-                            // checked in this same per-result loop, so a query cancelled (or
-                            // stopped) by another worker ends within one batch instead of
-                            // draining its current extension set.
-                            if !needs_tuples {
-                                return keep_going && !stop.load(Ordering::Relaxed);
-                            }
-                            if let Some(p) = partial.as_mut() {
-                                for (pos, &qv) in out_layout.iter().enumerate() {
-                                    scratch[qv] = tuple[pos];
-                                }
-                                if !p.on_match(&scratch) {
-                                    // A partial stops only when it alone already holds
-                                    // everything the merge needs (e.g. an unordered LIMIT
-                                    // filled), so the whole run can stop.
-                                    stop.store(true, Ordering::Relaxed);
-                                    return false;
-                                }
-                                return keep_going && !stop.load(Ordering::Relaxed);
-                            }
-                            let base = batch.len();
-                            batch.resize(base + num_query_vertices, 0);
+                        // The output-limit slot counter above and the shared stop flag are
+                        // checked in this same per-result loop, so a query cancelled (or
+                        // stopped) by another worker ends within one batch instead of
+                        // draining its current extension set.
+                        if !needs_tuples {
+                            return keep_going && !stop.load(Ordering::Relaxed);
+                        }
+                        if let Some(p) = partial.as_mut() {
                             for (pos, &qv) in out_layout.iter().enumerate() {
-                                batch[base + qv] = tuple[pos];
+                                scratch[qv] = tuple[pos];
                             }
-                            if batch.len() >= SINK_BATCH_TUPLES * num_query_vertices {
-                                flush(&mut batch) && keep_going
-                            } else {
-                                keep_going && !stop.load(Ordering::Relaxed)
+                            if !p.on_match(&scratch) {
+                                // A partial stops only when it alone already holds
+                                // everything the merge needs (e.g. an unordered LIMIT
+                                // filled), so the whole run can stop.
+                                stop.store(true, Ordering::Relaxed);
+                                return false;
                             }
-                        };
-                        run_pipeline_on_range(
-                            &mut local_pipeline,
-                            graph,
-                            &scan_edges[lo..hi],
-                            worker_options,
-                            &mut stats,
-                            &mut on_result,
-                        );
-                        // A tripped interrupt (cancellation or deadline) stops this worker;
-                        // raise the shared flag so the others stop at their next check too.
-                        if stats.cancelled || stats.timed_out {
-                            stop.store(true, Ordering::Relaxed);
-                            break;
+                            return keep_going && !stop.load(Ordering::Relaxed);
+                        }
+                        let base = batch.len();
+                        batch.resize(base + num_query_vertices, 0);
+                        for (pos, &qv) in out_layout.iter().enumerate() {
+                            batch[base + qv] = tuple[pos];
+                        }
+                        if batch.len() >= SINK_BATCH_TUPLES * num_query_vertices {
+                            flush(&mut batch, &mut rejected) && keep_going
+                        } else {
+                            keep_going && !stop.load(Ordering::Relaxed)
+                        }
+                    };
+                    let interrupt = worker_options.interrupt();
+                    let interrupt = interrupt.as_ref();
+                    let profiling = local_pipeline.scan.prof.is_some();
+                    let run_t0 = if profiling {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    };
+                    let mut scan_prof = OpCounters::default();
+                    // A private clone of the scan stage drives admission, leaving
+                    // `local_pipeline.stages` free to borrow mutably in the same loop.
+                    let scan = local_pipeline.scan.clone();
+                    let mut tuple: Vec<VertexId> = Vec::with_capacity(out_layout.len());
+                    let mut scan_done = false;
+                    'drive: loop {
+                        // Prefer stolen heavy segments over new morsels: they exist precisely
+                        // because another worker hit a hub, and finishing them first keeps
+                        // the skewed subtree spread across the pool.
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break 'drive;
+                            }
+                            let task = {
+                                let mut q = heavy.lock().unwrap_or_else(|e| e.into_inner());
+                                q.pop()
+                            };
+                            let Some(task) = task else { break };
+                            active.fetch_add(1, Ordering::SeqCst);
+                            tuple.clear();
+                            tuple.extend_from_slice(&task.tuple);
+                            let seg_len = task.candidates.len();
+                            {
+                                let Stage::Extend(st) = &mut local_pipeline.stages[0] else {
+                                    unreachable!("heavy tasks target an EXTEND first stage")
+                                };
+                                st.install_candidates(&task.candidates);
+                            }
+                            run_extend_candidates(
+                                &mut local_pipeline.stages,
+                                graph,
+                                &mut tuple,
+                                0..seg_len,
+                                worker_options,
+                                interrupt,
+                                &mut stats,
+                                &mut on_result,
+                            );
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            if stats.cancelled || stats.timed_out {
+                                aborted.store(true, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                                break 'drive;
+                            }
+                        }
+                        if !scan_done {
+                            let lo = next_edge.fetch_add(morsel_size, Ordering::Relaxed);
+                            if lo >= scan_edges.len() {
+                                scan_done = true;
+                                continue 'drive;
+                            }
+                            active.fetch_add(1, Ordering::SeqCst);
+                            let hi = (lo + morsel_size).min(scan_edges.len());
+                            for &(u, v, l) in &scan_edges[lo..hi] {
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                if let Some(interrupt) = interrupt {
+                                    if interrupt.should_stop(&mut stats) {
+                                        break;
+                                    }
+                                }
+                                if !scan.admit(
+                                    graph,
+                                    u,
+                                    v,
+                                    l,
+                                    &mut stats,
+                                    &mut scan_prof,
+                                    profiling,
+                                ) {
+                                    continue;
+                                }
+                                tuple.clear();
+                                tuple.push(u);
+                                tuple.push(v);
+                                let keep_going = if local_pipeline.stages.is_empty() {
+                                    stats.output_count += 1;
+                                    if profiling {
+                                        scan_prof.outputs += 1;
+                                    }
+                                    on_result(&tuple)
+                                } else {
+                                    stats.intermediate_tuples += 1;
+                                    if profiling {
+                                        scan_prof.tuples_out += 1;
+                                    }
+                                    // Second-level split point: a first-stage EXTEND whose
+                                    // set fans into further stages. (A final-stage set is
+                                    // never split: its per-candidate work is a counter bump
+                                    // or batch append — and under COUNT(*) it is bulk-added
+                                    // inside `run_stages` without touching the candidates.)
+                                    let splittable = num_threads > 1
+                                        && local_pipeline.stages.len() > 1
+                                        && matches!(local_pipeline.stages[0], Stage::Extend(_));
+                                    if splittable {
+                                        let set_len = {
+                                            let Stage::Extend(st) = &mut local_pipeline.stages[0]
+                                            else {
+                                                unreachable!()
+                                            };
+                                            st.extension_set(
+                                                graph,
+                                                &tuple,
+                                                worker_options.use_intersection_cache,
+                                                &mut stats,
+                                            )
+                                            .len()
+                                        };
+                                        let mut keep = set_len;
+                                        if set_len >= HEAVY_SPLIT_MIN {
+                                            // Keep one segment; publish the tail. The stage's
+                                            // cached set is left whole, so a following tuple
+                                            // that cache-hits it still sees every candidate.
+                                            keep = HEAVY_SEGMENT;
+                                            let Stage::Extend(st) = &local_pipeline.stages[0]
+                                            else {
+                                                unreachable!()
+                                            };
+                                            let mut tasks =
+                                                Vec::with_capacity(set_len / HEAVY_SEGMENT);
+                                            let mut s = keep;
+                                            while s < set_len {
+                                                let e = (s + HEAVY_SEGMENT).min(set_len);
+                                                tasks.push(HeavyTask {
+                                                    tuple: tuple.clone(),
+                                                    candidates: (s..e)
+                                                        .map(|i| st.cache_set_value(i))
+                                                        .collect(),
+                                                });
+                                                s = e;
+                                            }
+                                            stats.heavy_splits += 1;
+                                            heavy
+                                                .lock()
+                                                .unwrap_or_else(|e| e.into_inner())
+                                                .extend(tasks);
+                                        }
+                                        run_extend_candidates(
+                                            &mut local_pipeline.stages,
+                                            graph,
+                                            &mut tuple,
+                                            0..keep,
+                                            worker_options,
+                                            interrupt,
+                                            &mut stats,
+                                            &mut on_result,
+                                        )
+                                    } else {
+                                        run_stages(
+                                            &mut local_pipeline.stages,
+                                            graph,
+                                            &mut tuple,
+                                            worker_options,
+                                            interrupt,
+                                            &mut stats,
+                                            &mut on_result,
+                                        )
+                                    }
+                                };
+                                if !keep_going {
+                                    break;
+                                }
+                            }
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            // A tripped interrupt (cancellation or deadline) stops this
+                            // worker; raise the shared flags so the others stop too and
+                            // buffered tuples are dropped everywhere.
+                            if stats.cancelled || stats.timed_out {
+                                aborted.store(true, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                                break 'drive;
+                            }
+                            continue 'drive;
+                        }
+                        // Scan drained and the heavy queue observed empty: exit once no
+                        // producer can publish more segments. Segments are published while
+                        // `active` > 0 and the queue mutex orders the publish against the
+                        // drain, so re-checking the queue after observing zero active
+                        // workers is conclusive.
+                        if active.load(Ordering::SeqCst) == 0 {
+                            if heavy.lock().unwrap_or_else(|e| e.into_inner()).is_empty() {
+                                break 'drive;
+                            }
+                        } else {
+                            std::thread::yield_now();
                         }
                     }
-                    // Deliver whatever is left in the local buffer.
-                    flush(&mut batch);
+                    if let Some(p) = &mut local_pipeline.scan.prof {
+                        scan_prof.time_ns =
+                            run_t0.expect("set with prof").elapsed().as_nanos() as u64;
+                        p.merge(&scan_prof);
+                    }
+                    // Deliver whatever is left in the local buffer — unless the run stopped
+                    // because the sink declined or was cancelled, in which case buffered
+                    // tuples are dropped and deducted. A limit-only stop still delivers:
+                    // limit-gated tuples hold valid output slots.
+                    if declined.load(Ordering::Relaxed)
+                        || aborted.load(Ordering::Relaxed)
+                        || stats.cancelled
+                        || stats.timed_out
+                    {
+                        rejected += (batch.len() / num_query_vertices) as u64;
+                        batch.clear();
+                    } else {
+                        flush(&mut batch, &mut rejected);
+                    }
                     stats.output_count -= rejected;
                     // Harvest this worker's per-stage profile accumulators for the positional
                     // merge at the join barrier (fork/absorb, like partial sinks). Rejected
@@ -323,8 +590,12 @@ mod tests {
         }
     }
 
+    /// The parallel output limit is **exact**, not approximate: workers claim output slots
+    /// from one shared atomic counter, so exactly `min(limit, total matches)` tuples are
+    /// counted and delivered at any thread count (not `limit × threads` as per-worker limit
+    /// checks would give).
     #[test]
-    fn parallel_respects_output_limit_approximately() {
+    fn parallel_output_limit_is_exact() {
         let g = random_graph();
         let cat = Catalogue::with_defaults(g.clone());
         let q = patterns::asymmetric_triangle();
@@ -341,8 +612,6 @@ mod tests {
                 },
                 threads,
             );
-            // Workers claim output slots from one shared atomic counter, so the cut-off is
-            // exact across threads (not `limit x threads` as with per-worker limit checks).
             assert_eq!(limited.count, 50, "{threads} threads");
         }
         // The same exact cut-off holds when tuples are streamed to a sink.
@@ -407,6 +676,104 @@ mod tests {
         tuples.sort_unstable();
         serial_tuples.sort_unstable();
         assert_eq!(tuples, serial_tuples);
+    }
+
+    /// A sink that accepts `limit` tuples, declines on the one after, and panics if any tuple
+    /// arrives once it has declined — the sink contract the parallel executor must uphold.
+    struct RejectingSink {
+        limit: usize,
+        seen: usize,
+        declined: bool,
+    }
+
+    impl MatchSink for RejectingSink {
+        fn on_match(&mut self, _tuple: &[VertexId]) -> bool {
+            assert!(!self.declined, "tuple delivered after the sink declined");
+            self.seen += 1;
+            if self.seen >= self.limit {
+                self.declined = true;
+                return false;
+            }
+            true
+        }
+    }
+
+    /// Regression test for the end-of-worker flush delivering buffered tuples after another
+    /// worker's sink already returned `false`: with many threads racing batches into a sink
+    /// that declines mid-run, no tuple may reach the sink after the decline, and the counted
+    /// outputs must equal exactly the tuples the sink accepted plus the declined one.
+    #[test]
+    fn no_tuple_reaches_a_sink_after_it_declines() {
+        let g = random_graph();
+        let cat = Catalogue::with_defaults(g.clone());
+        let q = patterns::asymmetric_triangle();
+        let plan = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        assert!(
+            execute(&g, &plan).count > 50,
+            "need enough matches to decline mid-run"
+        );
+        for threads in [4usize, 8] {
+            let mut sink = RejectingSink {
+                limit: 40,
+                seen: 0,
+                declined: false,
+            };
+            let stats =
+                execute_parallel_with_sink(&g, &plan, ExecOptions::default(), threads, &mut sink);
+            // The sink saw exactly `limit` tuples (the last of which it declined on), and the
+            // run's output count matches what was actually delivered.
+            assert_eq!(sink.seen, 40, "{threads} threads");
+            assert!(sink.declined);
+            assert_eq!(stats.output_count, 40, "{threads} threads");
+        }
+    }
+
+    /// Two-level morsel scheduling on a hub-heavy graph: a handful of scan edges lead to a hub
+    /// whose extension set holds thousands of candidates — with scan-level chunking alone, all
+    /// of that work serializes on whichever worker claims those edges. The scheduler must
+    /// split the hub's extension set into shared segments (observable via `heavy_splits`)
+    /// while producing exactly the serial counts at every thread count.
+    #[test]
+    fn skewed_graph_parallel_counts_match_serial() {
+        // 8 anchors -> hub, hub -> 2000 spokes, every spoke -> 3 shared tails.
+        let hub: VertexId = 0;
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        for a in 1..=8 {
+            edges.push((a, hub));
+        }
+        let spokes: Vec<VertexId> = (100..2100).collect();
+        for &s in &spokes {
+            edges.push((hub, s));
+            for t in 0..3 {
+                edges.push((s, 3000 + t));
+            }
+        }
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        let g = Arc::new(b.build());
+        // Path a -> b -> c -> d, planned so the scan matches the (anchor, hub) edges and the
+        // first E/I extends through the hub's 2000-candidate adjacency list.
+        let q = patterns::directed_path(4);
+        let scan_edge = q.edges()[0];
+        let root = graphflow_plan::plan::PlanNode::scan(scan_edge);
+        let root = graphflow_plan::plan::PlanNode::extend(&q, root, 2).unwrap();
+        let root = graphflow_plan::plan::PlanNode::extend(&q, root, 3).unwrap();
+        let plan = graphflow_plan::plan::Plan::new(q, root, 0.0);
+        let serial = execute(&g, &plan);
+        assert_eq!(serial.count, 8 * 2000 * 3, "path count on the hub graph");
+        for threads in [1usize, 2, 4, 8] {
+            let par = execute_parallel(&g, &plan, ExecOptions::default(), threads);
+            assert_eq!(par.count, serial.count, "{threads} threads");
+            if threads > 1 {
+                // The hub's extension sets were actually split into stealable segments.
+                assert!(
+                    par.stats.heavy_splits > 0,
+                    "{threads} threads: expected heavy splits on the hub"
+                );
+            } else {
+                assert_eq!(par.stats.heavy_splits, 0, "single thread never splits");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::profile::{CandidateProfile, OpCounters, OpKind, OpProfile};
 use crate::sink::{CountingSink, MatchSink};
 use crate::stats::RuntimeStats;
 use graphflow_graph::{
-    multiway_intersect_views, EdgeLabel, GraphView, NbrList, PropValue, VertexId, VertexLabel,
+    multiway_intersect_views_counted, EdgeLabel, GraphView, KernelCounters, NbrList, PropValue,
+    VertexId, VertexLabel,
 };
 use graphflow_plan::plan::{Plan, PlanNode};
 use graphflow_query::extension::AdjListDescriptor;
@@ -211,6 +212,78 @@ pub(crate) struct ScanStage {
     pub(crate) prof: Option<Box<OpCounters>>,
 }
 
+impl ScanStage {
+    /// Scan-level admission of one candidate edge `(u, v, l)`: edge-label gate, endpoint
+    /// vertex-label gate, antiparallel/multi-label co-edge filters, and pushed-down property
+    /// predicates — with exactly the counter bookkeeping the serial drive loop performs
+    /// (`tuples_in` lands after the edge-label gate; predicate evals/drops on the predicate
+    /// gate). Shared by the serial drive loop and the parallel morsel drive so both report
+    /// identical stats for identical work.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn admit<G: GraphView>(
+        &self,
+        graph: &G,
+        u: VertexId,
+        v: VertexId,
+        l: EdgeLabel,
+        stats: &mut RuntimeStats,
+        prof: &mut OpCounters,
+        profiling: bool,
+    ) -> bool {
+        if l != self.edge.label {
+            return false;
+        }
+        if profiling {
+            prof.tuples_in += 1;
+        }
+        if graph.vertex_label(u) != self.src_label || graph.vertex_label(v) != self.dst_label {
+            return false;
+        }
+        // Apply antiparallel / multi-label filters between the two scanned query vertices.
+        let ok = self.extra_filters.iter().all(|e| {
+            let (s, d) = if e.src == self.edge.src {
+                (u, v)
+            } else {
+                (v, u)
+            };
+            graph.has_edge(s, d, e.label)
+        });
+        if !ok {
+            return false;
+        }
+        // Pushed-down property predicates on the scanned pair.
+        if !self.preds.is_empty() {
+            let evals_before = stats.predicate_evals;
+            let pick = |slot: usize| if slot == 0 { u } else { v };
+            let pass = self.preds.iter().all(|p| match p {
+                ScanPred::Vertex { slot, cmp } => {
+                    cmp.matches(graph.vertex_prop(pick(*slot), &cmp.key), stats)
+                }
+                ScanPred::Edge {
+                    src_slot,
+                    dst_slot,
+                    label,
+                    cmp,
+                } => cmp.matches(
+                    graph.edge_prop(pick(*src_slot), pick(*dst_slot), *label, &cmp.key),
+                    stats,
+                ),
+            });
+            if profiling {
+                prof.predicate_evals += stats.predicate_evals - evals_before;
+            }
+            if !pass {
+                stats.predicate_drops += 1;
+                if profiling {
+                    prof.predicate_drops += 1;
+                }
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// An EXTEND/INTERSECT stage.
 #[derive(Debug, Clone)]
 pub(crate) struct ExtendStage {
@@ -294,7 +367,16 @@ impl ExtendStage {
         let merged_lists = lists.iter().filter(|l| l.is_merged()).count() as u64;
         stats.icost += list_sizes;
         stats.delta_merges += merged_lists;
-        multiway_intersect_views(&lists, &mut self.cache_set, &mut self.scratch);
+        let mut kernels = KernelCounters::default();
+        multiway_intersect_views_counted(
+            &lists,
+            &mut self.cache_set,
+            &mut self.scratch,
+            &mut kernels,
+        );
+        stats.kernel_merge += kernels.merge;
+        stats.kernel_gallop += kernels.gallop;
+        stats.kernel_block += kernels.block;
         // Pushed-down filtering of the extension set. Baking this into the *cached* set is
         // sound: target predicates depend only on the candidate vertex, and every edge
         // predicate's prefix endpoint has a descriptor (one exists for each query edge between
@@ -338,6 +420,9 @@ impl ExtendStage {
             p.cache_misses += 1;
             p.icost += list_sizes;
             p.delta_merges += merged_lists;
+            p.kernel_merge += kernels.merge;
+            p.kernel_gallop += kernels.gallop;
+            p.kernel_block += kernels.block;
             p.predicate_evals += stats.predicate_evals - evals_before;
             p.predicate_drops += stats.predicate_drops - drops_before;
             p.time_ns += prof_t0.expect("set with prof").elapsed().as_nanos() as u64;
@@ -568,6 +653,9 @@ fn materialize<G: GraphView>(
     stats.cache_hits += build_stats.cache_hits;
     stats.cache_misses += build_stats.cache_misses;
     stats.delta_merges += build_stats.delta_merges;
+    stats.kernel_merge += build_stats.kernel_merge;
+    stats.kernel_gallop += build_stats.kernel_gallop;
+    stats.kernel_block += build_stats.kernel_block;
     stats.predicate_evals += build_stats.predicate_evals;
     stats.predicate_drops += build_stats.predicate_drops;
     stats.hash_build_tuples += build_stats.output_count + build_stats.hash_build_tuples;
@@ -636,55 +724,8 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
                 break 'scan;
             }
         }
-        if l != scan.edge.label {
+        if !scan.admit(graph, u, v, l, stats, &mut scan_prof, profiling) {
             continue;
-        }
-        if profiling {
-            scan_prof.tuples_in += 1;
-        }
-        if graph.vertex_label(u) != scan.src_label || graph.vertex_label(v) != scan.dst_label {
-            continue;
-        }
-        // Apply antiparallel / multi-label filters between the two scanned query vertices.
-        let ok = scan.extra_filters.iter().all(|e| {
-            let (s, d) = if e.src == scan.edge.src {
-                (u, v)
-            } else {
-                (v, u)
-            };
-            graph.has_edge(s, d, e.label)
-        });
-        if !ok {
-            continue;
-        }
-        // Pushed-down property predicates on the scanned pair.
-        if !scan.preds.is_empty() {
-            let evals_before = stats.predicate_evals;
-            let pick = |slot: usize| if slot == 0 { u } else { v };
-            let pass = scan.preds.iter().all(|p| match p {
-                ScanPred::Vertex { slot, cmp } => {
-                    cmp.matches(graph.vertex_prop(pick(*slot), &cmp.key), stats)
-                }
-                ScanPred::Edge {
-                    src_slot,
-                    dst_slot,
-                    label,
-                    cmp,
-                } => cmp.matches(
-                    graph.edge_prop(pick(*src_slot), pick(*dst_slot), *label, &cmp.key),
-                    stats,
-                ),
-            });
-            if profiling {
-                scan_prof.predicate_evals += stats.predicate_evals - evals_before;
-            }
-            if !pass {
-                stats.predicate_drops += 1;
-                if profiling {
-                    scan_prof.predicate_drops += 1;
-                }
-                continue;
-            }
         }
         tuple.clear();
         tuple.push(u);
@@ -736,60 +777,43 @@ pub(crate) fn run_stages<G: GraphView>(
     stats: &mut RuntimeStats,
     on_result: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
+    if matches!(stages[0], Stage::Extend(_)) {
+        let is_last = stages.len() == 1;
+        let set_len = {
+            let Stage::Extend(stage) = &mut stages[0] else {
+                unreachable!()
+            };
+            let set = stage.extension_set(graph, tuple, options.use_intersection_cache, stats);
+            set.len()
+        };
+        if is_last && options.count_tail && options.output_limit.is_none() {
+            // COUNT(*) fast path: the final column's values are never read, so the
+            // (already predicate-filtered) set size is the number of results.
+            let Stage::Extend(stage) = &mut stages[0] else {
+                unreachable!()
+            };
+            stats.output_count += set_len as u64;
+            stats.bulk_counted_extensions += 1;
+            if let Some(p) = &mut stage.prof {
+                p.outputs += set_len as u64;
+            }
+            return true;
+        }
+        return run_extend_candidates(
+            stages,
+            graph,
+            tuple,
+            0..set_len,
+            options,
+            interrupt,
+            stats,
+            on_result,
+        );
+    }
     let (first, rest) = stages.split_at_mut(1);
     let is_last = rest.is_empty();
     match &mut first[0] {
-        Stage::Extend(stage) => {
-            let set_len = {
-                let set = stage.extension_set(graph, tuple, options.use_intersection_cache, stats);
-                set.len()
-            };
-            if is_last && options.count_tail && options.output_limit.is_none() {
-                // COUNT(*) fast path: the final column's values are never read, so the
-                // (already predicate-filtered) set size is the number of results.
-                stats.output_count += set_len as u64;
-                stats.bulk_counted_extensions += 1;
-                if let Some(p) = &mut stage.prof {
-                    p.outputs += set_len as u64;
-                }
-                return true;
-            }
-            for i in 0..set_len {
-                // One extension candidate is the unit of cooperative-interrupt accounting: a
-                // cancelled query stops mid-extension-set instead of draining it.
-                if let Some(interrupt) = interrupt {
-                    if interrupt.should_stop(stats) {
-                        return false;
-                    }
-                }
-                let v = stage.cache_set_value(i);
-                tuple.push(v);
-                let keep_going = if is_last {
-                    stats.output_count += 1;
-                    if let Some(p) = &mut stage.prof {
-                        p.outputs += 1;
-                    }
-                    let mut cont = on_result(tuple);
-                    if let Some(limit) = options.output_limit {
-                        if stats.output_count >= limit {
-                            cont = false;
-                        }
-                    }
-                    cont
-                } else {
-                    stats.intermediate_tuples += 1;
-                    if let Some(p) = &mut stage.prof {
-                        p.tuples_out += 1;
-                    }
-                    run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
-                };
-                tuple.pop();
-                if !keep_going {
-                    return false;
-                }
-            }
-            true
-        }
+        Stage::Extend(_) => unreachable!("handled above"),
         Stage::Probe(stage) => {
             stats.hash_probe_tuples += 1;
             // The profile accumulator is taken out of the stage for the duration of the probe
@@ -858,6 +882,67 @@ pub(crate) fn run_stages<G: GraphView>(
     }
 }
 
+/// Drive the per-candidate loop of an EXTEND stage over the `range` sub-range of its current
+/// extension set. `stages[0]` must be an [`ExtendStage`] whose set buffer is already populated
+/// — either computed by [`ExtendStage::extension_set`] for the current tuple, or installed
+/// from a stolen heavy-split segment with [`ExtendStage::install_candidates`]. Split out of
+/// [`run_stages`] so the parallel executor's two-level morsel scheduler can run sub-ranges of
+/// one (hub-vertex) extension set on different workers; counter attribution is unchanged —
+/// every processed candidate books its `intermediate_tuples`/`outputs` in the executing
+/// worker's pipeline clone, so the positional profile merge stays exact.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_extend_candidates<G: GraphView>(
+    stages: &mut [Stage],
+    graph: &G,
+    tuple: &mut Vec<VertexId>,
+    range: std::ops::Range<usize>,
+    options: &ExecOptions,
+    interrupt: Option<&crate::cancel::Interrupt>,
+    stats: &mut RuntimeStats,
+    on_result: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    let (first, rest) = stages.split_at_mut(1);
+    let is_last = rest.is_empty();
+    let Stage::Extend(stage) = &mut first[0] else {
+        unreachable!("run_extend_candidates requires an EXTEND stage")
+    };
+    for i in range {
+        // One extension candidate is the unit of cooperative-interrupt accounting: a
+        // cancelled query stops mid-extension-set instead of draining it.
+        if let Some(interrupt) = interrupt {
+            if interrupt.should_stop(stats) {
+                return false;
+            }
+        }
+        let v = stage.cache_set_value(i);
+        tuple.push(v);
+        let keep_going = if is_last {
+            stats.output_count += 1;
+            if let Some(p) = &mut stage.prof {
+                p.outputs += 1;
+            }
+            let mut cont = on_result(tuple);
+            if let Some(limit) = options.output_limit {
+                if stats.output_count >= limit {
+                    cont = false;
+                }
+            }
+            cont
+        } else {
+            stats.intermediate_tuples += 1;
+            if let Some(p) = &mut stage.prof {
+                p.tuples_out += 1;
+            }
+            run_stages(rest, graph, tuple, options, interrupt, stats, on_result)
+        };
+        tuple.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
 impl ExtendStage {
     /// Read a value from the cached extension set by index (kept separate from
     /// [`ExtendStage::extension_set`] so the borrow of the set does not outlive the recursion
@@ -865,6 +950,16 @@ impl ExtendStage {
     #[inline]
     pub(crate) fn cache_set_value(&self, i: usize) -> VertexId {
         self.cache_set[i]
+    }
+
+    /// Install an externally-computed candidate set — a stolen heavy-split segment — into this
+    /// stage's set buffer so [`run_extend_candidates`] can drive it. Invalidates the
+    /// last-extension cache: the installed segment is a slice of another worker's set and must
+    /// not be reused for this stage's next tuple.
+    pub(crate) fn install_candidates(&mut self, candidates: &[VertexId]) {
+        self.cache_set.clear();
+        self.cache_set.extend_from_slice(candidates);
+        self.cache_valid = false;
     }
 }
 

@@ -52,6 +52,13 @@ pub struct OpCounters {
     pub predicate_evals: u64,
     /// Tuples/candidates dropped by pushed-down predicates.
     pub predicate_drops: u64,
+    /// Two-way intersections this operator ran on the scalar merge kernel (mirrors
+    /// `RuntimeStats::kernel_merge`).
+    pub kernel_merge: u64,
+    /// Two-way intersections this operator ran on the galloping kernel.
+    pub kernel_gallop: u64,
+    /// Two-way intersections this operator ran on the block (SIMD) kernel.
+    pub kernel_block: u64,
 }
 
 impl OpCounters {
@@ -68,6 +75,9 @@ impl OpCounters {
         self.delta_merges += other.delta_merges;
         self.predicate_evals += other.predicate_evals;
         self.predicate_drops += other.predicate_drops;
+        self.kernel_merge += other.kernel_merge;
+        self.kernel_gallop += other.kernel_gallop;
+        self.kernel_block += other.kernel_block;
     }
 
     /// Self time as a [`Duration`]. Under parallel execution this is summed across workers,
@@ -205,6 +215,21 @@ impl OpProfile {
         self.sum(&|c| c.predicate_drops)
     }
 
+    /// Total merge-kernel intersections over the tree; equals `RuntimeStats::kernel_merge`.
+    pub fn total_kernel_merge(&self) -> u64 {
+        self.sum(&|c| c.kernel_merge)
+    }
+
+    /// Total gallop-kernel intersections over the tree; equals `RuntimeStats::kernel_gallop`.
+    pub fn total_kernel_gallop(&self) -> u64 {
+        self.sum(&|c| c.kernel_gallop)
+    }
+
+    /// Total block-kernel intersections over the tree; equals `RuntimeStats::kernel_block`.
+    pub fn total_kernel_block(&self) -> u64 {
+        self.sum(&|c| c.kernel_block)
+    }
+
     /// Number of operator nodes in the tree (adaptive stages count as one).
     pub fn num_operators(&self) -> usize {
         1 + self
@@ -268,6 +293,9 @@ mod tests {
             delta_merges: 8,
             predicate_evals: 9,
             predicate_drops: 10,
+            kernel_merge: 11,
+            kernel_gallop: 12,
+            kernel_block: 13,
         };
         a.merge(&a.clone());
         assert_eq!(a.time_ns, 2);
@@ -280,6 +308,9 @@ mod tests {
         assert_eq!(a.delta_merges, 16);
         assert_eq!(a.predicate_evals, 18);
         assert_eq!(a.predicate_drops, 20);
+        assert_eq!(a.kernel_merge, 22);
+        assert_eq!(a.kernel_gallop, 24);
+        assert_eq!(a.kernel_block, 26);
         assert_eq!(a.time(), Duration::from_nanos(2));
     }
 }

@@ -34,6 +34,16 @@ pub struct RuntimeStats {
     /// materialising one tuple per element — the observable proof that a counting query
     /// never allocated per-match tuples for its final extension column.
     pub bulk_counted_extensions: u64,
+    /// Two-way intersections executed by the scalar merge kernel (see
+    /// [`graphflow_graph::intersect::select_kernel`]).
+    pub kernel_merge: u64,
+    /// Two-way intersections executed by the galloping kernel.
+    pub kernel_gallop: u64,
+    /// Two-way intersections executed by the block (SIMD) kernel.
+    pub kernel_block: u64,
+    /// Heavy extension sets the parallel scheduler split into shared sub-tasks so other
+    /// workers could steal them (hub-vertex skew mitigation; always 0 in serial runs).
+    pub heavy_splits: u64,
     /// Tuples inserted into hash-join build tables.
     pub hash_build_tuples: u64,
     /// Tuples used to probe hash-join tables.
@@ -73,6 +83,10 @@ impl RuntimeStats {
         self.predicate_evals += other.predicate_evals;
         self.predicate_drops += other.predicate_drops;
         self.bulk_counted_extensions += other.bulk_counted_extensions;
+        self.kernel_merge += other.kernel_merge;
+        self.kernel_gallop += other.kernel_gallop;
+        self.kernel_block += other.kernel_block;
+        self.heavy_splits += other.heavy_splits;
         self.hash_build_tuples += other.hash_build_tuples;
         self.hash_probe_tuples += other.hash_probe_tuples;
         self.plan_cache_hits += other.plan_cache_hits;
@@ -131,6 +145,10 @@ mod tests {
             predicate_evals: 5,
             predicate_drops: 4,
             bulk_counted_extensions: 6,
+            kernel_merge: 11,
+            kernel_gallop: 12,
+            kernel_block: 13,
+            heavy_splits: 2,
             timed_out: true,
             elapsed: Duration::from_millis(50),
             ..Default::default()
@@ -139,6 +157,10 @@ mod tests {
         assert!(a.timed_out && !a.cancelled, "stop reasons merge with OR");
         assert_eq!(a.icost, 11);
         assert_eq!(a.bulk_counted_extensions, 6);
+        assert_eq!(a.kernel_merge, 11);
+        assert_eq!(a.kernel_gallop, 12);
+        assert_eq!(a.kernel_block, 13);
+        assert_eq!(a.heavy_splits, 2);
         assert_eq!(a.delta_merges, 3);
         assert_eq!(a.predicate_evals, 5);
         assert_eq!(a.predicate_drops, 4);

@@ -1,0 +1,247 @@
+//! Branchless block intersection: compare the lists 8×u32 block against 8×u32 block,
+//! all-pairs, and advance whole blocks instead of single elements.
+//!
+//! The merge kernel's weakness on dense inputs is its data-dependent branch per element —
+//! on lists that interleave tightly the branch is essentially random and every element costs a
+//! pipeline flush. The block kernel removes the branches: for the current 8-element block of
+//! each list it computes an 8-bit *match mask* (which elements of the `a` block occur anywhere
+//! in the `b` block) with 8 vectorised equality compares, then advances whichever block has
+//! the smaller maximum. Matched elements are emitted when their `a` block retires, keeping the
+//! output sorted.
+//!
+//! Two implementations share the control loop:
+//!
+//! * `mask8_portable` — plain nested loops over `[u32; 8]` chunks, deliberately written so
+//!   LLVM autovectorizes them to `pcmpeqd`/`por` sequences (SSE2 on the x86-64 baseline, AVX2
+//!   under `-C target-cpu` builds). This is also the non-x86 and force-disabled path.
+//! * `mask8_avx2` — explicit [`core::arch::x86_64`] intrinsics: one 256-bit load per block
+//!   and 7 lane rotations via `vpermd`, OR-ing `vpcmpeqd` results into one mask. Selected at
+//!   runtime behind [`is_x86_feature_detected!`]; detection is cached in an atomic.
+//!
+//! [`set_simd_enabled`] force-disables the explicit path (and [`simd_active`] reports the
+//! state) so differential tests can cover both implementations on the same machine.
+
+use crate::ids::VertexId;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// SIMD dispatch state: 0 = undecided, 1 = explicit AVX2 path, 2 = portable path.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+const STATE_AVX2: u8 = 1;
+const STATE_PORTABLE: u8 = 2;
+
+fn detect() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::env::var_os("GF_NO_SIMD").is_none() && is_x86_feature_detected!("avx2") {
+            return STATE_AVX2;
+        }
+    }
+    STATE_PORTABLE
+}
+
+#[inline]
+fn simd_state() -> u8 {
+    let s = SIMD_STATE.load(Ordering::Relaxed);
+    if s != 0 {
+        return s;
+    }
+    let s = detect();
+    SIMD_STATE.store(s, Ordering::Relaxed);
+    s
+}
+
+/// Force the explicit SIMD path on or off at runtime. `set_simd_enabled(true)` re-runs CPU
+/// feature detection (it does not force vector instructions onto CPUs without them);
+/// `set_simd_enabled(false)` pins the portable autovectorized implementation. Used by the
+/// differential test suite and honoured process-wide. The `GF_NO_SIMD` environment variable
+/// (checked at first use) has the same effect as calling this with `false`.
+pub fn set_simd_enabled(enabled: bool) {
+    if enabled {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let s = if is_x86_feature_detected!("avx2") {
+                STATE_AVX2
+            } else {
+                STATE_PORTABLE
+            };
+            SIMD_STATE.store(s, Ordering::Relaxed);
+            return;
+        }
+        #[allow(unreachable_code)]
+        SIMD_STATE.store(STATE_PORTABLE, Ordering::Relaxed);
+    } else {
+        SIMD_STATE.store(STATE_PORTABLE, Ordering::Relaxed);
+    }
+}
+
+/// Whether the explicit AVX2 block implementation is active (detected and not force-disabled).
+pub fn simd_active() -> bool {
+    simd_state() == STATE_AVX2
+}
+
+/// Intersect two strictly-sorted slices with the block kernel, dispatching to the explicit
+/// AVX2 implementation when it is detected and enabled, and to the portable autovectorized
+/// implementation otherwise.
+pub fn block_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_state() == STATE_AVX2 {
+            // SAFETY: dispatch guarantees AVX2 was detected on this CPU.
+            unsafe { block_intersect_avx2(a, b, out) };
+            return;
+        }
+    }
+    block_intersect_portable(a, b, out);
+}
+
+/// Portable block kernel; the mask computation autovectorizes (SSE2 baseline).
+pub fn block_intersect_portable(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    block_loop(a, b, out, mask8_portable);
+}
+
+/// Explicit AVX2 block kernel.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn block_intersect_avx2(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    block_loop(a, b, out, |x, y| unsafe { mask8_avx2(x, y) });
+}
+
+/// Run the explicit AVX2 kernel if (and only if) this CPU supports it, regardless of the
+/// force-disable switch. Returns `None` on CPUs without AVX2. Differential tests use this to
+/// cover the intrinsic implementation directly without touching global dispatch state.
+pub fn block_intersect_avx2_checked(a: &[VertexId], b: &[VertexId]) -> Option<Vec<VertexId>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            let mut out = Vec::new();
+            // SAFETY: AVX2 support just verified.
+            unsafe { block_intersect_avx2(a, b, &mut out) };
+            return Some(out);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, b);
+    }
+    None
+}
+
+/// All-pairs equality of two 8-element blocks as a bitmask over the first block's lanes:
+/// bit `i` is set iff `a[i]` occurs anywhere in `b[..8]`. Plain nested loops with an
+/// accumulator array — the shape LLVM turns into 8 broadcast-compare-or rounds.
+#[inline]
+fn mask8_portable(a: &[VertexId], b: &[VertexId]) -> u32 {
+    let mut found = [0u32; 8];
+    for &bj in &b[..8] {
+        for (i, f) in found.iter_mut().enumerate() {
+            *f |= u32::from(a[i] == bj);
+        }
+    }
+    let mut mask = 0u32;
+    for (i, f) in found.iter().enumerate() {
+        mask |= f << i;
+    }
+    mask
+}
+
+/// Lane-rotation index vectors for [`mask8_avx2`]: `ROT_IDX[r][i] == (i + r) % 8`.
+#[cfg(target_arch = "x86_64")]
+static ROT_IDX: [[i32; 8]; 8] = {
+    let mut t = [[0i32; 8]; 8];
+    let mut r = 0;
+    while r < 8 {
+        let mut i = 0;
+        while i < 8 {
+            t[r][i] = ((i + r) % 8) as i32;
+            i += 1;
+        }
+        r += 1;
+    }
+    t
+};
+
+/// AVX2 all-pairs equality mask: compare the `a` vector against all 8 rotations of the `b`
+/// vector and OR the equality results.
+///
+/// # Safety
+/// Requires AVX2; `a` and `b` must each have at least 8 readable elements.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mask8_avx2(a: &[VertexId], b: &[VertexId]) -> u32 {
+    use core::arch::x86_64::*;
+    debug_assert!(a.len() >= 8 && b.len() >= 8);
+    // SAFETY: caller guarantees 8 readable u32s behind each pointer; loads are unaligned.
+    unsafe {
+        let va = _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr() as *const __m256i);
+        let mut acc = _mm256_cmpeq_epi32(va, vb);
+        // Rotations 1..8 of vb against va; `vpermd` + `vpcmpeqd` + `vpor` per round.
+        let mut r = 1;
+        while r < 8 {
+            let idx = _mm256_loadu_si256(ROT_IDX[r].as_ptr() as *const __m256i);
+            let rot = _mm256_permutevar8x32_epi32(vb, idx);
+            acc = _mm256_or_si256(acc, _mm256_cmpeq_epi32(va, rot));
+            r += 1;
+        }
+        _mm256_movemask_ps(_mm256_castsi256_ps(acc)) as u32 & 0xFF
+    }
+}
+
+/// The shared blocked control loop: maintain the match mask of the current `a` block, advance
+/// whole blocks by max comparison, emit a block's matches (in order) when it retires, and
+/// finish ragged tails with the scalar merge.
+#[inline(always)]
+fn block_loop(
+    a: &[VertexId],
+    b: &[VertexId],
+    out: &mut Vec<VertexId>,
+    mask8: impl Fn(&[VertexId], &[VertexId]) -> u32,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut mask = 0u32;
+    while i + 8 <= a.len() && j + 8 <= b.len() {
+        mask |= mask8(&a[i..], &b[j..]);
+        let amax = a[i + 7];
+        let bmax = b[j + 7];
+        if amax <= bmax {
+            // This `a` block has been compared against every `b` block its values can occur
+            // in (later `b` blocks are strictly greater than `amax`): retire it.
+            let mut m = mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                out.push(a[i + k]);
+                m &= m - 1;
+            }
+            mask = 0;
+            i += 8;
+        }
+        if bmax <= amax {
+            j += 8;
+        }
+    }
+    // A full `a` block can be left half-compared when `b`'s tail ran short: its mask holds
+    // matches against blocks `b[..j]` only. Finish it element-wise against `b[j..]` — emitting
+    // in `a`-index order keeps the output sorted (masked matches are values below `b[j]`).
+    if i + 8 <= a.len() {
+        for k in 0..8 {
+            let x = a[i + k];
+            if mask & (1 << k) != 0 {
+                out.push(x);
+                continue;
+            }
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j < b.len() && b[j] == x {
+                out.push(x);
+                j += 1;
+            }
+        }
+        i += 8;
+    }
+    super::scalar::merge_intersect(&a[i..], &b[j..], out);
+}

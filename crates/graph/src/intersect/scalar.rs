@@ -1,0 +1,67 @@
+//! Scalar two-way kernels: linear merge and galloping with branchless binary search.
+
+use crate::ids::VertexId;
+
+/// Classic linear merge intersection. Cheapest kernel for short or very sparse lists of
+/// comparable size, where the blocked kernel's fixed per-block work cannot amortise.
+pub fn merge_intersect(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push(x);
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// Branchless lower bound: index of the first element of `s` that is `>= x`.
+///
+/// A halving loop over a shrinking window whose only data-dependent operation is a
+/// conditionally-added offset — the compare compiles to `cmov`/`setb` arithmetic instead of a
+/// hard-to-predict branch, which is what makes galloping probes cheap on the random probe
+/// patterns the E/I operator produces.
+#[inline]
+pub fn branchless_lower_bound(s: &[VertexId], x: VertexId) -> usize {
+    let mut lo = 0usize;
+    let mut len = s.len();
+    while len > 1 {
+        let half = len / 2;
+        // Branchless: advance `lo` past the lower half iff its last element is still < x.
+        lo += usize::from(s[lo + half - 1] < x) * half;
+        len -= half;
+    }
+    lo + usize::from(len == 1 && s.get(lo).is_some_and(|&v| v < x))
+}
+
+/// For each element of the (much smaller) `small` list, gallop within `large` for a match:
+/// exponential search narrows a window, then [`branchless_lower_bound`] finishes it.
+pub fn gallop_intersect(small: &[VertexId], large: &[VertexId], out: &mut Vec<VertexId>) {
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential search from `lo` for a window whose end is >= x.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(large.len());
+        let idx = lo + branchless_lower_bound(&large[lo..hi], x);
+        if idx < large.len() && large[idx] == x {
+            out.push(x);
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}

@@ -41,8 +41,9 @@ pub use delta::{DeltaStore, Snapshot, Update};
 pub use graph::{Adjacency, Graph, GraphView, NbrList};
 pub use ids::{Direction, EdgeLabel, VertexId, VertexLabel};
 pub use intersect::{
-    intersect_sorted, intersect_sorted_into, merge_delta, multiway_intersect,
-    multiway_intersect_views,
+    intersect_sorted, intersect_sorted_into, intersect_sorted_into_counted, merge_delta,
+    multiway_intersect, multiway_intersect_views, multiway_intersect_views_counted, select_kernel,
+    set_simd_enabled, simd_active, Kernel, KernelCounters,
 };
 pub use props::{EdgeKey, PropError, PropType, PropValue, PropertyStore};
 pub use serialize::DecodeError;

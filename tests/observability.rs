@@ -48,6 +48,21 @@ fn assert_profile_exact(label: &str, stats: &RuntimeStats) {
         stats.delta_merges,
         "{label}: delta merges"
     );
+    assert_eq!(
+        prof.total_kernel_merge(),
+        stats.kernel_merge,
+        "{label}: merge-kernel calls"
+    );
+    assert_eq!(
+        prof.total_kernel_gallop(),
+        stats.kernel_gallop,
+        "{label}: gallop-kernel calls"
+    );
+    assert_eq!(
+        prof.total_kernel_block(),
+        stats.kernel_block,
+        "{label}: block-kernel calls"
+    );
 }
 
 fn executor_options() -> [(&'static str, QueryOptions); 3] {
@@ -131,6 +146,32 @@ fn profiling_off_leaves_stats_identical() {
         assert_eq!(
             on_cmp, off_cmp,
             "{name}: profiling must not change the counters"
+        );
+    }
+}
+
+/// `PROFILE` surfaces the intersection-kernel mix: a multiway-intersection query reports a
+/// non-zero kernel split in its stats on every executor, and the rendered report names the
+/// per-operator kernel dispatch counts.
+#[test]
+fn profile_reports_the_intersection_kernel_mix() {
+    let db = small_db();
+    for (name, options) in executor_options() {
+        let report = db.prepare(DIAMOND_X).unwrap().profile(options).unwrap();
+        let stats = report.stats.as_ref().unwrap();
+        assert!(
+            stats.kernel_merge + stats.kernel_gallop + stats.kernel_block > 0,
+            "{name}: a multiway query dispatches at least one two-way kernel"
+        );
+        let rendered = report.to_string();
+        assert!(
+            rendered.contains("kernels merge/gallop/block"),
+            "{name}: rendered PROFILE names the kernel mix:\n{rendered}"
+        );
+        let json = report.to_json();
+        assert!(
+            json.contains("\"kernel_merge\":"),
+            "{name}: PROFILE JSON carries kernel counters"
         );
     }
 }
