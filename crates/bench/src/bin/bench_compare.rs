@@ -10,7 +10,10 @@
 //!   regression — a harness silently stopped covering it);
 //! * `output_count`, when both sides carry it, must match **exactly** (result drift means the
 //!   engine now computes a different answer, which no speedup excuses);
-//! * `median_ms` may not exceed `baseline * (1 + tolerance)`; the default tolerance is 0.10.
+//! * `median_ms` may not exceed `baseline * (1 + tolerance) + slack`; the default tolerance
+//!   is 0.10 and the default slack 0ms. `--slack-ms` is the absolute noise floor for reports
+//!   full of sub-10ms smoke-scale records, whose medians cannot hold a purely relative bound
+//!   on a shared runner — large records stay gated at ~`tolerance`, tiny ones get the grace.
 //!
 //! New records that only exist in the current report are listed but never fail the check.
 //! Exit status: 0 when every baseline record passes, 1 otherwise, 2 on usage/parse errors.
@@ -140,12 +143,17 @@ fn load(path: &str) -> Result<BTreeMap<(String, String, String), Record>, String
         .map_err(|e| format!("{path}: {e}"))
 }
 
-fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, String> {
+fn run(
+    baseline_path: &str,
+    current_path: &str,
+    tolerance: f64,
+    slack_ms: f64,
+) -> Result<bool, String> {
     let baseline = load(baseline_path)?;
     let mut current = load(current_path)?;
     let mut failures = Vec::new();
     println!(
-        "comparing {current_path} against {baseline_path} (tolerance {:.0}%)",
+        "comparing {current_path} against {baseline_path} (tolerance {:.0}%, slack {slack_ms}ms)",
         tolerance * 100.0
     );
     for (key, base) in &baseline {
@@ -160,7 +168,7 @@ fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<bool, 
                 continue;
             }
         }
-        let limit = base.median_ms * (1.0 + tolerance);
+        let limit = base.median_ms * (1.0 + tolerance) + slack_ms;
         let ratio = if base.median_ms > 0.0 {
             cur.median_ms / base.median_ms
         } else {
@@ -199,6 +207,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.10_f64;
+    let mut slack_ms = 0.0_f64;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -208,16 +217,25 @@ fn main() -> ExitCode {
             };
             tolerance = v;
             i += 2;
+        } else if args[i] == "--slack-ms" {
+            let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--slack-ms needs a numeric value");
+                return ExitCode::from(2);
+            };
+            slack_ms = v;
+            i += 2;
         } else {
             paths.push(args[i].clone());
             i += 1;
         }
     }
     let [baseline, current] = paths.as_slice() else {
-        eprintln!("usage: bench_compare <baseline.json> <current.json> [--tolerance 0.10]");
+        eprintln!(
+            "usage: bench_compare <baseline.json> <current.json> [--tolerance 0.10] [--slack-ms 0]"
+        );
         return ExitCode::from(2);
     };
-    match run(baseline, current, tolerance) {
+    match run(baseline, current, tolerance, slack_ms) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -266,7 +284,7 @@ mod tests {
         )
     }
 
-    fn check(base: &str, cur: &str, tol: f64) -> bool {
+    fn check_slack(base: &str, cur: &str, tol: f64, slack: f64) -> bool {
         let dir = std::env::temp_dir().join(format!(
             "gf_cmp_{}_{}",
             std::process::id(),
@@ -277,9 +295,13 @@ mod tests {
         let c = dir.join("cur.json");
         std::fs::write(&b, base).unwrap();
         std::fs::write(&c, cur).unwrap();
-        let ok = run(b.to_str().unwrap(), c.to_str().unwrap(), tol).unwrap();
+        let ok = run(b.to_str().unwrap(), c.to_str().unwrap(), tol, slack).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
         ok
+    }
+
+    fn check(base: &str, cur: &str, tol: f64) -> bool {
+        check_slack(base, cur, tol, 0.0)
     }
 
     #[test]
@@ -293,6 +315,30 @@ mod tests {
     #[test]
     fn output_count_drift_fails_even_when_faster() {
         assert!(!check(&report_with(10.0, 7), &report_with(2.0, 8), 0.10));
+    }
+
+    #[test]
+    fn absolute_slack_covers_micro_records_but_not_real_regressions() {
+        // 10ms -> 14ms is beyond 10% but inside the 5ms noise floor.
+        assert!(check_slack(
+            &report_with(10.0, 7),
+            &report_with(14.0, 7),
+            0.10,
+            5.0
+        ));
+        assert!(!check_slack(
+            &report_with(10.0, 7),
+            &report_with(16.5, 7),
+            0.10,
+            5.0
+        ));
+        // Slack never excuses result drift.
+        assert!(!check_slack(
+            &report_with(10.0, 7),
+            &report_with(2.0, 8),
+            0.10,
+            5.0
+        ));
     }
 
     #[test]

@@ -60,6 +60,22 @@ impl ProfileNode {
         self.actual.as_ref().map(|c| c.tuples_out + c.outputs)
     }
 
+    /// The q-error of the optimizer's cardinality estimate for this operator:
+    /// `max(est/actual, actual/est)`, always ≥ 1.0 (1.0 = perfect estimate). `None` in
+    /// `EXPLAIN`-only reports, or when exactly one of the two sides is zero (the ratio is
+    /// unbounded); zero estimated *and* zero actual counts as perfect.
+    pub fn q_error(&self) -> Option<f64> {
+        let actual = self.actual_rows()? as f64;
+        let est = self.est_rows;
+        if actual <= 0.0 && est <= 0.0 {
+            return Some(1.0);
+        }
+        if actual <= 0.0 || est <= 0.0 {
+            return None;
+        }
+        Some((est / actual).max(actual / est))
+    }
+
     /// Number of operator nodes in the subtree (an adaptive stage counts as one).
     pub fn num_operators(&self) -> usize {
         1 + self
@@ -202,6 +218,9 @@ fn render_node(node: &ProfileNode, indent: usize, f: &mut fmt::Formatter<'_>) ->
             c.icost,
             c.time_ns as f64 / 1e6
         )?;
+        if let Some(qe) = node.q_error() {
+            write!(f, ", q-err {qe:.2}")?;
+        }
         // Which intersection kernels this operator's E/I calls dispatched to.
         if c.kernel_merge + c.kernel_gallop + c.kernel_block > 0 {
             write!(
@@ -472,6 +491,10 @@ fn json_node(node: &ProfileNode, out: &mut String) {
     out.push_str(&format!("\"operator\":{}", json_str(&node.operator)));
     out.push_str(&format!(",\"est_rows\":{}", json_f64(node.est_rows)));
     out.push_str(&format!(",\"est_cost\":{}", json_f64(node.est_cost)));
+    out.push_str(&format!(
+        ",\"q_error\":{}",
+        node.q_error().map_or("null".to_string(), json_f64)
+    ));
     out.push_str(",\"actual\":");
     match &node.actual {
         Some(c) => json_counters(c, out),
@@ -566,6 +589,29 @@ mod tests {
         assert_eq!(icost, stats.icost);
         assert_eq!(rows, stats.intermediate_tuples + stats.output_count);
         assert!(report.to_string().contains("actual rows"));
+    }
+
+    #[test]
+    fn profile_reports_estimation_quality_as_q_error() {
+        let db = triangle_db();
+        let q = db.prepare("(a)->(b), (b)->(c), (a)->(c)").unwrap();
+        // EXPLAIN has no actuals, so no q-error.
+        assert!(q.explain().root.q_error().is_none());
+        let report = q.profile(QueryOptions::new()).unwrap();
+        fn walk(n: &crate::ProfileNode) {
+            if let Some(qe) = n.q_error() {
+                assert!(qe >= 1.0, "q-error is a ratio >= 1, got {qe}");
+            }
+            for ch in &n.children {
+                walk(ch);
+            }
+        }
+        walk(&report.root);
+        assert!(
+            report.to_string().contains("q-err"),
+            "PROFILE renders estimated-vs-actual quality"
+        );
+        assert!(report.to_json().contains("\"q_error\":"));
     }
 
     #[test]

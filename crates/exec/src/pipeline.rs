@@ -196,6 +196,13 @@ pub struct JoinTable {
     pub payload_width: usize,
 }
 
+impl JoinTable {
+    /// Whether the build side materialised no tuples at all (no probe can ever succeed).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// The driver scan of a pipeline.
 #[derive(Debug, Clone)]
 pub(crate) struct ScanStage {
@@ -702,6 +709,16 @@ pub(crate) fn run_pipeline_on_range<G: GraphView>(
     // The per-result limit checks below fire after a result is delivered, so a limit of zero
     // needs its own guard to deliver nothing.
     if options.output_limit == Some(0) {
+        return;
+    }
+    // Short-circuit: if any hash-join build side (including those of bushy trees, materialised
+    // bottom-up at compile time) produced an empty table, no scan tuple can survive its probe
+    // stage — skip driving the scan entirely.
+    if pipeline
+        .stages
+        .iter()
+        .any(|s| matches!(s, Stage::Probe(p) if p.table.is_empty()))
+    {
         return;
     }
     let interrupt = options.interrupt();
@@ -1485,6 +1502,33 @@ mod tests {
         });
         let plan = DpOptimizer::new(&cat).optimize(&missing).unwrap();
         assert_eq!(execute(&g, &plan).count, 0);
+    }
+
+    #[test]
+    fn empty_build_side_short_circuits_the_probe_scan() {
+        use graphflow_graph::PropValue;
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        let g = random_graph();
+        // Path a1->a2->a3 with an unsatisfiable predicate on a3: the build side (scan of
+        // a2->a3) materialises nothing, so the probe scan must never drive.
+        let mut q = patterns::directed_path(3);
+        q.add_predicate(Predicate {
+            target: PredTarget::Vertex(2),
+            key: "nope".into(),
+            op: CmpOp::Ne,
+            value: PropValue::Int(0),
+        });
+        let build = PlanNode::scan(q.edges()[1]);
+        let probe = PlanNode::scan(q.edges()[0]);
+        let join = PlanNode::hash_join(&q, build, probe).unwrap();
+        let plan = Plan::new(q.clone(), join, 0.0);
+        let out = execute(&g, &plan);
+        assert_eq!(out.count, 0);
+        assert_eq!(out.stats.hash_probe_tuples, 0, "no probes attempted");
+        assert_eq!(
+            out.stats.intermediate_tuples, 0,
+            "the probe-side scan is skipped entirely when the build is empty"
+        );
     }
 
     #[test]

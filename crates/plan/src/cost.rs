@@ -1,5 +1,12 @@
 //! The cost model: i-cost for E/I operators and normalised hash-join cost (paper Sections 3.3,
-//! 4.2 and 5.2).
+//! 4.2 and 5.2), with predicate selectivities propagated *through* intermediate-result
+//! cardinalities.
+//!
+//! Costing is **incremental**: [`cost_step`] computes the cost of one operator from the
+//! already-computed [`PlanCost`]s of its children, which is what lets the DP optimizer cost a
+//! candidate in O(1) instead of re-walking the subtree. [`estimate_cost`] is the recursive
+//! wrapper over `cost_step` used wherever a whole subtree has to be costed from scratch
+//! (spectrum enumeration, EXPLAIN).
 
 use crate::plan::PlanNode;
 use graphflow_catalog::Catalogue;
@@ -17,17 +24,27 @@ pub struct CostModel {
     /// the "cache-conscious" optimizer; switching it off gives the "cache-oblivious" variant
     /// used as an ablation).
     pub cache_conscious: bool,
+    /// Whether predicate selectivities flow through intermediate cardinalities. Switching it
+    /// off gives the "filter-blind" ablation: every sub-plan is costed as if the query had no
+    /// WHERE clause, so plans that bind highly filtered vertices early lose their advantage.
+    pub filter_aware: bool,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
         // The paper fits w1/w2 empirically from profiled runs; these defaults reflect the same
-        // fitting procedure run on the synthetic datasets (hashing a tuple costs a few times a
-        // probe). `fit_weights` re-derives them from fresh measurements.
+        // procedure run against this engine: measure join-rooted spectrum plans, subtract their
+        // E/I parts' wall time (converted through the seconds-per-i-cost-unit of WCO plans on
+        // the same query), and least-squares the surplus against the build/probe cardinalities
+        // (`fit_weights`). Hashing one build tuple costs roughly eighteen adjacency-list
+        // element scans and a probe roughly six — hash-table work is far costlier per tuple
+        // than the SIMD list scans i-cost counts in, so weights near 1 systematically favour
+        // joins over intersections.
         CostModel {
-            w1: 3.0,
-            w2: 1.0,
+            w1: 18.0,
+            w2: 6.0,
             cache_conscious: true,
+            filter_aware: true,
         }
     }
 }
@@ -39,9 +56,25 @@ impl CostModel {
         self
     }
 
+    /// A filter-blind copy of this model: predicate selectivities are ignored everywhere, so
+    /// intermediate cardinalities are those of the bare pattern. Used as an ablation to show
+    /// that filter-aware costing changes (and improves) plan choice on predicate-laden queries.
+    pub fn filter_blind(mut self) -> Self {
+        self.filter_aware = false;
+        self
+    }
+
     /// Fit `w1` and `w2` from profiled `(n1, n2, equivalent i-cost)` triples by least squares
     /// (paper Section 4.2: E/I profiles convert hash-join wall time into i-cost units, then the
     /// weights are chosen to best fit the converted triples).
+    ///
+    /// Degenerate sample sets are handled explicitly instead of failing:
+    ///
+    /// * fewer than two samples, or samples with no signal at all (`n1 = n2 = 0` everywhere)
+    ///   return `None` — there is nothing to fit;
+    /// * collinear samples (every `(n1, n2)` on one line through the origin, which includes
+    ///   "all n1 zero" and "all n2 zero") have a one-dimensional solution space; the
+    ///   minimum-norm least-squares solution along the shared direction is returned.
     pub fn fit_weights(samples: &[(f64, f64, f64)]) -> Option<(f64, f64)> {
         if samples.len() < 2 {
             return None;
@@ -49,19 +82,36 @@ impl CostModel {
         // Normal equations for [n1 n2] * [w1 w2]^T = cost.
         let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0, 0.0, 0.0, 0.0, 0.0);
         for &(n1, n2, c) in samples {
+            if !n1.is_finite() || !n2.is_finite() || !c.is_finite() {
+                return None;
+            }
             a11 += n1 * n1;
             a12 += n1 * n2;
             a22 += n2 * n2;
             b1 += n1 * c;
             b2 += n2 * c;
         }
-        let det = a11 * a22 - a12 * a12;
-        if det.abs() < 1e-12 {
+        if a11 + a22 <= 0.0 {
+            // Every sample is (0, 0, c): no signal to attribute to either weight.
             return None;
         }
-        let w1 = (b1 * a22 - b2 * a12) / det;
-        let w2 = (b2 * a11 - b1 * a12) / det;
-        Some((w1.max(0.0), w2.max(0.0)))
+        let det = a11 * a22 - a12 * a12;
+        // Scale-aware rank test: for collinear samples the determinant is zero up to rounding
+        // in the products accumulated above.
+        if det.abs() > 1e-9 * (a11 * a22).max(a12 * a12).max(1.0) {
+            let w1 = (b1 * a22 - b2 * a12) / det;
+            let w2 = (b2 * a11 - b1 * a12) / det;
+            return Some((w1.max(0.0), w2.max(0.0)));
+        }
+        // Rank-deficient: all samples lie along one direction u. Fit the scalar coordinate
+        // along û = u/|u| (the minimum-norm least-squares solution; the orthogonal component
+        // is unconstrained by the data and set to zero).
+        let (u1, u2) = if a11 >= a22 { (a11, a12) } else { (a12, a22) };
+        let norm = (u1 * u1 + u2 * u2).sqrt();
+        let (u1, u2) = (u1 / norm, u2 / norm);
+        // Sum of squared scalar coordinates is trace(A); b·û is the data-weighted coordinate.
+        let w_par = (b1 * u1 + b2 * u2) / (a11 + a22);
+        Some(((w_par * u1).max(0.0), (w_par * u2).max(0.0)))
     }
 }
 
@@ -72,7 +122,8 @@ pub struct PlanCost {
     pub icost: f64,
     /// Estimated hash-join cost, already normalised into i-cost units (`w1·n1 + w2·n2`).
     pub join_cost: f64,
-    /// Estimated cardinality of the (sub-)plan's output.
+    /// Estimated cardinality of the (sub-)plan's output, with the selectivity of every
+    /// predicate bound so far already applied (when the model is filter-aware).
     pub output_cardinality: f64,
 }
 
@@ -83,43 +134,52 @@ impl PlanCost {
     }
 }
 
-/// Estimate the cost of a plan subtree.
+/// Cost one operator given the costs of its children (`[]` for SCAN, `[child]` for E/I,
+/// `[build, probe]` for HASH-JOIN).
 ///
-/// The estimate walks the tree bottom-up; each E/I contributes
-/// `multiplier × Σ |L_i|` where the multiplier is the estimated cardinality of the child
-/// sub-query (Equation 2), or — when the model is cache-conscious and the intersection only
-/// accesses query vertices matched *before* the child's most recently matched vertex — the
-/// cardinality of the projection onto the accessed vertices (Section 5.2, "Intersection cache
-/// utilization"). Hash joins contribute `w1·|build| + w2·|probe|`.
-///
-/// Every cardinality is scaled by the combined selectivity of the property predicates fully
-/// bound by the corresponding vertex subset
-/// ([`QueryGraph::predicate_selectivity`]): predicates are evaluated by the executors as soon
-/// as their vertices bind, so intermediate results shrink at exactly these points and plans
-/// that bind highly filtered vertices early win the cost comparison.
-pub fn estimate_cost(
+/// * **SCAN** seeds the chain: output cardinality is the catalogue estimate of the edge's
+///   2-vertex sub-query times the selectivity of the predicates it binds.
+/// * **E/I** contributes `multiplier × Σ |L_i|` i-cost, where the multiplier is the child's
+///   *propagated* output cardinality (Equation 2) or — when the model is cache-conscious and
+///   the intersection only accesses query vertices matched *before* the child's most recently
+///   matched vertex — the cardinality of the projection onto the accessed vertices, capped by
+///   the child cardinality (Section 5.2, "Intersection cache utilization"; the cap reflects
+///   that the cache cannot miss more often than there are child tuples). Its output
+///   cardinality is `child × µ × Δsel`, with `Δsel` the combined selectivity of the predicates
+///   newly bound by the target vertex — this is what propagates a filter on an interior vertex
+///   into every sub-plan that binds it.
+/// * **HASH-JOIN** contributes `w1·|build| + w2·|probe|` on the children's propagated
+///   cardinalities; its output cardinality is the catalogue estimate of the union sub-query
+///   scaled by the selectivity of every predicate the union binds.
+pub fn cost_step(
     q: &QueryGraph,
     catalogue: &Catalogue,
     model: &CostModel,
     node: &PlanNode,
+    child_costs: &[PlanCost],
 ) -> PlanCost {
-    let card =
-        |set: VertexSet| catalogue.estimate_cardinality(q, set) * q.predicate_selectivity(set);
+    let sel = |set: VertexSet| {
+        if model.filter_aware {
+            q.predicate_selectivity(set)
+        } else {
+            1.0
+        }
+    };
     match node {
         PlanNode::Scan(n) => {
             let set = singleton(n.edge.src) | singleton(n.edge.dst);
             PlanCost {
                 icost: 0.0,
                 join_cost: 0.0,
-                output_cardinality: card(set),
+                output_cardinality: catalogue.estimate_cardinality(q, set) * sel(set),
             }
         }
         PlanNode::Extend(n) => {
-            let child_cost = estimate_cost(q, catalogue, model, &n.child);
+            let child = child_costs[0];
             let child_set = n.child.vertex_set();
-            let prefix = n.child.out().to_vec();
+            let prefix = n.child.out();
             let est = catalogue
-                .extension_estimate(q, &prefix, n.target_vertex)
+                .extension_estimate(q, prefix, n.target_vertex)
                 .unwrap_or(graphflow_catalog::ExtensionEstimate {
                     avg_list_sizes: vec![],
                     mu: 0.0,
@@ -138,38 +198,71 @@ pub fn estimate_cost(
             let multiplier = if model.cache_conscious
                 && last_matched.is_some_and(|lv| accessed & singleton(lv) == 0)
             {
-                card(accessed)
+                (catalogue.estimate_cardinality(q, accessed) * sel(accessed))
+                    .min(child.output_cardinality)
             } else {
-                card(child_set)
+                child.output_cardinality
             };
 
-            let out_card = card(node.vertex_set());
+            // Selectivity of exactly the predicates the target vertex newly binds (per-op
+            // selectivities are strictly positive, so the ratio is well defined).
+            let delta_sel = {
+                let child_sel = sel(child_set);
+                if child_sel > 0.0 {
+                    sel(node.vertex_set()) / child_sel
+                } else {
+                    1.0
+                }
+            };
             PlanCost {
-                icost: child_cost.icost + multiplier * sum_sizes,
-                join_cost: child_cost.join_cost,
-                output_cardinality: out_card,
+                icost: child.icost + multiplier * sum_sizes,
+                join_cost: child.join_cost,
+                output_cardinality: child.output_cardinality * est.mu * delta_sel,
             }
         }
-        PlanNode::HashJoin(n) => {
-            let build = estimate_cost(q, catalogue, model, &n.build);
-            let probe = estimate_cost(q, catalogue, model, &n.probe);
-            let n1 = build.output_cardinality;
-            let n2 = probe.output_cardinality;
-            let out_card = card(node.vertex_set());
+        PlanNode::HashJoin(_) => {
+            let (build, probe) = (child_costs[0], child_costs[1]);
+            let union = node.vertex_set();
             PlanCost {
                 icost: build.icost + probe.icost,
-                join_cost: build.join_cost + probe.join_cost + model.w1 * n1 + model.w2 * n2,
-                output_cardinality: out_card,
+                join_cost: build.join_cost
+                    + probe.join_cost
+                    + model.w1 * build.output_cardinality
+                    + model.w2 * probe.output_cardinality,
+                output_cardinality: catalogue.estimate_cardinality(q, union) * sel(union),
             }
         }
     }
 }
 
-/// The query vertex whose binding varies fastest in the child's output stream: the vertex the
-/// child matched last. Consecutive tuples agree on everything matched *before* it, which is what
-/// makes the intersection cache effective (Section 3.2.3).
-fn last_matched_vertex(child: &PlanNode) -> Option<usize> {
-    match child {
+/// Estimate the cost of a plan subtree by walking it bottom-up through [`cost_step`].
+pub fn estimate_cost(
+    q: &QueryGraph,
+    catalogue: &Catalogue,
+    model: &CostModel,
+    node: &PlanNode,
+) -> PlanCost {
+    match node {
+        PlanNode::Scan(_) => cost_step(q, catalogue, model, node, &[]),
+        PlanNode::Extend(n) => {
+            let child = estimate_cost(q, catalogue, model, &n.child);
+            cost_step(q, catalogue, model, node, &[child])
+        }
+        PlanNode::HashJoin(n) => {
+            let build = estimate_cost(q, catalogue, model, &n.build);
+            let probe = estimate_cost(q, catalogue, model, &n.probe);
+            cost_step(q, catalogue, model, node, &[build, probe])
+        }
+    }
+}
+
+/// The query vertex whose binding varies fastest in the node's output stream: the vertex the
+/// node matched last. Consecutive tuples agree on everything matched *before* it, which is what
+/// makes the intersection cache effective (Section 3.2.3). `None` for hash-join roots, whose
+/// output order gives no grouping guarantee — this is also the "interesting order" the DP
+/// optimizer keys its sub-plan classes on.
+pub fn last_matched_vertex(node: &PlanNode) -> Option<usize> {
+    match node {
         // SCAN produces edges sorted by (label, src, dst): the destination varies fastest.
         PlanNode::Scan(n) => Some(n.edge.dst),
         PlanNode::Extend(n) => Some(n.target_vertex),
@@ -227,6 +320,33 @@ mod tests {
         assert!(c_tri.icost > 0.0);
         assert!(c_full.icost > c_tri.icost);
         assert!(c_full.output_cardinality > 0.0);
+    }
+
+    #[test]
+    fn incremental_cost_step_agrees_with_recursive_estimate() {
+        // The DP costs candidates through cost_step on stored child costs; spectrum/EXPLAIN
+        // re-walk subtrees through estimate_cost. The two must agree exactly.
+        let g = complete_graph(8);
+        let cat = Catalogue::with_defaults(g);
+        let model = CostModel::default();
+        let q = patterns::diamond_x();
+        let tri = wco_plan(&q, &[0, 1, 2]);
+        let tri_cost = estimate_cost(&q, &cat, &model, &tri);
+        let full = PlanNode::extend(&q, tri.clone(), 3).unwrap();
+        let inc = cost_step(&q, &cat, &model, &full, &[tri_cost]);
+        let rec = estimate_cost(&q, &cat, &model, &full);
+        assert_eq!(inc, rec);
+
+        let left = wco_plan(&q, &[0, 1, 2]);
+        let right = wco_plan(&q, &[1, 2, 3]);
+        let (lc, rc) = (
+            estimate_cost(&q, &cat, &model, &left),
+            estimate_cost(&q, &cat, &model, &right),
+        );
+        let join = PlanNode::hash_join(&q, left, right).unwrap();
+        let inc = cost_step(&q, &cat, &model, &join, &[lc, rc]);
+        let rec = estimate_cost(&q, &cat, &model, &join);
+        assert_eq!(inc, rec);
     }
 
     #[test]
@@ -313,6 +433,72 @@ mod tests {
     }
 
     #[test]
+    fn filter_blind_model_ignores_predicates() {
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        let g = complete_graph(8);
+        let cat = Catalogue::with_defaults(g);
+        let blind = CostModel::default().filter_blind();
+        let q = patterns::diamond_x();
+        let plain = estimate_cost(&q, &cat, &blind, &wco_plan(&q, &[0, 1, 2, 3]));
+        let mut filtered = q.clone();
+        filtered.add_predicate(Predicate {
+            target: PredTarget::Vertex(0),
+            key: "age".into(),
+            op: CmpOp::Eq,
+            value: graphflow_graph::PropValue::Int(30),
+        });
+        let blinded = estimate_cost(&filtered, &cat, &blind, &wco_plan(&filtered, &[0, 1, 2, 3]));
+        assert_eq!(
+            blinded, plain,
+            "filter-blind costing must not see the WHERE clause"
+        );
+        // The filter-aware model does see it.
+        let aware = estimate_cost(
+            &filtered,
+            &cat,
+            &CostModel::default(),
+            &wco_plan(&filtered, &[0, 1, 2, 3]),
+        );
+        assert!(aware.output_cardinality < blinded.output_cardinality);
+    }
+
+    #[test]
+    fn interior_filter_shrinks_every_containing_subplan() {
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        // A filter on a3 must shrink the output cardinality of *every* sub-plan binding a3,
+        // not just the operator that matches a3 — that is the "propagated through intermediate
+        // cardinalities" property.
+        let g = complete_graph(8);
+        let cat = Catalogue::with_defaults(g);
+        let model = CostModel::default();
+        let q = patterns::diamond_x();
+        let mut filtered = q.clone();
+        filtered.add_predicate(Predicate {
+            target: PredTarget::Vertex(2), // a3: matched second in the chosen ordering
+            key: "age".into(),
+            op: CmpOp::Eq,
+            value: graphflow_graph::PropValue::Int(30),
+        });
+        let sigma = [1usize, 2, 0, 3]; // a3 bound at step 2; two more extensions follow
+        for prefix_len in 2..=sigma.len() {
+            let plain = estimate_cost(&q, &cat, &model, &wco_plan(&q, &sigma[..prefix_len]));
+            let filt = estimate_cost(
+                &filtered,
+                &cat,
+                &model,
+                &wco_plan(&filtered, &sigma[..prefix_len]),
+            );
+            assert!(
+                filt.output_cardinality < plain.output_cardinality * 0.2,
+                "prefix {:?}: {} !< {}",
+                &sigma[..prefix_len],
+                filt.output_cardinality,
+                plain.output_cardinality
+            );
+        }
+    }
+
+    #[test]
     fn hash_join_cost_uses_weights() {
         let g = complete_graph(6);
         let cat = Catalogue::with_defaults(g);
@@ -323,12 +509,12 @@ mod tests {
         let m1 = CostModel {
             w1: 10.0,
             w2: 1.0,
-            cache_conscious: true,
+            ..CostModel::default()
         };
         let m2 = CostModel {
             w1: 1.0,
             w2: 1.0,
-            cache_conscious: true,
+            ..CostModel::default()
         };
         let c1 = estimate_cost(&q, &cat, &m1, &join);
         let c2 = estimate_cost(&q, &cat, &m2, &join);
@@ -350,5 +536,36 @@ mod tests {
         assert!((w1 - truth.0).abs() < 1e-6);
         assert!((w2 - truth.1).abs() < 1e-6);
         assert!(CostModel::fit_weights(&samples[..1]).is_none());
+    }
+
+    #[test]
+    fn weight_fitting_degenerate_inputs() {
+        // Empty and single-sample inputs: nothing to fit.
+        assert!(CostModel::fit_weights(&[]).is_none());
+        assert!(CostModel::fit_weights(&[(1.0, 2.0, 3.0)]).is_none());
+        // All-zero regressors: no signal.
+        assert!(CostModel::fit_weights(&[(0.0, 0.0, 1.0), (0.0, 0.0, 2.0)]).is_none());
+        // Non-finite samples are rejected rather than poisoning the normal equations.
+        assert!(CostModel::fit_weights(&[(1.0, f64::NAN, 1.0), (2.0, 1.0, 2.0)]).is_none());
+
+        // All n2 = 0: exact 1-D least squares on n1.
+        let (w1, w2) =
+            CostModel::fit_weights(&[(1.0, 0.0, 5.0), (2.0, 0.0, 10.0), (3.0, 0.0, 15.0)]).unwrap();
+        assert!((w1 - 5.0).abs() < 1e-9, "w1 = {w1}");
+        assert_eq!(w2, 0.0);
+
+        // All n1 = 0: symmetric case.
+        let (w1, w2) = CostModel::fit_weights(&[(0.0, 2.0, 6.0), (0.0, 4.0, 12.0)]).unwrap();
+        assert_eq!(w1, 0.0);
+        assert!((w2 - 3.0).abs() < 1e-9, "w2 = {w2}");
+
+        // Collinear n2 = n1: the minimum-norm solution splits the fitted weight equally, and
+        // it reproduces the observed costs exactly.
+        let samples = [(1.0, 1.0, 8.0), (2.0, 2.0, 16.0), (5.0, 5.0, 40.0)];
+        let (w1, w2) = CostModel::fit_weights(&samples).unwrap();
+        assert!((w1 - w2).abs() < 1e-9, "min-norm split: {w1} vs {w2}");
+        for &(n1, n2, c) in &samples {
+            assert!((w1 * n1 + w2 * n2 - c).abs() < 1e-6);
+        }
     }
 }

@@ -1,25 +1,48 @@
-//! The dynamic-programming optimizer (Algorithm 1 of the paper).
+//! The dynamic-programming optimizer: a Selinger-style bottom-up DP over the full hybrid plan
+//! space (Algorithm 1 of the paper, generalised).
 //!
-//! For every connected `k`-vertex sub-query `Q_k` (k = 3..m) the optimizer keeps the cheapest of
+//! For every connected `k`-vertex sub-query `Q_k` (k = 2..m) the optimizer keeps a small set of
+//! non-dominated sub-plans rather than a single best one. Sub-plans are classed by their
+//! **interesting order** — the query vertex their output stream varies fastest in
+//! ([`last_matched_vertex`]), `None` for hash-join-rooted sub-plans, which guarantee no
+//! grouping. The interesting order is exactly what downstream cache-conscious E/I costing
+//! depends on, so keeping the cheapest sub-plan per (subset, order) class *losslessly* subsumes
+//! the paper's up-front `enumerateAllWCOPlans` phase: a cheaper chain with the same last vertex
+//! can always be substituted without changing any downstream cost term. Candidates per subset
+//! are
 //!
-//! 1. the best fully-enumerated WCO chain for `Q_k`,
-//! 2. the best plan for some `Q_{k-1}` extended by one E/I operator, and
-//! 3. a HASH-JOIN of the best plans of two smaller sub-queries whose union is `Q_k`
-//!    (both satisfying the projection constraint).
+//! 1. every kept `Q_{k-1}` sub-plan extended by one E/I operator, and
+//! 2. HASH-JOINs of kept sub-plans of two covering sub-queries (both satisfying the projection
+//!    constraint) — since both sides draw from the full per-subset plan sets, join trees may be
+//!    arbitrarily **bushy** (joins of joins), not just linear.
+//!
+//! Pruning keeps the DP tractable without losing the optimum:
+//!
+//! * **dominance** — a candidate is dropped when another sub-plan of the same (or compatible)
+//!   order class has both lower cost and lower output cardinality;
+//! * **upper bounding** — operator costs only accumulate, so any sub-plan already costlier
+//!   than a quickly-computed greedy full plan can never complete into the optimum.
 //!
 //! Joins that could be expressed as a single E/I extension (the probe or build side adds only
-//! one query vertex) are omitted, as in Section 4.3. For queries with more than
+//! one query vertex) are searched by default — the Section 4.3 heuristic that omits them is
+//! lossy on sparse cyclic queries and survives only as an opt-in restriction
+//! ([`PlanSpaceOptions::prune_ei_convertible_joins`]). For queries with more than
 //! [`PlanSpaceOptions::full_enumeration_limit`] query vertices the optimizer switches to the
-//! pruned mode of Section 4.4: WCO plans are grown only inside the DP and only the
-//! `subqueries_kept_per_level` cheapest sub-queries per level are retained.
+//! pruned mode of Section 4.4, which retains only the `subqueries_kept_per_level` cheapest
+//! sub-queries per level.
 
-use crate::cost::{estimate_cost, CostModel};
+use crate::cost::{cost_step, estimate_cost, last_matched_vertex, CostModel};
 use crate::plan::{Plan, PlanNode};
-use crate::wco::{best_wco_subplans, SubPlan};
+use crate::wco::SubPlan;
 use graphflow_catalog::Catalogue;
 use graphflow_query::querygraph::{set_iter, set_len, singleton, VertexSet};
 use graphflow_query::QueryGraph;
 use rustc_hash::FxHashMap;
+
+/// Hard cap on non-dominated sub-plans retained per vertex subset (a safety valve: the
+/// dominance rule alone keeps at most one Pareto frontier per order class, which for an
+/// `m`-vertex query is at most `m + 1` classes).
+const MAX_ENTRIES_PER_SUBSET: usize = 16;
 
 /// Which parts of the plan space the optimizer may use. The experiment harnesses use the
 /// restricted modes to produce the paper's "WCO plans", "BJ plans" and "hybrid plans" series.
@@ -30,10 +53,14 @@ pub struct PlanSpaceOptions {
     /// Allow HASH-JOIN operators.
     pub allow_hash_join: bool,
     /// Omit hash joins that could be converted to an E/I extension (one side adds only a single
-    /// query vertex). Disabled when enumerating pure binary-join plans, which *must* join a new
-    /// edge at a time.
+    /// query vertex) — the Section 4.3 heuristic. It is **lossy**: on sparse cyclic queries
+    /// (e.g. the 4-cycle) hashing an intermediate can beat re-intersecting adjacency lists, so
+    /// the default searches these joins too and relies on dominance/upper-bound pruning to stay
+    /// fast. Enable it to reproduce the paper's reduced space.
     pub prune_ei_convertible_joins: bool,
     /// Queries with more than this many vertices use the pruned enumeration of Section 4.4.
+    /// Dominance and upper-bound pruning let the exhaustive mode reach 12 vertices (the old
+    /// cutoff was 10).
     pub full_enumeration_limit: usize,
     /// In pruned mode, how many sub-queries are kept per level (default 5, as in the paper).
     pub subqueries_kept_per_level: usize,
@@ -44,8 +71,8 @@ impl Default for PlanSpaceOptions {
         PlanSpaceOptions {
             allow_multiway_extend: true,
             allow_hash_join: true,
-            prune_ei_convertible_joins: true,
-            full_enumeration_limit: 10,
+            prune_ei_convertible_joins: false,
+            full_enumeration_limit: 12,
             subqueries_kept_per_level: 5,
         }
     }
@@ -128,151 +155,146 @@ impl<'a> DpOptimizer<'a> {
         };
         table
             .get(&q.full_set())
+            .and_then(|entries| {
+                entries.iter().min_by(|a, b| {
+                    a.total_cost()
+                        .partial_cmp(&b.total_cost())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            })
             .map(|sp| Plan::new(q.clone(), sp.node.clone(), sp.total_cost()))
     }
 
-    /// Exhaustive DP over every connected vertex subset (Algorithm 1).
-    fn optimize_exhaustive(&self, q: &QueryGraph) -> FxHashMap<VertexSet, SubPlan> {
-        let m = q.num_vertices();
-        // Line 1: enumerate all WCO plans (cheapest chain per connected subset).
-        let wco_best: FxHashMap<VertexSet, SubPlan> = if self.options.allow_multiway_extend {
-            best_wco_subplans(q, self.catalogue, &self.model)
-        } else {
-            FxHashMap::default()
-        };
-
-        // Line 2: initialise 2-vertex sub-queries (single query edges) with SCAN plans.
-        let mut table: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
+    /// Cost of a greedily-built full plan (cheapest scan, then always the cheapest next E/I
+    /// extension), used as the initial upper bound for pruning. The greedy chain respects the
+    /// plan-space restrictions, so its cost is achievable within the space whenever it
+    /// completes; `None` when it dead-ends (e.g. closing a cycle needs a multiway intersection
+    /// in a space that forbids them).
+    fn greedy_upper_bound(&self, q: &QueryGraph) -> Option<f64> {
+        let mut best: Option<SubPlan> = None;
         for &e in q.edges() {
-            let set = singleton(e.src) | singleton(e.dst);
             let node = PlanNode::scan(e);
-            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-            let better = table
-                .get(&set)
-                .is_none_or(|sp| cost.total() < sp.total_cost());
-            if better {
-                table.insert(set, SubPlan { node, cost });
+            let cost = cost_step(q, self.catalogue, &self.model, &node, &[]);
+            if best.as_ref().is_none_or(|b| cost.total() < b.total_cost()) {
+                best = Some(SubPlan { node, cost });
             }
         }
+        let mut current = best?;
+        let full = q.full_set();
+        while current.node.vertex_set() != full {
+            let covered = current.node.vertex_set();
+            let mut next: Option<SubPlan> = None;
+            for target in set_iter(full & !covered) {
+                let Some(node) = PlanNode::extend(q, current.node.clone(), target) else {
+                    continue;
+                };
+                if !self.options.allow_multiway_extend && multiway(&node) {
+                    continue;
+                }
+                let cost = cost_step(q, self.catalogue, &self.model, &node, &[current.cost]);
+                if next.as_ref().is_none_or(|b| cost.total() < b.total_cost()) {
+                    next = Some(SubPlan { node, cost });
+                }
+            }
+            current = next?;
+        }
+        Some(current.total_cost())
+    }
 
-        // Lines 3-16: grow sub-queries one level at a time.
+    /// Exhaustive DP over every connected vertex subset.
+    fn optimize_exhaustive(&self, q: &QueryGraph) -> FxHashMap<VertexSet, Vec<SubPlan>> {
+        let m = q.num_vertices();
+        let upper = self.greedy_upper_bound(q).unwrap_or(f64::INFINITY) * (1.0 + 1e-9);
+
+        // Initialise 2-vertex sub-queries (single query edges) with SCAN plans; antiparallel
+        // edge pairs contribute one entry per orientation (distinct interesting orders).
+        let mut table: FxHashMap<VertexSet, Vec<SubPlan>> = FxHashMap::default();
+        for (set, cands) in self.scan_candidates(q) {
+            table.insert(set, prune_entries(cands, upper));
+        }
+
+        // Grow sub-queries one level at a time.
         let full = q.full_set();
         for k in 3..=m {
             let subsets: Vec<VertexSet> = (1u32..=full)
                 .filter(|&s| s & full == s && set_len(s) == k && q.is_connected_subset(s))
                 .collect();
             for set in subsets {
-                let mut best: Option<SubPlan> = None;
-                let consider = |cand: Option<SubPlan>, best: &mut Option<SubPlan>| {
-                    if let Some(c) = cand {
-                        if best
-                            .as_ref()
-                            .is_none_or(|b| c.total_cost() < b.total_cost())
-                        {
-                            *best = Some(c);
-                        }
-                    }
-                };
+                let mut cands: Vec<SubPlan> = Vec::new();
 
-                // (i) cheapest fully-enumerated WCO chain.
-                consider(wco_best.get(&set).cloned(), &mut best);
-
-                // (ii) extend the best plan of a (k-1)-vertex sub-query by one E/I.
+                // (i) extend every kept plan of a (k-1)-vertex sub-query by one E/I.
                 for target in set_iter(set) {
                     let sub = set & !singleton(target);
                     if !q.is_connected_subset(sub) {
                         continue;
                     }
-                    let Some(child) = table.get(&sub) else {
+                    let Some(children) = table.get(&sub) else {
                         continue;
                     };
-                    let Some(node) = PlanNode::extend(q, child.node.clone(), target) else {
-                        continue;
-                    };
-                    if !self.options.allow_multiway_extend {
-                        if let PlanNode::Extend(e) = &node {
-                            if e.descriptors.len() >= 2 {
-                                continue;
-                            }
+                    for child in children {
+                        if let Some(cand) = self.extend_candidate(q, child, target) {
+                            cands.push(cand);
                         }
                     }
-                    let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                    consider(Some(SubPlan { node, cost }), &mut best);
                 }
 
-                // (iii) binary join of two smaller best plans.
+                // (ii) binary joins of kept plans of two covering sub-queries (bushy trees
+                // arise naturally: either side may itself be join-rooted).
                 if self.options.allow_hash_join {
                     for (c1, c2) in cover_pairs(q, set) {
-                        let (Some(p1), Some(p2)) = (table.get(&c1), table.get(&c2)) else {
-                            continue;
-                        };
                         if self.options.prune_ei_convertible_joins
                             && (set_len(c1 & !c2) <= 1 || set_len(c2 & !c1) <= 1)
                         {
                             continue;
                         }
-                        // Try both build/probe assignments and keep the cheaper.
-                        for (build, probe) in [(p1, p2), (p2, p1)] {
-                            let Some(node) =
-                                PlanNode::hash_join(q, build.node.clone(), probe.node.clone())
-                            else {
-                                continue;
-                            };
-                            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                            consider(Some(SubPlan { node, cost }), &mut best);
+                        let (Some(e1), Some(e2)) = (table.get(&c1), table.get(&c2)) else {
+                            continue;
+                        };
+                        for (build_side, probe_side) in [(e1, e2), (e2, e1)] {
+                            if let Some(cand) = self.join_candidate(q, build_side, probe_side) {
+                                cands.push(cand);
+                            }
                         }
                     }
                 }
 
-                if let Some(b) = best {
-                    table.insert(set, b);
+                let kept = prune_entries(cands, upper);
+                if !kept.is_empty() {
+                    table.insert(set, kept);
                 }
             }
         }
         table
     }
 
-    /// Pruned DP for very large queries (Section 4.4): no up-front WCO enumeration, and only the
-    /// cheapest few sub-queries are kept per level.
-    fn optimize_pruned(&self, q: &QueryGraph) -> FxHashMap<VertexSet, SubPlan> {
+    /// Pruned DP for very large queries (Section 4.4): only the cheapest few sub-queries are
+    /// kept per level.
+    fn optimize_pruned(&self, q: &QueryGraph) -> FxHashMap<VertexSet, Vec<SubPlan>> {
         let m = q.num_vertices();
-        let mut table: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
-        for &e in q.edges() {
-            let set = singleton(e.src) | singleton(e.dst);
-            let node = PlanNode::scan(e);
-            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-            let better = table
-                .get(&set)
-                .is_none_or(|sp| cost.total() < sp.total_cost());
-            if better {
-                table.insert(set, SubPlan { node, cost });
-            }
+        let upper = self.greedy_upper_bound(q).unwrap_or(f64::INFINITY) * (1.0 + 1e-9);
+        let mut table: FxHashMap<VertexSet, Vec<SubPlan>> = FxHashMap::default();
+        for (set, cands) in self.scan_candidates(q) {
+            table.insert(set, prune_entries(cands, upper));
         }
         let mut frontier: Vec<VertexSet> = table.keys().copied().collect();
 
         for k in 3..=m {
-            let mut level: FxHashMap<VertexSet, SubPlan> = FxHashMap::default();
+            let mut level: FxHashMap<VertexSet, Vec<SubPlan>> = FxHashMap::default();
             for &sub in &frontier {
                 if set_len(sub) != k - 1 {
                     continue;
                 }
-                let Some(child) = table.get(&sub).cloned() else {
+                let Some(children) = table.get(&sub).cloned() else {
                     continue;
                 };
                 for target in 0..m {
                     if sub & singleton(target) != 0 {
                         continue;
                     }
-                    let Some(node) = PlanNode::extend(q, child.node.clone(), target) else {
-                        continue;
-                    };
-                    let set = node.vertex_set();
-                    let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                    let better = level
-                        .get(&set)
-                        .is_none_or(|sp| cost.total() < sp.total_cost());
-                    if better {
-                        level.insert(set, SubPlan { node, cost });
+                    for child in &children {
+                        if let Some(cand) = self.extend_candidate(q, child, target) {
+                            level.entry(cand.node.vertex_set()).or_default().push(cand);
+                        }
                     }
                 }
             }
@@ -281,24 +303,19 @@ impl<'a> DpOptimizer<'a> {
                 let keys: Vec<VertexSet> = table.keys().copied().collect();
                 for &a in &keys {
                     for &b in &keys {
-                        if set_len(a | b) != k || a | b == a || a | b == b {
+                        if set_len(a | b) != k || a | b == a || a | b == b || a & b == 0 {
                             continue;
                         }
-                        let (p1, p2) = (table[&a].clone(), table[&b].clone());
                         if self.options.prune_ei_convertible_joins
                             && (set_len(a & !b) <= 1 || set_len(b & !a) <= 1)
                         {
                             continue;
                         }
-                        if let Some(node) = PlanNode::hash_join(q, p1.node.clone(), p2.node.clone())
-                        {
-                            let set = node.vertex_set();
-                            let cost = estimate_cost(q, self.catalogue, &self.model, &node);
-                            let better = level
-                                .get(&set)
-                                .is_none_or(|sp| cost.total() < sp.total_cost());
-                            if better {
-                                level.insert(set, SubPlan { node, cost });
+                        for (build_side, probe_side) in [(a, b), (b, a)] {
+                            if let Some(cand) =
+                                self.join_candidate(q, &table[&build_side], &table[&probe_side])
+                            {
+                                level.entry(cand.node.vertex_set()).or_default().push(cand);
                             }
                         }
                     }
@@ -306,21 +323,135 @@ impl<'a> DpOptimizer<'a> {
             }
 
             // Keep only the cheapest few sub-queries at this level (always keep the full query).
-            let mut entries: Vec<(VertexSet, SubPlan)> = level.into_iter().collect();
-            entries.sort_by(|a, b| a.1.total_cost().partial_cmp(&b.1.total_cost()).unwrap());
+            let mut entries: Vec<(VertexSet, Vec<SubPlan>)> = level
+                .into_iter()
+                .map(|(set, cands)| (set, prune_entries(cands, upper)))
+                .filter(|(_, kept)| !kept.is_empty())
+                .collect();
+            entries.sort_by(|a, b| {
+                min_total(&a.1)
+                    .partial_cmp(&min_total(&b.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let keep = if k == m {
                 entries.len()
             } else {
                 self.options.subqueries_kept_per_level.max(1)
             };
             frontier.clear();
-            for (set, sp) in entries.into_iter().take(keep.max(1)) {
+            for (set, kept) in entries.into_iter().take(keep.max(1)) {
                 frontier.push(set);
-                table.insert(set, sp);
+                table.insert(set, kept);
             }
         }
         table
     }
+
+    /// SCAN sub-plans grouped by 2-vertex subset.
+    fn scan_candidates(&self, q: &QueryGraph) -> FxHashMap<VertexSet, Vec<SubPlan>> {
+        let mut out: FxHashMap<VertexSet, Vec<SubPlan>> = FxHashMap::default();
+        for &e in q.edges() {
+            let set = singleton(e.src) | singleton(e.dst);
+            let node = PlanNode::scan(e);
+            let cost = cost_step(q, self.catalogue, &self.model, &node, &[]);
+            out.entry(set).or_default().push(SubPlan { node, cost });
+        }
+        out
+    }
+
+    /// Cost an E/I extension of `child` by `target` incrementally; `None` when the extension is
+    /// Cartesian or excluded by the plan-space options.
+    fn extend_candidate(&self, q: &QueryGraph, child: &SubPlan, target: usize) -> Option<SubPlan> {
+        let node = PlanNode::extend(q, child.node.clone(), target)?;
+        if !self.options.allow_multiway_extend && multiway(&node) {
+            return None;
+        }
+        let cost = cost_step(q, self.catalogue, &self.model, &node, &[child.cost]);
+        Some(SubPlan { node, cost })
+    }
+
+    /// The cheapest join of one entry from `build_side` with one from `probe_side`.
+    ///
+    /// A join's output order class is always `None` and its output cardinality depends only on
+    /// the union subset, so the cheapest join over all entry pairs is found by independently
+    /// minimising `total + w1·|out|` on the build side and `total + w2·|out|` on the probe side
+    /// — no need to enumerate the cross product.
+    fn join_candidate(
+        &self,
+        q: &QueryGraph,
+        build_side: &[SubPlan],
+        probe_side: &[SubPlan],
+    ) -> Option<SubPlan> {
+        let build = cheapest_for_join(build_side, self.model.w1)?;
+        let probe = cheapest_for_join(probe_side, self.model.w2)?;
+        let node = PlanNode::hash_join(q, build.node.clone(), probe.node.clone())?;
+        let cost = cost_step(
+            q,
+            self.catalogue,
+            &self.model,
+            &node,
+            &[build.cost, probe.cost],
+        );
+        Some(SubPlan { node, cost })
+    }
+}
+
+/// Whether the root operator is a multiway (>= 2 descriptor) intersection.
+fn multiway(node: &PlanNode) -> bool {
+    matches!(node, PlanNode::Extend(e) if e.descriptors.len() >= 2)
+}
+
+/// The entry minimising `total_cost + w × output_cardinality` — the per-side objective of a
+/// hash-join candidate.
+fn cheapest_for_join(entries: &[SubPlan], w: f64) -> Option<&SubPlan> {
+    entries.iter().min_by(|a, b| {
+        let ka = a.total_cost() + w * a.cost.output_cardinality;
+        let kb = b.total_cost() + w * b.cost.output_cardinality;
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+/// Cheapest total cost among a subset's kept entries.
+fn min_total(entries: &[SubPlan]) -> f64 {
+    entries
+        .iter()
+        .map(|e| e.total_cost())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Dominance pruning: sort candidates by total cost, then keep a candidate only if no kept
+/// entry of a compatible order class beats it on both cost and output cardinality.
+///
+/// Order-class compatibility: an entry dominates another of the *same* class outright; a
+/// join-rooted (`None`-class) candidate is additionally dominated by *any* cheaper, smaller
+/// entry, because no downstream operator can exploit a join's (absent) output order — an E/I on
+/// top of the dominating entry costs at most as much (its cache-reuse multiplier is capped by
+/// the child cardinality), and joins only look at cost and cardinality. Candidates costlier
+/// than `upper` (the greedy full-plan bound) are dropped outright: operator costs only
+/// accumulate, so they can never complete into the optimum.
+fn prune_entries(mut cands: Vec<SubPlan>, upper: f64) -> Vec<SubPlan> {
+    cands.retain(|c| c.total_cost() <= upper);
+    cands.sort_by(|a, b| {
+        a.total_cost()
+            .partial_cmp(&b.total_cost())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept: Vec<SubPlan> = Vec::new();
+    for c in cands {
+        if kept.len() >= MAX_ENTRIES_PER_SUBSET {
+            break;
+        }
+        let c_class = last_matched_vertex(&c.node);
+        let dominated = kept.iter().any(|k| {
+            let k_class = last_matched_vertex(&k.node);
+            (k_class == c_class || c_class.is_none())
+                && k.cost.output_cardinality <= c.cost.output_cardinality
+        });
+        if !dominated {
+            kept.push(c);
+        }
+    }
+    kept
 }
 
 /// All unordered pairs of connected, proper subsets `(C1, C2)` of `set` with `C1 ∪ C2 = set`,
@@ -444,6 +575,36 @@ mod tests {
     }
 
     #[test]
+    fn dp_plan_is_at_least_as_cheap_as_every_spectrum_plan() {
+        // The DP must find the floor of the *whole* enumerated plan space — WCO, binary-join
+        // and bushy hybrid plans alike (the spectrum and the DP cost plans identically, so an
+        // exhaustive DP can never be beaten by an enumerated plan).
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let model = CostModel::default();
+        let opt = DpOptimizer::new(&cat);
+        for j in [1usize, 3, 4, 5, 8, 11] {
+            let q = patterns::benchmark_query(j);
+            let chosen = opt.optimize(&q).unwrap();
+            for sp in crate::spectrum::enumerate_spectrum(
+                &q,
+                &cat,
+                &model,
+                crate::spectrum::SpectrumLimits::default(),
+            ) {
+                assert!(
+                    chosen.estimated_cost <= sp.plan.estimated_cost + 1e-6,
+                    "Q{j}: chosen {} > {} plan {} at {}",
+                    chosen.estimated_cost,
+                    sp.class,
+                    sp.plan.root.fingerprint(),
+                    sp.plan.estimated_cost
+                );
+            }
+        }
+    }
+
+    #[test]
     fn restricted_plan_spaces() {
         let g = powerlaw_graph();
         let cat = Catalogue::with_defaults(g);
@@ -485,14 +646,87 @@ mod tests {
     }
 
     #[test]
-    fn pruned_mode_handles_larger_queries() {
-        // A 12-vertex path exceeds the full-enumeration limit and exercises the pruned mode.
+    fn exhaustive_mode_covers_twelve_vertex_queries() {
+        // 12 vertices sit inside the (raised) full-enumeration limit: the exhaustive DP with
+        // dominance and upper-bound pruning handles them directly.
+        assert_eq!(PlanSpaceOptions::default().full_enumeration_limit, 12);
         let g = powerlaw_graph();
         let cat = Catalogue::with_defaults(g);
         let opt = DpOptimizer::new(&cat);
         let q = patterns::directed_path(12);
+        let plan = opt.optimize(&q).expect("exhaustive optimizer finds a plan");
+        assert_eq!(plan.root.vertex_set(), q.full_set());
+        assert!(plan.estimated_cost.is_finite());
+    }
+
+    #[test]
+    fn pruned_mode_handles_larger_queries() {
+        // A 14-vertex path exceeds the full-enumeration limit and exercises the pruned mode.
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        let q = patterns::directed_path(14);
         let plan = opt.optimize(&q).expect("pruned optimizer finds a plan");
         assert_eq!(plan.root.vertex_set(), q.full_set());
+    }
+
+    #[test]
+    fn dominance_pruning_keeps_per_class_frontiers() {
+        // After the DP runs, every retained subset holds at most one entry per (order class,
+        // cardinality frontier) — in particular no two entries where one beats the other on
+        // cost *and* cardinality within the same class.
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let opt = DpOptimizer::new(&cat);
+        let q = patterns::benchmark_query(8);
+        let table = opt.optimize_exhaustive(&q);
+        for (set, entries) in &table {
+            assert!(!entries.is_empty());
+            assert!(entries.len() <= MAX_ENTRIES_PER_SUBSET);
+            for (i, a) in entries.iter().enumerate() {
+                for b in entries.iter().skip(i + 1) {
+                    let same_class = last_matched_vertex(&a.node) == last_matched_vertex(&b.node);
+                    let a_dominates = a.total_cost() <= b.total_cost()
+                        && a.cost.output_cardinality <= b.cost.output_cardinality;
+                    let b_dominates = b.total_cost() <= a.total_cost()
+                        && b.cost.output_cardinality <= a.cost.output_cardinality;
+                    assert!(
+                        !(same_class && (a_dominates || b_dominates)),
+                        "subset {set:#b} holds a dominated pair"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_aware_costing_changes_plan_choice() {
+        use graphflow_query::querygraph::{CmpOp, PredTarget, Predicate};
+        // An equality filter on the tail vertex of the tailed triangle makes plans that bind
+        // the tail early much cheaper; the filter-blind model cannot see that.
+        let g = powerlaw_graph();
+        let cat = Catalogue::with_defaults(g);
+        let mut q = patterns::tailed_triangle();
+        q.add_predicate(Predicate {
+            target: PredTarget::Vertex(3),
+            key: "age".into(),
+            op: CmpOp::Eq,
+            value: graphflow_graph::PropValue::Int(7),
+        });
+        let aware = DpOptimizer::new(&cat).optimize(&q).unwrap();
+        let blind = DpOptimizer::new(&cat)
+            .with_cost_model(CostModel::default().filter_blind())
+            .optimize(&q)
+            .unwrap();
+        assert_ne!(
+            aware.root.fingerprint(),
+            blind.root.fingerprint(),
+            "the filter must change the chosen plan"
+        );
+        // Under the filter-aware cost model, the aware pick is (weakly) cheaper.
+        let model = CostModel::default();
+        let blind_cost = estimate_cost(&q, &cat, &model, &blind.root).total();
+        assert!(aware.estimated_cost <= blind_cost + 1e-6);
     }
 
     #[test]

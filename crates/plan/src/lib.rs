@@ -11,7 +11,9 @@
 //!   subgraph catalogue;
 //! * [`wco`] — enumeration of WCO plans (one per query-vertex ordering) and of the best WCO
 //!   sub-plan per connected sub-query, the first phase of Algorithm 1;
-//! * [`dp`] — the dynamic-programming optimizer of Section 4.3 (Algorithm 1), with the
+//! * [`dp`] — the Selinger-style bottom-up DP optimizer over the full hybrid space (bushy
+//!   join trees mixed freely with WCOJ extensions), keeping Pareto frontiers of sub-plans per
+//!   (vertex subset, interesting order) with dominance and upper-bound pruning, plus the
 //!   plan-space restriction switches used by the experiments (WCO-only, BJ-only, hybrid) and
 //!   the subset-pruning mode for very large queries (Section 4.4);
 //! * [`spectrum`] — enumeration of *every* plan in the plan space, used by the plan-spectrum
@@ -38,5 +40,5 @@ pub use plan::{Plan, PlanClass, PlanNode};
 /// between the cache, prepared queries and query results; `Arc` makes every one of those a
 /// pointer copy instead of a deep clone of the operator tree.
 pub type PlanHandle = std::sync::Arc<Plan>;
-pub use spectrum::{enumerate_spectrum, SpectrumLimits, SpectrumPlan};
+pub use spectrum::{enumerate_spectrum, percentile_rank, SpectrumLimits, SpectrumPlan};
 pub use wco::{all_wco_plans, best_wco_subplans};

@@ -179,6 +179,23 @@ impl PlanNode {
         }
     }
 
+    /// Whether the subtree contains a *bushy* join: a HASH-JOIN at least one of whose inputs
+    /// itself contains a HASH-JOIN. Linear (left-deep) join trees and pure E/I chains are not
+    /// bushy; the DP optimizer enumerates bushy shapes and the differential harness asserts
+    /// they execute correctly.
+    pub fn has_bushy_join(&self) -> bool {
+        match self {
+            PlanNode::Scan(_) => false,
+            PlanNode::Extend(n) => n.child.has_bushy_join(),
+            PlanNode::HashJoin(n) => {
+                n.build.has_hash_join()
+                    || n.probe.has_hash_join()
+                    || n.build.has_bushy_join()
+                    || n.probe.has_bushy_join()
+            }
+        }
+    }
+
     /// Whether the subtree contains any E/I operator at all.
     pub fn has_extend(&self) -> bool {
         match self {
@@ -418,6 +435,37 @@ mod tests {
         assert_eq!(plan.class(), PlanClass::Hybrid);
         assert!(plan.explain().contains("HASH-JOIN"));
         assert_eq!(plan.wco_ordering(), None);
+    }
+
+    #[test]
+    fn bushy_join_detection() {
+        // Linear shapes are not bushy.
+        let q = patterns::diamond_x();
+        assert!(!wco_plan_for(&q, &[0, 1, 2, 3]).has_bushy_join());
+        let tri_join = PlanNode::hash_join(
+            &q,
+            wco_plan_for(&q, &[0, 1, 2]),
+            wco_plan_for(&q, &[1, 2, 3]),
+        )
+        .unwrap();
+        assert!(!tri_join.has_bushy_join());
+
+        // A join of two joins is: on the 5-path, join (scan⋈scan) with (scan⋈scan).
+        let p = patterns::directed_path(5);
+        let left = PlanNode::hash_join(
+            &p,
+            PlanNode::scan(p.edges()[0]),
+            PlanNode::scan(p.edges()[1]),
+        )
+        .unwrap();
+        let right = PlanNode::hash_join(
+            &p,
+            PlanNode::scan(p.edges()[2]),
+            PlanNode::scan(p.edges()[3]),
+        )
+        .unwrap();
+        let bushy = PlanNode::hash_join(&p, left, right).unwrap();
+        assert!(bushy.has_bushy_join());
     }
 
     #[test]

@@ -194,6 +194,18 @@ pub struct SpectrumSummary {
     pub max_cost: f64,
 }
 
+/// Rank of `value` within a population of measurements: the fraction of `population` strictly
+/// smaller than `value` (0.0 = at or below the floor, 1.0 = above every sample). The
+/// plan-quality harness uses this to assert the optimizer's measured runtime sits within the
+/// cheapest decile of its plan spectrum.
+pub fn percentile_rank(population: &[f64], value: f64) -> f64 {
+    if population.is_empty() {
+        return 0.0;
+    }
+    let below = population.iter().filter(|&&x| x < value).count();
+    below as f64 / population.len() as f64
+}
+
 /// Summarise a spectrum by plan class and cost range.
 pub fn summarize(spectrum: &[SpectrumPlan]) -> SpectrumSummary {
     let mut s = SpectrumSummary {
@@ -320,6 +332,16 @@ mod tests {
             exists,
             "the spectrum must contain a plan with an intersection after a join"
         );
+    }
+
+    #[test]
+    fn percentile_rank_counts_strictly_cheaper_samples() {
+        let pop = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_rank(&pop, 0.5), 0.0);
+        assert_eq!(percentile_rank(&pop, 1.0), 0.0);
+        assert_eq!(percentile_rank(&pop, 2.5), 0.5);
+        assert_eq!(percentile_rank(&pop, 9.0), 1.0);
+        assert_eq!(percentile_rank(&[], 1.0), 0.0);
     }
 
     #[test]

@@ -142,3 +142,144 @@ fn spectrum_classes_match_query_shapes() {
     ));
     assert!(two_cycles.num_hybrid > 0 && two_cycles.num_wco > 0);
 }
+
+// ---------------------------------------------------------------------------------------------
+// Differential harness: every enumerated bushy/hybrid plan for the 5-6-vertex benchmark
+// queries must produce byte-identical results to a serial WCO oracle — across the serial,
+// adaptive and parallel executors, on both the frozen CSR and a dirty (mid-update) snapshot.
+// ---------------------------------------------------------------------------------------------
+
+use graphflow_rs::graph::EdgeLabel;
+use graphflow_rs::{GraphflowDB, QueryOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sorted result tuples of `plan` under `options` (tuples are normalised to query-vertex
+/// order by the executor, so they are directly comparable across plan shapes).
+fn sorted_tuples(db: &GraphflowDB, plan: &Plan, options: QueryOptions) -> Vec<Vec<u32>> {
+    let out = db
+        .run_plan(plan, options.collect_tuples(true).collect_limit(usize::MAX))
+        .expect("plan executes");
+    let mut tuples = out.tuples;
+    tuples.sort_unstable();
+    tuples
+}
+
+/// A random burst of structural updates leaving the snapshot dirty (deltas unfrozen).
+fn dirty_up(db: &GraphflowDB, rng: &mut StdRng) {
+    let n = db.snapshot().base().num_vertices() as u32;
+    for _ in 0..12 {
+        if rng.gen_bool(0.6) {
+            db.insert_edge(rng.gen_range(0..n), rng.gen_range(0..n), EdgeLabel(0));
+        } else {
+            let edges = db.graph().edges().to_vec();
+            if !edges.is_empty() {
+                let (s, d, l) = edges[rng.gen_range(0..edges.len())];
+                db.delete_edge(s, d, l);
+            }
+        }
+    }
+    assert!(
+        db.snapshot().has_pending_deltas(),
+        "updates left the snapshot dirty"
+    );
+}
+
+#[test]
+fn every_bushy_and_hybrid_plan_matches_the_serial_wco_oracle() {
+    // Unoptimized tuple collection over 6-vertex spectra is slow; debug builds keep the same
+    // harness on a smaller graph and spectrum so the full suite stays fast, while release (CI)
+    // covers every query and a wider cap.
+    let (scale, limits, queries): (f64, SpectrumLimits, &[usize]) = if cfg!(debug_assertions) {
+        (
+            0.02,
+            SpectrumLimits {
+                max_plans_per_subset: 6,
+                max_plans_per_class: 4,
+            },
+            &[8, 12],
+        )
+    } else {
+        (
+            0.05,
+            SpectrumLimits {
+                max_plans_per_subset: 8,
+                max_plans_per_class: 6,
+            },
+            &[8, 9, 11, 12],
+        )
+    };
+    let db = GraphflowDB::with_config(Dataset::Amazon.generate(scale), Default::default());
+    let model = CostModel::default();
+    let mut rng = StdRng::seed_from_u64(0xB005);
+    let mut bushy_checked = 0usize;
+
+    // 5-6-vertex benchmark queries whose spectra contain hash-join plans: Q8 (two triangles
+    // sharing a vertex), Q9 (Q8 plus a closing vertex), Q11 (acyclic), Q12 (6-cycle).
+    for &j in queries {
+        let q = patterns::benchmark_query(j);
+        assert!((5..=6).contains(&q.num_vertices()));
+        let cat = db.catalogue();
+        let spectrum = enumerate_spectrum(&q, &cat, &model, limits);
+        let oracle = spectrum
+            .iter()
+            .find(|sp| sp.class == PlanClass::Wco)
+            .expect("every benchmark query has a WCO plan")
+            .plan
+            .clone();
+
+        let mut join_plans: Vec<Plan> = spectrum
+            .iter()
+            .filter(|sp| sp.plan.root.has_hash_join())
+            .map(|sp| sp.plan.clone())
+            .collect();
+        assert!(!join_plans.is_empty(), "Q{j} spectrum has join plans");
+        if j == 12 {
+            // Guarantee a *bushy* tree (join of joins) is covered even if the capped spectrum
+            // holds only linear join trees: join the 3-paths a1a2a3 and a3a4a5 built as joins
+            // of single edges, then close the cycle onto a6.
+            let scan = |src: usize| {
+                PlanNode::scan(
+                    *q.edges()
+                        .iter()
+                        .find(|e| e.src == src)
+                        .expect("cycle edge exists"),
+                )
+            };
+            let left = PlanNode::hash_join(&q, scan(0), scan(1)).expect("share a2");
+            let right = PlanNode::hash_join(&q, scan(2), scan(3)).expect("share a4");
+            let joined = PlanNode::hash_join(&q, left, right).expect("share a3");
+            let full = PlanNode::extend(&q, joined, 5).expect("close the cycle");
+            assert!(full.has_bushy_join());
+            join_plans.push(Plan::new(q.clone(), full, 0.0));
+        }
+
+        for phase in ["frozen", "dirty"] {
+            if phase == "dirty" {
+                dirty_up(&db, &mut rng);
+            }
+            let expected = sorted_tuples(&db, &oracle, QueryOptions::new());
+            for plan in &join_plans {
+                if plan.root.has_bushy_join() {
+                    bushy_checked += 1;
+                }
+                for (name, options) in [
+                    ("serial", QueryOptions::new()),
+                    ("adaptive", QueryOptions::new().adaptive(true)),
+                    ("parallel", QueryOptions::new().threads(4)),
+                ] {
+                    assert_eq!(
+                        sorted_tuples(&db, plan, options),
+                        expected,
+                        "Q{j} ({phase}): {name} run of {} diverges from the serial WCO oracle",
+                        plan.root.fingerprint()
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        bushy_checked > 0,
+        "at least one bushy join tree was covered"
+    );
+}
