@@ -195,30 +195,8 @@ pub fn sample_count() -> usize {
         .unwrap_or(3)
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A JSON number that is always valid JSON (no NaN/inf, which JSON cannot carry).
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.6}")
-    } else {
-        "null".to_string()
-    }
-}
+use graphflow_core::json::escape as json_escape;
+use graphflow_core::json::fmt_f64_fixed as json_num;
 
 /// Write the machine-readable result file `BENCH_<name>.json` (into `GF_BENCH_DIR`, default
 /// the current directory) and return its path. The file holds one object per record with the

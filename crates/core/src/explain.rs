@@ -408,33 +408,9 @@ fn annotate(
     }
 }
 
-// --- hand-rolled JSON (the workspace deliberately has no serialization dependency) ---------
+// --- JSON serialization, over the shared hand-rolled writers in `crate::json` --------------
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
+use crate::json::{fmt_f64 as json_f64, quote as json_str};
 
 fn json_counters(c: &OpCounters, out: &mut String) {
     out.push_str(&format!(

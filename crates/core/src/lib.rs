@@ -225,6 +225,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 mod explain;
+pub mod json;
 mod metrics;
 mod options;
 mod plan_cache;
@@ -240,7 +241,10 @@ pub use graphflow_exec::{
 pub use graphflow_graph::{Snapshot as GraphSnapshot, Update as GraphUpdate};
 pub use graphflow_query::returns::ReturnClause;
 pub use graphflow_storage::Durability;
-pub use metrics::{LatencyHistogram, Metrics, SlowQuery, SLOW_LOG_CAPACITY};
+pub use metrics::{
+    render_histogram_header, render_histogram_series, LatencyHistogram, LatencyRecorder, Metrics,
+    SlowQuery, SLOW_LOG_CAPACITY,
+};
 pub use options::QueryOptions;
 pub use plan_cache::PlanCacheStats;
 pub use prepared::{PreparedQuery, QueryHandle};
@@ -316,6 +320,47 @@ impl std::fmt::Display for Error {
             Error::Timeout => write!(f, "query timed out"),
             Error::Storage(_) => write!(f, "durable storage operation failed"),
         }
+    }
+}
+
+impl Error {
+    /// A stable machine-readable error code, used by the HTTP wire protocol (and anything
+    /// else that must dispatch on the error without string-matching `Display` output).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse_error",
+            Error::NoPlan => "no_plan",
+            Error::InvalidOptions(_) => "invalid_options",
+            Error::Property(_) => "property_error",
+            Error::Cancelled => "cancelled",
+            Error::Timeout => "timeout",
+            Error::Storage(_) => "storage_error",
+        }
+    }
+
+    /// Serialize the error as a structured JSON object:
+    /// `{"error": {"code": "...", "message": "...", "chain": ["...", ...]}}`, where `chain`
+    /// walks the [`source`](std::error::Error::source) links — so a parse failure carries the
+    /// parser's actionable byte-position text, not just the facade's one-line summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"error\":{\"code\":");
+        out.push_str(&crate::json::quote(self.code()));
+        out.push_str(",\"message\":");
+        out.push_str(&crate::json::quote(&self.to_string()));
+        out.push_str(",\"chain\":[");
+        let mut source = std::error::Error::source(self);
+        let mut first = true;
+        while let Some(cause) = source {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&crate::json::quote(&cause.to_string()));
+            source = cause.source();
+        }
+        out.push_str("]}}");
+        out
     }
 }
 

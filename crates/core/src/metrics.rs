@@ -83,6 +83,63 @@ impl LatencyHisto {
     }
 }
 
+/// A standalone, shareable latency histogram with the same fixed buckets as the db-wide
+/// query-latency histogram — for callers layered *above* the database (the HTTP server keeps
+/// one per tenant) that want their series rendered next to the core ones. Observations are
+/// single relaxed atomic adds, safe from any thread.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    histo: LatencyHisto,
+}
+
+impl LatencyRecorder {
+    /// A fresh recorder with all buckets empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, latency: Duration) {
+        self.histo.observe(latency);
+    }
+
+    /// A point-in-time copy, with interpolated percentiles.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.histo.snapshot()
+    }
+}
+
+/// Append the `# HELP` / `# TYPE ... histogram` header for a Prometheus histogram metric.
+/// Emit it once, then one [`render_histogram_series`] per label set.
+pub fn render_histogram_header(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+}
+
+/// Append one labeled series of a Prometheus histogram: the cumulative `_bucket` lines (with
+/// `le` merged into `labels`), then `_sum` and `_count`. `labels` is either empty or a
+/// comma-joined list of `key="value"` pairs without braces (e.g. `tenant="acme"`).
+pub fn render_histogram_series(out: &mut String, name: &str, labels: &str, h: &LatencyHistogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (bound, cumulative) in h.cumulative_buckets() {
+        let le = match bound {
+            Some(d) => format_bound(d),
+            None => "+Inf".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+        );
+    }
+    let braces = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{braces} {}", h.sum().as_secs_f64());
+    let _ = writeln!(out, "{name}_count{braces} {}", h.count());
+}
+
 /// A point-in-time copy of the query-latency histogram, with interpolated percentiles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
@@ -355,24 +412,8 @@ impl Metrics {
             self.snapshot_load_time.as_secs_f64(),
         );
         let name = "graphflow_query_latency_seconds";
-        let _ = writeln!(out, "# HELP {name} Wall-clock latency of finished queries.");
-        let _ = writeln!(out, "# TYPE {name} histogram");
-        for (bound, cumulative) in self.query_latency.cumulative_buckets() {
-            match bound {
-                Some(d) => {
-                    let _ = writeln!(
-                        out,
-                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
-                        format_bound(d)
-                    );
-                }
-                None => {
-                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-                }
-            }
-        }
-        let _ = writeln!(out, "{name}_sum {}", self.query_latency.sum().as_secs_f64());
-        let _ = writeln!(out, "{name}_count {}", self.query_latency.count());
+        render_histogram_header(&mut out, name, "Wall-clock latency of finished queries.");
+        render_histogram_series(&mut out, name, "", &self.query_latency);
         out
     }
 }

@@ -157,6 +157,67 @@ impl PreparedQuery {
         )
     }
 
+    /// Column headers of this query's `RETURN` clause (a missing clause counts as
+    /// `RETURN *`), in declaration order — the header a streaming consumer needs before the
+    /// first row arrives.
+    pub fn return_columns(&self) -> Vec<String> {
+        let clause = self
+            .query
+            .return_clause()
+            .cloned()
+            .unwrap_or_else(graphflow_query::returns::ReturnClause::star);
+        clause.column_names(&self.query)
+    }
+
+    /// Whether this query's `RETURN` clause can be streamed row-by-row in O(1) memory (see
+    /// [`RowSpec::is_streamable`](graphflow_exec::RowSpec::is_streamable)); aggregate,
+    /// `ORDER BY` and `DISTINCT` clauses must buffer and go through
+    /// [`execute`](PreparedQuery::execute) instead.
+    pub fn is_streamable_projection(&self) -> bool {
+        let clause = self
+            .query
+            .return_clause()
+            .cloned()
+            .unwrap_or_else(graphflow_query::returns::ReturnClause::star);
+        graphflow_exec::RowSpec::compile(&self.query, &clause).is_streamable()
+    }
+
+    /// Execute, delivering each projected [`Row`](graphflow_exec::Row) of the `RETURN` clause
+    /// to `emit` the moment its match is found — constant memory no matter how many rows
+    /// there are. `emit` returns `false` to stop early; `LIMIT` is honoured. The whole run
+    /// pins one snapshot, so rows and their property values are mutually consistent.
+    ///
+    /// Errors with [`Error::InvalidOptions`] when the clause is
+    /// [not streamable](PreparedQuery::is_streamable_projection).
+    pub fn stream_rows<F>(&self, options: QueryOptions, emit: F) -> Result<RuntimeStats, Error>
+    where
+        F: FnMut(graphflow_exec::Row) -> bool + Send,
+    {
+        let clause = self
+            .query
+            .return_clause()
+            .cloned()
+            .unwrap_or_else(graphflow_query::returns::ReturnClause::star);
+        let spec = graphflow_exec::RowSpec::compile(&self.query, &clause);
+        if !spec.is_streamable() {
+            return Err(Error::InvalidOptions(
+                "RETURN clause is not streamable (aggregates, ORDER BY and DISTINCT must \
+                 buffer rows); use execute() instead"
+                    .into(),
+            ));
+        }
+        let view = self.db.snapshot();
+        let mut sink = graphflow_exec::RowStreamSink::new(view.clone(), spec, emit);
+        self.db.execute_prepared_with_sink(
+            &view,
+            &self.plan,
+            self.remap.as_deref(),
+            self.cache_hit,
+            options,
+            &mut sink,
+        )
+    }
+
     /// Execute, streaming every match (in this query's vertex order) into `sink` instead of
     /// materialising results — constant memory no matter how many matches there are.
     pub fn run_with_sink(

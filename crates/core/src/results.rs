@@ -79,6 +79,47 @@ impl ResultSet {
             _ => None,
         }
     }
+
+    /// Serialize the whole result as a self-contained JSON object — the shape the HTTP wire
+    /// protocol returns from `POST /query`:
+    /// `{"columns": [...], "rows": [[cell, ...], ...], "row_count": n, "stats": {...}}`.
+    /// Cells follow [`json::write_value`](crate::json::write_value): `null` for missing
+    /// values, numbers for ints/floats, quoted escaped literals for strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.rows.len() * 16);
+        out.push_str("{\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::quote(c));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                crate::json::write_value(&mut out, cell);
+            }
+            out.push(']');
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "],\"row_count\":{},\"stats\":{{\"output_count\":{},\"icost\":{},\
+             \"intermediate_tuples\":{},\"elapsed_ns\":{}}}}}",
+            self.rows.len(),
+            s.output_count,
+            s.icost,
+            s.intermediate_tuples,
+            s.elapsed.as_nanos(),
+        ));
+        out
+    }
 }
 
 #[cfg(test)]

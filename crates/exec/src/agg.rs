@@ -139,6 +139,20 @@ impl RowSpec {
         self.items.iter().any(|i| i.agg.is_some())
     }
 
+    /// Whether rows under this spec can be emitted one-by-one as matches arrive, in O(1)
+    /// memory — no aggregation, no `ORDER BY` buffering, no `DISTINCT` de-duplication state.
+    /// (`LIMIT` alone streams fine: [`RowStreamSink`] stops at the bound.) This is what lets
+    /// a network server pipe a hundred-million-row result into a response body without
+    /// materialising it.
+    pub fn is_streamable(&self) -> bool {
+        !self.has_aggregates() && self.order_by.is_empty() && !self.distinct_rows
+    }
+
+    /// The row limit carried by the compiled clause, if any.
+    pub fn row_limit(&self) -> Option<usize> {
+        self.limit
+    }
+
     fn eval_row<G: GraphView>(&self, tuple: &[VertexId], graph: &G) -> Row {
         self.items
             .iter()
@@ -326,6 +340,56 @@ impl<V: GraphView + Clone + Send + Sync + 'static> PartialSink for ProjectingSin
 
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
+    }
+}
+
+/// Forwards each projected row to a callback the moment its match arrives — the O(1)-memory
+/// delivery path behind streamed network responses. Only valid for
+/// [streamable](RowSpec::is_streamable) specs; `LIMIT` is honoured by stopping execution at
+/// the bound. Never forks partials: rows must reach the callback in arrival order through one
+/// consumer, so parallel runs funnel matches through the executor's shared-sink path.
+pub struct RowStreamSink<V, F: FnMut(Row) -> bool> {
+    view: V,
+    spec: RowSpec,
+    emit: F,
+    /// Rows delivered to the callback so far.
+    pub rows_emitted: u64,
+}
+
+impl<V: GraphView, F: FnMut(Row) -> bool> RowStreamSink<V, F> {
+    /// Build a streaming sink over `view` for a streamable compiled clause; each projected
+    /// row is passed to `emit`, which returns `false` to stop execution early.
+    ///
+    /// # Panics
+    /// Panics if the spec is not streamable (aggregates, `ORDER BY`, or `DISTINCT`).
+    pub fn new(view: V, spec: RowSpec, emit: F) -> Self {
+        assert!(
+            spec.is_streamable(),
+            "RowStreamSink requires a streamable RowSpec"
+        );
+        RowStreamSink {
+            view,
+            spec,
+            emit,
+            rows_emitted: 0,
+        }
+    }
+}
+
+impl<V: GraphView + Send, F: FnMut(Row) -> bool + Send> MatchSink for RowStreamSink<V, F> {
+    fn on_match(&mut self, tuple: &[VertexId]) -> bool {
+        if let Some(limit) = self.spec.limit {
+            if self.rows_emitted >= limit as u64 {
+                return false;
+            }
+        }
+        let row = self.spec.eval_row(tuple, &self.view);
+        self.rows_emitted += 1;
+        let keep_going = (self.emit)(row);
+        match self.spec.limit {
+            Some(limit) => keep_going && self.rows_emitted < limit as u64,
+            None => keep_going,
+        }
     }
 }
 

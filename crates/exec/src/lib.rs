@@ -45,7 +45,7 @@ pub mod sink;
 pub mod stats;
 
 pub use adaptive::{execute_adaptive, execute_adaptive_with_sink};
-pub use agg::{AggregatingSink, ProjectingSink, Row, RowSpec, Value};
+pub use agg::{AggregatingSink, ProjectingSink, Row, RowSpec, RowStreamSink, Value};
 pub use cancel::{CancellationToken, Interrupt, INTERRUPT_CHECK_INTERVAL};
 pub use parallel::{execute_parallel, execute_parallel_with_sink};
 pub use pipeline::{execute, execute_with_options, execute_with_sink, ExecOptions, ExecOutput};

@@ -1,0 +1,50 @@
+//! # graphflow-server
+//!
+//! The network front-end of Graphflow-RS: a hand-rolled HTTP/1.1 server over `std::net`
+//! (the workspace carries no network dependency) exposing the [`GraphflowDB`] facade to
+//! remote clients with multi-tenant sessions, admission control, and streaming results.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint             | Purpose                                                        |
+//! |----------------------|----------------------------------------------------------------|
+//! | `POST /query`        | Run a query (`EXPLAIN`/`PROFILE` verbs included); set `"stream": true` to receive rows as NDJSON over chunked transfer encoding |
+//! | `POST /txn`          | Apply a batch of graph updates as one atomic write transaction |
+//! | `GET /metrics`       | Prometheus text exposition: core metrics + per-tenant series   |
+//! | `GET /healthz`       | Liveness + current graph epoch                                 |
+//! | `GET /slow_queries`  | The bounded slow-query log (opt-in)                            |
+//! | `POST /shutdown`     | Request a graceful stop (opt-in)                               |
+//!
+//! ## Design
+//!
+//! * **Streaming without materialisation** — a streamable `RETURN` clause is piped through
+//!   `RowStreamSink` (`graphflow-exec`) directly into HTTP chunked transfer
+//!   encoding; server memory per request is bounded by the stream buffer, never by result
+//!   size.
+//! * **Deadlines and disconnects** — per-request `timeout_ms` maps onto
+//!   [`QueryOptions::timeout`](graphflow_core::QueryOptions::timeout); a client that
+//!   disconnects mid-stream cancels the running query through its
+//!   [`CancellationToken`](graphflow_core::CancellationToken), visible in
+//!   `Metrics::queries_cancelled`.
+//! * **Multi-tenancy** — sessions are keyed by `Authorization: Bearer <tenant>` /
+//!   `X-Graphflow-Tenant`; each tenant gets a bounded-queue admission gate (overflow answers
+//!   `429` + `Retry-After`), cumulative query/row quotas, and its own labeled latency
+//!   histogram on `/metrics`.
+//! * **Graceful shutdown** — stop accepting, cancel in-flight queries via their tokens,
+//!   drain workers, fsync the WAL.
+//!
+//! See `docs/HTTP_API.md` for the full wire schema, and [`client`] for the minimal blocking
+//! client the tests and examples use.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod tenant;
+pub mod wire;
+
+pub use client::{request, HttpResponse, StreamingResponse};
+pub use graphflow_core::GraphflowDB;
+pub use server::{Server, ServerConfig};
+pub use tenant::{TenantConfig, TenantRegistry, DEFAULT_TENANT};

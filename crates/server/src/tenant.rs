@@ -1,0 +1,428 @@
+//! Multi-tenant sessions and admission control.
+//!
+//! Every request carries a tenant identity (`Authorization: Bearer <tenant>` or
+//! `X-Graphflow-Tenant`, defaulting to [`DEFAULT_TENANT`]); each tenant gets a lazily-created
+//! [`TenantState`] holding its admission gate, cumulative counters and latency histogram.
+//! Admission is a bounded-queue semaphore: up to `max_inflight` queries run concurrently per
+//! tenant, up to `queue_cap` more wait (bounded by `admission_timeout`), and everything beyond
+//! that is rejected immediately with `429` + `Retry-After` — overload sheds at the front door
+//! instead of piling threads onto the executor. Cumulative query/row quotas reject exhausted
+//! tenants the same way.
+//!
+//! The gate uses `std::sync::Condvar` (the vendored `parking_lot` shim deliberately carries
+//! only `Mutex`/`RwLock`); counters are relaxed atomics so `/metrics` rendering never blocks
+//! an admission.
+
+use graphflow_core::LatencyRecorder;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tenant assigned to requests that carry no tenant header.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Per-tenant admission and quota policy (one policy applies to every tenant).
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Queries a tenant may run concurrently; further requests queue.
+    pub max_inflight: usize,
+    /// Requests a tenant may have queued behind the in-flight ones; beyond this, reject
+    /// with `429` immediately.
+    pub queue_cap: usize,
+    /// Longest a queued request waits for a slot before giving up with `429`.
+    pub admission_timeout: Duration,
+    /// Cumulative cap on admitted queries per tenant (`None` = unlimited).
+    pub query_quota: Option<u64>,
+    /// Cumulative cap on result rows delivered per tenant (`None` = unlimited).
+    pub row_quota: Option<u64>,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            max_inflight: 8,
+            queue_cap: 16,
+            admission_timeout: Duration::from_secs(2),
+            query_quota: None,
+            row_quota: None,
+        }
+    }
+}
+
+/// The admission gate's mutable core: how many queries run and how many wait.
+#[derive(Debug, Default)]
+struct Gate {
+    inflight: usize,
+    waiting: usize,
+}
+
+/// One tenant's live state: admission gate, cumulative counters, latency histogram.
+#[derive(Debug)]
+pub struct TenantState {
+    /// The tenant identity (header value).
+    pub name: String,
+    gate: Mutex<Gate>,
+    slot_freed: Condvar,
+    /// Queries admitted past the gate (and counted against the query quota).
+    pub queries_admitted: AtomicU64,
+    /// Requests rejected by admission control or quotas.
+    pub queries_rejected: AtomicU64,
+    /// Result rows delivered to this tenant (counted against the row quota).
+    pub rows_delivered: AtomicU64,
+    /// Wall-clock latency of this tenant's finished queries.
+    pub latency: LatencyRecorder,
+}
+
+impl TenantState {
+    fn new(name: String) -> Self {
+        TenantState {
+            name,
+            gate: Mutex::new(Gate::default()),
+            slot_freed: Condvar::new(),
+            queries_admitted: AtomicU64::new(0),
+            queries_rejected: AtomicU64::new(0),
+            rows_delivered: AtomicU64::new(0),
+            latency: LatencyRecorder::new(),
+        }
+    }
+
+    /// Queries currently executing for this tenant.
+    pub fn inflight(&self) -> usize {
+        self.gate.lock().expect("gate poisoned").inflight
+    }
+
+    /// Count rows delivered to this tenant (quota accounting + metrics).
+    pub fn add_rows(&self, n: u64) {
+        self.rows_delivered.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Why a request was turned away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's in-flight limit and wait queue are both full.
+    QueueFull,
+    /// A queue slot was granted but no execution slot freed within the admission timeout.
+    AdmissionTimeout,
+    /// The tenant's cumulative query quota is exhausted.
+    QueryQuotaExhausted,
+    /// The tenant's cumulative row quota is exhausted.
+    RowQuotaExhausted,
+}
+
+impl RejectReason {
+    /// Stable machine-readable code for the error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::AdmissionTimeout => "admission_timeout",
+            RejectReason::QueryQuotaExhausted => "query_quota_exhausted",
+            RejectReason::RowQuotaExhausted => "row_quota_exhausted",
+        }
+    }
+
+    /// Human-readable description for the error body.
+    pub fn message(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "tenant in-flight limit and wait queue are full",
+            RejectReason::AdmissionTimeout => "no execution slot freed within the wait budget",
+            RejectReason::QueryQuotaExhausted => "tenant query quota exhausted",
+            RejectReason::RowQuotaExhausted => "tenant row quota exhausted",
+        }
+    }
+}
+
+/// The result of asking the gate for an execution slot.
+pub enum Admission {
+    /// Admitted; drop the guard when the query finishes to free the slot.
+    Granted(AdmissionGuard),
+    /// Rejected — answer `429` with `Retry-After: <secs>`.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// Suggested client back-off, for the `Retry-After` header.
+        retry_after: Duration,
+    },
+}
+
+/// RAII slot held while a tenant's query executes; dropping it frees the slot and wakes one
+/// queued waiter.
+pub struct AdmissionGuard {
+    tenant: Arc<TenantState>,
+}
+
+impl AdmissionGuard {
+    /// The tenant this slot belongs to.
+    pub fn tenant(&self) -> &Arc<TenantState> {
+        &self.tenant
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        let mut gate = self.tenant.gate.lock().expect("gate poisoned");
+        gate.inflight = gate.inflight.saturating_sub(1);
+        drop(gate);
+        self.tenant.slot_freed.notify_one();
+    }
+}
+
+/// All tenants the server has seen, keyed by identity, sharing one [`TenantConfig`].
+pub struct TenantRegistry {
+    config: TenantConfig,
+    tenants: parking_lot::Mutex<HashMap<String, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry applying `config` to every tenant.
+    pub fn new(config: TenantConfig) -> Self {
+        TenantRegistry {
+            config,
+            tenants: parking_lot::Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared per-tenant policy.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// The state for `name`, created on first sight.
+    pub fn resolve(&self, name: &str) -> Arc<TenantState> {
+        let mut tenants = self.tenants.lock();
+        tenants
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(TenantState::new(name.to_string())))
+            .clone()
+    }
+
+    /// Every tenant seen so far, in name order (stable `/metrics` output).
+    pub fn all(&self) -> Vec<Arc<TenantState>> {
+        let tenants = self.tenants.lock();
+        let mut all: Vec<_> = tenants.values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Ask for an execution slot for `name`, enforcing quotas and the bounded-queue gate.
+    /// Blocks at most [`admission_timeout`](TenantConfig::admission_timeout) when queued.
+    pub fn admit(&self, name: &str) -> Admission {
+        let tenant = self.resolve(name);
+        // Quotas first: an exhausted tenant never occupies a queue slot.
+        if let Some(quota) = self.config.query_quota {
+            if tenant.queries_admitted.load(Ordering::Relaxed) >= quota {
+                tenant.queries_rejected.fetch_add(1, Ordering::Relaxed);
+                return Admission::Rejected {
+                    reason: RejectReason::QueryQuotaExhausted,
+                    retry_after: Duration::from_secs(60),
+                };
+            }
+        }
+        if let Some(quota) = self.config.row_quota {
+            if tenant.rows_delivered.load(Ordering::Relaxed) >= quota {
+                tenant.queries_rejected.fetch_add(1, Ordering::Relaxed);
+                return Admission::Rejected {
+                    reason: RejectReason::RowQuotaExhausted,
+                    retry_after: Duration::from_secs(60),
+                };
+            }
+        }
+        let mut gate = tenant.gate.lock().expect("gate poisoned");
+        if gate.inflight < self.config.max_inflight {
+            gate.inflight += 1;
+        } else if gate.waiting >= self.config.queue_cap {
+            drop(gate);
+            tenant.queries_rejected.fetch_add(1, Ordering::Relaxed);
+            return Admission::Rejected {
+                reason: RejectReason::QueueFull,
+                retry_after: Duration::from_secs(1),
+            };
+        } else {
+            // Queue for a slot, bounded by the admission timeout.
+            gate.waiting += 1;
+            let deadline = std::time::Instant::now() + self.config.admission_timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    gate.waiting -= 1;
+                    drop(gate);
+                    tenant.queries_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Rejected {
+                        reason: RejectReason::AdmissionTimeout,
+                        retry_after: Duration::from_secs(1),
+                    };
+                }
+                let (g, timeout) = tenant
+                    .slot_freed
+                    .wait_timeout(gate, remaining)
+                    .expect("gate poisoned");
+                gate = g;
+                if gate.inflight < self.config.max_inflight {
+                    gate.waiting -= 1;
+                    gate.inflight += 1;
+                    break;
+                }
+                if timeout.timed_out() {
+                    gate.waiting -= 1;
+                    drop(gate);
+                    tenant.queries_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Admission::Rejected {
+                        reason: RejectReason::AdmissionTimeout,
+                        retry_after: Duration::from_secs(1),
+                    };
+                }
+            }
+        }
+        drop(gate);
+        tenant.queries_admitted.fetch_add(1, Ordering::Relaxed);
+        Admission::Granted(AdmissionGuard { tenant })
+    }
+}
+
+/// Extract the tenant identity from request headers: `Authorization: Bearer <tenant>` wins,
+/// then `X-Graphflow-Tenant`, then [`DEFAULT_TENANT`].
+pub fn tenant_from_headers(headers: &[(String, String)]) -> &str {
+    for (name, value) in headers {
+        if name == "authorization" {
+            if let Some(token) = value
+                .strip_prefix("Bearer ")
+                .or(value.strip_prefix("bearer "))
+            {
+                let token = token.trim();
+                if !token.is_empty() {
+                    return token;
+                }
+            }
+        }
+    }
+    for (name, value) in headers {
+        if name == "x-graphflow-tenant" && !value.is_empty() {
+            return value;
+        }
+    }
+    DEFAULT_TENANT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn cfg(max_inflight: usize, queue_cap: usize) -> TenantConfig {
+        TenantConfig {
+            max_inflight,
+            queue_cap,
+            admission_timeout: Duration::from_millis(200),
+            query_quota: None,
+            row_quota: None,
+        }
+    }
+
+    #[test]
+    fn tenant_identity_prefers_bearer_then_header_then_default() {
+        let both = vec![
+            ("authorization".to_string(), "Bearer acme".to_string()),
+            ("x-graphflow-tenant".to_string(), "other".to_string()),
+        ];
+        assert_eq!(tenant_from_headers(&both), "acme");
+        let header_only = vec![("x-graphflow-tenant".to_string(), "solo".to_string())];
+        assert_eq!(tenant_from_headers(&header_only), "solo");
+        assert_eq!(tenant_from_headers(&[]), DEFAULT_TENANT);
+    }
+
+    #[test]
+    fn gate_admits_up_to_max_inflight_then_queues_then_rejects() {
+        let reg = TenantRegistry::new(cfg(1, 0));
+        let first = match reg.admit("t") {
+            Admission::Granted(g) => g,
+            _ => panic!("first admission must pass"),
+        };
+        match reg.admit("t") {
+            Admission::Rejected { reason, .. } => assert_eq!(reason, RejectReason::QueueFull),
+            _ => panic!("zero queue cap must reject the second"),
+        }
+        drop(first);
+        assert!(matches!(reg.admit("t"), Admission::Granted(_)));
+        let t = reg.resolve("t");
+        assert_eq!(t.queries_admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(t.queries_rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn queued_request_gets_the_slot_when_it_frees() {
+        let reg = Arc::new(TenantRegistry::new(cfg(1, 4)));
+        let guard = match reg.admit("t") {
+            Admission::Granted(g) => g,
+            _ => panic!(),
+        };
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let waiter = {
+            let reg = reg.clone();
+            let admitted = admitted.clone();
+            std::thread::spawn(move || {
+                if let Admission::Granted(_g) = reg.admit("t") {
+                    admitted.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(admitted.load(Ordering::SeqCst), 0, "still queued");
+        drop(guard);
+        waiter.join().unwrap();
+        assert_eq!(
+            admitted.load(Ordering::SeqCst),
+            1,
+            "woken by the freed slot"
+        );
+    }
+
+    #[test]
+    fn queued_request_times_out_when_nothing_frees() {
+        let reg = TenantRegistry::new(cfg(1, 4));
+        let _guard = match reg.admit("t") {
+            Admission::Granted(g) => g,
+            _ => panic!(),
+        };
+        let started = std::time::Instant::now();
+        match reg.admit("t") {
+            Admission::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::AdmissionTimeout);
+            }
+            _ => panic!("must time out"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn quotas_reject_before_the_gate() {
+        let reg = TenantRegistry::new(TenantConfig {
+            query_quota: Some(2),
+            ..cfg(8, 8)
+        });
+        for _ in 0..2 {
+            assert!(matches!(reg.admit("q"), Admission::Granted(_)));
+        }
+        match reg.admit("q") {
+            Admission::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::QueryQuotaExhausted);
+            }
+            _ => panic!("third query must hit the quota"),
+        }
+        // Row quota: exhausting it rejects the next admission.
+        let reg = TenantRegistry::new(TenantConfig {
+            row_quota: Some(100),
+            ..cfg(8, 8)
+        });
+        assert!(matches!(reg.admit("r"), Admission::Granted(_)));
+        reg.resolve("r").add_rows(100);
+        match reg.admit("r") {
+            Admission::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::RowQuotaExhausted);
+            }
+            _ => panic!("row quota must reject"),
+        }
+        // Other tenants are unaffected.
+        assert!(matches!(reg.admit("fresh"), Admission::Granted(_)));
+    }
+}

@@ -1,0 +1,193 @@
+//! `graphflow-serve` — serve a Graphflow database over HTTP.
+//!
+//! ```text
+//! graphflow-serve [--data-dir DIR] [--port N] [--addr HOST] [--threads N]
+//!                 [--durability none|buffered|fsync] [--max-inflight N] [--queue-cap N]
+//!                 [--query-quota N] [--row-quota N] [--timeout-ms N]
+//!                 [--slow-queries] [--enable-shutdown] [--demo-vertices N]
+//! ```
+//!
+//! With `--data-dir` the directory is opened (creating and seeding it if fresh) with the
+//! requested durability; without one, an in-memory demo graph of `--demo-vertices` vertices
+//! (a ring with chords, so triangle queries match) is served. `--enable-shutdown` accepts
+//! `POST /shutdown` for a graceful supervised stop — the process stops accepting, cancels
+//! in-flight queries, drains workers and fsyncs the WAL before exiting.
+
+use graphflow_rs::graph::GraphBuilder;
+use graphflow_rs::{Durability, GraphflowDB, Server, ServerConfig, TenantConfig};
+use std::time::Duration;
+
+struct Args {
+    data_dir: Option<String>,
+    addr: String,
+    port: u16,
+    threads: usize,
+    durability: Durability,
+    max_inflight: usize,
+    queue_cap: usize,
+    query_quota: Option<u64>,
+    row_quota: Option<u64>,
+    timeout_ms: u64,
+    slow_queries: bool,
+    enable_shutdown: bool,
+    demo_vertices: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: graphflow-serve [--data-dir DIR] [--port N] [--addr HOST] [--threads N]\n\
+         \x20                      [--durability none|buffered|fsync] [--max-inflight N]\n\
+         \x20                      [--queue-cap N] [--query-quota N] [--row-quota N]\n\
+         \x20                      [--timeout-ms N] [--slow-queries] [--enable-shutdown]\n\
+         \x20                      [--demo-vertices N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        data_dir: None,
+        addr: "127.0.0.1".to_string(),
+        port: 7687,
+        threads: 4,
+        durability: Durability::Fsync,
+        max_inflight: 8,
+        queue_cap: 16,
+        query_quota: None,
+        row_quota: None,
+        timeout_ms: 30_000,
+        slow_queries: false,
+        enable_shutdown: false,
+        demo_vertices: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage();
+                }
+            }
+        };
+        match flag.as_str() {
+            "--data-dir" => args.data_dir = Some(value("--data-dir")),
+            "--addr" => args.addr = value("--addr"),
+            "--port" => args.port = value("--port").parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--durability" => {
+                args.durability = match value("--durability").as_str() {
+                    "none" => Durability::None,
+                    "buffered" => Durability::Buffered,
+                    "fsync" => Durability::Fsync,
+                    other => {
+                        eprintln!("unknown durability {other:?}");
+                        usage();
+                    }
+                }
+            }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-cap" => {
+                args.queue_cap = value("--queue-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--query-quota" => {
+                args.query_quota = Some(value("--query-quota").parse().unwrap_or_else(|_| usage()))
+            }
+            "--row-quota" => {
+                args.row_quota = Some(value("--row-quota").parse().unwrap_or_else(|_| usage()))
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--demo-vertices" => {
+                args.demo_vertices = value("--demo-vertices").parse().unwrap_or_else(|_| usage())
+            }
+            "--slow-queries" => args.slow_queries = true,
+            "--enable-shutdown" => args.enable_shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// A ring with chords: edges `i -> i+1` and `i -> i+2` (mod n), so paths, triangles and
+/// property-free patterns all have matches out of the box.
+fn demo_graph(n: u32) -> graphflow_rs::graph::Graph {
+    let n = n.max(4);
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+        b.add_edge(i, (i + 2) % n);
+    }
+    b.build()
+}
+
+fn main() {
+    let args = parse_args();
+    let db = match &args.data_dir {
+        Some(dir) => {
+            match GraphflowDB::builder(demo_graph(args.demo_vertices))
+                .data_dir(dir)
+                .durability(args.durability)
+                .open()
+            {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("failed to open {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => GraphflowDB::from_graph(demo_graph(args.demo_vertices)),
+    };
+    let config = ServerConfig {
+        addr: format!("{}:{}", args.addr, args.port),
+        workers: args.threads.max(1),
+        tenant: TenantConfig {
+            max_inflight: args.max_inflight.max(1),
+            queue_cap: args.queue_cap,
+            query_quota: args.query_quota,
+            row_quota: args.row_quota,
+            ..TenantConfig::default()
+        },
+        default_timeout: Some(Duration::from_millis(args.timeout_ms.max(1))),
+        expose_slow_queries: args.slow_queries,
+        allow_remote_shutdown: args.enable_shutdown,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(db, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The smoke tests parse this line to learn the ephemeral port; keep its shape stable.
+    println!(
+        "graphflow-serve listening on http://{}",
+        server.local_addr()
+    );
+    if args.enable_shutdown {
+        server.wait_for_shutdown_request();
+        println!("shutdown requested, draining");
+        match server.shutdown() {
+            Ok(()) => println!("shutdown complete"),
+            Err(e) => {
+                eprintln!("shutdown error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        // No remote shutdown: serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

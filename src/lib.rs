@@ -69,7 +69,9 @@
 //! * [`storage`] — the durability subsystem (write-ahead log, binary snapshots, crash
 //!   recovery, fault injection for tests);
 //! * [`core`] — the [`GraphflowDB`] facade (prepared queries,
-//!   plan cache, builder-style options, unified [`Error`]).
+//!   plan cache, builder-style options, unified [`Error`]);
+//! * [`server`] — the HTTP network front-end ([`Server`]): multi-tenant sessions, admission
+//!   control, streaming chunked results, served by the `graphflow-serve` binary.
 //!
 //! Databases can also be **persistent**: open one over a data directory and every committed
 //! write transaction is write-ahead logged before it is published, compactions double as
@@ -102,4 +104,6 @@ pub use graphflow_exec as exec;
 pub use graphflow_graph as graph;
 pub use graphflow_plan as plan;
 pub use graphflow_query as query;
+pub use graphflow_server as server;
+pub use graphflow_server::{Server, ServerConfig, TenantConfig};
 pub use graphflow_storage as storage;

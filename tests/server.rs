@@ -1,0 +1,542 @@
+//! End-to-end tests for the HTTP front-end: a real `Server` on an ephemeral port, exercised
+//! through the minimal blocking client in `graphflow_server::client`.
+//!
+//! The invariants under test:
+//!
+//! * **Epoch atomicity over the wire** — concurrent HTTP readers racing an HTTP writer must
+//!   only ever observe fully-published epochs (the PR 5 invariant, now across the network):
+//!   each `/txn` batch atomically toggles the triangle count between two known values, so a
+//!   reader seeing anything else caught a torn write.
+//! * **Streaming, not materialising** — a >100k-row result arrives as many bounded transfer
+//!   chunks, each no larger than the configured stream buffer (plus one row of slack).
+//! * **Admission control** — quota exhaustion and queue overflow answer `429` with
+//!   `Retry-After` and a structured error body.
+//! * **Disconnect cancels** — dropping the connection mid-stream cancels the server-side
+//!   query, visible in `Metrics::queries_cancelled`.
+//! * **Graceful shutdown** — `shutdown()` with a query in flight cancels it, drains the
+//!   workers, and leaves the database consistent.
+
+use graphflow_rs::graph::GraphBuilder;
+use graphflow_rs::server::client::{open_stream, request};
+use graphflow_rs::{GraphflowDB, Server, ServerConfig, TenantConfig};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TRIANGLE: &str = "(a)->(b), (b)->(c), (a)->(c)";
+
+fn start_server(db: GraphflowDB, config: ServerConfig) -> (Server, SocketAddr, GraphflowDB) {
+    let handle = db.clone();
+    let server = Server::start(db, config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (server, addr, handle)
+}
+
+/// POST /query and return (status, body text).
+fn post_query(addr: SocketAddr, body: &str, headers: &[(&str, &str)]) -> (u16, String) {
+    let resp = request(addr, "POST", "/query", headers, body.as_bytes()).expect("http");
+    (resp.status, resp.text())
+}
+
+/// Pull `"row_count":N` out of a /query response body.
+fn row_count(body: &str) -> u64 {
+    let json = graphflow_rs::core::json::Json::parse(body).expect("response is JSON");
+    json.get("row_count")
+        .and_then(|j| j.as_i64())
+        .unwrap_or_else(|| panic!("no row_count in {body}")) as u64
+}
+
+/// A complete DAG on `n` vertices (`i -> j` for all `i < j`): the open-wedge query
+/// `(a)->(b), (b)->(c)` has exactly `C(n, 3)` matches — an easy >100k-row result.
+fn complete_dag(n: u32) -> GraphflowDB {
+    let mut b = GraphBuilder::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j);
+        }
+    }
+    GraphflowDB::from_graph(b.build())
+}
+
+#[test]
+fn healthz_query_and_structured_errors() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(0, 2);
+    let (server, addr, _db) =
+        start_server(GraphflowDB::from_graph(b.build()), ServerConfig::default());
+
+    let health = request(addr, "GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+
+    // A count over the wire matches the in-process engine, and carries the epoch header.
+    let resp = request(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        format!("{{\"query\":\"{TRIANGLE} RETURN COUNT(*)\"}}").as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.text().contains("\"rows\":[[1]]"),
+        "body: {}",
+        resp.text()
+    );
+    assert_eq!(resp.header("x-graphflow-epoch"), Some("0"));
+
+    // EXPLAIN routes through the same verb dispatch as the embedded API.
+    let (status, body) = post_query(addr, &format!("{{\"query\":\"EXPLAIN {TRIANGLE}\"}}"), &[]);
+    assert_eq!(status, 200);
+    assert!(body.contains("plan class"), "EXPLAIN body: {body}");
+
+    // Malformed pattern: 400 with a structured, actionable error chain.
+    let (status, body) = post_query(addr, "{\"query\":\"(a-<\"}", &[]);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"parse_error\""), "body: {body}");
+    assert!(body.contains("\"chain\""), "body: {body}");
+
+    // Malformed JSON body: 400 before the engine is ever involved.
+    let (status, body) = post_query(addr, "{not json", &[]);
+    assert_eq!(status, 400);
+    assert!(body.contains("invalid_json"), "body: {body}");
+
+    // Unknown path and wrong method.
+    assert_eq!(request(addr, "GET", "/nope", &[], b"").unwrap().status, 404);
+    assert_eq!(
+        request(addr, "GET", "/query", &[], b"").unwrap().status,
+        405
+    );
+
+    server.shutdown().unwrap();
+}
+
+/// The PR 5 epoch invariant, over the wire: 7 HTTP readers race 1 HTTP writer whose `/txn`
+/// batches atomically toggle the graph between 0 and 2 triangles. Every response must report
+/// a count of 0 or 2 — a 1 means a reader pinned a half-applied batch.
+#[test]
+fn concurrent_clients_see_atomic_epochs() {
+    let mut b = GraphBuilder::new();
+    // Two open wedges; the toggled edges 0->2 and 3->5 close both triangles at once.
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(3, 4);
+    b.add_edge(4, 5);
+    let config = ServerConfig {
+        workers: 8,
+        ..ServerConfig::default()
+    };
+    let (server, addr, _db) = start_server(GraphflowDB::from_graph(b.build()), config);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = std::thread::spawn({
+        let stop = stop.clone();
+        move || {
+            let insert = "{\"updates\":[{\"op\":\"insert_edge\",\"src\":0,\"dst\":2},\
+                          {\"op\":\"insert_edge\",\"src\":3,\"dst\":5}]}";
+            let delete = "{\"updates\":[{\"op\":\"delete_edge\",\"src\":0,\"dst\":2},\
+                          {\"op\":\"delete_edge\",\"src\":3,\"dst\":5}]}";
+            let mut txns = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let body = if txns.is_multiple_of(2) {
+                    insert
+                } else {
+                    delete
+                };
+                let resp = request(addr, "POST", "/txn", &[], body.as_bytes()).expect("txn");
+                assert_eq!(resp.status, 200, "txn failed: {}", resp.text());
+                assert!(resp.text().contains("\"applied\":2"));
+                txns += 1;
+            }
+            // Leave the triangles closed so the final comparison below is deterministic:
+            // the next toggle in sequence would be an insert iff `txns` is even.
+            if txns.is_multiple_of(2) {
+                request(addr, "POST", "/txn", &[], insert.as_bytes()).expect("txn");
+            }
+            txns
+        }
+    });
+
+    let readers: Vec<_> = (0..7)
+        .map(|r| {
+            std::thread::spawn({
+                let stop = stop.clone();
+                move || {
+                    let body = format!("{{\"query\":\"{TRIANGLE} RETURN COUNT(*)\"}}");
+                    let tenant = format!("reader-{r}");
+                    let mut last_epoch = 0u64;
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let resp = request(
+                            addr,
+                            "POST",
+                            "/query",
+                            &[("X-Graphflow-Tenant", tenant.as_str())],
+                            body.as_bytes(),
+                        )
+                        .expect("query");
+                        assert_eq!(resp.status, 200, "reader got: {}", resp.text());
+                        let text = resp.text();
+                        let count = text
+                            .split("\"rows\":[[")
+                            .nth(1)
+                            .and_then(|t| t.split(']').next())
+                            .and_then(|t| t.parse::<u64>().ok())
+                            .unwrap_or_else(|| panic!("bad body: {text}"));
+                        assert!(
+                            count == 0 || count == 2,
+                            "torn epoch over the wire: saw {count} triangles"
+                        );
+                        let epoch: u64 = resp
+                            .header("x-graphflow-epoch")
+                            .and_then(|e| e.parse().ok())
+                            .expect("epoch header");
+                        assert!(epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = epoch;
+                        seen += 1;
+                    }
+                    seen
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(1200));
+    stop.store(true, Ordering::Relaxed);
+    let txns = writer.join().unwrap();
+    let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(txns > 4, "writer barely ran ({txns} txns)");
+    assert!(reads > 20, "readers barely ran ({reads} reads)");
+
+    // Quiesced: the wire answer equals the in-process engine's answer.
+    let (status, body) = post_query(
+        addr,
+        &format!("{{\"query\":\"{TRIANGLE} RETURN COUNT(*)\"}}"),
+        &[],
+    );
+    assert_eq!(status, 200);
+    let wire = row_count(&body);
+    assert_eq!(wire, 1, "one row for a COUNT(*)");
+    assert!(body.contains("\"rows\":[[2]]"), "final graph: {body}");
+    assert_eq!(server.db().count(TRIANGLE).unwrap(), 2);
+
+    server.shutdown().unwrap();
+}
+
+/// A 161,700-row projection streams through bounded chunks: memory per request is
+/// O(stream_buffer), never O(result). The chunk sizes prove no materialisation happened.
+#[test]
+fn large_results_stream_in_bounded_chunks() {
+    let stream_buffer = 16 * 1024;
+    let config = ServerConfig {
+        stream_buffer,
+        ..ServerConfig::default()
+    };
+    // C(100, 3) = 161,700 open wedges.
+    let (server, addr, _db) = start_server(complete_dag(100), config);
+
+    let mut resp = open_stream(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b), (b)->(c) RETURN a, b, c\",\"stream\":true}",
+    )
+    .expect("open stream");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+
+    let mut bytes = 0usize;
+    let mut chunks = 0usize;
+    let mut max_chunk = 0usize;
+    let mut tail = String::new();
+    while let Some(chunk) = resp.next_chunk().expect("chunk") {
+        bytes += chunk.len();
+        chunks += 1;
+        max_chunk = max_chunk.max(chunk.len());
+        tail = String::from_utf8_lossy(&chunk).into_owned();
+    }
+    // Every chunk is bounded by the flush threshold plus at most one encoded row.
+    assert!(
+        max_chunk <= stream_buffer + 64,
+        "chunk of {max_chunk} bytes escaped the {stream_buffer}-byte buffer"
+    );
+    assert!(chunks > 50, "{bytes} bytes arrived in only {chunks} chunks");
+    assert!(
+        tail.contains("\"row_count\":161700"),
+        "stream trailer: {tail}"
+    );
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn quota_exhaustion_answers_429_with_retry_after() {
+    let mut b = GraphBuilder::new();
+    b.add_edge(0, 1);
+    let config = ServerConfig {
+        tenant: TenantConfig {
+            query_quota: Some(2),
+            ..TenantConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (server, addr, _db) = start_server(GraphflowDB::from_graph(b.build()), config);
+
+    let body = "{\"query\":\"(a)->(b) RETURN COUNT(*)\"}";
+    let tenant = [("Authorization", "Bearer capped")];
+    for _ in 0..2 {
+        let (status, _) = post_query(addr, body, &tenant);
+        assert_eq!(status, 200);
+    }
+    let resp = request(addr, "POST", "/query", &tenant, body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 429, "third query must hit the quota");
+    assert!(
+        resp.header("retry-after").is_some(),
+        "429 without Retry-After"
+    );
+    assert!(
+        resp.text().contains("query_quota_exhausted"),
+        "body: {}",
+        resp.text()
+    );
+
+    // Other tenants are unaffected: quotas are per-session, not global.
+    let (status, _) = post_query(addr, body, &[("Authorization", "Bearer other")]);
+    assert_eq!(status, 200);
+
+    // Per-tenant rejection counters surface on /metrics with tenant labels.
+    let metrics = request(addr, "GET", "/metrics", &[], b"").unwrap().text();
+    assert!(
+        metrics.contains("graphflow_tenant_rejected_total{tenant=\"capped\"} 1"),
+        "metrics: {}",
+        metrics
+            .lines()
+            .filter(|l| l.contains("tenant"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn queue_overflow_answers_429() {
+    // One slot, no queue, and an admission timeout too short to matter: the second
+    // concurrent query must bounce.
+    let config = ServerConfig {
+        tenant: TenantConfig {
+            max_inflight: 1,
+            queue_cap: 0,
+            admission_timeout: Duration::from_millis(50),
+            ..TenantConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (server, addr, _db) = start_server(complete_dag(80), config);
+
+    // Occupy the only slot with a slow streaming query read one chunk at a time.
+    let mut hog = open_stream(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b), (b)->(c) RETURN a, b, c\",\"stream\":true}",
+    )
+    .expect("open stream");
+    assert_eq!(hog.status, 200);
+    let _ = hog.next_chunk().expect("first chunk");
+
+    // While it streams, a second query from the same (default) tenant is rejected.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut status = 0;
+    while Instant::now() < deadline {
+        let (s, _) = post_query(addr, "{\"query\":\"(a)->(b) RETURN COUNT(*)\"}", &[]);
+        status = s;
+        if s == 429 {
+            break;
+        }
+    }
+    assert_eq!(status, 429, "queue overflow never produced a 429");
+
+    let (bytes, _) = hog.drain().expect("drain");
+    assert!(bytes > 0);
+    server.shutdown().unwrap();
+}
+
+/// Dropping the connection mid-stream cancels the server-side query: the cancellation is
+/// *counted* (`queries_cancelled`), not just silently stopped.
+#[test]
+fn client_disconnect_cancels_the_query() {
+    let config = ServerConfig {
+        stream_buffer: 4 * 1024,
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    // C(150, 3) = 551,300 rows — far more than the client will read.
+    let (server, addr, db) = start_server(complete_dag(150), config);
+    let cancelled_before = db.metrics().queries_cancelled;
+
+    let mut resp = open_stream(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b), (b)->(c) RETURN a, b, c\",\"stream\":true}",
+    )
+    .expect("open stream");
+    assert_eq!(resp.status, 200);
+    let _ = resp.next_chunk().expect("first chunk");
+    // Hang up mid-body: the server's next writes hit a closed socket.
+    drop(resp);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if db.metrics().queries_cancelled > cancelled_before {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the query: {:?}",
+            db.metrics()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The server itself stays healthy for the next client.
+    let (status, _) = post_query(addr, "{\"query\":\"(a)->(b) RETURN COUNT(*)\"}", &[]);
+    assert_eq!(status, 200);
+
+    server.shutdown().unwrap();
+}
+
+/// Graceful shutdown with a query in flight: the in-flight stream is cancelled via its
+/// token, workers drain, and the database handle stays usable afterwards.
+#[test]
+fn graceful_shutdown_cancels_inflight_queries() {
+    let config = ServerConfig {
+        stream_buffer: 4 * 1024,
+        ..ServerConfig::default()
+    };
+    let (server, addr, db) = start_server(complete_dag(150), config);
+    let cancelled_before = db.metrics().queries_cancelled;
+
+    // Park a client mid-stream (it reads one chunk then sleeps) so a query is running when
+    // shutdown begins.
+    let client = std::thread::spawn(move || {
+        let mut resp = open_stream(
+            addr,
+            "POST",
+            "/query",
+            &[],
+            b"{\"query\":\"(a)->(b), (b)->(c) RETURN a, b, c\",\"stream\":true}",
+        )
+        .expect("open stream");
+        let _ = resp.next_chunk();
+        // Keep draining; the server will terminate the stream when shutdown cancels us.
+        let mut bytes = 0usize;
+        while let Ok(Some(chunk)) = resp.next_chunk() {
+            bytes += chunk.len();
+        }
+        bytes
+    });
+    // Let the query start before shutting down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while db.metrics().queries_started == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.shutdown().expect("graceful shutdown");
+    let _bytes = client.join().expect("client thread");
+
+    let metrics = db.metrics();
+    assert!(
+        metrics.queries_cancelled > cancelled_before,
+        "in-flight query was not cancelled: {metrics:?}"
+    );
+    // The database outlives the server: embedded use keeps working.
+    assert!(db.count("(a)->(b)").unwrap() > 0);
+}
+
+/// `ResultSet::to_json` and the NDJSON trailer agree on row counts for non-streamable
+/// (aggregate) queries — those take the materialising path even when streaming is requested.
+#[test]
+fn aggregates_fall_back_to_materialised_responses() {
+    let (server, addr, _db) = start_server(complete_dag(20), ServerConfig::default());
+
+    // GROUP BY-style aggregate: streaming requested but not streamable.
+    let resp = request(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b) RETURN a, COUNT(*)\",\"stream\":true}",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("application/json"),
+        "aggregates must not pretend to stream"
+    );
+    assert_eq!(row_count(&resp.text()), 19, "one group per source vertex");
+
+    server.shutdown().unwrap();
+}
+
+/// Top-level wire options reach `QueryOptions`: `timeout_ms` produces a 408 (counted in
+/// `queries_timed_out`), `limit` caps rows, and contradictory options answer 400.
+#[test]
+fn wire_options_map_onto_query_options() {
+    // C(150, 3) = 551,300 wedges: far past a 1ms budget on any build profile.
+    let (server, addr, db) = start_server(complete_dag(150), ServerConfig::default());
+
+    let resp = request(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b), (b)->(c) RETURN a, b, c\",\"timeout_ms\":1}",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 408, "body: {}", resp.text());
+    assert!(
+        resp.text().contains("\"code\":\"timeout\""),
+        "{}",
+        resp.text()
+    );
+    assert_eq!(db.metrics().queries_timed_out, 1);
+
+    let resp = request(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b) RETURN a, b\",\"limit\":5}",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(row_count(&resp.text()), 5, "body: {}", resp.text());
+
+    // adaptive + threads is the canonical InvalidOptions pair.
+    let resp = request(
+        addr,
+        "POST",
+        "/query",
+        &[],
+        b"{\"query\":\"(a)->(b) RETURN COUNT(*)\",\"adaptive\":true,\"threads\":4}",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 400, "body: {}", resp.text());
+    assert!(
+        resp.text().contains("\"code\":\"invalid_options\""),
+        "{}",
+        resp.text()
+    );
+
+    server.shutdown().unwrap();
+}
